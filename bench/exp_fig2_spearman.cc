@@ -1,0 +1,75 @@
+// E4 — Figure 2: agreement between the learned and actual term rankings
+// (Spearman rank correlation of df-ordered rankings over common terms),
+// as a function of documents examined. Baseline protocol as Fig. 1.
+//
+// Expected shape (paper): the small homogeneous corpus converges fastest
+// (CACM > 0.9 by ~82 docs), the medium corpus slower (WSJ88 ~0.76 at 300),
+// the large heterogeneous corpus slowest (TREC-123 ~0.4 at 500) — unlike
+// ctf ratio, rank convergence IS size-dependent.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+namespace qbs {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("E4 (Fig. 2)",
+              "Spearman rank correlation between learned and actual "
+              "term rankings (by df)");
+
+  struct Job {
+    SyntheticCorpusSpec spec;
+    size_t max_docs;
+  };
+  Job jobs[] = {
+      {CacmLikeSpec(), 300},
+      {Wsj88LikeSpec(), 300},
+      {Trec123LikeSpec(), 500},
+  };
+
+  std::vector<std::vector<TrajectoryPoint>> series;
+  std::vector<std::string> names;
+  for (const Job& job : jobs) {
+    SearchEngine* engine = CorpusCache::Instance().Engine(job.spec);
+    const LanguageModel& actual = CorpusCache::Instance().ActualLm(job.spec);
+    TrajectoryConfig config;
+    config.max_docs = job.max_docs;
+    config.docs_per_query = 4;
+    config.measure_interval = 25;
+    config.seed = 4096;
+    TrajectoryResult result = RunTrajectory(engine, actual, config);
+    series.push_back(std::move(result.points));
+    names.push_back(job.spec.name);
+  }
+
+  MarkdownTable table(
+      {"Docs examined", names[0], names[1], names[2]});
+  size_t max_points = 0;
+  for (const auto& s : series) max_points = std::max(max_points, s.size());
+  for (size_t i = 0; i < max_points; ++i) {
+    std::vector<std::string> row;
+    row.push_back(i < series[0].size() ? std::to_string(series[0][i].docs)
+                                       : std::to_string(series[2][i].docs));
+    for (const auto& s : series) {
+      row.push_back(i < s.size() ? Fmt(s[i].spearman_df, 3) : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check (paper): convergence speed orders small-homogeneous > "
+      "medium > large-heterogeneous; the largest corpus is far from 1.0 at "
+      "its budget while the smallest exceeds 0.9 quickly.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qbs
+
+int main() {
+  qbs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E6 — Figure 3 + Table 3: query-term selection strategies on the
+// WSJ88-like corpus (4 documents per query, 300-document budget).
+//   Fig. 3a: ctf ratio vs docs examined, per strategy
+//   Fig. 3b: Spearman rank correlation vs docs examined, per strategy
+//   Table 3: queries required to retrieve 300 documents, per strategy
+//
+// Strategies: random from learned model (baseline), highest avg_tf / df /
+// ctf from learned model, and random from an *other* language model (the
+// large reference corpus's actual model, mirroring the paper's use of the
+// full TREC-123 model).
+//
+// Expected shape (paper): random-llm and random-olm learn comparably per
+// *document*; random-olm needs ~2x the queries (failed/low-yield queries);
+// frequency-based strategies (especially ctf) lag on both measures.
+#include <cstdio>
+
+#include "harness/experiment.h"
+
+namespace qbs {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("E6 (Fig. 3a/3b + Table 3)",
+              "Query selection strategies (wsj88-like, 4 docs/query)");
+
+  SyntheticCorpusSpec wsj = Wsj88LikeSpec();
+  SearchEngine* engine = CorpusCache::Instance().Engine(wsj);
+  const LanguageModel& actual = CorpusCache::Instance().ActualLm(wsj);
+
+  // The "other" model: the big reference corpus's actual model. Note this
+  // is a favourable choice for olm, exactly as the paper cautions (§5.2).
+  const LanguageModel& other =
+      CorpusCache::Instance().ActualLm(Trec123LikeSpec());
+
+  struct Job {
+    std::string label;
+    SelectionStrategy strategy;
+    const LanguageModel* other_model;
+  };
+  Job jobs[] = {
+      {"random_olm", SelectionStrategy::kRandomOther, &other},
+      {"random_llm", SelectionStrategy::kRandomLearned, nullptr},
+      {"avg_tf_llm", SelectionStrategy::kAvgTfLearned, nullptr},
+      {"df_llm", SelectionStrategy::kDfLearned, nullptr},
+      {"ctf_llm", SelectionStrategy::kCtfLearned, nullptr},
+  };
+
+  std::vector<std::vector<TrajectoryPoint>> series;
+  std::vector<size_t> queries_needed;
+  std::vector<size_t> failed_queries;
+  for (const Job& job : jobs) {
+    TrajectoryConfig config;
+    config.max_docs = 300;
+    config.docs_per_query = 4;
+    config.measure_interval = 25;
+    config.strategy = job.strategy;
+    config.other_model = job.other_model;
+    config.seed = 555;
+    WallTimer timer;
+    TrajectoryResult result = RunTrajectory(engine, actual, config);
+    std::fprintf(stderr, "[fig3] %s: %zu queries, %zu failed (%.1fs)\n",
+                 job.label.c_str(), result.sampling.queries_run,
+                 result.sampling.failed_queries, timer.Seconds());
+    series.push_back(std::move(result.points));
+    queries_needed.push_back(result.sampling.queries_run);
+    failed_queries.push_back(result.sampling.failed_queries);
+  }
+
+  auto print_series = [&](const char* title, auto getter, int precision,
+                          bool as_pct) {
+    std::printf("%s\n\n", title);
+    std::vector<std::string> headers = {"Docs examined"};
+    for (const Job& job : jobs) headers.push_back(job.label);
+    MarkdownTable table(std::move(headers));
+    for (size_t i = 0; i < series[0].size(); ++i) {
+      std::vector<std::string> row = {std::to_string(series[0][i].docs)};
+      for (size_t s = 0; s < series.size(); ++s) {
+        double v = i < series[s].size() ? getter(series[s][i]) : 0.0;
+        row.push_back(as_pct ? Pct(v, 1) : Fmt(v, precision));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+    std::printf("\n");
+  };
+
+  print_series("### Fig. 3a: ctf ratio vs docs examined",
+               [](const TrajectoryPoint& p) { return p.ctf_ratio; }, 1, true);
+  print_series("### Fig. 3b: Spearman rank correlation vs docs examined",
+               [](const TrajectoryPoint& p) { return p.spearman_df; }, 3,
+               false);
+
+  std::printf("### Table 3: queries required to retrieve 300 documents\n\n");
+  MarkdownTable t3({"Strategy", "Queries", "Failed queries"});
+  for (size_t s = 0; s < series.size(); ++s) {
+    t3.AddRow({jobs[s].label, std::to_string(queries_needed[s]),
+               std::to_string(failed_queries[s])});
+  }
+  t3.Print();
+
+  std::printf(
+      "\nShape check (paper): Table 3 was 178 (random_olm) vs 89 "
+      "(random_llm) vs 96-99 (frequency-based); random selection matches "
+      "or beats frequency-based selection on accuracy.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qbs
+
+int main() {
+  qbs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,217 @@
+// E11 — Extension (paper §2.2): why the cooperative (STARTS-style)
+// approach fails in multi-party environments, measured.
+//
+//   1. Incomparability: databases index with different conventions
+//      (stemming / stopwords / case). We export each database's own-term-
+//      space model and measure pairwise term-space overlap — cooperative
+//      statistics cannot be merged; sampled models (built uniformly by the
+//      selection service) can.
+//   2. Misrepresentation: a spamming database inflates and injects terms in
+//      its cooperative export, hijacking selection; the sampled model of
+//      the same database is immune.
+//   3. Refusal: legacy databases simply cannot export; sampling still works.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "selection/db_selection.h"
+#include "starts/starts.h"
+#include "text/stopwords.h"
+
+namespace qbs {
+namespace bench {
+namespace {
+
+// One corpus indexed under four different conventions.
+struct Convention {
+  const char* label;
+  bool stem;
+  bool stop;
+  const StopwordList* stopwords;  // nullptr = default
+};
+
+void Run() {
+  PrintHeader("E11 (extension, paper §2.2)",
+              "Cooperative STARTS exchange vs query-based sampling");
+
+  // --- Part 1: term-space incomparability ---
+  Convention conventions[] = {
+      {"stem+stop", true, true, nullptr},
+      {"stem only", true, false, nullptr},
+      {"stop only", false, true, nullptr},
+      {"raw", false, false, nullptr},
+  };
+  SyntheticCorpusSpec base = CacmLikeSpec();
+  std::vector<std::unique_ptr<SearchEngine>> variants;
+  for (const Convention& conv : conventions) {
+    SearchEngineOptions opts;
+    AnalyzerOptions aopts;
+    aopts.stem = conv.stem;
+    aopts.remove_stopwords = conv.stop;
+    aopts.stopwords = conv.stopwords;
+    opts.analyzer = Analyzer(aopts);
+    auto engine = std::make_unique<SearchEngine>(
+        std::string("cacm/") + conv.label, std::move(opts));
+    Status add_ok = Status::OK();
+    Status gen = GenerateSyntheticCorpus(
+        base, [&](const std::string& name, const std::string& text) {
+          if (add_ok.ok()) add_ok = engine->AddDocument(name, text);
+        });
+    QBS_CHECK(gen.ok());
+    QBS_CHECK(add_ok.ok());
+    engine->FinishLoading();
+    variants.push_back(std::move(engine));
+  }
+
+  std::printf("### Term-space overlap of cooperative exports (ctf mass of "
+              "row's terms found in column's vocabulary)\n\n");
+  std::vector<std::string> headers = {"export of \\ vs"};
+  for (const Convention& conv : conventions) headers.push_back(conv.label);
+  MarkdownTable overlap(std::move(headers));
+  std::vector<LanguageModel> exports;
+  for (auto& v : variants) {
+    HonestSource source(v.get());
+    auto e = source.ExportLanguageModel();
+    QBS_CHECK(e.ok());
+    exports.push_back(std::move(e->model));
+  }
+  for (size_t i = 0; i < exports.size(); ++i) {
+    std::vector<std::string> row = {conventions[i].label};
+    for (size_t j = 0; j < exports.size(); ++j) {
+      row.push_back(Pct(TermSpaceOverlap(exports[i], exports[j]), 1));
+    }
+    overlap.AddRow(std::move(row));
+  }
+  overlap.Print();
+
+  // Sampled models of the same four databases live in ONE term space
+  // chosen by the selection service.
+  std::printf("\n### Term-space overlap of SAMPLED models of the same four "
+              "databases (service-controlled term space)\n\n");
+  std::vector<LanguageModel> sampled;
+  for (auto& v : variants) {
+    LanguageModel actual = v->ActualLanguageModel();
+    SamplerOptions opts;
+    opts.docs_per_query = 4;
+    opts.stopping.max_documents = 150;
+    opts.seed = 4242;
+    Rng rng(4243);
+    auto initial = RandomEligibleTerm(actual, opts.filter, rng);
+    QBS_CHECK(initial.has_value());
+    opts.initial_term = *initial;
+    auto result = QueryBasedSampler(v.get(), opts).Run();
+    QBS_CHECK(result.ok());
+    sampled.push_back(std::move(result->learned));
+  }
+  MarkdownTable overlap2({"sample of \\ vs", conventions[0].label,
+                          conventions[1].label, conventions[2].label,
+                          conventions[3].label});
+  for (size_t i = 0; i < sampled.size(); ++i) {
+    std::vector<std::string> row = {conventions[i].label};
+    for (size_t j = 0; j < sampled.size(); ++j) {
+      row.push_back(Pct(TermSpaceOverlap(sampled[i], sampled[j]), 1));
+    }
+    overlap2.AddRow(std::move(row));
+  }
+  overlap2.Print();
+
+  // --- Part 2: misrepresentation ---
+  std::printf("\n### Misrepresentation: selection for query 'casino "
+              "jackpot' across 4 databases\n\n");
+  std::vector<SearchEngine*> fed;
+  std::vector<const LanguageModel*> fed_actuals;
+  for (size_t i = 0; i < 4; ++i) {
+    SyntheticCorpusSpec spec;
+    spec.name = "startsdb-" + std::to_string(i);
+    spec.num_docs = 1'500;
+    spec.vocab_size = 100'000;
+    spec.num_topics = 4;
+    spec.seed = 72000 + i * 7;
+    fed.push_back(CorpusCache::Instance().Engine(spec));
+    fed_actuals.push_back(&CorpusCache::Instance().ActualLm(spec));
+  }
+
+  // Database 3 lies in its cooperative export.
+  MisrepresentationOptions lie;
+  lie.frequency_inflation = 3.0;
+  lie.injected_terms = {"casino", "jackpot", "lottery"};
+  lie.injected_df = 1'000;
+  lie.injected_ctf = 25'000;
+
+  DatabaseCollection coop_dbs;
+  for (size_t i = 0; i < 4; ++i) {
+    if (i == 3) {
+      MisrepresentingSource liar(fed[i], lie);
+      auto e = liar.ExportLanguageModel();
+      QBS_CHECK(e.ok());
+      coop_dbs.Add(fed[i]->name(), std::move(e->model));
+    } else {
+      HonestSource honest(fed[i]);
+      auto e = honest.ExportLanguageModel();
+      QBS_CHECK(e.ok());
+      coop_dbs.Add(fed[i]->name(), std::move(e->model));
+    }
+  }
+
+  DatabaseCollection sampled_dbs;
+  for (size_t i = 0; i < 4; ++i) {
+    SamplerOptions opts;
+    opts.docs_per_query = 4;
+    opts.stopping.max_documents = 150;
+    opts.seed = 9300 + i;
+    Rng rng(9400 + i);
+    auto initial = RandomEligibleTerm(*fed_actuals[i], opts.filter, rng);
+    QBS_CHECK(initial.has_value());
+    opts.initial_term = *initial;
+    auto result = QueryBasedSampler(fed[i], opts).Run();
+    QBS_CHECK(result.ok());
+    sampled_dbs.Add(fed[i]->name(),
+                    result->learned_stemmed.WithoutStopwords(
+                        StopwordList::DefaultStemmed()));
+  }
+
+  CoriRanker coop_ranker(&coop_dbs);
+  CoriRanker sampled_ranker(&sampled_dbs);
+  std::vector<std::string> spam_query = {"casino", "jackpot"};
+  MarkdownTable spam({"Acquisition", "Rank 1", "Rank 2", "Rank 3", "Rank 4"});
+  auto row_of = [&](const char* label, const std::vector<DatabaseScore>& r) {
+    std::vector<std::string> row = {label};
+    for (const auto& d : r) {
+      row.push_back(d.db_name + " (" + Fmt(d.score, 3) + ")");
+    }
+    return row;
+  };
+  spam.AddRow(row_of("cooperative (db-3 lies)", coop_ranker.Rank(spam_query)));
+  spam.AddRow(row_of("query-based sampling", sampled_ranker.Rank(spam_query)));
+  spam.Print();
+
+  // --- Part 3: refusal ---
+  std::printf("\n### Refusal: acquisition success across a mixed federation\n\n");
+  MarkdownTable refusal({"Database", "STARTS export", "Query-based sample"});
+  for (size_t i = 0; i < 4; ++i) {
+    bool refuses = (i % 2 == 1);  // half the federation is legacy
+    std::string coop_result;
+    if (refuses) {
+      RefusingSource legacy(fed[i]->name());
+      coop_result = legacy.ExportLanguageModel().status().ToString();
+    } else {
+      coop_result = "OK";
+    }
+    refusal.AddRow({fed[i]->name(), coop_result, "OK (150 docs)"});
+  }
+  refusal.Print();
+
+  std::printf(
+      "\nReading: cooperative exports are mutually incomparable across "
+      "indexing conventions and spoofable by a single lying database; "
+      "sampled models live in one service-controlled term space, reflect "
+      "only retrievable documents, and need no cooperation.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qbs
+
+int main() {
+  qbs::bench::Run();
+  return 0;
+}

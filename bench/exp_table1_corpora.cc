@@ -1,0 +1,59 @@
+// E1 — Table 1: test corpora characteristics.
+//
+// Paper values (for the real CACM / WSJ88 / TREC-123):
+//   CACM:     2MB,      3,204 docs, small vocabulary,  homogeneous
+//   WSJ88:    104MB,   39,904 docs, medium vocabulary, heterogeneous
+//   TREC-123: 3.2GB, 1,078,166 docs, huge vocabulary,  very heterogeneous
+//
+// Our synthetic stand-ins preserve the ordering and ratios at laptop scale
+// (TREC-like is scaled to ~240k documents by default).
+#include <cstdio>
+
+#include "corpus/corpus_stats.h"
+#include "harness/experiment.h"
+#include "util/string_util.h"
+
+namespace qbs {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("E1 (Table 1)", "Test corpora");
+
+  MarkdownTable table({"Name", "Size, bytes", "Size, documents",
+                       "Size, unique terms", "Size, total terms",
+                       "Avg doc len", "Variety"});
+  struct Row {
+    SyntheticCorpusSpec spec;
+    const char* variety;
+  };
+  Row rows[] = {
+      {CacmLikeSpec(), "very homogeneous"},
+      {Wsj88LikeSpec(), "homogeneous"},
+      {Trec123LikeSpec(), "heterogeneous"},
+      {SupportKbLikeSpec(), "homogeneous (product support)"},
+  };
+  for (const Row& row : rows) {
+    SearchEngine* engine = CorpusCache::Instance().Engine(row.spec);
+    CorpusStats stats = ComputeCorpusStats(*engine);
+    table.AddRow({stats.name, HumanBytes(stats.bytes),
+                  WithThousands(stats.num_docs),
+                  WithThousands(stats.unique_terms),
+                  WithThousands(stats.total_terms),
+                  Fmt(stats.avg_doc_length(), 1), row.variety});
+  }
+  table.Print();
+
+  std::printf(
+      "\nPaper reference (real corpora): CACM 2MB / 3,204 docs; WSJ88 "
+      "104MB / 39,904 docs; TREC-123 3.2GB / 1,078,166 docs.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qbs
+
+int main() {
+  qbs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E8 — Table 4: summarizing a database's contents from its learned model.
+//
+// The paper sampled the Microsoft Customer Support database from the Web
+// (25 documents per query, their earliest protocol) and showed the top 50
+// terms ranked by avg_tf — product words like excel, foxpro, microsoft,
+// nt, access, windows surfaced at the top. We sample the synthetic
+// support-KB stand-in the same way and print the same artifact, plus the
+// df/ctf rankings the paper found less informative.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "summarize/summarizer.h"
+
+namespace qbs {
+namespace bench {
+namespace {
+
+void Run() {
+  PrintHeader("E8 (Table 4)",
+              "Top terms of a sampled support database, by avg_tf");
+
+  SyntheticCorpusSpec kb = SupportKbLikeSpec();
+  SearchEngine* engine = CorpusCache::Instance().Engine(kb);
+  const LanguageModel& actual = CorpusCache::Instance().ActualLm(kb);
+
+  SamplerOptions opts;
+  opts.docs_per_query = 25;  // as in the paper's early protocol (§7)
+  opts.stopping.max_documents = 300;
+  opts.seed = 1999;
+  Rng rng(42);
+  auto initial = RandomEligibleTerm(actual, opts.filter, rng);
+  QBS_CHECK(initial.has_value());
+  opts.initial_term = *initial;
+  auto result = QueryBasedSampler(engine, opts).Run();
+  QBS_CHECK(result.ok());
+
+  SummaryOptions sum_opts;
+  sum_opts.metric = TermMetric::kAvgTf;
+  sum_opts.top_k = 50;
+  DatabaseSummary summary =
+      SummarizeDatabase(engine->name(), result->learned, sum_opts);
+
+  std::printf("### Top 50 terms by avg_tf (learned from %zu documents, %zu "
+              "queries)\n\n",
+              result->documents_examined, result->queries_run);
+  MarkdownTable table({"term", "avg_tf", "term ", "avg_tf ", "term  ",
+                       "avg_tf  ", "term   ", "avg_tf   ", "term    ",
+                       "avg_tf    "});
+  for (size_t row = 0; row < 10; ++row) {
+    std::vector<std::string> cells;
+    for (size_t col = 0; col < 5; ++col) {
+      size_t i = col * 10 + row;  // column-major, like the paper's layout
+      if (i < summary.terms.size()) {
+        cells.push_back(summary.terms[i].first);
+        cells.push_back(Fmt(summary.terms[i].second, 2));
+      } else {
+        cells.push_back("-");
+        cells.push_back("-");
+      }
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+
+  // How many of the injected product-theme terms made the top 50?
+  size_t theme_hits = 0;
+  for (const auto& [term, score] : summary.terms) {
+    for (const std::string& theme : kb.theme_terms) {
+      if (term == theme) {
+        ++theme_hits;
+        break;
+      }
+    }
+  }
+  std::printf("\nProduct-theme terms in the top 50: %zu of %zu injected.\n",
+              theme_hits, kb.theme_terms.size());
+
+  // The paper's comparison: df and ctf rankings are usable but less
+  // informative (dominated by broad, flat terms).
+  for (TermMetric metric : {TermMetric::kDf, TermMetric::kCtf}) {
+    SummaryOptions alt;
+    alt.metric = metric;
+    alt.top_k = 10;
+    DatabaseSummary s = SummarizeDatabase(engine->name(), result->learned, alt);
+    std::printf("\n### Top 10 by %s (for comparison)\n\n",
+                TermMetricName(metric));
+    MarkdownTable t({"term", TermMetricName(metric)});
+    for (const auto& [term, score] : s.terms) {
+      t.AddRow({term, Fmt(score, 1)});
+    }
+    t.Print();
+  }
+
+  std::printf(
+      "\nShape check (paper): avg_tf surfaces content-bearing product terms "
+      "at the top; df/ctf rankings are flatter and more generic.\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace qbs
+
+int main() {
+  qbs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,165 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sampling/term_selector.h"
+#include "util/logging.h"
+
+namespace qbs {
+namespace bench {
+
+std::string Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Pct(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+  return buf;
+}
+
+MarkdownTable::MarkdownTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void MarkdownTable::AddRow(std::vector<std::string> cells) {
+  QBS_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void MarkdownTable::Print() const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::printf("|");
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(width[c]), cells[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  std::printf("|");
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : rows_) print_row(row);
+}
+
+CorpusCache& CorpusCache::Instance() {
+  static CorpusCache* cache = new CorpusCache();
+  return *cache;
+}
+
+CorpusCache::Entry& CorpusCache::GetOrBuild(const SyntheticCorpusSpec& spec) {
+  auto it = entries_.find(spec.name);
+  if (it != entries_.end()) return it->second;
+
+  WallTimer timer;
+  std::fprintf(stderr, "[corpus] building %s (%u docs)...\n",
+               spec.name.c_str(), spec.num_docs);
+  auto engine = BuildSyntheticEngine(spec);
+  QBS_CHECK(engine.ok());
+  Entry entry;
+  entry.engine = std::move(*engine);
+  entry.actual =
+      std::make_unique<LanguageModel>(entry.engine->ActualLanguageModel());
+  std::fprintf(stderr,
+               "[corpus] %s ready in %.1fs: %u docs, %zu unique terms, "
+               "%" PRIu64 " total terms\n",
+               spec.name.c_str(), timer.Seconds(), entry.engine->num_docs(),
+               entry.engine->index().unique_terms(),
+               entry.engine->index().total_terms());
+  return entries_.emplace(spec.name, std::move(entry)).first->second;
+}
+
+SearchEngine* CorpusCache::Engine(const SyntheticCorpusSpec& spec) {
+  return GetOrBuild(spec).engine.get();
+}
+
+const LanguageModel& CorpusCache::ActualLm(const SyntheticCorpusSpec& spec) {
+  return *GetOrBuild(spec).actual;
+}
+
+TrajectoryResult RunTrajectory(SearchEngine* engine,
+                               const LanguageModel& actual,
+                               const TrajectoryConfig& config) {
+  SamplerOptions opts;
+  opts.strategy = config.strategy;
+  opts.other_model = config.other_model;
+  opts.docs_per_query = config.docs_per_query;
+  opts.stopping.max_documents = config.max_docs;
+  opts.stopping.max_queries = config.max_docs * 50;  // generous safety cap
+  opts.seed = config.seed;
+  if (!config.initial_term.empty()) {
+    opts.initial_term = config.initial_term;
+  } else {
+    Rng rng(config.seed ^ 0xA5A5A5A5ULL);
+    auto term = RandomEligibleTerm(actual, opts.filter, rng);
+    QBS_CHECK(term.has_value());
+    opts.initial_term = *term;
+  }
+
+  TrajectoryResult result;
+  QueryBasedSampler sampler(engine, opts);
+  size_t queries_seen = 0;
+  sampler.set_document_observer(
+      [&](size_t docs, const LanguageModel& /*raw*/,
+          const LanguageModel& stemmed) {
+        if (docs % config.measure_interval != 0 && docs != config.max_docs) {
+          return;
+        }
+        LmComparison cmp = CompareLanguageModels(stemmed, actual);
+        TrajectoryPoint point;
+        point.docs = docs;
+        point.queries = queries_seen;  // approximate: queries completed so far
+        point.pct_vocab = cmp.pct_vocab_learned;
+        point.ctf_ratio = cmp.ctf_ratio;
+        point.spearman_df = cmp.spearman_df;
+        result.points.push_back(point);
+      });
+  auto run = sampler.Run();
+  QBS_CHECK(run.ok());
+  result.sampling = std::move(*run);
+  // Fill in the true query counts per point from the query log.
+  size_t qi = 0, docs_so_far = 0;
+  size_t pi = 0;
+  for (const QueryRecord& q : result.sampling.queries) {
+    ++qi;
+    docs_so_far += q.new_docs;
+    while (pi < result.points.size() && result.points[pi].docs <= docs_so_far) {
+      result.points[pi].queries = qi;
+      ++pi;
+    }
+  }
+  return result;
+}
+
+const TrajectoryPoint* FirstReaching(const std::vector<TrajectoryPoint>& points,
+                                     double threshold) {
+  for (const TrajectoryPoint& p : points) {
+    if (p.ctf_ratio >= threshold) return &p;
+  }
+  return nullptr;
+}
+
+void PrintHeader(const std::string& experiment_id, const std::string& title) {
+  std::printf("## %s: %s\n\n", experiment_id.c_str(), title.c_str());
+  const char* scale = std::getenv("QBS_SCALE");
+  std::printf(
+      "Corpora are synthetic stand-ins for the paper's test collections "
+      "(see DESIGN.md); QBS_SCALE=%s.\n\n",
+      scale != nullptr ? scale : "1.0 (default)");
+}
+
+}  // namespace bench
+}  // namespace qbs

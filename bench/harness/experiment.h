@@ -1,0 +1,130 @@
+// Shared infrastructure for the experiment (table/figure reproduction)
+// binaries: markdown output, wall timing, per-process corpus cache, and the
+// sampling-trajectory runner used by most figures.
+#ifndef QBS_BENCH_HARNESS_EXPERIMENT_H_
+#define QBS_BENCH_HARNESS_EXPERIMENT_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "lm/language_model.h"
+#include "lm/metrics.h"
+#include "sampling/sampler.h"
+#include "search/search_engine.h"
+
+namespace qbs {
+namespace bench {
+
+/// Formats a double with fixed precision.
+std::string Fmt(double v, int precision = 3);
+
+/// Formats a fraction as a percentage string, e.g. 0.862 -> "86.2%".
+std::string Pct(double v, int precision = 1);
+
+/// A GitHub-markdown table with aligned columns.
+class MarkdownTable {
+ public:
+  explicit MarkdownTable(std::vector<std::string> headers);
+
+  /// Adds one row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Simple wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Builds and caches corpus engines and their actual language models, so
+/// one binary reusing a corpus across sub-experiments pays the build cost
+/// once. Build progress is reported on stderr.
+class CorpusCache {
+ public:
+  static CorpusCache& Instance();
+
+  /// Returns the engine for `spec`, building it on first use (keyed by
+  /// spec.name).
+  SearchEngine* Engine(const SyntheticCorpusSpec& spec);
+
+  /// Returns the actual (database-side) language model for `spec`.
+  const LanguageModel& ActualLm(const SyntheticCorpusSpec& spec);
+
+ private:
+  struct Entry {
+    std::unique_ptr<SearchEngine> engine;
+    std::unique_ptr<LanguageModel> actual;
+  };
+  Entry& GetOrBuild(const SyntheticCorpusSpec& spec);
+
+  std::map<std::string, Entry> entries_;
+};
+
+/// One measured point along a sampling run.
+struct TrajectoryPoint {
+  size_t docs = 0;
+  size_t queries = 0;
+  double pct_vocab = 0.0;
+  double ctf_ratio = 0.0;
+  double spearman_df = 0.0;
+};
+
+/// Configuration for RunTrajectory.
+struct TrajectoryConfig {
+  size_t max_docs = 300;
+  size_t docs_per_query = 4;
+  SelectionStrategy strategy = SelectionStrategy::kRandomLearned;
+  const LanguageModel* other_model = nullptr;
+  uint64_t seed = 11;
+  /// Metrics are recorded every this many documents (and at the end).
+  size_t measure_interval = 10;
+  /// Initial query term; when empty, one is drawn at random from the
+  /// actual model with `seed` (the paper drew it from a reference model
+  /// and found the choice had little effect, §4.4).
+  std::string initial_term;
+};
+
+/// A full sampling run plus the metric trajectory against `actual`.
+struct TrajectoryResult {
+  std::vector<TrajectoryPoint> points;
+  SamplingResult sampling;
+};
+
+/// Samples `engine` per the paper's algorithm, measuring the learned
+/// (stemmed) model against `actual` along the way. Aborts the process on
+/// configuration errors (experiments are not recoverable).
+TrajectoryResult RunTrajectory(SearchEngine* engine,
+                               const LanguageModel& actual,
+                               const TrajectoryConfig& config);
+
+/// Interpolation helper: the first measured point whose ctf ratio reaches
+/// `threshold`, or nullptr if never reached.
+const TrajectoryPoint* FirstReaching(const std::vector<TrajectoryPoint>& points,
+                                     double threshold);
+
+/// Prints the standard experiment header (title + corpus scale note).
+void PrintHeader(const std::string& experiment_id, const std::string& title);
+
+}  // namespace bench
+}  // namespace qbs
+
+#endif  // QBS_BENCH_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,86 @@
+// Microbenchmarks: inverted-index construction and posting decoding.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "index/inverted_index.h"
+#include "text/analyzer.h"
+
+namespace qbs {
+namespace {
+
+// Pre-analyzed documents for indexing benchmarks.
+const std::vector<std::vector<std::string>>& AnalyzedDocs() {
+  static const auto* docs = [] {
+    SyntheticCorpusSpec spec;
+    spec.name = "bench";
+    spec.num_docs = 2'000;
+    spec.seed = 6;
+    Analyzer analyzer = Analyzer::InqueryLike();
+    auto* out = new std::vector<std::vector<std::string>>();
+    Status s = GenerateSyntheticCorpus(
+        spec, [&](const std::string&, const std::string& text) {
+          out->push_back(analyzer.Analyze(text));
+        });
+    QBS_CHECK(s.ok());
+    return out;
+  }();
+  return *docs;
+}
+
+void BM_IndexAddDocument(benchmark::State& state) {
+  const auto& docs = AnalyzedDocs();
+  size_t i = 0;
+  InvertedIndex index;
+  uint64_t terms = 0;
+  for (auto _ : state) {
+    index.AddDocument(docs[i % docs.size()]);
+    terms += docs[i % docs.size()].size();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(terms));
+}
+BENCHMARK(BM_IndexAddDocument);
+
+void BM_IndexBulkBuild(benchmark::State& state) {
+  const auto& docs = AnalyzedDocs();
+  for (auto _ : state) {
+    InvertedIndex index;
+    for (const auto& doc : docs) index.AddDocument(doc);
+    benchmark::DoNotOptimize(index.total_terms());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(docs.size()));
+}
+BENCHMARK(BM_IndexBulkBuild);
+
+void BM_PostingListIterate(benchmark::State& state) {
+  PostingList plist;
+  for (DocId d = 0; d < 100'000; ++d) plist.Append(d * 3 + 1, 1 + d % 7);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (auto it = plist.NewIterator(); it.Valid(); it.Next()) {
+      sum += it.Get().tf;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+BENCHMARK(BM_PostingListIterate);
+
+void BM_PostingListAppend(benchmark::State& state) {
+  for (auto _ : state) {
+    PostingList plist;
+    for (DocId d = 0; d < 10'000; ++d) plist.Append(d * 2 + 1, 1 + d % 5);
+    benchmark::DoNotOptimize(plist.byte_size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_PostingListAppend);
+
+}  // namespace
+}  // namespace qbs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Microbenchmarks: the sampling loop and the language-model metrics.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "corpus/synthetic.h"
+#include "lm/metrics.h"
+#include "sampling/sampler.h"
+
+namespace qbs {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<SearchEngine> engine;
+  LanguageModel actual;
+  LanguageModel learned;  // a 100-document learned (stemmed) model
+  std::string initial_term;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    SyntheticCorpusSpec spec;
+    spec.name = "bench-sampling";
+    spec.num_docs = 5'000;
+    spec.vocab_size = 200'000;
+    spec.seed = 8;
+    auto engine = BuildSyntheticEngine(spec);
+    QBS_CHECK(engine.ok());
+    auto* f = new Fixture();
+    f->engine = std::move(*engine);
+    f->actual = f->engine->ActualLanguageModel();
+    Rng rng(11);
+    auto initial = RandomEligibleTerm(f->actual, TermFilter{}, rng);
+    QBS_CHECK(initial.has_value());
+    f->initial_term = *initial;
+
+    SamplerOptions opts;
+    opts.stopping.max_documents = 100;
+    opts.initial_term = f->initial_term;
+    auto result = QueryBasedSampler(f->engine.get(), opts).Run();
+    QBS_CHECK(result.ok());
+    f->learned = std::move(result->learned_stemmed);
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_SampleDatabase(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const size_t docs = static_cast<size_t>(state.range(0));
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    SamplerOptions opts;
+    opts.stopping.max_documents = docs;
+    opts.initial_term = f.initial_term;
+    opts.seed = seed++;
+    auto result =
+        QueryBasedSampler(f.engine.get(), opts).Run();
+    QBS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->learned.vocabulary_size());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(docs));
+}
+BENCHMARK(BM_SampleDatabase)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_CtfRatio(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    double r = CtfRatio(f.learned, f.actual);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CtfRatio);
+
+void BM_SpearmanSimple(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    double r = SpearmanRankCorrelation(f.learned, f.actual);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SpearmanSimple);
+
+void BM_SpearmanTieCorrected(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  SpearmanOptions opts;
+  opts.tie_corrected = true;
+  for (auto _ : state) {
+    double r = SpearmanRankCorrelation(f.learned, f.actual, opts);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SpearmanTieCorrected);
+
+void BM_RDiff(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    double r = RDiff(f.learned, f.actual);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RDiff);
+
+void BM_CompareLanguageModels(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    LmComparison cmp = CompareLanguageModels(f.learned, f.actual);
+    benchmark::DoNotOptimize(cmp.ctf_ratio);
+  }
+}
+BENCHMARK(BM_CompareLanguageModels);
+
+}  // namespace
+}  // namespace qbs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+// Microbenchmarks: ranked query evaluation over a mid-sized engine.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "lm/language_model.h"
+#include "search/search_engine.h"
+
+namespace qbs {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<SearchEngine> engine;
+  std::vector<std::string> frequent_terms;   // high-df query terms
+  std::vector<std::string> rare_terms;       // low-df query terms
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    SyntheticCorpusSpec spec;
+    spec.name = "bench-search";
+    spec.num_docs = 10'000;
+    spec.vocab_size = 300'000;
+    spec.seed = 7;
+    auto engine = BuildSyntheticEngine(spec);
+    QBS_CHECK(engine.ok());
+    auto* f = new Fixture();
+    f->engine = std::move(*engine);
+    LanguageModel actual = f->engine->ActualLanguageModel();
+    auto ranked = actual.RankedTerms(TermMetric::kDf);
+    for (size_t i = 0; i < 16 && i < ranked.size(); ++i) {
+      f->frequent_terms.push_back(ranked[i].first);
+    }
+    for (size_t i = 0; i < 16 && i < ranked.size(); ++i) {
+      f->rare_terms.push_back(ranked[ranked.size() / 2 + i].first);
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void BM_OneTermQueryFrequent(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto hits = f.engine->RunQuery(f.frequent_terms[i++ % 16], 4);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_OneTermQueryFrequent);
+
+void BM_OneTermQueryRare(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto hits = f.engine->RunQuery(f.rare_terms[i++ % 16], 4);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_OneTermQueryRare);
+
+void BM_MultiTermQuery(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  std::string query = f.frequent_terms[0] + " " + f.rare_terms[0] + " " +
+                      f.frequent_terms[1] + " " + f.rare_terms[1];
+  for (auto _ : state) {
+    auto hits = f.engine->RunQuery(query, 10);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_MultiTermQuery);
+
+void BM_FetchDocument(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  auto hits = f.engine->RunQuery(f.frequent_terms[0], 4);
+  QBS_CHECK(hits.ok() && !hits->empty());
+  std::string handle = (*hits)[0].handle;
+  for (auto _ : state) {
+    auto text = f.engine->FetchDocument(handle);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_FetchDocument);
+
+void BM_ActualLanguageModelExport(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    LanguageModel lm = f.engine->ActualLanguageModel();
+    benchmark::DoNotOptimize(lm.vocabulary_size());
+  }
+}
+BENCHMARK(BM_ActualLanguageModelExport);
+
+}  // namespace
+}  // namespace qbs
+
+BENCHMARK_MAIN();

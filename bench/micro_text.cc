@@ -1,0 +1,96 @@
+// Microbenchmarks: tokenization, stemming, stopword lookup, full analysis.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace qbs {
+namespace {
+
+// A representative ~2KB document, generated once.
+const std::string& SampleDoc() {
+  static const std::string* doc = [] {
+    SyntheticCorpusSpec spec;
+    spec.name = "bench";
+    spec.num_docs = 64;  // floor of ScaledDocCount
+    spec.doc_length_mu = 5.8;  // ~330 tokens
+    spec.seed = 5;
+    auto* out = new std::string();
+    Status s = GenerateSyntheticCorpus(
+        spec, [&](const std::string&, const std::string& text) {
+          if (out->empty()) *out = text;
+        });
+    QBS_CHECK(s.ok());
+    return out;
+  }();
+  return *doc;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  Tokenizer tokenizer;
+  std::vector<std::string> out;
+  for (auto _ : state) {
+    out.clear();
+    tokenizer.Tokenize(SampleDoc(), out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * SampleDoc().size());
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_PorterStem(benchmark::State& state) {
+  const std::vector<std::string> words = Tokenizer().Tokenize(SampleDoc());
+  size_t i = 0;
+  for (auto _ : state) {
+    std::string w = words[i++ % words.size()];
+    PorterStemmer::StemInPlace(w);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_PorterStem);
+
+void BM_StopwordLookup(benchmark::State& state) {
+  const StopwordList& list = StopwordList::Default();
+  const std::vector<std::string> words = Tokenizer().Tokenize(SampleDoc());
+  size_t i = 0;
+  for (auto _ : state) {
+    bool hit = list.Contains(words[i++ % words.size()]);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_StopwordLookup);
+
+void BM_AnalyzeInqueryLike(benchmark::State& state) {
+  Analyzer analyzer = Analyzer::InqueryLike();
+  std::vector<std::string> out;
+  for (auto _ : state) {
+    out.clear();
+    analyzer.Analyze(SampleDoc(), out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * SampleDoc().size());
+}
+BENCHMARK(BM_AnalyzeInqueryLike);
+
+void BM_AnalyzeRaw(benchmark::State& state) {
+  Analyzer analyzer = Analyzer::Raw();
+  std::vector<std::string> out;
+  for (auto _ : state) {
+    out.clear();
+    analyzer.Analyze(SampleDoc(), out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(state.iterations() * SampleDoc().size());
+}
+BENCHMARK(BM_AnalyzeRaw);
+
+}  // namespace
+}  // namespace qbs
+
+BENCHMARK_MAIN();

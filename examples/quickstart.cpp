@@ -1,0 +1,83 @@
+// Quickstart: learn a language model for a text database you cannot see
+// inside, using only queries and document retrieval.
+//
+//   1. Stand up a searchable database (here: a small synthetic corpus).
+//   2. Point the QueryBasedSampler at its TextDatabase interface.
+//   3. Sample a few hundred documents.
+//   4. Inspect the learned model and (since we own the database in this
+//      demo) score it against the actual index statistics.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "corpus/synthetic.h"
+#include "lm/metrics.h"
+#include "sampling/sampler.h"
+
+int main() {
+  // --- 1. A database (pretend it's remote: only RunQuery/FetchDocument). ---
+  qbs::SyntheticCorpusSpec spec;
+  spec.name = "demo-db";
+  spec.num_docs = 2'000;
+  spec.vocab_size = 100'000;
+  spec.num_topics = 8;
+  spec.seed = 7;
+  auto engine = qbs::BuildSyntheticEngine(spec);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "corpus build failed: %s\n",
+                 engine.status().ToString().c_str());
+    return 1;
+  }
+  qbs::TextDatabase* db = engine->get();
+  std::printf("Database '%s' is up with %u documents.\n\n",
+              db->name().c_str(), (*engine)->num_docs());
+
+  // --- 2-3. Sample it. ---
+  qbs::SamplerOptions options;
+  options.docs_per_query = 4;                  // the paper's baseline N
+  options.stopping.max_documents = 300;        // the paper's budget
+  options.initial_term = "information";        // any plausible word works
+  // The synthetic vocabulary is pseudo-words; fall back to a term we know
+  // retrieves something if the seed word misses.
+  {
+    auto probe = db->RunQuery(options.initial_term, 1);
+    if (probe.ok() && probe->empty()) {
+      qbs::LanguageModel actual = (*engine)->ActualLanguageModel();
+      qbs::Rng rng(1);
+      auto term = qbs::RandomEligibleTerm(actual, qbs::TermFilter{}, rng);
+      if (term.has_value()) options.initial_term = *term;
+    }
+  }
+
+  qbs::QueryBasedSampler sampler(db, options);
+  auto result = sampler.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "sampling failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Sampled %zu documents with %zu single-term queries "
+              "(%zu returned nothing, %zu duplicate hits).\n",
+              result->documents_examined, result->queries_run,
+              result->failed_queries, result->duplicate_hits);
+  std::printf("Learned vocabulary: %zu terms, %llu occurrences.\n\n",
+              result->learned.vocabulary_size(),
+              static_cast<unsigned long long>(
+                  result->learned.total_term_count()));
+
+  // --- 4. Score against ground truth (possible only in a demo). ---
+  qbs::LanguageModel actual = (*engine)->ActualLanguageModel();
+  qbs::LmComparison cmp =
+      qbs::CompareLanguageModels(result->learned_stemmed, actual);
+  std::printf("Against the database's true index statistics:\n");
+  std::printf("  vocabulary learned : %.1f%% of terms\n",
+              cmp.pct_vocab_learned * 100.0);
+  std::printf("  ctf ratio          : %.1f%% of term occurrences\n",
+              cmp.ctf_ratio * 100.0);
+  std::printf("  Spearman (df rank) : %.3f over %zu common terms\n",
+              cmp.spearman_df, cmp.common_terms);
+  std::printf(
+      "\nThe headline: a few hundred sampled documents cover most of the "
+      "database's term mass,\nwithout any cooperation from the database.\n");
+  return 0;
+}

@@ -1,0 +1,15 @@
+#include "corpus/corpus_stats.h"
+
+namespace qbs {
+
+CorpusStats ComputeCorpusStats(const SearchEngine& engine) {
+  CorpusStats stats;
+  stats.name = engine.name();
+  stats.bytes = engine.store().text_bytes();
+  stats.num_docs = engine.index().num_docs();
+  stats.unique_terms = engine.index().unique_terms();
+  stats.total_terms = engine.index().total_terms();
+  return stats;
+}
+
+}  // namespace qbs

@@ -1,0 +1,34 @@
+// Corpus-level statistics, matching the columns of the paper's Table 1.
+#ifndef QBS_CORPUS_CORPUS_STATS_H_
+#define QBS_CORPUS_CORPUS_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "search/search_engine.h"
+
+namespace qbs {
+
+/// Table 1 row: size in bytes / documents / unique terms / total terms.
+struct CorpusStats {
+  std::string name;
+  uint64_t bytes = 0;
+  uint64_t num_docs = 0;
+  uint64_t unique_terms = 0;
+  uint64_t total_terms = 0;
+
+  /// Mean indexed document length.
+  double avg_doc_length() const {
+    return num_docs == 0 ? 0.0
+                         : static_cast<double>(total_terms) / num_docs;
+  }
+};
+
+/// Computes the stats of an engine's corpus. Term counts are post-analysis
+/// index terms, matching how the paper's Table 1 counts its (stemmed,
+/// stopped) INQUERY indexes.
+CorpusStats ComputeCorpusStats(const SearchEngine& engine);
+
+}  // namespace qbs
+
+#endif  // QBS_CORPUS_CORPUS_STATS_H_

@@ -1,0 +1,367 @@
+#include "corpus/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/random.h"
+
+namespace qbs {
+
+namespace {
+
+// Syllable alphabet for pseudo-words. 'x' and 'q' are excluded so injected
+// real-English theme terms are unlikely to collide with generated words.
+constexpr const char* kConsonants = "bcdfghjklmnprstvwyz";  // 19
+constexpr const char* kVowels = "aeiou";                    // 5
+constexpr uint64_t kNumSyllables = 19 * 5;                  // 95
+
+// Common English function words with roughly Zipfian weights, interleaved
+// into generated text. All of these are on the default stopword list, so
+// databases strip them at indexing time while learned (raw) models keep
+// them — reproducing the paper's setup.
+constexpr const char* kFunctionWords[] = {
+    "the", "of",   "and",  "to",   "in",   "a",     "is",    "that",
+    "for", "it",   "as",   "was",  "with", "be",    "by",    "on",
+    "not", "he",   "this", "are",  "or",   "his",   "from",  "at",
+    "which", "but", "have", "an",  "had",  "they",  "you",   "were",
+    "their", "one", "all",  "we",  "can",  "has",   "there", "been",
+    "if",  "more", "when", "will", "would", "who",  "so",    "no",
+};
+constexpr size_t kNumFunctionWords =
+    sizeof(kFunctionWords) / sizeof(kFunctionWords[0]);
+
+uint64_t HashCombine(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  return SplitMix64(x);
+}
+
+}  // namespace
+
+uint32_t ScaledDocCount(uint32_t num_docs) {
+  static const double scale = [] {
+    const char* env = std::getenv("QBS_SCALE");
+    if (env == nullptr) return 1.0;
+    double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  double scaled = num_docs * scale;
+  return static_cast<uint32_t>(std::max(scaled, 64.0));
+}
+
+std::string SyntheticWordForId(uint64_t id) {
+  // Bijective base-95 numeration starting at the first 2-syllable word, so
+  // every generated word is unique and at least 4 characters (query terms
+  // must be >= 3 characters, paper §4.4).
+  uint64_t n = id + kNumSyllables + 1;
+  std::string out;
+  while (n > 0) {
+    uint64_t d = (n - 1) % kNumSyllables;
+    out.push_back(kConsonants[d / 5]);
+    out.push_back(kVowels[d % 5]);
+    n = (n - 1) / kNumSyllables;
+  }
+  return out;
+}
+
+SyntheticCorpusSpec CacmLikeSpec() {
+  SyntheticCorpusSpec spec;
+  spec.name = "cacm-like";
+  spec.num_docs = ScaledDocCount(3'204);
+  spec.vocab_size = 40'000;
+  spec.zipf_s = 1.35;
+  spec.num_topics = 6;           // homogeneous: few, strongly shared topics
+  spec.topic_vocab_size = 600;
+  spec.topic_zipf_s = 1.50;
+  spec.topic_band_fraction = 0.05;   // topics share most focus vocabulary
+  spec.topic_mix = 0.45;
+  spec.topics_per_doc_max = 2;
+  spec.doc_length_mu = 3.9;      // exp(3.9) ~ 50 tokens: titles + abstracts
+  spec.doc_length_sigma = 0.45;
+  spec.seed = 1001;
+  return spec;
+}
+
+SyntheticCorpusSpec Wsj88LikeSpec() {
+  SyntheticCorpusSpec spec;
+  spec.name = "wsj88-like";
+  spec.num_docs = ScaledDocCount(39'904);
+  spec.vocab_size = 500'000;
+  spec.zipf_s = 1.25;
+  spec.num_topics = 48;          // one newspaper's beats: moderately diverse
+  spec.topic_vocab_size = 1'500;
+  spec.topic_zipf_s = 1.50;
+  spec.topic_band_fraction = 0.08;
+  spec.topic_mix = 0.35;
+  spec.topics_per_doc_max = 2;
+  spec.doc_length_mu = 5.0;      // exp(5.0) ~ 148 tokens: news articles
+  spec.doc_length_sigma = 0.55;
+  spec.seed = 1002;
+  return spec;
+}
+
+SyntheticCorpusSpec Trec123LikeSpec() {
+  SyntheticCorpusSpec spec;
+  spec.name = "trec123-like";
+  // The real TREC-123 has 1,078,166 documents; we scale to 240k to keep
+  // every bench binary runnable in minutes while preserving the ordering
+  // CACM << WSJ88 << TREC-123 (75x the CACM-like corpus).
+  spec.num_docs = ScaledDocCount(240'000);
+  spec.vocab_size = 1'500'000;
+  spec.zipf_s = 1.45;
+  spec.zipf_q = 10.0;            // Mandelbrot shift: flatter very-top
+  spec.num_topics = 400;         // news + magazines + abstracts + government
+  spec.topic_vocab_size = 2'000;
+  spec.topic_zipf_s = 1.80;
+  spec.topic_band_fraction = 0.03;
+  spec.topic_mix = 0.35;
+  spec.burstiness = 0.45;        // long heterogeneous docs repeat heavily
+  spec.topics_per_doc_max = 3;
+  spec.doc_length_mu = 4.95;     // exp(4.95) ~ 141 tokens
+  spec.doc_length_sigma = 0.70;  // widest length spread of the three
+  spec.seed = 1003;
+  return spec;
+}
+
+SyntheticCorpusSpec SupportKbLikeSpec() {
+  SyntheticCorpusSpec spec;
+  spec.name = "supportkb-like";
+  spec.num_docs = ScaledDocCount(12'000);
+  spec.vocab_size = 300'000;
+  spec.zipf_s = 1.18;
+  spec.num_topics = 12;  // product areas
+  spec.topic_vocab_size = 1'500;
+  spec.topic_band_fraction = 0.10;
+  spec.topic_mix = 0.45;
+  spec.topics_per_doc_max = 1;  // a support article covers one product
+  spec.doc_length_mu = 4.7;
+  spec.doc_length_sigma = 0.5;
+  spec.seed = 1004;
+  spec.theme_terms = {
+      "microsoft", "windows", "excel",    "word",     "access",  "foxpro",
+      "office",    "visual",  "basic",    "server",   "internet", "mail",
+      "printer",   "setup",   "error",    "file",     "database", "macro",
+      "network",   "driver",  "install",  "registry", "toolbar",  "dialog",
+      "spreadsheet", "workbook", "query",  "report",   "font",     "cell",
+      "formula",   "menu",    "folder",   "message",  "version",  "update",
+  };
+  spec.theme_prob = 0.25;  // featured product repeats within its article
+  return spec;
+}
+
+namespace {
+
+// Precomputed per-topic state.
+struct Topic {
+  std::vector<uint64_t> focus;        // slot -> global term id
+  std::vector<uint32_t> theme_slots;  // indices into spec.theme_terms
+};
+
+constexpr uint32_t kNoTheme = 0xFFFFFFFFu;
+
+// One topic participating in a document, with its featured theme term.
+struct DocTopic {
+  uint32_t topic = 0;
+  uint32_t featured_theme = kNoTheme;
+};
+
+class Generator {
+ public:
+  explicit Generator(const SyntheticCorpusSpec& spec)
+      : spec_(spec),
+        rng_(spec.seed),
+        background_(spec.vocab_size, spec.zipf_s, spec.zipf_q),
+        topic_zipf_(spec.topic_vocab_size, spec.topic_zipf_s),
+        function_words_(FunctionWordWeights()) {
+    BuildTopics();
+  }
+
+  void Run(const std::function<void(const std::string&, const std::string&)>&
+               sink) {
+    std::string text;
+    for (uint32_t d = 0; d < spec_.num_docs; ++d) {
+      text.clear();
+      GenerateDocument(d, text);
+      sink(spec_.name + "-" + std::to_string(d), text);
+    }
+  }
+
+ private:
+  static std::vector<double> FunctionWordWeights() {
+    std::vector<double> w(kNumFunctionWords);
+    for (size_t i = 0; i < kNumFunctionWords; ++i) w[i] = 1.0 / (i + 2.0);
+    return w;
+  }
+
+  void BuildTopics() {
+    topics_.resize(spec_.num_topics);
+    // Topic focus terms come from the mid-frequency band of the global
+    // vocabulary: frequent enough to matter, rare enough to be topical.
+    uint64_t band_lo = std::max<uint64_t>(spec_.vocab_size / 400, 64);
+    uint64_t band_width = std::max<uint64_t>(
+        static_cast<uint64_t>(spec_.vocab_size * spec_.topic_band_fraction),
+        spec_.topic_vocab_size * 2);
+    for (uint32_t t = 0; t < spec_.num_topics; ++t) {
+      Topic& topic = topics_[t];
+      topic.focus.resize(spec_.topic_vocab_size);
+      for (uint32_t i = 0; i < spec_.topic_vocab_size; ++i) {
+        uint64_t h = HashCombine(HashCombine(spec_.seed, t + 1), i + 1);
+        topic.focus[i] = band_lo + (h % band_width);
+      }
+    }
+    for (uint32_t j = 0; j < spec_.theme_terms.size(); ++j) {
+      topics_[j % spec_.num_topics].theme_slots.push_back(j);
+    }
+  }
+
+  void GenerateDocument(uint32_t doc_index, std::string& text) {
+    (void)doc_index;
+    uint32_t length = static_cast<uint32_t>(
+        rng_.LogNormal(spec_.doc_length_mu, spec_.doc_length_sigma));
+    length = std::max(length, spec_.min_doc_length);
+
+    // Pick this document's topic mixture. Theme usage is bursty: a
+    // document features ONE theme term per topic and repeats it (a support
+    // article about Excel mentions "excel" many times), which is what
+    // gives theme terms their high avg_tf signature (paper Table 4).
+    uint32_t k = 1 + static_cast<uint32_t>(
+                         rng_.UniformBelow(spec_.topics_per_doc_max));
+    std::vector<DocTopic> doc_topics(k);
+    for (uint32_t i = 0; i < k; ++i) {
+      doc_topics[i].topic =
+          static_cast<uint32_t>(rng_.UniformBelow(spec_.num_topics));
+      const Topic& topic = topics_[doc_topics[i].topic];
+      doc_topics[i].featured_theme =
+          topic.theme_slots.empty()
+              ? kNoTheme
+              : topic.theme_slots[rng_.UniformBelow(
+                    topic.theme_slots.size())];
+    }
+
+    uint32_t sentence_len = 0;
+    uint32_t next_break = NextSentenceLength();
+    bool capitalize = true;
+    doc_content_words_.clear();
+    for (uint32_t i = 0; i < length; ++i) {
+      std::string word = NextWord(doc_topics);
+      if (capitalize && !word.empty()) {
+        word[0] = static_cast<char>(word[0] - 'a' + 'A');
+        capitalize = false;
+      }
+      if (!text.empty()) text.push_back(' ');
+      text.append(word);
+      if (++sentence_len >= next_break) {
+        text.push_back('.');
+        sentence_len = 0;
+        next_break = NextSentenceLength();
+        capitalize = true;
+      } else if (rng_.Bernoulli(0.04)) {
+        text.push_back(',');
+      }
+    }
+    if (!text.empty() && text.back() != '.') text.push_back('.');
+  }
+
+  uint32_t NextSentenceLength() {
+    return 8 + static_cast<uint32_t>(rng_.UniformBelow(11));  // 8..18 words
+  }
+
+  std::string NextWord(const std::vector<DocTopic>& doc_topics) {
+    if (rng_.Bernoulli(spec_.function_word_prob)) {
+      return kFunctionWords[function_words_.Sample(rng_)];
+    }
+    // Burstiness: repeat one of the document's *recent* content words.
+    // The window keeps repetition spread over several words instead of
+    // letting one word dominate a document (which would make tf-ranked
+    // retrieval prefer degenerate, vocabulary-poor documents).
+    if (!doc_content_words_.empty() && rng_.Bernoulli(spec_.burstiness)) {
+      constexpr size_t kBurstWindow = 16;
+      size_t window = std::min(doc_content_words_.size(), kBurstWindow);
+      size_t start = doc_content_words_.size() - window;
+      return doc_content_words_[start + rng_.UniformBelow(window)];
+    }
+    std::string word;
+    if (rng_.Bernoulli(spec_.topic_mix)) {
+      const DocTopic& dt =
+          doc_topics[rng_.UniformBelow(doc_topics.size())];
+      if (dt.featured_theme != kNoTheme && rng_.Bernoulli(spec_.theme_prob)) {
+        word = spec_.theme_terms[dt.featured_theme];
+      } else {
+        uint64_t slot = topic_zipf_.Sample(rng_) - 1;  // ranks are 1-based
+        word = SyntheticWordForId(topics_[dt.topic].focus[slot]);
+      }
+    } else {
+      word = SyntheticWordForId(background_.Sample(rng_) - 1);
+    }
+    doc_content_words_.push_back(word);
+    return word;
+  }
+
+  const SyntheticCorpusSpec& spec_;
+  Rng rng_;
+  ZipfSampler background_;
+  ZipfSampler topic_zipf_;
+  AliasSampler function_words_;
+  std::vector<Topic> topics_;
+  std::vector<std::string> doc_content_words_;  // per-doc burstiness pool
+};
+
+Status ValidateSpec(const SyntheticCorpusSpec& spec) {
+  if (spec.num_docs == 0) {
+    return Status::InvalidArgument("num_docs must be positive");
+  }
+  if (spec.vocab_size == 0) {
+    return Status::InvalidArgument("vocab_size must be positive");
+  }
+  if (spec.num_topics == 0) {
+    return Status::InvalidArgument("num_topics must be positive");
+  }
+  if (spec.topic_vocab_size == 0) {
+    return Status::InvalidArgument("topic_vocab_size must be positive");
+  }
+  if (spec.topics_per_doc_max == 0) {
+    return Status::InvalidArgument("topics_per_doc_max must be positive");
+  }
+  if (spec.zipf_s <= 0.0 || spec.topic_zipf_s <= 0.0) {
+    return Status::InvalidArgument("zipf exponents must be positive");
+  }
+  if (spec.topic_band_fraction <= 0.0 || spec.topic_band_fraction > 1.0) {
+    return Status::InvalidArgument("topic_band_fraction must be in (0, 1]");
+  }
+  if (spec.topic_mix < 0.0 || spec.topic_mix > 1.0 ||
+      spec.function_word_prob < 0.0 || spec.function_word_prob > 1.0 ||
+      spec.theme_prob < 0.0 || spec.theme_prob > 1.0 ||
+      spec.burstiness < 0.0 || spec.burstiness >= 1.0) {
+    return Status::InvalidArgument("probabilities must be within [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GenerateSyntheticCorpus(
+    const SyntheticCorpusSpec& spec,
+    const std::function<void(const std::string&, const std::string&)>& sink) {
+  QBS_RETURN_IF_ERROR(ValidateSpec(spec));
+  Generator gen(spec);
+  gen.Run(sink);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SearchEngine>> BuildSyntheticEngine(
+    const SyntheticCorpusSpec& spec, SearchEngineOptions engine_options) {
+  auto engine =
+      std::make_unique<SearchEngine>(spec.name, std::move(engine_options));
+  Status add_status = Status::OK();
+  Status gen_status = GenerateSyntheticCorpus(
+      spec, [&](const std::string& name, const std::string& text) {
+        if (!add_status.ok()) return;
+        add_status = engine->AddDocument(name, text);
+      });
+  QBS_RETURN_IF_ERROR(gen_status);
+  QBS_RETURN_IF_ERROR(add_status);
+  engine->FinishLoading();
+  return engine;
+}
+
+}  // namespace qbs

@@ -1,0 +1,113 @@
+#include "corpus/trec_parser.h"
+
+#include <fstream>
+#include <istream>
+
+#include "util/string_util.h"
+
+namespace qbs {
+
+namespace {
+
+// True if `line` starts with `tag` (after optional leading whitespace);
+// tags in TREC data are uppercase and start a line.
+bool LineStartsWith(std::string_view line, std::string_view tag) {
+  std::string_view t = TrimWhitespace(line);
+  return t.substr(0, tag.size()) == tag;
+}
+
+// Extracts content between ">" of an opening tag and "<" of the closing tag
+// on the same line, e.g. "<DOCNO> X </DOCNO>" -> "X".
+std::string InlineTagContent(std::string_view line) {
+  size_t open = line.find('>');
+  size_t close = line.rfind('<');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close <= open) {
+    return "";
+  }
+  return std::string(TrimWhitespace(line.substr(open + 1, close - open - 1)));
+}
+
+}  // namespace
+
+Result<TrecParseStats> ParseTrecStream(
+    std::istream& in,
+    const std::function<void(const std::string&, const std::string&)>& sink) {
+  TrecParseStats stats;
+  std::string line;
+  bool in_doc = false;
+  bool in_text = false;
+  std::string docno;
+  std::string text;
+  uint64_t line_no = 0;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    stats.bytes += line.size() + 1;
+    if (!in_doc) {
+      if (LineStartsWith(line, "<DOC>")) {
+        in_doc = true;
+        docno.clear();
+        text.clear();
+      }
+      continue;
+    }
+    if (in_text) {
+      if (LineStartsWith(line, "</TEXT>") || LineStartsWith(line, "</TITLE>") ||
+          LineStartsWith(line, "</HEADLINE>")) {
+        in_text = false;
+      } else {
+        text.append(line);
+        text.push_back('\n');
+      }
+      continue;
+    }
+    if (LineStartsWith(line, "</DOC>")) {
+      if (docno.empty()) {
+        return Status::Corruption("document without <DOCNO> ending at line " +
+                                  std::to_string(line_no));
+      }
+      sink(docno, text);
+      ++stats.docs;
+      in_doc = false;
+      continue;
+    }
+    if (LineStartsWith(line, "<DOCNO>")) {
+      docno = InlineTagContent(line);
+      continue;
+    }
+    if (LineStartsWith(line, "<TEXT>") || LineStartsWith(line, "<TITLE>") ||
+        LineStartsWith(line, "<HEADLINE>")) {
+      // Content may begin on the tag line itself: "<TEXT> first words".
+      std::string_view rest = TrimWhitespace(line);
+      size_t gt = rest.find('>');
+      if (gt != std::string_view::npos && gt + 1 < rest.size()) {
+        std::string_view inline_part = TrimWhitespace(rest.substr(gt + 1));
+        if (!inline_part.empty()) {
+          text.append(inline_part);
+          text.push_back('\n');
+        }
+      }
+      in_text = true;
+      continue;
+    }
+    // Other tags (<FILEID>, <HL>, <DATELINE>, ...) are skipped.
+  }
+
+  if (in_doc) {
+    return Status::Corruption("unterminated <DOC> at end of input");
+  }
+  return stats;
+}
+
+Result<TrecParseStats> ParseTrecFile(
+    const std::string& path,
+    const std::function<void(const std::string&, const std::string&)>& sink) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open TREC file: " + path);
+  }
+  return ParseTrecStream(in, sink);
+}
+
+}  // namespace qbs

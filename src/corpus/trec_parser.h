@@ -1,0 +1,45 @@
+// Parser for the TREC SGML document interchange format, so the experiments
+// can run on the paper's real corpora when the (licensed) TREC CDs are
+// available locally.
+//
+// Recognized structure:
+//   <DOC>
+//     <DOCNO> WSJ880102-0001 </DOCNO>
+//     ... other tags ignored ...
+//     <TEXT> body text, possibly spanning lines </TEXT>   (repeatable)
+//   </DOC>
+#ifndef QBS_CORPUS_TREC_PARSER_H_
+#define QBS_CORPUS_TREC_PARSER_H_
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "util/status.h"
+
+namespace qbs {
+
+/// Statistics returned by the parser.
+struct TrecParseStats {
+  uint64_t docs = 0;
+  uint64_t bytes = 0;
+};
+
+/// Parses a TREC-format stream, invoking `sink(docno, text)` per document.
+/// `text` is the concatenation of all <TEXT> sections (plus <TITLE> and
+/// <HEADLINE> if present). Returns Corruption on structurally invalid
+/// input (e.g. <DOC> without </DOC> at EOF, or a document missing DOCNO).
+Result<TrecParseStats> ParseTrecStream(
+    std::istream& in,
+    const std::function<void(const std::string& docno,
+                             const std::string& text)>& sink);
+
+/// Opens and parses a TREC-format file.
+Result<TrecParseStats> ParseTrecFile(
+    const std::string& path,
+    const std::function<void(const std::string& docno,
+                             const std::string& text)>& sink);
+
+}  // namespace qbs
+
+#endif  // QBS_CORPUS_TREC_PARSER_H_

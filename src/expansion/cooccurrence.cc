@@ -1,0 +1,158 @@
+#include "expansion/cooccurrence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace qbs {
+
+CooccurrenceModel::CooccurrenceModel(Analyzer analyzer)
+    : analyzer_(std::move(analyzer)) {}
+
+CooccurrenceModel::TermId CooccurrenceModel::Intern(const std::string& term) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(term_text_.size());
+  ids_.emplace(term, id);
+  term_text_.push_back(term);
+  term_df_.push_back(0);
+  term_docs_.emplace_back();
+  return id;
+}
+
+void CooccurrenceModel::AddDocument(std::string_view text) {
+  std::vector<std::string> terms = analyzer_.Analyze(text);
+  std::unordered_set<std::string> unique(terms.begin(), terms.end());
+  uint32_t doc = static_cast<uint32_t>(doc_terms_.size());
+  std::vector<TermId> ids;
+  ids.reserve(unique.size());
+  for (const std::string& t : unique) {
+    TermId id = Intern(t);
+    ids.push_back(id);
+    ++term_df_[id];
+    term_docs_[id].push_back(doc);
+  }
+  std::sort(ids.begin(), ids.end());
+  doc_terms_.push_back(std::move(ids));
+}
+
+uint64_t CooccurrenceModel::df(std::string_view term) const {
+  auto it = ids_.find(std::string(term));
+  return it == ids_.end() ? 0 : term_df_[it->second];
+}
+
+uint64_t CooccurrenceModel::CoDf(std::string_view a, std::string_view b) const {
+  auto ia = ids_.find(std::string(a));
+  auto ib = ids_.find(std::string(b));
+  if (ia == ids_.end() || ib == ids_.end()) return 0;
+  // Walk the shorter doc list, binary-searching the current doc's sorted
+  // term list would also work; intersect the two sorted doc lists instead.
+  const std::vector<uint32_t>& da = term_docs_[ia->second];
+  const std::vector<uint32_t>& db = term_docs_[ib->second];
+  uint64_t count = 0;
+  size_t i = 0, j = 0;
+  while (i < da.size() && j < db.size()) {
+    if (da[i] < db[j]) {
+      ++i;
+    } else if (da[i] > db[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+double CooccurrenceModel::Emim(std::string_view a, std::string_view b) const {
+  if (doc_terms_.empty()) return 0.0;
+  uint64_t co = CoDf(a, b);
+  if (co == 0) return 0.0;
+  double n = static_cast<double>(doc_terms_.size());
+  double p_ab = co / n;
+  double p_a = df(a) / n;
+  double p_b = df(b) / n;
+  return p_ab * std::log(p_ab / (p_a * p_b));
+}
+
+std::vector<std::pair<std::string, double>> CooccurrenceModel::TopAssociates(
+    std::string_view term, size_t k, uint64_t min_df) const {
+  std::vector<std::pair<std::string, double>> out;
+  auto it = ids_.find(std::string(term));
+  if (it == ids_.end() || doc_terms_.empty()) return out;
+  TermId tid = it->second;
+  double n = static_cast<double>(doc_terms_.size());
+  double p_a = term_df_[tid] / n;
+
+  // Count partners by walking the documents containing `term`.
+  std::unordered_map<TermId, uint64_t> partner_counts;
+  for (uint32_t doc : term_docs_[tid]) {
+    for (TermId other : doc_terms_[doc]) {
+      if (other != tid) ++partner_counts[other];
+    }
+  }
+  out.reserve(partner_counts.size());
+  for (const auto& [other, co] : partner_counts) {
+    if (term_df_[other] < min_df) continue;
+    double p_ab = co / n;
+    double p_b = term_df_[other] / n;
+    double emim = p_ab * std::log(p_ab / (p_a * p_b));
+    if (emim > 0.0) out.emplace_back(term_text_[other], emim);
+  }
+  auto cmp = [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second > y.second;
+    return x.first < y.first;
+  };
+  if (k < out.size()) {
+    std::partial_sort(out.begin(), out.begin() + k, out.end(), cmp);
+    out.resize(k);
+  } else {
+    std::sort(out.begin(), out.end(), cmp);
+  }
+  return out;
+}
+
+QueryExpander::QueryExpander(const CooccurrenceModel* model) : model_(model) {
+  QBS_CHECK(model_ != nullptr);
+}
+
+std::vector<std::pair<std::string, double>> QueryExpander::ExpansionTerms(
+    const std::vector<std::string>& query_terms,
+    size_t num_expansion_terms) const {
+  std::unordered_map<std::string, double> scores;
+  for (const std::string& qt : query_terms) {
+    // Pool generously per query term, then keep the global best.
+    for (auto& [term, emim] :
+         model_->TopAssociates(qt, num_expansion_terms * 4)) {
+      scores[term] += emim;
+    }
+  }
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(scores.size());
+  std::unordered_set<std::string> query_set(query_terms.begin(),
+                                            query_terms.end());
+  for (auto& [term, score] : scores) {
+    if (!query_set.contains(term)) out.emplace_back(term, score);
+  }
+  auto cmp = [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second > y.second;
+    return x.first < y.first;
+  };
+  std::sort(out.begin(), out.end(), cmp);
+  if (out.size() > num_expansion_terms) out.resize(num_expansion_terms);
+  return out;
+}
+
+std::vector<std::string> QueryExpander::Expand(
+    std::string_view query, size_t num_expansion_terms) const {
+  std::vector<std::string> terms = model_->analyzer().Analyze(query);
+  std::vector<std::pair<std::string, double>> extra =
+      ExpansionTerms(terms, num_expansion_terms);
+  for (auto& [term, score] : extra) terms.push_back(term);
+  return terms;
+}
+
+}  // namespace qbs

@@ -1,0 +1,93 @@
+// Term co-occurrence statistics over sampled documents, supporting
+// co-occurrence-based query expansion (paper §8).
+//
+// The union of per-database samples "favors no specific database, but
+// reflects patterns that are common to them all. It is the appropriate
+// database to use for query expansion during database selection."
+#ifndef QBS_EXPANSION_COOCCURRENCE_H_
+#define QBS_EXPANSION_COOCCURRENCE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/analyzer.h"
+
+namespace qbs {
+
+/// Document-level co-occurrence model: terms co-occur when they appear in
+/// the same document. Built from the union of sampled documents.
+class CooccurrenceModel {
+ public:
+  /// `analyzer` controls the term space (default: lowercase + stem +
+  /// stopword removal, so expansion terms are content words).
+  CooccurrenceModel() : CooccurrenceModel(Analyzer::InqueryLike()) {}
+  explicit CooccurrenceModel(Analyzer analyzer);
+
+  /// Adds one raw document.
+  void AddDocument(std::string_view text);
+
+  /// Number of documents added.
+  size_t num_docs() const { return doc_terms_.size(); }
+
+  /// Document frequency of a term within the sample.
+  uint64_t df(std::string_view term) const;
+
+  /// Number of documents containing both terms.
+  uint64_t CoDf(std::string_view a, std::string_view b) const;
+
+  /// Expected mutual information measure (EMIM) association between the
+  /// two terms, using document-level events:
+  ///   emim = p(a,b) * log( p(a,b) / (p(a) * p(b)) )
+  /// Returns 0 when either term is absent or they never co-occur.
+  double Emim(std::string_view a, std::string_view b) const;
+
+  /// The `k` terms most associated (by EMIM) with `term`, excluding `term`
+  /// itself and terms occurring in fewer than `min_df` documents.
+  std::vector<std::pair<std::string, double>> TopAssociates(
+      std::string_view term, size_t k, uint64_t min_df = 2) const;
+
+  const Analyzer& analyzer() const { return analyzer_; }
+
+ private:
+  using TermId = uint32_t;
+
+  TermId Intern(const std::string& term);
+
+  Analyzer analyzer_;
+  std::unordered_map<std::string, TermId> ids_;
+  std::vector<std::string> term_text_;
+  std::vector<uint64_t> term_df_;
+  // doc -> sorted unique term ids.
+  std::vector<std::vector<TermId>> doc_terms_;
+  // term -> docs containing it.
+  std::vector<std::vector<uint32_t>> term_docs_;
+};
+
+/// Expands a query with co-occurrence associates of its terms.
+class QueryExpander {
+ public:
+  /// `model` must outlive the expander.
+  explicit QueryExpander(const CooccurrenceModel* model);
+
+  /// Returns up to `num_expansion_terms` terms associated with the query
+  /// as a whole (summed EMIM across query terms), excluding the original
+  /// query terms.
+  std::vector<std::pair<std::string, double>> ExpansionTerms(
+      const std::vector<std::string>& query_terms,
+      size_t num_expansion_terms) const;
+
+  /// Convenience: analyzes `query`, appends the top expansion terms, and
+  /// returns the expanded term vector (original terms first).
+  std::vector<std::string> Expand(std::string_view query,
+                                  size_t num_expansion_terms) const;
+
+ private:
+  const CooccurrenceModel* model_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_EXPANSION_COOCCURRENCE_H_

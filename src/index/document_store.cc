@@ -1,0 +1,28 @@
+#include "index/document_store.h"
+
+namespace qbs {
+
+DocId DocumentStore::Add(std::string_view name, std::string_view text) {
+  DocId id = static_cast<DocId>(offsets_.size());
+  offsets_.push_back(
+      {text_arena_.size(), static_cast<uint32_t>(text.size())});
+  text_arena_.append(text);
+  name_offsets_.push_back(
+      {name_arena_.size(), static_cast<uint32_t>(name.size())});
+  name_arena_.append(name);
+  return id;
+}
+
+std::string_view DocumentStore::Name(DocId doc) const {
+  QBS_CHECK_LT(doc, name_offsets_.size());
+  const Span& s = name_offsets_[doc];
+  return std::string_view(name_arena_).substr(s.offset, s.length);
+}
+
+std::string_view DocumentStore::Text(DocId doc) const {
+  QBS_CHECK_LT(doc, offsets_.size());
+  const Span& s = offsets_[doc];
+  return std::string_view(text_arena_).substr(s.offset, s.length);
+}
+
+}  // namespace qbs

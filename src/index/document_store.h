@@ -1,0 +1,59 @@
+// Arena-backed storage of raw document text, so sampled documents can be
+// fetched verbatim (the sampler builds language models from *full text*,
+// not from the index).
+#ifndef QBS_INDEX_DOCUMENT_STORE_H_
+#define QBS_INDEX_DOCUMENT_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/types.h"
+#include "util/logging.h"
+
+namespace qbs {
+
+/// Append-only store mapping DocId -> (external name, raw text).
+///
+/// Text is packed into a single arena to avoid per-document allocation
+/// overhead on large corpora.
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+  DocumentStore(DocumentStore&&) = default;
+  DocumentStore& operator=(DocumentStore&&) = default;
+
+  /// Appends a document; ids are dense from 0 in insertion order.
+  DocId Add(std::string_view name, std::string_view text);
+
+  /// Number of stored documents.
+  uint32_t size() const { return static_cast<uint32_t>(offsets_.size()); }
+
+  /// The external name (e.g. DOCNO) of a document.
+  std::string_view Name(DocId doc) const;
+
+  /// The raw text of a document.
+  std::string_view Text(DocId doc) const;
+
+  /// Total bytes of stored text (the corpus "size in bytes").
+  uint64_t text_bytes() const { return text_arena_.size(); }
+
+ private:
+  struct Span {
+    uint64_t offset;
+    uint32_t length;
+  };
+
+  std::string text_arena_;
+  std::string name_arena_;
+  std::vector<Span> offsets_;
+  std::vector<Span> name_offsets_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_INDEX_DOCUMENT_STORE_H_

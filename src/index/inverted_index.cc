@@ -1,0 +1,73 @@
+#include "index/inverted_index.h"
+
+#include <algorithm>
+
+namespace qbs {
+
+DocId InvertedIndex::AddDocument(const std::vector<std::string>& terms) {
+  DocId doc = static_cast<DocId>(doc_lengths_.size());
+  for (const std::string& t : terms) {
+    TermId id = dict_.GetOrAdd(t);
+    if (id >= tf_scratch_.size()) tf_scratch_.resize(id + 1, 0);
+    if (tf_scratch_[id] == 0) touched_.push_back(id);
+    ++tf_scratch_[id];
+  }
+  if (dict_.size() > postings_.size()) postings_.resize(dict_.size());
+  // Sort touched terms so postings stay cache-friendly; not required for
+  // correctness (each list is keyed by term), but keeps builds deterministic.
+  std::sort(touched_.begin(), touched_.end());
+  for (TermId id : touched_) {
+    postings_[id].Append(doc, tf_scratch_[id]);
+    tf_scratch_[id] = 0;
+  }
+  touched_.clear();
+  doc_lengths_.push_back(static_cast<uint32_t>(terms.size()));
+  total_terms_ += terms.size();
+  return doc;
+}
+
+Result<InvertedIndex> InvertedIndex::Restore(
+    TermDictionary dict, std::vector<PostingList> postings,
+    std::vector<uint32_t> doc_lengths) {
+  if (dict.size() != postings.size()) {
+    return Status::Corruption("dictionary/postings size mismatch");
+  }
+  uint64_t doc_length_total = 0;
+  for (uint32_t len : doc_lengths) doc_length_total += len;
+  uint64_t posting_total = 0;
+  for (const PostingList& p : postings) {
+    posting_total += p.collection_frequency();
+    // Every posting must point at an existing document; checking the last
+    // (largest) doc id suffices because ids are strictly increasing.
+    if (p.doc_frequency() > 0) {
+      std::vector<Posting> tail = p.Decode();
+      if (tail.back().doc_id >= doc_lengths.size()) {
+        return Status::Corruption("posting refers to nonexistent document");
+      }
+    }
+  }
+  if (posting_total != doc_length_total) {
+    return Status::Corruption("posting/doc-length term count mismatch");
+  }
+  InvertedIndex index;
+  index.dict_ = std::move(dict);
+  index.postings_ = std::move(postings);
+  index.doc_lengths_ = std::move(doc_lengths);
+  index.total_terms_ = doc_length_total;
+  return index;
+}
+
+size_t InvertedIndex::posting_bytes() const {
+  size_t total = 0;
+  for (const auto& p : postings_) total += p.byte_size();
+  return total;
+}
+
+void InvertedIndex::ShrinkToFit() {
+  for (auto& p : postings_) p.ShrinkToFit();
+  tf_scratch_.clear();
+  tf_scratch_.shrink_to_fit();
+  touched_.shrink_to_fit();
+}
+
+}  // namespace qbs

@@ -1,0 +1,102 @@
+// An in-memory inverted index over analyzed documents.
+#ifndef QBS_INDEX_INVERTED_INDEX_H_
+#define QBS_INDEX_INVERTED_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/postings.h"
+#include "index/term_dictionary.h"
+#include "index/types.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// Inverted index: term -> compressed posting list, plus the corpus-level
+/// statistics (df, ctf, document lengths) that rankers and language models
+/// need.
+///
+/// Documents are added in order and receive dense DocIds from 0.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  InvertedIndex(const InvertedIndex&) = delete;
+  InvertedIndex& operator=(const InvertedIndex&) = delete;
+  InvertedIndex(InvertedIndex&&) = default;
+  InvertedIndex& operator=(InvertedIndex&&) = default;
+
+  /// Indexes one document given its (already analyzed) terms, returning its
+  /// DocId. Terms may repeat; repeats increase tf.
+  DocId AddDocument(const std::vector<std::string>& terms);
+
+  /// Number of indexed documents.
+  uint32_t num_docs() const { return static_cast<uint32_t>(doc_lengths_.size()); }
+
+  /// Number of distinct terms.
+  size_t unique_terms() const { return dict_.size(); }
+
+  /// Total number of term occurrences across all documents.
+  uint64_t total_terms() const { return total_terms_; }
+
+  /// Mean document length in terms (0 when empty).
+  double avg_doc_length() const {
+    return doc_lengths_.empty()
+               ? 0.0
+               : static_cast<double>(total_terms_) / doc_lengths_.size();
+  }
+
+  /// Length (term count) of one document.
+  uint32_t doc_length(DocId doc) const { return doc_lengths_[doc]; }
+
+  /// Document frequency of a term (0 for unknown ids).
+  uint32_t df(TermId term) const {
+    return term < postings_.size() ? postings_[term].doc_frequency() : 0;
+  }
+
+  /// Collection term frequency of a term (0 for unknown ids).
+  uint64_t ctf(TermId term) const {
+    return term < postings_.size() ? postings_[term].collection_frequency()
+                                   : 0;
+  }
+
+  /// The posting list for a term. Requires term < unique_terms().
+  const PostingList& postings(TermId term) const { return postings_[term]; }
+
+  /// The term dictionary.
+  const TermDictionary& dict() const { return dict_; }
+
+  /// Looks up a term string; kInvalidTermId when absent.
+  TermId LookupTerm(std::string_view term) const {
+    return dict_.Lookup(term);
+  }
+
+  /// Total compressed posting bytes (for reporting).
+  size_t posting_bytes() const;
+
+  /// Releases excess capacity after bulk loading.
+  void ShrinkToFit();
+
+  /// Reassembles an index from persisted parts (storage layer). Validates
+  /// that sizes are mutually consistent and that per-term statistics refer
+  /// only to existing documents.
+  static Result<InvertedIndex> Restore(TermDictionary dict,
+                                       std::vector<PostingList> postings,
+                                       std::vector<uint32_t> doc_lengths);
+
+ private:
+  TermDictionary dict_;
+  std::vector<PostingList> postings_;
+  std::vector<uint32_t> doc_lengths_;
+  uint64_t total_terms_ = 0;
+
+  // Scratch reused across AddDocument calls: term id -> tf for the current
+  // document, with a touched-list to reset cheaply.
+  std::vector<uint32_t> tf_scratch_;
+  std::vector<TermId> touched_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,83 @@
+#include "index/postings.h"
+
+namespace qbs {
+
+void PostingList::Append(DocId doc_id, uint32_t tf) {
+  QBS_CHECK_GE(tf, 1u);
+  uint32_t delta;
+  if (!has_any_) {
+    delta = doc_id;
+    has_any_ = true;
+  } else {
+    QBS_CHECK_GT(doc_id, last_doc_);
+    delta = doc_id - last_doc_;
+  }
+  PutVarint32(bytes_, delta);
+  PutVarint32(bytes_, tf - 1);
+  last_doc_ = doc_id;
+  ++count_;
+  ctf_ += tf;
+}
+
+void PostingList::Iterator::Advance() {
+  if (remaining_ == 0) {
+    valid_ = false;
+    return;
+  }
+  uint32_t delta = 0, tf_minus_1 = 0;
+  bool ok = GetVarint32(list_->bytes_, &pos_, &delta) &&
+            GetVarint32(list_->bytes_, &pos_, &tf_minus_1);
+  QBS_CHECK(ok);  // internal corruption would silently skew statistics
+  current_.doc_id = first_ ? delta : prev_doc_ + delta;
+  current_.tf = tf_minus_1 + 1;
+  prev_doc_ = current_.doc_id;
+  first_ = false;
+  --remaining_;
+  valid_ = true;
+}
+
+Result<PostingList> PostingList::FromRaw(std::vector<uint8_t> bytes,
+                                         uint32_t count, uint64_t ctf) {
+  // Decode once to validate structure and recover last_doc_.
+  PostingList list;
+  list.bytes_ = std::move(bytes);
+  list.count_ = count;
+  list.ctf_ = ctf;
+  uint64_t seen_ctf = 0;
+  size_t pos = 0;
+  DocId prev = 0;
+  bool first = true;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t delta = 0, tf_minus_1 = 0;
+    if (!GetVarint32(list.bytes_, &pos, &delta) ||
+        !GetVarint32(list.bytes_, &pos, &tf_minus_1)) {
+      return Status::Corruption("truncated posting list");
+    }
+    if (!first && delta == 0) {
+      return Status::Corruption("non-increasing doc id in posting list");
+    }
+    prev = first ? delta : prev + delta;
+    first = false;
+    seen_ctf += tf_minus_1 + 1;
+  }
+  if (pos != list.bytes_.size()) {
+    return Status::Corruption("trailing bytes in posting list");
+  }
+  if (seen_ctf != ctf) {
+    return Status::Corruption("posting list ctf mismatch");
+  }
+  list.last_doc_ = prev;
+  list.has_any_ = count > 0;
+  return list;
+}
+
+std::vector<Posting> PostingList::Decode() const {
+  std::vector<Posting> out;
+  out.reserve(count_);
+  for (Iterator it = NewIterator(); it.Valid(); it.Next()) {
+    out.push_back(it.Get());
+  }
+  return out;
+}
+
+}  // namespace qbs

@@ -1,0 +1,96 @@
+// Compressed posting lists: delta-encoded doc ids and tf values packed
+// with varints.
+#ifndef QBS_INDEX_POSTINGS_H_
+#define QBS_INDEX_POSTINGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "index/types.h"
+#include "index/varint.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// An immutable compressed posting list.
+///
+/// Layout: for each posting, varint(doc_id - prev_doc_id) then
+/// varint(tf - 1). Doc ids must be appended in strictly increasing order.
+class PostingList {
+ public:
+  PostingList() = default;
+
+  /// Appends a posting. `doc_id` must be greater than the last appended
+  /// doc id; `tf` must be >= 1.
+  void Append(DocId doc_id, uint32_t tf);
+
+  /// Number of postings (the term's document frequency).
+  uint32_t doc_frequency() const { return count_; }
+
+  /// Sum of tf over all postings (the term's collection term frequency).
+  uint64_t collection_frequency() const { return ctf_; }
+
+  /// Bytes used by the compressed representation.
+  size_t byte_size() const { return bytes_.size(); }
+
+  /// Releases excess capacity.
+  void ShrinkToFit() { bytes_.shrink_to_fit(); }
+
+  /// Forward iterator over the compressed postings.
+  class Iterator {
+   public:
+    explicit Iterator(const PostingList& list)
+        : list_(&list), remaining_(list.count_) {
+      Advance();
+    }
+
+    /// True while the current posting is valid.
+    bool Valid() const { return valid_; }
+
+    /// The current posting; requires Valid().
+    const Posting& Get() const {
+      QBS_DCHECK(valid_);
+      return current_;
+    }
+
+    /// Moves to the next posting.
+    void Next() { Advance(); }
+
+   private:
+    void Advance();
+
+    const PostingList* list_;
+    uint32_t remaining_;
+    size_t pos_ = 0;
+    DocId prev_doc_ = 0;
+    bool first_ = true;
+    bool valid_ = false;
+    Posting current_{0, 0};
+  };
+
+  Iterator NewIterator() const { return Iterator(*this); }
+
+  /// Decodes all postings into a vector (mainly for tests and merging).
+  std::vector<Posting> Decode() const;
+
+  /// Raw compressed bytes (for persistence).
+  const std::vector<uint8_t>& raw_bytes() const { return bytes_; }
+
+  /// Reconstructs a list from persisted state. Validates that the bytes
+  /// decode to exactly `count` postings with the given aggregate ctf;
+  /// returns Corruption otherwise.
+  static Result<PostingList> FromRaw(std::vector<uint8_t> bytes,
+                                     uint32_t count, uint64_t ctf);
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint32_t count_ = 0;
+  uint64_t ctf_ = 0;
+  DocId last_doc_ = 0;
+  bool has_any_ = false;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_INDEX_POSTINGS_H_

@@ -1,0 +1,26 @@
+#include "index/term_dictionary.h"
+
+#include "util/logging.h"
+
+namespace qbs {
+
+TermId TermDictionary::GetOrAdd(std::string_view term) {
+  auto it = ids_.find(term);
+  if (it != ids_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  ids_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId TermDictionary::Lookup(std::string_view term) const {
+  auto it = ids_.find(term);
+  return it == ids_.end() ? kInvalidTermId : it->second;
+}
+
+const std::string& TermDictionary::TermText(TermId id) const {
+  QBS_CHECK_LT(id, terms_.size());
+  return terms_[id];
+}
+
+}  // namespace qbs

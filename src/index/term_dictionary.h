@@ -1,0 +1,56 @@
+// Bidirectional mapping between term strings and dense TermIds.
+#ifndef QBS_INDEX_TERM_DICTIONARY_H_
+#define QBS_INDEX_TERM_DICTIONARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/types.h"
+
+namespace qbs {
+
+/// Interns term strings, assigning dense ids in first-seen order.
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// Returns the id of `term`, adding it if absent.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id of `term`, or kInvalidTermId if absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the text of an id. Requires id < size().
+  const std::string& TermText(TermId id) const;
+
+  /// Number of distinct terms.
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+
+  /// Iterates all terms in id order.
+  const std::vector<std::string>& terms() const { return terms_; }
+
+ private:
+  // Heterogeneous-lookup hash so Lookup(string_view) does not allocate.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> terms_;
+  std::unordered_map<std::string, TermId, Hash, Eq> ids_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_INDEX_TERM_DICTIONARY_H_

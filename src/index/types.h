@@ -1,0 +1,32 @@
+// Fundamental identifier types shared by the indexing and search layers.
+#ifndef QBS_INDEX_TYPES_H_
+#define QBS_INDEX_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace qbs {
+
+/// Internal document identifier, dense from 0 within one index.
+using DocId = uint32_t;
+
+/// Internal term identifier, dense from 0 within one TermDictionary.
+using TermId = uint32_t;
+
+/// Sentinel for "no such term".
+inline constexpr TermId kInvalidTermId = std::numeric_limits<TermId>::max();
+
+/// Sentinel for "no such document".
+inline constexpr DocId kInvalidDocId = std::numeric_limits<DocId>::max();
+
+/// One posting: a document and the term's within-document frequency.
+struct Posting {
+  DocId doc_id;
+  uint32_t tf;
+
+  bool operator==(const Posting& other) const = default;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_INDEX_TYPES_H_

@@ -1,0 +1,58 @@
+#include "index/varint.h"
+
+namespace qbs {
+
+void PutVarint32(std::vector<uint8_t>& out, uint32_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+void PutVarint64(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+bool GetVarint32(const std::vector<uint8_t>& data, size_t* pos,
+                 uint32_t* value) {
+  uint32_t result = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift <= 28) {
+    uint8_t byte = data[*pos];
+    ++*pos;
+    result |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject overflow in the final byte of a 5-byte encoding.
+      if (shift == 28 && (byte & 0x70) != 0) return false;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+bool GetVarint64(const std::vector<uint8_t>& data, size_t* pos,
+                 uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*pos < data.size() && shift <= 63) {
+    uint8_t byte = data[*pos];
+    ++*pos;
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      if (shift == 63 && (byte & 0x7E) != 0) return false;
+      *value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace qbs

@@ -1,0 +1,25 @@
+// LEB128-style variable-length integer coding used to compress posting
+// lists (delta-encoded doc ids, then tf values).
+#ifndef QBS_INDEX_VARINT_H_
+#define QBS_INDEX_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qbs {
+
+/// Appends the varint encoding of `value` to `out`.
+void PutVarint32(std::vector<uint8_t>& out, uint32_t value);
+void PutVarint64(std::vector<uint8_t>& out, uint64_t value);
+
+/// Decodes a varint starting at `data[*pos]`, advancing *pos past it.
+/// Returns false on truncated or malformed (overlong) input.
+bool GetVarint32(const std::vector<uint8_t>& data, size_t* pos,
+                 uint32_t* value);
+bool GetVarint64(const std::vector<uint8_t>& data, size_t* pos,
+                 uint64_t* value);
+
+}  // namespace qbs
+
+#endif  // QBS_INDEX_VARINT_H_

@@ -1,0 +1,176 @@
+#include "lm/language_model.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "index/inverted_index.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+
+namespace qbs {
+
+const char* TermMetricName(TermMetric metric) {
+  switch (metric) {
+    case TermMetric::kDf:
+      return "df";
+    case TermMetric::kCtf:
+      return "ctf";
+    case TermMetric::kAvgTf:
+      return "avg_tf";
+  }
+  return "unknown";
+}
+
+void LanguageModel::AddDocument(const std::vector<std::string>& terms) {
+  // Count within-document tf first so df increases exactly once per term.
+  std::unordered_map<std::string_view, uint32_t> tf;
+  tf.reserve(terms.size());
+  for (const std::string& t : terms) ++tf[t];
+  for (const auto& [term, count] : tf) {
+    TermStats& s = stats_[std::string(term)];
+    s.df += 1;
+    s.ctf += count;
+  }
+  total_terms_ += terms.size();
+  ++num_docs_;
+}
+
+void LanguageModel::AddTerm(std::string_view term, uint64_t df,
+                            uint64_t ctf) {
+  TermStats& s = stats_[std::string(term)];
+  s.df += df;
+  s.ctf += ctf;
+  total_terms_ += ctf;
+}
+
+void LanguageModel::Merge(const LanguageModel& other) {
+  for (const auto& [term, s] : other.stats_) {
+    TermStats& mine = stats_[term];
+    mine.df += s.df;
+    mine.ctf += s.ctf;
+  }
+  total_terms_ += other.total_terms_;
+  num_docs_ += other.num_docs_;
+}
+
+const TermStats* LanguageModel::Find(std::string_view term) const {
+  auto it = stats_.find(term);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+void LanguageModel::ForEach(
+    const std::function<void(const std::string&, const TermStats&)>& fn)
+    const {
+  for (const auto& [term, s] : stats_) fn(term, s);
+}
+
+std::vector<std::pair<std::string, double>> LanguageModel::RankedTerms(
+    TermMetric metric, size_t top_k) const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(stats_.size());
+  for (const auto& [term, s] : stats_) {
+    double score = 0.0;
+    switch (metric) {
+      case TermMetric::kDf:
+        score = static_cast<double>(s.df);
+        break;
+      case TermMetric::kCtf:
+        score = static_cast<double>(s.ctf);
+        break;
+      case TermMetric::kAvgTf:
+        score = s.avg_tf();
+        break;
+    }
+    out.emplace_back(term, score);
+  }
+  auto cmp = [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (top_k > 0 && top_k < out.size()) {
+    std::partial_sort(out.begin(), out.begin() + top_k, out.end(), cmp);
+    out.resize(top_k);
+  } else {
+    std::sort(out.begin(), out.end(), cmp);
+  }
+  return out;
+}
+
+LanguageModel LanguageModel::StemCollapsed() const {
+  LanguageModel out;
+  for (const auto& [term, s] : stats_) {
+    out.AddTerm(PorterStemmer::Stem(term), s.df, s.ctf);
+  }
+  out.num_docs_ = num_docs_;
+  return out;
+}
+
+LanguageModel LanguageModel::WithoutStopwords(
+    const StopwordList& stopwords) const {
+  LanguageModel out;
+  for (const auto& [term, s] : stats_) {
+    if (!stopwords.Contains(term)) out.AddTerm(term, s.df, s.ctf);
+  }
+  out.num_docs_ = num_docs_;
+  return out;
+}
+
+Status LanguageModel::Save(std::ostream& out) const {
+  out << "#QBSLM v1\n";
+  out << "num_docs " << num_docs_ << "\n";
+  out << "vocab " << stats_.size() << "\n";
+  // Sort for a canonical on-disk form.
+  std::vector<const std::pair<const std::string, TermStats>*> entries;
+  entries.reserve(stats_.size());
+  for (const auto& e : stats_) entries.push_back(&e);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  for (const auto* e : entries) {
+    out << e->first << ' ' << e->second.df << ' ' << e->second.ctf << '\n';
+  }
+  if (!out) return Status::IOError("write failed while saving language model");
+  return Status::OK();
+}
+
+Result<LanguageModel> LanguageModel::Load(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "#QBSLM v1") {
+    return Status::Corruption("missing #QBSLM v1 header");
+  }
+  LanguageModel lm;
+  uint64_t vocab = 0;
+  if (!(in >> line >> lm.num_docs_) || line != "num_docs") {
+    return Status::Corruption("missing num_docs line");
+  }
+  if (!(in >> line >> vocab) || line != "vocab") {
+    return Status::Corruption("missing vocab line");
+  }
+  std::string term;
+  uint64_t df = 0, ctf = 0;
+  for (uint64_t i = 0; i < vocab; ++i) {
+    if (!(in >> term >> df >> ctf)) {
+      return Status::Corruption("truncated language model: expected " +
+                                std::to_string(vocab) + " terms, got " +
+                                std::to_string(i));
+    }
+    if (df == 0 || ctf < df) {
+      return Status::Corruption("invalid stats for term '" + term + "'");
+    }
+    lm.AddTerm(term, df, ctf);
+  }
+  return lm;
+}
+
+LanguageModel LanguageModel::FromIndex(const InvertedIndex& index) {
+  LanguageModel lm;
+  const TermDictionary& dict = index.dict();
+  for (TermId id = 0; id < dict.size(); ++id) {
+    lm.AddTerm(dict.TermText(id), index.df(id), index.ctf(id));
+  }
+  lm.set_num_docs(index.num_docs());
+  return lm;
+}
+
+}  // namespace qbs

@@ -1,0 +1,127 @@
+// Language models: the term + frequency statistics that describe a text
+// database to a database-selection algorithm (paper §2.1).
+#ifndef QBS_LM_LANGUAGE_MODEL_H_
+#define QBS_LM_LANGUAGE_MODEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qbs {
+
+class InvertedIndex;
+
+/// Per-term frequency statistics.
+struct TermStats {
+  /// Document frequency: number of documents containing the term.
+  uint64_t df = 0;
+  /// Collection term frequency: total occurrences of the term.
+  uint64_t ctf = 0;
+
+  /// Average term frequency, ctf / df (the paper's avg_tf).
+  double avg_tf() const { return df == 0 ? 0.0 : static_cast<double>(ctf) / df; }
+
+  bool operator==(const TermStats&) const = default;
+};
+
+/// Term-frequency metrics used for ranking and query-term selection
+/// (paper §5.2: "the three most common in Information Retrieval").
+enum class TermMetric { kDf, kCtf, kAvgTf };
+
+/// Returns a stable name for a TermMetric ("df", "ctf", "avg_tf").
+const char* TermMetricName(TermMetric metric);
+
+/// A language model: vocabulary plus df/ctf per term, and corpus-level
+/// counters. This is both the *actual* model (exported from an index) and
+/// the *learned* model (accumulated from sampled documents).
+class LanguageModel {
+ public:
+  LanguageModel() = default;
+
+  /// Records one document's terms: each distinct term's df increases by 1,
+  /// each occurrence increases ctf. Also bumps num_docs.
+  void AddDocument(const std::vector<std::string>& terms);
+
+  /// Directly sets/accumulates stats for a term (merging adds both fields).
+  void AddTerm(std::string_view term, uint64_t df, uint64_t ctf);
+
+  /// Merges another model into this one (df/ctf add; num_docs adds).
+  /// Useful for building the union-of-samples model (paper §8).
+  void Merge(const LanguageModel& other);
+
+  /// Returns the stats for a term, or nullptr when absent.
+  const TermStats* Find(std::string_view term) const;
+
+  /// True iff the term is in the vocabulary.
+  bool Contains(std::string_view term) const { return Find(term) != nullptr; }
+
+  /// Vocabulary size (distinct terms).
+  size_t vocabulary_size() const { return stats_.size(); }
+
+  /// Total term occurrences (sum of ctf).
+  uint64_t total_term_count() const { return total_terms_; }
+
+  /// Number of documents this model was built from (0 when unknown, e.g.
+  /// after deserializing a model that did not record it).
+  uint64_t num_docs() const { return num_docs_; }
+  void set_num_docs(uint64_t n) { num_docs_ = n; }
+
+  /// Invokes fn(term, stats) for every vocabulary entry (unspecified order).
+  void ForEach(
+      const std::function<void(const std::string&, const TermStats&)>& fn)
+      const;
+
+  /// Returns (term, score) pairs sorted by `metric` descending, ties broken
+  /// lexicographically for determinism. If `top_k` > 0, only that many are
+  /// returned.
+  std::vector<std::pair<std::string, double>> RankedTerms(
+      TermMetric metric, size_t top_k = 0) const;
+
+  /// Returns a copy whose terms are Porter-stemmed, with stats of words
+  /// sharing a stem merged (df is summed — an upper bound, since variants
+  /// may co-occur in one document; exact df requires re-deriving from
+  /// documents, which LmBuilder does).
+  LanguageModel StemCollapsed() const;
+
+  /// Returns a copy without the given stopwords.
+  LanguageModel WithoutStopwords(const class StopwordList& stopwords) const;
+
+  /// Serializes to a line-oriented text format.
+  Status Save(std::ostream& out) const;
+
+  /// Parses the format written by Save().
+  static Result<LanguageModel> Load(std::istream& in);
+
+  /// Builds the *actual* language model of an index: one entry per index
+  /// term with its true df and ctf.
+  static LanguageModel FromIndex(const InvertedIndex& index);
+
+ private:
+  // Heterogeneous-lookup hash so Find(string_view) does not allocate.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::unordered_map<std::string, TermStats, Hash, Eq> stats_;
+  uint64_t total_terms_ = 0;
+  uint64_t num_docs_ = 0;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_LM_LANGUAGE_MODEL_H_

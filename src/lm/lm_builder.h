@@ -1,0 +1,47 @@
+// Builds language models from raw document text through an Analyzer.
+#ifndef QBS_LM_LM_BUILDER_H_
+#define QBS_LM_LM_BUILDER_H_
+
+#include <string_view>
+
+#include "lm/language_model.h"
+#include "text/analyzer.h"
+
+namespace qbs {
+
+/// Accumulates a LanguageModel from raw documents, analyzing each with a
+/// fixed Analyzer. This is the piece that gives the selection service
+/// *control over the content of the language model* (paper §3): the service
+/// chooses the analyzer, not the sampled database.
+class LmBuilder {
+ public:
+  /// Uses Analyzer::Raw() — the paper's learned-model convention (§4.1).
+  LmBuilder() : analyzer_(Analyzer::Raw()) {}
+
+  explicit LmBuilder(Analyzer analyzer) : analyzer_(std::move(analyzer)) {}
+
+  /// Analyzes `text` and folds its terms into the model.
+  void AddDocument(std::string_view text) {
+    model_.AddDocument(analyzer_.Analyze(text));
+  }
+
+  /// The model accumulated so far.
+  const LanguageModel& model() const { return model_; }
+
+  /// Moves the model out, leaving the builder empty.
+  LanguageModel TakeModel() {
+    LanguageModel out = std::move(model_);
+    model_ = LanguageModel();
+    return out;
+  }
+
+  const Analyzer& analyzer() const { return analyzer_; }
+
+ private:
+  Analyzer analyzer_;
+  LanguageModel model_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_LM_LM_BUILDER_H_

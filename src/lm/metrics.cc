@@ -1,0 +1,208 @@
+#include "lm/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qbs {
+
+namespace {
+
+double ScoreOf(const TermStats& s, TermMetric metric) {
+  switch (metric) {
+    case TermMetric::kDf:
+      return static_cast<double>(s.df);
+    case TermMetric::kCtf:
+      return static_cast<double>(s.ctf);
+    case TermMetric::kAvgTf:
+      return s.avg_tf();
+  }
+  return 0.0;
+}
+
+// Collects the terms common to `a` and `b` with each side's metric score.
+struct CommonScores {
+  std::vector<std::string> terms;
+  std::vector<double> score_a;
+  std::vector<double> score_b;
+};
+
+CommonScores CollectCommon(const LanguageModel& a, const LanguageModel& b,
+                           TermMetric metric) {
+  CommonScores out;
+  // Iterate the smaller vocabulary for speed; membership test on the other.
+  const LanguageModel& small = a.vocabulary_size() <= b.vocabulary_size() ? a : b;
+  const LanguageModel& large = a.vocabulary_size() <= b.vocabulary_size() ? b : a;
+  const bool small_is_a = &small == &a;
+  small.ForEach([&](const std::string& term, const TermStats& s_small) {
+    const TermStats* s_large = large.Find(term);
+    if (s_large == nullptr) return;
+    out.terms.push_back(term);
+    double sc_small = ScoreOf(s_small, metric);
+    double sc_large = ScoreOf(*s_large, metric);
+    out.score_a.push_back(small_is_a ? sc_small : sc_large);
+    out.score_b.push_back(small_is_a ? sc_large : sc_small);
+  });
+  return out;
+}
+
+// Converts scores (higher = better) over an item set to average ranks
+// (1 = best). Returns ranks parallel to the input vector.
+std::vector<double> RanksOf(const std::vector<double>& scores) {
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return scores[x] > scores[y];
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    // Items i..j share the average of ranks i+1..j+1.
+    double avg = (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double PearsonOfRanks(const std::vector<double>& ra,
+                      const std::vector<double>& rb) {
+  const size_t n = ra.size();
+  double mean_a = 0.0, mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += ra[i];
+    mean_b += rb[i];
+  }
+  mean_a /= n;
+  mean_b /= n;
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double da = ra[i] - mean_a;
+    double db = rb[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+double SimpleSpearman(const std::vector<double>& ra,
+                      const std::vector<double>& rb) {
+  const size_t n = ra.size();
+  double sum_d2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = ra[i] - rb[i];
+    sum_d2 += d * d;
+  }
+  double dn = static_cast<double>(n);
+  return 1.0 - 6.0 * sum_d2 / (dn * (dn * dn - 1.0));
+}
+
+}  // namespace
+
+std::unordered_map<std::string, double> AverageRanks(
+    std::vector<std::pair<std::string, double>> scored) {
+  std::vector<double> scores;
+  scores.reserve(scored.size());
+  for (const auto& [term, score] : scored) scores.push_back(score);
+  std::vector<double> ranks = RanksOf(scores);
+  std::unordered_map<std::string, double> out;
+  out.reserve(scored.size());
+  for (size_t i = 0; i < scored.size(); ++i) {
+    out[std::move(scored[i].first)] = ranks[i];
+  }
+  return out;
+}
+
+double PercentageLearned(const LanguageModel& learned,
+                         const LanguageModel& actual) {
+  if (actual.vocabulary_size() == 0) return 1.0;
+  // Iterate the learned vocabulary (typically a few thousand terms) and
+  // probe the actual model; the intersection is the same either way, but
+  // learned models are orders of magnitude smaller during sampling.
+  size_t common = 0;
+  learned.ForEach([&](const std::string& term, const TermStats&) {
+    if (actual.Contains(term)) ++common;
+  });
+  return static_cast<double>(common) / actual.vocabulary_size();
+}
+
+double CtfRatio(const LanguageModel& learned, const LanguageModel& actual) {
+  if (actual.total_term_count() == 0) return 1.0;
+  uint64_t covered = 0;
+  learned.ForEach([&](const std::string& term, const TermStats&) {
+    const TermStats* s = actual.Find(term);
+    if (s != nullptr) covered += s->ctf;
+  });
+  return static_cast<double>(covered) / actual.total_term_count();
+}
+
+double SpearmanRankCorrelation(const LanguageModel& a, const LanguageModel& b,
+                               const SpearmanOptions& options) {
+  CommonScores common = CollectCommon(a, b, options.metric);
+  const size_t n = common.terms.size();
+  if (n == 0) return 0.0;
+  if (n == 1) return 1.0;
+  std::vector<double> ra = RanksOf(common.score_a);
+  std::vector<double> rb = RanksOf(common.score_b);
+  return options.tie_corrected ? PearsonOfRanks(ra, rb)
+                               : SimpleSpearman(ra, rb);
+}
+
+double RDiff(const LanguageModel& a, const LanguageModel& b,
+             TermMetric metric) {
+  CommonScores common = CollectCommon(a, b, metric);
+  const size_t n = common.terms.size();
+  if (n < 2) return 0.0;
+  std::vector<double> ra = RanksOf(common.score_a);
+  std::vector<double> rb = RanksOf(common.score_b);
+  double sum_abs = 0.0;
+  for (size_t i = 0; i < n; ++i) sum_abs += std::abs(ra[i] - rb[i]);
+  double dn = static_cast<double>(n);
+  return sum_abs / (dn * dn);
+}
+
+LmComparison CompareLanguageModels(const LanguageModel& learned,
+                                   const LanguageModel& actual) {
+  LmComparison out;
+  out.pct_vocab_learned = 0.0;
+  out.ctf_ratio = 0.0;
+
+  uint64_t covered_ctf = 0;
+  size_t common_count = 0;
+  learned.ForEach([&](const std::string& term, const TermStats&) {
+    const TermStats* s = actual.Find(term);
+    if (s != nullptr) {
+      ++common_count;
+      covered_ctf += s->ctf;
+    }
+  });
+  if (actual.vocabulary_size() > 0) {
+    out.pct_vocab_learned =
+        static_cast<double>(common_count) / actual.vocabulary_size();
+  } else {
+    out.pct_vocab_learned = 1.0;
+  }
+  if (actual.total_term_count() > 0) {
+    out.ctf_ratio =
+        static_cast<double>(covered_ctf) / actual.total_term_count();
+  } else {
+    out.ctf_ratio = 1.0;
+  }
+
+  SpearmanOptions simple;
+  simple.metric = TermMetric::kDf;
+  simple.tie_corrected = false;
+  out.spearman_df = SpearmanRankCorrelation(learned, actual, simple);
+  SpearmanOptions corrected = simple;
+  corrected.tie_corrected = true;
+  out.spearman_df_tie_corrected =
+      SpearmanRankCorrelation(learned, actual, corrected);
+  out.common_terms = common_count;
+  return out;
+}
+
+}  // namespace qbs

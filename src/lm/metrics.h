@@ -1,0 +1,84 @@
+// The paper's language-model quality metrics (§4.3, §6):
+//   - percentage learned      (vocabulary coverage, Fig. 1a)
+//   - ctf ratio               (weighted vocabulary coverage, Fig. 1b)
+//   - Spearman rank correlation of term rankings (Fig. 2)
+//   - rdiff                   (snapshot-to-snapshot rank movement, Fig. 4)
+#ifndef QBS_LM_METRICS_H_
+#define QBS_LM_METRICS_H_
+
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "lm/language_model.h"
+
+namespace qbs {
+
+/// Computes fractional ranks (1 = best) for scored items, assigning tied
+/// scores the average of the ranks they span ("average ranks", the standard
+/// tie treatment for Spearman).
+std::unordered_map<std::string, double> AverageRanks(
+    std::vector<std::pair<std::string, double>> scored);
+
+/// Fraction of the actual vocabulary present in the learned vocabulary
+/// (paper's "percentage learned", returned as a fraction in [0, 1]).
+/// Returns 1.0 when the actual vocabulary is empty.
+double PercentageLearned(const LanguageModel& learned,
+                         const LanguageModel& actual);
+
+/// Fraction of the actual database's term *occurrences* covered by the
+/// learned vocabulary: sum of actual ctf over common terms, divided by the
+/// actual total term count (paper §4.3.2). Returns 1.0 when the actual
+/// model is empty.
+double CtfRatio(const LanguageModel& learned, const LanguageModel& actual);
+
+/// Options for Spearman rank correlation.
+struct SpearmanOptions {
+  /// Which frequency statistic induces the ranking (the paper uses df).
+  TermMetric metric = TermMetric::kDf;
+  /// When false, uses the paper's simple formula R = 1 - 6*sum(d^2)/(n^3-n)
+  /// with average ranks for ties. When true, computes the exact Pearson
+  /// correlation of the rank vectors (correct in the presence of many ties).
+  bool tie_corrected = false;
+};
+
+/// Spearman rank correlation between the term rankings of two language
+/// models, computed over the terms common to both (paper §4.3.3): +1 for
+/// identical rankings, 0 for uncorrelated, -1 for reversed.
+///
+/// Degenerate cases: returns 0.0 when there are no common terms, 1.0 when
+/// exactly one.
+double SpearmanRankCorrelation(const LanguageModel& a, const LanguageModel& b,
+                               const SpearmanOptions& options = {});
+
+/// The paper's rdiff (§6): mean absolute rank difference of common terms,
+/// normalized by n^2:  rdiff = (1/n^2) * sum_i |d_i|. Measures how far the
+/// average term moved between two rankings, as a fraction of the number of
+/// ranks. Returns 0.0 when fewer than two common terms exist.
+double RDiff(const LanguageModel& a, const LanguageModel& b,
+             TermMetric metric = TermMetric::kDf);
+
+/// All comparison metrics at once, sharing the common-term computation.
+struct LmComparison {
+  /// Fraction of actual vocabulary learned (Fig. 1a).
+  double pct_vocab_learned = 0.0;
+  /// Fraction of actual term occurrences covered (Fig. 1b).
+  double ctf_ratio = 0.0;
+  /// Spearman correlation of df rankings, simple formula (Fig. 2).
+  double spearman_df = 0.0;
+  /// Spearman correlation of df rankings, tie-corrected.
+  double spearman_df_tie_corrected = 0.0;
+  /// Number of common terms the rank metrics were computed over.
+  size_t common_terms = 0;
+};
+
+/// Compares a learned model against the actual model of a database.
+/// The caller is responsible for having put both models into a comparable
+/// term space first (e.g. stemming the learned model, paper §4.1).
+LmComparison CompareLanguageModels(const LanguageModel& learned,
+                                   const LanguageModel& actual);
+
+}  // namespace qbs
+
+#endif  // QBS_LM_METRICS_H_

@@ -1,0 +1,86 @@
+// Resource accounting for database interactions.
+//
+// The paper's closing claim (§9): "The resource requirements, measured in
+// queries, amount of computation, or amount of network traffic, is low."
+// CostMeter is a transparent TextDatabase decorator that measures exactly
+// those quantities for any client (sampler, size estimator, service), so
+// the claim is checkable rather than asserted.
+#ifndef QBS_SAMPLING_COST_METER_H_
+#define QBS_SAMPLING_COST_METER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "search/text_database.h"
+#include "util/logging.h"
+
+namespace qbs {
+
+/// Accumulated interaction costs.
+struct InteractionCosts {
+  /// Queries issued (RunQuery calls).
+  uint64_t queries = 0;
+  /// Bytes sent as query text (proxy for uplink traffic).
+  uint64_t query_bytes = 0;
+  /// Result-list entries returned across all queries.
+  uint64_t hits_returned = 0;
+  /// Documents fetched (FetchDocument calls that succeeded).
+  uint64_t documents_fetched = 0;
+  /// Bytes of document text transferred (proxy for downlink traffic).
+  uint64_t document_bytes = 0;
+  /// Failed interactions of either kind.
+  uint64_t errors = 0;
+
+  /// Total transferred bytes, both directions.
+  uint64_t total_bytes() const { return query_bytes + document_bytes; }
+};
+
+/// Counts every interaction passing through to the wrapped database.
+/// Thread-compatible, like TextDatabase implementations themselves.
+class CostMeter : public TextDatabase {
+ public:
+  /// `inner` must outlive the meter.
+  explicit CostMeter(TextDatabase* inner) : inner_(inner) {
+    QBS_CHECK(inner_ != nullptr);
+  }
+
+  std::string name() const override { return inner_->name(); }
+
+  Result<std::vector<SearchHit>> RunQuery(std::string_view query,
+                                          size_t max_results) override {
+    ++costs_.queries;
+    costs_.query_bytes += query.size();
+    auto hits = inner_->RunQuery(query, max_results);
+    if (hits.ok()) {
+      costs_.hits_returned += hits->size();
+    } else {
+      ++costs_.errors;
+    }
+    return hits;
+  }
+
+  Result<std::string> FetchDocument(std::string_view handle) override {
+    auto text = inner_->FetchDocument(handle);
+    if (text.ok()) {
+      ++costs_.documents_fetched;
+      costs_.document_bytes += text->size();
+    } else {
+      ++costs_.errors;
+    }
+    return text;
+  }
+
+  /// Costs accumulated so far.
+  const InteractionCosts& costs() const { return costs_; }
+
+  /// Resets the counters (e.g. between experiment phases).
+  void Reset() { costs_ = InteractionCosts(); }
+
+ private:
+  TextDatabase* inner_;
+  InteractionCosts costs_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_SAMPLING_COST_METER_H_

@@ -1,0 +1,139 @@
+#include "sampling/sampler.h"
+
+#include "lm/metrics.h"
+#include "text/porter_stemmer.h"
+
+namespace qbs {
+
+QueryBasedSampler::QueryBasedSampler(TextDatabase* db, SamplerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+Result<SamplingResult> QueryBasedSampler::Run() {
+  if (db_ == nullptr) {
+    return Status::FailedPrecondition("sampler requires a database");
+  }
+  if (options_.docs_per_query == 0) {
+    return Status::InvalidArgument("docs_per_query must be positive");
+  }
+  if (options_.initial_term.empty()) {
+    return Status::FailedPrecondition(
+        "no initial query term; pick one with RandomEligibleTerm()");
+  }
+  if (options_.strategy == SelectionStrategy::kRandomOther &&
+      options_.other_model == nullptr) {
+    return Status::FailedPrecondition(
+        "kRandomOther requires options.other_model");
+  }
+
+  Rng rng(options_.seed);
+  std::unique_ptr<TermSelector> selector = MakeTermSelector(
+      options_.strategy, options_.filter, options_.other_model);
+  StoppingPolicy stopping(options_.stopping);
+
+  // The learned model is built from *raw* document text with the service's
+  // own conventions (lowercase, no stopping, no stemming — §4.1). The
+  // database's indexing choices never leak in.
+  const Analyzer raw_analyzer = Analyzer::Raw();
+
+  SamplingResult result;
+  std::unordered_set<std::string> seen_docs;
+  std::unordered_set<std::string> used_terms;
+  LanguageModel prev_snapshot;
+  bool have_prev_snapshot = false;
+
+  // Tolerates up to max_database_errors transient failures; returns the
+  // error once the budget is exceeded.
+  auto tolerate = [&](const Status&) -> bool {
+    if (result.database_errors < options_.max_database_errors) {
+      ++result.database_errors;
+      return true;
+    }
+    return false;
+  };
+
+  std::string term = options_.initial_term;
+  while (true) {
+    used_terms.insert(term);
+    stopping.OnQuery();
+
+    Result<std::vector<SearchHit>> query_result =
+        db_->RunQuery(term, options_.docs_per_query);
+    if (!query_result.ok() && !tolerate(query_result.status())) {
+      return query_result.status();
+    }
+    std::vector<SearchHit> hits =
+        query_result.ok() ? std::move(*query_result)
+                          : std::vector<SearchHit>();
+    QueryRecord record;
+    record.term = term;
+    record.hits_returned = hits.size();
+    if (hits.empty()) ++result.failed_queries;
+
+    for (const SearchHit& hit : hits) {
+      if (options_.dedup_documents) {
+        auto [it, inserted] = seen_docs.insert(hit.handle);
+        if (!inserted) {
+          ++result.duplicate_hits;
+          continue;
+        }
+      }
+      Result<std::string> fetch_result = db_->FetchDocument(hit.handle);
+      if (!fetch_result.ok()) {
+        if (!tolerate(fetch_result.status())) return fetch_result.status();
+        if (options_.dedup_documents) seen_docs.erase(hit.handle);
+        continue;  // skip this document; it may be retrievable later
+      }
+      std::string text = std::move(*fetch_result);
+      std::vector<std::string> terms = raw_analyzer.Analyze(text);
+      result.learned.AddDocument(terms);
+      if (options_.build_stemmed_model) {
+        for (std::string& t : terms) PorterStemmer::StemInPlace(t);
+        result.learned_stemmed.AddDocument(terms);
+      }
+      if (options_.collect_documents) {
+        result.sampled_documents.push_back(std::move(text));
+      }
+      ++record.new_docs;
+      stopping.OnDocument();
+
+      if (observer_) {
+        observer_(stopping.documents(), result.learned,
+                  result.learned_stemmed);
+      }
+
+      // Snapshot bookkeeping (Fig. 4 / rdiff stopping).
+      if (stopping.SnapshotDue()) {
+        SamplingSnapshot snap;
+        snap.documents = stopping.documents();
+        snap.queries = stopping.queries();
+        if (have_prev_snapshot) {
+          snap.rdiff_from_prev =
+              RDiff(prev_snapshot, result.learned, TermMetric::kDf);
+        }
+        stopping.OnSnapshot(snap.rdiff_from_prev);
+        result.snapshots.push_back(snap);
+        prev_snapshot = result.learned;  // deep copy
+        have_prev_snapshot = true;
+      }
+      if (stopping.ShouldStop()) break;
+    }
+    result.queries.push_back(std::move(record));
+
+    if (stopping.ShouldStop()) break;
+
+    std::optional<std::string> next =
+        selector->Select(result.learned, used_terms, rng);
+    if (!next.has_value()) {
+      result.stop_reason = "no eligible query terms remain";
+      break;
+    }
+    term = std::move(*next);
+  }
+
+  if (result.stop_reason.empty()) result.stop_reason = stopping.reason();
+  result.documents_examined = stopping.documents();
+  result.queries_run = stopping.queries();
+  return result;
+}
+
+}  // namespace qbs

@@ -1,0 +1,166 @@
+// Query-based sampling: the paper's core algorithm (§3).
+//
+//   1. Select an initial query term.
+//   2. Run a one-term query on the database.
+//   3. Retrieve the top N documents returned by the database.
+//   4. Update the language model from the retrieved documents.
+//   5. If the stopping criterion is not reached, select a new query term
+//      and go to 2.
+//
+// The sampler interacts with the database *only* through the two-method
+// TextDatabase interface — no cooperation, no index access.
+#ifndef QBS_SAMPLING_SAMPLER_H_
+#define QBS_SAMPLING_SAMPLER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "lm/language_model.h"
+#include "sampling/stopping.h"
+#include "sampling/term_selector.h"
+#include "search/text_database.h"
+#include "text/analyzer.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// Configuration of one sampling run.
+struct SamplerOptions {
+  /// How successive query terms are chosen (paper §5.2).
+  SelectionStrategy strategy = SelectionStrategy::kRandomLearned;
+
+  /// Reference model for SelectionStrategy::kRandomOther; must outlive the
+  /// sampler. Ignored by the *_llm strategies.
+  const LanguageModel* other_model = nullptr;
+
+  /// Documents examined per query — the paper's N (§5.1; 4 is the paper's
+  /// empirically chosen baseline).
+  size_t docs_per_query = 4;
+
+  /// Query-term eligibility rules (§4.4).
+  TermFilter filter;
+
+  /// The first query term. If empty, Run() fails with FailedPrecondition;
+  /// use RandomEligibleTerm() on a reference model to pick one (§4.4).
+  std::string initial_term;
+
+  /// When true (default, and the paper's implicit behaviour), documents
+  /// already examined are not re-counted when returned by later queries.
+  /// Exposed for ablation.
+  bool dedup_documents = true;
+
+  /// When true, a parallel Porter-stemmed copy of the learned model is
+  /// maintained, for comparison against (stemmed) actual models (§4.1).
+  bool build_stemmed_model = true;
+
+  /// When true, the raw text of each sampled document is retained in the
+  /// result (needed for co-occurrence query expansion, §8).
+  bool collect_documents = false;
+
+  /// Stopping rules (§6).
+  StoppingOptions stopping;
+
+  /// Seed for the sampler's private RNG (term selection).
+  uint64_t seed = 7;
+
+  /// Number of database errors (failed RunQuery / FetchDocument calls) to
+  /// tolerate before giving up. Remote databases fail transiently; a
+  /// tolerated query error skips to the next term, a tolerated fetch error
+  /// skips that document. 0 propagates the first error.
+  size_t max_database_errors = 0;
+};
+
+/// Per-query log entry.
+struct QueryRecord {
+  std::string term;
+  /// Hits the database returned (<= docs_per_query).
+  size_t hits_returned = 0;
+  /// How many of those were documents not seen before.
+  size_t new_docs = 0;
+};
+
+/// Learned-model snapshot bookkeeping (for Fig. 4 and rdiff stopping).
+struct SamplingSnapshot {
+  /// Unique documents examined when the snapshot was taken.
+  size_t documents = 0;
+  /// Queries issued so far.
+  size_t queries = 0;
+  /// rdiff (df ranking) from the previous snapshot; negative for the first.
+  double rdiff_from_prev = -1.0;
+};
+
+/// The outcome of a sampling run.
+struct SamplingResult {
+  /// Learned model over raw terms (lowercased only; stopwords kept,
+  /// suffixes kept — §4.1). This is the model used for query selection.
+  LanguageModel learned;
+
+  /// Porter-stemmed variant (empty unless build_stemmed_model).
+  LanguageModel learned_stemmed;
+
+  /// Unique documents examined.
+  size_t documents_examined = 0;
+
+  /// Total queries issued.
+  size_t queries_run = 0;
+
+  /// Queries that returned no hits at all.
+  size_t failed_queries = 0;
+
+  /// Hits pointing at documents already examined (dedup hits).
+  size_t duplicate_hits = 0;
+
+  /// Database errors tolerated along the way (see
+  /// SamplerOptions::max_database_errors).
+  size_t database_errors = 0;
+
+  /// Per-query log, in order.
+  std::vector<QueryRecord> queries;
+
+  /// Snapshot trail (every stopping.snapshot_interval documents).
+  std::vector<SamplingSnapshot> snapshots;
+
+  /// Raw text of sampled documents (only when collect_documents).
+  std::vector<std::string> sampled_documents;
+
+  /// Why sampling stopped.
+  std::string stop_reason;
+};
+
+/// Runs query-based sampling against one database.
+class QueryBasedSampler {
+ public:
+  /// Called after each newly examined document with the running counts and
+  /// the current learned models (stemmed model is empty unless enabled).
+  /// Used by experiment harnesses to record metric trajectories.
+  using DocumentObserver = std::function<void(
+      size_t documents_examined, const LanguageModel& learned_raw,
+      const LanguageModel& learned_stemmed)>;
+
+  /// `db` must outlive the sampler.
+  QueryBasedSampler(TextDatabase* db, SamplerOptions options);
+
+  /// Registers a per-document observer (optional).
+  void set_document_observer(DocumentObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Executes the sampling loop. Fails with FailedPrecondition when
+  /// options are inconsistent (no initial term, missing other_model), and
+  /// propagates database errors.
+  Result<SamplingResult> Run();
+
+ private:
+  TextDatabase* db_;
+  SamplerOptions options_;
+  DocumentObserver observer_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_SAMPLING_SAMPLER_H_

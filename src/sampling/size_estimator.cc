@@ -1,0 +1,97 @@
+#include "sampling/size_estimator.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace qbs {
+
+SizeEstimate CaptureRecapture(const std::vector<std::string>& capture1,
+                              const std::vector<std::string>& capture2,
+                              bool chapman_correction) {
+  std::unordered_set<std::string> set1(capture1.begin(), capture1.end());
+  std::unordered_set<std::string> set2(capture2.begin(), capture2.end());
+  SizeEstimate est;
+  est.capture1 = set1.size();
+  est.capture2 = set2.size();
+  for (const std::string& handle : set2) {
+    if (set1.contains(handle)) ++est.overlap;
+  }
+  double n1 = static_cast<double>(est.capture1);
+  double n2 = static_cast<double>(est.capture2);
+  double m = static_cast<double>(est.overlap);
+  if (chapman_correction) {
+    est.estimated_docs = (n1 + 1.0) * (n2 + 1.0) / (m + 1.0) - 1.0;
+  } else {
+    est.estimated_docs = m > 0.0 ? n1 * n2 / m : 0.0;
+  }
+  return est;
+}
+
+Result<SizeEstimate> EstimateDatabaseSize(TextDatabase* db,
+                                          const SizeEstimateOptions& options) {
+  if (db == nullptr) {
+    return Status::FailedPrecondition("size estimation requires a database");
+  }
+
+  size_t total_queries = 0;
+  auto run_once = [&](uint64_t seed) -> Result<std::vector<std::string>> {
+    SamplerOptions opts;
+    opts.docs_per_query = options.docs_per_query;
+    opts.stopping.max_documents = options.docs_per_run;
+    opts.initial_term = options.initial_term;
+    opts.seed = seed;
+    // We only need document identities; skip the stemmed model.
+    opts.build_stemmed_model = false;
+
+    // Capture handles by re-walking the query log is not possible (hits
+    // are not retained), so wrap the database to record fetches.
+    struct Recorder : TextDatabase {
+      TextDatabase* inner;
+      std::vector<std::string> fetched;
+      std::string name() const override { return inner->name(); }
+      Result<std::vector<SearchHit>> RunQuery(std::string_view q,
+                                              size_t n) override {
+        return inner->RunQuery(q, n);
+      }
+      Result<std::string> FetchDocument(std::string_view handle) override {
+        auto text = inner->FetchDocument(handle);
+        if (text.ok()) fetched.emplace_back(handle);
+        return text;
+      }
+    };
+    Recorder recorder;
+    recorder.inner = db;
+    QueryBasedSampler sampler(&recorder, opts);
+    QBS_ASSIGN_OR_RETURN(SamplingResult result, sampler.Run());
+    recorder.fetched.shrink_to_fit();
+    total_queries += result.queries_run;
+    return std::move(recorder.fetched);
+  };
+
+  QBS_ASSIGN_OR_RETURN(std::vector<std::string> capture1,
+                       run_once(options.seed_run1));
+  QBS_ASSIGN_OR_RETURN(std::vector<std::string> capture2,
+                       run_once(options.seed_run2));
+  SizeEstimate est =
+      CaptureRecapture(capture1, capture2, options.chapman_correction);
+  est.queries_run = total_queries;
+  return est;
+}
+
+LanguageModel ProjectToDatabaseScale(const LanguageModel& learned,
+                                     double estimated_docs) {
+  if (learned.num_docs() == 0 || estimated_docs <= 0.0) return learned;
+  double factor = estimated_docs / static_cast<double>(learned.num_docs());
+  LanguageModel projected;
+  learned.ForEach([&](const std::string& term, const TermStats& s) {
+    uint64_t df = static_cast<uint64_t>(std::llround(s.df * factor));
+    uint64_t ctf = static_cast<uint64_t>(std::llround(s.ctf * factor));
+    projected.AddTerm(term, std::max<uint64_t>(df, 1),
+                      std::max<uint64_t>(ctf, 1));
+  });
+  projected.set_num_docs(
+      static_cast<uint64_t>(std::llround(estimated_docs)));
+  return projected;
+}
+
+}  // namespace qbs

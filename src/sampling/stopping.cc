@@ -1,0 +1,37 @@
+#include "sampling/stopping.h"
+
+namespace qbs {
+
+void StoppingPolicy::OnSnapshot(double rdiff) {
+  ++snapshots_taken_;
+  if (rdiff < 0.0) return;  // first snapshot: nothing to compare against
+  if (options_.rdiff_threshold > 0.0 && rdiff < options_.rdiff_threshold) {
+    ++consecutive_converged_;
+  } else {
+    consecutive_converged_ = 0;
+  }
+}
+
+bool StoppingPolicy::SnapshotDue() const {
+  if (options_.snapshot_interval == 0) return false;
+  return documents_ >= (snapshots_taken_ + 1) * options_.snapshot_interval;
+}
+
+bool StoppingPolicy::ShouldStop() {
+  if (options_.max_documents > 0 && documents_ >= options_.max_documents) {
+    reason_ = "document budget reached";
+    return true;
+  }
+  if (options_.max_queries > 0 && queries_ >= options_.max_queries) {
+    reason_ = "query budget reached";
+    return true;
+  }
+  if (options_.rdiff_threshold > 0.0 &&
+      consecutive_converged_ >= options_.rdiff_consecutive) {
+    reason_ = "rdiff converged";
+    return true;
+  }
+  return false;
+}
+
+}  // namespace qbs

@@ -1,0 +1,70 @@
+// Stopping criteria for query-based sampling (paper §6).
+#ifndef QBS_SAMPLING_STOPPING_H_
+#define QBS_SAMPLING_STOPPING_H_
+
+#include <cstddef>
+#include <string>
+
+namespace qbs {
+
+/// Configuration for when sampling ends.
+struct StoppingOptions {
+  /// Stop after this many unique documents have been examined (the paper's
+  /// 300/500-document budgets). 0 disables the budget.
+  size_t max_documents = 300;
+
+  /// Hard cap on queries issued, guarding against pathological databases
+  /// that return nothing. 0 disables the cap.
+  size_t max_queries = 10'000;
+
+  /// rdiff convergence (paper §6): a snapshot of the learned model is taken
+  /// every `snapshot_interval` documents; when rdiff between consecutive
+  /// snapshots stays below `rdiff_threshold` for `rdiff_consecutive`
+  /// intervals, sampling stops. rdiff_threshold <= 0 disables the rule.
+  size_t snapshot_interval = 50;
+  double rdiff_threshold = 0.0;
+  size_t rdiff_consecutive = 2;
+};
+
+/// Tracks progress against StoppingOptions. The sampler feeds it events;
+/// it answers "stop now?" and remembers why.
+class StoppingPolicy {
+ public:
+  explicit StoppingPolicy(const StoppingOptions& options)
+      : options_(options) {}
+
+  /// Records that a query was issued.
+  void OnQuery() { ++queries_; }
+
+  /// Records that a new unique document was examined.
+  void OnDocument() { ++documents_; }
+
+  /// Records that a snapshot was taken. `rdiff` is the rdiff from the
+  /// previous snapshot, or negative for the first snapshot (no previous).
+  void OnSnapshot(double rdiff);
+
+  /// True when a snapshot is due (documents examined has reached the next
+  /// multiple of snapshot_interval).
+  bool SnapshotDue() const;
+
+  /// True when any active criterion is met; sets reason().
+  bool ShouldStop();
+
+  /// Human-readable reason sampling stopped ("" while running).
+  const std::string& reason() const { return reason_; }
+
+  size_t documents() const { return documents_; }
+  size_t queries() const { return queries_; }
+
+ private:
+  StoppingOptions options_;
+  size_t documents_ = 0;
+  size_t queries_ = 0;
+  size_t snapshots_taken_ = 0;
+  size_t consecutive_converged_ = 0;
+  std::string reason_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_SAMPLING_STOPPING_H_

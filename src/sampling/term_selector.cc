@@ -1,0 +1,144 @@
+#include "sampling/term_selector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace qbs {
+
+bool TermFilter::IsEligible(std::string_view term) const {
+  if (term.size() < min_length || term.size() > max_length) return false;
+  if (exclude_numbers && IsAllDigits(term)) return false;
+  return true;
+}
+
+const char* SelectionStrategyName(SelectionStrategy strategy) {
+  switch (strategy) {
+    case SelectionStrategy::kRandomLearned:
+      return "random_llm";
+    case SelectionStrategy::kDfLearned:
+      return "df_llm";
+    case SelectionStrategy::kCtfLearned:
+      return "ctf_llm";
+    case SelectionStrategy::kAvgTfLearned:
+      return "avg_tf_llm";
+    case SelectionStrategy::kRandomOther:
+      return "random_olm";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Uniform random choice among eligible, unused terms of a model. Uses
+// reservoir sampling over the vocabulary so no candidate vector is built.
+std::optional<std::string> ReservoirPick(
+    const LanguageModel& model, const TermFilter& filter,
+    const std::unordered_set<std::string>& used, Rng& rng) {
+  std::optional<std::string> pick;
+  uint64_t seen = 0;
+  model.ForEach([&](const std::string& term, const TermStats&) {
+    if (!filter.IsEligible(term)) return;
+    if (used.contains(term)) return;
+    ++seen;
+    if (rng.UniformBelow(seen) == 0) pick = term;
+  });
+  return pick;
+}
+
+class RandomSelector : public TermSelector {
+ public:
+  RandomSelector(TermFilter filter, const LanguageModel* other)
+      : filter_(filter), other_(other) {}
+
+  std::optional<std::string> Select(
+      const LanguageModel& learned,
+      const std::unordered_set<std::string>& used, Rng& rng) override {
+    const LanguageModel& source = other_ != nullptr ? *other_ : learned;
+    return ReservoirPick(source, filter_, used, rng);
+  }
+
+  std::string name() const override {
+    return other_ != nullptr ? "random_olm" : "random_llm";
+  }
+
+ private:
+  TermFilter filter_;
+  const LanguageModel* other_;  // null = use the learned model
+};
+
+class FrequencySelector : public TermSelector {
+ public:
+  FrequencySelector(TermFilter filter, TermMetric metric)
+      : filter_(filter), metric_(metric) {}
+
+  std::optional<std::string> Select(
+      const LanguageModel& learned,
+      const std::unordered_set<std::string>& used, Rng&) override {
+    // Highest-scoring eligible unused term; lexicographic tie-break keeps
+    // runs deterministic.
+    std::optional<std::string> best;
+    double best_score = -1.0;
+    learned.ForEach([&](const std::string& term, const TermStats& s) {
+      if (!filter_.IsEligible(term)) return;
+      if (used.contains(term)) return;
+      double score = 0.0;
+      switch (metric_) {
+        case TermMetric::kDf:
+          score = static_cast<double>(s.df);
+          break;
+        case TermMetric::kCtf:
+          score = static_cast<double>(s.ctf);
+          break;
+        case TermMetric::kAvgTf:
+          score = s.avg_tf();
+          break;
+      }
+      if (score > best_score ||
+          (score == best_score && best.has_value() && term < *best)) {
+        best_score = score;
+        best = term;
+      }
+    });
+    return best;
+  }
+
+  std::string name() const override {
+    return std::string(TermMetricName(metric_)) + "_llm";
+  }
+
+ private:
+  TermFilter filter_;
+  TermMetric metric_;
+};
+
+}  // namespace
+
+std::unique_ptr<TermSelector> MakeTermSelector(SelectionStrategy strategy,
+                                               const TermFilter& filter,
+                                               const LanguageModel* other) {
+  switch (strategy) {
+    case SelectionStrategy::kRandomLearned:
+      return std::make_unique<RandomSelector>(filter, nullptr);
+    case SelectionStrategy::kDfLearned:
+      return std::make_unique<FrequencySelector>(filter, TermMetric::kDf);
+    case SelectionStrategy::kCtfLearned:
+      return std::make_unique<FrequencySelector>(filter, TermMetric::kCtf);
+    case SelectionStrategy::kAvgTfLearned:
+      return std::make_unique<FrequencySelector>(filter, TermMetric::kAvgTf);
+    case SelectionStrategy::kRandomOther:
+      QBS_CHECK(other != nullptr);  // misconfiguration, not runtime input
+      return std::make_unique<RandomSelector>(filter, other);
+  }
+  return nullptr;
+}
+
+std::optional<std::string> RandomEligibleTerm(const LanguageModel& model,
+                                              const TermFilter& filter,
+                                              Rng& rng) {
+  static const std::unordered_set<std::string> kNoneUsed;
+  return ReservoirPick(model, filter, kNoneUsed, rng);
+}
+
+}  // namespace qbs

@@ -1,0 +1,78 @@
+// Query-term selection strategies for query-based sampling (paper §5.2).
+#ifndef QBS_SAMPLING_TERM_SELECTOR_H_
+#define QBS_SAMPLING_TERM_SELECTOR_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "lm/language_model.h"
+#include "util/random.h"
+
+namespace qbs {
+
+/// Eligibility rules for query terms (paper §4.4): "A term selected as a
+/// query term could not be a number and was required to be 3 or more
+/// characters long."
+struct TermFilter {
+  size_t min_length = 3;
+  size_t max_length = 64;
+  bool exclude_numbers = true;
+
+  /// True iff `term` may be used as a query term.
+  bool IsEligible(std::string_view term) const;
+};
+
+/// How the next query term is chosen (paper §5.2).
+enum class SelectionStrategy {
+  /// Uniformly at random from the learned language model (the paper's
+  /// baseline and empirical winner: "Random llm").
+  kRandomLearned,
+  /// Highest document frequency in the learned model ("df llm").
+  kDfLearned,
+  /// Highest collection term frequency in the learned model ("ctf llm").
+  kCtfLearned,
+  /// Highest average term frequency in the learned model ("avg_tf llm").
+  kAvgTfLearned,
+  /// Uniformly at random from a fixed *other* language model ("Random olm").
+  kRandomOther,
+};
+
+/// Returns a stable display name ("random_llm", "df_llm", ...).
+const char* SelectionStrategyName(SelectionStrategy strategy);
+
+/// Chooses successive query terms under one strategy.
+class TermSelector {
+ public:
+  virtual ~TermSelector() = default;
+
+  /// Returns the next query term, or nullopt when no eligible unused term
+  /// exists. `learned` is the current learned model; `used` holds terms
+  /// already issued as queries.
+  virtual std::optional<std::string> Select(
+      const LanguageModel& learned,
+      const std::unordered_set<std::string>& used, Rng& rng) = 0;
+
+  /// Strategy display name.
+  virtual std::string name() const = 0;
+};
+
+/// Creates a selector. For kRandomOther, `other_model` must be non-null and
+/// outlive the selector; it is ignored for the *_llm strategies.
+std::unique_ptr<TermSelector> MakeTermSelector(
+    SelectionStrategy strategy, const TermFilter& filter,
+    const LanguageModel* other_model = nullptr);
+
+/// Picks a random eligible term from `model` — used to choose the *initial*
+/// query term from a reference model (paper §4.4: "selecting a word
+/// randomly from the actual TREC-123 language model"). Returns nullopt when
+/// the model has no eligible term.
+std::optional<std::string> RandomEligibleTerm(const LanguageModel& model,
+                                              const TermFilter& filter,
+                                              Rng& rng);
+
+}  // namespace qbs
+
+#endif  // QBS_SAMPLING_TERM_SELECTOR_H_

@@ -1,0 +1,61 @@
+#include "search/query_node.h"
+
+#include <cstdio>
+
+namespace qbs {
+
+const char* QueryOpName(QueryOp op) {
+  switch (op) {
+    case QueryOp::kTerm:
+      return "";
+    case QueryOp::kAnd:
+      return "#and";
+    case QueryOp::kOr:
+      return "#or";
+    case QueryOp::kNot:
+      return "#not";
+    case QueryOp::kSum:
+      return "#sum";
+    case QueryOp::kWsum:
+      return "#wsum";
+    case QueryOp::kMax:
+      return "#max";
+  }
+  return "";
+}
+
+std::unique_ptr<QueryNode> QueryNode::Term(std::string term) {
+  auto node = std::make_unique<QueryNode>();
+  node->op = QueryOp::kTerm;
+  node->term = std::move(term);
+  return node;
+}
+
+std::unique_ptr<QueryNode> QueryNode::Op(
+    QueryOp op, std::vector<std::unique_ptr<QueryNode>> children,
+    std::vector<double> weights) {
+  auto node = std::make_unique<QueryNode>();
+  node->op = op;
+  node->children = std::move(children);
+  node->weights = std::move(weights);
+  return node;
+}
+
+std::string QueryNode::ToString() const {
+  if (op == QueryOp::kTerm) return term;
+  std::string out = QueryOpName(op);
+  out.push_back('(');
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    if (op == QueryOp::kWsum && i < weights.size()) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g ", weights[i]);
+      out += buf;
+    }
+    out += children[i]->ToString();
+  }
+  out.push_back(')');
+  return out;
+}
+
+}  // namespace qbs

@@ -1,0 +1,64 @@
+// AST for INQUERY-style structured queries.
+//
+// Grammar (whitespace-separated):
+//   expr  := TERM
+//          | #and(expr+) | #or(expr+) | #not(expr) | #max(expr+)
+//          | #sum(expr+) | #wsum(weight expr [weight expr ...])
+//
+// Beliefs combine with the classic inference-network semantics:
+//   and:  prod(p_i)           or:  1 - prod(1 - p_i)
+//   not:  1 - p               max: max(p_i)
+//   sum:  mean(p_i)           wsum: sum(w_i * p_i) / sum(w_i)
+#ifndef QBS_SEARCH_QUERY_NODE_H_
+#define QBS_SEARCH_QUERY_NODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qbs {
+
+/// Structured query operator kinds.
+enum class QueryOp {
+  kTerm,  // leaf: a single query term
+  kAnd,
+  kOr,
+  kNot,
+  kSum,
+  kWsum,
+  kMax,
+};
+
+/// Returns the operator's source-syntax name ("#and", ...; "" for terms).
+const char* QueryOpName(QueryOp op);
+
+/// One node of a structured query.
+struct QueryNode {
+  QueryOp op = QueryOp::kTerm;
+
+  /// Leaf term text (raw; analyzed at evaluation time). Empty for
+  /// operators.
+  std::string term;
+
+  /// Operator children (empty for terms).
+  std::vector<std::unique_ptr<QueryNode>> children;
+
+  /// Per-child weights; only used by kWsum (parallel to children).
+  std::vector<double> weights;
+
+  /// Builds a leaf.
+  static std::unique_ptr<QueryNode> Term(std::string term);
+
+  /// Builds an operator node.
+  static std::unique_ptr<QueryNode> Op(
+      QueryOp op, std::vector<std::unique_ptr<QueryNode>> children,
+      std::vector<double> weights = {});
+
+  /// Renders the node back to query syntax (stable form for debugging and
+  /// round-trip tests).
+  std::string ToString() const;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_SEARCH_QUERY_NODE_H_

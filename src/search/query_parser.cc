@@ -1,0 +1,152 @@
+#include "search/query_parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace qbs {
+
+namespace {
+
+// Recursive-descent parser over the raw input.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<std::unique_ptr<QueryNode>> Parse() {
+    SkipSpace();
+    if (AtEnd()) return Err("empty query");
+    // Top level: a sequence of expressions. One expression passes through;
+    // several are wrapped in an implicit #sum.
+    std::vector<std::unique_ptr<QueryNode>> exprs;
+    while (!AtEnd()) {
+      QBS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> node, ParseExpr());
+      exprs.push_back(std::move(node));
+      SkipSpace();
+    }
+    if (exprs.size() == 1) return std::move(exprs[0]);
+    return QueryNode::Op(QueryOp::kSum, std::move(exprs));
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  Status Err(const std::string& message) const {
+    return Status::InvalidArgument(message + " (at offset " +
+                                   std::to_string(pos_) + ")");
+  }
+
+  Result<std::unique_ptr<QueryNode>> ParseExpr() {
+    SkipSpace();
+    if (AtEnd()) return Err("expected expression");
+    if (Peek() == '#') return ParseOperator();
+    if (Peek() == ')') return Err("unexpected ')'");
+    return ParseTerm();
+  }
+
+  Result<std::unique_ptr<QueryNode>> ParseTerm() {
+    size_t start = pos_;
+    while (!AtEnd() && !std::isspace(static_cast<unsigned char>(Peek())) &&
+           Peek() != '(' && Peek() != ')' && Peek() != '#') {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("expected term");
+    return QueryNode::Term(std::string(input_.substr(start, pos_ - start)));
+  }
+
+  Result<std::unique_ptr<QueryNode>> ParseOperator() {
+    size_t start = pos_;
+    ++pos_;  // consume '#'
+    while (!AtEnd() && std::isalpha(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+    std::string_view name = input_.substr(start, pos_ - start);
+    QueryOp op;
+    if (name == "#and") {
+      op = QueryOp::kAnd;
+    } else if (name == "#or") {
+      op = QueryOp::kOr;
+    } else if (name == "#not") {
+      op = QueryOp::kNot;
+    } else if (name == "#sum") {
+      op = QueryOp::kSum;
+    } else if (name == "#wsum") {
+      op = QueryOp::kWsum;
+    } else if (name == "#max") {
+      op = QueryOp::kMax;
+    } else {
+      return Err("unknown operator '" + std::string(name) + "'");
+    }
+    SkipSpace();
+    if (AtEnd() || Peek() != '(') {
+      return Err("expected '(' after " + std::string(name));
+    }
+    ++pos_;  // consume '('
+
+    std::vector<std::unique_ptr<QueryNode>> children;
+    std::vector<double> weights;
+    while (true) {
+      SkipSpace();
+      if (AtEnd()) return Err("missing ')' for " + std::string(name));
+      if (Peek() == ')') {
+        ++pos_;
+        break;
+      }
+      if (op == QueryOp::kWsum) {
+        QBS_ASSIGN_OR_RETURN(double w, ParseWeight());
+        weights.push_back(w);
+        SkipSpace();
+        if (AtEnd() || Peek() == ')') {
+          return Err("#wsum expects an expression after each weight");
+        }
+      }
+      QBS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> child, ParseExpr());
+      children.push_back(std::move(child));
+    }
+
+    if (children.empty()) {
+      return Err(std::string(name) + " requires at least one operand");
+    }
+    if (op == QueryOp::kNot && children.size() != 1) {
+      return Err("#not takes exactly one operand");
+    }
+    return QueryNode::Op(op, std::move(children), std::move(weights));
+  }
+
+  Result<double> ParseWeight() {
+    SkipSpace();
+    size_t start = pos_;
+    while (!AtEnd() &&
+           (std::isdigit(static_cast<unsigned char>(Peek())) ||
+            Peek() == '.' || Peek() == '-' || Peek() == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Err("#wsum expects a numeric weight");
+    std::string text(input_.substr(start, pos_ - start));
+    char* end = nullptr;
+    double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size()) {
+      return Err("malformed weight '" + text + "'");
+    }
+    if (value <= 0.0) return Err("weights must be positive");
+    return value;
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<QueryNode>> ParseQuery(std::string_view input) {
+  return Parser(input).Parse();
+}
+
+}  // namespace qbs

@@ -1,0 +1,21 @@
+// Parser for the INQUERY-style structured query syntax (see query_node.h).
+#ifndef QBS_SEARCH_QUERY_PARSER_H_
+#define QBS_SEARCH_QUERY_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "search/query_node.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// Parses a structured query. Bare multi-term input ("apple pie") is
+/// wrapped in an implicit #sum, so plain bag-of-words queries remain
+/// valid. Returns InvalidArgument with a character offset for syntax
+/// errors.
+Result<std::unique_ptr<QueryNode>> ParseQuery(std::string_view input);
+
+}  // namespace qbs
+
+#endif  // QBS_SEARCH_QUERY_PARSER_H_

@@ -1,0 +1,47 @@
+#include "search/scorer.h"
+
+#include <cmath>
+
+namespace qbs {
+
+double InqueryScorer::Score(const MatchStats& match,
+                            const CorpusStatsView& corpus) const {
+  if (match.tf == 0 || corpus.num_docs == 0) return 0.0;
+  double dl_ratio =
+      corpus.avg_doc_length > 0.0 ? match.doc_length / corpus.avg_doc_length
+                                  : 1.0;
+  double t = match.tf / (match.tf + 0.5 + 1.5 * dl_ratio);
+  double idf = std::log((corpus.num_docs + 0.5) / std::max<double>(match.df, 1)) /
+               std::log(corpus.num_docs + 1.0);
+  return default_belief_ + (1.0 - default_belief_) * t * idf;
+}
+
+double TfIdfScorer::Score(const MatchStats& match,
+                          const CorpusStatsView& corpus) const {
+  if (match.tf == 0) return 0.0;
+  double tf_part = 1.0 + std::log(static_cast<double>(match.tf));
+  double idf_part = std::log(
+      1.0 + static_cast<double>(corpus.num_docs) / std::max<double>(match.df, 1));
+  return tf_part * idf_part;
+}
+
+double Bm25Scorer::Score(const MatchStats& match,
+                         const CorpusStatsView& corpus) const {
+  if (match.tf == 0 || corpus.num_docs == 0) return 0.0;
+  double idf = std::log(1.0 + (corpus.num_docs - match.df + 0.5) /
+                                  (match.df + 0.5));
+  double dl_ratio =
+      corpus.avg_doc_length > 0.0 ? match.doc_length / corpus.avg_doc_length
+                                  : 1.0;
+  double denom = match.tf + k1_ * (1.0 - b_ + b_ * dl_ratio);
+  return idf * (match.tf * (k1_ + 1.0)) / denom;
+}
+
+std::unique_ptr<Scorer> MakeScorer(const std::string& name) {
+  if (name == "inquery") return std::make_unique<InqueryScorer>();
+  if (name == "tfidf") return std::make_unique<TfIdfScorer>();
+  if (name == "bm25") return std::make_unique<Bm25Scorer>();
+  return nullptr;
+}
+
+}  // namespace qbs

@@ -1,0 +1,89 @@
+// Ranking functions for full-text retrieval.
+#ifndef QBS_SEARCH_SCORER_H_
+#define QBS_SEARCH_SCORER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace qbs {
+
+/// Corpus-level statistics a scorer may consult.
+struct CorpusStatsView {
+  /// Number of documents in the index.
+  uint32_t num_docs = 0;
+  /// Mean document length in terms.
+  double avg_doc_length = 0.0;
+};
+
+/// Per-(term, document) match statistics.
+struct MatchStats {
+  /// Within-document term frequency.
+  uint32_t tf = 0;
+  /// Document frequency of the term.
+  uint32_t df = 0;
+  /// Length of the matched document, in terms.
+  uint32_t doc_length = 0;
+};
+
+/// A document ranking function. Scores are additive across query terms.
+class Scorer {
+ public:
+  virtual ~Scorer() = default;
+
+  /// Returns this scorer's name (for reporting).
+  virtual std::string name() const = 0;
+
+  /// Returns the score contribution of one query term in one document.
+  virtual double Score(const MatchStats& match,
+                       const CorpusStatsView& corpus) const = 0;
+};
+
+/// INQUERY-style tf.idf belief score (the retrieval model behind the
+/// paper's databases):
+///   belief = b + (1-b) * T * I
+///   T = tf / (tf + 0.5 + 1.5 * dl / avg_dl)
+///   I = log((N + 0.5) / df) / log(N + 1)
+class InqueryScorer : public Scorer {
+ public:
+  /// `default_belief` is INQUERY's b, conventionally 0.4.
+  explicit InqueryScorer(double default_belief = 0.4)
+      : default_belief_(default_belief) {}
+
+  std::string name() const override { return "inquery"; }
+  double Score(const MatchStats& match,
+               const CorpusStatsView& corpus) const override;
+
+ private:
+  double default_belief_;
+};
+
+/// Classic lnc-style tf.idf: (1 + log tf) * log(1 + N / df).
+class TfIdfScorer : public Scorer {
+ public:
+  std::string name() const override { return "tfidf"; }
+  double Score(const MatchStats& match,
+               const CorpusStatsView& corpus) const override;
+};
+
+/// Okapi BM25 with standard parameters.
+class Bm25Scorer : public Scorer {
+ public:
+  Bm25Scorer(double k1 = 1.2, double b = 0.75) : k1_(k1), b_(b) {}
+
+  std::string name() const override { return "bm25"; }
+  double Score(const MatchStats& match,
+               const CorpusStatsView& corpus) const override;
+
+ private:
+  double k1_;
+  double b_;
+};
+
+/// Factory by name ("inquery", "tfidf", "bm25"); returns nullptr for
+/// unknown names.
+std::unique_ptr<Scorer> MakeScorer(const std::string& name);
+
+}  // namespace qbs
+
+#endif  // QBS_SEARCH_SCORER_H_

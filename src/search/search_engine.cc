@@ -1,0 +1,99 @@
+#include "search/search_engine.h"
+
+#include "search/structured_searcher.h"
+#include "util/logging.h"
+
+namespace qbs {
+
+SearchEngine::SearchEngine(std::string name, SearchEngineOptions options)
+    : name_(std::move(name)), options_(std::move(options)) {
+  scorer_ = MakeScorer(options_.scorer);
+  QBS_CHECK(scorer_ != nullptr);  // invalid scorer name is a programming error
+  searcher_ = std::make_unique<Searcher>(&index_, scorer_.get());
+  structured_searcher_ =
+      std::make_unique<StructuredSearcher>(&index_, &options_.analyzer);
+}
+
+SearchEngine::~SearchEngine() = default;
+
+Result<std::unique_ptr<SearchEngine>> SearchEngine::FromParts(
+    std::string name, SearchEngineOptions options, InvertedIndex index,
+    DocumentStore store) {
+  if (index.num_docs() != store.size()) {
+    return Status::Corruption("index and document store disagree on size");
+  }
+  auto engine =
+      std::make_unique<SearchEngine>(std::move(name), std::move(options));
+  engine->index_ = std::move(index);
+  engine->store_ = std::move(store);
+  engine->by_name_.reserve(engine->store_.size() * 2);
+  for (DocId d = 0; d < engine->store_.size(); ++d) {
+    auto [it, inserted] =
+        engine->by_name_.emplace(std::string(engine->store_.Name(d)), d);
+    if (!inserted) {
+      return Status::Corruption("duplicate document name in store: " +
+                                std::string(engine->store_.Name(d)));
+    }
+  }
+  return engine;
+}
+
+Status SearchEngine::AddDocument(std::string_view doc_name,
+                                 std::string_view text) {
+  if (doc_name.empty()) {
+    return Status::InvalidArgument("document name must be non-empty");
+  }
+  if (by_name_.contains(std::string(doc_name))) {
+    return Status::InvalidArgument("duplicate document name: " +
+                                   std::string(doc_name));
+  }
+  std::vector<std::string> terms = options_.analyzer.Analyze(text);
+  DocId id = index_.AddDocument(terms);
+  DocId stored = store_.Add(doc_name, text);
+  QBS_CHECK_EQ(id, stored);
+  by_name_.emplace(std::string(doc_name), id);
+  return Status::OK();
+}
+
+void SearchEngine::FinishLoading() { index_.ShrinkToFit(); }
+
+Result<std::vector<SearchHit>> SearchEngine::RunQuery(std::string_view query,
+                                                      size_t max_results) {
+  if (max_results == 0) {
+    return Status::InvalidArgument("max_results must be positive");
+  }
+  // The query passes through the *database's* analyzer: a term this
+  // database treats as a stopword retrieves nothing, exactly as the paper
+  // observes for its INQUERY-backed databases.
+  std::vector<std::string> terms = options_.analyzer.Analyze(query);
+  std::vector<ScoredDoc> scored = searcher_->Search(terms, max_results);
+  std::vector<SearchHit> hits;
+  hits.reserve(scored.size());
+  for (const ScoredDoc& d : scored) {
+    hits.push_back({std::string(store_.Name(d.doc_id)), d.score});
+  }
+  return hits;
+}
+
+Result<std::vector<SearchHit>> SearchEngine::RunStructuredQuery(
+    std::string_view query, size_t max_results) {
+  QBS_ASSIGN_OR_RETURN(std::vector<ScoredDoc> scored,
+                       structured_searcher_->Search(query, max_results));
+  std::vector<SearchHit> hits;
+  hits.reserve(scored.size());
+  for (const ScoredDoc& d : scored) {
+    hits.push_back({std::string(store_.Name(d.doc_id)), d.score});
+  }
+  return hits;
+}
+
+Result<std::string> SearchEngine::FetchDocument(std::string_view handle) {
+  auto it = by_name_.find(std::string(handle));
+  if (it == by_name_.end()) {
+    return Status::NotFound("no document named '" + std::string(handle) +
+                            "' in database '" + name_ + "'");
+  }
+  return std::string(store_.Text(it->second));
+}
+
+}  // namespace qbs

@@ -1,0 +1,110 @@
+// A complete searchable text database: analyzer + inverted index + document
+// store + ranked retrieval, exposed through the narrow TextDatabase
+// interface.
+#ifndef QBS_SEARCH_SEARCH_ENGINE_H_
+#define QBS_SEARCH_SEARCH_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/document_store.h"
+#include "index/inverted_index.h"
+#include "lm/language_model.h"
+#include "search/scorer.h"
+#include "search/searcher.h"
+#include "search/text_database.h"
+#include "text/analyzer.h"
+
+namespace qbs {
+
+/// Options configuring one database's indexing and retrieval conventions.
+/// Different databases legitimately differ here (paper §2.2); the sampler
+/// never sees these options.
+struct SearchEngineOptions {
+  /// Indexing pipeline (stemming, stopwords, case rules).
+  Analyzer analyzer = Analyzer::InqueryLike();
+  /// Ranking function: "inquery", "tfidf", or "bm25".
+  std::string scorer = "inquery";
+};
+
+/// An in-process full-text search engine over one corpus.
+///
+/// Thread-compatible: concurrent RunQuery calls require external
+/// synchronization (a per-engine mutex would serialize the sampler's
+/// sequential workload for nothing).
+class SearchEngine : public TextDatabase {
+ public:
+  /// Creates an empty engine. `name` identifies the database in reports.
+  explicit SearchEngine(std::string name,
+                        SearchEngineOptions options = SearchEngineOptions());
+  ~SearchEngine() override;
+
+  /// Reassembles an engine from persisted parts (storage layer). The index
+  /// and store must describe the same documents in the same order.
+  static Result<std::unique_ptr<SearchEngine>> FromParts(
+      std::string name, SearchEngineOptions options, InvertedIndex index,
+      DocumentStore store);
+
+  SearchEngine(const SearchEngine&) = delete;
+  SearchEngine& operator=(const SearchEngine&) = delete;
+
+  /// Indexes and stores one document. `doc_name` must be unique within the
+  /// engine (it doubles as the retrieval handle).
+  Status AddDocument(std::string_view doc_name, std::string_view text);
+
+  /// Number of indexed documents.
+  uint32_t num_docs() const { return index_.num_docs(); }
+
+  /// The engine's inverted index (tests / actual-LM construction only; the
+  /// sampler must not use this).
+  const InvertedIndex& index() const { return index_; }
+
+  /// The stored raw documents.
+  const DocumentStore& store() const { return store_; }
+
+  /// The engine's analyzer.
+  const Analyzer& analyzer() const { return options_.analyzer; }
+
+  /// The configured ranking function's name ("inquery", "tfidf", "bm25").
+  const std::string& scorer_name() const { return options_.scorer; }
+
+  /// The *actual* language model of this database, in the database's own
+  /// (stemmed, stopped) term space. This is ground truth for experiments
+  /// and the payload a cooperative STARTS-style export would provide.
+  LanguageModel ActualLanguageModel() const {
+    return LanguageModel::FromIndex(index_);
+  }
+
+  /// Releases index-building scratch after bulk loading.
+  void FinishLoading();
+
+  /// Evaluates an INQUERY-style structured query (#and/#or/#not/#sum/
+  /// #wsum/#max; see query_node.h). Bare bag-of-words input is also
+  /// accepted (implicit #sum). Returns InvalidArgument on syntax errors.
+  Result<std::vector<SearchHit>> RunStructuredQuery(std::string_view query,
+                                                    size_t max_results);
+
+  // --- TextDatabase interface (what the sampler sees) ---
+  std::string name() const override { return name_; }
+  Result<std::vector<SearchHit>> RunQuery(std::string_view query,
+                                          size_t max_results) override;
+  Result<std::string> FetchDocument(std::string_view handle) override;
+
+ private:
+  std::string name_;
+  SearchEngineOptions options_;
+  std::unique_ptr<Scorer> scorer_;
+  InvertedIndex index_;
+  DocumentStore store_;
+  std::unique_ptr<Searcher> searcher_;
+  std::unique_ptr<class StructuredSearcher> structured_searcher_;
+  // doc name -> DocId for FetchDocument.
+  std::unordered_map<std::string, DocId> by_name_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_SEARCH_SEARCH_ENGINE_H_

@@ -1,0 +1,62 @@
+#include "search/searcher.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qbs {
+
+Searcher::Searcher(const InvertedIndex* index, const Scorer* scorer)
+    : index_(index), scorer_(scorer) {
+  QBS_CHECK(index_ != nullptr);
+  QBS_CHECK(scorer_ != nullptr);
+}
+
+std::vector<ScoredDoc> Searcher::Search(const std::vector<std::string>& terms,
+                                        size_t max_results) {
+  if (scores_.size() < index_->num_docs()) {
+    scores_.resize(index_->num_docs(), 0.0);
+  }
+  CorpusStatsView corpus;
+  corpus.num_docs = index_->num_docs();
+  corpus.avg_doc_length = index_->avg_doc_length();
+
+  for (const std::string& term : terms) {
+    TermId id = index_->LookupTerm(term);
+    if (id == kInvalidTermId) continue;
+    const PostingList& plist = index_->postings(id);
+    MatchStats match;
+    match.df = plist.doc_frequency();
+    for (auto it = plist.NewIterator(); it.Valid(); it.Next()) {
+      const Posting& p = it.Get();
+      match.tf = p.tf;
+      match.doc_length = index_->doc_length(p.doc_id);
+      double contrib = scorer_->Score(match, corpus);
+      if (scores_[p.doc_id] == 0.0) touched_.push_back(p.doc_id);
+      scores_[p.doc_id] += contrib;
+    }
+  }
+
+  std::vector<ScoredDoc> results;
+  results.reserve(touched_.size());
+  for (DocId doc : touched_) {
+    results.push_back({doc, scores_[doc]});
+    scores_[doc] = 0.0;
+  }
+  touched_.clear();
+
+  auto better = [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  };
+  if (max_results < results.size()) {
+    std::partial_sort(results.begin(), results.begin() + max_results,
+                      results.end(), better);
+    results.resize(max_results);
+  } else {
+    std::sort(results.begin(), results.end(), better);
+  }
+  return results;
+}
+
+}  // namespace qbs

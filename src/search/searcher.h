@@ -1,0 +1,44 @@
+// Ranked query evaluation over an InvertedIndex.
+#ifndef QBS_SEARCH_SEARCHER_H_
+#define QBS_SEARCH_SEARCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "search/scorer.h"
+
+namespace qbs {
+
+/// One internal result: DocId plus accumulated score.
+struct ScoredDoc {
+  DocId doc_id = kInvalidDocId;
+  double score = 0.0;
+};
+
+/// Term-at-a-time query evaluator with sparse score accumulation.
+///
+/// Not thread-safe: each Searcher owns scratch accumulators. Create one
+/// per thread over the same (immutable) index.
+class Searcher {
+ public:
+  /// The index must outlive the searcher. The scorer is shared, immutable.
+  Searcher(const InvertedIndex* index, const Scorer* scorer);
+
+  /// Evaluates a bag-of-words query (already analyzed into index terms) and
+  /// returns the top `max_results` documents, best first. Ties are broken
+  /// by ascending DocId so results are deterministic.
+  std::vector<ScoredDoc> Search(const std::vector<std::string>& terms,
+                                size_t max_results);
+
+ private:
+  const InvertedIndex* index_;
+  const Scorer* scorer_;
+  // Dense accumulator plus touched-list, reset between queries.
+  std::vector<double> scores_;
+  std::vector<DocId> touched_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_SEARCH_SEARCHER_H_

@@ -1,0 +1,158 @@
+#include "search/structured_searcher.h"
+
+#include <algorithm>
+
+#include "search/query_parser.h"
+#include "util/logging.h"
+
+namespace qbs {
+
+StructuredSearcher::StructuredSearcher(const InvertedIndex* index,
+                                       const Analyzer* analyzer,
+                                       double default_belief)
+    : index_(index),
+      analyzer_(analyzer),
+      default_belief_(default_belief),
+      scorer_(default_belief) {
+  QBS_CHECK(index_ != nullptr);
+  QBS_CHECK(analyzer_ != nullptr);
+  QBS_CHECK(default_belief_ >= 0.0 && default_belief_ < 1.0);
+}
+
+std::vector<double> StructuredSearcher::TermBeliefs(
+    const std::string& analyzed_term, std::vector<bool>& touched) {
+  std::vector<double> beliefs(index_->num_docs(), default_belief_);
+  TermId id = index_->LookupTerm(analyzed_term);
+  if (id == kInvalidTermId) return beliefs;
+
+  CorpusStatsView corpus;
+  corpus.num_docs = index_->num_docs();
+  corpus.avg_doc_length = index_->avg_doc_length();
+  const PostingList& plist = index_->postings(id);
+  MatchStats match;
+  match.df = plist.doc_frequency();
+  for (auto it = plist.NewIterator(); it.Valid(); it.Next()) {
+    const Posting& p = it.Get();
+    match.tf = p.tf;
+    match.doc_length = index_->doc_length(p.doc_id);
+    beliefs[p.doc_id] = scorer_.Score(match, corpus);
+    touched[p.doc_id] = true;
+  }
+  return beliefs;
+}
+
+std::vector<double> StructuredSearcher::Eval(const QueryNode& node,
+                                             std::vector<bool>& touched) {
+  const size_t n = index_->num_docs();
+  if (node.op == QueryOp::kTerm) {
+    std::vector<std::string> analyzed = analyzer_->Analyze(node.term);
+    if (analyzed.empty()) {
+      return std::vector<double>(n, default_belief_);
+    }
+    if (analyzed.size() == 1) return TermBeliefs(analyzed[0], touched);
+    // Multi-token leaf (e.g. "data-base"): mean of the token beliefs.
+    std::vector<double> acc = TermBeliefs(analyzed[0], touched);
+    for (size_t t = 1; t < analyzed.size(); ++t) {
+      std::vector<double> next = TermBeliefs(analyzed[t], touched);
+      for (size_t d = 0; d < n; ++d) acc[d] += next[d];
+    }
+    for (double& b : acc) b /= analyzed.size();
+    return acc;
+  }
+
+  // Operators.
+  QBS_CHECK(!node.children.empty());
+  std::vector<double> acc = Eval(*node.children[0], touched);
+  switch (node.op) {
+    case QueryOp::kTerm:
+      break;  // handled above
+    case QueryOp::kNot:
+      for (double& b : acc) b = 1.0 - b;
+      break;
+    case QueryOp::kAnd:
+      for (size_t c = 1; c < node.children.size(); ++c) {
+        std::vector<double> next = Eval(*node.children[c], touched);
+        for (size_t d = 0; d < acc.size(); ++d) acc[d] *= next[d];
+      }
+      break;
+    case QueryOp::kOr: {
+      for (double& b : acc) b = 1.0 - b;
+      for (size_t c = 1; c < node.children.size(); ++c) {
+        std::vector<double> next = Eval(*node.children[c], touched);
+        for (size_t d = 0; d < acc.size(); ++d) acc[d] *= (1.0 - next[d]);
+      }
+      for (double& b : acc) b = 1.0 - b;
+      break;
+    }
+    case QueryOp::kSum: {
+      for (size_t c = 1; c < node.children.size(); ++c) {
+        std::vector<double> next = Eval(*node.children[c], touched);
+        for (size_t d = 0; d < acc.size(); ++d) acc[d] += next[d];
+      }
+      double inv = 1.0 / node.children.size();
+      for (double& b : acc) b *= inv;
+      break;
+    }
+    case QueryOp::kWsum: {
+      QBS_CHECK_EQ(node.weights.size(), node.children.size());
+      double total_weight = node.weights[0];
+      for (double& b : acc) b *= node.weights[0];
+      for (size_t c = 1; c < node.children.size(); ++c) {
+        std::vector<double> next = Eval(*node.children[c], touched);
+        for (size_t d = 0; d < acc.size(); ++d) {
+          acc[d] += node.weights[c] * next[d];
+        }
+        total_weight += node.weights[c];
+      }
+      double inv = 1.0 / total_weight;
+      for (double& b : acc) b *= inv;
+      break;
+    }
+    case QueryOp::kMax:
+      for (size_t c = 1; c < node.children.size(); ++c) {
+        std::vector<double> next = Eval(*node.children[c], touched);
+        for (size_t d = 0; d < acc.size(); ++d) {
+          acc[d] = std::max(acc[d], next[d]);
+        }
+      }
+      break;
+  }
+  return acc;
+}
+
+Result<std::vector<ScoredDoc>> StructuredSearcher::Search(
+    const QueryNode& root, size_t max_results) {
+  if (max_results == 0) {
+    return Status::InvalidArgument("max_results must be positive");
+  }
+  const size_t n = index_->num_docs();
+  if (n == 0) return std::vector<ScoredDoc>();
+
+  std::vector<bool> touched(n, false);
+  std::vector<double> beliefs = Eval(root, touched);
+
+  std::vector<ScoredDoc> results;
+  for (DocId d = 0; d < n; ++d) {
+    if (touched[d]) results.push_back({d, beliefs[d]});
+  }
+  auto better = [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  };
+  if (max_results < results.size()) {
+    std::partial_sort(results.begin(), results.begin() + max_results,
+                      results.end(), better);
+    results.resize(max_results);
+  } else {
+    std::sort(results.begin(), results.end(), better);
+  }
+  return results;
+}
+
+Result<std::vector<ScoredDoc>> StructuredSearcher::Search(
+    std::string_view query, size_t max_results) {
+  QBS_ASSIGN_OR_RETURN(std::unique_ptr<QueryNode> root, ParseQuery(query));
+  return Search(*root, max_results);
+}
+
+}  // namespace qbs

@@ -1,0 +1,60 @@
+// Evaluation of structured (operator) queries over an inverted index with
+// INQUERY inference-network belief semantics.
+#ifndef QBS_SEARCH_STRUCTURED_SEARCHER_H_
+#define QBS_SEARCH_STRUCTURED_SEARCHER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "search/query_node.h"
+#include "search/scorer.h"
+#include "search/searcher.h"
+#include "text/analyzer.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// Evaluates QueryNode trees against an index.
+///
+/// Every document receives a belief in [0, 1] from each leaf term
+/// (default_belief when the term is absent); operators combine beliefs
+/// per the inference-network formulas (see query_node.h). Only documents
+/// matching at least one positive leaf are returned.
+///
+/// Not thread-safe (scratch buffers); create one per thread.
+class StructuredSearcher {
+ public:
+  /// `index` and `analyzer` must outlive the searcher. Leaf terms pass
+  /// through `analyzer` (the database's own pipeline); a leaf analyzing to
+  /// several tokens behaves like #sum over them, to zero tokens (e.g. a
+  /// stopword) like an unmatched term.
+  StructuredSearcher(const InvertedIndex* index, const Analyzer* analyzer,
+                     double default_belief = 0.4);
+
+  /// Evaluates a parsed query.
+  Result<std::vector<ScoredDoc>> Search(const QueryNode& root,
+                                        size_t max_results);
+
+  /// Parses and evaluates query text.
+  Result<std::vector<ScoredDoc>> Search(std::string_view query,
+                                        size_t max_results);
+
+ private:
+  /// Computes the per-document belief vector of a node. `touched` gains
+  /// every document matched by a positive leaf.
+  std::vector<double> Eval(const QueryNode& node, std::vector<bool>& touched);
+
+  /// Belief vector for one analyzed index term.
+  std::vector<double> TermBeliefs(const std::string& analyzed_term,
+                                  std::vector<bool>& touched);
+
+  const InvertedIndex* index_;
+  const Analyzer* analyzer_;
+  double default_belief_;
+  InqueryScorer scorer_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_SEARCH_STRUCTURED_SEARCHER_H_

@@ -1,0 +1,49 @@
+// The minimal database interface the sampling service is allowed to use.
+//
+// The paper's central assumption (§3): "each database is capable of running
+// queries and returning documents that match the queries. These are minimal
+// criterion that we assume any database can satisfy." Query-based sampling
+// must work through this interface and nothing else — no access to index
+// statistics, vocabulary lists, or corpus metadata.
+#ifndef QBS_SEARCH_TEXT_DATABASE_H_
+#define QBS_SEARCH_TEXT_DATABASE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qbs {
+
+/// One ranked search result: an opaque document handle plus the database's
+/// (uncalibrated, database-specific) score.
+struct SearchHit {
+  /// Opaque handle usable with FetchDocument. Stable across queries.
+  std::string handle;
+  /// Retrieval score in the database's own scale.
+  double score = 0.0;
+};
+
+/// A searchable full-text database, as seen from outside.
+class TextDatabase {
+ public:
+  virtual ~TextDatabase() = default;
+
+  /// Human-readable database name (for reporting only).
+  virtual std::string name() const = 0;
+
+  /// Runs a free-text query and returns up to `max_results` hits, best
+  /// first. An empty result is not an error (the query may simply match
+  /// nothing, e.g. a term absent from this database).
+  virtual Result<std::vector<SearchHit>> RunQuery(std::string_view query,
+                                                  size_t max_results) = 0;
+
+  /// Returns the full raw text of a document previously returned by
+  /// RunQuery. Fails with NotFound for unknown handles.
+  virtual Result<std::string> FetchDocument(std::string_view handle) = 0;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_SEARCH_TEXT_DATABASE_H_

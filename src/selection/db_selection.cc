@@ -1,0 +1,173 @@
+#include "selection/db_selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qbs {
+
+void DatabaseCollection::Add(std::string name, LanguageModel model) {
+  entries_.push_back({std::move(name), std::move(model)});
+}
+
+size_t DatabaseCollection::DatabasesContaining(std::string_view term) const {
+  size_t count = 0;
+  for (const Entry& e : entries_) {
+    if (e.model.Contains(term)) ++count;
+  }
+  return count;
+}
+
+double DatabaseCollection::AvgCollectionSize() const {
+  if (entries_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Entry& e : entries_) {
+    total += static_cast<double>(e.model.total_term_count());
+  }
+  return total / entries_.size();
+}
+
+namespace {
+
+// Sorts scores descending, tie-broken by name, and returns them.
+std::vector<DatabaseScore> Finish(std::vector<DatabaseScore> scores) {
+  std::sort(scores.begin(), scores.end(),
+            [](const DatabaseScore& a, const DatabaseScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.db_name < b.db_name;
+            });
+  return scores;
+}
+
+}  // namespace
+
+CoriRanker::CoriRanker(const DatabaseCollection* collection,
+                       double default_belief)
+    : collection_(collection), default_belief_(default_belief) {
+  QBS_CHECK(collection_ != nullptr);
+  avg_cw_ = collection_->AvgCollectionSize();
+}
+
+std::vector<DatabaseScore> CoriRanker::Rank(
+    const std::vector<std::string>& query_terms) const {
+  const size_t num_dbs = collection_->size();
+  std::vector<DatabaseScore> scores(num_dbs);
+
+  // cf (number of databases containing each term) is query-wide.
+  std::vector<size_t> cf(query_terms.size());
+  for (size_t t = 0; t < query_terms.size(); ++t) {
+    cf[t] = collection_->DatabasesContaining(query_terms[t]);
+  }
+
+  for (size_t i = 0; i < num_dbs; ++i) {
+    const LanguageModel& lm = collection_->model(i);
+    double cw = static_cast<double>(lm.total_term_count());
+    double belief_sum = 0.0;
+    for (size_t t = 0; t < query_terms.size(); ++t) {
+      const TermStats* s = lm.Find(query_terms[t]);
+      double belief = default_belief_;
+      if (s != nullptr && cf[t] > 0) {
+        double df = static_cast<double>(s->df);
+        double tt = df / (df + 50.0 + 150.0 * (avg_cw_ > 0 ? cw / avg_cw_ : 1.0));
+        double ii = std::log((num_dbs + 0.5) / cf[t]) / std::log(num_dbs + 1.0);
+        belief = default_belief_ + (1.0 - default_belief_) * tt * ii;
+      }
+      belief_sum += belief;
+    }
+    scores[i].db_name = collection_->name(i);
+    scores[i].score =
+        query_terms.empty() ? 0.0 : belief_sum / query_terms.size();
+  }
+  return Finish(std::move(scores));
+}
+
+std::vector<DatabaseScore> BglossRanker::Rank(
+    const std::vector<std::string>& query_terms) const {
+  std::vector<DatabaseScore> scores(collection_->size());
+  for (size_t i = 0; i < collection_->size(); ++i) {
+    const LanguageModel& lm = collection_->model(i);
+    double num_docs = static_cast<double>(lm.num_docs());
+    double est = num_docs;
+    for (const std::string& term : query_terms) {
+      const TermStats* s = lm.Find(term);
+      if (s == nullptr || num_docs == 0.0) {
+        est = 0.0;
+        break;
+      }
+      est *= static_cast<double>(s->df) / num_docs;
+    }
+    scores[i].db_name = collection_->name(i);
+    scores[i].score = query_terms.empty() ? 0.0 : est;
+  }
+  return Finish(std::move(scores));
+}
+
+std::vector<DatabaseScore> VglossRanker::Rank(
+    const std::vector<std::string>& query_terms) const {
+  const size_t num_dbs = collection_->size();
+  std::vector<DatabaseScore> scores(num_dbs);
+
+  std::vector<double> idf(query_terms.size(), 0.0);
+  for (size_t t = 0; t < query_terms.size(); ++t) {
+    size_t cf = collection_->DatabasesContaining(query_terms[t]);
+    if (cf > 0) idf[t] = std::log(1.0 + static_cast<double>(num_dbs) / cf);
+  }
+
+  for (size_t i = 0; i < num_dbs; ++i) {
+    const LanguageModel& lm = collection_->model(i);
+    double score = 0.0;
+    for (size_t t = 0; t < query_terms.size(); ++t) {
+      const TermStats* s = lm.Find(query_terms[t]);
+      if (s != nullptr) score += static_cast<double>(s->ctf) * idf[t];
+    }
+    scores[i].db_name = collection_->name(i);
+    scores[i].score = score;
+  }
+  return Finish(std::move(scores));
+}
+
+KlRanker::KlRanker(const DatabaseCollection* collection, double lambda)
+    : collection_(collection), lambda_(lambda) {
+  QBS_CHECK(collection_ != nullptr);
+  QBS_CHECK(lambda_ > 0.0 && lambda_ < 1.0);
+  for (size_t i = 0; i < collection_->size(); ++i) {
+    union_model_.Merge(collection_->model(i));
+  }
+}
+
+std::vector<DatabaseScore> KlRanker::Rank(
+    const std::vector<std::string>& query_terms) const {
+  std::vector<DatabaseScore> scores(collection_->size());
+  double union_total =
+      std::max<double>(union_model_.total_term_count(), 1.0);
+  // Tiny floor so a term absent everywhere cannot produce log(0).
+  const double kFloor = 1e-12;
+
+  for (size_t i = 0; i < collection_->size(); ++i) {
+    const LanguageModel& lm = collection_->model(i);
+    double total = std::max<double>(lm.total_term_count(), 1.0);
+    double score = 0.0;
+    for (const std::string& term : query_terms) {
+      const TermStats* s = lm.Find(term);
+      const TermStats* u = union_model_.Find(term);
+      double p_db = s != nullptr ? s->ctf / total : 0.0;
+      double p_bg = u != nullptr ? u->ctf / union_total : 0.0;
+      score += std::log(lambda_ * p_db + (1.0 - lambda_) * p_bg + kFloor);
+    }
+    scores[i].db_name = collection_->name(i);
+    scores[i].score = score;
+  }
+  return Finish(std::move(scores));
+}
+
+std::unique_ptr<DatabaseRanker> MakeRanker(
+    const std::string& name, const DatabaseCollection* collection) {
+  if (name == "cori") return std::make_unique<CoriRanker>(collection);
+  if (name == "bgloss") return std::make_unique<BglossRanker>(collection);
+  if (name == "vgloss") return std::make_unique<VglossRanker>(collection);
+  if (name == "kl") return std::make_unique<KlRanker>(collection);
+  return nullptr;
+}
+
+}  // namespace qbs

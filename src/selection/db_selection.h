@@ -1,0 +1,144 @@
+// Content-based database selection: ranking databases by their likelihood
+// of satisfying a query, given only language models (paper §2).
+//
+// These algorithms are the *consumers* of learned language models. The
+// paper defers "how much LM error can selection tolerate" to future work;
+// implementing the consumers lets our experiments measure it end-to-end.
+#ifndef QBS_SELECTION_DB_SELECTION_H_
+#define QBS_SELECTION_DB_SELECTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lm/language_model.h"
+
+namespace qbs {
+
+/// A set of databases described by their language models. The collection
+/// owns copies of the models; `num_docs` on each model should be set (it
+/// is, both for actual models and for learned models).
+class DatabaseCollection {
+ public:
+  DatabaseCollection() = default;
+
+  /// Registers a database under `name` with its language model.
+  void Add(std::string name, LanguageModel model);
+
+  size_t size() const { return entries_.size(); }
+
+  const std::string& name(size_t i) const { return entries_[i].name; }
+  const LanguageModel& model(size_t i) const { return entries_[i].model; }
+
+  /// Number of databases whose model contains `term`.
+  size_t DatabasesContaining(std::string_view term) const;
+
+  /// Mean total-term-count across databases (CORI's avg_cw).
+  double AvgCollectionSize() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    LanguageModel model;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// One ranked database.
+struct DatabaseScore {
+  std::string db_name;
+  double score = 0.0;
+};
+
+/// A database-selection algorithm over a fixed collection.
+class DatabaseRanker {
+ public:
+  virtual ~DatabaseRanker() = default;
+
+  /// Algorithm name ("cori", "bgloss", "vgloss", "kl").
+  virtual std::string name() const = 0;
+
+  /// Ranks every database for a bag-of-words query, best first. Ties are
+  /// broken by database name for determinism.
+  virtual std::vector<DatabaseScore> Rank(
+      const std::vector<std::string>& query_terms) const = 0;
+};
+
+/// CORI (Callan et al., 1995): INQUERY-style inference-net belief over
+/// collections.
+///   T = df / (df + 50 + 150 * cw / avg_cw)
+///   I = log((C + 0.5) / cf) / log(C + 1.0)
+///   belief(term) = b + (1 - b) * T * I ;  score = mean over query terms
+class CoriRanker : public DatabaseRanker {
+ public:
+  /// `collection` must outlive the ranker.
+  explicit CoriRanker(const DatabaseCollection* collection,
+                      double default_belief = 0.4);
+
+  std::string name() const override { return "cori"; }
+  std::vector<DatabaseScore> Rank(
+      const std::vector<std::string>& query_terms) const override;
+
+ private:
+  const DatabaseCollection* collection_;
+  double default_belief_;
+  double avg_cw_;
+};
+
+/// Boolean GlOSS (Gravano et al.): estimates the number of documents in
+/// each database containing *all* query terms, assuming term independence:
+///   est = |db| * prod_t (df_t / |db|)
+class BglossRanker : public DatabaseRanker {
+ public:
+  explicit BglossRanker(const DatabaseCollection* collection)
+      : collection_(collection) {}
+
+  std::string name() const override { return "bgloss"; }
+  std::vector<DatabaseScore> Rank(
+      const std::vector<std::string>& query_terms) const override;
+
+ private:
+  const DatabaseCollection* collection_;
+};
+
+/// Vector-space GlOSS, Max(0) variant: goodness is the estimated sum of
+/// document similarities, which under the flat-weight assumption reduces to
+///   score = sum_t q_t * ctf_t * idf_t
+/// with idf computed over databases.
+class VglossRanker : public DatabaseRanker {
+ public:
+  explicit VglossRanker(const DatabaseCollection* collection)
+      : collection_(collection) {}
+
+  std::string name() const override { return "vgloss"; }
+  std::vector<DatabaseScore> Rank(
+      const std::vector<std::string>& query_terms) const override;
+
+ private:
+  const DatabaseCollection* collection_;
+};
+
+/// Query-likelihood / negative-KL ranker with Jelinek-Mercer smoothing
+/// against the union of all database models:
+///   score = sum_t log( lambda * p(t | db) + (1 - lambda) * p(t | union) )
+class KlRanker : public DatabaseRanker {
+ public:
+  KlRanker(const DatabaseCollection* collection, double lambda = 0.7);
+
+  std::string name() const override { return "kl"; }
+  std::vector<DatabaseScore> Rank(
+      const std::vector<std::string>& query_terms) const override;
+
+ private:
+  const DatabaseCollection* collection_;
+  double lambda_;
+  LanguageModel union_model_;
+};
+
+/// Factory by name; returns nullptr for unknown names.
+std::unique_ptr<DatabaseRanker> MakeRanker(const std::string& name,
+                                           const DatabaseCollection* collection);
+
+}  // namespace qbs
+
+#endif  // QBS_SELECTION_DB_SELECTION_H_

@@ -1,0 +1,79 @@
+#include "selection/eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace qbs {
+
+RankingAgreement CompareRankings(const std::vector<DatabaseScore>& reference,
+                                 const std::vector<DatabaseScore>& candidate,
+                                 size_t k) {
+  QBS_CHECK_EQ(reference.size(), candidate.size());
+  const size_t n = reference.size();
+  RankingAgreement out;
+  if (n == 0) return out;
+
+  // Positions by name in each ranking.
+  std::unordered_map<std::string, size_t> ref_pos, cand_pos;
+  for (size_t i = 0; i < n; ++i) {
+    ref_pos[reference[i].db_name] = i;
+    cand_pos[candidate[i].db_name] = i;
+  }
+  QBS_CHECK_EQ(ref_pos.size(), n);   // duplicate names would corrupt ranks
+  QBS_CHECK_EQ(cand_pos.size(), n);
+
+  // Spearman over positions (no ties by construction: positions are
+  // distinct integers).
+  double sum_d2 = 0.0;
+  for (const auto& [name, rp] : ref_pos) {
+    auto it = cand_pos.find(name);
+    QBS_CHECK(it != cand_pos.end());
+    double d = static_cast<double>(rp) - static_cast<double>(it->second);
+    sum_d2 += d * d;
+  }
+  if (n >= 2) {
+    double dn = static_cast<double>(n);
+    out.spearman = 1.0 - 6.0 * sum_d2 / (dn * (dn * dn - 1.0));
+  } else {
+    out.spearman = 1.0;
+  }
+
+  // Top-k overlap.
+  size_t kk = std::min(k, n);
+  if (kk > 0) {
+    std::unordered_set<std::string> ref_top;
+    for (size_t i = 0; i < kk; ++i) ref_top.insert(reference[i].db_name);
+    size_t hits = 0;
+    for (size_t i = 0; i < kk; ++i) {
+      if (ref_top.contains(candidate[i].db_name)) ++hits;
+    }
+    out.top_k_overlap = static_cast<double>(hits) / kk;
+    out.top_1_match =
+        reference[0].db_name == candidate[0].db_name ? 1.0 : 0.0;
+  }
+  return out;
+}
+
+RankingAgreement MeanAgreement(
+    const DatabaseRanker& reference_ranker,
+    const DatabaseRanker& candidate_ranker,
+    const std::vector<std::vector<std::string>>& queries, size_t k) {
+  RankingAgreement mean;
+  if (queries.empty()) return mean;
+  for (const auto& query : queries) {
+    RankingAgreement a = CompareRankings(reference_ranker.Rank(query),
+                                         candidate_ranker.Rank(query), k);
+    mean.spearman += a.spearman;
+    mean.top_k_overlap += a.top_k_overlap;
+    mean.top_1_match += a.top_1_match;
+  }
+  mean.spearman /= queries.size();
+  mean.top_k_overlap /= queries.size();
+  mean.top_1_match /= queries.size();
+  return mean;
+}
+
+}  // namespace qbs

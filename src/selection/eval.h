@@ -1,0 +1,42 @@
+// Evaluation of selection quality: how closely do database rankings made
+// from *learned* language models track rankings made from *actual* ones?
+// (The paper's deferred question, §5: "how correlated the rankings need to
+// be for accurate database selection".)
+#ifndef QBS_SELECTION_EVAL_H_
+#define QBS_SELECTION_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "selection/db_selection.h"
+
+namespace qbs {
+
+/// Agreement statistics between two database rankings for one query.
+struct RankingAgreement {
+  /// Spearman correlation of the two orderings (over all databases).
+  double spearman = 0.0;
+  /// |top-k intersection| / k.
+  double top_k_overlap = 0.0;
+  /// 1 if the same database is ranked first in both, else 0.
+  double top_1_match = 0.0;
+};
+
+/// Compares two rankings of the same database set. `k` controls the top-k
+/// overlap statistic. Databases present in one ranking but not the other
+/// are an error (CHECK).
+RankingAgreement CompareRankings(const std::vector<DatabaseScore>& reference,
+                                 const std::vector<DatabaseScore>& candidate,
+                                 size_t k);
+
+/// Mean agreement over a query set: ranks with `reference_ranker` (actual
+/// models) and `candidate_ranker` (learned models) and averages the
+/// agreement statistics.
+RankingAgreement MeanAgreement(
+    const DatabaseRanker& reference_ranker,
+    const DatabaseRanker& candidate_ranker,
+    const std::vector<std::vector<std::string>>& queries, size_t k);
+
+}  // namespace qbs
+
+#endif  // QBS_SELECTION_EVAL_H_

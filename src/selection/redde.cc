@@ -1,0 +1,51 @@
+#include "selection/redde.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qbs {
+
+ReddeRanker::ReddeRanker(const std::vector<ReddeSample>& samples,
+                         ReddeOptions options)
+    : options_(std::move(options)) {
+  for (const ReddeSample& sample : samples) {
+    QBS_CHECK_GT(sample.estimated_size, 0.0);
+    uint32_t db_index = static_cast<uint32_t>(db_names_.size());
+    db_names_.push_back(sample.db_name);
+    double weight =
+        sample.documents.empty()
+            ? 0.0
+            : sample.estimated_size / static_cast<double>(
+                                          sample.documents.size());
+    vote_weights_.push_back(weight);
+    for (const std::string& text : sample.documents) {
+      central_index_.AddDocument(options_.analyzer.Analyze(text));
+      doc_db_.push_back(db_index);
+    }
+  }
+  central_index_.ShrinkToFit();
+  searcher_ = std::make_unique<Searcher>(&central_index_, &scorer_);
+}
+
+std::vector<DatabaseScore> ReddeRanker::Rank(
+    const std::vector<std::string>& query_terms) const {
+  std::vector<double> votes(db_names_.size(), 0.0);
+  std::vector<ScoredDoc> top = searcher_->Search(query_terms, options_.top_n);
+  for (const ScoredDoc& doc : top) {
+    votes[doc_db_[doc.doc_id]] += vote_weights_[doc_db_[doc.doc_id]];
+  }
+  std::vector<DatabaseScore> scores(db_names_.size());
+  for (size_t i = 0; i < db_names_.size(); ++i) {
+    scores[i].db_name = db_names_[i];
+    scores[i].score = votes[i];
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const DatabaseScore& a, const DatabaseScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.db_name < b.db_name;
+            });
+  return scores;
+}
+
+}  // namespace qbs

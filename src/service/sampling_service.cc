@@ -1,0 +1,189 @@
+#include "service/sampling_service.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+
+#include "text/analyzer.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "util/thread_pool.h"
+
+namespace qbs {
+
+SamplingService::SamplingService(ServiceOptions options)
+    : options_(std::move(options)) {
+  if (options_.seed_terms.empty()) {
+    // A handful of broadly common English content words; callers serving
+    // specialized federations should supply their own.
+    options_.seed_terms = {"information", "system",  "report", "time",
+                           "service",     "program", "world",  "company",
+                           "government",  "people"};
+  }
+}
+
+Status SamplingService::AddDatabase(TextDatabase* db) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("database must be non-null");
+  }
+  for (const DatabaseState& s : states_) {
+    if (s.name == db->name()) {
+      return Status::InvalidArgument("duplicate database name: " + db->name());
+    }
+  }
+  databases_.push_back(db);
+  DatabaseState state;
+  state.name = db->name();
+  states_.push_back(std::move(state));
+  return Status::OK();
+}
+
+Status SamplingService::SampleOne(size_t i) {
+  TextDatabase* db = databases_[i];
+  DatabaseState& state = states_[i];
+
+  // Bootstrap: find a seed term this database responds to.
+  std::string initial;
+  for (const std::string& seed : options_.seed_terms) {
+    auto probe = db->RunQuery(seed, 1);
+    if (probe.ok() && !probe->empty()) {
+      initial = seed;
+      break;
+    }
+  }
+  if (initial.empty()) {
+    state.last_status = Status::NotFound(
+        "no seed term retrieved any document from '" + state.name + "'");
+    return state.last_status;
+  }
+
+  SamplerOptions opts = options_.sampler;
+  opts.initial_term = initial;
+  opts.seed = options_.base_seed + i;
+  QueryBasedSampler sampler(db, opts);
+  auto result = sampler.Run();
+  if (!result.ok()) {
+    state.last_status = result.status();
+    return state.last_status;
+  }
+  state.learned = std::move(result->learned);
+  state.learned_stemmed = std::move(result->learned_stemmed);
+  state.documents_examined = result->documents_examined;
+  state.queries_run = result->queries_run;
+  state.has_model = true;
+  state.last_status = Status::OK();
+  return Status::OK();
+}
+
+Status SamplingService::RefreshAll() {
+  std::vector<size_t> todo;
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (!states_[i].has_model) todo.push_back(i);
+  }
+  if (todo.empty()) return Status::OK();
+
+  ThreadPool::ParallelFor(todo.size(), options_.num_threads,
+                          [&](size_t t) { SampleOne(todo[t]); });
+
+  Status first_error;
+  for (size_t i : todo) {
+    if (!states_[i].last_status.ok() && first_error.ok()) {
+      first_error = states_[i].last_status;
+    }
+  }
+  QBS_RETURN_IF_ERROR(first_error);
+  return SaveModels();
+}
+
+Status SamplingService::Refresh(const std::string& name) {
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i].name == name) {
+      states_[i].has_model = false;
+      QBS_RETURN_IF_ERROR(SampleOne(i));
+      return SaveModels();
+    }
+  }
+  return Status::NotFound("no database named '" + name + "'");
+}
+
+DatabaseCollection SamplingService::Collection() const {
+  DatabaseCollection dbs;
+  for (const DatabaseState& s : states_) {
+    if (!s.has_model) continue;
+    dbs.Add(s.name, s.learned_stemmed.WithoutStopwords(
+                        StopwordList::DefaultStemmed()));
+  }
+  return dbs;
+}
+
+Result<std::vector<DatabaseScore>> SamplingService::Select(
+    const std::string& query, const std::string& ranker_name) const {
+  DatabaseCollection dbs = Collection();
+  if (dbs.size() == 0) {
+    return Status::FailedPrecondition(
+        "no language models available; call RefreshAll() first");
+  }
+  std::unique_ptr<DatabaseRanker> ranker = MakeRanker(ranker_name, &dbs);
+  if (ranker == nullptr) {
+    return Status::InvalidArgument("unknown ranker: " + ranker_name);
+  }
+  // Selection models are stemmed and stopped: analyze the query the same
+  // way.
+  std::vector<std::string> terms = Analyzer::InqueryLike().Analyze(query);
+  return ranker->Rank(terms);
+}
+
+namespace {
+
+std::string ModelPath(const std::string& dir, const std::string& name) {
+  // Database names may contain path-hostile characters; sanitize.
+  std::string safe;
+  for (char c : name) {
+    safe.push_back(
+        (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_')
+            ? c
+            : '_');
+  }
+  return dir + "/" + safe + ".lm";
+}
+
+}  // namespace
+
+Status SamplingService::SaveModels() const {
+  if (options_.model_dir.empty()) return Status::OK();
+  std::error_code ec;
+  std::filesystem::create_directories(options_.model_dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + options_.model_dir + ": " +
+                           ec.message());
+  }
+  for (const DatabaseState& s : states_) {
+    if (!s.has_model) continue;
+    std::ofstream out(ModelPath(options_.model_dir, s.name));
+    if (!out) {
+      return Status::IOError("cannot write model for '" + s.name + "'");
+    }
+    QBS_RETURN_IF_ERROR(s.learned.Save(out));
+  }
+  return Status::OK();
+}
+
+Status SamplingService::LoadModels() {
+  if (options_.model_dir.empty()) return Status::OK();
+  for (DatabaseState& s : states_) {
+    if (s.has_model) continue;
+    std::ifstream in(ModelPath(options_.model_dir, s.name));
+    if (!in) continue;  // no saved model for this database
+    auto model = LanguageModel::Load(in);
+    QBS_RETURN_IF_ERROR(model.status());
+    s.learned = std::move(*model);
+    // Rebuild the stemmed companion from the raw model (df is summed
+    // across variants; see LanguageModel::StemCollapsed).
+    s.learned_stemmed = s.learned.StemCollapsed();
+    s.has_model = true;
+    s.last_status = Status::OK();
+  }
+  return Status::OK();
+}
+
+}  // namespace qbs

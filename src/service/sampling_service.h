@@ -1,0 +1,116 @@
+// The database-selection service, assembled: manages a federation of
+// databases, learns their language models by query-based sampling
+// (in parallel), persists the models, and answers selection queries.
+//
+// This is the deployable shape of the paper's proposal: point the service
+// at N uncooperative search interfaces and it maintains everything needed
+// to route queries.
+#ifndef QBS_SERVICE_SAMPLING_SERVICE_H_
+#define QBS_SERVICE_SAMPLING_SERVICE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lm/language_model.h"
+#include "sampling/sampler.h"
+#include "selection/db_selection.h"
+#include "search/text_database.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// Service-wide configuration.
+struct ServiceOptions {
+  /// Template sampler options applied to every database. initial_term is
+  /// ignored (bootstrap uses seed_terms); seeds are derived per database.
+  SamplerOptions sampler;
+
+  /// Bootstrap vocabulary: candidate first-query words tried in order
+  /// until one retrieves a document from the target database. Any short
+  /// list of plausible content words works (paper §4.4: the choice of
+  /// initial term has little effect).
+  std::vector<std::string> seed_terms;
+
+  /// Worker threads for RefreshAll (each database is sampled on exactly
+  /// one thread, so per-database search engines need no locking).
+  size_t num_threads = 4;
+
+  /// When non-empty, learned models are persisted to
+  /// `<model_dir>/<database-name>.lm` after sampling, and LoadModels()
+  /// can warm-start from them.
+  std::string model_dir;
+
+  /// Base RNG seed; database i samples with seed `base_seed + i`.
+  uint64_t base_seed = 71;
+};
+
+/// Per-database state and sampling outcome.
+struct DatabaseState {
+  std::string name;
+  /// Learned model (raw term space).
+  LanguageModel learned;
+  /// Stemmed variant used for selection.
+  LanguageModel learned_stemmed;
+  /// True once a model is available (sampled or loaded).
+  bool has_model = false;
+  /// Status of the most recent sampling attempt.
+  Status last_status;
+  /// Sampling statistics from the most recent successful run.
+  size_t documents_examined = 0;
+  size_t queries_run = 0;
+};
+
+/// Orchestrates sampling and selection over a database federation.
+///
+/// Thread-compatible: RefreshAll runs internally parallel; external calls
+/// must not overlap with each other.
+class SamplingService {
+ public:
+  explicit SamplingService(ServiceOptions options);
+
+  /// Registers a database. `db` must outlive the service; names must be
+  /// unique.
+  Status AddDatabase(TextDatabase* db);
+
+  /// Number of registered databases.
+  size_t size() const { return databases_.size(); }
+
+  /// Samples every database that has no model yet (in parallel). Returns
+  /// OK when every database has a model afterwards; otherwise returns the
+  /// first error while leaving per-database statuses in state().
+  Status RefreshAll();
+
+  /// Re-samples one database by name (e.g. after its content changed).
+  Status Refresh(const std::string& name);
+
+  /// Per-database state, index-aligned with registration order.
+  const std::vector<DatabaseState>& state() const { return states_; }
+
+  /// Builds the current selection collection (stemmed models, stopwords
+  /// removed). Databases without models are skipped.
+  DatabaseCollection Collection() const;
+
+  /// Ranks databases for a free-text query using `ranker_name`
+  /// ("cori", "bgloss", "vgloss", "kl"). Fails if no models exist yet.
+  Result<std::vector<DatabaseScore>> Select(
+      const std::string& query, const std::string& ranker_name = "cori") const;
+
+  /// Persists all learned models to model_dir (no-op without model_dir).
+  Status SaveModels() const;
+
+  /// Loads previously saved models for registered databases that lack one;
+  /// missing files are skipped silently.
+  Status LoadModels();
+
+ private:
+  Status SampleOne(size_t i);
+
+  ServiceOptions options_;
+  std::vector<TextDatabase*> databases_;
+  std::vector<DatabaseState> states_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_SERVICE_SAMPLING_SERVICE_H_

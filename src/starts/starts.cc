@@ -1,0 +1,70 @@
+#include "starts/starts.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace qbs {
+
+HonestSource::HonestSource(const SearchEngine* engine) : engine_(engine) {
+  QBS_CHECK(engine_ != nullptr);
+}
+
+std::string HonestSource::name() const { return engine_->name(); }
+
+Result<StartsExport> HonestSource::ExportLanguageModel() {
+  StartsExport out;
+  out.db_name = engine_->name();
+  out.model = engine_->ActualLanguageModel();
+  out.num_docs = engine_->num_docs();
+  const AnalyzerOptions& opts = engine_->analyzer().options();
+  out.stemmed = opts.stem;
+  out.stopwords_removed = opts.remove_stopwords;
+  out.case_folded = opts.lowercase;
+  return out;
+}
+
+MisrepresentingSource::MisrepresentingSource(const SearchEngine* engine,
+                                             MisrepresentationOptions options)
+    : engine_(engine), options_(std::move(options)) {
+  QBS_CHECK(engine_ != nullptr);
+  QBS_CHECK(options_.frequency_inflation > 0.0);
+}
+
+std::string MisrepresentingSource::name() const { return engine_->name(); }
+
+Result<StartsExport> MisrepresentingSource::ExportLanguageModel() {
+  StartsExport out;
+  out.db_name = engine_->name();
+  out.num_docs = engine_->num_docs();
+  const AnalyzerOptions& opts = engine_->analyzer().options();
+  out.stemmed = opts.stem;
+  out.stopwords_removed = opts.remove_stopwords;
+  out.case_folded = opts.lowercase;
+
+  LanguageModel truth = engine_->ActualLanguageModel();
+  truth.ForEach([&](const std::string& term, const TermStats& s) {
+    uint64_t df = static_cast<uint64_t>(
+        std::llround(s.df * options_.frequency_inflation));
+    uint64_t ctf = static_cast<uint64_t>(
+        std::llround(s.ctf * options_.frequency_inflation));
+    out.model.AddTerm(term, std::max<uint64_t>(df, 1),
+                      std::max<uint64_t>(ctf, 1));
+  });
+  for (const std::string& term : options_.injected_terms) {
+    out.model.AddTerm(term, options_.injected_df, options_.injected_ctf);
+  }
+  out.model.set_num_docs(out.num_docs);
+  return out;
+}
+
+double TermSpaceOverlap(const LanguageModel& a, const LanguageModel& b) {
+  if (a.total_term_count() == 0) return 1.0;
+  uint64_t shared = 0;
+  a.ForEach([&](const std::string& term, const TermStats& s) {
+    if (b.Contains(term)) shared += s.ctf;
+  });
+  return static_cast<double>(shared) / a.total_term_count();
+}
+
+}  // namespace qbs

@@ -1,0 +1,119 @@
+// A STARTS-style cooperative language-model exchange (paper §2.2), built as
+// the baseline query-based sampling is measured against.
+//
+// STARTS (Gravano et al.) has each database export its index terms and
+// frequencies plus a little corpus metadata. The paper identifies three
+// failure modes, all modeled here:
+//   1. databases that *can't* cooperate (legacy systems)       -> RefusingSource
+//   2. databases that *misrepresent* their contents            -> MisrepresentingSource
+//   3. exports in *incomparable term spaces* (different
+//      stemming / stopword / case conventions per database)    -> metadata + TermSpaceOverlap
+#ifndef QBS_STARTS_STARTS_H_
+#define QBS_STARTS_STARTS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lm/language_model.h"
+#include "search/search_engine.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// What a cooperative database publishes: its language model in its *own*
+/// term space, plus indexing metadata (STARTS "meta-data attributes").
+struct StartsExport {
+  std::string db_name;
+  LanguageModel model;
+  uint64_t num_docs = 0;
+  /// Indexing conventions, as self-reported by the database.
+  bool stemmed = false;
+  bool stopwords_removed = false;
+  bool case_folded = false;
+};
+
+/// A database's cooperative endpoint.
+class CooperativeSource {
+ public:
+  virtual ~CooperativeSource() = default;
+
+  /// Database name.
+  virtual std::string name() const = 0;
+
+  /// Returns the database's published language model, or an error when the
+  /// database cannot / will not cooperate.
+  virtual Result<StartsExport> ExportLanguageModel() = 0;
+};
+
+/// A database that cooperates honestly: exports its true index statistics.
+class HonestSource : public CooperativeSource {
+ public:
+  /// `engine` must outlive the source.
+  explicit HonestSource(const SearchEngine* engine);
+
+  std::string name() const override;
+  Result<StartsExport> ExportLanguageModel() override;
+
+ private:
+  const SearchEngine* engine_;
+};
+
+/// A legacy or hostile database: refuses every export request. Query-based
+/// sampling still works on the underlying engine; STARTS does not.
+class RefusingSource : public CooperativeSource {
+ public:
+  explicit RefusingSource(std::string name, std::string reason = "legacy system")
+      : name_(std::move(name)), reason_(std::move(reason)) {}
+
+  std::string name() const override { return name_; }
+  Result<StartsExport> ExportLanguageModel() override {
+    return Status::Unimplemented(name_ + " does not support export: " +
+                                 reason_);
+  }
+
+ private:
+  std::string name_;
+  std::string reason_;
+};
+
+/// Controls how a misrepresenting database lies.
+struct MisrepresentationOptions {
+  /// Multiplies every exported df and ctf (a database inflating its
+  /// apparent coverage).
+  double frequency_inflation = 1.0;
+  /// Terms injected with high frequencies even though the database does
+  /// not contain them (spamming selection services to attract traffic).
+  std::vector<std::string> injected_terms;
+  /// df assigned to each injected term.
+  uint64_t injected_df = 1'000;
+  /// ctf assigned to each injected term.
+  uint64_t injected_ctf = 10'000;
+};
+
+/// A database that cooperates but misrepresents its contents. The paper:
+/// "It is not uncommon for information providers on the Internet to
+/// misrepresent their services... STARTS offers no protection."
+class MisrepresentingSource : public CooperativeSource {
+ public:
+  MisrepresentingSource(const SearchEngine* engine,
+                        MisrepresentationOptions options);
+
+  std::string name() const override;
+  Result<StartsExport> ExportLanguageModel() override;
+
+ private:
+  const SearchEngine* engine_;
+  MisrepresentationOptions options_;
+};
+
+/// Fraction of `a`'s term *occurrences* (ctf mass) carried by terms that
+/// also exist in `b`'s vocabulary. Near 1.0 for same-convention exports;
+/// drops sharply when one side stems/stops and the other does not — the
+/// incomparability problem that makes cooperative statistics hard to merge
+/// (paper §2.2).
+double TermSpaceOverlap(const LanguageModel& a, const LanguageModel& b);
+
+}  // namespace qbs
+
+#endif  // QBS_STARTS_STARTS_H_

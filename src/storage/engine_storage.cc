@@ -1,0 +1,314 @@
+#include "storage/engine_storage.h"
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "storage/file_io.h"
+
+namespace qbs {
+
+namespace {
+
+constexpr char kManifestMagic[] = "QBSMANI1";
+constexpr char kDictMagic[] = "QBSDICT1";
+constexpr char kPostMagic[] = "QBSPOST1";
+constexpr char kDlenMagic[] = "QBSDLEN1";
+constexpr char kDocsMagic[] = "QBSDOCS1";
+
+enum StopwordMode : uint32_t {
+  kStopNone = 0,
+  kStopDefault = 1,
+  kStopMinimal = 2,
+  kStopCustom = 3,
+};
+
+// Restored custom stopword lists must outlive their engines; intern them
+// for the process lifetime (custom lists are rare and small).
+const StopwordList* InternCustomList(const std::vector<std::string>& words) {
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<StopwordList>>* lists =
+      new std::vector<std::unique_ptr<StopwordList>>();
+  std::lock_guard<std::mutex> lock(mu);
+  lists->push_back(std::make_unique<StopwordList>(words));
+  return lists->back().get();
+}
+
+Status WriteManifest(const SearchEngine& engine, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot create " + path);
+  SectionWriter w(out, kManifestMagic);
+  w.WriteFixed32(kEngineFormatVersion);
+  w.WriteString(engine.name());
+
+  const AnalyzerOptions& a = engine.analyzer().options();
+  uint32_t flags = 0;
+  if (a.lowercase) flags |= 1;
+  if (a.remove_stopwords) flags |= 2;
+  if (a.stem) flags |= 4;
+  if (a.tokenizer.elide_apostrophes) flags |= 8;
+  w.WriteFixed32(flags);
+  w.WriteVarint64(a.tokenizer.min_token_length);
+  w.WriteVarint64(a.tokenizer.max_token_length);
+
+  uint32_t stop_mode = kStopNone;
+  std::vector<std::string> custom_words;
+  if (a.remove_stopwords) {
+    if (a.stopwords == nullptr || a.stopwords == &StopwordList::Default()) {
+      stop_mode = kStopDefault;
+    } else if (a.stopwords == &StopwordList::Minimal()) {
+      stop_mode = kStopMinimal;
+    } else {
+      stop_mode = kStopCustom;
+      custom_words = a.stopwords->Words();
+    }
+  }
+  w.WriteFixed32(stop_mode);
+  w.WriteVarint64(custom_words.size());
+  for (const std::string& word : custom_words) w.WriteString(word);
+
+  // The scorer name is not directly retrievable from the engine; persist
+  // the configured name recorded at construction.
+  w.WriteString(engine.scorer_name());
+  w.WriteVarint64(engine.num_docs());
+  return w.Finish();
+}
+
+struct Manifest {
+  std::string name;
+  SearchEngineOptions options;
+  uint64_t num_docs = 0;
+};
+
+Result<Manifest> ReadManifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no manifest at " + path);
+  SectionReader r(in);
+  QBS_RETURN_IF_ERROR(r.ExpectMagic(kManifestMagic));
+  uint32_t version = 0;
+  QBS_RETURN_IF_ERROR(r.ReadFixed32(&version));
+  if (version != kEngineFormatVersion) {
+    return Status::Corruption("unsupported format version " +
+                              std::to_string(version));
+  }
+  Manifest m;
+  QBS_RETURN_IF_ERROR(r.ReadString(&m.name));
+
+  uint32_t flags = 0;
+  QBS_RETURN_IF_ERROR(r.ReadFixed32(&flags));
+  AnalyzerOptions a;
+  a.lowercase = (flags & 1) != 0;
+  a.remove_stopwords = (flags & 2) != 0;
+  a.stem = (flags & 4) != 0;
+  a.tokenizer.elide_apostrophes = (flags & 8) != 0;
+  uint64_t min_len = 0, max_len = 0;
+  QBS_RETURN_IF_ERROR(r.ReadVarint64(&min_len));
+  QBS_RETURN_IF_ERROR(r.ReadVarint64(&max_len));
+  a.tokenizer.min_token_length = static_cast<size_t>(min_len);
+  a.tokenizer.max_token_length = static_cast<size_t>(max_len);
+
+  uint32_t stop_mode = 0;
+  QBS_RETURN_IF_ERROR(r.ReadFixed32(&stop_mode));
+  uint64_t custom_count = 0;
+  QBS_RETURN_IF_ERROR(r.ReadVarint64(&custom_count));
+  if (custom_count > 1'000'000) {
+    return Status::Corruption("implausible custom stopword count");
+  }
+  std::vector<std::string> custom_words(custom_count);
+  for (uint64_t i = 0; i < custom_count; ++i) {
+    QBS_RETURN_IF_ERROR(r.ReadString(&custom_words[i], 1 << 16));
+  }
+  switch (stop_mode) {
+    case kStopNone:
+      a.remove_stopwords = false;
+      break;
+    case kStopDefault:
+      a.stopwords = &StopwordList::Default();
+      break;
+    case kStopMinimal:
+      a.stopwords = &StopwordList::Minimal();
+      break;
+    case kStopCustom:
+      a.stopwords = InternCustomList(custom_words);
+      break;
+    default:
+      return Status::Corruption("unknown stopword mode");
+  }
+  m.options.analyzer = Analyzer(a);
+
+  QBS_RETURN_IF_ERROR(r.ReadString(&m.options.scorer, 64));
+  QBS_RETURN_IF_ERROR(r.ReadVarint64(&m.num_docs));
+  return r.VerifyChecksum().ok() ? Result<Manifest>(std::move(m))
+                                 : Result<Manifest>(Status::Corruption(
+                                       "manifest checksum mismatch"));
+}
+
+Status WriteDict(const InvertedIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot create " + path);
+  SectionWriter w(out, kDictMagic);
+  const TermDictionary& dict = index.dict();
+  w.WriteVarint64(dict.size());
+  for (TermId id = 0; id < dict.size(); ++id) {
+    w.WriteString(dict.TermText(id));
+  }
+  return w.Finish();
+}
+
+Result<TermDictionary> ReadDict(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("missing " + path);
+  SectionReader r(in);
+  QBS_RETURN_IF_ERROR(r.ExpectMagic(kDictMagic));
+  uint64_t count = 0;
+  QBS_RETURN_IF_ERROR(r.ReadVarint64(&count));
+  TermDictionary dict;
+  std::string term;
+  for (uint64_t i = 0; i < count; ++i) {
+    QBS_RETURN_IF_ERROR(r.ReadString(&term, 1 << 16));
+    if (dict.GetOrAdd(term) != i) {
+      return Status::Corruption("duplicate term in dictionary: " + term);
+    }
+  }
+  QBS_RETURN_IF_ERROR(r.VerifyChecksum());
+  return dict;
+}
+
+Status WritePostings(const InvertedIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot create " + path);
+  SectionWriter w(out, kPostMagic);
+  w.WriteVarint64(index.unique_terms());
+  for (TermId id = 0; id < index.unique_terms(); ++id) {
+    const PostingList& plist = index.postings(id);
+    w.WriteVarint32(plist.doc_frequency());
+    w.WriteVarint64(plist.collection_frequency());
+    w.WriteVarint64(plist.raw_bytes().size());
+    w.WriteBytes(plist.raw_bytes().data(), plist.raw_bytes().size());
+  }
+  return w.Finish();
+}
+
+Result<std::vector<PostingList>> ReadPostings(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("missing " + path);
+  SectionReader r(in);
+  QBS_RETURN_IF_ERROR(r.ExpectMagic(kPostMagic));
+  uint64_t count = 0;
+  QBS_RETURN_IF_ERROR(r.ReadVarint64(&count));
+  std::vector<PostingList> postings;
+  postings.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t df = 0;
+    uint64_t ctf = 0, nbytes = 0;
+    QBS_RETURN_IF_ERROR(r.ReadVarint32(&df));
+    QBS_RETURN_IF_ERROR(r.ReadVarint64(&ctf));
+    QBS_RETURN_IF_ERROR(r.ReadVarint64(&nbytes));
+    if (nbytes > (1ull << 28)) {
+      return Status::Corruption("implausible posting list size");
+    }
+    std::vector<uint8_t> bytes(nbytes);
+    if (nbytes > 0) QBS_RETURN_IF_ERROR(r.ReadBytes(bytes.data(), nbytes));
+    QBS_ASSIGN_OR_RETURN(PostingList plist,
+                         PostingList::FromRaw(std::move(bytes), df, ctf));
+    postings.push_back(std::move(plist));
+  }
+  QBS_RETURN_IF_ERROR(r.VerifyChecksum());
+  return postings;
+}
+
+Status WriteDocLengths(const InvertedIndex& index, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot create " + path);
+  SectionWriter w(out, kDlenMagic);
+  w.WriteVarint64(index.num_docs());
+  for (DocId d = 0; d < index.num_docs(); ++d) {
+    w.WriteVarint32(index.doc_length(d));
+  }
+  return w.Finish();
+}
+
+Result<std::vector<uint32_t>> ReadDocLengths(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("missing " + path);
+  SectionReader r(in);
+  QBS_RETURN_IF_ERROR(r.ExpectMagic(kDlenMagic));
+  uint64_t count = 0;
+  QBS_RETURN_IF_ERROR(r.ReadVarint64(&count));
+  std::vector<uint32_t> lengths(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    QBS_RETURN_IF_ERROR(r.ReadVarint32(&lengths[i]));
+  }
+  QBS_RETURN_IF_ERROR(r.VerifyChecksum());
+  return lengths;
+}
+
+Status WriteDocs(const DocumentStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot create " + path);
+  SectionWriter w(out, kDocsMagic);
+  w.WriteVarint64(store.size());
+  for (DocId d = 0; d < store.size(); ++d) {
+    w.WriteString(store.Name(d));
+    w.WriteString(store.Text(d));
+  }
+  return w.Finish();
+}
+
+Result<DocumentStore> ReadDocs(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("missing " + path);
+  SectionReader r(in);
+  QBS_RETURN_IF_ERROR(r.ExpectMagic(kDocsMagic));
+  uint64_t count = 0;
+  QBS_RETURN_IF_ERROR(r.ReadVarint64(&count));
+  DocumentStore store;
+  std::string name, text;
+  for (uint64_t i = 0; i < count; ++i) {
+    QBS_RETURN_IF_ERROR(r.ReadString(&name, 1 << 16));
+    QBS_RETURN_IF_ERROR(r.ReadString(&text));
+    store.Add(name, text);
+  }
+  QBS_RETURN_IF_ERROR(r.VerifyChecksum());
+  return store;
+}
+
+}  // namespace
+
+Status SaveEngine(const SearchEngine& engine, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  QBS_RETURN_IF_ERROR(WriteManifest(engine, dir + "/MANIFEST"));
+  QBS_RETURN_IF_ERROR(WriteDict(engine.index(), dir + "/dict.qbs"));
+  QBS_RETURN_IF_ERROR(WritePostings(engine.index(), dir + "/post.qbs"));
+  QBS_RETURN_IF_ERROR(WriteDocLengths(engine.index(), dir + "/dlen.qbs"));
+  QBS_RETURN_IF_ERROR(WriteDocs(engine.store(), dir + "/docs.qbs"));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SearchEngine>> OpenEngine(const std::string& dir) {
+  QBS_ASSIGN_OR_RETURN(Manifest manifest, ReadManifest(dir + "/MANIFEST"));
+  QBS_ASSIGN_OR_RETURN(TermDictionary dict, ReadDict(dir + "/dict.qbs"));
+  QBS_ASSIGN_OR_RETURN(std::vector<PostingList> postings,
+                       ReadPostings(dir + "/post.qbs"));
+  QBS_ASSIGN_OR_RETURN(std::vector<uint32_t> lengths,
+                       ReadDocLengths(dir + "/dlen.qbs"));
+  QBS_ASSIGN_OR_RETURN(InvertedIndex index,
+                       InvertedIndex::Restore(std::move(dict),
+                                              std::move(postings),
+                                              std::move(lengths)));
+  QBS_ASSIGN_OR_RETURN(DocumentStore store, ReadDocs(dir + "/docs.qbs"));
+  if (index.num_docs() != manifest.num_docs) {
+    return Status::Corruption("manifest/doc-length count mismatch");
+  }
+  return SearchEngine::FromParts(std::move(manifest.name),
+                                 std::move(manifest.options),
+                                 std::move(index), std::move(store));
+}
+
+}  // namespace qbs

@@ -1,0 +1,39 @@
+// On-disk persistence for SearchEngine: save a fully-built database to a
+// directory and reopen it without re-analyzing the corpus.
+//
+// Directory layout (each file is a checksummed section, see file_io.h):
+//   MANIFEST   engine name, analyzer configuration, scorer, format version
+//   dict.qbs   term dictionary, strings in TermId order
+//   post.qbs   per-term compressed posting lists (+ df/ctf)
+//   dlen.qbs   per-document lengths
+//   docs.qbs   raw document names and text
+#ifndef QBS_STORAGE_ENGINE_STORAGE_H_
+#define QBS_STORAGE_ENGINE_STORAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "search/search_engine.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// Current on-disk format version.
+inline constexpr uint32_t kEngineFormatVersion = 1;
+
+/// Persists `engine` into `dir` (created if absent). Overwrites existing
+/// files; fails with IOError on filesystem problems.
+Status SaveEngine(const SearchEngine& engine, const std::string& dir);
+
+/// Opens an engine previously written by SaveEngine. Fails with Corruption
+/// on format/checksum violations and NotFound when the directory lacks a
+/// manifest.
+///
+/// Restrictions: engines whose analyzer used a *custom* stopword list are
+/// saved with the full word list and restored with an equivalent list; the
+/// default and minimal built-in lists are stored by reference.
+Result<std::unique_ptr<SearchEngine>> OpenEngine(const std::string& dir);
+
+}  // namespace qbs
+
+#endif  // QBS_STORAGE_ENGINE_STORAGE_H_

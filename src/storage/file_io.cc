@@ -1,0 +1,156 @@
+#include "storage/file_io.h"
+
+#include <istream>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace qbs {
+
+void Fnv1a::Update(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    hash_ ^= p[i];
+    hash_ *= 0x100000001B3ULL;
+  }
+}
+
+SectionWriter::SectionWriter(std::ostream& out, std::string_view magic)
+    : out_(out) {
+  QBS_CHECK_EQ(magic.size(), 8u);
+  out_.write(magic.data(), 8);  // magic is outside the checksum
+}
+
+void SectionWriter::WriteBytes(const void* data, size_t n) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  crc_.Update(data, n);
+}
+
+void SectionWriter::WriteFixed32(uint32_t v) {
+  uint8_t buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<uint8_t>(v >> (8 * i));
+  WriteBytes(buf, 4);
+}
+
+void SectionWriter::WriteFixed64(uint64_t v) {
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<uint8_t>(v >> (8 * i));
+  WriteBytes(buf, 8);
+}
+
+void SectionWriter::WriteVarint32(uint32_t v) { WriteVarint64(v); }
+
+void SectionWriter::WriteVarint64(uint64_t v) {
+  uint8_t buf[10];
+  size_t n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<uint8_t>(v);
+  WriteBytes(buf, n);
+}
+
+void SectionWriter::WriteString(std::string_view s) {
+  WriteVarint64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+Status SectionWriter::Finish() {
+  uint64_t digest = crc_.digest();
+  uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<uint8_t>(digest >> (8 * i));
+  }
+  out_.write(reinterpret_cast<const char*>(buf), 8);
+  if (!out_) return Status::IOError("write failed while persisting section");
+  return Status::OK();
+}
+
+Status SectionReader::ExpectMagic(std::string_view magic) {
+  QBS_CHECK_EQ(magic.size(), 8u);
+  char buf[8];
+  in_.read(buf, 8);
+  if (!in_ || std::string_view(buf, 8) != magic) {
+    return Status::Corruption("bad magic; expected '" + std::string(magic) +
+                              "'");
+  }
+  return Status::OK();
+}
+
+Status SectionReader::ReadBytes(void* data, size_t n) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<size_t>(in_.gcount()) != n) {
+    return Status::Corruption("unexpected end of section");
+  }
+  crc_.Update(data, n);
+  return Status::OK();
+}
+
+Status SectionReader::ReadFixed32(uint32_t* v) {
+  uint8_t buf[4];
+  QBS_RETURN_IF_ERROR(ReadBytes(buf, 4));
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(buf[i]) << (8 * i);
+  return Status::OK();
+}
+
+Status SectionReader::ReadFixed64(uint64_t* v) {
+  uint8_t buf[8];
+  QBS_RETURN_IF_ERROR(ReadBytes(buf, 8));
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  return Status::OK();
+}
+
+Status SectionReader::ReadVarint64(uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (shift <= 63) {
+    uint8_t byte = 0;
+    QBS_RETURN_IF_ERROR(ReadBytes(&byte, 1));
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::Corruption("malformed varint");
+}
+
+Status SectionReader::ReadVarint32(uint32_t* v) {
+  uint64_t wide = 0;
+  QBS_RETURN_IF_ERROR(ReadVarint64(&wide));
+  if (wide > 0xFFFFFFFFull) return Status::Corruption("varint32 overflow");
+  *v = static_cast<uint32_t>(wide);
+  return Status::OK();
+}
+
+Status SectionReader::ReadString(std::string* s, uint64_t max_len) {
+  uint64_t len = 0;
+  QBS_RETURN_IF_ERROR(ReadVarint64(&len));
+  if (len > max_len) return Status::Corruption("string length too large");
+  s->resize(len);
+  if (len > 0) QBS_RETURN_IF_ERROR(ReadBytes(s->data(), len));
+  return Status::OK();
+}
+
+Status SectionReader::VerifyChecksum() {
+  uint64_t expected = crc_.digest();  // capture before the footer read
+  uint8_t buf[8];
+  in_.read(reinterpret_cast<char*>(buf), 8);
+  if (static_cast<size_t>(in_.gcount()) != 8) {
+    return Status::Corruption("missing checksum footer");
+  }
+  uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<uint64_t>(buf[i]) << (8 * i);
+  }
+  if (stored != expected) {
+    return Status::Corruption("checksum mismatch: section is damaged");
+  }
+  return Status::OK();
+}
+
+}  // namespace qbs

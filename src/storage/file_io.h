@@ -1,0 +1,80 @@
+// Checksummed binary stream primitives for the on-disk index format.
+//
+// Every persisted file is:  magic(8) | payload | crc(8, FNV-1a of payload)
+// Integers are little-endian fixed-width or LEB128 varints; strings are
+// varint-length-prefixed bytes.
+#ifndef QBS_STORAGE_FILE_IO_H_
+#define QBS_STORAGE_FILE_IO_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qbs {
+
+/// Incremental FNV-1a 64-bit hash.
+class Fnv1a {
+ public:
+  void Update(const void* data, size_t n);
+  uint64_t digest() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+/// Writes a checksummed section to a stream: magic on construction,
+/// payload via the Write* methods, checksum on Finish().
+class SectionWriter {
+ public:
+  /// `magic` must be exactly 8 bytes.
+  SectionWriter(std::ostream& out, std::string_view magic);
+
+  void WriteFixed32(uint32_t v);
+  void WriteFixed64(uint64_t v);
+  void WriteVarint32(uint32_t v);
+  void WriteVarint64(uint64_t v);
+  void WriteString(std::string_view s);
+  void WriteBytes(const void* data, size_t n);
+
+  /// Appends the checksum footer. Returns IOError if the stream failed at
+  /// any point.
+  Status Finish();
+
+ private:
+  std::ostream& out_;
+  Fnv1a crc_;
+};
+
+/// Reads a checksummed section written by SectionWriter. The checksum is
+/// validated against everything read when VerifyChecksum() is called; the
+/// caller must consume the payload exactly.
+class SectionReader {
+ public:
+  SectionReader(std::istream& in) : in_(in) {}
+
+  /// Reads and validates the 8-byte magic.
+  Status ExpectMagic(std::string_view magic);
+
+  Status ReadFixed32(uint32_t* v);
+  Status ReadFixed64(uint64_t* v);
+  Status ReadVarint32(uint32_t* v);
+  Status ReadVarint64(uint64_t* v);
+  /// Reads a string with a sanity cap on length (default 1 GiB).
+  Status ReadString(std::string* s, uint64_t max_len = 1ull << 30);
+  Status ReadBytes(void* data, size_t n);
+
+  /// Reads the checksum footer and compares with the running hash.
+  Status VerifyChecksum();
+
+ private:
+  std::istream& in_;
+  Fnv1a crc_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_STORAGE_FILE_IO_H_

@@ -1,0 +1,52 @@
+#include "summarize/summarizer.h"
+
+#include <algorithm>
+
+namespace qbs {
+
+DatabaseSummary SummarizeDatabase(const std::string& db_name,
+                                  const LanguageModel& model,
+                                  const SummaryOptions& options) {
+  const StopwordList& stopwords = options.stopwords != nullptr
+                                      ? *options.stopwords
+                                      : StopwordList::Default();
+  DatabaseSummary summary;
+  summary.db_name = db_name;
+  summary.metric = options.metric;
+
+  std::vector<std::pair<std::string, double>> candidates;
+  model.ForEach([&](const std::string& term, const TermStats& s) {
+    if (term.size() < options.min_term_length) return;
+    if (s.df < options.min_df) return;
+    if (stopwords.Contains(term)) return;
+    double score = 0.0;
+    switch (options.metric) {
+      case TermMetric::kDf:
+        score = static_cast<double>(s.df);
+        break;
+      case TermMetric::kCtf:
+        score = static_cast<double>(s.ctf);
+        break;
+      case TermMetric::kAvgTf:
+        score = s.avg_tf();
+        break;
+    }
+    candidates.emplace_back(term, score);
+  });
+
+  auto cmp = [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (options.top_k < candidates.size()) {
+    std::partial_sort(candidates.begin(), candidates.begin() + options.top_k,
+                      candidates.end(), cmp);
+    candidates.resize(options.top_k);
+  } else {
+    std::sort(candidates.begin(), candidates.end(), cmp);
+  }
+  summary.terms = std::move(candidates);
+  return summary;
+}
+
+}  // namespace qbs

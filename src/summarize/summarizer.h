@@ -1,0 +1,47 @@
+// Database-content summarization from a learned language model (paper §7,
+// Table 4): "display the terms that occur frequently and are not stopwords".
+#ifndef QBS_SUMMARIZE_SUMMARIZER_H_
+#define QBS_SUMMARIZE_SUMMARIZER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lm/language_model.h"
+#include "text/stopwords.h"
+
+namespace qbs {
+
+/// Options for summary construction.
+struct SummaryOptions {
+  /// Ranking metric; the paper found avg_tf "produced the most informative
+  /// ranking" (§7).
+  TermMetric metric = TermMetric::kAvgTf;
+  /// Number of terms to include.
+  size_t top_k = 50;
+  /// Stopwords to exclude; null uses the default list.
+  const StopwordList* stopwords = nullptr;
+  /// Minimum term length (mirrors query-term eligibility; drops debris).
+  size_t min_term_length = 2;
+  /// Terms must appear in at least this many sampled documents, filtering
+  /// one-off noise.
+  uint64_t min_df = 2;
+};
+
+/// A ranked term list summarizing one database.
+struct DatabaseSummary {
+  std::string db_name;
+  TermMetric metric = TermMetric::kAvgTf;
+  /// (term, score) best first.
+  std::vector<std::pair<std::string, double>> terms;
+};
+
+/// Builds a summary of a database from its (typically learned) language
+/// model.
+DatabaseSummary SummarizeDatabase(const std::string& db_name,
+                                  const LanguageModel& model,
+                                  const SummaryOptions& options = {});
+
+}  // namespace qbs
+
+#endif  // QBS_SUMMARIZE_SUMMARIZER_H_

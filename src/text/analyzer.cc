@@ -1,0 +1,51 @@
+#include "text/analyzer.h"
+
+#include "util/string_util.h"
+
+namespace qbs {
+
+Analyzer::Analyzer(AnalyzerOptions options)
+    : options_(options), tokenizer_(options.tokenizer) {
+  if (options_.remove_stopwords && options_.stopwords == nullptr) {
+    options_.stopwords = &StopwordList::Default();
+  }
+}
+
+void Analyzer::Analyze(std::string_view text,
+                       std::vector<std::string>& out) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  for (auto& tok : tokens) {
+    if (options_.lowercase) AsciiLowerInPlace(tok);
+    if (options_.remove_stopwords && options_.stopwords->Contains(tok)) {
+      continue;
+    }
+    if (options_.stem) PorterStemmer::StemInPlace(tok);
+    if (tok.empty()) continue;
+    out.push_back(std::move(tok));
+  }
+}
+
+std::vector<std::string> Analyzer::Analyze(std::string_view text) const {
+  std::vector<std::string> out;
+  Analyze(text, out);
+  return out;
+}
+
+Analyzer Analyzer::InqueryLike() {
+  AnalyzerOptions opts;
+  opts.lowercase = true;
+  opts.remove_stopwords = true;
+  opts.stopwords = &StopwordList::Default();
+  opts.stem = true;
+  return Analyzer(opts);
+}
+
+Analyzer Analyzer::Raw() {
+  AnalyzerOptions opts;
+  opts.lowercase = true;
+  opts.remove_stopwords = false;
+  opts.stem = false;
+  return Analyzer(opts);
+}
+
+}  // namespace qbs

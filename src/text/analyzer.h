@@ -1,0 +1,66 @@
+// The Analyzer chains tokenization, case folding, stopword removal, and
+// stemming into a configurable pipeline.
+//
+// Databases index documents with their *own* analyzer configuration (the
+// paper's point in §2.2 that stemming / stopword / case conventions differ
+// across systems), while the database-selection service builds learned
+// language models with a configuration *it* controls (§3).
+#ifndef QBS_TEXT_ANALYZER_H_
+#define QBS_TEXT_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace qbs {
+
+/// Options controlling the analysis pipeline.
+struct AnalyzerOptions {
+  TokenizerOptions tokenizer;
+  /// ASCII-lowercase every token.
+  bool lowercase = true;
+  /// Drop stopwords (using `stopwords`).
+  bool remove_stopwords = true;
+  /// Stopword list to apply when remove_stopwords is true. If null, the
+  /// default list is used.
+  const StopwordList* stopwords = nullptr;
+  /// Apply the Porter stemmer to each surviving token.
+  bool stem = true;
+};
+
+/// A text-analysis pipeline: tokenize -> lowercase -> stop -> stem.
+class Analyzer {
+ public:
+  Analyzer() : Analyzer(AnalyzerOptions{}) {}
+  explicit Analyzer(AnalyzerOptions options);
+
+  /// Returns the index terms of `text` in document order.
+  std::vector<std::string> Analyze(std::string_view text) const;
+
+  /// Appends the index terms of `text` to `out`.
+  void Analyze(std::string_view text, std::vector<std::string>& out) const;
+
+  const AnalyzerOptions& options() const { return options_; }
+
+  /// Full INQUERY-style indexing: lowercase, default stopwords, stemming.
+  /// This is how the paper's *actual* (database-side) language models are
+  /// built (§4.1).
+  static Analyzer InqueryLike();
+
+  /// Raw term extraction: lowercase only, no stopping, no stemming. This is
+  /// how *learned* language models are built from sampled documents (§4.1:
+  /// "Stopwords were not discarded ... Suffixes were not removed").
+  static Analyzer Raw();
+
+ private:
+  AnalyzerOptions options_;
+  Tokenizer tokenizer_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_TEXT_ANALYZER_H_

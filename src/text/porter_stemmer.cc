@@ -1,0 +1,336 @@
+#include "text/porter_stemmer.h"
+
+#include <cstring>
+
+namespace qbs {
+
+namespace {
+
+// Working state over a char buffer b[0..k], mirroring porter.c. Indices are
+// signed because the algorithm's stem-end marker j legitimately reaches -1.
+class Impl {
+ public:
+  explicit Impl(std::string& word)
+      : b_(word.data()), k_(static_cast<int>(word.size()) - 1) {}
+
+  size_t Run() {
+    if (k_ >= 2) {  // words of length <= 2 are left unchanged
+      Step1ab();
+      Step1c();
+      Step2();
+      Step3();
+      Step4();
+      Step5();
+    }
+    return static_cast<size_t>(k_ + 1);
+  }
+
+ private:
+  // True if b_[i] is a consonant.
+  bool Cons(int i) const {
+    switch (b_[i]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !Cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b_[0..j_]: the number of VC sequences.
+  int M() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!Cons(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (Cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!Cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if the stem b_[0..j_] contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!Cons(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b_[i-1..i] is a double consonant.
+  bool DoubleC(int i) const {
+    if (i < 1) return false;
+    if (b_[i] != b_[i - 1]) return false;
+    return Cons(i);
+  }
+
+  // True if b_[i-2..i] is consonant-vowel-consonant and the final consonant
+  // is not w, x, or y. Used to restore a trailing e (e.g. cav(e), lov(e)).
+  bool Cvc(int i) const {
+    if (i < 2 || !Cons(i) || Cons(i - 1) || !Cons(i - 2)) return false;
+    char ch = b_[i];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  // True if b_[0..k_] ends with s; on success sets j_.
+  bool Ends(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    if (len > k_ + 1) return false;
+    if (s[len - 1] != b_[k_]) return false;  // fast reject
+    if (std::memcmp(b_ + k_ + 1 - len, s, static_cast<size_t>(len)) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces b_[j_+1..k_] with s and adjusts k_.
+  void SetTo(const char* s) {
+    int len = static_cast<int>(std::strlen(s));
+    std::memcpy(b_ + j_ + 1, s, static_cast<size_t>(len));
+    k_ = j_ + len;
+  }
+
+  void R(const char* s) {
+    if (M() > 0) SetTo(s);
+  }
+
+  // Step 1ab: plurals and -ed / -ing.
+  void Step1ab() {
+    if (b_[k_] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[k_ - 1] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (M() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleC(k_)) {
+        char ch = b_[k_];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else if (M() == 1 && Cvc(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: turn terminal y to i when there is another vowel in the stem.
+  void Step1c() {
+    if (k_ >= 0 && Ends("y") && VowelInStem()) b_[k_] = 'i';
+  }
+
+  // Step 2: map double suffixes to single ones, when M() > 0.
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("ational")) {
+          R("ate");
+        } else if (Ends("tional")) {
+          R("tion");
+        }
+        break;
+      case 'c':
+        if (Ends("enci")) {
+          R("ence");
+        } else if (Ends("anci")) {
+          R("ance");
+        }
+        break;
+      case 'e':
+        if (Ends("izer")) R("ize");
+        break;
+      case 'l':
+        if (Ends("bli")) {  // departure: the 1980 paper has abli -> able
+          R("ble");
+        } else if (Ends("alli")) {
+          R("al");
+        } else if (Ends("entli")) {
+          R("ent");
+        } else if (Ends("eli")) {
+          R("e");
+        } else if (Ends("ousli")) {
+          R("ous");
+        }
+        break;
+      case 'o':
+        if (Ends("ization")) {
+          R("ize");
+        } else if (Ends("ation")) {
+          R("ate");
+        } else if (Ends("ator")) {
+          R("ate");
+        }
+        break;
+      case 's':
+        if (Ends("alism")) {
+          R("al");
+        } else if (Ends("iveness")) {
+          R("ive");
+        } else if (Ends("fulness")) {
+          R("ful");
+        } else if (Ends("ousness")) {
+          R("ous");
+        }
+        break;
+      case 't':
+        if (Ends("aliti")) {
+          R("al");
+        } else if (Ends("iviti")) {
+          R("ive");
+        } else if (Ends("biliti")) {
+          R("ble");
+        }
+        break;
+      case 'g':
+        if (Ends("logi")) R("log");  // departure
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -ic-, -full, -ness etc.
+  void Step3() {
+    if (k_ < 0) return;
+    switch (b_[k_]) {
+      case 'e':
+        if (Ends("icate")) {
+          R("ic");
+        } else if (Ends("ative")) {
+          R("");
+        } else if (Ends("alize")) {
+          R("al");
+        }
+        break;
+      case 'i':
+        if (Ends("iciti")) R("ic");
+        break;
+      case 'l':
+        if (Ends("ical")) {
+          R("ic");
+        } else if (Ends("ful")) {
+          R("");
+        }
+        break;
+      case 's':
+        if (Ends("ness")) R("");
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: -ant, -ence etc. removed when M() > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[k_ - 1]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance") || Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able") || Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant") || Ends("ement") || Ends("ment") || Ends("ent"))
+          break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 && (b_[j_] == 's' || b_[j_] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;  // takes care of -ous
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate") || Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (M() > 1) k_ = j_;
+  }
+
+  // Step 5: remove a final -e and reduce -ll to -l when M() > 1.
+  void Step5() {
+    if (k_ < 0) return;
+    j_ = k_;
+    if (b_[k_] == 'e') {
+      int a = M();
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (k_ >= 0 && b_[k_] == 'l' && DoubleC(k_) && M() > 1) --k_;
+  }
+
+  char* b_;
+  int k_;       // index of last character
+  int j_ = 0;   // end of candidate stem after Ends()
+};
+
+}  // namespace
+
+std::string PorterStemmer::Stem(std::string_view word) {
+  std::string w(word);
+  StemInPlace(w);
+  return w;
+}
+
+void PorterStemmer::StemInPlace(std::string& word) {
+  if (word.size() < 3) return;
+  Impl impl(word);
+  word.resize(impl.Run());
+}
+
+}  // namespace qbs

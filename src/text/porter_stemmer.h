@@ -1,0 +1,31 @@
+// The Porter stemming algorithm (Porter, 1980).
+//
+// This is a faithful re-implementation of Martin Porter's official ANSI C
+// reference version, including its two documented departures from the 1980
+// paper (step 2: "bli"->"ble" instead of "abli"->"able", and the extra
+// "logi"->"log" rule). The paper's actual language models were built from
+// stemmed indexes (§4.1), so learned models are stemmed before comparison.
+#ifndef QBS_TEXT_PORTER_STEMMER_H_
+#define QBS_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace qbs {
+
+/// Stateless Porter stemmer.
+///
+/// Input must already be lowercased ASCII; words shorter than 3 characters
+/// are returned unchanged (as in the reference implementation).
+class PorterStemmer {
+ public:
+  /// Returns the stem of `word`.
+  static std::string Stem(std::string_view word);
+
+  /// Stems `word` in place.
+  static void StemInPlace(std::string& word);
+};
+
+}  // namespace qbs
+
+#endif  // QBS_TEXT_PORTER_STEMMER_H_

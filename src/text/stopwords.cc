@@ -1,0 +1,132 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+
+#include "text/porter_stemmer.h"
+
+namespace qbs {
+
+namespace {
+
+// Closed-class and very-frequent English words, in the spirit of the
+// INQUERY default stopword list (418 words) referenced by the paper.
+// Assembled from the classic SMART and van Rijsbergen lists.
+const char* const kDefaultStopwords[] = {
+    "a", "about", "above", "across", "after", "afterwards", "again",
+    "against", "all", "almost", "alone", "along", "already", "also",
+    "although", "always", "am", "among", "amongst", "amount", "an", "and",
+    "another", "any", "anyhow", "anyone", "anything", "anyway", "anywhere",
+    "are", "around", "as", "at", "back", "be", "became", "because", "become",
+    "becomes", "becoming", "been", "before", "beforehand", "behind", "being",
+    "below", "beside", "besides", "between", "beyond", "both", "bottom",
+    "but", "by", "call", "can", "cannot", "cant", "co", "con", "could",
+    "couldnt", "de", "describe", "detail", "did", "do", "does", "doesnt",
+    "doing", "done", "dont", "down", "due", "during", "each", "eg", "eight",
+    "either", "eleven", "else", "elsewhere", "empty", "enough", "etc",
+    "even", "ever", "every", "everyone", "everything", "everywhere",
+    "except", "few", "fifteen", "fifty", "fill", "find", "fire", "first",
+    "five", "for", "former", "formerly", "forty", "found", "four", "from",
+    "front", "full", "further", "get", "give", "go", "had", "has", "hasnt",
+    "have", "he", "hence", "her", "here", "hereafter", "hereby", "herein",
+    "hereupon", "hers", "herself", "him", "himself", "his", "how", "however",
+    "hundred", "i", "ie", "if", "in", "inc", "indeed", "instead", "into",
+    "is", "isnt", "it", "its", "itself", "just", "keep", "last", "latter",
+    "latterly", "least", "less", "lest", "let", "like", "likely", "ltd",
+    "made", "many", "may", "maybe", "me", "meanwhile", "might", "mill",
+    "mine", "more", "moreover", "most", "mostly", "move", "much", "must",
+    "my", "myself", "name", "namely", "neither", "never", "nevertheless",
+    "next", "nine", "no", "nobody", "none", "nonetheless", "noone", "nor",
+    "not", "nothing", "now", "nowhere", "of", "off", "often", "on", "once",
+    "one", "only", "onto", "or", "other", "others", "otherwise", "our",
+    "ours", "ourselves", "out", "over", "own", "part", "per", "perhaps",
+    "please", "put", "rather", "re", "said", "same", "say", "says", "see",
+    "seem", "seemed", "seeming", "seems", "serious", "several", "shall",
+    "she", "should", "shouldnt", "show", "side", "since", "sincere", "six",
+    "sixty", "so", "some", "somehow", "someone", "something", "sometime",
+    "sometimes", "somewhere", "still", "such", "take", "ten", "than", "that",
+    "the", "their", "theirs", "them", "themselves", "then", "thence",
+    "there", "thereafter", "thereby", "therefore", "therein", "thereupon",
+    "these", "they", "thick", "thin", "third", "this", "those", "though",
+    "three", "through", "throughout", "thru", "thus", "to", "together",
+    "too", "top", "toward", "towards", "twelve", "twenty", "two", "un",
+    "under", "unless", "until", "up", "upon", "us", "very", "via", "was",
+    "wasnt", "we", "well", "were", "werent", "what", "whatever", "when",
+    "whence", "whenever", "where", "whereafter", "whereas", "whereby",
+    "wherein", "whereupon", "wherever", "whether", "which", "while",
+    "whither", "who", "whoever", "whole", "whom", "whose", "why", "will",
+    "with", "within", "without", "wont", "would", "wouldnt", "yet", "you",
+    "your", "yours", "yourself", "yourselves", "able", "according",
+    "accordingly", "actually", "ago", "ahead", "ain", "aint", "allow",
+    "allows", "alongside", "amid", "amidst", "anybody", "anyways", "apart",
+    "appear", "appropriate", "aside", "ask", "asking", "available", "away",
+    "awfully", "barely", "basically", "beneath", "best", "better", "brief",
+    "came", "cause", "causes", "certain", "certainly", "clearly", "come",
+    "comes", "concerning", "consequently", "consider", "considering",
+    "contain", "containing", "contains", "corresponding", "course",
+    "currently", "definitely", "despite", "different", "directly",
+    "downwards", "earlier", "early", "easily", "entirely", "especially",
+    "essentially", "et", "evermore", "everybody", "exactly", "example",
+    "fairly", "far", "farther", "fewer", "followed", "following", "follows",
+    "forever", "forth", "forward", "furthermore", "generally", "given",
+    "gives", "goes", "going", "gone", "got", "gotten",
+};
+
+const char* const kMinimalStopwords[] = {
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if",
+    "in", "into", "is", "it", "no", "not", "of", "on", "or", "such",
+    "that", "the", "their", "then", "there", "these", "they", "this",
+    "to", "was", "will", "with",
+};
+
+}  // namespace
+
+StopwordList::StopwordList(const std::vector<std::string>& words) {
+  set_.reserve(words.size() * 2);
+  for (const auto& w : words) set_.insert(w);
+}
+
+std::vector<std::string> StopwordList::Words() const {
+  std::vector<std::string> out(set_.begin(), set_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const StopwordList& StopwordList::Default() {
+  static const StopwordList* list = [] {
+    std::vector<std::string> words;
+    for (const char* w : kDefaultStopwords) words.emplace_back(w);
+    return new StopwordList(words);
+  }();
+  return *list;
+}
+
+const StopwordList& StopwordList::DefaultStemmed() {
+  static const StopwordList* list = [] {
+    std::vector<std::string> words;
+    for (const char* w : kDefaultStopwords) {
+      words.emplace_back(w);
+      words.push_back(PorterStemmer::Stem(w));
+    }
+    return new StopwordList(words);
+  }();
+  return *list;
+}
+
+const StopwordList& StopwordList::Minimal() {
+  static const StopwordList* list = [] {
+    std::vector<std::string> words;
+    for (const char* w : kMinimalStopwords) words.emplace_back(w);
+    return new StopwordList(words);
+  }();
+  return *list;
+}
+
+std::vector<std::string> DefaultStopwordVector() {
+  std::vector<std::string> words;
+  for (const char* w : kDefaultStopwords) words.emplace_back(w);
+  std::sort(words.begin(), words.end());
+  words.erase(std::unique(words.begin(), words.end()), words.end());
+  return words;
+}
+
+}  // namespace qbs

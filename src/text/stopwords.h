@@ -1,0 +1,59 @@
+// Stopword lists. The paper's databases used the INQUERY default list of
+// 418 very frequent and/or closed-class words (paper §4.1); we ship a
+// comparable default list assembled from the classic SMART /
+// van Rijsbergen function-word lists.
+#ifndef QBS_TEXT_STOPWORDS_H_
+#define QBS_TEXT_STOPWORDS_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace qbs {
+
+/// An immutable set of stopwords with O(1) membership tests.
+/// Words are matched case-sensitively; callers should lowercase first
+/// (the Analyzer does this).
+class StopwordList {
+ public:
+  /// Empty list (nothing is a stopword).
+  StopwordList() = default;
+
+  /// Builds a list from arbitrary words.
+  explicit StopwordList(const std::vector<std::string>& words);
+
+  /// True iff `word` is a stopword.
+  bool Contains(std::string_view word) const {
+    return set_.find(std::string(word)) != set_.end();
+  }
+
+  size_t size() const { return set_.size(); }
+  bool empty() const { return set_.empty(); }
+
+  /// All words in the list, sorted (for serialization and inspection).
+  std::vector<std::string> Words() const;
+
+  /// The default list of closed-class / very-frequent English words,
+  /// standing in for INQUERY's 418-word default list.
+  static const StopwordList& Default();
+
+  /// The default list with every word Porter-stemmed (plus the unstemmed
+  /// forms). Use this when filtering *stemmed* term spaces: stemming maps
+  /// "they" -> "thei", "very" -> "veri", which the plain list would miss.
+  static const StopwordList& DefaultStemmed();
+
+  /// An intentionally different, smaller list, used in tests and the STARTS
+  /// experiments to model databases with *mismatched* indexing conventions.
+  static const StopwordList& Minimal();
+
+ private:
+  std::unordered_set<std::string> set_;
+};
+
+/// Returns the words of the default list (sorted), mainly for inspection.
+std::vector<std::string> DefaultStopwordVector();
+
+}  // namespace qbs
+
+#endif  // QBS_TEXT_STOPWORDS_H_

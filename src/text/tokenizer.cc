@@ -1,0 +1,46 @@
+#include "text/tokenizer.h"
+
+namespace qbs {
+
+namespace {
+
+inline bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9');
+}
+
+}  // namespace
+
+void Tokenizer::Tokenize(std::string_view text,
+                         std::vector<std::string>& out) const {
+  std::string current;
+  current.reserve(16);
+  auto flush = [&] {
+    if (current.size() >= options_.min_token_length &&
+        current.size() <= options_.max_token_length) {
+      out.push_back(current);
+    }
+    current.clear();
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (IsWordChar(c)) {
+      current.push_back(c);
+    } else if (options_.elide_apostrophes && c == '\'' && !current.empty() &&
+               i + 1 < text.size() && IsWordChar(text[i + 1])) {
+      // Elide in-word apostrophes: "don't" -> "dont".
+      continue;
+    } else {
+      if (!current.empty()) flush();
+    }
+  }
+  if (!current.empty()) flush();
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  Tokenize(text, out);
+  return out;
+}
+
+}  // namespace qbs

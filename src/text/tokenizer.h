@@ -1,0 +1,45 @@
+// Text tokenization: splits raw text into alphanumeric word tokens.
+#ifndef QBS_TEXT_TOKENIZER_H_
+#define QBS_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qbs {
+
+/// Options controlling tokenization.
+struct TokenizerOptions {
+  /// Tokens shorter than this are dropped (after splitting).
+  size_t min_token_length = 1;
+  /// Tokens longer than this are dropped (guards pathological inputs).
+  size_t max_token_length = 64;
+  /// When true, apostrophes inside words are elided ("don't" -> "dont")
+  /// rather than splitting the word.
+  bool elide_apostrophes = true;
+};
+
+/// Splits text into word tokens.
+///
+/// A token is a maximal run of ASCII letters and digits. All other bytes
+/// are separators. Tokens are *not* case-folded here; see Analyzer.
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+  explicit Tokenizer(TokenizerOptions options) : options_(options) {}
+
+  /// Appends the tokens of `text` to `out`.
+  void Tokenize(std::string_view text, std::vector<std::string>& out) const;
+
+  /// Convenience overload returning a fresh vector.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_TEXT_TOKENIZER_H_

@@ -1,0 +1,45 @@
+// Minimal CHECK-style invariant macros.
+#ifndef QBS_UTIL_LOGGING_H_
+#define QBS_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qbs {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "QBS_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace qbs
+
+/// Aborts the process when `cond` is false. Enabled in all build types:
+/// these guard invariants whose violation would corrupt results silently.
+#define QBS_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::qbs::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+    }                                                          \
+  } while (0)
+
+#define QBS_CHECK_EQ(a, b) QBS_CHECK((a) == (b))
+#define QBS_CHECK_NE(a, b) QBS_CHECK((a) != (b))
+#define QBS_CHECK_LT(a, b) QBS_CHECK((a) < (b))
+#define QBS_CHECK_LE(a, b) QBS_CHECK((a) <= (b))
+#define QBS_CHECK_GT(a, b) QBS_CHECK((a) > (b))
+#define QBS_CHECK_GE(a, b) QBS_CHECK((a) >= (b))
+
+/// Debug-only check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define QBS_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define QBS_DCHECK(cond) QBS_CHECK(cond)
+#endif
+
+#endif  // QBS_UTIL_LOGGING_H_

@@ -1,0 +1,117 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace qbs {
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * UniformDouble() - 1.0;
+    v = 2.0 * UniformDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  have_cached_normal_ = true;
+  return u * factor;
+}
+
+namespace {
+
+// Integral of (x + q)^-s, used by rejection-inversion.
+double HIntegral(double x, double s, double q) {
+  double logx = std::log(x + q);
+  if (std::abs(s - 1.0) < 1e-12) return logx;
+  return std::exp(logx * (1.0 - s)) / (1.0 - s);
+}
+
+double HIntegralInverse(double x, double s, double q) {
+  if (std::abs(s - 1.0) < 1e-12) return std::exp(x) - q;
+  // For s != 1, x*(1-s) is strictly positive for all valid inputs; clamp
+  // defensively against rounding at the boundary.
+  double t = std::max(x * (1.0 - s), 1e-300);
+  return std::exp(std::log(t) / (1.0 - s)) - q;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(uint64_t n, double s, double q) : n_(n), s_(s), q_(q) {
+  QBS_CHECK_GE(n, 1u);
+  QBS_CHECK_GT(s, 0.0);
+  QBS_CHECK_GE(q, 0.0);
+  h_x1_ = HIntegral(1.5, s_, q_) - std::exp(-s_ * std::log(1.0 + q_));
+  h_n_ = HIntegral(static_cast<double>(n_) + 0.5, s_, q_);
+  s_div_ = 2.0 - HIntegralInverse(HIntegral(2.5, s_, q_) -
+                                      std::exp(-s_ * std::log(2.0 + q_)),
+                                  s_, q_);
+}
+
+double ZipfSampler::H(double x) const { return HIntegral(x, s_, q_); }
+
+double ZipfSampler::HInverse(double x) const {
+  return HIntegralInverse(x, s_, q_);
+}
+
+uint64_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  while (true) {
+    double u = h_n_ + rng.UniformDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    // Quick accept for the bulk of the distribution.
+    if (k - x <= s_div_ ||
+        u >= H(k + 0.5) - std::exp(-s_ * std::log(k + q_))) {
+      return static_cast<uint64_t>(k);
+    }
+  }
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  QBS_CHECK(!weights.empty());
+  const size_t n = weights.size();
+  double total = 0.0;
+  for (double w : weights) {
+    QBS_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  QBS_CHECK_GT(total, 0.0);
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Residuals are 1 up to floating error.
+  for (uint32_t i : large) prob_[i] = 1.0;
+  for (uint32_t i : small) prob_[i] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  size_t i = static_cast<size_t>(rng.UniformBelow(prob_.size()));
+  return rng.UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace qbs

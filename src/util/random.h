@@ -1,0 +1,168 @@
+// Deterministic pseudo-random number generation and distribution samplers.
+//
+// All stochastic behaviour in the library (corpus generation, query-term
+// selection) flows through Rng so experiments are reproducible from a seed.
+#ifndef QBS_UTIL_RANDOM_H_
+#define QBS_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace qbs {
+
+/// SplitMix64: used to seed and scramble other generators.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// PCG32 (XSH-RR): a small, fast, statistically strong PRNG.
+///
+/// Satisfies the UniformRandomBitGenerator concept so it can also be used
+/// with <random> distributions if desired.
+class Rng {
+ public:
+  using result_type = uint32_t;
+
+  /// Constructs a generator from a seed; distinct seeds yield independent
+  /// streams for practical purposes.
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9BULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically.
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    state_ = SplitMix64(sm);
+    inc_ = SplitMix64(sm) | 1ULL;
+    Next32();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xFFFFFFFFu; }
+  result_type operator()() { return Next32(); }
+
+  /// Returns a uniformly distributed 32-bit value.
+  uint32_t Next32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t Next64() {
+    return (static_cast<uint64_t>(Next32()) << 32) | Next32();
+  }
+
+  /// Returns an integer uniform on [0, bound). Requires bound > 0.
+  /// Uses Lemire's nearly-divisionless unbiased method.
+  uint64_t UniformBelow(uint64_t bound) {
+    QBS_CHECK_GT(bound, 0u);
+    // 128-bit multiply-shift rejection sampling.
+    while (true) {
+      uint64_t x = Next64();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      uint64_t low = static_cast<uint64_t>(m);
+      if (low >= bound || low >= (-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Returns an integer uniform on [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    QBS_CHECK_LE(lo, hi);
+    return lo + static_cast<int64_t>(
+                    UniformBelow(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Returns a double uniform on [0, 1).
+  double UniformDouble() {
+    return (Next64() >> 11) * (1.0 / 9007199254740992.0);  // 2^53
+  }
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Returns a standard normal deviate (Marsaglia polar method).
+  double Normal();
+
+  /// Returns a log-normal deviate with the given log-space mean and stddev.
+  double LogNormal(double mu, double sigma) {
+    return std::exp(mu + sigma * Normal());
+  }
+
+  /// Fisher-Yates shuffles a vector in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformBelow(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t state_ = 0;
+  uint64_t inc_ = 1;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Samples ranks 1..n from a Zipf-Mandelbrot distribution:
+///   P(rank = k) ∝ 1 / (k + q)^s
+///
+/// Uses rejection-inversion (Hörmann & Derflinger 1996), giving O(1)
+/// expected time per sample independent of n. This is the backbone of the
+/// synthetic corpus generator: natural-language term frequencies are
+/// Zipf-distributed (paper §3, citing [16]).
+class ZipfSampler {
+ public:
+  /// Creates a sampler over ranks [1, n] with exponent `s` (> 0, != 1 is
+  /// handled; s == 1 uses the logarithmic branch) and shift `q` >= 0.
+  ZipfSampler(uint64_t n, double s, double q = 0.0);
+
+  /// Draws a rank in [1, n].
+  uint64_t Sample(Rng& rng) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+  double q() const { return q_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t n_;
+  double s_;
+  double q_;
+  double h_x1_;
+  double s_div_;  // threshold for accepting k == 1 quickly
+  double h_n_;
+};
+
+/// O(1) sampling from an arbitrary discrete distribution via Walker's
+/// alias method. Construction is O(n).
+class AliasSampler {
+ public:
+  /// Builds the table from (unnormalized, non-negative) weights.
+  /// Requires at least one strictly positive weight.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_UTIL_RANDOM_H_

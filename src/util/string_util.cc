@@ -1,0 +1,97 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+
+namespace qbs {
+
+void AsciiLowerInPlace(std::string& s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+}
+
+std::string AsciiLower(std::string_view s) {
+  std::string out(s);
+  AsciiLowerInPlace(out);
+  return out;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+bool ContainsDigit(std::string_view s) {
+  for (char c : s) {
+    if (c >= '0' && c <= '9') return true;
+  }
+  return false;
+}
+
+std::vector<std::string_view> SplitNonEmpty(std::string_view s,
+                                            std::string_view delims) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (start < s.size()) {
+    size_t end = s.find_first_of(delims, start);
+    if (end == std::string_view::npos) end = s.size();
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string WithThousands(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i > 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  if (u == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu%s",
+                  static_cast<unsigned long long>(bytes), units[u]);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f%s", v, units[u]);
+  }
+  return buf;
+}
+
+}  // namespace qbs

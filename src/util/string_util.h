@@ -1,0 +1,42 @@
+// Small string helpers shared across the library.
+#ifndef QBS_UTIL_STRING_UTIL_H_
+#define QBS_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qbs {
+
+/// Lowercases ASCII letters in place; non-ASCII bytes are left untouched.
+void AsciiLowerInPlace(std::string& s);
+
+/// Returns a lowercased copy of `s` (ASCII only).
+std::string AsciiLower(std::string_view s);
+
+/// Returns true iff every character of `s` is an ASCII digit (and `s` is
+/// non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// Returns true iff `s` contains at least one ASCII digit.
+bool ContainsDigit(std::string_view s);
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string_view> SplitNonEmpty(std::string_view s,
+                                            std::string_view delims);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Formats a count with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string WithThousands(uint64_t n);
+
+/// Formats a byte count with a human unit, e.g. 3355443200 -> "3.1GB".
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace qbs
+
+#endif  // QBS_UTIL_STRING_UTIL_H_

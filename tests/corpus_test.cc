@@ -1,0 +1,319 @@
+// Tests for the synthetic corpus generator, the TREC parser, and corpus
+// statistics. Includes statistical property checks (Zipf frequencies,
+// Heaps-law vocabulary growth) that the paper's findings depend on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_stats.h"
+#include "corpus/synthetic.h"
+#include "corpus/trec_parser.h"
+#include "text/analyzer.h"
+
+namespace qbs {
+namespace {
+
+SyntheticCorpusSpec SmallSpec(uint64_t seed = 7) {
+  SyntheticCorpusSpec spec;
+  spec.name = "small";
+  spec.num_docs = 300;
+  spec.vocab_size = 30'000;
+  spec.num_topics = 4;
+  spec.topic_vocab_size = 300;
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<std::pair<std::string, std::string>> Generate(
+    const SyntheticCorpusSpec& spec) {
+  std::vector<std::pair<std::string, std::string>> docs;
+  Status s = GenerateSyntheticCorpus(
+      spec, [&](const std::string& name, const std::string& text) {
+        docs.emplace_back(name, text);
+      });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return docs;
+}
+
+TEST(SyntheticWordTest, UniqueForDistinctIds) {
+  std::set<std::string> words;
+  for (uint64_t id = 0; id < 20000; ++id) {
+    ASSERT_TRUE(words.insert(SyntheticWordForId(id)).second) << id;
+  }
+}
+
+TEST(SyntheticWordTest, AlwaysEligibleAsQueryTerm) {
+  for (uint64_t id : {0ull, 1ull, 94ull, 95ull, 10000ull, 4000000ull}) {
+    std::string w = SyntheticWordForId(id);
+    EXPECT_GE(w.size(), 4u) << id;
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << id << " " << w;
+    }
+  }
+}
+
+TEST(SyntheticCorpusTest, DeterministicForSameSeed) {
+  auto a = Generate(SmallSpec(7));
+  auto b = Generate(SmallSpec(7));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "doc " << i;
+  }
+}
+
+TEST(SyntheticCorpusTest, DifferentSeedsDiffer) {
+  auto a = Generate(SmallSpec(7));
+  auto b = Generate(SmallSpec(8));
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_NE(a[0].second, b[0].second);
+}
+
+TEST(SyntheticCorpusTest, ProducesRequestedDocCount) {
+  auto docs = Generate(SmallSpec());
+  EXPECT_EQ(docs.size(), 300u);
+  EXPECT_EQ(docs[0].first, "small-0");
+  EXPECT_EQ(docs[299].first, "small-299");
+}
+
+TEST(SyntheticCorpusTest, DocumentsLookLikeText) {
+  auto docs = Generate(SmallSpec());
+  for (size_t i = 0; i < 10; ++i) {
+    const std::string& text = docs[i].second;
+    ASSERT_FALSE(text.empty());
+    EXPECT_TRUE(isupper(static_cast<unsigned char>(text[0])));  // sentence case
+    EXPECT_EQ(text.back(), '.');
+    EXPECT_NE(text.find(' '), std::string::npos);
+  }
+}
+
+TEST(SyntheticCorpusTest, ContainsFunctionWords) {
+  auto docs = Generate(SmallSpec());
+  Analyzer raw = Analyzer::Raw();
+  size_t the_count = 0, tokens = 0;
+  for (const auto& [name, text] : docs) {
+    for (const auto& t : raw.Analyze(text)) {
+      ++tokens;
+      if (t == "the") ++the_count;
+    }
+  }
+  // "the" is the most frequent function word; expect several percent.
+  EXPECT_GT(static_cast<double>(the_count) / tokens, 0.02);
+}
+
+TEST(SyntheticCorpusTest, TermFrequenciesAreZipfLike) {
+  auto docs = Generate(SmallSpec());
+  Analyzer raw = Analyzer::Raw();
+  std::map<std::string, uint64_t> counts;
+  uint64_t total = 0;
+  for (const auto& [name, text] : docs) {
+    for (const auto& t : raw.Analyze(text)) {
+      ++counts[t];
+      ++total;
+    }
+  }
+  std::vector<uint64_t> freqs;
+  freqs.reserve(counts.size());
+  for (const auto& [t, c] : counts) freqs.push_back(c);
+  std::sort(freqs.rbegin(), freqs.rend());
+
+  // Head-heavy: top 100 types carry a large share of tokens.
+  uint64_t head = 0;
+  for (size_t i = 0; i < 100 && i < freqs.size(); ++i) head += freqs[i];
+  EXPECT_GT(static_cast<double>(head) / total, 0.4);
+
+  // Tail-heavy: many types are hapax legomena (paper §4.3.1: "about 50% of
+  // the unique terms in a text database occur just once").
+  size_t hapax = 0;
+  for (uint64_t f : freqs) {
+    if (f == 1) ++hapax;
+  }
+  double hapax_frac = static_cast<double>(hapax) / freqs.size();
+  EXPECT_GT(hapax_frac, 0.30);
+  EXPECT_LT(hapax_frac, 0.80);
+}
+
+TEST(SyntheticCorpusTest, VocabularyGrowsWithoutSaturating) {
+  // Heaps' law (paper §3: "vocabulary growth slows, but does not stop").
+  SyntheticCorpusSpec spec = SmallSpec();
+  spec.num_docs = 600;
+  auto docs = Generate(spec);
+  Analyzer raw = Analyzer::Raw();
+  std::set<std::string> vocab;
+  size_t vocab_at_200 = 0, vocab_at_400 = 0, vocab_at_600 = 0;
+  for (size_t i = 0; i < docs.size(); ++i) {
+    for (const auto& t : raw.Analyze(docs[i].second)) vocab.insert(t);
+    if (i + 1 == 200) vocab_at_200 = vocab.size();
+    if (i + 1 == 400) vocab_at_400 = vocab.size();
+    if (i + 1 == 600) vocab_at_600 = vocab.size();
+  }
+  size_t growth_1 = vocab_at_400 - vocab_at_200;
+  size_t growth_2 = vocab_at_600 - vocab_at_400;
+  EXPECT_GT(growth_2, 0u);             // never stops
+  EXPECT_LT(growth_2, growth_1 + growth_1 / 2);  // but slows (noise margin)
+}
+
+TEST(SyntheticCorpusTest, ThemeTermsAppearProminent) {
+  SyntheticCorpusSpec spec = SmallSpec();
+  spec.theme_terms = {"excel", "foxpro", "windows"};
+  spec.theme_prob = 0.2;
+  spec.num_docs = 400;
+  auto docs = Generate(spec);
+  Analyzer raw = Analyzer::Raw();
+  size_t theme_hits = 0;
+  for (const auto& [name, text] : docs) {
+    for (const auto& t : raw.Analyze(text)) {
+      if (t == "excel" || t == "foxpro" || t == "windows") ++theme_hits;
+    }
+  }
+  EXPECT_GT(theme_hits, 100u);
+}
+
+TEST(SyntheticCorpusTest, InvalidSpecsRejected) {
+  auto sink = [](const std::string&, const std::string&) {};
+  SyntheticCorpusSpec spec = SmallSpec();
+  spec.num_docs = 0;
+  EXPECT_TRUE(GenerateSyntheticCorpus(spec, sink).IsInvalidArgument());
+  spec = SmallSpec();
+  spec.topic_mix = 1.5;
+  EXPECT_TRUE(GenerateSyntheticCorpus(spec, sink).IsInvalidArgument());
+  spec = SmallSpec();
+  spec.zipf_s = 0.0;
+  EXPECT_TRUE(GenerateSyntheticCorpus(spec, sink).IsInvalidArgument());
+  spec = SmallSpec();
+  spec.num_topics = 0;
+  EXPECT_TRUE(GenerateSyntheticCorpus(spec, sink).IsInvalidArgument());
+}
+
+TEST(SyntheticCorpusTest, BuildEngineIndexesEverything) {
+  SyntheticCorpusSpec spec = SmallSpec();
+  spec.num_docs = 100;
+  auto engine = BuildSyntheticEngine(spec);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->num_docs(), 100u);
+  EXPECT_GT((*engine)->index().unique_terms(), 100u);
+}
+
+TEST(SyntheticCorpusTest, PresetsOrderBySizeAndHomogeneity) {
+  SyntheticCorpusSpec cacm = CacmLikeSpec();
+  SyntheticCorpusSpec wsj = Wsj88LikeSpec();
+  SyntheticCorpusSpec trec = Trec123LikeSpec();
+  EXPECT_LT(cacm.num_docs, wsj.num_docs);
+  EXPECT_LT(wsj.num_docs, trec.num_docs);
+  EXPECT_LT(cacm.num_topics, wsj.num_topics);
+  EXPECT_LT(wsj.num_topics, trec.num_topics);
+  EXPECT_LT(cacm.vocab_size, wsj.vocab_size);
+  EXPECT_LT(wsj.vocab_size, trec.vocab_size);
+}
+
+TEST(SyntheticCorpusTest, SupportKbHasThemeTerms) {
+  SyntheticCorpusSpec kb = SupportKbLikeSpec();
+  EXPECT_FALSE(kb.theme_terms.empty());
+  EXPECT_NE(std::find(kb.theme_terms.begin(), kb.theme_terms.end(), "excel"),
+            kb.theme_terms.end());
+}
+
+TEST(ScaledDocCountTest, IdentityWithoutEnvAndFloorOf64) {
+  // QBS_SCALE is unset in the test environment.
+  EXPECT_EQ(ScaledDocCount(1000), 1000u);
+  EXPECT_EQ(ScaledDocCount(10), 64u);  // floor keeps tiny corpora viable
+}
+
+// --- TREC parser ---
+
+constexpr const char* kTrecSample = R"(<DOC>
+<DOCNO> WSJ880101-0001 </DOCNO>
+<HL> Some headline </HL>
+<TEXT>
+First document body.
+Spanning two lines.
+</TEXT>
+</DOC>
+<DOC>
+<DOCNO>WSJ880101-0002</DOCNO>
+<TEXT> Inline start of text
+and more.
+</TEXT>
+<TEXT>
+Second TEXT section.
+</TEXT>
+</DOC>
+)";
+
+TEST(TrecParserTest, ParsesDocumentsAndDocnos) {
+  std::stringstream in(kTrecSample);
+  std::vector<std::pair<std::string, std::string>> docs;
+  auto stats = ParseTrecStream(
+      in, [&](const std::string& docno, const std::string& text) {
+        docs.emplace_back(docno, text);
+      });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->docs, 2u);
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].first, "WSJ880101-0001");
+  EXPECT_NE(docs[0].second.find("First document body."), std::string::npos);
+  EXPECT_NE(docs[0].second.find("Spanning two lines."), std::string::npos);
+  EXPECT_EQ(docs[0].second.find("Some headline"), std::string::npos);
+}
+
+TEST(TrecParserTest, ConcatenatesMultipleTextSections) {
+  std::stringstream in(kTrecSample);
+  std::vector<std::string> texts;
+  auto stats = ParseTrecStream(
+      in, [&](const std::string&, const std::string& text) {
+        texts.push_back(text);
+      });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(texts[1].find("Inline start of text"), std::string::npos);
+  EXPECT_NE(texts[1].find("Second TEXT section."), std::string::npos);
+}
+
+TEST(TrecParserTest, MissingDocnoIsCorruption) {
+  std::stringstream in("<DOC>\n<TEXT>\nx\n</TEXT>\n</DOC>\n");
+  auto stats = ParseTrecStream(in, [](const std::string&, const std::string&) {});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCorruption());
+}
+
+TEST(TrecParserTest, UnterminatedDocIsCorruption) {
+  std::stringstream in("<DOC>\n<DOCNO> D1 </DOCNO>\n<TEXT>\nx\n");
+  auto stats = ParseTrecStream(in, [](const std::string&, const std::string&) {});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCorruption());
+}
+
+TEST(TrecParserTest, EmptyInputIsZeroDocs) {
+  std::stringstream in("");
+  auto stats = ParseTrecStream(in, [](const std::string&, const std::string&) {});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->docs, 0u);
+}
+
+TEST(TrecParserTest, MissingFileIsIOError) {
+  auto stats = ParseTrecFile("/nonexistent/path/file.sgml",
+                             [](const std::string&, const std::string&) {});
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsIOError());
+}
+
+TEST(CorpusStatsTest, MatchesEngineContents) {
+  SearchEngine engine("statdb");
+  ASSERT_TRUE(engine.AddDocument("d1", "alpha beta alpha").ok());
+  ASSERT_TRUE(engine.AddDocument("d2", "gamma").ok());
+  CorpusStats stats = ComputeCorpusStats(engine);
+  EXPECT_EQ(stats.name, "statdb");
+  EXPECT_EQ(stats.num_docs, 2u);
+  EXPECT_EQ(stats.unique_terms, 3u);
+  EXPECT_EQ(stats.total_terms, 4u);
+  EXPECT_EQ(stats.bytes, std::string("alpha beta alpha").size() +
+                             std::string("gamma").size());
+  EXPECT_DOUBLE_EQ(stats.avg_doc_length(), 2.0);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,119 @@
+// Tests for CostMeter, including the paper's §9 resource-requirements
+// claim measured end to end on a sampling run.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "corpus/synthetic.h"
+#include "sampling/cost_meter.h"
+#include "sampling/sampler.h"
+
+namespace qbs {
+namespace {
+
+class CostMeterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusSpec spec;
+    spec.name = "costdb";
+    spec.num_docs = 1'000;
+    spec.vocab_size = 40'000;
+    spec.num_topics = 4;
+    spec.seed = 60601;
+    auto engine = BuildSyntheticEngine(spec);
+    ASSERT_TRUE(engine.ok());
+    engine_ = engine->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static SearchEngine* engine_;
+};
+
+SearchEngine* CostMeterTest::engine_ = nullptr;
+
+TEST_F(CostMeterTest, CountsQueriesAndHits) {
+  CostMeter meter(engine_);
+  LanguageModel actual = engine_->ActualLanguageModel();
+  auto top = actual.RankedTerms(TermMetric::kCtf, 3);
+  uint64_t expected_query_bytes = 0;
+  uint64_t expected_hits = 0;
+  for (const auto& [term, score] : top) {
+    auto hits = meter.RunQuery(term, 4);
+    ASSERT_TRUE(hits.ok());
+    expected_query_bytes += term.size();
+    expected_hits += hits->size();
+  }
+  EXPECT_EQ(meter.costs().queries, 3u);
+  EXPECT_EQ(meter.costs().query_bytes, expected_query_bytes);
+  EXPECT_EQ(meter.costs().hits_returned, expected_hits);
+  EXPECT_EQ(meter.costs().documents_fetched, 0u);
+  EXPECT_EQ(meter.costs().errors, 0u);
+}
+
+TEST_F(CostMeterTest, CountsFetchedBytes) {
+  CostMeter meter(engine_);
+  LanguageModel actual = engine_->ActualLanguageModel();
+  auto top = actual.RankedTerms(TermMetric::kCtf, 1);
+  auto hits = meter.RunQuery(top[0].first, 2);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  uint64_t bytes = 0;
+  for (const auto& hit : *hits) {
+    auto text = meter.FetchDocument(hit.handle);
+    ASSERT_TRUE(text.ok());
+    bytes += text->size();
+  }
+  EXPECT_EQ(meter.costs().documents_fetched, hits->size());
+  EXPECT_EQ(meter.costs().document_bytes, bytes);
+  EXPECT_EQ(meter.costs().total_bytes(),
+            bytes + meter.costs().query_bytes);
+}
+
+TEST_F(CostMeterTest, CountsErrors) {
+  CostMeter meter(engine_);
+  EXPECT_FALSE(meter.FetchDocument("no-such-handle").ok());
+  EXPECT_EQ(meter.costs().errors, 1u);
+  EXPECT_EQ(meter.costs().documents_fetched, 0u);
+}
+
+TEST_F(CostMeterTest, ResetClearsCounters) {
+  CostMeter meter(engine_);
+  (void)meter.RunQuery("anything", 1);
+  EXPECT_GT(meter.costs().queries, 0u);
+  meter.Reset();
+  EXPECT_EQ(meter.costs().queries, 0u);
+  EXPECT_EQ(meter.costs().total_bytes(), 0u);
+}
+
+// The paper's §9 claim, measured: learning a model from 300 documents
+// costs ~100 one-term queries and well under a megabyte of transfer on
+// abstracts-sized documents.
+TEST_F(CostMeterTest, SamplingResourceRequirementsAreLow) {
+  CostMeter meter(engine_);
+  SamplerOptions opts;
+  opts.docs_per_query = 4;
+  opts.stopping.max_documents = 300;
+  LanguageModel actual = engine_->ActualLanguageModel();
+  Rng rng(5);
+  opts.initial_term = *RandomEligibleTerm(actual, opts.filter, rng);
+  auto result = QueryBasedSampler(&meter, opts).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->documents_examined, 300u);
+
+  const InteractionCosts& costs = meter.costs();
+  EXPECT_EQ(costs.queries, result->queries_run);
+  EXPECT_EQ(costs.documents_fetched, 300u);
+  // Roughly one hundred single-term queries (paper §9) — generous bound.
+  EXPECT_LT(costs.queries, 400u);
+  // Network traffic: well under a megabyte for a 300-document sample of
+  // abstract-sized documents.
+  EXPECT_LT(costs.total_bytes(), 1'000'000u);
+  EXPECT_GT(costs.document_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,136 @@
+// Tests for co-occurrence statistics and query expansion (paper §8).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "expansion/cooccurrence.h"
+
+namespace qbs {
+namespace {
+
+// A small "sample union" with a clear co-occurrence structure: politics
+// documents pair "president" with "senate"; fruit documents do not.
+CooccurrenceModel PoliticsAndFruit() {
+  CooccurrenceModel model;
+  model.AddDocument("President speech senate vote president");
+  model.AddDocument("Senate president debate policy");
+  model.AddDocument("President senate election campaign");
+  model.AddDocument("Apple orchard harvest fruit");
+  model.AddDocument("Apple pie fruit dessert");
+  model.AddDocument("Banana fruit smoothie");
+  return model;
+}
+
+TEST(CooccurrenceModelTest, DfCountsDocumentsNotOccurrences) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  EXPECT_EQ(model.num_docs(), 6u);
+  EXPECT_EQ(model.df("presid"), 3u);  // stemmed term space
+  EXPECT_EQ(model.df("appl"), 2u);
+  EXPECT_EQ(model.df("fruit"), 3u);
+  EXPECT_EQ(model.df("absent"), 0u);
+}
+
+TEST(CooccurrenceModelTest, CoDfIntersectsDocumentSets) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  EXPECT_EQ(model.CoDf("presid", "senat"), 3u);
+  EXPECT_EQ(model.CoDf("presid", "fruit"), 0u);
+  EXPECT_EQ(model.CoDf("appl", "fruit"), 2u);
+  EXPECT_EQ(model.CoDf("absent", "fruit"), 0u);
+  EXPECT_EQ(model.CoDf("presid", "presid"), 3u);
+}
+
+TEST(CooccurrenceModelTest, EmimPositiveForAssociatedTerms) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  EXPECT_GT(model.Emim("presid", "senat"), 0.0);
+  EXPECT_DOUBLE_EQ(model.Emim("presid", "fruit"), 0.0);  // never co-occur
+  EXPECT_DOUBLE_EQ(model.Emim("absent", "senat"), 0.0);
+}
+
+TEST(CooccurrenceModelTest, EmimHandComputed) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  // p(apple,fruit) = 2/6; p(apple) = 2/6; p(fruit) = 3/6.
+  double p_ab = 2.0 / 6.0, p_a = 2.0 / 6.0, p_b = 3.0 / 6.0;
+  EXPECT_NEAR(model.Emim("appl", "fruit"),
+              p_ab * std::log(p_ab / (p_a * p_b)), 1e-12);
+}
+
+TEST(CooccurrenceModelTest, TopAssociatesRankedByEmim) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  auto assoc = model.TopAssociates("presid", 5);
+  ASSERT_FALSE(assoc.empty());
+  EXPECT_EQ(assoc[0].first, "senat");  // co-occurs in all 3 politics docs
+  for (const auto& [term, emim] : assoc) {
+    EXPECT_NE(term, "presid");  // never suggests the term itself
+    EXPECT_GT(emim, 0.0);
+  }
+}
+
+TEST(CooccurrenceModelTest, MinDfSuppressesRarePartners) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  auto loose = model.TopAssociates("presid", 20, 1);
+  auto strict = model.TopAssociates("presid", 20, 3);
+  EXPECT_GT(loose.size(), strict.size());
+  for (const auto& [term, emim] : strict) {
+    EXPECT_GE(model.df(term), 3u) << term;
+  }
+}
+
+TEST(CooccurrenceModelTest, UnknownTermHasNoAssociates) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  EXPECT_TRUE(model.TopAssociates("absent", 5).empty());
+}
+
+TEST(CooccurrenceModelTest, StopwordsExcludedByAnalyzer) {
+  CooccurrenceModel model;
+  model.AddDocument("the president and the senate");
+  EXPECT_EQ(model.df("the"), 0u);
+  EXPECT_EQ(model.df("presid"), 1u);
+}
+
+TEST(QueryExpanderTest, ExpandsWithAssociates) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  QueryExpander expander(&model);
+  auto expanded = expander.Expand("president", 2);
+  ASSERT_GE(expanded.size(), 2u);
+  EXPECT_EQ(expanded[0], "presid");  // original first
+  EXPECT_NE(std::find(expanded.begin(), expanded.end(), "senat"),
+            expanded.end());
+}
+
+TEST(QueryExpanderTest, ExpansionTermsExcludeQueryTerms) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  QueryExpander expander(&model);
+  auto terms = expander.ExpansionTerms({"presid", "senat"}, 5);
+  for (const auto& [term, score] : terms) {
+    EXPECT_NE(term, "presid");
+    EXPECT_NE(term, "senat");
+  }
+}
+
+TEST(QueryExpanderTest, MultiTermQuerySumsAssociations) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  QueryExpander expander(&model);
+  auto terms = expander.ExpansionTerms({"appl", "banana"}, 3);
+  ASSERT_FALSE(terms.empty());
+  EXPECT_EQ(terms[0].first, "fruit");  // associated with both query terms
+}
+
+TEST(QueryExpanderTest, UnknownQueryYieldsNoExpansion) {
+  CooccurrenceModel model = PoliticsAndFruit();
+  QueryExpander expander(&model);
+  EXPECT_TRUE(expander.ExpansionTerms({"qwertyzzz"}, 5).empty());
+}
+
+TEST(QueryExpanderTest, EmptyModelIsSafe) {
+  CooccurrenceModel model;
+  QueryExpander expander(&model);
+  EXPECT_TRUE(expander.ExpansionTerms({"spaceship"}, 5).empty());
+  auto expanded = expander.Expand("spaceship", 5);
+  ASSERT_EQ(expanded.size(), 1u);  // just the analyzed original
+  EXPECT_EQ(expanded[0], "spaceship");
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,287 @@
+// Tests for varint coding, posting lists, term dictionary, inverted index,
+// and document store.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "index/document_store.h"
+#include "index/inverted_index.h"
+#include "index/postings.h"
+#include "index/term_dictionary.h"
+#include "index/varint.h"
+
+namespace qbs {
+namespace {
+
+class Varint32RoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Varint32RoundTrip, EncodesAndDecodes) {
+  std::vector<uint8_t> buf;
+  PutVarint32(buf, GetParam());
+  size_t pos = 0;
+  uint32_t out = 0;
+  ASSERT_TRUE(GetVarint32(buf, &pos, &out));
+  EXPECT_EQ(out, GetParam());
+  EXPECT_EQ(pos, buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, Varint32RoundTrip,
+    ::testing::Values(0u, 1u, 127u, 128u, 129u, 16383u, 16384u, 2097151u,
+                      2097152u, 268435455u, 268435456u,
+                      std::numeric_limits<uint32_t>::max()));
+
+class Varint64RoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Varint64RoundTrip, EncodesAndDecodes) {
+  std::vector<uint8_t> buf;
+  PutVarint64(buf, GetParam());
+  size_t pos = 0;
+  uint64_t out = 0;
+  ASSERT_TRUE(GetVarint64(buf, &pos, &out));
+  EXPECT_EQ(out, GetParam());
+  EXPECT_EQ(pos, buf.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, Varint64RoundTrip,
+    ::testing::Values(0ull, 127ull, 128ull, (1ull << 32), (1ull << 56) - 1,
+                      (1ull << 56), std::numeric_limits<uint64_t>::max()));
+
+TEST(VarintTest, SequentialDecoding) {
+  std::vector<uint8_t> buf;
+  for (uint32_t v : {5u, 300u, 0u, 70000u}) PutVarint32(buf, v);
+  size_t pos = 0;
+  uint32_t out = 0;
+  for (uint32_t expected : {5u, 300u, 0u, 70000u}) {
+    ASSERT_TRUE(GetVarint32(buf, &pos, &out));
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::vector<uint8_t> buf;
+  PutVarint32(buf, 1'000'000);
+  buf.pop_back();
+  size_t pos = 0;
+  uint32_t out = 0;
+  EXPECT_FALSE(GetVarint32(buf, &pos, &out));
+}
+
+TEST(VarintTest, EmptyInputFails) {
+  std::vector<uint8_t> buf;
+  size_t pos = 0;
+  uint32_t out = 0;
+  EXPECT_FALSE(GetVarint32(buf, &pos, &out));
+}
+
+TEST(VarintTest, OverlongEncodingRejected32) {
+  // Six continuation bytes cannot be a valid 32-bit varint.
+  std::vector<uint8_t> buf = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  size_t pos = 0;
+  uint32_t out = 0;
+  EXPECT_FALSE(GetVarint32(buf, &pos, &out));
+}
+
+TEST(VarintTest, OverflowingFinalByteRejected32) {
+  // 5th byte carries bits beyond 2^32.
+  std::vector<uint8_t> buf = {0xFF, 0xFF, 0xFF, 0xFF, 0x7F};
+  size_t pos = 0;
+  uint32_t out = 0;
+  EXPECT_FALSE(GetVarint32(buf, &pos, &out));
+}
+
+TEST(TermDictionaryTest, AssignsDenseIdsInFirstSeenOrder) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.GetOrAdd("apple"), 0u);
+  EXPECT_EQ(dict.GetOrAdd("bear"), 1u);
+  EXPECT_EQ(dict.GetOrAdd("apple"), 0u);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.TermText(0), "apple");
+  EXPECT_EQ(dict.TermText(1), "bear");
+}
+
+TEST(TermDictionaryTest, LookupMissReturnsInvalid) {
+  TermDictionary dict;
+  dict.GetOrAdd("x");
+  EXPECT_EQ(dict.Lookup("x"), 0u);
+  EXPECT_EQ(dict.Lookup("y"), kInvalidTermId);
+  EXPECT_EQ(dict.Lookup(""), kInvalidTermId);
+}
+
+TEST(TermDictionaryTest, ManyTermsKeepStableMapping) {
+  TermDictionary dict;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(dict.GetOrAdd("term" + std::to_string(i)),
+              static_cast<TermId>(i));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(dict.Lookup("term" + std::to_string(i)),
+              static_cast<TermId>(i));
+    ASSERT_EQ(dict.TermText(i), "term" + std::to_string(i));
+  }
+}
+
+TEST(PostingListTest, RoundTripsPostings) {
+  PostingList plist;
+  plist.Append(0, 3);
+  plist.Append(5, 1);
+  plist.Append(1000000, 42);
+  EXPECT_EQ(plist.doc_frequency(), 3u);
+  EXPECT_EQ(plist.collection_frequency(), 46u);
+  std::vector<Posting> decoded = plist.Decode();
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0], (Posting{0, 3}));
+  EXPECT_EQ(decoded[1], (Posting{5, 1}));
+  EXPECT_EQ(decoded[2], (Posting{1000000, 42}));
+}
+
+TEST(PostingListTest, EmptyListIteratorInvalid) {
+  PostingList plist;
+  EXPECT_EQ(plist.doc_frequency(), 0u);
+  EXPECT_FALSE(plist.NewIterator().Valid());
+  EXPECT_TRUE(plist.Decode().empty());
+}
+
+TEST(PostingListTest, CompressionBeatsFixedWidth) {
+  PostingList plist;
+  for (DocId d = 0; d < 1000; ++d) plist.Append(d * 3, 1 + d % 4);
+  // Fixed-width would be 8 bytes per posting; deltas of 3 and small tfs
+  // take 2 bytes.
+  EXPECT_LT(plist.byte_size(), 1000u * 4);
+}
+
+TEST(PostingListTest, IteratorMatchesDecode) {
+  PostingList plist;
+  DocId doc = 0;
+  for (int i = 0; i < 500; ++i) {
+    doc += 1 + (i * 7) % 100;
+    plist.Append(doc, 1 + i % 9);
+  }
+  std::vector<Posting> expected = plist.Decode();
+  size_t i = 0;
+  for (auto it = plist.NewIterator(); it.Valid(); it.Next(), ++i) {
+    ASSERT_LT(i, expected.size());
+    EXPECT_EQ(it.Get(), expected[i]);
+  }
+  EXPECT_EQ(i, expected.size());
+}
+
+TEST(InvertedIndexTest, BasicStatistics) {
+  InvertedIndex index;
+  index.AddDocument({"apple", "bear", "apple"});
+  index.AddDocument({"apple"});
+  index.AddDocument({"cherry", "bear"});
+
+  EXPECT_EQ(index.num_docs(), 3u);
+  EXPECT_EQ(index.unique_terms(), 3u);
+  EXPECT_EQ(index.total_terms(), 6u);
+  EXPECT_DOUBLE_EQ(index.avg_doc_length(), 2.0);
+
+  TermId apple = index.LookupTerm("apple");
+  TermId bear = index.LookupTerm("bear");
+  TermId cherry = index.LookupTerm("cherry");
+  ASSERT_NE(apple, kInvalidTermId);
+  EXPECT_EQ(index.df(apple), 2u);
+  EXPECT_EQ(index.ctf(apple), 3u);
+  EXPECT_EQ(index.df(bear), 2u);
+  EXPECT_EQ(index.ctf(bear), 2u);
+  EXPECT_EQ(index.df(cherry), 1u);
+  EXPECT_EQ(index.ctf(cherry), 1u);
+}
+
+TEST(InvertedIndexTest, PostingsRecordPerDocumentTf) {
+  InvertedIndex index;
+  index.AddDocument({"x", "x", "y"});
+  index.AddDocument({"y"});
+  index.AddDocument({"x", "y", "y", "y"});
+  TermId x = index.LookupTerm("x");
+  TermId y = index.LookupTerm("y");
+  auto px = index.postings(x).Decode();
+  ASSERT_EQ(px.size(), 2u);
+  EXPECT_EQ(px[0], (Posting{0, 2}));
+  EXPECT_EQ(px[1], (Posting{2, 1}));
+  auto py = index.postings(y).Decode();
+  ASSERT_EQ(py.size(), 3u);
+  EXPECT_EQ(py[1], (Posting{1, 1}));
+  EXPECT_EQ(py[2], (Posting{2, 3}));
+}
+
+TEST(InvertedIndexTest, EmptyDocumentAllowed) {
+  InvertedIndex index;
+  index.AddDocument({});
+  EXPECT_EQ(index.num_docs(), 1u);
+  EXPECT_EQ(index.doc_length(0), 0u);
+  EXPECT_EQ(index.total_terms(), 0u);
+}
+
+TEST(InvertedIndexTest, UnknownTermHasZeroStats) {
+  InvertedIndex index;
+  index.AddDocument({"a"});
+  EXPECT_EQ(index.df(12345), 0u);
+  EXPECT_EQ(index.ctf(12345), 0u);
+  EXPECT_EQ(index.LookupTerm("zzz"), kInvalidTermId);
+}
+
+TEST(InvertedIndexTest, ShrinkToFitPreservesContents) {
+  InvertedIndex index;
+  for (int d = 0; d < 50; ++d) {
+    index.AddDocument({"common", "term" + std::to_string(d)});
+  }
+  index.ShrinkToFit();
+  EXPECT_EQ(index.num_docs(), 50u);
+  EXPECT_EQ(index.df(index.LookupTerm("common")), 50u);
+  // Index remains usable after shrinking.
+  index.AddDocument({"common"});
+  EXPECT_EQ(index.df(index.LookupTerm("common")), 51u);
+}
+
+TEST(InvertedIndexTest, PostingBytesGrowsWithContent) {
+  InvertedIndex index;
+  size_t before = index.posting_bytes();
+  index.AddDocument({"a", "b", "c"});
+  EXPECT_GT(index.posting_bytes(), before);
+}
+
+TEST(DocumentStoreTest, RoundTripsNameAndText) {
+  DocumentStore store;
+  DocId a = store.Add("doc-a", "first text");
+  DocId b = store.Add("doc-b", "second text, longer");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.Name(a), "doc-a");
+  EXPECT_EQ(store.Text(a), "first text");
+  EXPECT_EQ(store.Name(b), "doc-b");
+  EXPECT_EQ(store.Text(b), "second text, longer");
+}
+
+TEST(DocumentStoreTest, TextBytesAccumulates) {
+  DocumentStore store;
+  store.Add("a", "12345");
+  store.Add("b", "123");
+  EXPECT_EQ(store.text_bytes(), 8u);
+}
+
+TEST(DocumentStoreTest, EmptyDocument) {
+  DocumentStore store;
+  DocId id = store.Add("empty", "");
+  EXPECT_EQ(store.Text(id), "");
+  EXPECT_EQ(store.Name(id), "empty");
+}
+
+TEST(DocumentStoreTest, ManyDocumentsStayAddressable) {
+  DocumentStore store;
+  for (int i = 0; i < 5000; ++i) {
+    store.Add("d" + std::to_string(i), "text " + std::to_string(i));
+  }
+  EXPECT_EQ(store.Text(4321), "text 4321");
+  EXPECT_EQ(store.Name(0), "d0");
+  EXPECT_EQ(store.Name(4999), "d4999");
+}
+
+}  // namespace
+}  // namespace qbs

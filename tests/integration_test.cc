@@ -1,0 +1,222 @@
+// End-to-end integration tests: build several databases, learn their
+// language models by query-based sampling, and use the learned models for
+// database selection, summarization, and query expansion — the complete
+// pipeline the paper proposes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "expansion/cooccurrence.h"
+#include "lm/metrics.h"
+#include "sampling/sampler.h"
+#include "selection/db_selection.h"
+#include "selection/eval.h"
+#include "starts/starts.h"
+#include "summarize/summarizer.h"
+
+namespace qbs {
+namespace {
+
+// A federation of topically distinct databases, built once for the suite.
+class FederationTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNumDbs = 4;
+
+  static void SetUpTestSuite() {
+    engines_ = new std::vector<std::unique_ptr<SearchEngine>>();
+    for (size_t i = 0; i < kNumDbs; ++i) {
+      SyntheticCorpusSpec spec;
+      spec.name = "fed-" + std::to_string(i);
+      spec.num_docs = 500;
+      spec.vocab_size = 50'000;
+      spec.num_topics = 3;
+      spec.topic_vocab_size = 400;
+      spec.topic_mix = 0.5;
+      // Distinct seeds give each database distinct topic vocabularies.
+      spec.seed = 9000 + i * 31;
+      auto engine = BuildSyntheticEngine(spec);
+      ASSERT_TRUE(engine.ok());
+      engines_->push_back(std::move(*engine));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete engines_;
+    engines_ = nullptr;
+  }
+
+  // Samples database i and returns the result.
+  SamplingResult Sample(size_t i, size_t max_docs,
+                        bool collect_docs = false) {
+    SamplerOptions opts;
+    opts.docs_per_query = 4;
+    opts.stopping.max_documents = max_docs;
+    opts.collect_documents = collect_docs;
+    opts.seed = 100 + i;
+    LanguageModel actual = (*engines_)[i]->ActualLanguageModel();
+    Rng rng(55 + i);
+    auto initial = RandomEligibleTerm(actual, TermFilter{}, rng);
+    EXPECT_TRUE(initial.has_value());
+    opts.initial_term = *initial;
+    auto result = QueryBasedSampler((*engines_)[i].get(), opts).Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return std::move(*result);
+  }
+
+  static std::vector<std::unique_ptr<SearchEngine>>* engines_;
+};
+
+std::vector<std::unique_ptr<SearchEngine>>* FederationTest::engines_ = nullptr;
+
+TEST_F(FederationTest, LearnedModelsAreAccurate) {
+  for (size_t i = 0; i < kNumDbs; ++i) {
+    SamplingResult r = Sample(i, 200);
+    LanguageModel actual = (*engines_)[i]->ActualLanguageModel();
+    LmComparison cmp = CompareLanguageModels(r.learned_stemmed, actual);
+    EXPECT_GT(cmp.ctf_ratio, 0.65) << "db " << i;
+    EXPECT_GT(cmp.spearman_df, 0.4) << "db " << i;
+    EXPECT_GT(cmp.common_terms, 200u) << "db " << i;
+  }
+}
+
+TEST_F(FederationTest, SelectionFromLearnedModelsTracksActual) {
+  // Build both collections.
+  DatabaseCollection actual_dbs, learned_dbs;
+  std::vector<LanguageModel> actuals;
+  for (size_t i = 0; i < kNumDbs; ++i) {
+    LanguageModel actual = (*engines_)[i]->ActualLanguageModel();
+    actuals.push_back(actual);
+    SamplingResult r = Sample(i, 200);
+    LanguageModel learned = r.learned_stemmed.WithoutStopwords(
+        StopwordList::DefaultStemmed());
+    actual_dbs.Add((*engines_)[i]->name(), std::move(actual));
+    learned_dbs.Add((*engines_)[i]->name(), std::move(learned));
+  }
+
+  // Probe queries: frequent terms of each database that are *distinctive*
+  // (not carried by the shared background distribution), since selection
+  // among near-identical databases is a coin flip for any ranker.
+  std::vector<std::vector<std::string>> queries;
+  for (size_t i = 0; i < kNumDbs; ++i) {
+    size_t taken = 0;
+    for (const auto& [term, score] :
+         actuals[i].RankedTerms(TermMetric::kCtf, 60)) {
+      bool distinctive = true;
+      for (size_t j = 0; j < kNumDbs && distinctive; ++j) {
+        if (j == i) continue;
+        const TermStats* other = actuals[j].Find(term);
+        if (other != nullptr && other->ctf * 4 > score) distinctive = false;
+      }
+      if (distinctive) {
+        queries.push_back({term});
+        if (++taken == 5) break;
+      }
+    }
+  }
+  ASSERT_GE(queries.size(), kNumDbs * 3);
+
+  CoriRanker actual_ranker(&actual_dbs);
+  CoriRanker learned_ranker(&learned_dbs);
+  RankingAgreement agree =
+      MeanAgreement(actual_ranker, learned_ranker, queries, 2);
+  EXPECT_GT(agree.spearman, 0.4);
+  EXPECT_GT(agree.top_1_match, 0.7);
+}
+
+TEST_F(FederationTest, TopicalQueriesSelectTheRightLearnedDatabase) {
+  DatabaseCollection learned_dbs;
+  std::vector<LanguageModel> actuals;
+  for (size_t i = 0; i < kNumDbs; ++i) {
+    actuals.push_back((*engines_)[i]->ActualLanguageModel());
+    SamplingResult r = Sample(i, 200);
+    learned_dbs.Add(
+        (*engines_)[i]->name(),
+        r.learned_stemmed.WithoutStopwords(StopwordList::DefaultStemmed()));
+  }
+  CoriRanker ranker(&learned_dbs);
+  // For each database, query its most frequent distinctive content term:
+  // the learned-model ranking should place that database first for most.
+  size_t correct = 0;
+  for (size_t i = 0; i < kNumDbs; ++i) {
+    // Pick the top ctf term that is NOT frequent in the other databases.
+    std::string probe;
+    for (const auto& [term, score] :
+         actuals[i].RankedTerms(TermMetric::kCtf, 50)) {
+      bool distinctive = true;
+      for (size_t j = 0; j < kNumDbs && distinctive; ++j) {
+        if (j == i) continue;
+        const TermStats* other = actuals[j].Find(term);
+        if (other != nullptr && other->ctf * 4 > score) distinctive = false;
+      }
+      if (distinctive) {
+        probe = term;
+        break;
+      }
+    }
+    ASSERT_FALSE(probe.empty()) << "no distinctive term for db " << i;
+    auto ranking = ranker.Rank({probe});
+    if (ranking[0].db_name == (*engines_)[i]->name()) ++correct;
+  }
+  EXPECT_GE(correct, kNumDbs - 1);
+}
+
+TEST_F(FederationTest, UnionOfSamplesSupportsExpansion) {
+  CooccurrenceModel cooc;
+  for (size_t i = 0; i < kNumDbs; ++i) {
+    SamplingResult r = Sample(i, 100, /*collect_docs=*/true);
+    for (const auto& text : r.sampled_documents) cooc.AddDocument(text);
+  }
+  EXPECT_EQ(cooc.num_docs(), kNumDbs * 100);
+  // A frequent content term should have meaningful associates.
+  LanguageModel actual0 = (*engines_)[0]->ActualLanguageModel();
+  auto top = actual0.RankedTerms(TermMetric::kCtf, 1);
+  ASSERT_FALSE(top.empty());
+  QueryExpander expander(&cooc);
+  auto expansion = expander.ExpansionTerms({top[0].first}, 5);
+  EXPECT_FALSE(expansion.empty());
+}
+
+TEST_F(FederationTest, SummariesSurfaceFrequentContentTerms) {
+  SamplingResult r = Sample(0, 150);
+  DatabaseSummary summary =
+      SummarizeDatabase((*engines_)[0]->name(), r.learned);
+  ASSERT_GE(summary.terms.size(), 10u);
+  // Every summarized term must truly exist in the database (no
+  // hallucinated vocabulary — it came from real sampled documents).
+  LanguageModel actual = (*engines_)[0]->ActualLanguageModel();
+  LanguageModel learned_stemmed = r.learned_stemmed;
+  for (const auto& [term, score] : summary.terms) {
+    EXPECT_TRUE(r.learned.Contains(term)) << term;
+  }
+}
+
+TEST_F(FederationTest, SamplingBeatsMisrepresentedCooperativeExport) {
+  // A spamming database exports inflated/injected statistics; the sampled
+  // model of the same database stays faithful.
+  MisrepresentationOptions lie;
+  lie.injected_terms = {"jackpot", "casino", "lottery"};
+  lie.injected_df = 400;
+  lie.injected_ctf = 9000;
+  MisrepresentingSource liar((*engines_)[0].get(), lie);
+  auto exported = liar.ExportLanguageModel();
+  ASSERT_TRUE(exported.ok());
+  EXPECT_TRUE(exported->model.Contains("casino"));
+
+  SamplingResult sampled = Sample(0, 150);
+  EXPECT_FALSE(sampled.learned.Contains("casino"));
+  EXPECT_FALSE(sampled.learned_stemmed.Contains("casino"));
+}
+
+TEST_F(FederationTest, SamplingWorksWhereCooperationRefused) {
+  RefusingSource legacy("fed-0");
+  EXPECT_FALSE(legacy.ExportLanguageModel().ok());
+  SamplingResult sampled = Sample(0, 50);
+  EXPECT_EQ(sampled.documents_examined, 50u);
+  EXPECT_GT(sampled.learned.vocabulary_size(), 100u);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,213 @@
+// Tests for LanguageModel construction, transforms, and serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "index/inverted_index.h"
+#include "lm/language_model.h"
+#include "lm/lm_builder.h"
+#include "text/stopwords.h"
+
+namespace qbs {
+namespace {
+
+TEST(LanguageModelTest, AddDocumentCountsDfOncePerDoc) {
+  LanguageModel lm;
+  lm.AddDocument({"apple", "apple", "bear"});
+  lm.AddDocument({"apple"});
+  const TermStats* apple = lm.Find("apple");
+  ASSERT_NE(apple, nullptr);
+  EXPECT_EQ(apple->df, 2u);
+  EXPECT_EQ(apple->ctf, 3u);
+  const TermStats* bear = lm.Find("bear");
+  ASSERT_NE(bear, nullptr);
+  EXPECT_EQ(bear->df, 1u);
+  EXPECT_EQ(bear->ctf, 1u);
+  EXPECT_EQ(lm.num_docs(), 2u);
+  EXPECT_EQ(lm.total_term_count(), 4u);
+  EXPECT_EQ(lm.vocabulary_size(), 2u);
+}
+
+TEST(LanguageModelTest, FindMissReturnsNull) {
+  LanguageModel lm;
+  lm.AddDocument({"x"});
+  EXPECT_EQ(lm.Find("y"), nullptr);
+  EXPECT_FALSE(lm.Contains("y"));
+  EXPECT_TRUE(lm.Contains("x"));
+}
+
+TEST(LanguageModelTest, AvgTf) {
+  TermStats s{4, 10};
+  EXPECT_DOUBLE_EQ(s.avg_tf(), 2.5);
+  TermStats zero{0, 0};
+  EXPECT_DOUBLE_EQ(zero.avg_tf(), 0.0);
+}
+
+TEST(LanguageModelTest, AddTermAccumulates) {
+  LanguageModel lm;
+  lm.AddTerm("t", 2, 5);
+  lm.AddTerm("t", 1, 3);
+  const TermStats* s = lm.Find("t");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->df, 3u);
+  EXPECT_EQ(s->ctf, 8u);
+  EXPECT_EQ(lm.total_term_count(), 8u);
+}
+
+TEST(LanguageModelTest, MergeAddsBothSides) {
+  LanguageModel a, b;
+  a.AddDocument({"shared", "only_a"});
+  b.AddDocument({"shared", "shared", "only_b"});
+  a.Merge(b);
+  EXPECT_EQ(a.Find("shared")->df, 2u);
+  EXPECT_EQ(a.Find("shared")->ctf, 3u);
+  EXPECT_NE(a.Find("only_a"), nullptr);
+  EXPECT_NE(a.Find("only_b"), nullptr);
+  EXPECT_EQ(a.num_docs(), 2u);
+  EXPECT_EQ(a.total_term_count(), 5u);
+}
+
+TEST(LanguageModelTest, RankedTermsOrdersByMetric) {
+  LanguageModel lm;
+  lm.AddTerm("high_df", 10, 10);
+  lm.AddTerm("high_ctf", 2, 50);
+  lm.AddTerm("rare", 1, 1);
+
+  auto by_df = lm.RankedTerms(TermMetric::kDf);
+  ASSERT_EQ(by_df.size(), 3u);
+  EXPECT_EQ(by_df[0].first, "high_df");
+
+  auto by_ctf = lm.RankedTerms(TermMetric::kCtf);
+  EXPECT_EQ(by_ctf[0].first, "high_ctf");
+
+  auto by_avg = lm.RankedTerms(TermMetric::kAvgTf);
+  EXPECT_EQ(by_avg[0].first, "high_ctf");  // 50/2 = 25
+}
+
+TEST(LanguageModelTest, RankedTermsTopKAndTieBreak) {
+  LanguageModel lm;
+  lm.AddTerm("bb", 1, 5);
+  lm.AddTerm("aa", 1, 5);
+  lm.AddTerm("cc", 1, 9);
+  auto top2 = lm.RankedTerms(TermMetric::kCtf, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].first, "cc");
+  EXPECT_EQ(top2[1].first, "aa");  // lexicographic among ties
+}
+
+TEST(LanguageModelTest, StemCollapsedMergesVariants) {
+  LanguageModel lm;
+  lm.AddTerm("running", 3, 4);
+  lm.AddTerm("runs", 2, 2);
+  lm.AddTerm("run", 1, 1);
+  LanguageModel stemmed = lm.StemCollapsed();
+  const TermStats* s = stemmed.Find("run");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->ctf, 7u);
+  EXPECT_EQ(s->df, 6u);  // upper bound: summed across variants
+  EXPECT_EQ(stemmed.Find("running"), nullptr);
+  EXPECT_EQ(stemmed.vocabulary_size(), 1u);
+}
+
+TEST(LanguageModelTest, WithoutStopwordsFilters) {
+  LanguageModel lm;
+  lm.AddDocument({"the", "apple", "of", "bear"});
+  LanguageModel filtered = lm.WithoutStopwords(StopwordList::Default());
+  EXPECT_EQ(filtered.vocabulary_size(), 2u);
+  EXPECT_TRUE(filtered.Contains("apple"));
+  EXPECT_FALSE(filtered.Contains("the"));
+  EXPECT_EQ(filtered.total_term_count(), 2u);
+}
+
+TEST(LanguageModelTest, SaveLoadRoundTrip) {
+  LanguageModel lm;
+  lm.AddDocument({"apple", "apple", "bear"});
+  lm.AddDocument({"cherry"});
+  std::stringstream ss;
+  ASSERT_TRUE(lm.Save(ss).ok());
+
+  Result<LanguageModel> loaded = LanguageModel::Load(ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->vocabulary_size(), 3u);
+  EXPECT_EQ(loaded->num_docs(), 2u);
+  EXPECT_EQ(loaded->Find("apple")->df, 1u);   // one doc contains "apple"
+  EXPECT_EQ(loaded->Find("apple")->ctf, 2u);  // twice in that doc
+  EXPECT_EQ(loaded->total_term_count(), lm.total_term_count());
+}
+
+TEST(LanguageModelTest, LoadRejectsMissingHeader) {
+  std::stringstream ss("not a language model");
+  EXPECT_TRUE(LanguageModel::Load(ss).status().IsCorruption());
+}
+
+TEST(LanguageModelTest, LoadRejectsTruncatedBody) {
+  std::stringstream ss("#QBSLM v1\nnum_docs 5\nvocab 3\napple 1 2\n");
+  Result<LanguageModel> r = LanguageModel::Load(ss);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+}
+
+TEST(LanguageModelTest, LoadRejectsInvalidStats) {
+  // ctf < df is impossible (every containing doc has >= 1 occurrence).
+  std::stringstream ss("#QBSLM v1\nnum_docs 1\nvocab 1\napple 5 2\n");
+  EXPECT_TRUE(LanguageModel::Load(ss).status().IsCorruption());
+}
+
+TEST(LanguageModelTest, FromIndexMatchesIndexStats) {
+  InvertedIndex index;
+  index.AddDocument({"a", "a", "b"});
+  index.AddDocument({"b", "c"});
+  LanguageModel lm = LanguageModel::FromIndex(index);
+  EXPECT_EQ(lm.vocabulary_size(), 3u);
+  EXPECT_EQ(lm.num_docs(), 2u);
+  EXPECT_EQ(lm.Find("a")->df, 1u);
+  EXPECT_EQ(lm.Find("a")->ctf, 2u);
+  EXPECT_EQ(lm.Find("b")->df, 2u);
+  EXPECT_EQ(lm.total_term_count(), 5u);
+}
+
+TEST(LanguageModelTest, ForEachVisitsAllTerms) {
+  LanguageModel lm;
+  lm.AddDocument({"a", "b", "c"});
+  int visits = 0;
+  uint64_t df_total = 0;
+  lm.ForEach([&](const std::string&, const TermStats& s) {
+    ++visits;
+    df_total += s.df;
+  });
+  EXPECT_EQ(visits, 3);
+  EXPECT_EQ(df_total, 3u);
+}
+
+TEST(LmBuilderTest, RawBuilderKeepsStopwordsAndCase) {
+  LmBuilder builder;  // Analyzer::Raw()
+  builder.AddDocument("The Cat RUNS quickly");
+  const LanguageModel& lm = builder.model();
+  EXPECT_TRUE(lm.Contains("the"));
+  EXPECT_TRUE(lm.Contains("runs"));      // unstemmed
+  EXPECT_TRUE(lm.Contains("quickly"));   // unstemmed
+  EXPECT_FALSE(lm.Contains("Cat"));      // lowercased
+  EXPECT_TRUE(lm.Contains("cat"));
+}
+
+TEST(LmBuilderTest, InqueryBuilderStopsAndStems) {
+  LmBuilder builder{Analyzer::InqueryLike()};
+  builder.AddDocument("The databases are running");
+  const LanguageModel& lm = builder.model();
+  EXPECT_FALSE(lm.Contains("the"));
+  EXPECT_TRUE(lm.Contains("databas"));
+  EXPECT_TRUE(lm.Contains("run"));
+}
+
+TEST(LmBuilderTest, TakeModelLeavesBuilderEmpty) {
+  LmBuilder builder;
+  builder.AddDocument("one two");
+  LanguageModel lm = builder.TakeModel();
+  EXPECT_EQ(lm.vocabulary_size(), 2u);
+  EXPECT_EQ(builder.model().vocabulary_size(), 0u);
+  builder.AddDocument("three");
+  EXPECT_EQ(builder.model().vocabulary_size(), 1u);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,212 @@
+// Tests for the paper's metrics, pinned to hand-computed values, including
+// the worked examples from the paper itself.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lm/metrics.h"
+
+namespace qbs {
+namespace {
+
+LanguageModel ModelFromDf(
+    const std::vector<std::pair<std::string, uint64_t>>& dfs) {
+  LanguageModel lm;
+  for (const auto& [term, df] : dfs) lm.AddTerm(term, df, df);
+  return lm;
+}
+
+TEST(AverageRanksTest, DistinctScoresGetPositionalRanks) {
+  auto ranks = AverageRanks({{"a", 30.0}, {"b", 10.0}, {"c", 20.0}});
+  EXPECT_DOUBLE_EQ(ranks["a"], 1.0);
+  EXPECT_DOUBLE_EQ(ranks["c"], 2.0);
+  EXPECT_DOUBLE_EQ(ranks["b"], 3.0);
+}
+
+TEST(AverageRanksTest, TiesShareAverageRank) {
+  auto ranks = AverageRanks({{"a", 9.0}, {"b", 5.0}, {"c", 5.0}, {"d", 1.0}});
+  EXPECT_DOUBLE_EQ(ranks["a"], 1.0);
+  EXPECT_DOUBLE_EQ(ranks["b"], 2.5);  // ties span ranks 2 and 3
+  EXPECT_DOUBLE_EQ(ranks["c"], 2.5);
+  EXPECT_DOUBLE_EQ(ranks["d"], 4.0);
+}
+
+TEST(AverageRanksTest, AllTiedGetMiddleRank) {
+  auto ranks = AverageRanks({{"a", 1.0}, {"b", 1.0}, {"c", 1.0}});
+  EXPECT_DOUBLE_EQ(ranks["a"], 2.0);
+  EXPECT_DOUBLE_EQ(ranks["b"], 2.0);
+  EXPECT_DOUBLE_EQ(ranks["c"], 2.0);
+}
+
+TEST(PercentageLearnedTest, CountsCoveredActualVocabulary) {
+  LanguageModel actual = ModelFromDf({{"a", 1}, {"b", 1}, {"c", 1}, {"d", 1}});
+  LanguageModel learned = ModelFromDf({{"a", 1}, {"c", 1}, {"zzz", 1}});
+  // 2 of 4 actual terms learned; the extra learned term does not count.
+  EXPECT_DOUBLE_EQ(PercentageLearned(learned, actual), 0.5);
+}
+
+TEST(PercentageLearnedTest, EmptyActualIsFullyLearned) {
+  LanguageModel actual;
+  LanguageModel learned = ModelFromDf({{"a", 1}});
+  EXPECT_DOUBLE_EQ(PercentageLearned(learned, actual), 1.0);
+}
+
+TEST(PercentageLearnedTest, EmptyLearnedIsZero) {
+  LanguageModel actual = ModelFromDf({{"a", 1}});
+  LanguageModel learned;
+  EXPECT_DOUBLE_EQ(PercentageLearned(learned, actual), 0.0);
+}
+
+// The paper's §4.3.2 worked example: a database of 99 "apple" and 1 "bear";
+// a learned model containing just "apple" has ctf ratio 99/100.
+TEST(CtfRatioTest, PaperAppleBearExample) {
+  LanguageModel actual;
+  actual.AddTerm("apple", 10, 99);
+  actual.AddTerm("bear", 1, 1);
+  LanguageModel learned;
+  learned.AddTerm("apple", 1, 1);
+  EXPECT_DOUBLE_EQ(CtfRatio(learned, actual), 0.99);
+}
+
+TEST(CtfRatioTest, FullCoverageIsOne) {
+  LanguageModel actual = ModelFromDf({{"a", 5}, {"b", 3}});
+  EXPECT_DOUBLE_EQ(CtfRatio(actual, actual), 1.0);
+}
+
+TEST(CtfRatioTest, LearnedFrequenciesAreIrrelevant) {
+  // Only membership in the learned vocabulary matters; weights come from
+  // the actual model.
+  LanguageModel actual;
+  actual.AddTerm("a", 1, 80);
+  actual.AddTerm("b", 1, 20);
+  LanguageModel learned_lowfreq;
+  learned_lowfreq.AddTerm("a", 1, 1);
+  LanguageModel learned_highfreq;
+  learned_highfreq.AddTerm("a", 1000, 100000);
+  EXPECT_DOUBLE_EQ(CtfRatio(learned_lowfreq, actual), 0.8);
+  EXPECT_DOUBLE_EQ(CtfRatio(learned_highfreq, actual), 0.8);
+}
+
+TEST(SpearmanTest, IdenticalRankingsGiveOne) {
+  LanguageModel a = ModelFromDf({{"t1", 40}, {"t2", 30}, {"t3", 20}, {"t4", 10}});
+  EXPECT_DOUBLE_EQ(SpearmanRankCorrelation(a, a), 1.0);
+}
+
+TEST(SpearmanTest, ReversedRankingsGiveMinusOne) {
+  LanguageModel a = ModelFromDf({{"t1", 40}, {"t2", 30}, {"t3", 20}, {"t4", 10}});
+  LanguageModel b = ModelFromDf({{"t1", 10}, {"t2", 20}, {"t3", 30}, {"t4", 40}});
+  EXPECT_DOUBLE_EQ(SpearmanRankCorrelation(a, b), -1.0);
+  SpearmanOptions tie_corrected;
+  tie_corrected.tie_corrected = true;
+  EXPECT_NEAR(SpearmanRankCorrelation(a, b, tie_corrected), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, HandComputedPartialAgreement) {
+  // Ranks in a: t1=1 t2=2 t3=3; in b: t1=2 t2=1 t3=3.
+  // sum d^2 = 1 + 1 + 0 = 2; R = 1 - 6*2/(3*8) = 0.5.
+  LanguageModel a = ModelFromDf({{"t1", 30}, {"t2", 20}, {"t3", 10}});
+  LanguageModel b = ModelFromDf({{"t1", 20}, {"t2", 30}, {"t3", 10}});
+  EXPECT_DOUBLE_EQ(SpearmanRankCorrelation(a, b), 0.5);
+}
+
+TEST(SpearmanTest, ComputedOverCommonTermsOnly) {
+  // Terms unique to one side are ignored (paper §4.1: "compared only on
+  // words that appeared in both language models").
+  LanguageModel a =
+      ModelFromDf({{"t1", 30}, {"t2", 20}, {"t3", 10}, {"only_a", 99}});
+  LanguageModel b =
+      ModelFromDf({{"t1", 300}, {"t2", 200}, {"t3", 100}, {"only_b", 1}});
+  EXPECT_DOUBLE_EQ(SpearmanRankCorrelation(a, b), 1.0);
+}
+
+TEST(SpearmanTest, DegenerateCases) {
+  LanguageModel empty;
+  LanguageModel one = ModelFromDf({{"x", 1}});
+  EXPECT_DOUBLE_EQ(SpearmanRankCorrelation(empty, one), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanRankCorrelation(one, one), 1.0);
+}
+
+TEST(SpearmanTest, MetricSelectsRankingStatistic) {
+  // By df the models agree; by avg_tf they reverse.
+  LanguageModel a, b;
+  a.AddTerm("t1", 10, 100);  // df 10, avg 10
+  a.AddTerm("t2", 5, 10);    // df 5, avg 2
+  b.AddTerm("t1", 20, 40);   // df 20, avg 2
+  b.AddTerm("t2", 8, 80);    // df 8, avg 10
+  SpearmanOptions by_df;
+  by_df.metric = TermMetric::kDf;
+  EXPECT_DOUBLE_EQ(SpearmanRankCorrelation(a, b, by_df), 1.0);
+  SpearmanOptions by_avg;
+  by_avg.metric = TermMetric::kAvgTf;
+  EXPECT_DOUBLE_EQ(SpearmanRankCorrelation(a, b, by_avg), -1.0);
+}
+
+TEST(SpearmanTest, TieCorrectedHandlesMassTies) {
+  // a has all ties; the simple formula sees zero rank differences and
+  // reports 1.0, the tie-corrected Pearson reports 0 (no variance).
+  LanguageModel a = ModelFromDf({{"t1", 5}, {"t2", 5}, {"t3", 5}});
+  LanguageModel b = ModelFromDf({{"t1", 3}, {"t2", 2}, {"t3", 1}});
+  SpearmanOptions corrected;
+  corrected.tie_corrected = true;
+  EXPECT_DOUBLE_EQ(SpearmanRankCorrelation(a, b, corrected), 0.0);
+}
+
+// The paper's §6 worked example: 100 terms, two adjacent terms swap ranks,
+// rdiff = (1/(100*100)) * 2 = 0.0002.
+TEST(RDiffTest, PaperSwapExample) {
+  LanguageModel a, b;
+  for (int i = 1; i <= 100; ++i) {
+    std::string term = "term" + std::to_string(i);
+    uint64_t df_a = 101 - i;  // rank i
+    uint64_t df_b = df_a;
+    if (i == 4) df_b = 101 - 5;  // swap ranks 4 and 5
+    if (i == 5) df_b = 101 - 4;
+    a.AddTerm(term, df_a, df_a);
+    b.AddTerm(term, df_b, df_b);
+  }
+  EXPECT_NEAR(RDiff(a, b), 0.0002, 1e-12);
+}
+
+TEST(RDiffTest, IdenticalRankingsGiveZero) {
+  LanguageModel a = ModelFromDf({{"x", 3}, {"y", 2}, {"z", 1}});
+  EXPECT_DOUBLE_EQ(RDiff(a, a), 0.0);
+}
+
+TEST(RDiffTest, ReversedSmallRanking) {
+  // n=2 reversed: |d| sum = 2, rdiff = 2/4 = 0.5 (the documented maximum
+  // for permutations).
+  LanguageModel a = ModelFromDf({{"x", 2}, {"y", 1}});
+  LanguageModel b = ModelFromDf({{"x", 1}, {"y", 2}});
+  EXPECT_DOUBLE_EQ(RDiff(a, b), 0.5);
+}
+
+TEST(RDiffTest, FewerThanTwoCommonTermsIsZero) {
+  LanguageModel a = ModelFromDf({{"x", 1}});
+  LanguageModel b = ModelFromDf({{"y", 1}});
+  EXPECT_DOUBLE_EQ(RDiff(a, b), 0.0);
+}
+
+TEST(CompareLanguageModelsTest, BundlesAllMetrics) {
+  LanguageModel actual;
+  actual.AddTerm("apple", 10, 99);
+  actual.AddTerm("bear", 1, 1);
+  actual.AddTerm("cherry", 5, 20);
+  LanguageModel learned;
+  learned.AddTerm("apple", 3, 30);
+  learned.AddTerm("cherry", 2, 4);
+
+  LmComparison cmp = CompareLanguageModels(learned, actual);
+  EXPECT_NEAR(cmp.pct_vocab_learned, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(cmp.ctf_ratio, 119.0 / 120.0, 1e-12);
+  EXPECT_DOUBLE_EQ(cmp.spearman_df, 1.0);  // apple > cherry in both
+  EXPECT_EQ(cmp.common_terms, 2u);
+}
+
+TEST(TermMetricNameTest, Names) {
+  EXPECT_STREQ(TermMetricName(TermMetric::kDf), "df");
+  EXPECT_STREQ(TermMetricName(TermMetric::kCtf), "ctf");
+  EXPECT_STREQ(TermMetricName(TermMetric::kAvgTf), "avg_tf");
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,145 @@
+// Porter stemmer conformance tests. The expected outputs follow Martin
+// Porter's reference implementation (including its documented departures
+// from the 1980 paper), organized by algorithm step.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "text/porter_stemmer.h"
+
+namespace qbs {
+namespace {
+
+struct StemCase {
+  const char* input;
+  const char* expected;
+};
+
+class PorterStepTest : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterStepTest, StemsAsReference) {
+  const StemCase& c = GetParam();
+  EXPECT_EQ(PorterStemmer::Stem(c.input), c.expected) << "input=" << c.input;
+}
+
+// Step 1a: plural forms.
+INSTANTIATE_TEST_SUITE_P(
+    Step1a, PorterStepTest,
+    ::testing::Values(StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+                      StemCase{"ties", "ti"}, StemCase{"caress", "caress"},
+                      StemCase{"cats", "cat"}));
+
+// Step 1b: -eed, -ed, -ing with cleanup rules.
+INSTANTIATE_TEST_SUITE_P(
+    Step1b, PorterStepTest,
+    ::testing::Values(
+        StemCase{"feed", "feed"}, StemCase{"agreed", "agre"},
+        StemCase{"plastered", "plaster"}, StemCase{"bled", "bled"},
+        StemCase{"motoring", "motor"}, StemCase{"sing", "sing"},
+        StemCase{"conflated", "conflat"}, StemCase{"troubled", "troubl"},
+        StemCase{"sized", "size"}, StemCase{"hopping", "hop"},
+        StemCase{"tanned", "tan"}, StemCase{"falling", "fall"},
+        StemCase{"hissing", "hiss"}, StemCase{"fizzed", "fizz"},
+        StemCase{"failing", "fail"}, StemCase{"filing", "file"}));
+
+// Step 1c: terminal y.
+INSTANTIATE_TEST_SUITE_P(
+    Step1c, PorterStepTest,
+    ::testing::Values(StemCase{"happy", "happi"}, StemCase{"sky", "sky"}));
+
+// Step 2: double-suffix reduction.
+INSTANTIATE_TEST_SUITE_P(
+    Step2, PorterStepTest,
+    ::testing::Values(
+        StemCase{"relational", "relat"}, StemCase{"conditional", "condit"},
+        StemCase{"rational", "ration"}, StemCase{"valenci", "valenc"},
+        StemCase{"hesitanci", "hesit"}, StemCase{"digitizer", "digit"},
+        StemCase{"conformabli", "conform"}, StemCase{"radicalli", "radic"},
+        StemCase{"differentli", "differ"}, StemCase{"vileli", "vile"},
+        StemCase{"analogousli", "analog"},
+        StemCase{"vietnamization", "vietnam"},
+        StemCase{"predication", "predic"}, StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"}, StemCase{"decisiveness", "decis"},
+        StemCase{"hopefulness", "hope"}, StemCase{"callousness", "callous"},
+        StemCase{"formaliti", "formal"}, StemCase{"sensitiviti", "sensit"},
+        StemCase{"sensibiliti", "sensibl"}));
+
+// Step 3.
+INSTANTIATE_TEST_SUITE_P(
+    Step3, PorterStepTest,
+    ::testing::Values(
+        StemCase{"triplicate", "triplic"}, StemCase{"formative", "form"},
+        StemCase{"formalize", "formal"}, StemCase{"electriciti", "electr"},
+        StemCase{"electrical", "electr"}, StemCase{"hopeful", "hope"},
+        StemCase{"goodness", "good"}));
+
+// Step 4: single-suffix removal at m > 1.
+INSTANTIATE_TEST_SUITE_P(
+    Step4, PorterStepTest,
+    ::testing::Values(
+        StemCase{"revival", "reviv"}, StemCase{"allowance", "allow"},
+        StemCase{"inference", "infer"}, StemCase{"airliner", "airlin"},
+        StemCase{"gyroscopic", "gyroscop"}, StemCase{"adjustable", "adjust"},
+        StemCase{"defensible", "defens"}, StemCase{"irritant", "irrit"},
+        StemCase{"replacement", "replac"}, StemCase{"adjustment", "adjust"},
+        StemCase{"dependent", "depend"}, StemCase{"adoption", "adopt"},
+        StemCase{"homologou", "homolog"}, StemCase{"communism", "commun"},
+        StemCase{"activate", "activ"}, StemCase{"angulariti", "angular"},
+        StemCase{"homologi", "homolog"}, StemCase{"effective", "effect"},
+        StemCase{"bowdlerize", "bowdler"}));
+
+// Step 5: final -e and -ll.
+INSTANTIATE_TEST_SUITE_P(
+    Step5, PorterStepTest,
+    ::testing::Values(StemCase{"probate", "probat"}, StemCase{"rate", "rate"},
+                      StemCase{"cease", "ceas"}, StemCase{"controll", "control"},
+                      StemCase{"roll", "roll"}));
+
+// Common IR vocabulary the rest of the library depends on.
+INSTANTIATE_TEST_SUITE_P(
+    IrVocabulary, PorterStepTest,
+    ::testing::Values(
+        StemCase{"databases", "databas"}, StemCase{"retrieval", "retriev"},
+        StemCase{"sampling", "sampl"}, StemCase{"queries", "queri"},
+        StemCase{"documents", "document"}, StemCase{"frequencies", "frequenc"},
+        StemCase{"information", "inform"}, StemCase{"selection", "select"},
+        StemCase{"running", "run"}, StemCase{"indexes", "index"}));
+
+TEST(PorterStemmerTest, ShortWordsUnchanged) {
+  EXPECT_EQ(PorterStemmer::Stem(""), "");
+  EXPECT_EQ(PorterStemmer::Stem("a"), "a");
+  EXPECT_EQ(PorterStemmer::Stem("is"), "is");
+  EXPECT_EQ(PorterStemmer::Stem("by"), "by");
+}
+
+TEST(PorterStemmerTest, ThreeLetterPlural) {
+  EXPECT_EQ(PorterStemmer::Stem("ies"), "i");
+  EXPECT_EQ(PorterStemmer::Stem("abs"), "ab");
+}
+
+TEST(PorterStemmerTest, StemInPlaceMatchesStem) {
+  std::string w = "relational";
+  PorterStemmer::StemInPlace(w);
+  EXPECT_EQ(w, PorterStemmer::Stem("relational"));
+}
+
+TEST(PorterStemmerTest, VariantsOfAWordShareOneStem) {
+  // The property the library depends on: morphological variants collapse.
+  EXPECT_EQ(PorterStemmer::Stem("connect"), PorterStemmer::Stem("connected"));
+  EXPECT_EQ(PorterStemmer::Stem("connect"), PorterStemmer::Stem("connecting"));
+  EXPECT_EQ(PorterStemmer::Stem("connect"), PorterStemmer::Stem("connection"));
+  EXPECT_EQ(PorterStemmer::Stem("connect"), PorterStemmer::Stem("connections"));
+  EXPECT_EQ(PorterStemmer::Stem("sample"), PorterStemmer::Stem("samples"));
+  EXPECT_EQ(PorterStemmer::Stem("sampling"), PorterStemmer::Stem("sampled"));
+}
+
+TEST(PorterStemmerTest, StemsNeverLongerThanInput) {
+  for (const char* w : {"abc", "generalizations", "oscillators", "zzz",
+                        "yyyy", "aeiou", "bcdfg"}) {
+    EXPECT_LE(PorterStemmer::Stem(w).size(), std::string(w).size()) << w;
+  }
+}
+
+}  // namespace
+}  // namespace qbs

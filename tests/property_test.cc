@@ -1,0 +1,234 @@
+// Randomized property tests: invariants that must hold for arbitrary
+// inputs, checked over many seeded random instances via TEST_P.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index/postings.h"
+#include "index/varint.h"
+#include "lm/metrics.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+#include "util/random.h"
+
+namespace qbs {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// --- Varint: encode/decode is the identity for any value sequence. ---
+TEST_P(SeededProperty, VarintRoundTripsRandomSequences) {
+  Rng rng(GetParam());
+  std::vector<uint32_t> values32;
+  std::vector<uint64_t> values64;
+  std::vector<uint8_t> buf;
+  for (int i = 0; i < 500; ++i) {
+    // Mix magnitudes so all byte-lengths are exercised.
+    int bits = 1 + static_cast<int>(rng.UniformBelow(32));
+    uint32_t v32 = static_cast<uint32_t>(rng.Next64() &
+                                         ((bits == 32) ? 0xFFFFFFFFull
+                                                       : ((1ull << bits) - 1)));
+    values32.push_back(v32);
+    PutVarint32(buf, v32);
+    int bits64 = 1 + static_cast<int>(rng.UniformBelow(64));
+    uint64_t v64 =
+        rng.Next64() & ((bits64 == 64) ? ~0ull : ((1ull << bits64) - 1));
+    values64.push_back(v64);
+    PutVarint64(buf, v64);
+  }
+  size_t pos = 0;
+  for (int i = 0; i < 500; ++i) {
+    uint32_t out32 = 0;
+    uint64_t out64 = 0;
+    ASSERT_TRUE(GetVarint32(buf, &pos, &out32));
+    EXPECT_EQ(out32, values32[i]);
+    ASSERT_TRUE(GetVarint64(buf, &pos, &out64));
+    EXPECT_EQ(out64, values64[i]);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+// --- Postings: the compressed list reproduces any reference sequence and
+// its aggregate statistics. ---
+TEST_P(SeededProperty, PostingListMatchesReference) {
+  Rng rng(GetParam());
+  PostingList plist;
+  std::vector<Posting> reference;
+  DocId doc = 0;
+  uint64_t ctf = 0;
+  int n = 100 + static_cast<int>(rng.UniformBelow(900));
+  for (int i = 0; i < n; ++i) {
+    doc += 1 + static_cast<DocId>(rng.UniformBelow(1000));
+    uint32_t tf = 1 + static_cast<uint32_t>(rng.UniformBelow(50));
+    plist.Append(doc, tf);
+    reference.push_back({doc, tf});
+    ctf += tf;
+  }
+  EXPECT_EQ(plist.doc_frequency(), reference.size());
+  EXPECT_EQ(plist.collection_frequency(), ctf);
+  EXPECT_EQ(plist.Decode(), reference);
+}
+
+// --- Metrics invariants ---
+
+LanguageModel RandomModel(Rng& rng, size_t vocab, uint64_t max_df) {
+  LanguageModel lm;
+  for (size_t i = 0; i < vocab; ++i) {
+    if (rng.Bernoulli(0.3)) continue;  // random vocabulary overlap
+    uint64_t df = 1 + rng.UniformBelow(max_df);
+    uint64_t ctf = df + rng.UniformBelow(df * 3 + 1);
+    lm.AddTerm("term" + std::to_string(i), df, ctf);
+  }
+  return lm;
+}
+
+TEST_P(SeededProperty, MetricsStayInRange) {
+  Rng rng(GetParam() * 7919);
+  LanguageModel a = RandomModel(rng, 300, 50);
+  LanguageModel b = RandomModel(rng, 300, 50);
+  double pct = PercentageLearned(a, b);
+  EXPECT_GE(pct, 0.0);
+  EXPECT_LE(pct, 1.0);
+  double ctf = CtfRatio(a, b);
+  EXPECT_GE(ctf, 0.0);
+  EXPECT_LE(ctf, 1.0);
+  double rho = SpearmanRankCorrelation(a, b);
+  EXPECT_GE(rho, -1.0 - 1e-9);
+  EXPECT_LE(rho, 1.0 + 1e-9);
+  double rd = RDiff(a, b);
+  EXPECT_GE(rd, 0.0);
+  EXPECT_LE(rd, 1.0);
+}
+
+TEST_P(SeededProperty, SpearmanIsSymmetric) {
+  Rng rng(GetParam() * 104729);
+  LanguageModel a = RandomModel(rng, 200, 40);
+  LanguageModel b = RandomModel(rng, 200, 40);
+  EXPECT_NEAR(SpearmanRankCorrelation(a, b), SpearmanRankCorrelation(b, a),
+              1e-12);
+  EXPECT_NEAR(RDiff(a, b), RDiff(b, a), 1e-12);
+}
+
+TEST_P(SeededProperty, SelfComparisonIsPerfect) {
+  Rng rng(GetParam() * 31);
+  LanguageModel a = RandomModel(rng, 200, 40);
+  if (a.vocabulary_size() < 2) return;
+  EXPECT_DOUBLE_EQ(SpearmanRankCorrelation(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(RDiff(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(CtfRatio(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(PercentageLearned(a, a), 1.0);
+}
+
+// On tie-free data the simple formula and the tie-corrected Pearson
+// computation must agree (they only diverge under ties).
+TEST_P(SeededProperty, SimpleAndTieCorrectedAgreeWithoutTies) {
+  Rng rng(GetParam() * 613);
+  LanguageModel a, b;
+  std::vector<uint64_t> dfs_a, dfs_b;
+  for (uint64_t v = 1; v <= 120; ++v) {
+    dfs_a.push_back(v);
+    dfs_b.push_back(v);
+  }
+  rng.Shuffle(dfs_a);
+  rng.Shuffle(dfs_b);
+  for (size_t i = 0; i < dfs_a.size(); ++i) {
+    a.AddTerm("t" + std::to_string(i), dfs_a[i], dfs_a[i]);
+    b.AddTerm("t" + std::to_string(i), dfs_b[i], dfs_b[i]);
+  }
+  SpearmanOptions simple;
+  SpearmanOptions corrected;
+  corrected.tie_corrected = true;
+  EXPECT_NEAR(SpearmanRankCorrelation(a, b, simple),
+              SpearmanRankCorrelation(a, b, corrected), 1e-9);
+}
+
+// Growing the learned model can never reduce coverage metrics.
+TEST_P(SeededProperty, CoverageIsMonotoneInLearnedVocabulary) {
+  Rng rng(GetParam() * 271);
+  LanguageModel actual = RandomModel(rng, 400, 60);
+  LanguageModel small, large;
+  actual.ForEach([&](const std::string& term, const TermStats& s) {
+    bool in_small = rng.Bernoulli(0.3);
+    if (in_small) small.AddTerm(term, s.df, s.ctf);
+    if (in_small || rng.Bernoulli(0.4)) large.AddTerm(term, s.df, s.ctf);
+  });
+  EXPECT_LE(CtfRatio(small, actual), CtfRatio(large, actual) + 1e-12);
+  EXPECT_LE(PercentageLearned(small, actual),
+            PercentageLearned(large, actual) + 1e-12);
+}
+
+// --- Tokenizer: output tokens are within configured length bounds and
+// consist only of word characters; tokenization is deterministic. ---
+TEST_P(SeededProperty, TokenizerOutputsWellFormedTokens) {
+  Rng rng(GetParam() * 37);
+  std::string text;
+  const char* alphabet = "abcXYZ019 .,;!?'\"\n\t-_/";
+  for (int i = 0; i < 2000; ++i) {
+    text.push_back(alphabet[rng.UniformBelow(22)]);
+  }
+  TokenizerOptions opts;
+  opts.min_token_length = 2;
+  opts.max_token_length = 10;
+  Tokenizer tok(opts);
+  auto tokens = tok.Tokenize(text);
+  for (const auto& t : tokens) {
+    EXPECT_GE(t.size(), 2u);
+    EXPECT_LE(t.size(), 10u);
+    for (char c : t) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9'))
+          << t;
+    }
+  }
+  EXPECT_EQ(tokens, tok.Tokenize(text));
+}
+
+// --- Porter stemmer: never crashes, never grows a word, output is
+// lowercase ASCII for lowercase ASCII input. ---
+TEST_P(SeededProperty, StemmerIsTotalAndNonExpanding) {
+  Rng rng(GetParam() * 7);
+  for (int i = 0; i < 2000; ++i) {
+    size_t len = 1 + rng.UniformBelow(18);
+    std::string word;
+    for (size_t j = 0; j < len; ++j) {
+      word.push_back(static_cast<char>('a' + rng.UniformBelow(26)));
+    }
+    std::string stem = PorterStemmer::Stem(word);
+    EXPECT_LE(stem.size(), word.size()) << word;
+    EXPECT_GE(stem.size(), 1u) << word;
+    for (char c : stem) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << word << " -> " << stem;
+    }
+  }
+}
+
+// --- AverageRanks: ranks are a permutation-with-ties of 1..n whose sum is
+// n(n+1)/2 regardless of tie structure. ---
+TEST_P(SeededProperty, AverageRanksSumIsInvariant) {
+  Rng rng(GetParam() * 11);
+  std::vector<std::pair<std::string, double>> scored;
+  size_t n = 50 + rng.UniformBelow(200);
+  for (size_t i = 0; i < n; ++i) {
+    // Few distinct scores -> many ties.
+    scored.emplace_back("t" + std::to_string(i),
+                        static_cast<double>(rng.UniformBelow(10)));
+  }
+  auto ranks = AverageRanks(scored);
+  ASSERT_EQ(ranks.size(), n);
+  double sum = 0.0;
+  for (const auto& [term, rank] : ranks) {
+    EXPECT_GE(rank, 1.0);
+    EXPECT_LE(rank, static_cast<double>(n));
+    sum += rank;
+  }
+  EXPECT_NEAR(sum, n * (n + 1) / 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,291 @@
+// Tests for the RNG and distribution samplers, including statistical checks
+// on the Zipf sampler (the backbone of synthetic corpus realism).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace qbs {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next32() == b.Next32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(99);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.Next64());
+  a.Seed(99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next64(), first[i]);
+}
+
+TEST(RngTest, UniformBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformBelow(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.UniformBelow(1), 0u);
+  }
+}
+
+TEST(RngTest, UniformBelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformBelow(kBuckets)];
+  // Each bucket expects 10000; allow 5% deviation (many sigma).
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.05);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasRightMoments) {
+  Rng rng(17);
+  constexpr int kDraws = 200000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / kDraws;
+  double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+}
+
+TEST(RngTest, LogNormalMedianNearExpMu) {
+  Rng rng(19);
+  constexpr int kDraws = 50001;
+  std::vector<double> xs(kDraws);
+  for (double& x : xs) x = rng.LogNormal(4.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + kDraws / 2, xs.end());
+  EXPECT_NEAR(xs[kDraws / 2], std::exp(4.0), std::exp(4.0) * 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+// --- ZipfSampler ---
+
+TEST(ZipfSamplerTest, SingleElementAlwaysReturnsOne) {
+  Rng rng(1);
+  ZipfSampler zipf(1, 1.2);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+TEST(ZipfSamplerTest, SamplesStayInRange) {
+  Rng rng(2);
+  ZipfSampler zipf(1000, 1.1);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+// Empirical frequencies should match P(k) ~ 1/k^s for the head ranks.
+TEST(ZipfSamplerTest, HeadFrequenciesFollowPowerLaw) {
+  Rng rng(3);
+  constexpr double kS = 1.0;
+  ZipfSampler zipf(10000, kS);
+  constexpr int kDraws = 600000;
+  std::vector<int> counts(11, 0);
+  int total_head = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    if (k <= 10) {
+      ++counts[k];
+      ++total_head;
+    }
+  }
+  // count(1)/count(k) should be ~ k^s.
+  for (int k = 2; k <= 10; ++k) {
+    double ratio = static_cast<double>(counts[1]) / counts[k];
+    EXPECT_NEAR(ratio, std::pow(k, kS), std::pow(k, kS) * 0.15)
+        << "at rank " << k;
+  }
+  EXPECT_GT(total_head, kDraws / 4);  // the head carries a lot of mass
+}
+
+TEST(ZipfSamplerTest, LargerExponentConcentratesMass) {
+  Rng rng(4);
+  ZipfSampler flat(100000, 1.01);
+  ZipfSampler steep(100000, 1.8);
+  int flat_head = 0, steep_head = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (flat.Sample(rng) <= 10) ++flat_head;
+    if (steep.Sample(rng) <= 10) ++steep_head;
+  }
+  EXPECT_GT(steep_head, flat_head * 2);
+}
+
+TEST(ZipfSamplerTest, MandelbrotShiftFlattensHead) {
+  Rng rng(5);
+  ZipfSampler unshifted(10000, 1.2, 0.0);
+  ZipfSampler shifted(10000, 1.2, 10.0);
+  int unshifted_first = 0, shifted_first = 0;
+  for (int i = 0; i < 50000; ++i) {
+    if (unshifted.Sample(rng) == 1) ++unshifted_first;
+    if (shifted.Sample(rng) == 1) ++shifted_first;
+  }
+  // With q=10 the top rank is much less dominant.
+  EXPECT_GT(unshifted_first, shifted_first * 2);
+}
+
+TEST(ZipfSamplerTest, ExponentExactlyOneUsesLogBranch) {
+  Rng rng(6);
+  ZipfSampler zipf(1000, 1.0);
+  uint64_t max_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = zipf.Sample(rng);
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+    max_seen = std::max(max_seen, k);
+  }
+  EXPECT_GT(max_seen, 500u);  // the log branch has a heavy tail
+}
+
+// Zipf's-law consequence used by the paper (§4.3.1): with s ~ 1 and a
+// vocabulary sampled to saturation, roughly half the *observed* types
+// appear once. We verify hapax dominance for a corpus-sized draw.
+TEST(ZipfSamplerTest, TailIsHapaxHeavy) {
+  Rng rng(7);
+  ZipfSampler zipf(2'000'000, 1.15);
+  std::unordered_map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Sample(rng)];
+  int hapax = 0;
+  for (const auto& [rank, c] : counts) {
+    if (c == 1) ++hapax;
+  }
+  double hapax_fraction = static_cast<double>(hapax) / counts.size();
+  EXPECT_GT(hapax_fraction, 0.35);
+  EXPECT_LT(hapax_fraction, 0.90);
+}
+
+// --- AliasSampler ---
+
+TEST(AliasSamplerTest, MatchesWeights) {
+  Rng rng(8);
+  AliasSampler alias({1.0, 2.0, 3.0, 4.0});
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[alias.Sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    double expected = kDraws * (i + 1) / 10.0;
+    EXPECT_NEAR(counts[i], expected, expected * 0.05) << "weight index " << i;
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  Rng rng(9);
+  AliasSampler alias({0.0, 1.0, 0.0});
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(alias.Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, SingleElement) {
+  Rng rng(10);
+  AliasSampler alias({5.0});
+  EXPECT_EQ(alias.size(), 1u);
+  EXPECT_EQ(alias.Sample(rng), 0u);
+}
+
+// --- ThreadPool ---
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  std::vector<std::atomic<int>> touched(257);
+  ThreadPool::ParallelFor(257, 8, [&](size_t i) { touched[i].fetch_add(1); });
+  for (size_t i = 0; i < touched.size(); ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesZeroAndSingleThread) {
+  ThreadPool::ParallelFor(0, 4, [](size_t) { FAIL(); });
+  int count = 0;
+  ThreadPool::ParallelFor(5, 1, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 5);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,109 @@
+// Tests for ReDDE database selection over sampled documents.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "selection/redde.h"
+
+namespace qbs {
+namespace {
+
+TEST(ReddeRankerTest, CentralIndexCountsDocuments) {
+  std::vector<ReddeSample> samples = {
+      {"a", {"one doc", "two doc"}, 100.0},
+      {"b", {"three doc"}, 50.0},
+  };
+  ReddeRanker ranker(samples);
+  EXPECT_EQ(ranker.central_docs(), 3u);
+  EXPECT_EQ(ranker.name(), "redde");
+}
+
+TEST(ReddeRankerTest, VotesAreSizeScaledHandComputed) {
+  // db A: 2 sampled docs standing in for 100 -> each vote worth 50.
+  // db B: 4 sampled docs standing in for 100 -> each vote worth 25.
+  // One matching doc each: A scores 50, B scores 25.
+  std::vector<ReddeSample> samples = {
+      {"A", {"needle in text", "other content"}, 100.0},
+      {"B", {"needle in text", "pad one", "pad two", "pad three"}, 100.0},
+  };
+  ReddeRanker ranker(samples);
+  auto ranking = ranker.Rank({"needl"});  // stemmed term space
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].db_name, "A");
+  EXPECT_DOUBLE_EQ(ranking[0].score, 50.0);
+  EXPECT_DOUBLE_EQ(ranking[1].score, 25.0);
+}
+
+TEST(ReddeRankerTest, LargerEstimatedDatabaseWinsAtEqualDensity) {
+  // Same sample composition; only the size estimates differ. The bigger
+  // database is expected to hold proportionally more matching documents.
+  std::vector<std::string> docs = {"topic words here", "unrelated text"};
+  std::vector<ReddeSample> samples = {
+      {"small", docs, 1'000.0},
+      {"large", docs, 50'000.0},
+  };
+  ReddeRanker ranker(samples);
+  auto ranking = ranker.Rank({"topic"});
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].db_name, "large");
+  EXPECT_GT(ranking[0].score, ranking[1].score);
+}
+
+TEST(ReddeRankerTest, TopicalDatabaseBeatsNonTopical) {
+  std::vector<ReddeSample> samples = {
+      {"cooking",
+       {"recipe flour oven baking", "saute butter recipe", "oven roast"},
+       5'000.0},
+      {"law",
+       {"court appeal ruling", "statute verdict", "plaintiff motion"},
+       5'000.0},
+  };
+  ReddeRanker ranker(samples);
+  EXPECT_EQ(ranker.Rank({"recip"})[0].db_name, "cooking");
+  EXPECT_EQ(ranker.Rank({"court"})[0].db_name, "law");
+}
+
+TEST(ReddeRankerTest, NoMatchesYieldsZeroScoresDeterministically) {
+  std::vector<ReddeSample> samples = {
+      {"b-db", {"alpha"}, 10.0},
+      {"a-db", {"beta"}, 10.0},
+  };
+  ReddeRanker ranker(samples);
+  auto ranking = ranker.Rank({"nonexistent"});
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_DOUBLE_EQ(ranking[0].score, 0.0);
+  EXPECT_EQ(ranking[0].db_name, "a-db");  // alphabetical among ties
+}
+
+TEST(ReddeRankerTest, TopNLimitsVoters) {
+  // 10 matching docs in db A (weight 1 each), 1 in db B (weight 100).
+  // With top_n = 2, at most 2 documents vote overall.
+  std::vector<ReddeSample> a_sample = {};
+  ReddeSample a{"A", {}, 10.0};
+  for (int i = 0; i < 10; ++i) a.documents.push_back("needle text " + std::to_string(i));
+  ReddeSample b{"B", {"needle text strong"}, 100.0};
+  ReddeOptions opts;
+  opts.top_n = 2;
+  ReddeRanker ranker({a, b}, opts);
+  auto ranking = ranker.Rank({"needl"});
+  double total = ranking[0].score + ranking[1].score;
+  // Two voters max: possible totals are 2*1, 1+100, or ... but never 10.
+  EXPECT_LE(total, 101.0);
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(ReddeRankerTest, EmptySampleDatabaseScoresZero) {
+  std::vector<ReddeSample> samples = {
+      {"present", {"needle doc"}, 10.0},
+      {"empty", {}, 10.0},
+  };
+  ReddeRanker ranker(samples);
+  auto ranking = ranker.Rank({"needl"});
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].db_name, "present");
+  EXPECT_DOUBLE_EQ(ranking[1].score, 0.0);
+}
+
+}  // namespace
+}  // namespace qbs

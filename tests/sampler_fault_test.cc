@@ -1,0 +1,161 @@
+// Failure-injection tests: the sampler against flaky and hostile databases.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "corpus/synthetic.h"
+#include "sampling/sampler.h"
+#include "search/text_database.h"
+
+namespace qbs {
+namespace {
+
+// Wraps a database and injects failures on a deterministic schedule.
+class FlakyDatabase : public TextDatabase {
+ public:
+  struct FaultPlan {
+    /// Every Nth RunQuery fails (0 = never).
+    size_t query_failure_period = 0;
+    /// Every Nth FetchDocument fails (0 = never).
+    size_t fetch_failure_period = 0;
+  };
+
+  FlakyDatabase(TextDatabase* inner, FaultPlan plan)
+      : inner_(inner), plan_(plan) {}
+
+  std::string name() const override { return inner_->name() + "+flaky"; }
+
+  Result<std::vector<SearchHit>> RunQuery(std::string_view query,
+                                          size_t max_results) override {
+    ++queries_;
+    if (plan_.query_failure_period != 0 &&
+        queries_ % plan_.query_failure_period == 0) {
+      return Status::IOError("injected query failure");
+    }
+    return inner_->RunQuery(query, max_results);
+  }
+
+  Result<std::string> FetchDocument(std::string_view handle) override {
+    ++fetches_;
+    if (plan_.fetch_failure_period != 0 &&
+        fetches_ % plan_.fetch_failure_period == 0) {
+      return Status::IOError("injected fetch failure");
+    }
+    return inner_->FetchDocument(handle);
+  }
+
+  size_t queries() const { return queries_; }
+  size_t fetches() const { return fetches_; }
+
+ private:
+  TextDatabase* inner_;
+  FaultPlan plan_;
+  size_t queries_ = 0;
+  size_t fetches_ = 0;
+};
+
+class SamplerFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusSpec spec;
+    spec.name = "faultdb";
+    spec.num_docs = 600;
+    spec.vocab_size = 30'000;
+    spec.num_topics = 4;
+    spec.seed = 424242;
+    auto engine = BuildSyntheticEngine(spec);
+    ASSERT_TRUE(engine.ok());
+    engine_ = engine->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  SamplerOptions BaseOptions(size_t max_docs) {
+    SamplerOptions opts;
+    opts.docs_per_query = 4;
+    opts.stopping.max_documents = max_docs;
+    LanguageModel actual = engine_->ActualLanguageModel();
+    Rng rng(5);
+    auto term = RandomEligibleTerm(actual, opts.filter, rng);
+    EXPECT_TRUE(term.has_value());
+    opts.initial_term = *term;
+    return opts;
+  }
+
+  static SearchEngine* engine_;
+};
+
+SearchEngine* SamplerFaultTest::engine_ = nullptr;
+
+TEST_F(SamplerFaultTest, DefaultPropagatesFirstQueryError) {
+  FlakyDatabase flaky(engine_, {.query_failure_period = 3});
+  auto result = QueryBasedSampler(&flaky, BaseOptions(100)).Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST_F(SamplerFaultTest, DefaultPropagatesFirstFetchError) {
+  FlakyDatabase flaky(engine_, {.fetch_failure_period = 5});
+  auto result = QueryBasedSampler(&flaky, BaseOptions(100)).Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST_F(SamplerFaultTest, ToleranceSurvivesFlakyQueries) {
+  FlakyDatabase flaky(engine_, {.query_failure_period = 4});
+  SamplerOptions opts = BaseOptions(80);
+  opts.max_database_errors = 1'000;
+  auto result = QueryBasedSampler(&flaky, opts).Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->documents_examined, 80u);
+  EXPECT_GT(result->database_errors, 0u);
+}
+
+TEST_F(SamplerFaultTest, ToleranceSurvivesFlakyFetches) {
+  FlakyDatabase flaky(engine_, {.fetch_failure_period = 6});
+  SamplerOptions opts = BaseOptions(80);
+  opts.max_database_errors = 1'000;
+  auto result = QueryBasedSampler(&flaky, opts).Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->documents_examined, 80u);
+  EXPECT_GT(result->database_errors, 0u);
+  // Documents skipped by fetch failures are not counted as examined.
+  EXPECT_EQ(result->learned.num_docs(), 80u);
+}
+
+TEST_F(SamplerFaultTest, ExhaustedToleranceReturnsError) {
+  FlakyDatabase flaky(engine_, {.query_failure_period = 2});  // every other
+  SamplerOptions opts = BaseOptions(200);
+  opts.max_database_errors = 3;
+  auto result = QueryBasedSampler(&flaky, opts).Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsIOError());
+}
+
+TEST_F(SamplerFaultTest, FlakyAndHealthyRunsConvergeSimilarly) {
+  // Transient failures cost queries but not model quality.
+  SamplerOptions opts = BaseOptions(100);
+  auto healthy = QueryBasedSampler(engine_, opts).Run();
+  ASSERT_TRUE(healthy.ok());
+
+  FlakyDatabase flaky(engine_, {.query_failure_period = 5});
+  SamplerOptions flaky_opts = BaseOptions(100);
+  flaky_opts.max_database_errors = 1'000;
+  auto flaked = QueryBasedSampler(&flaky, flaky_opts).Run();
+  ASSERT_TRUE(flaked.ok());
+
+  EXPECT_EQ(healthy->documents_examined, flaked->documents_examined);
+  // Vocabulary sizes should be in the same ballpark (same corpus, same
+  // budget; different query paths).
+  double ratio = static_cast<double>(healthy->learned.vocabulary_size()) /
+                 flaked->learned.vocabulary_size();
+  EXPECT_GT(ratio, 0.7);
+  EXPECT_LT(ratio, 1.4);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,130 @@
+// Parameterized invariant sweeps over the sampler: for every combination
+// of docs-per-query and selection strategy, the core bookkeeping
+// invariants must hold exactly.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "corpus/synthetic.h"
+#include "lm/metrics.h"
+#include "sampling/sampler.h"
+
+namespace qbs {
+namespace {
+
+struct SweepCase {
+  size_t docs_per_query;
+  SelectionStrategy strategy;
+};
+
+// Shared corpus for the whole sweep.
+SearchEngine* SweepEngine() {
+  static SearchEngine* engine = [] {
+    SyntheticCorpusSpec spec;
+    spec.name = "sweepdb";
+    spec.num_docs = 700;
+    spec.vocab_size = 35'000;
+    spec.num_topics = 5;
+    spec.seed = 90909;
+    auto built = BuildSyntheticEngine(spec);
+    QBS_CHECK(built.ok());
+    return built->release();
+  }();
+  return engine;
+}
+
+class SamplerSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, SelectionStrategy>> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigurations, SamplerSweep,
+    ::testing::Combine(
+        ::testing::Values(1, 2, 4, 8),
+        ::testing::Values(SelectionStrategy::kRandomLearned,
+                          SelectionStrategy::kDfLearned,
+                          SelectionStrategy::kCtfLearned,
+                          SelectionStrategy::kAvgTfLearned)),
+    [](const ::testing::TestParamInfo<std::tuple<size_t, SelectionStrategy>>&
+           info) {
+      return "N" + std::to_string(std::get<0>(info.param)) + "_" +
+             SelectionStrategyName(std::get<1>(info.param));
+    });
+
+TEST_P(SamplerSweep, CoreInvariantsHold) {
+  auto [docs_per_query, strategy] = GetParam();
+  SearchEngine* engine = SweepEngine();
+  LanguageModel actual = engine->ActualLanguageModel();
+
+  SamplerOptions opts;
+  opts.docs_per_query = docs_per_query;
+  opts.strategy = strategy;
+  opts.stopping.max_documents = 90;
+  opts.collect_documents = true;
+  Rng rng(31 + docs_per_query);
+  opts.initial_term = *RandomEligibleTerm(actual, opts.filter, rng);
+
+  auto result = QueryBasedSampler(engine, opts).Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // 1. The document budget is met exactly (the corpus is large enough).
+  EXPECT_EQ(result->documents_examined, 90u);
+  EXPECT_EQ(result->learned.num_docs(), 90u);
+  EXPECT_EQ(result->sampled_documents.size(), 90u);
+
+  // 2. Query accounting adds up.
+  size_t new_docs = 0, hits = 0;
+  for (const QueryRecord& q : result->queries) {
+    EXPECT_LE(q.hits_returned, docs_per_query);
+    EXPECT_LE(q.new_docs, q.hits_returned);
+    new_docs += q.new_docs;
+    hits += q.hits_returned;
+  }
+  EXPECT_EQ(new_docs, result->documents_examined);
+  // Hits are new, duplicates, or (only in the final query, once the budget
+  // trips mid-result-list) left unprocessed.
+  EXPECT_GE(hits - new_docs, result->duplicate_hits);
+  EXPECT_LE(hits - new_docs, result->duplicate_hits + docs_per_query - 1);
+  EXPECT_EQ(result->queries.size(), result->queries_run);
+
+  // 3. It takes at least ceil(docs / N) queries.
+  EXPECT_GE(result->queries_run,
+            (90 + docs_per_query - 1) / docs_per_query);
+
+  // 4. No query term repeats, and all conform to the filter.
+  std::set<std::string> terms;
+  for (const QueryRecord& q : result->queries) {
+    EXPECT_TRUE(terms.insert(q.term).second) << q.term;
+    EXPECT_TRUE(opts.filter.IsEligible(q.term)) << q.term;
+  }
+
+  // 5. The raw and stemmed models describe the same documents.
+  EXPECT_EQ(result->learned_stemmed.num_docs(), result->learned.num_docs());
+  EXPECT_EQ(result->learned_stemmed.total_term_count(),
+            result->learned.total_term_count());
+  EXPECT_LE(result->learned_stemmed.vocabulary_size(),
+            result->learned.vocabulary_size());
+
+  // 6. Every learned term truly occurs in the database: the learned raw
+  // vocabulary, stemmed, must be a subset of the actual vocabulary.
+  LanguageModel stemmed_learned = result->learned.StemCollapsed();
+  size_t misses = 0;
+  stemmed_learned.ForEach([&](const std::string& term, const TermStats&) {
+    // Stopwords are absent from the actual model by construction; skip
+    // terms the database would have stopped.
+    if (StopwordList::DefaultStemmed().Contains(term)) return;
+    if (!actual.Contains(term)) ++misses;
+  });
+  EXPECT_EQ(misses, 0u);
+
+  // 7. Learned df never exceeds the number of examined documents.
+  result->learned.ForEach([&](const std::string&, const TermStats& s) {
+    EXPECT_LE(s.df, 90u);
+    EXPECT_GE(s.ctf, s.df);
+  });
+}
+
+}  // namespace
+}  // namespace qbs

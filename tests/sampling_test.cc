@@ -1,0 +1,515 @@
+// Tests for the core contribution: term selection, stopping policy, and the
+// query-based sampler, including convergence properties on a known corpus.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "corpus/synthetic.h"
+#include "lm/metrics.h"
+#include "sampling/sampler.h"
+#include "sampling/stopping.h"
+#include "sampling/term_selector.h"
+
+namespace qbs {
+namespace {
+
+// --- TermFilter ---
+
+TEST(TermFilterTest, PaperEligibilityRules) {
+  TermFilter filter;  // defaults: >= 3 chars, no numbers
+  EXPECT_TRUE(filter.IsEligible("apple"));
+  EXPECT_TRUE(filter.IsEligible("abc"));
+  EXPECT_FALSE(filter.IsEligible("ab"));
+  EXPECT_FALSE(filter.IsEligible(""));
+  EXPECT_FALSE(filter.IsEligible("1999"));
+  EXPECT_TRUE(filter.IsEligible("b2b"));  // digits allowed, pure numbers not
+}
+
+TEST(TermFilterTest, ConfigurableRules) {
+  TermFilter filter;
+  filter.min_length = 1;
+  filter.exclude_numbers = false;
+  EXPECT_TRUE(filter.IsEligible("a"));
+  EXPECT_TRUE(filter.IsEligible("42"));
+  filter.max_length = 4;
+  EXPECT_FALSE(filter.IsEligible("toolong"));
+}
+
+// --- Selectors ---
+
+LanguageModel ThreeTermModel() {
+  LanguageModel lm;
+  lm.AddTerm("frequent", 30, 90);   // df 30, ctf 90, avg 3
+  lm.AddTerm("middling", 20, 100);  // df 20, ctf 100, avg 5
+  lm.AddTerm("rare", 2, 20);        // df 2, ctf 20, avg 10
+  lm.AddTerm("no", 50, 500);        // ineligible: too short
+  lm.AddTerm("1999", 40, 400);      // ineligible: number
+  return lm;
+}
+
+TEST(TermSelectorTest, DfPicksHighestDocumentFrequency) {
+  auto sel = MakeTermSelector(SelectionStrategy::kDfLearned, TermFilter{});
+  Rng rng(1);
+  LanguageModel lm = ThreeTermModel();
+  auto pick = sel->Select(lm, {}, rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, "frequent");
+  EXPECT_EQ(sel->name(), "df_llm");
+}
+
+TEST(TermSelectorTest, CtfPicksHighestCollectionFrequency) {
+  auto sel = MakeTermSelector(SelectionStrategy::kCtfLearned, TermFilter{});
+  Rng rng(1);
+  LanguageModel lm = ThreeTermModel();
+  EXPECT_EQ(*sel->Select(lm, {}, rng), "middling");
+}
+
+TEST(TermSelectorTest, AvgTfPicksHighestAverage) {
+  auto sel = MakeTermSelector(SelectionStrategy::kAvgTfLearned, TermFilter{});
+  Rng rng(1);
+  LanguageModel lm = ThreeTermModel();
+  EXPECT_EQ(*sel->Select(lm, {}, rng), "rare");
+}
+
+TEST(TermSelectorTest, UsedTermsAreSkipped) {
+  auto sel = MakeTermSelector(SelectionStrategy::kDfLearned, TermFilter{});
+  Rng rng(1);
+  LanguageModel lm = ThreeTermModel();
+  std::unordered_set<std::string> used = {"frequent"};
+  EXPECT_EQ(*sel->Select(lm, used, rng), "middling");
+  used.insert("middling");
+  used.insert("rare");
+  EXPECT_FALSE(sel->Select(lm, used, rng).has_value());
+}
+
+TEST(TermSelectorTest, RandomSelectsOnlyEligibleUnused) {
+  auto sel = MakeTermSelector(SelectionStrategy::kRandomLearned, TermFilter{});
+  Rng rng(42);
+  LanguageModel lm = ThreeTermModel();
+  std::unordered_set<std::string> used;
+  std::set<std::string> picked;
+  for (int i = 0; i < 3; ++i) {
+    auto pick = sel->Select(lm, used, rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_TRUE(used.insert(*pick).second);
+    picked.insert(*pick);
+  }
+  EXPECT_EQ(picked, (std::set<std::string>{"frequent", "middling", "rare"}));
+  EXPECT_FALSE(sel->Select(lm, used, rng).has_value());
+}
+
+TEST(TermSelectorTest, RandomIsRoughlyUniform) {
+  auto sel = MakeTermSelector(SelectionStrategy::kRandomLearned, TermFilter{});
+  Rng rng(9);
+  LanguageModel lm = ThreeTermModel();
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    ++counts[*sel->Select(lm, {}, rng)];
+  }
+  for (const char* t : {"frequent", "middling", "rare"}) {
+    EXPECT_NEAR(counts[t], 1000, 120) << t;
+  }
+}
+
+TEST(TermSelectorTest, OtherModelSelectsFromOther) {
+  LanguageModel other;
+  other.AddTerm("elsewhere", 1, 1);
+  auto sel =
+      MakeTermSelector(SelectionStrategy::kRandomOther, TermFilter{}, &other);
+  Rng rng(1);
+  LanguageModel learned = ThreeTermModel();
+  EXPECT_EQ(*sel->Select(learned, {}, rng), "elsewhere");
+  EXPECT_EQ(sel->name(), "random_olm");
+}
+
+TEST(TermSelectorTest, EmptyLearnedModelYieldsNothing) {
+  auto sel = MakeTermSelector(SelectionStrategy::kRandomLearned, TermFilter{});
+  Rng rng(1);
+  LanguageModel empty;
+  EXPECT_FALSE(sel->Select(empty, {}, rng).has_value());
+}
+
+TEST(RandomEligibleTermTest, RespectsFilter) {
+  LanguageModel lm;
+  lm.AddTerm("ok_term", 1, 1);
+  lm.AddTerm("a", 1, 1);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    auto pick = RandomEligibleTerm(lm, TermFilter{}, rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, "ok_term");
+  }
+  LanguageModel hopeless;
+  hopeless.AddTerm("x", 1, 1);
+  EXPECT_FALSE(RandomEligibleTerm(hopeless, TermFilter{}, rng).has_value());
+}
+
+TEST(SelectionStrategyNameTest, AllNamed) {
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kRandomLearned),
+               "random_llm");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kRandomOther),
+               "random_olm");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kDfLearned), "df_llm");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kCtfLearned),
+               "ctf_llm");
+  EXPECT_STREQ(SelectionStrategyName(SelectionStrategy::kAvgTfLearned),
+               "avg_tf_llm");
+}
+
+// --- StoppingPolicy ---
+
+TEST(StoppingPolicyTest, DocumentBudget) {
+  StoppingOptions opts;
+  opts.max_documents = 3;
+  StoppingPolicy policy(opts);
+  EXPECT_FALSE(policy.ShouldStop());
+  policy.OnDocument();
+  policy.OnDocument();
+  EXPECT_FALSE(policy.ShouldStop());
+  policy.OnDocument();
+  EXPECT_TRUE(policy.ShouldStop());
+  EXPECT_EQ(policy.reason(), "document budget reached");
+}
+
+TEST(StoppingPolicyTest, QueryBudget) {
+  StoppingOptions opts;
+  opts.max_documents = 0;
+  opts.max_queries = 2;
+  StoppingPolicy policy(opts);
+  policy.OnQuery();
+  EXPECT_FALSE(policy.ShouldStop());
+  policy.OnQuery();
+  EXPECT_TRUE(policy.ShouldStop());
+  EXPECT_EQ(policy.reason(), "query budget reached");
+}
+
+TEST(StoppingPolicyTest, SnapshotCadence) {
+  StoppingOptions opts;
+  opts.snapshot_interval = 2;
+  StoppingPolicy policy(opts);
+  EXPECT_FALSE(policy.SnapshotDue());
+  policy.OnDocument();
+  EXPECT_FALSE(policy.SnapshotDue());
+  policy.OnDocument();
+  EXPECT_TRUE(policy.SnapshotDue());
+  policy.OnSnapshot(-1.0);
+  EXPECT_FALSE(policy.SnapshotDue());
+  policy.OnDocument();
+  policy.OnDocument();
+  EXPECT_TRUE(policy.SnapshotDue());
+}
+
+TEST(StoppingPolicyTest, RdiffConvergenceNeedsConsecutiveHits) {
+  StoppingOptions opts;
+  opts.max_documents = 0;
+  opts.max_queries = 0;
+  opts.rdiff_threshold = 0.01;
+  opts.rdiff_consecutive = 2;
+  StoppingPolicy policy(opts);
+  policy.OnSnapshot(-1.0);  // first snapshot: no rdiff yet
+  EXPECT_FALSE(policy.ShouldStop());
+  policy.OnSnapshot(0.005);
+  EXPECT_FALSE(policy.ShouldStop());
+  policy.OnSnapshot(0.5);  // divergence resets the streak
+  EXPECT_FALSE(policy.ShouldStop());
+  policy.OnSnapshot(0.005);
+  policy.OnSnapshot(0.003);
+  EXPECT_TRUE(policy.ShouldStop());
+  EXPECT_EQ(policy.reason(), "rdiff converged");
+}
+
+// --- QueryBasedSampler ---
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusSpec spec;
+    spec.name = "samplerdb";
+    spec.num_docs = 800;
+    spec.vocab_size = 40'000;
+    spec.num_topics = 6;
+    spec.topic_vocab_size = 400;
+    spec.seed = 77;
+    auto engine = BuildSyntheticEngine(spec);
+    ASSERT_TRUE(engine.ok());
+    engine_ = engine->release();
+    actual_ = new LanguageModel(engine_->ActualLanguageModel());
+  }
+
+  static void TearDownTestSuite() {
+    delete actual_;
+    actual_ = nullptr;
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  SamplerOptions BaseOptions(size_t max_docs = 100) {
+    SamplerOptions opts;
+    opts.docs_per_query = 4;
+    opts.stopping.max_documents = max_docs;
+    opts.initial_term = PickInitialTerm();
+    opts.seed = 5;
+    return opts;
+  }
+
+  std::string PickInitialTerm() {
+    Rng rng(99);
+    auto term = RandomEligibleTerm(*actual_, TermFilter{}, rng);
+    EXPECT_TRUE(term.has_value());
+    return *term;
+  }
+
+  static SearchEngine* engine_;
+  static LanguageModel* actual_;
+};
+
+SearchEngine* SamplerTest::engine_ = nullptr;
+LanguageModel* SamplerTest::actual_ = nullptr;
+
+TEST_F(SamplerTest, StopsAtDocumentBudget) {
+  QueryBasedSampler sampler(engine_, BaseOptions(60));
+  auto result = sampler.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->documents_examined, 60u);
+  EXPECT_EQ(result->stop_reason, "document budget reached");
+  EXPECT_GE(result->queries_run, 60u / 4);
+  EXPECT_EQ(result->learned.num_docs(), 60u);
+}
+
+TEST_F(SamplerTest, LearnedModelIsRawTermSpace) {
+  QueryBasedSampler sampler(engine_, BaseOptions(40));
+  auto result = sampler.Run();
+  ASSERT_TRUE(result.ok());
+  // Function words are kept in the learned (raw) model (paper §4.1)...
+  EXPECT_TRUE(result->learned.Contains("the"));
+  // ...but the database's actual model has them stopped.
+  EXPECT_FALSE(actual_->Contains("the"));
+}
+
+TEST_F(SamplerTest, StemmedModelTracksRawModel) {
+  QueryBasedSampler sampler(engine_, BaseOptions(40));
+  auto result = sampler.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->learned_stemmed.num_docs(), result->learned.num_docs());
+  EXPECT_EQ(result->learned_stemmed.total_term_count(),
+            result->learned.total_term_count());
+  // Stemming can only merge terms.
+  EXPECT_LE(result->learned_stemmed.vocabulary_size(),
+            result->learned.vocabulary_size());
+}
+
+TEST_F(SamplerTest, DeterministicForSameSeed) {
+  auto r1 = QueryBasedSampler(engine_, BaseOptions(40)).Run();
+  auto r2 = QueryBasedSampler(engine_, BaseOptions(40)).Run();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r1->queries.size(), r2->queries.size());
+  for (size_t i = 0; i < r1->queries.size(); ++i) {
+    EXPECT_EQ(r1->queries[i].term, r2->queries[i].term);
+    EXPECT_EQ(r1->queries[i].new_docs, r2->queries[i].new_docs);
+  }
+}
+
+TEST_F(SamplerTest, CtfRatioGrowsWithSampleSize) {
+  auto small = QueryBasedSampler(engine_, BaseOptions(25)).Run();
+  auto large = QueryBasedSampler(engine_, BaseOptions(250)).Run();
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  double ratio_small = CtfRatio(small->learned_stemmed, *actual_);
+  double ratio_large = CtfRatio(large->learned_stemmed, *actual_);
+  EXPECT_GT(ratio_large, ratio_small);
+  // The paper's headline: frequent vocabulary is covered after a few
+  // hundred documents.
+  EXPECT_GT(ratio_large, 0.6);
+}
+
+TEST_F(SamplerTest, SpearmanBecomesStronglyPositive) {
+  auto result = QueryBasedSampler(engine_, BaseOptions(250)).Run();
+  ASSERT_TRUE(result.ok());
+  double rho = SpearmanRankCorrelation(result->learned_stemmed, *actual_);
+  EXPECT_GT(rho, 0.5);  // small homogeneous corpus converges fast (Fig. 2)
+}
+
+TEST_F(SamplerTest, SnapshotsRecordedAtInterval) {
+  SamplerOptions opts = BaseOptions(100);
+  opts.stopping.snapshot_interval = 25;
+  auto result = QueryBasedSampler(engine_, opts).Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->snapshots.size(), 4u);
+  EXPECT_EQ(result->snapshots[0].documents, 25u);
+  EXPECT_EQ(result->snapshots[3].documents, 100u);
+  EXPECT_LT(result->snapshots[0].rdiff_from_prev, 0.0);  // first has none
+  for (size_t i = 1; i < result->snapshots.size(); ++i) {
+    EXPECT_GE(result->snapshots[i].rdiff_from_prev, 0.0);
+  }
+}
+
+TEST_F(SamplerTest, RdiffStoppingTerminatesEarly) {
+  SamplerOptions opts = BaseOptions(0);  // no document budget
+  opts.stopping.max_documents = 0;
+  opts.stopping.max_queries = 2000;
+  opts.stopping.snapshot_interval = 25;
+  opts.stopping.rdiff_threshold = 0.05;  // generous: should trip quickly
+  opts.stopping.rdiff_consecutive = 2;
+  auto result = QueryBasedSampler(engine_, opts).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stop_reason, "rdiff converged");
+  EXPECT_LT(result->documents_examined, 800u);
+}
+
+TEST_F(SamplerTest, ObserverSeesEveryDocument) {
+  SamplerOptions opts = BaseOptions(30);
+  QueryBasedSampler sampler(engine_, opts);
+  size_t calls = 0;
+  size_t last_count = 0;
+  sampler.set_document_observer(
+      [&](size_t docs, const LanguageModel& raw, const LanguageModel&) {
+        ++calls;
+        EXPECT_EQ(docs, last_count + 1);
+        last_count = docs;
+        EXPECT_GT(raw.vocabulary_size(), 0u);
+      });
+  auto result = sampler.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, 30u);
+}
+
+TEST_F(SamplerTest, CollectDocumentsKeepsRawText) {
+  SamplerOptions opts = BaseOptions(20);
+  opts.collect_documents = true;
+  auto result = QueryBasedSampler(engine_, opts).Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->sampled_documents.size(), 20u);
+  for (const auto& text : result->sampled_documents) {
+    EXPECT_FALSE(text.empty());
+  }
+}
+
+TEST_F(SamplerTest, QueriesNeverRepeatTerms) {
+  auto result = QueryBasedSampler(engine_, BaseOptions(120)).Run();
+  ASSERT_TRUE(result.ok());
+  std::set<std::string> terms;
+  for (const auto& q : result->queries) {
+    EXPECT_TRUE(terms.insert(q.term).second) << "repeated: " << q.term;
+  }
+}
+
+TEST_F(SamplerTest, DuplicateHitsAreCountedNotReexamined) {
+  auto result = QueryBasedSampler(engine_, BaseOptions(150)).Run();
+  ASSERT_TRUE(result.ok());
+  // With topical queries on a small corpus, some hits repeat.
+  EXPECT_GT(result->duplicate_hits, 0u);
+  size_t new_docs_total = 0;
+  for (const auto& q : result->queries) new_docs_total += q.new_docs;
+  EXPECT_EQ(new_docs_total, result->documents_examined);
+}
+
+TEST_F(SamplerTest, NoDedupAblationInflatesModel) {
+  SamplerOptions dedup = BaseOptions(100);
+  SamplerOptions nodedup = BaseOptions(100);
+  nodedup.dedup_documents = false;
+  auto r1 = QueryBasedSampler(engine_, dedup).Run();
+  auto r2 = QueryBasedSampler(engine_, nodedup).Run();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  // Without dedup the same 100-document budget covers fewer distinct
+  // documents, so the vocabulary is smaller or equal.
+  EXPECT_LE(r2->learned.vocabulary_size(), r1->learned.vocabulary_size());
+  EXPECT_EQ(r2->duplicate_hits, 0u);  // nothing is treated as duplicate
+}
+
+TEST_F(SamplerTest, FrequencyStrategiesRunToBudget) {
+  for (SelectionStrategy strategy :
+       {SelectionStrategy::kDfLearned, SelectionStrategy::kCtfLearned,
+        SelectionStrategy::kAvgTfLearned}) {
+    SamplerOptions opts = BaseOptions(60);
+    opts.strategy = strategy;
+    auto result = QueryBasedSampler(engine_, opts).Run();
+    ASSERT_TRUE(result.ok()) << SelectionStrategyName(strategy);
+    EXPECT_EQ(result->documents_examined, 60u)
+        << SelectionStrategyName(strategy);
+  }
+}
+
+TEST_F(SamplerTest, OtherModelStrategyUsesReference) {
+  SamplerOptions opts = BaseOptions(60);
+  opts.strategy = SelectionStrategy::kRandomOther;
+  opts.other_model = actual_;
+  auto result = QueryBasedSampler(engine_, opts).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->documents_examined, 60u);
+}
+
+TEST_F(SamplerTest, MissingInitialTermFails) {
+  SamplerOptions opts = BaseOptions(10);
+  opts.initial_term = "";
+  auto result = QueryBasedSampler(engine_, opts).Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST_F(SamplerTest, RandomOtherWithoutModelFails) {
+  SamplerOptions opts = BaseOptions(10);
+  opts.strategy = SelectionStrategy::kRandomOther;
+  opts.other_model = nullptr;
+  auto result = QueryBasedSampler(engine_, opts).Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST_F(SamplerTest, ZeroDocsPerQueryFails) {
+  SamplerOptions opts = BaseOptions(10);
+  opts.docs_per_query = 0;
+  auto result = QueryBasedSampler(engine_, opts).Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(SamplerEdgeTest, TinyDatabaseExhaustsTerms) {
+  SearchEngine engine("tiny");
+  ASSERT_TRUE(engine.AddDocument("d1", "alpha beta gamma").ok());
+  SamplerOptions opts;
+  opts.initial_term = "alpha";
+  opts.stopping.max_documents = 100;  // unreachable
+  opts.stopping.max_queries = 1000;
+  auto result = QueryBasedSampler(&engine, opts).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->documents_examined, 1u);
+  EXPECT_EQ(result->stop_reason, "no eligible query terms remain");
+}
+
+TEST(SamplerEdgeTest, InitialTermAbsentFromDatabase) {
+  SearchEngine engine("absent");
+  ASSERT_TRUE(engine.AddDocument("d1", "alpha beta gamma").ok());
+  SamplerOptions opts;
+  opts.initial_term = "nonexistentterm";
+  opts.stopping.max_documents = 10;
+  auto result = QueryBasedSampler(&engine, opts).Run();
+  ASSERT_TRUE(result.ok());
+  // The first query fails; the learned model is empty, so no further terms
+  // can be selected.
+  EXPECT_EQ(result->documents_examined, 0u);
+  EXPECT_EQ(result->failed_queries, 1u);
+  EXPECT_EQ(result->stop_reason, "no eligible query terms remain");
+}
+
+TEST(SamplerEdgeTest, QueryBudgetStopsHopelessSampling) {
+  SearchEngine engine("hopeless");
+  // Single word repeated: after the first query there is one eligible term
+  // already used... make several docs so queries succeed but model is tiny.
+  ASSERT_TRUE(engine.AddDocument("d1", "solitary").ok());
+  SamplerOptions opts;
+  opts.initial_term = "solitary";
+  opts.stopping.max_documents = 50;
+  opts.stopping.max_queries = 1;
+  auto result = QueryBasedSampler(&engine, opts).Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->queries_run, 1u);
+  EXPECT_EQ(result->stop_reason, "query budget reached");
+}
+
+}  // namespace
+}  // namespace qbs

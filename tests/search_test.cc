@@ -1,0 +1,270 @@
+// Tests for scorers, the searcher, and the SearchEngine/TextDatabase facade.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "search/scorer.h"
+#include "search/search_engine.h"
+#include "search/searcher.h"
+
+namespace qbs {
+namespace {
+
+CorpusStatsView MakeCorpus(uint32_t num_docs, double avg_dl) {
+  CorpusStatsView c;
+  c.num_docs = num_docs;
+  c.avg_doc_length = avg_dl;
+  return c;
+}
+
+TEST(ScorerTest, FactoryKnowsAllNames) {
+  EXPECT_NE(MakeScorer("inquery"), nullptr);
+  EXPECT_NE(MakeScorer("tfidf"), nullptr);
+  EXPECT_NE(MakeScorer("bm25"), nullptr);
+  EXPECT_EQ(MakeScorer("nope"), nullptr);
+  EXPECT_EQ(MakeScorer(""), nullptr);
+}
+
+TEST(ScorerTest, InqueryBeliefBounds) {
+  InqueryScorer scorer;
+  CorpusStatsView corpus = MakeCorpus(1000, 100.0);
+  MatchStats match{/*tf=*/5, /*df=*/10, /*doc_length=*/100};
+  double s = scorer.Score(match, corpus);
+  EXPECT_GT(s, 0.4);  // belief exceeds the default belief on a match
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(ScorerTest, RarerTermsScoreHigher) {
+  CorpusStatsView corpus = MakeCorpus(1000, 100.0);
+  MatchStats rare{5, 2, 100};
+  MatchStats common{5, 900, 100};
+  for (const char* name : {"inquery", "tfidf", "bm25"}) {
+    auto scorer = MakeScorer(name);
+    EXPECT_GT(scorer->Score(rare, corpus), scorer->Score(common, corpus))
+        << name;
+  }
+}
+
+TEST(ScorerTest, HigherTfScoresHigher) {
+  CorpusStatsView corpus = MakeCorpus(1000, 100.0);
+  MatchStats low{1, 10, 100};
+  MatchStats high{10, 10, 100};
+  for (const char* name : {"inquery", "tfidf", "bm25"}) {
+    auto scorer = MakeScorer(name);
+    EXPECT_GT(scorer->Score(high, corpus), scorer->Score(low, corpus)) << name;
+  }
+}
+
+TEST(ScorerTest, LongerDocsPenalized) {
+  CorpusStatsView corpus = MakeCorpus(1000, 100.0);
+  MatchStats short_doc{5, 10, 50};
+  MatchStats long_doc{5, 10, 500};
+  for (const char* name : {"inquery", "bm25"}) {
+    auto scorer = MakeScorer(name);
+    EXPECT_GT(scorer->Score(short_doc, corpus), scorer->Score(long_doc, corpus))
+        << name;
+  }
+}
+
+TEST(ScorerTest, ZeroTfScoresZero) {
+  CorpusStatsView corpus = MakeCorpus(100, 50.0);
+  MatchStats no_match{0, 10, 50};
+  for (const char* name : {"inquery", "tfidf", "bm25"}) {
+    EXPECT_DOUBLE_EQ(MakeScorer(name)->Score(no_match, corpus), 0.0) << name;
+  }
+}
+
+class SearcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_.AddDocument({"apple", "banana"});           // doc 0
+    index_.AddDocument({"apple", "apple", "apple"});   // doc 1
+    index_.AddDocument({"banana", "cherry"});          // doc 2
+    index_.AddDocument({"durian"});                    // doc 3
+  }
+
+  InvertedIndex index_;
+  TfIdfScorer scorer_;
+};
+
+TEST_F(SearcherTest, SingleTermRanksByTf) {
+  Searcher searcher(&index_, &scorer_);
+  auto results = searcher.Search({"apple"}, 10);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].doc_id, 1u);  // tf 3 beats tf 1
+  EXPECT_EQ(results[1].doc_id, 0u);
+  EXPECT_GT(results[0].score, results[1].score);
+}
+
+TEST_F(SearcherTest, MultiTermAccumulates) {
+  Searcher searcher(&index_, &scorer_);
+  auto results = searcher.Search({"banana", "cherry"}, 10);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].doc_id, 2u);  // matches both terms
+  EXPECT_EQ(results[1].doc_id, 0u);
+}
+
+TEST_F(SearcherTest, UnknownTermMatchesNothing) {
+  Searcher searcher(&index_, &scorer_);
+  EXPECT_TRUE(searcher.Search({"zzz"}, 10).empty());
+  EXPECT_TRUE(searcher.Search({}, 10).empty());
+}
+
+TEST_F(SearcherTest, MaxResultsTruncates) {
+  Searcher searcher(&index_, &scorer_);
+  auto results = searcher.Search({"apple", "banana", "cherry", "durian"}, 2);
+  EXPECT_EQ(results.size(), 2u);
+}
+
+TEST_F(SearcherTest, ScratchResetBetweenQueries) {
+  Searcher searcher(&index_, &scorer_);
+  auto first = searcher.Search({"apple"}, 10);
+  auto second = searcher.Search({"apple"}, 10);
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].doc_id, second[i].doc_id);
+    EXPECT_DOUBLE_EQ(first[i].score, second[i].score);
+  }
+}
+
+TEST_F(SearcherTest, TieBrokenByDocId) {
+  InvertedIndex index;
+  index.AddDocument({"same"});
+  index.AddDocument({"same"});
+  index.AddDocument({"same"});
+  TfIdfScorer scorer;
+  Searcher searcher(&index, &scorer);
+  auto results = searcher.Search({"same"}, 10);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].doc_id, 0u);
+  EXPECT_EQ(results[1].doc_id, 1u);
+  EXPECT_EQ(results[2].doc_id, 2u);
+}
+
+TEST(SearchEngineTest, AddAndQueryEndToEnd) {
+  SearchEngine engine("testdb");
+  ASSERT_TRUE(engine.AddDocument("d1", "Databases store documents.").ok());
+  ASSERT_TRUE(engine
+                  .AddDocument("d2",
+                               "Database selection ranks databases for a "
+                               "query. Databases everywhere.")
+                  .ok());
+  ASSERT_TRUE(engine.AddDocument("d3", "Cats chase mice.").ok());
+  engine.FinishLoading();
+
+  EXPECT_EQ(engine.num_docs(), 3u);
+  auto hits = engine.RunQuery("databases", 10);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0].handle, "d2");  // more occurrences of the stem
+  EXPECT_EQ((*hits)[1].handle, "d1");
+}
+
+TEST(SearchEngineTest, QueryGoesThroughDatabaseAnalyzer) {
+  SearchEngine engine("testdb");  // InqueryLike analyzer: stems queries
+  ASSERT_TRUE(engine.AddDocument("d1", "running runner runs").ok());
+  auto hits = engine.RunQuery("RUNNING", 10);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);  // stemmed + case-folded match
+}
+
+TEST(SearchEngineTest, StopwordQueryReturnsNothing) {
+  // The paper: a query term the database treats as a stopword retrieves no
+  // documents, so it is "effectively discarded" from the learned model.
+  SearchEngine engine("testdb");
+  ASSERT_TRUE(engine.AddDocument("d1", "the cat and the hat").ok());
+  auto hits = engine.RunQuery("the", 10);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST(SearchEngineTest, FetchDocumentReturnsRawText) {
+  SearchEngine engine("testdb");
+  const std::string raw = "The EXACT original text, unanalyzed!";
+  ASSERT_TRUE(engine.AddDocument("d1", raw).ok());
+  auto text = engine.FetchDocument("d1");
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, raw);
+}
+
+TEST(SearchEngineTest, FetchUnknownHandleIsNotFound) {
+  SearchEngine engine("testdb");
+  auto r = engine.FetchDocument("ghost");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(SearchEngineTest, RejectsDuplicateAndEmptyNames) {
+  SearchEngine engine("testdb");
+  ASSERT_TRUE(engine.AddDocument("d1", "text").ok());
+  EXPECT_TRUE(engine.AddDocument("d1", "other").IsInvalidArgument());
+  EXPECT_TRUE(engine.AddDocument("", "text").IsInvalidArgument());
+}
+
+TEST(SearchEngineTest, ZeroMaxResultsIsInvalid) {
+  SearchEngine engine("testdb");
+  EXPECT_TRUE(engine.RunQuery("x", 0).status().IsInvalidArgument());
+}
+
+TEST(SearchEngineTest, MaxResultsLimitsHits) {
+  SearchEngine engine("testdb");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        engine.AddDocument("d" + std::to_string(i), "common topic words")
+            .ok());
+  }
+  auto hits = engine.RunQuery("topic", 4);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 4u);
+}
+
+TEST(SearchEngineTest, ActualLanguageModelUsesIndexTermSpace) {
+  SearchEngine engine("testdb");
+  ASSERT_TRUE(engine.AddDocument("d1", "the databases are running").ok());
+  LanguageModel lm = engine.ActualLanguageModel();
+  EXPECT_FALSE(lm.Contains("the"));       // stopped
+  EXPECT_TRUE(lm.Contains("databas"));    // stemmed
+  EXPECT_EQ(lm.num_docs(), 1u);
+}
+
+TEST(SearchEngineTest, CustomAnalyzerChangesIndexing) {
+  SearchEngineOptions opts;
+  AnalyzerOptions aopts;
+  aopts.stem = false;
+  aopts.remove_stopwords = false;
+  opts.analyzer = Analyzer(aopts);
+  SearchEngine engine("rawdb", opts);
+  ASSERT_TRUE(engine.AddDocument("d1", "the databases are running").ok());
+  LanguageModel lm = engine.ActualLanguageModel();
+  EXPECT_TRUE(lm.Contains("the"));
+  EXPECT_TRUE(lm.Contains("databases"));
+  EXPECT_FALSE(lm.Contains("databas"));
+}
+
+TEST(SearchEngineTest, Bm25EngineRanksLikeTfIdfOnSimpleCase) {
+  SearchEngineOptions opts;
+  opts.scorer = "bm25";
+  SearchEngine engine("bm25db", opts);
+  ASSERT_TRUE(engine.AddDocument("once", "topic").ok());
+  ASSERT_TRUE(engine.AddDocument("thrice", "topic topic topic").ok());
+  auto hits = engine.RunQuery("topic", 10);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0].handle, "thrice");
+}
+
+TEST(SearchEngineTest, PolymorphicUseThroughTextDatabase) {
+  SearchEngine engine("poly");
+  ASSERT_TRUE(engine.AddDocument("d1", "polymorphism works").ok());
+  TextDatabase* db = &engine;
+  EXPECT_EQ(db->name(), "poly");
+  auto hits = db->RunQuery("polymorphism", 5);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  auto text = db->FetchDocument((*hits)[0].handle);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "polymorphism works");
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,220 @@
+// Tests for database-selection algorithms and ranking-agreement evaluation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "selection/db_selection.h"
+#include "selection/eval.h"
+
+namespace qbs {
+namespace {
+
+// Three databases with clear topical identities.
+DatabaseCollection ToyCollection() {
+  DatabaseCollection dbs;
+
+  LanguageModel cooking;
+  cooking.AddTerm("recipe", 80, 200);
+  cooking.AddTerm("flour", 60, 120);
+  cooking.AddTerm("oven", 50, 90);
+  cooking.AddTerm("court", 1, 1);
+  cooking.set_num_docs(100);
+
+  LanguageModel law;
+  law.AddTerm("court", 90, 300);
+  law.AddTerm("appeal", 70, 150);
+  law.AddTerm("ruling", 65, 130);
+  law.AddTerm("recipe", 1, 1);
+  law.set_num_docs(120);
+
+  LanguageModel sports;
+  sports.AddTerm("match", 85, 250);
+  sports.AddTerm("court", 40, 60);  // tennis courts
+  sports.AddTerm("score", 75, 140);
+  sports.set_num_docs(110);
+
+  dbs.Add("cooking", std::move(cooking));
+  dbs.Add("law", std::move(law));
+  dbs.Add("sports", std::move(sports));
+  return dbs;
+}
+
+TEST(DatabaseCollectionTest, BasicAccessors) {
+  DatabaseCollection dbs = ToyCollection();
+  EXPECT_EQ(dbs.size(), 3u);
+  EXPECT_EQ(dbs.name(0), "cooking");
+  EXPECT_TRUE(dbs.model(1).Contains("appeal"));
+  EXPECT_EQ(dbs.DatabasesContaining("court"), 3u);
+  EXPECT_EQ(dbs.DatabasesContaining("flour"), 1u);
+  EXPECT_EQ(dbs.DatabasesContaining("nothing"), 0u);
+  EXPECT_GT(dbs.AvgCollectionSize(), 0.0);
+}
+
+TEST(MakeRankerTest, FactoryKnowsAllAlgorithms) {
+  DatabaseCollection dbs = ToyCollection();
+  for (const char* name : {"cori", "bgloss", "vgloss", "kl"}) {
+    auto ranker = MakeRanker(name, &dbs);
+    ASSERT_NE(ranker, nullptr) << name;
+    EXPECT_EQ(ranker->name(), name);
+  }
+  EXPECT_EQ(MakeRanker("unknown", &dbs), nullptr);
+}
+
+class AllRankersTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  DatabaseCollection dbs_ = ToyCollection();
+};
+
+TEST_P(AllRankersTest, TopicalQueryPicksTopicalDatabase) {
+  auto ranker = MakeRanker(GetParam(), &dbs_);
+  EXPECT_EQ(ranker->Rank({"recipe", "flour"})[0].db_name, "cooking");
+  EXPECT_EQ(ranker->Rank({"appeal", "ruling"})[0].db_name, "law");
+  EXPECT_EQ(ranker->Rank({"match", "score"})[0].db_name, "sports");
+}
+
+TEST_P(AllRankersTest, RanksEveryDatabase) {
+  auto ranker = MakeRanker(GetParam(), &dbs_);
+  auto ranking = ranker->Rank({"court"});
+  ASSERT_EQ(ranking.size(), 3u);
+  std::set<std::string> names;
+  for (const auto& r : ranking) names.insert(r.db_name);
+  EXPECT_EQ(names.size(), 3u);
+}
+
+TEST_P(AllRankersTest, AmbiguousTermGoesToDominantDatabase) {
+  auto ranker = MakeRanker(GetParam(), &dbs_);
+  // "court" is most frequent in the law database.
+  EXPECT_EQ(ranker->Rank({"court"})[0].db_name, "law") << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, AllRankersTest,
+                         ::testing::Values("cori", "bgloss", "vgloss", "kl"));
+
+TEST(CoriRankerTest, ScoresStayWithinBeliefBounds) {
+  DatabaseCollection dbs = ToyCollection();
+  CoriRanker ranker(&dbs);
+  for (const auto& r : ranker.Rank({"recipe", "court"})) {
+    EXPECT_GE(r.score, 0.4);
+    EXPECT_LE(r.score, 1.0);
+  }
+}
+
+TEST(CoriRankerTest, MissingTermGetsDefaultBelief) {
+  DatabaseCollection dbs = ToyCollection();
+  CoriRanker ranker(&dbs);
+  auto ranking = ranker.Rank({"flour"});
+  // law and sports lack "flour": their belief is exactly the default.
+  for (const auto& r : ranking) {
+    if (r.db_name != "cooking") EXPECT_DOUBLE_EQ(r.score, 0.4);
+  }
+  EXPECT_GT(ranking[0].score, 0.4);
+}
+
+TEST(BglossRankerTest, ConjunctiveEstimateZeroWhenAnyTermMissing) {
+  DatabaseCollection dbs = ToyCollection();
+  BglossRanker ranker(&dbs);
+  auto ranking = ranker.Rank({"flour", "appeal"});  // no db has both
+  for (const auto& r : ranking) EXPECT_DOUBLE_EQ(r.score, 0.0);
+}
+
+TEST(BglossRankerTest, EstimateMatchesIndependenceFormula) {
+  DatabaseCollection dbs = ToyCollection();
+  BglossRanker ranker(&dbs);
+  auto ranking = ranker.Rank({"recipe", "flour"});
+  // cooking: 100 * (80/100) * (60/100) = 48.
+  ASSERT_EQ(ranking[0].db_name, "cooking");
+  EXPECT_NEAR(ranking[0].score, 48.0, 1e-9);
+}
+
+TEST(VglossRankerTest, WeightsByCtfAndIdf) {
+  DatabaseCollection dbs = ToyCollection();
+  VglossRanker ranker(&dbs);
+  auto ranking = ranker.Rank({"flour"});
+  ASSERT_EQ(ranking[0].db_name, "cooking");
+  // Only cooking contains flour; others score 0.
+  EXPECT_DOUBLE_EQ(ranking[1].score, 0.0);
+  EXPECT_DOUBLE_EQ(ranking[2].score, 0.0);
+}
+
+TEST(KlRankerTest, SmoothingAvoidsInfinities) {
+  DatabaseCollection dbs = ToyCollection();
+  KlRanker ranker(&dbs);
+  auto ranking = ranker.Rank({"flour", "unseen_term"});
+  for (const auto& r : ranking) {
+    EXPECT_TRUE(std::isfinite(r.score)) << r.db_name;
+  }
+  EXPECT_EQ(ranking[0].db_name, "cooking");
+}
+
+TEST(RankersTest, EmptyQueryProducesDeterministicOrder) {
+  DatabaseCollection dbs = ToyCollection();
+  for (const char* name : {"cori", "bgloss", "vgloss", "kl"}) {
+    auto ranking = MakeRanker(name, &dbs)->Rank({});
+    ASSERT_EQ(ranking.size(), 3u);
+    // All scores equal -> alphabetical by name.
+    EXPECT_EQ(ranking[0].db_name, "cooking") << name;
+    EXPECT_EQ(ranking[1].db_name, "law") << name;
+    EXPECT_EQ(ranking[2].db_name, "sports") << name;
+  }
+}
+
+// --- Ranking agreement ---
+
+std::vector<DatabaseScore> MakeRanking(
+    const std::vector<std::string>& names) {
+  std::vector<DatabaseScore> out;
+  double score = static_cast<double>(names.size());
+  for (const auto& n : names) out.push_back({n, score--});
+  return out;
+}
+
+TEST(CompareRankingsTest, IdenticalRankingsPerfectAgreement) {
+  auto r = MakeRanking({"a", "b", "c", "d"});
+  RankingAgreement agree = CompareRankings(r, r, 2);
+  EXPECT_DOUBLE_EQ(agree.spearman, 1.0);
+  EXPECT_DOUBLE_EQ(agree.top_k_overlap, 1.0);
+  EXPECT_DOUBLE_EQ(agree.top_1_match, 1.0);
+}
+
+TEST(CompareRankingsTest, ReversedRankingsDisagree) {
+  auto ref = MakeRanking({"a", "b", "c", "d"});
+  auto rev = MakeRanking({"d", "c", "b", "a"});
+  RankingAgreement agree = CompareRankings(ref, rev, 2);
+  EXPECT_DOUBLE_EQ(agree.spearman, -1.0);
+  EXPECT_DOUBLE_EQ(agree.top_1_match, 0.0);
+  // top-2 of ref {a,b}; of rev {d,c}: no overlap.
+  EXPECT_DOUBLE_EQ(agree.top_k_overlap, 0.0);
+}
+
+TEST(CompareRankingsTest, PartialAgreement) {
+  auto ref = MakeRanking({"a", "b", "c"});
+  auto cand = MakeRanking({"b", "a", "c"});
+  RankingAgreement agree = CompareRankings(ref, cand, 2);
+  // d^2 = 1 + 1 + 0 = 2 -> 1 - 12/24 = 0.5.
+  EXPECT_DOUBLE_EQ(agree.spearman, 0.5);
+  EXPECT_DOUBLE_EQ(agree.top_k_overlap, 1.0);  // {a,b} both ways
+  EXPECT_DOUBLE_EQ(agree.top_1_match, 0.0);
+}
+
+TEST(MeanAgreementTest, AveragesOverQueries) {
+  DatabaseCollection dbs = ToyCollection();
+  CoriRanker ranker(&dbs);
+  // Same ranker on both sides: perfect agreement for any query set.
+  RankingAgreement agree = MeanAgreement(
+      ranker, ranker, {{"recipe"}, {"court"}, {"match", "score"}}, 2);
+  EXPECT_DOUBLE_EQ(agree.spearman, 1.0);
+  EXPECT_DOUBLE_EQ(agree.top_k_overlap, 1.0);
+  EXPECT_DOUBLE_EQ(agree.top_1_match, 1.0);
+}
+
+TEST(MeanAgreementTest, EmptyQuerySetIsZero) {
+  DatabaseCollection dbs = ToyCollection();
+  CoriRanker ranker(&dbs);
+  RankingAgreement agree = MeanAgreement(ranker, ranker, {}, 2);
+  EXPECT_DOUBLE_EQ(agree.spearman, 0.0);
+}
+
+}  // namespace
+}  // namespace qbs

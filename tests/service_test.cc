@@ -1,0 +1,217 @@
+// Tests for the end-to-end SamplingService orchestrator.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "service/sampling_service.h"
+
+namespace qbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A database that always fails queries (simulates an unreachable server).
+class DeadDatabase : public TextDatabase {
+ public:
+  explicit DeadDatabase(std::string name) : name_(std::move(name)) {}
+  std::string name() const override { return name_; }
+  Result<std::vector<SearchHit>> RunQuery(std::string_view,
+                                          size_t) override {
+    return Status::IOError("connection refused");
+  }
+  Result<std::string> FetchDocument(std::string_view) override {
+    return Status::IOError("connection refused");
+  }
+
+ private:
+  std::string name_;
+};
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNumDbs = 3;
+
+  static void SetUpTestSuite() {
+    engines_ = new std::vector<std::unique_ptr<SearchEngine>>();
+    seed_terms_ = new std::vector<std::string>();
+    for (size_t i = 0; i < kNumDbs; ++i) {
+      SyntheticCorpusSpec spec;
+      spec.name = "svc-" + std::to_string(i);
+      spec.num_docs = 400;
+      spec.vocab_size = 30'000;
+      spec.num_topics = 3;
+      spec.topic_mix = 0.5;
+      spec.seed = 8800 + 17 * i;
+      auto engine = BuildSyntheticEngine(spec);
+      ASSERT_TRUE(engine.ok());
+      // Collect seed terms the service can bootstrap with (the synthetic
+      // vocabulary contains no real English words).
+      LanguageModel actual = (*engine)->ActualLanguageModel();
+      for (const auto& [term, score] : actual.RankedTerms(TermMetric::kCtf, 2)) {
+        seed_terms_->push_back(term);
+      }
+      engines_->push_back(std::move(*engine));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete engines_;
+    engines_ = nullptr;
+    delete seed_terms_;
+    seed_terms_ = nullptr;
+  }
+
+  ServiceOptions BaseOptions() {
+    ServiceOptions opts;
+    opts.sampler.stopping.max_documents = 80;
+    opts.seed_terms = *seed_terms_;
+    opts.num_threads = 3;
+    return opts;
+  }
+
+  static std::vector<std::unique_ptr<SearchEngine>>* engines_;
+  static std::vector<std::string>* seed_terms_;
+};
+
+std::vector<std::unique_ptr<SearchEngine>>* ServiceTest::engines_ = nullptr;
+std::vector<std::string>* ServiceTest::seed_terms_ = nullptr;
+
+TEST_F(ServiceTest, RefreshAllSamplesEveryDatabase) {
+  SamplingService service(BaseOptions());
+  for (auto& engine : *engines_) {
+    ASSERT_TRUE(service.AddDatabase(engine.get()).ok());
+  }
+  ASSERT_TRUE(service.RefreshAll().ok());
+  EXPECT_EQ(service.size(), kNumDbs);
+  for (const DatabaseState& s : service.state()) {
+    EXPECT_TRUE(s.has_model) << s.name;
+    EXPECT_EQ(s.documents_examined, 80u) << s.name;
+    EXPECT_GT(s.learned.vocabulary_size(), 100u) << s.name;
+    EXPECT_TRUE(s.last_status.ok()) << s.name;
+  }
+}
+
+TEST_F(ServiceTest, SelectRanksRegisteredDatabases) {
+  SamplingService service(BaseOptions());
+  for (auto& engine : *engines_) {
+    ASSERT_TRUE(service.AddDatabase(engine.get()).ok());
+  }
+  ASSERT_TRUE(service.RefreshAll().ok());
+
+  // Query with a term distinctive to database 0.
+  LanguageModel actual0 = (*engines_)[0]->ActualLanguageModel();
+  std::string probe;
+  for (const auto& [term, score] : actual0.RankedTerms(TermMetric::kCtf, 50)) {
+    bool distinctive = true;
+    for (size_t j = 1; j < kNumDbs; ++j) {
+      const TermStats* other =
+          (*engines_)[j]->ActualLanguageModel().Find(term);
+      if (other != nullptr && other->ctf * 4 > score) distinctive = false;
+    }
+    if (distinctive) {
+      probe = term;
+      break;
+    }
+  }
+  ASSERT_FALSE(probe.empty());
+
+  auto ranking = service.Select(probe);
+  ASSERT_TRUE(ranking.ok()) << ranking.status().ToString();
+  ASSERT_EQ(ranking->size(), kNumDbs);
+  EXPECT_EQ((*ranking)[0].db_name, "svc-0");
+}
+
+TEST_F(ServiceTest, SelectBeforeRefreshFails) {
+  SamplingService service(BaseOptions());
+  ASSERT_TRUE(service.AddDatabase((*engines_)[0].get()).ok());
+  auto ranking = service.Select("anything");
+  ASSERT_FALSE(ranking.ok());
+  EXPECT_TRUE(ranking.status().IsFailedPrecondition());
+}
+
+TEST_F(ServiceTest, UnknownRankerRejected) {
+  SamplingService service(BaseOptions());
+  ASSERT_TRUE(service.AddDatabase((*engines_)[0].get()).ok());
+  ASSERT_TRUE(service.RefreshAll().ok());
+  EXPECT_TRUE(service.Select("x", "bogus").status().IsInvalidArgument());
+}
+
+TEST_F(ServiceTest, DuplicateAndNullDatabasesRejected) {
+  SamplingService service(BaseOptions());
+  ASSERT_TRUE(service.AddDatabase((*engines_)[0].get()).ok());
+  EXPECT_TRUE(
+      service.AddDatabase((*engines_)[0].get()).IsInvalidArgument());
+  EXPECT_TRUE(service.AddDatabase(nullptr).IsInvalidArgument());
+}
+
+TEST_F(ServiceTest, DeadDatabaseReportsErrorOthersSucceed) {
+  SamplingService service(BaseOptions());
+  DeadDatabase dead("dead-db");
+  ASSERT_TRUE(service.AddDatabase(&dead).ok());
+  ASSERT_TRUE(service.AddDatabase((*engines_)[0].get()).ok());
+
+  Status status = service.RefreshAll();
+  EXPECT_FALSE(status.ok());
+  // The healthy database still got its model.
+  EXPECT_FALSE(service.state()[0].has_model);
+  EXPECT_FALSE(service.state()[0].last_status.ok());
+  EXPECT_TRUE(service.state()[1].has_model);
+}
+
+TEST_F(ServiceTest, RefreshByNameResamples) {
+  SamplingService service(BaseOptions());
+  ASSERT_TRUE(service.AddDatabase((*engines_)[0].get()).ok());
+  ASSERT_TRUE(service.RefreshAll().ok());
+  size_t docs_before = service.state()[0].documents_examined;
+  ASSERT_TRUE(service.Refresh("svc-0").ok());
+  EXPECT_EQ(service.state()[0].documents_examined, docs_before);
+  EXPECT_TRUE(service.Refresh("no-such-db").IsNotFound());
+}
+
+TEST_F(ServiceTest, ModelsPersistAndWarmStart) {
+  fs::path dir = fs::temp_directory_path() / "qbs_service_models_test";
+  fs::remove_all(dir);
+
+  ServiceOptions opts = BaseOptions();
+  opts.model_dir = dir.string();
+  size_t vocab = 0;
+  {
+    SamplingService service(opts);
+    for (auto& engine : *engines_) {
+      ASSERT_TRUE(service.AddDatabase(engine.get()).ok());
+    }
+    ASSERT_TRUE(service.RefreshAll().ok());  // also persists
+    vocab = service.state()[0].learned.vocabulary_size();
+    ASSERT_GT(vocab, 0u);
+  }
+  // A fresh service instance warm-starts from disk, without sampling.
+  {
+    SamplingService service(opts);
+    for (auto& engine : *engines_) {
+      ASSERT_TRUE(service.AddDatabase(engine.get()).ok());
+    }
+    ASSERT_TRUE(service.LoadModels().ok());
+    EXPECT_TRUE(service.state()[0].has_model);
+    EXPECT_EQ(service.state()[0].learned.vocabulary_size(), vocab);
+    // Selection works immediately.
+    EXPECT_TRUE(service.Select("anything").ok());
+  }
+  fs::remove_all(dir);
+}
+
+TEST_F(ServiceTest, BootstrapFailsWhenNoSeedTermMatches) {
+  ServiceOptions opts = BaseOptions();
+  opts.seed_terms = {"qqqqzzzz", "xxxxyyyy"};  // retrieve nothing
+  SamplingService service(opts);
+  ASSERT_TRUE(service.AddDatabase((*engines_)[0].get()).ok());
+  Status status = service.RefreshAll();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsNotFound());
+}
+
+}  // namespace
+}  // namespace qbs

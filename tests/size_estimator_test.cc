@@ -1,0 +1,176 @@
+// Tests for capture-recapture database-size estimation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "sampling/size_estimator.h"
+
+namespace qbs {
+namespace {
+
+std::vector<std::string> Handles(int lo, int hi) {
+  std::vector<std::string> out;
+  for (int i = lo; i < hi; ++i) out.push_back("d" + std::to_string(i));
+  return out;
+}
+
+TEST(CaptureRecaptureTest, LincolnPetersenHandComputed) {
+  // n1=50, n2=40, overlap=20 -> N = 50*40/20 = 100.
+  SizeEstimate est =
+      CaptureRecapture(Handles(0, 50), Handles(30, 70),
+                       /*chapman_correction=*/false);
+  EXPECT_EQ(est.capture1, 50u);
+  EXPECT_EQ(est.capture2, 40u);
+  EXPECT_EQ(est.overlap, 20u);
+  EXPECT_DOUBLE_EQ(est.estimated_docs, 100.0);
+}
+
+TEST(CaptureRecaptureTest, ChapmanHandComputed) {
+  // Chapman: (51*41)/21 - 1 = 98.57...
+  SizeEstimate est = CaptureRecapture(Handles(0, 50), Handles(30, 70));
+  EXPECT_NEAR(est.estimated_docs, 51.0 * 41.0 / 21.0 - 1.0, 1e-12);
+}
+
+TEST(CaptureRecaptureTest, NoOverlapIsFiniteWithChapman) {
+  SizeEstimate est = CaptureRecapture(Handles(0, 10), Handles(10, 20));
+  EXPECT_EQ(est.overlap, 0u);
+  EXPECT_DOUBLE_EQ(est.estimated_docs, 11.0 * 11.0 - 1.0);
+  // Without Chapman, zero overlap is a degenerate 0 (documented).
+  SizeEstimate raw = CaptureRecapture(Handles(0, 10), Handles(10, 20), false);
+  EXPECT_DOUBLE_EQ(raw.estimated_docs, 0.0);
+}
+
+TEST(CaptureRecaptureTest, DuplicateHandlesCollapse) {
+  std::vector<std::string> dup = {"a", "a", "b", "b", "c"};
+  SizeEstimate est = CaptureRecapture(dup, dup, false);
+  EXPECT_EQ(est.capture1, 3u);
+  EXPECT_EQ(est.capture2, 3u);
+  EXPECT_EQ(est.overlap, 3u);
+  EXPECT_DOUBLE_EQ(est.estimated_docs, 3.0);
+}
+
+TEST(CaptureRecaptureTest, IdenticalFullCapturesEstimateExactly) {
+  SizeEstimate est = CaptureRecapture(Handles(0, 200), Handles(0, 200), false);
+  EXPECT_DOUBLE_EQ(est.estimated_docs, 200.0);
+}
+
+class SizeEstimatorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusSpec spec;
+    spec.name = "sizedb";
+    spec.num_docs = 1'000;
+    spec.vocab_size = 50'000;
+    spec.num_topics = 4;
+    spec.seed = 321;
+    auto engine = BuildSyntheticEngine(spec);
+    ASSERT_TRUE(engine.ok());
+    engine_ = engine->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static SearchEngine* engine_;
+};
+
+SearchEngine* SizeEstimatorTest::engine_ = nullptr;
+
+TEST_F(SizeEstimatorTest, EstimateIsWithinSmallFactorOfTruth) {
+  SizeEstimateOptions opts;
+  opts.docs_per_run = 150;
+  LanguageModel actual = engine_->ActualLanguageModel();
+  Rng rng(9);
+  opts.initial_term = *RandomEligibleTerm(actual, TermFilter{}, rng);
+  auto est = EstimateDatabaseSize(engine_, opts);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_EQ(est->capture1, 150u);
+  EXPECT_EQ(est->capture2, 150u);
+  EXPECT_GT(est->overlap, 0u);
+  // Query-based captures are popularity-biased, so expect a lower-bound
+  // flavored estimate; accept within a factor of [1/4, 2] of the truth.
+  EXPECT_GT(est->estimated_docs, 1000.0 / 4.0);
+  EXPECT_LT(est->estimated_docs, 2000.0);
+}
+
+TEST_F(SizeEstimatorTest, MoreCaptureDocsTightenTheEstimate) {
+  LanguageModel actual = engine_->ActualLanguageModel();
+  Rng rng(10);
+  std::string initial = *RandomEligibleTerm(actual, TermFilter{}, rng);
+  double err_small = 0.0, err_large = 0.0;
+  {
+    SizeEstimateOptions opts;
+    opts.docs_per_run = 60;
+    opts.initial_term = initial;
+    auto est = EstimateDatabaseSize(engine_, opts);
+    ASSERT_TRUE(est.ok());
+    err_small = std::abs(est->estimated_docs - 1000.0);
+  }
+  {
+    SizeEstimateOptions opts;
+    opts.docs_per_run = 300;
+    opts.initial_term = initial;
+    auto est = EstimateDatabaseSize(engine_, opts);
+    ASSERT_TRUE(est.ok());
+    err_large = std::abs(est->estimated_docs - 1000.0);
+  }
+  // Not guaranteed monotone per-seed, but 5x more data should not be
+  // dramatically worse.
+  EXPECT_LT(err_large, err_small * 2 + 100);
+}
+
+TEST_F(SizeEstimatorTest, NullDatabaseFails) {
+  SizeEstimateOptions opts;
+  opts.initial_term = "anything";
+  auto est = EstimateDatabaseSize(nullptr, opts);
+  ASSERT_FALSE(est.ok());
+  EXPECT_TRUE(est.status().IsFailedPrecondition());
+}
+
+TEST_F(SizeEstimatorTest, MissingInitialTermPropagates) {
+  SizeEstimateOptions opts;
+  opts.initial_term = "";
+  auto est = EstimateDatabaseSize(engine_, opts);
+  ASSERT_FALSE(est.ok());
+  EXPECT_TRUE(est.status().IsFailedPrecondition());
+}
+
+TEST(ProjectToDatabaseScaleTest, ScalesFrequenciesAndSize) {
+  LanguageModel learned;
+  learned.AddDocument({"apple", "apple", "bear"});
+  learned.AddDocument({"apple"});
+  // learned: 2 docs; project to 100 docs -> factor 50.
+  LanguageModel projected = ProjectToDatabaseScale(learned, 100.0);
+  EXPECT_EQ(projected.num_docs(), 100u);
+  EXPECT_EQ(projected.Find("apple")->df, 100u);   // 2 * 50
+  EXPECT_EQ(projected.Find("apple")->ctf, 150u);  // 3 * 50
+  EXPECT_EQ(projected.Find("bear")->df, 50u);
+}
+
+TEST(ProjectToDatabaseScaleTest, DegenerateInputsPassThrough) {
+  LanguageModel empty;
+  LanguageModel out = ProjectToDatabaseScale(empty, 100.0);
+  EXPECT_EQ(out.vocabulary_size(), 0u);
+  LanguageModel learned;
+  learned.AddDocument({"x"});
+  LanguageModel unscaled = ProjectToDatabaseScale(learned, 0.0);
+  EXPECT_EQ(unscaled.Find("x")->df, 1u);
+  EXPECT_EQ(unscaled.num_docs(), 1u);
+}
+
+TEST(ProjectToDatabaseScaleTest, RareTermsKeepAtLeastDfOne) {
+  LanguageModel learned;
+  for (int d = 0; d < 100; ++d) {
+    learned.AddDocument({"term" + std::to_string(d)});
+  }
+  // Projecting DOWN to 10 docs would round df to 0; it must clamp to 1.
+  LanguageModel projected = ProjectToDatabaseScale(learned, 10.0);
+  EXPECT_EQ(projected.Find("term0")->df, 1u);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,136 @@
+// Tests for the cooperative STARTS-style exchange and its failure modes.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "starts/starts.h"
+
+namespace qbs {
+namespace {
+
+std::unique_ptr<SearchEngine> SmallEngine(const std::string& name,
+                                          SearchEngineOptions opts = {}) {
+  auto engine = std::make_unique<SearchEngine>(name, std::move(opts));
+  EXPECT_TRUE(
+      engine->AddDocument("d1", "databases store many documents").ok());
+  EXPECT_TRUE(
+      engine->AddDocument("d2", "document retrieval ranks databases").ok());
+  return engine;
+}
+
+TEST(HonestSourceTest, ExportsTrueStatistics) {
+  auto engine = SmallEngine("honest");
+  HonestSource source(engine.get());
+  EXPECT_EQ(source.name(), "honest");
+  auto result = source.ExportLanguageModel();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->db_name, "honest");
+  EXPECT_EQ(result->num_docs, 2u);
+  EXPECT_TRUE(result->stemmed);
+  EXPECT_TRUE(result->stopwords_removed);
+  EXPECT_TRUE(result->case_folded);
+  // Matches the actual model exactly.
+  const TermStats* s = result->model.Find("databas");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->df, 2u);
+  EXPECT_EQ(s->ctf, 2u);
+}
+
+TEST(RefusingSourceTest, AlwaysFails) {
+  RefusingSource source("legacy-db");
+  EXPECT_EQ(source.name(), "legacy-db");
+  auto result = source.ExportLanguageModel();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnimplemented());
+}
+
+TEST(MisrepresentingSourceTest, InflatesFrequencies) {
+  auto engine = SmallEngine("liar");
+  MisrepresentationOptions opts;
+  opts.frequency_inflation = 10.0;
+  MisrepresentingSource source(engine.get(), opts);
+  auto result = source.ExportLanguageModel();
+  ASSERT_TRUE(result.ok());
+  const TermStats* s = result->model.Find("databas");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->df, 20u);   // true df 2, inflated 10x
+  EXPECT_EQ(s->ctf, 20u);
+}
+
+TEST(MisrepresentingSourceTest, InjectsAbsentTerms) {
+  auto engine = SmallEngine("spammer");
+  MisrepresentationOptions opts;
+  opts.injected_terms = {"viagra", "casino"};
+  opts.injected_df = 500;
+  opts.injected_ctf = 5000;
+  MisrepresentingSource source(engine.get(), opts);
+  auto result = source.ExportLanguageModel();
+  ASSERT_TRUE(result.ok());
+  const TermStats* s = result->model.Find("casino");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->df, 500u);
+  EXPECT_EQ(s->ctf, 5000u);
+  // The engine itself contains no such document: a query-based sample
+  // could never have learned this term.
+  EXPECT_FALSE(engine->ActualLanguageModel().Contains("casino"));
+}
+
+TEST(MisrepresentingSourceTest, NoOpOptionsExportTruth) {
+  auto engine = SmallEngine("accidentally-honest");
+  MisrepresentingSource source(engine.get(), MisrepresentationOptions{});
+  auto result = source.ExportLanguageModel();
+  ASSERT_TRUE(result.ok());
+  LanguageModel truth = engine->ActualLanguageModel();
+  EXPECT_EQ(result->model.vocabulary_size(), truth.vocabulary_size());
+  EXPECT_EQ(result->model.Find("databas")->df, truth.Find("databas")->df);
+}
+
+TEST(TermSpaceOverlapTest, IdenticalConventionsOverlapFully) {
+  auto a = SmallEngine("a");
+  auto b = SmallEngine("b");
+  double overlap = TermSpaceOverlap(a->ActualLanguageModel(),
+                                    b->ActualLanguageModel());
+  EXPECT_DOUBLE_EQ(overlap, 1.0);
+}
+
+TEST(TermSpaceOverlapTest, MismatchedStemmingShrinksOverlap) {
+  // The paper's incomparability problem (§2.2): one database stems, the
+  // other does not — their exported vocabularies barely align.
+  auto stemmed = SmallEngine("stemmed");
+  SearchEngineOptions raw_opts;
+  AnalyzerOptions aopts;
+  aopts.stem = false;
+  aopts.remove_stopwords = false;
+  raw_opts.analyzer = Analyzer(aopts);
+  auto raw = SmallEngine("raw", raw_opts);
+
+  double overlap = TermSpaceOverlap(raw->ActualLanguageModel(),
+                                    stemmed->ActualLanguageModel());
+  EXPECT_LT(overlap, 0.6);  // most of raw's mass ("the", "databases", ...)
+                            // is invisible to the stemmed term space
+}
+
+TEST(TermSpaceOverlapTest, EmptyModelConventions) {
+  LanguageModel empty;
+  LanguageModel nonempty;
+  nonempty.AddTerm("x", 1, 1);
+  EXPECT_DOUBLE_EQ(TermSpaceOverlap(empty, nonempty), 1.0);
+  EXPECT_DOUBLE_EQ(TermSpaceOverlap(nonempty, empty), 0.0);
+}
+
+TEST(CooperativeSourceTest, PolymorphicCollection) {
+  auto engine = SmallEngine("db1");
+  std::vector<std::unique_ptr<CooperativeSource>> sources;
+  sources.push_back(std::make_unique<HonestSource>(engine.get()));
+  sources.push_back(std::make_unique<RefusingSource>("db2"));
+  size_t exported = 0, refused = 0;
+  for (auto& source : sources) {
+    auto result = source->ExportLanguageModel();
+    result.ok() ? ++exported : ++refused;
+  }
+  EXPECT_EQ(exported, 1u);
+  EXPECT_EQ(refused, 1u);
+}
+
+}  // namespace
+}  // namespace qbs

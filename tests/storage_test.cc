@@ -1,0 +1,300 @@
+// Tests for the on-disk engine format: round trips, corruption detection,
+// and checksum verification.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "corpus/synthetic.h"
+#include "storage/engine_storage.h"
+#include "storage/file_io.h"
+
+namespace qbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("qbs_storage_test_" + tag + "_" +
+                  std::to_string(::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+// --- file_io primitives ---
+
+TEST(SectionIoTest, RoundTripsAllPrimitives) {
+  std::stringstream buf;
+  {
+    SectionWriter w(buf, "TESTMAG1");
+    w.WriteFixed32(0xDEADBEEF);
+    w.WriteFixed64(0x0123456789ABCDEFull);
+    w.WriteVarint32(300);
+    w.WriteVarint64(1ull << 60);
+    w.WriteString("hello world");
+    w.WriteString("");
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  SectionReader r(buf);
+  ASSERT_TRUE(r.ExpectMagic("TESTMAG1").ok());
+  uint32_t f32 = 0;
+  uint64_t f64 = 0, v64 = 0;
+  uint32_t v32 = 0;
+  std::string s1, s2;
+  ASSERT_TRUE(r.ReadFixed32(&f32).ok());
+  ASSERT_TRUE(r.ReadFixed64(&f64).ok());
+  ASSERT_TRUE(r.ReadVarint32(&v32).ok());
+  ASSERT_TRUE(r.ReadVarint64(&v64).ok());
+  ASSERT_TRUE(r.ReadString(&s1).ok());
+  ASSERT_TRUE(r.ReadString(&s2).ok());
+  EXPECT_EQ(f32, 0xDEADBEEF);
+  EXPECT_EQ(f64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(v32, 300u);
+  EXPECT_EQ(v64, 1ull << 60);
+  EXPECT_EQ(s1, "hello world");
+  EXPECT_EQ(s2, "");
+  EXPECT_TRUE(r.VerifyChecksum().ok());
+}
+
+TEST(SectionIoTest, WrongMagicRejected) {
+  std::stringstream buf;
+  {
+    SectionWriter w(buf, "TESTMAG1");
+    w.WriteFixed32(1);
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  SectionReader r(buf);
+  EXPECT_TRUE(r.ExpectMagic("OTHERMAG").IsCorruption());
+}
+
+TEST(SectionIoTest, FlippedBitFailsChecksum) {
+  std::stringstream buf;
+  {
+    SectionWriter w(buf, "TESTMAG1");
+    w.WriteString("payload payload payload");
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  std::string bytes = buf.str();
+  bytes[12] ^= 0x01;  // flip a payload bit
+  std::stringstream damaged(bytes);
+  SectionReader r(damaged);
+  ASSERT_TRUE(r.ExpectMagic("TESTMAG1").ok());
+  std::string s;
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_TRUE(r.VerifyChecksum().IsCorruption());
+}
+
+TEST(SectionIoTest, TruncationDetected) {
+  std::stringstream buf;
+  {
+    SectionWriter w(buf, "TESTMAG1");
+    w.WriteString("some payload");
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  std::string bytes = buf.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 12));
+  SectionReader r(truncated);
+  ASSERT_TRUE(r.ExpectMagic("TESTMAG1").ok());
+  std::string s;
+  Status status = r.ReadString(&s);
+  if (status.ok()) status = r.VerifyChecksum();
+  EXPECT_TRUE(status.IsCorruption());
+}
+
+TEST(SectionIoTest, OversizedStringRejected) {
+  std::stringstream buf;
+  {
+    SectionWriter w(buf, "TESTMAG1");
+    w.WriteString("0123456789");
+    ASSERT_TRUE(w.Finish().ok());
+  }
+  SectionReader r(buf);
+  ASSERT_TRUE(r.ExpectMagic("TESTMAG1").ok());
+  std::string s;
+  EXPECT_TRUE(r.ReadString(&s, /*max_len=*/4).IsCorruption());
+}
+
+// --- engine round trip ---
+
+class EngineStorageTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusSpec spec;
+    spec.name = "storagedb";
+    spec.num_docs = 400;
+    spec.vocab_size = 20'000;
+    spec.num_topics = 4;
+    spec.seed = 777;
+    auto engine = BuildSyntheticEngine(spec);
+    ASSERT_TRUE(engine.ok());
+    engine_ = engine->release();
+  }
+
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static SearchEngine* engine_;
+};
+
+SearchEngine* EngineStorageTest::engine_ = nullptr;
+
+TEST_F(EngineStorageTest, SaveAndOpenRoundTrip) {
+  std::string dir = TempDir("roundtrip");
+  ASSERT_TRUE(SaveEngine(*engine_, dir).ok());
+
+  auto reopened = OpenEngine(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->name(), engine_->name());
+  EXPECT_EQ((*reopened)->num_docs(), engine_->num_docs());
+  EXPECT_EQ((*reopened)->index().unique_terms(),
+            engine_->index().unique_terms());
+  EXPECT_EQ((*reopened)->index().total_terms(),
+            engine_->index().total_terms());
+  EXPECT_EQ((*reopened)->scorer_name(), engine_->scorer_name());
+  fs::remove_all(dir);
+}
+
+TEST_F(EngineStorageTest, ReopenedEngineAnswersQueriesIdentically) {
+  std::string dir = TempDir("queries");
+  ASSERT_TRUE(SaveEngine(*engine_, dir).ok());
+  auto reopened = OpenEngine(dir);
+  ASSERT_TRUE(reopened.ok());
+
+  // Use a handful of real terms from the corpus.
+  LanguageModel actual = engine_->ActualLanguageModel();
+  auto probes = actual.RankedTerms(TermMetric::kCtf, 8);
+  for (const auto& [term, score] : probes) {
+    auto original = engine_->RunQuery(term, 5);
+    auto restored = (*reopened)->RunQuery(term, 5);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(restored.ok());
+    ASSERT_EQ(original->size(), restored->size()) << term;
+    for (size_t i = 0; i < original->size(); ++i) {
+      EXPECT_EQ((*original)[i].handle, (*restored)[i].handle) << term;
+      EXPECT_DOUBLE_EQ((*original)[i].score, (*restored)[i].score) << term;
+    }
+  }
+  // Documents fetch identically too.
+  auto hits = engine_->RunQuery(probes[0].first, 1);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  auto t1 = engine_->FetchDocument((*hits)[0].handle);
+  auto t2 = (*reopened)->FetchDocument((*hits)[0].handle);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_EQ(*t1, *t2);
+  fs::remove_all(dir);
+}
+
+TEST_F(EngineStorageTest, ActualLanguageModelSurvivesRoundTrip) {
+  std::string dir = TempDir("lm");
+  ASSERT_TRUE(SaveEngine(*engine_, dir).ok());
+  auto reopened = OpenEngine(dir);
+  ASSERT_TRUE(reopened.ok());
+  LanguageModel before = engine_->ActualLanguageModel();
+  LanguageModel after = (*reopened)->ActualLanguageModel();
+  EXPECT_EQ(before.vocabulary_size(), after.vocabulary_size());
+  EXPECT_EQ(before.total_term_count(), after.total_term_count());
+  before.ForEach([&](const std::string& term, const TermStats& s) {
+    const TermStats* other = after.Find(term);
+    ASSERT_NE(other, nullptr) << term;
+    EXPECT_EQ(*other, s) << term;
+  });
+  fs::remove_all(dir);
+}
+
+TEST_F(EngineStorageTest, MissingDirectoryIsNotFound) {
+  auto r = OpenEngine("/nonexistent/qbs/engine/dir");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST_F(EngineStorageTest, CorruptedPostingFileDetected) {
+  std::string dir = TempDir("corrupt");
+  ASSERT_TRUE(SaveEngine(*engine_, dir).ok());
+  // Flip a byte in the middle of the postings file.
+  std::string path = dir + "/post.qbs";
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekp(static_cast<std::streamoff>(fs::file_size(path) / 2));
+  char byte = 0;
+  f.read(&byte, 1);
+  f.seekp(-1, std::ios::cur);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.write(&byte, 1);
+  f.close();
+
+  auto r = OpenEngine(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption()) << r.status().ToString();
+  fs::remove_all(dir);
+}
+
+TEST_F(EngineStorageTest, TruncatedDocsFileDetected) {
+  std::string dir = TempDir("trunc");
+  ASSERT_TRUE(SaveEngine(*engine_, dir).ok());
+  std::string path = dir + "/docs.qbs";
+  fs::resize_file(path, fs::file_size(path) - 64);
+  auto r = OpenEngine(dir);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCorruption());
+  fs::remove_all(dir);
+}
+
+TEST(EngineStorageOptionsTest, CustomAnalyzerConfigurationSurvives) {
+  StopwordList custom({"foo", "bar", "baz"});
+  SearchEngineOptions opts;
+  AnalyzerOptions aopts;
+  aopts.stem = false;
+  aopts.stopwords = &custom;
+  aopts.tokenizer.min_token_length = 2;
+  opts.analyzer = Analyzer(aopts);
+  opts.scorer = "bm25";
+  SearchEngine engine("customdb", opts);
+  ASSERT_TRUE(engine.AddDocument("d1", "foo keeps bar out baz stays").ok());
+
+  std::string dir = TempDir("custom");
+  ASSERT_TRUE(SaveEngine(engine, dir).ok());
+  auto reopened = OpenEngine(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+
+  const AnalyzerOptions& restored = (*reopened)->analyzer().options();
+  EXPECT_FALSE(restored.stem);
+  EXPECT_TRUE(restored.remove_stopwords);
+  EXPECT_EQ(restored.tokenizer.min_token_length, 2u);
+  ASSERT_NE(restored.stopwords, nullptr);
+  EXPECT_TRUE(restored.stopwords->Contains("foo"));
+  EXPECT_FALSE(restored.stopwords->Contains("the"));
+  EXPECT_EQ((*reopened)->scorer_name(), "bm25");
+
+  // The restored engine analyzes new queries with the restored config:
+  // "foo" is stopped, "keeps" matches unstemmed.
+  auto hits = (*reopened)->RunQuery("foo", 5);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+  hits = (*reopened)->RunQuery("keeps", 5);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+  fs::remove_all(dir);
+}
+
+TEST(EngineStorageEmptyTest, EmptyEngineRoundTrips) {
+  SearchEngine engine("emptydb");
+  std::string dir = TempDir("empty");
+  ASSERT_TRUE(SaveEngine(engine, dir).ok());
+  auto reopened = OpenEngine(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_docs(), 0u);
+  // And remains usable.
+  ASSERT_TRUE((*reopened)->AddDocument("d1", "now it has content").ok());
+  EXPECT_EQ((*reopened)->num_docs(), 1u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace qbs

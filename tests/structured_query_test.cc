@@ -1,0 +1,222 @@
+// Tests for the structured query parser and belief evaluation.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "search/query_parser.h"
+#include "search/search_engine.h"
+#include "search/structured_searcher.h"
+
+namespace qbs {
+namespace {
+
+// --- parser ---
+
+std::string Reparse(const std::string& query) {
+  auto parsed = ParseQuery(query);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return parsed.ok() ? (*parsed)->ToString() : "";
+}
+
+TEST(QueryParserTest, SingleTerm) {
+  auto q = ParseQuery("apple");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->op, QueryOp::kTerm);
+  EXPECT_EQ((*q)->term, "apple");
+}
+
+TEST(QueryParserTest, BareMultiTermBecomesImplicitSum) {
+  auto q = ParseQuery("apple banana cherry");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->op, QueryOp::kSum);
+  ASSERT_EQ((*q)->children.size(), 3u);
+  EXPECT_EQ((*q)->children[1]->term, "banana");
+}
+
+TEST(QueryParserTest, OperatorsParse) {
+  EXPECT_EQ(Reparse("#and(a b)"), "#and(a b)");
+  EXPECT_EQ(Reparse("#or(a b c)"), "#or(a b c)");
+  EXPECT_EQ(Reparse("#not(a)"), "#not(a)");
+  EXPECT_EQ(Reparse("#max(a b)"), "#max(a b)");
+  EXPECT_EQ(Reparse("#sum(a b)"), "#sum(a b)");
+}
+
+TEST(QueryParserTest, NestedOperators) {
+  EXPECT_EQ(Reparse("#and(#or(a b) #not(c))"), "#and(#or(a b) #not(c))");
+  EXPECT_EQ(Reparse("#sum(a #and(b #or(c d)))"),
+            "#sum(a #and(b #or(c d)))");
+}
+
+TEST(QueryParserTest, WsumParsesWeights) {
+  auto q = ParseQuery("#wsum(2 apple 1 banana)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ((*q)->op, QueryOp::kWsum);
+  ASSERT_EQ((*q)->children.size(), 2u);
+  ASSERT_EQ((*q)->weights.size(), 2u);
+  EXPECT_DOUBLE_EQ((*q)->weights[0], 2.0);
+  EXPECT_DOUBLE_EQ((*q)->weights[1], 1.0);
+  EXPECT_EQ(Reparse("#wsum(2 apple 1 banana)"), "#wsum(2 apple 1 banana)");
+}
+
+TEST(QueryParserTest, WhitespaceInsensitive) {
+  EXPECT_EQ(Reparse("  #and(  a    b )  "), "#and(a b)");
+}
+
+TEST(QueryParserTest, SyntaxErrors) {
+  for (const char* bad :
+       {"", "   ", "#and(", "#and()", "#bogus(a)", "#not(a b)", "#and a",
+        ")", "#wsum(apple)", "#wsum(2)", "#wsum(-1 apple)",
+        "#and(a))" }) {
+    auto q = ParseQuery(bad);
+    EXPECT_FALSE(q.ok()) << "should reject: " << bad;
+    if (!q.ok()) EXPECT_TRUE(q.status().IsInvalidArgument()) << bad;
+  }
+}
+
+TEST(QueryParserTest, ErrorsCarryOffset) {
+  auto q = ParseQuery("#and(a #bogus(b))");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("offset"), std::string::npos);
+}
+
+// --- evaluation ---
+
+class StructuredSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_unique<SearchEngine>("structured");
+    ASSERT_TRUE(engine_->AddDocument("both", "apple banana together").ok());
+    ASSERT_TRUE(engine_->AddDocument("apples", "apple apple apple only").ok());
+    ASSERT_TRUE(engine_->AddDocument("bananas", "banana banana only").ok());
+    ASSERT_TRUE(engine_->AddDocument("neither", "cherry grape kiwi").ok());
+  }
+
+  std::vector<std::string> Handles(const std::string& query, size_t k = 10) {
+    auto hits = engine_->RunStructuredQuery(query, k);
+    EXPECT_TRUE(hits.ok()) << hits.status().ToString();
+    std::vector<std::string> out;
+    if (hits.ok()) {
+      for (const auto& h : *hits) out.push_back(h.handle);
+    }
+    return out;
+  }
+
+  std::unique_ptr<SearchEngine> engine_;
+};
+
+TEST_F(StructuredSearchTest, AndPrefersDocsMatchingAllOperands) {
+  auto handles = Handles("#and(apple banana)");
+  ASSERT_FALSE(handles.empty());
+  EXPECT_EQ(handles[0], "both");
+  // "neither" matches no positive term and must be absent.
+  for (const auto& h : handles) EXPECT_NE(h, "neither");
+}
+
+TEST_F(StructuredSearchTest, OrMatchesEitherOperand) {
+  auto handles = Handles("#or(apple banana)");
+  // All three docs containing either term are returned; "both" ranks first.
+  EXPECT_EQ(handles.size(), 3u);
+  EXPECT_EQ(handles[0], "both");
+}
+
+TEST_F(StructuredSearchTest, NotDemotes) {
+  // Apple-only documents beat documents that also contain banana.
+  auto handles = Handles("#and(apple #not(banana))");
+  ASSERT_GE(handles.size(), 2u);
+  EXPECT_EQ(handles[0], "apples");
+}
+
+TEST_F(StructuredSearchTest, MaxTakesStrongestEvidence) {
+  auto with_max = engine_->RunStructuredQuery("#max(apple banana)", 10);
+  ASSERT_TRUE(with_max.ok());
+  // For the "apples" doc, max(apple-belief, default) == apple belief: the
+  // same as its belief under a pure apple query.
+  auto pure = engine_->RunStructuredQuery("apple", 10);
+  ASSERT_TRUE(pure.ok());
+  double max_score = 0.0, pure_score = 0.0;
+  for (const auto& h : *with_max) {
+    if (h.handle == "apples") max_score = h.score;
+  }
+  for (const auto& h : *pure) {
+    if (h.handle == "apples") pure_score = h.score;
+  }
+  EXPECT_DOUBLE_EQ(max_score, pure_score);
+}
+
+TEST_F(StructuredSearchTest, WsumWeightsShiftRanking) {
+  auto rank_of = [](const std::vector<std::string>& handles,
+                    const std::string& name) {
+    for (size_t i = 0; i < handles.size(); ++i) {
+      if (handles[i] == name) return i;
+    }
+    return handles.size();
+  };
+  // Weighted toward banana, the banana-heavy doc beats the apple-heavy one;
+  // reversing the weights reverses them.
+  auto banana_heavy = Handles("#wsum(1 apple 5 banana)");
+  EXPECT_LT(rank_of(banana_heavy, "bananas"), rank_of(banana_heavy, "apples"));
+  auto apple_heavy = Handles("#wsum(5 apple 1 banana)");
+  EXPECT_LT(rank_of(apple_heavy, "apples"), rank_of(apple_heavy, "bananas"));
+}
+
+TEST_F(StructuredSearchTest, BareQueryEqualsExplicitSum) {
+  auto bare = engine_->RunStructuredQuery("apple banana", 10);
+  auto expl = engine_->RunStructuredQuery("#sum(apple banana)", 10);
+  ASSERT_TRUE(bare.ok());
+  ASSERT_TRUE(expl.ok());
+  ASSERT_EQ(bare->size(), expl->size());
+  for (size_t i = 0; i < bare->size(); ++i) {
+    EXPECT_EQ((*bare)[i].handle, (*expl)[i].handle);
+    EXPECT_DOUBLE_EQ((*bare)[i].score, (*expl)[i].score);
+  }
+}
+
+TEST_F(StructuredSearchTest, BeliefsStayInUnitInterval) {
+  for (const char* q : {"#and(apple banana)", "#or(apple banana cherry)",
+                        "#not(apple)", "#wsum(3 apple 1 cherry)",
+                        "#max(apple banana)"}) {
+    auto hits = engine_->RunStructuredQuery(q, 10);
+    ASSERT_TRUE(hits.ok()) << q;
+    for (const auto& h : *hits) {
+      EXPECT_GE(h.score, 0.0) << q;
+      EXPECT_LE(h.score, 1.0) << q;
+    }
+  }
+}
+
+TEST_F(StructuredSearchTest, QueryTermsPassThroughDbAnalyzer) {
+  // "apples" stems to "appl"... the corpus's "apple" stems identically, so
+  // morphological variants match.
+  auto handles = Handles("apples");
+  EXPECT_FALSE(handles.empty());
+  // A stopword-only structured leaf matches nothing.
+  EXPECT_TRUE(Handles("#sum(the)").empty());
+}
+
+TEST_F(StructuredSearchTest, UnknownTermsMatchNothing) {
+  EXPECT_TRUE(Handles("zzzqqq").empty());
+  EXPECT_TRUE(Handles("#and(zzzqqq yyyxxx)").empty());
+}
+
+TEST_F(StructuredSearchTest, SyntaxErrorSurfacesAsInvalidArgument) {
+  auto hits = engine_->RunStructuredQuery("#and(apple", 10);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_TRUE(hits.status().IsInvalidArgument());
+}
+
+TEST_F(StructuredSearchTest, ZeroMaxResultsIsInvalid) {
+  auto hits = engine_->RunStructuredQuery("apple", 0);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_TRUE(hits.status().IsInvalidArgument());
+}
+
+TEST(StructuredSearchEmptyTest, EmptyIndexReturnsNothing) {
+  SearchEngine engine("empty");
+  auto hits = engine.RunStructuredQuery("#and(a b)", 10);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+}  // namespace
+}  // namespace qbs

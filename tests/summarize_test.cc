@@ -1,0 +1,113 @@
+// Tests for database-content summarization (paper §7, Table 4).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "summarize/summarizer.h"
+
+namespace qbs {
+namespace {
+
+LanguageModel SupportLikeModel() {
+  LanguageModel lm;
+  // Content terms with high avg_tf (concentrated repetition).
+  lm.AddTerm("excel", 20, 200);     // avg 10
+  lm.AddTerm("foxpro", 10, 80);     // avg 8
+  lm.AddTerm("windows", 40, 200);   // avg 5
+  // Broad, flat terms (low avg_tf despite high df).
+  lm.AddTerm("click", 100, 150);    // avg 1.5
+  lm.AddTerm("press", 90, 120);     // avg 1.33
+  // Stopwords with huge counts — must not appear in summaries.
+  lm.AddTerm("the", 200, 4000);
+  lm.AddTerm("and", 200, 3000);
+  // Noise: single-document term.
+  lm.AddTerm("xyzzy", 1, 50);
+  lm.set_num_docs(200);
+  return lm;
+}
+
+TEST(SummarizerTest, AvgTfRanksContentTermsFirst) {
+  DatabaseSummary s = SummarizeDatabase("support", SupportLikeModel());
+  ASSERT_GE(s.terms.size(), 3u);
+  EXPECT_EQ(s.db_name, "support");
+  EXPECT_EQ(s.terms[0].first, "excel");
+  EXPECT_EQ(s.terms[1].first, "foxpro");
+  EXPECT_EQ(s.terms[2].first, "windows");
+}
+
+TEST(SummarizerTest, StopwordsExcluded) {
+  DatabaseSummary s = SummarizeDatabase("support", SupportLikeModel());
+  for (const auto& [term, score] : s.terms) {
+    EXPECT_NE(term, "the");
+    EXPECT_NE(term, "and");
+  }
+}
+
+TEST(SummarizerTest, MinDfFiltersOneOffNoise) {
+  DatabaseSummary s = SummarizeDatabase("support", SupportLikeModel());
+  for (const auto& [term, score] : s.terms) {
+    EXPECT_NE(term, "xyzzy");  // df 1 < min_df 2, despite huge avg_tf
+  }
+}
+
+TEST(SummarizerTest, TopKLimitsOutput) {
+  SummaryOptions opts;
+  opts.top_k = 2;
+  DatabaseSummary s = SummarizeDatabase("support", SupportLikeModel(), opts);
+  ASSERT_EQ(s.terms.size(), 2u);
+  EXPECT_EQ(s.terms[0].first, "excel");
+}
+
+TEST(SummarizerTest, DfMetricPrefersBroadTerms) {
+  SummaryOptions opts;
+  opts.metric = TermMetric::kDf;
+  DatabaseSummary s = SummarizeDatabase("support", SupportLikeModel(), opts);
+  ASSERT_FALSE(s.terms.empty());
+  EXPECT_EQ(s.terms[0].first, "click");  // df 100, highest non-stopword
+  EXPECT_EQ(s.metric, TermMetric::kDf);
+}
+
+TEST(SummarizerTest, CtfMetric) {
+  SummaryOptions opts;
+  opts.metric = TermMetric::kCtf;
+  DatabaseSummary s = SummarizeDatabase("support", SupportLikeModel(), opts);
+  ASSERT_FALSE(s.terms.empty());
+  // excel and windows tie at ctf 200; lexicographic tie-break.
+  EXPECT_EQ(s.terms[0].first, "excel");
+  EXPECT_EQ(s.terms[1].first, "windows");
+}
+
+TEST(SummarizerTest, CustomStopwordList) {
+  StopwordList custom({"excel"});
+  SummaryOptions opts;
+  opts.stopwords = &custom;
+  DatabaseSummary s = SummarizeDatabase("support", SupportLikeModel(), opts);
+  ASSERT_FALSE(s.terms.empty());
+  // The custom list fully replaces the default: "excel" is suppressed and
+  // "the" (avg_tf 20, the new maximum) surfaces.
+  EXPECT_EQ(s.terms[0].first, "the");
+  for (const auto& [term, score] : s.terms) EXPECT_NE(term, "excel");
+}
+
+TEST(SummarizerTest, EmptyModelYieldsEmptySummary) {
+  LanguageModel empty;
+  DatabaseSummary s = SummarizeDatabase("empty", empty);
+  EXPECT_TRUE(s.terms.empty());
+}
+
+TEST(SummarizerTest, MinTermLengthFilters) {
+  LanguageModel lm;
+  lm.AddTerm("nt", 10, 100);
+  lm.AddTerm("windows", 10, 100);
+  SummaryOptions opts;
+  opts.min_term_length = 3;
+  DatabaseSummary s = SummarizeDatabase("db", lm, opts);
+  ASSERT_EQ(s.terms.size(), 1u);
+  EXPECT_EQ(s.terms[0].first, "windows");
+  // Default (2) keeps "nt", as in the paper's Table 4.
+  SummaryOptions defaults;
+  EXPECT_EQ(SummarizeDatabase("db", lm, defaults).terms.size(), 2u);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,358 @@
+// qbs command-line tool: sample databases, inspect and compare language
+// models, and rank databases from the shell.
+//
+//   qbs sample    --synthetic cacm | --trec FILE [options]  > model.lm
+//   qbs export    --synthetic cacm | --trec FILE [--out FILE]
+//   qbs stats     --trec FILE...
+//   qbs summarize --model FILE [--metric avg_tf] [--top N]
+//   qbs compare   --learned FILE --actual FILE
+//   qbs select    --query "..." --model NAME=FILE [--model NAME=FILE ...]
+//                 [--ranker cori|bgloss|vgloss|kl]
+//   qbs estimate  (--synthetic PRESET | --trec FILE) [--capture N]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus_stats.h"
+#include "corpus/synthetic.h"
+#include "corpus/trec_parser.h"
+#include "lm/metrics.h"
+#include "sampling/sampler.h"
+#include "sampling/size_estimator.h"
+#include "selection/db_selection.h"
+#include "summarize/summarizer.h"
+#include "util/string_util.h"
+
+namespace qbs {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, R"(usage:
+  qbs sample    (--synthetic cacm|wsj88|trec123|supportkb | --trec FILE)
+                [--docs N] [--docs-per-query N]
+                [--strategy random|df|ctf|avg_tf] [--seed N] [--out FILE]
+  qbs export    (--synthetic PRESET | --trec FILE) [--out FILE]
+                 writes the database's ACTUAL (cooperative) language model
+  qbs stats     --trec FILE [--trec FILE ...]
+  qbs summarize --model FILE [--metric df|ctf|avg_tf] [--top N]
+  qbs compare   --learned FILE --actual FILE
+  qbs select    --query "..." --model NAME=FILE [--model NAME=FILE ...]
+                [--ranker cori|bgloss|vgloss|kl]
+  qbs estimate  (--synthetic PRESET | --trec FILE) [--capture N]
+                 capture-recapture database size estimate
+
+Language models are read/written in the #QBSLM v1 text format.
+)");
+  return 2;
+}
+
+// Minimal flag parser: --key value pairs (repeatable keys collected).
+std::multimap<std::string, std::string> ParseFlags(int argc, char** argv,
+                                                   int start) {
+  std::multimap<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+      flags.emplace(arg.substr(2), argv[++i]);
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::multimap<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+Result<LanguageModel> LoadModelFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LanguageModel::Load(in);
+}
+
+Result<std::unique_ptr<SearchEngine>> BuildTrecEngine(
+    const std::string& path) {
+  auto engine = std::make_unique<SearchEngine>("trec:" + path);
+  Status add_ok = Status::OK();
+  auto stats = ParseTrecFile(
+      path, [&](const std::string& docno, const std::string& text) {
+        if (add_ok.ok()) add_ok = engine->AddDocument(docno, text);
+      });
+  if (!stats.ok()) return stats.status();
+  QBS_RETURN_IF_ERROR(add_ok);
+  engine->FinishLoading();
+  return engine;
+}
+
+Result<std::unique_ptr<SearchEngine>> BuildEngineFromFlags(
+    const std::multimap<std::string, std::string>& flags) {
+  std::string synthetic = FlagOr(flags, "synthetic", "");
+  std::string trec = FlagOr(flags, "trec", "");
+  if (!synthetic.empty()) {
+    SyntheticCorpusSpec spec;
+    if (synthetic == "cacm") {
+      spec = CacmLikeSpec();
+    } else if (synthetic == "wsj88") {
+      spec = Wsj88LikeSpec();
+    } else if (synthetic == "trec123") {
+      spec = Trec123LikeSpec();
+    } else if (synthetic == "supportkb") {
+      spec = SupportKbLikeSpec();
+    } else {
+      return Status::InvalidArgument("unknown synthetic preset: " + synthetic);
+    }
+    return BuildSyntheticEngine(spec);
+  }
+  if (!trec.empty()) return BuildTrecEngine(trec);
+  return Status::InvalidArgument("sample requires --synthetic or --trec");
+}
+
+TermMetric MetricFromName(const std::string& name) {
+  if (name == "df") return TermMetric::kDf;
+  if (name == "ctf") return TermMetric::kCtf;
+  return TermMetric::kAvgTf;
+}
+
+int CmdSample(const std::multimap<std::string, std::string>& flags) {
+  auto engine = BuildEngineFromFlags(flags);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "database '%s': %u documents\n",
+               (*engine)->name().c_str(), (*engine)->num_docs());
+
+  SamplerOptions opts;
+  opts.docs_per_query = std::stoul(FlagOr(flags, "docs-per-query", "4"));
+  opts.stopping.max_documents = std::stoul(FlagOr(flags, "docs", "300"));
+  opts.seed = std::stoull(FlagOr(flags, "seed", "7"));
+  std::string strategy = FlagOr(flags, "strategy", "random");
+  if (strategy == "df") {
+    opts.strategy = SelectionStrategy::kDfLearned;
+  } else if (strategy == "ctf") {
+    opts.strategy = SelectionStrategy::kCtfLearned;
+  } else if (strategy == "avg_tf") {
+    opts.strategy = SelectionStrategy::kAvgTfLearned;
+  } else {
+    opts.strategy = SelectionStrategy::kRandomLearned;
+  }
+  // Bootstrap the first query term from the database itself (any plausible
+  // dictionary word works in practice; this avoids shipping a wordlist).
+  {
+    LanguageModel actual = (*engine)->ActualLanguageModel();
+    Rng rng(opts.seed);
+    auto term = RandomEligibleTerm(actual, opts.filter, rng);
+    if (!term.has_value()) {
+      std::fprintf(stderr, "database has no eligible query terms\n");
+      return 1;
+    }
+    opts.initial_term = *term;
+  }
+
+  auto result = QueryBasedSampler(engine->get(), opts).Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "sampling failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "sampled %zu documents with %zu queries (%zu failed); learned "
+               "%zu terms; stop: %s\n",
+               result->documents_examined, result->queries_run,
+               result->failed_queries, result->learned.vocabulary_size(),
+               result->stop_reason.c_str());
+
+  std::string out_path = FlagOr(flags, "out", "");
+  Status save_status;
+  if (out_path.empty()) {
+    save_status = result->learned.Save(std::cout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    save_status = result->learned.Save(out);
+  }
+  if (!save_status.ok()) {
+    std::fprintf(stderr, "%s\n", save_status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdEstimate(const std::multimap<std::string, std::string>& flags) {
+  auto engine = BuildEngineFromFlags(flags);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  SizeEstimateOptions opts;
+  opts.docs_per_run = std::stoul(FlagOr(flags, "capture", "200"));
+  {
+    LanguageModel actual = (*engine)->ActualLanguageModel();
+    Rng rng(std::stoull(FlagOr(flags, "seed", "7")));
+    auto term = RandomEligibleTerm(actual, TermFilter{}, rng);
+    if (!term.has_value()) {
+      std::fprintf(stderr, "database has no eligible query terms\n");
+      return 1;
+    }
+    opts.initial_term = *term;
+  }
+  auto est = EstimateDatabaseSize(engine->get(), opts);
+  if (!est.ok()) {
+    std::fprintf(stderr, "%s\n", est.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("captures: %zu + %zu documents, overlap %zu, %zu queries\n",
+              est->capture1, est->capture2, est->overlap, est->queries_run);
+  std::printf("estimated database size: %.0f documents (actual: %u)\n",
+              est->estimated_docs, (*engine)->num_docs());
+  return 0;
+}
+
+int CmdExport(const std::multimap<std::string, std::string>& flags) {
+  auto engine = BuildEngineFromFlags(flags);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  LanguageModel actual = (*engine)->ActualLanguageModel();
+  std::string out_path = FlagOr(flags, "out", "");
+  Status save_status;
+  if (out_path.empty()) {
+    save_status = actual.Save(std::cout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    save_status = actual.Save(out);
+  }
+  if (!save_status.ok()) {
+    std::fprintf(stderr, "%s\n", save_status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int CmdStats(const std::multimap<std::string, std::string>& flags) {
+  auto range = flags.equal_range("trec");
+  if (range.first == range.second) return Usage();
+  for (auto it = range.first; it != range.second; ++it) {
+    auto engine = BuildTrecEngine(it->second);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 1;
+    }
+    CorpusStats stats = ComputeCorpusStats(**engine);
+    std::printf("%s: %s, %s docs, %s unique terms, %s total terms\n",
+                it->second.c_str(), HumanBytes(stats.bytes).c_str(),
+                WithThousands(stats.num_docs).c_str(),
+                WithThousands(stats.unique_terms).c_str(),
+                WithThousands(stats.total_terms).c_str());
+  }
+  return 0;
+}
+
+int CmdSummarize(const std::multimap<std::string, std::string>& flags) {
+  std::string path = FlagOr(flags, "model", "");
+  if (path.empty()) return Usage();
+  auto model = LoadModelFile(path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  SummaryOptions opts;
+  opts.metric = MetricFromName(FlagOr(flags, "metric", "avg_tf"));
+  opts.top_k = std::stoul(FlagOr(flags, "top", "25"));
+  DatabaseSummary summary = SummarizeDatabase(path, *model, opts);
+  for (const auto& [term, score] : summary.terms) {
+    std::printf("%-24s %10.3f\n", term.c_str(), score);
+  }
+  return 0;
+}
+
+int CmdCompare(const std::multimap<std::string, std::string>& flags) {
+  auto learned = LoadModelFile(FlagOr(flags, "learned", ""));
+  auto actual = LoadModelFile(FlagOr(flags, "actual", ""));
+  if (!learned.ok() || !actual.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 (!learned.ok() ? learned.status() : actual.status())
+                     .ToString()
+                     .c_str());
+    return 1;
+  }
+  // Learned models are raw; put them in the actual (stemmed) term space.
+  LmComparison cmp = CompareLanguageModels(learned->StemCollapsed(), *actual);
+  std::printf("vocabulary learned : %.2f%%\n", cmp.pct_vocab_learned * 100);
+  std::printf("ctf ratio          : %.2f%%\n", cmp.ctf_ratio * 100);
+  std::printf("spearman (df)      : %.4f\n", cmp.spearman_df);
+  std::printf("spearman (tie-corr): %.4f\n", cmp.spearman_df_tie_corrected);
+  std::printf("common terms       : %zu\n", cmp.common_terms);
+  return 0;
+}
+
+int CmdSelect(const std::multimap<std::string, std::string>& flags) {
+  std::string query = FlagOr(flags, "query", "");
+  if (query.empty()) return Usage();
+  DatabaseCollection dbs;
+  auto range = flags.equal_range("model");
+  for (auto it = range.first; it != range.second; ++it) {
+    size_t eq = it->second.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "--model expects NAME=FILE, got %s\n",
+                   it->second.c_str());
+      return 2;
+    }
+    auto model = LoadModelFile(it->second.substr(eq + 1));
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    dbs.Add(it->second.substr(0, eq), std::move(*model));
+  }
+  if (dbs.size() == 0) return Usage();
+
+  auto ranker = MakeRanker(FlagOr(flags, "ranker", "cori"), &dbs);
+  if (ranker == nullptr) {
+    std::fprintf(stderr, "unknown ranker\n");
+    return 2;
+  }
+  // Query terms go through the raw pipeline (models are raw learned LMs).
+  std::vector<std::string> terms = Analyzer::Raw().Analyze(query);
+  auto ranking = ranker->Rank(terms);
+  for (size_t i = 0; i < ranking.size(); ++i) {
+    std::printf("%2zu. %-24s %12.6f\n", i + 1, ranking[i].db_name.c_str(),
+                ranking[i].score);
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "sample") return CmdSample(flags);
+  if (cmd == "export") return CmdExport(flags);
+  if (cmd == "estimate") return CmdEstimate(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "summarize") return CmdSummarize(flags);
+  if (cmd == "compare") return CmdCompare(flags);
+  if (cmd == "select") return CmdSelect(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace qbs
+
+int main(int argc, char** argv) { return qbs::Main(argc, argv); }
