@@ -1,0 +1,137 @@
+// Microbenchmarks for the observability layer. The contract that keeps
+// instrumentation safe to leave in hot paths (and micro_sampling numbers
+// honest): counter increments and the disabled paths of QBS_LOG /
+// QBS_TRACE_SPAN must cost single-digit nanoseconds.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qbs {
+namespace {
+
+void BM_CounterIncrement(benchmark::State& state) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("bench_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_CounterIncrementContended(benchmark::State& state) {
+  static Counter* counter =
+      MetricRegistry::Default().GetCounter("bench_contended_total");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_CounterIncrementContended)->Threads(4);
+
+void BM_GaugeSet(benchmark::State& state) {
+  MetricRegistry registry;
+  Gauge* gauge = registry.GetGauge("bench_gauge");
+  double v = 0;
+  for (auto _ : state) {
+    gauge->Set(v);
+    v += 1.0;
+  }
+  benchmark::DoNotOptimize(gauge->value());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  MetricRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("bench_latency_us", Histogram::LatencyBoundsUs());
+  double v = 0;
+  for (auto _ : state) {
+    h->Observe(v);
+    v = v < 1e6 ? v * 1.1 + 1 : 0;  // sweep across buckets
+  }
+  benchmark::DoNotOptimize(h->count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_DisabledLog(benchmark::State& state) {
+  SetMinLogLevel(LogLevel::kWarning);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    QBS_LOG(DEBUG) << "never formatted " << ++i;
+  }
+  benchmark::DoNotOptimize(i);
+  SetMinLogLevel(LogLevel::kInfo);
+}
+BENCHMARK(BM_DisabledLog);
+
+void BM_EnabledLogNullSink(benchmark::State& state) {
+  SetMinLogLevel(LogLevel::kInfo);
+  SetLogSink([](const LogRecord&) {});
+  uint64_t i = 0;
+  for (auto _ : state) {
+    QBS_LOG(INFO) << "formatted " << ++i;
+  }
+  benchmark::DoNotOptimize(i);
+  SetLogSink(nullptr);
+}
+BENCHMARK(BM_EnabledLogNullSink);
+
+void BM_DisabledTraceSpan(benchmark::State& state) {
+  TraceRecorder::Global().set_enabled(false);
+  for (auto _ : state) {
+    QBS_TRACE_SPAN("bench.disabled");
+  }
+}
+BENCHMARK(BM_DisabledTraceSpan);
+
+void BM_EnabledTraceSpan(benchmark::State& state) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.set_enabled(true);
+  for (auto _ : state) {
+    QBS_TRACE_SPAN("bench.enabled");
+  }
+  recorder.set_enabled(false);
+  recorder.Clear();
+}
+BENCHMARK(BM_EnabledTraceSpan);
+
+void BM_ScopedTimer(benchmark::State& state) {
+  MetricRegistry registry;
+  Histogram* h =
+      registry.GetHistogram("bench_timer_us", Histogram::LatencyBoundsUs());
+  for (auto _ : state) {
+    ScopedTimerUs timer(h);
+    benchmark::DoNotOptimize(h);
+  }
+}
+BENCHMARK(BM_ScopedTimer);
+
+void BM_PrometheusExport(benchmark::State& state) {
+  MetricRegistry registry;
+  for (int i = 0; i < 64; ++i) {
+    registry.GetCounter("c" + std::to_string(i) + "_total")->Increment(i);
+  }
+  for (int i = 0; i < 8; ++i) {
+    registry.GetHistogram("h" + std::to_string(i),
+                          Histogram::LatencyBoundsUs())
+        ->Observe(i * 100.0);
+  }
+  for (auto _ : state) {
+    std::ostringstream out;
+    registry.ExportPrometheus(out);
+    benchmark::DoNotOptimize(out.str().size());
+  }
+}
+BENCHMARK(BM_PrometheusExport);
+
+}  // namespace
+}  // namespace qbs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+#include "obs/log.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/trace.h"  // MonotonicMicros, CurrentThreadId
+
+namespace qbs {
+
+namespace {
+
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("QBS_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  return ParseLogLevel(env, LogLevel::kInfo);
+}
+
+void DefaultSink(const LogRecord& record) {
+  // One fprintf so concurrent records stay line-atomic on POSIX stderr.
+  std::fprintf(stderr, "%c %llu.%06llu tid=%u %s:%d] %s\n",
+               LogLevelName(record.level)[0],
+               static_cast<unsigned long long>(record.timestamp_us / 1000000),
+               static_cast<unsigned long long>(record.timestamp_us % 1000000),
+               record.tid, record.file, record.line, record.message.c_str());
+}
+
+// The sink is swapped rarely (startup, tests); reads take the same mutex
+// because std::function cannot be read atomically.
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogSink& SinkStorage() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash == nullptr ? path : slash + 1;
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<int> g_min_log_level{static_cast<int>(InitialLogLevel())};
+}  // namespace internal
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarning: return "WARNING";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "UNKNOWN";
+}
+
+LogLevel ParseLogLevel(std::string_view name, LogLevel fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "d") return LogLevel::kDebug;
+  if (lower == "info" || lower == "i") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "w") {
+    return LogLevel::kWarning;
+  }
+  if (lower == "error" || lower == "e") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return fallback;
+}
+
+void SetMinLogLevel(LogLevel level) {
+  internal::g_min_log_level.store(static_cast<int>(level),
+                                  std::memory_order_relaxed);
+}
+
+LogLevel GetMinLogLevel() {
+  return static_cast<LogLevel>(
+      internal::g_min_log_level.load(std::memory_order_relaxed));
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  SinkStorage() = std::move(sink);
+}
+
+namespace internal {
+
+LogMessage::LogMessage(const char* file, int line, LogLevel level)
+    : file_(file), line_(line), level_(level) {}
+
+LogMessage::~LogMessage() {
+  LogRecord record;
+  record.level = level_;
+  record.file = Basename(file_);
+  record.line = line_;
+  record.timestamp_us = MonotonicMicros();
+  record.tid = CurrentThreadId();
+  record.message = stream_.str();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = SinkStorage();
+  if (sink) {
+    sink(record);
+  } else {
+    DefaultSink(record);
+  }
+}
+
+}  // namespace internal
+
+}  // namespace qbs

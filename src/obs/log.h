@@ -1,0 +1,137 @@
+// Structured leveled logging:
+//
+//   QBS_LOG(INFO) << "sampled " << n << " documents from " << db;
+//
+// extends the QBS_CHECK invariant macros in util/logging.h (which remain
+// the right tool for fatal invariants) with non-fatal diagnostics. A log
+// statement below the active level costs one relaxed atomic load and a
+// branch — the stream expression is never evaluated — so DEBUG logs can
+// sit in hot paths (see bench/micro_obs.cc).
+//
+// Each statement produces a LogRecord (level, file, line, timestamp,
+// thread, message) handed to a pluggable sink; the default sink writes
+// one line to stderr:
+//
+//   I 12.345678 tid=1 sampler.cc:42] sampled 300 documents
+//
+// The initial level is INFO, overridable with the QBS_LOG_LEVEL
+// environment variable (debug|info|warning|error|off).
+#ifndef QBS_OBS_LOG_H_
+#define QBS_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace qbs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  /// Not a message level: SetMinLogLevel(kOff) silences everything.
+  kOff = 4,
+};
+
+/// Stable one-word name ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
+/// Parses "debug"/"info"/"warning"/"error"/"off" (case-insensitive;
+/// also accepts the one-letter forms). Returns `fallback` on anything else.
+LogLevel ParseLogLevel(std::string_view name, LogLevel fallback);
+
+/// Minimum level that is emitted. Thread-safe.
+void SetMinLogLevel(LogLevel level);
+LogLevel GetMinLogLevel();
+
+namespace internal {
+extern std::atomic<int> g_min_log_level;
+
+// Targets of QBS_LOG's k##severity token paste.
+inline constexpr LogLevel kDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kINFO = LogLevel::kInfo;
+inline constexpr LogLevel kWARNING = LogLevel::kWarning;
+inline constexpr LogLevel kERROR = LogLevel::kError;
+}  // namespace internal
+
+/// True iff a message at `level` would be emitted. This is the only work
+/// a disabled log statement performs.
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         internal::g_min_log_level.load(std::memory_order_relaxed);
+}
+
+/// One emitted log statement, as handed to the sink.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  /// Basename of the source file (no directories).
+  const char* file = "";
+  int line = 0;
+  /// Microseconds since process start (MonotonicMicros clock).
+  uint64_t timestamp_us = 0;
+  /// Small dense thread id, consistent with trace events.
+  uint32_t tid = 0;
+  std::string message;
+};
+
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Replaces the sink; an empty function restores the default stderr sink.
+/// Not safe to call concurrently with logging from other threads — install
+/// sinks at startup (or around single-threaded test sections).
+void SetLogSink(LogSink sink);
+
+namespace internal {
+
+/// Accumulates one statement's stream and emits on destruction (end of
+/// the full expression).
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogLevel level);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the stream expression in the disabled branch of QBS_LOG while
+/// keeping the whole macro a single expression (usable in if/else without
+/// dangling-else warnings).
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+
+/// Leveled log statement. `severity` is one of DEBUG, INFO, WARNING, ERROR.
+#define QBS_LOG(severity)                                             \
+  (!::qbs::LogEnabled(::qbs::internal::k##severity))                  \
+      ? (void)0                                                       \
+      : ::qbs::internal::LogVoidify() &                               \
+            ::qbs::internal::LogMessage(__FILE__, __LINE__,           \
+                                        ::qbs::internal::k##severity) \
+                .stream()
+
+/// Like QBS_LOG(severity) but only when `cond` is true.
+#define QBS_LOG_IF(severity, cond)                                    \
+  (!((cond) && ::qbs::LogEnabled(::qbs::internal::k##severity)))      \
+      ? (void)0                                                       \
+      : ::qbs::internal::LogVoidify() &                               \
+            ::qbs::internal::LogMessage(__FILE__, __LINE__,           \
+                                        ::qbs::internal::k##severity) \
+                .stream()
+
+}  // namespace qbs
+
+#endif  // QBS_OBS_LOG_H_

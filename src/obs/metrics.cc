@@ -1,0 +1,281 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "obs/trace.h"  // MonotonicMicros
+
+namespace qbs {
+
+namespace {
+
+[[noreturn]] void MetricsFatal(const char* what, const std::string& name) {
+  std::fprintf(stderr, "qbs metrics: %s: %s\n", what, name.c_str());
+  std::abort();
+}
+
+/// Escapes a string for use inside a double-quoted JSON / Prometheus-label
+/// string (both use backslash escapes for the characters we emit).
+std::string EscapeQuoted(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// The metric family name: everything before the label block.
+std::string_view BaseName(std::string_view name) {
+  size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+/// Formats a double the way Prometheus expects (no trailing zeros noise,
+/// "+Inf" for infinity).
+std::string FormatValue(double v) {
+  if (v == std::numeric_limits<double>::infinity()) return "+Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+/// Splices extra labels (e.g. `le="5"`) into a possibly-labeled name:
+/// `h{db="a"}` + `le="5"` -> `h{db="a",le="5"}`.
+std::string NameWithExtraLabel(std::string_view name, const std::string& extra) {
+  size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    return std::string(name) + "{" + extra + "}";
+  }
+  std::string out(name.substr(0, name.size() - 1));  // drop trailing '}'
+  out += ",";
+  out += extra;
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+// --- Histogram ---
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::Observe(double value) {
+  // Buckets are few (tens); linear scan beats binary search on branch
+  // prediction for typical latency distributions and avoids any allocation.
+  size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.Add(value);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double v = start;
+  for (size_t i = 0; i < count; ++i) {
+    bounds.push_back(v);
+    v *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> Histogram::LatencyBoundsUs() {
+  // 1us, 4us, ..., ~1.05s: 11 buckets cover in-process queries through
+  // slow remote round trips.
+  return ExponentialBounds(1.0, 4.0, 11);
+}
+
+// --- MetricRegistry ---
+
+MetricRegistry& MetricRegistry::Default() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+std::string WithLabel(std::string_view name, std::string_view label_key,
+                      std::string_view label_value) {
+  std::string out(name);
+  out += "{";
+  out += label_key;
+  out += "=\"";
+  out += EscapeQuoted(label_value);
+  out += "\"}";
+  return out;
+}
+
+MetricRegistry::Entry* MetricRegistry::FindOrNull(const std::string& name) {
+  auto it = metrics_.find(name);
+  return it == metrics_.end() ? nullptr : &it->second;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name,
+                                    const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name)) {
+    if (e->kind != Kind::kCounter) MetricsFatal("metric kind mismatch", name);
+    return e->counter.get();
+  }
+  Entry& e = metrics_[name];
+  e.kind = Kind::kCounter;
+  e.help = help;
+  e.counter.reset(new Counter());
+  return e.counter.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name,
+                                const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name)) {
+    if (e->kind != Kind::kGauge) MetricsFatal("metric kind mismatch", name);
+    return e->gauge.get();
+  }
+  Entry& e = metrics_[name];
+  e.kind = Kind::kGauge;
+  e.help = help;
+  e.gauge.reset(new Gauge());
+  return e.gauge.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name,
+                                        std::vector<double> bounds,
+                                        const std::string& help) {
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end()) ||
+      std::adjacent_find(bounds.begin(), bounds.end()) != bounds.end()) {
+    MetricsFatal("histogram bounds must be non-empty, strictly ascending",
+                 name);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* e = FindOrNull(name)) {
+    if (e->kind != Kind::kHistogram) MetricsFatal("metric kind mismatch", name);
+    return e->histogram.get();
+  }
+  Entry& e = metrics_[name];
+  e.kind = Kind::kHistogram;
+  e.help = help;
+  e.histogram.reset(new Histogram(std::move(bounds)));
+  return e.histogram.get();
+}
+
+size_t MetricRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_.size();
+}
+
+void MetricRegistry::ExportPrometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string_view last_family;
+  for (const auto& [name, e] : metrics_) {
+    std::string_view family = BaseName(name);
+    if (family != last_family) {
+      // One HELP/TYPE header per family; labeled series share it.
+      const char* type = e.kind == Kind::kCounter   ? "counter"
+                         : e.kind == Kind::kGauge   ? "gauge"
+                                                    : "histogram";
+      if (!e.help.empty()) {
+        out << "# HELP " << family << " " << e.help << "\n";
+      }
+      out << "# TYPE " << family << " " << type << "\n";
+      last_family = family;
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << name << " " << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << name << " " << FormatValue(e.gauge->value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        std::vector<uint64_t> counts = h.bucket_counts();
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < counts.size(); ++i) {
+          cumulative += counts[i];
+          double le = i < h.bounds().size()
+                          ? h.bounds()[i]
+                          : std::numeric_limits<double>::infinity();
+          out << NameWithExtraLabel(name + "_bucket",
+                                    "le=\"" + FormatValue(le) + "\"")
+              << " " << cumulative << "\n";
+        }
+        out << name << "_sum " << FormatValue(h.sum()) << "\n";
+        out << name << "_count " << h.count() << "\n";
+        break;
+      }
+    }
+  }
+}
+
+void MetricRegistry::ExportJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto emit_group = [&](Kind kind, const char* key, auto&& emit_value) {
+    out << "\"" << key << "\":{";
+    bool first = true;
+    for (const auto& [name, e] : metrics_) {
+      if (e.kind != kind) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << EscapeQuoted(name) << "\":";
+      emit_value(e);
+    }
+    out << "}";
+  };
+  out << "{";
+  emit_group(Kind::kCounter, "counters",
+             [&](const Entry& e) { out << e.counter->value(); });
+  out << ",";
+  emit_group(Kind::kGauge, "gauges",
+             [&](const Entry& e) { out << FormatValue(e.gauge->value()); });
+  out << ",";
+  emit_group(Kind::kHistogram, "histograms", [&](const Entry& e) {
+    const Histogram& h = *e.histogram;
+    std::vector<uint64_t> counts = h.bucket_counts();
+    out << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+        << ",\"buckets\":[";
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out << ",";
+      double le = i < h.bounds().size()
+                      ? h.bounds()[i]
+                      : std::numeric_limits<double>::infinity();
+      out << "{\"le\":\"" << FormatValue(le) << "\",\"count\":" << counts[i]
+          << "}";
+    }
+    out << "]}";
+  });
+  out << "}";
+}
+
+// --- ScopedTimerUs ---
+
+ScopedTimerUs::ScopedTimerUs(Histogram* histogram)
+    : histogram_(histogram), start_us_(histogram ? MonotonicMicros() : 0) {}
+
+ScopedTimerUs::~ScopedTimerUs() {
+  if (histogram_ != nullptr) {
+    histogram_->Observe(static_cast<double>(MonotonicMicros() - start_us_));
+  }
+}
+
+}  // namespace qbs

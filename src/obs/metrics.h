@@ -1,0 +1,197 @@
+// Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+//
+// The paper's claims are quantitative (ctf ratio vs. documents examined,
+// "resource requirements ... are low", §9), so the running system must be
+// able to report those quantities live, not only via post-hoc bench
+// binaries. This registry is the single place instrumented code publishes
+// to, and the exposition formats (Prometheus text, JSON) are what
+// `qbs_cli --metrics_out=` and any future HTTP endpoint dump.
+//
+// Hot-path contract: Counter::Increment, Gauge::Set and
+// Histogram::Observe are lock-free (relaxed atomics) and safe to call
+// from any thread. Only metric *registration* (GetCounter / GetGauge /
+// GetHistogram) takes a lock — instrumented code is expected to look its
+// metrics up once (function-local static) and then increment freely.
+#ifndef QBS_OBS_METRICS_H_
+#define QBS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qbs {
+
+namespace internal {
+
+/// Atomic double with add support implemented as a CAS loop, so it works
+/// on toolchains without C++20 atomic<double>::fetch_add.
+class AtomicDouble {
+ public:
+  void Set(double v) { bits_.store(ToBits(v), std::memory_order_relaxed); }
+  void Add(double d) {
+    uint64_t old_bits = bits_.load(std::memory_order_relaxed);
+    while (!bits_.compare_exchange_weak(old_bits, ToBits(FromBits(old_bits) + d),
+                                        std::memory_order_relaxed)) {
+    }
+  }
+  double Get() const { return FromBits(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  static uint64_t ToBits(double v) {
+    uint64_t b;
+    static_assert(sizeof(b) == sizeof(v));
+    __builtin_memcpy(&b, &v, sizeof(b));
+    return b;
+  }
+  static double FromBits(uint64_t b) {
+    double v;
+    __builtin_memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+  std::atomic<uint64_t> bits_{0};  // 0 bits == 0.0
+};
+
+}  // namespace internal
+
+/// A monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricRegistry;
+  Counter() = default;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A gauge: a value that can go up and down (queue depth, convergence).
+class Gauge {
+ public:
+  void Set(double v) { value_.Set(v); }
+  void Add(double d) { value_.Add(d); }
+  double value() const { return value_.Get(); }
+
+ private:
+  friend class MetricRegistry;
+  Gauge() = default;
+  internal::AtomicDouble value_;
+};
+
+/// A histogram with fixed bucket upper bounds (Prometheus `le` semantics:
+/// an observation lands in the first bucket whose bound is >= value; an
+/// implicit +Inf bucket catches the rest). Bounds are fixed at
+/// registration so Observe never allocates.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  /// Observations recorded so far.
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  /// Sum of observed values.
+  double sum() const { return sum_.Get(); }
+  /// Upper bounds, ascending, excluding the +Inf bucket.
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket observation counts; size() == bounds().size() + 1, the
+  /// last entry being the +Inf bucket. Non-cumulative.
+  std::vector<uint64_t> bucket_counts() const;
+
+  /// `count` bounds starting at `start`, each `factor` times the previous
+  /// (the usual shape for latency histograms).
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               size_t count);
+  /// 1us .. ~1s in x4 steps — the default for query-latency histograms.
+  static std::vector<double> LatencyBoundsUs();
+
+ private:
+  friend class MetricRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  internal::AtomicDouble sum_;
+};
+
+/// Builds a labeled metric name: WithLabel("x_total", "db", "a") ==
+/// `x_total{db="a"}`. Label values are escaped per the Prometheus text
+/// format. Metrics sharing a base name (the part before '{') are grouped
+/// under one TYPE line on export.
+std::string WithLabel(std::string_view name, std::string_view label_key,
+                      std::string_view label_value);
+
+/// A named collection of metrics. Thread-safe. Registered metrics live as
+/// long as the registry and their pointers are stable, so callers cache
+/// them. Re-registering an existing name returns the same metric (the
+/// kind must match; a mismatch aborts — it is a programming error).
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide default registry used by library instrumentation.
+  static MetricRegistry& Default();
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// `bounds` must be non-empty and strictly ascending.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const std::string& help = "");
+
+  /// Number of registered metrics.
+  size_t size() const;
+
+  /// Prometheus text exposition format v0.0.4 (`# HELP` / `# TYPE` plus
+  /// one line per sample; histograms expand to cumulative `_bucket`
+  /// series with `le` labels plus `_sum` and `_count`).
+  void ExportPrometheus(std::ostream& out) const;
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, buckets: [{le, count}...]}}}.
+  void ExportJson(std::ostream& out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindOrNull(const std::string& name);
+
+  mutable std::mutex mu_;
+  // Ordered so exports are deterministic; pointers into Entry are stable
+  // because entries are never erased.
+  std::map<std::string, Entry> metrics_;
+};
+
+/// Observes elapsed wall time (microseconds) into a histogram when it
+/// goes out of scope. `histogram` may be null (no-op), so call sites can
+/// keep one code path whether or not metrics are enabled.
+class ScopedTimerUs {
+ public:
+  explicit ScopedTimerUs(Histogram* histogram);
+  ~ScopedTimerUs();
+  ScopedTimerUs(const ScopedTimerUs&) = delete;
+  ScopedTimerUs& operator=(const ScopedTimerUs&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_us_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_OBS_METRICS_H_

@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+namespace qbs {
+
+namespace internal {
+
+// Dense ids keep traces readable; the raw std::thread::id would render as
+// an opaque large integer.
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace internal
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t MonotonicMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Record(std::string name, uint64_t start_us,
+                           uint64_t duration_us) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  event.tid = internal::CurrentThreadId();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[total_ % capacity_] = std::move(event);
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) return ring_;
+  // Ring is full: slot total_ % capacity_ holds the oldest event.
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  size_t oldest = total_ % capacity_;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    events.push_back(ring_[(oldest + i) % capacity_]);
+  }
+  return events;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceRecorder::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  total_ = 0;
+}
+
+void TraceRecorder::DumpChromeTrace(std::ostream& out) const {
+  std::vector<TraceEvent> events = Events();
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << JsonEscape(e.name)
+        << "\",\"cat\":\"qbs\",\"ph\":\"X\",\"ts\":" << e.start_us
+        << ",\"dur\":" << e.duration_us << ",\"pid\":1,\"tid\":" << e.tid
+        << "}";
+  }
+  out << "]}";
+}
+
+void TraceSpan::Start(std::string_view name, std::string_view detail) {
+  active_ = true;
+  name_ = name;
+  if (!detail.empty()) {
+    name_ += "/";
+    name_ += detail;
+  }
+  start_us_ = MonotonicMicros();
+}
+
+void TraceSpan::Finish() {
+  // Re-check enabled so a span that straddles disable is simply dropped.
+  TraceRecorder& recorder = TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  recorder.Record(std::move(name_), start_us_,
+                  MonotonicMicros() - start_us_);
+}
+
+}  // namespace qbs

@@ -1,0 +1,121 @@
+// Trace spans: scoped wall-clock timing of named code regions, recorded
+// into a fixed-capacity ring buffer and exportable as Chrome trace_event
+// JSON (load the file at chrome://tracing or https://ui.perfetto.dev).
+//
+// Tracing is off by default. The disabled path of QBS_TRACE_SPAN is one
+// relaxed atomic load and a branch (sub-nanosecond-to-a-few-ns — see
+// bench/micro_obs.cc), so spans can stay in hot paths permanently. When
+// enabled, recording takes a short mutex; spans are coarse (per query,
+// per database refresh), so contention is negligible.
+#ifndef QBS_OBS_TRACE_H_
+#define QBS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qbs {
+
+/// Microseconds on a monotonic clock, measured from process start.
+uint64_t MonotonicMicros();
+
+namespace internal {
+/// Small dense id (1, 2, ...) for the calling thread, shared between
+/// trace events and log records so the two can be correlated.
+uint32_t CurrentThreadId();
+}  // namespace internal
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  /// Stable small integer identifying the recording thread.
+  uint32_t tid = 0;
+};
+
+/// Fixed-capacity ring buffer of completed spans. When full, the oldest
+/// events are overwritten — a trace is a window onto recent activity, not
+/// an unbounded log.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 1 << 16);
+
+  /// The process-wide recorder QBS_TRACE_SPAN records into.
+  static TraceRecorder& Global();
+
+  /// Enables/disables recording. Cheap to query (relaxed atomic).
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one completed span (call-site: TraceSpan destructor).
+  void Record(std::string name, uint64_t start_us, uint64_t duration_us);
+
+  /// Events currently buffered, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Number of buffered events (<= capacity).
+  size_t size() const;
+  /// Total events ever recorded, including overwritten ones.
+  uint64_t total_recorded() const;
+
+  /// Discards all buffered events.
+  void Clear();
+
+  /// Writes the buffered events as Chrome trace_event JSON ("X" complete
+  /// events; ts/dur in microseconds).
+  void DumpChromeTrace(std::ostream& out) const;
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t capacity_;
+  uint64_t total_ = 0;  // ring slot of the next write is total_ % capacity_
+};
+
+/// RAII span: captures the start time on construction (only when the
+/// global recorder is enabled) and records name + duration on
+/// destruction. The two-argument form appends "/<detail>" to the name for
+/// per-entity spans such as `service.refresh/<database>`.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name) {
+    if (TraceRecorder::Global().enabled()) Start(name, {});
+  }
+  TraceSpan(std::string_view name, std::string_view detail) {
+    if (TraceRecorder::Global().enabled()) Start(name, detail);
+  }
+  ~TraceSpan() {
+    if (active_) Finish();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Start(std::string_view name, std::string_view detail);
+  void Finish();
+
+  bool active_ = false;
+  std::string name_;
+  uint64_t start_us_ = 0;
+};
+
+#define QBS_OBS_CONCAT_INNER_(a, b) a##b
+#define QBS_OBS_CONCAT_(a, b) QBS_OBS_CONCAT_INNER_(a, b)
+
+/// Declares a scope-local span. Near-zero cost while tracing is disabled.
+///   QBS_TRACE_SPAN("sampler.query");
+///   QBS_TRACE_SPAN("service.refresh", db_name);
+#define QBS_TRACE_SPAN(...) \
+  ::qbs::TraceSpan QBS_OBS_CONCAT_(_qbs_trace_span_, __LINE__)(__VA_ARGS__)
+
+}  // namespace qbs
+
+#endif  // QBS_OBS_TRACE_H_

@@ -5,18 +5,26 @@
 // CostMeter is a transparent TextDatabase decorator that measures exactly
 // those quantities for any client (sampler, size estimator, service), so
 // the claim is checkable rather than asserted.
+//
+// Besides its local counters (readable via costs()), a meter publishes
+// every increment to per-database labeled counters in a MetricRegistry —
+// `qbs_cost_queries_total{db="<name>"}` and friends — so federation-wide
+// cost accounting shows up in the same exposition as every other metric
+// instead of living in a silo.
 #ifndef QBS_SAMPLING_COST_METER_H_
 #define QBS_SAMPLING_COST_METER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.h"
 #include "search/text_database.h"
 #include "util/logging.h"
 
 namespace qbs {
 
-/// Accumulated interaction costs.
+/// Accumulated interaction costs (a snapshot; see CostMeter::costs()).
 struct InteractionCosts {
   /// Queries issued (RunQuery calls).
   uint64_t queries = 0;
@@ -36,25 +44,58 @@ struct InteractionCosts {
 };
 
 /// Counts every interaction passing through to the wrapped database.
-/// Thread-compatible, like TextDatabase implementations themselves.
+///
+/// Thread-safety contract: counter updates are relaxed atomics, so
+/// concurrent RunQuery/FetchDocument calls through one meter never lose
+/// counts and never race — provided the *wrapped* database tolerates the
+/// same concurrency (SearchEngine, for one, is only thread-compatible).
+/// costs() assembles a snapshot field by field; under concurrent traffic
+/// the fields may be mutually inconsistent by a few in-flight operations,
+/// which is fine for accounting. Reset() is not atomic with respect to
+/// concurrent increments: quiesce traffic first if exact zeroing matters.
 class CostMeter : public TextDatabase {
  public:
-  /// `inner` must outlive the meter.
-  explicit CostMeter(TextDatabase* inner) : inner_(inner) {
+  /// `inner` must outlive the meter. Metrics are published to `registry`
+  /// (default: the process-wide registry) under the wrapped database's
+  /// name; pass nullptr for a silent meter (local counters only).
+  explicit CostMeter(TextDatabase* inner,
+                     MetricRegistry* registry = &MetricRegistry::Default())
+      : inner_(inner) {
     QBS_CHECK(inner_ != nullptr);
+    if (registry != nullptr) {
+      const std::string db = inner_->name();
+      queries_published_ = registry->GetCounter(
+          WithLabel("qbs_cost_queries_total", "db", db),
+          "Queries issued to the database");
+      query_bytes_published_ = registry->GetCounter(
+          WithLabel("qbs_cost_query_bytes_total", "db", db),
+          "Query text bytes sent (uplink proxy)");
+      hits_published_ = registry->GetCounter(
+          WithLabel("qbs_cost_hits_returned_total", "db", db),
+          "Result-list entries returned");
+      documents_published_ = registry->GetCounter(
+          WithLabel("qbs_cost_documents_fetched_total", "db", db),
+          "Documents fetched successfully");
+      document_bytes_published_ = registry->GetCounter(
+          WithLabel("qbs_cost_document_bytes_total", "db", db),
+          "Document text bytes transferred (downlink proxy)");
+      errors_published_ = registry->GetCounter(
+          WithLabel("qbs_cost_errors_total", "db", db),
+          "Failed interactions of either kind");
+    }
   }
 
   std::string name() const override { return inner_->name(); }
 
   Result<std::vector<SearchHit>> RunQuery(std::string_view query,
                                           size_t max_results) override {
-    ++costs_.queries;
-    costs_.query_bytes += query.size();
+    Bump(queries_, queries_published_, 1);
+    Bump(query_bytes_, query_bytes_published_, query.size());
     auto hits = inner_->RunQuery(query, max_results);
     if (hits.ok()) {
-      costs_.hits_returned += hits->size();
+      Bump(hits_returned_, hits_published_, hits->size());
     } else {
-      ++costs_.errors;
+      Bump(errors_, errors_published_, 1);
     }
     return hits;
   }
@@ -62,23 +103,57 @@ class CostMeter : public TextDatabase {
   Result<std::string> FetchDocument(std::string_view handle) override {
     auto text = inner_->FetchDocument(handle);
     if (text.ok()) {
-      ++costs_.documents_fetched;
-      costs_.document_bytes += text->size();
+      Bump(documents_fetched_, documents_published_, 1);
+      Bump(document_bytes_, document_bytes_published_, text->size());
     } else {
-      ++costs_.errors;
+      Bump(errors_, errors_published_, 1);
     }
     return text;
   }
 
-  /// Costs accumulated so far.
-  const InteractionCosts& costs() const { return costs_; }
+  /// Snapshot of the costs accumulated so far.
+  InteractionCosts costs() const {
+    InteractionCosts c;
+    c.queries = queries_.load(std::memory_order_relaxed);
+    c.query_bytes = query_bytes_.load(std::memory_order_relaxed);
+    c.hits_returned = hits_returned_.load(std::memory_order_relaxed);
+    c.documents_fetched = documents_fetched_.load(std::memory_order_relaxed);
+    c.document_bytes = document_bytes_.load(std::memory_order_relaxed);
+    c.errors = errors_.load(std::memory_order_relaxed);
+    return c;
+  }
 
-  /// Resets the counters (e.g. between experiment phases).
-  void Reset() { costs_ = InteractionCosts(); }
+  /// Resets the local counters (e.g. between experiment phases). The
+  /// published registry counters are monotonic and are not reset.
+  void Reset() {
+    queries_.store(0, std::memory_order_relaxed);
+    query_bytes_.store(0, std::memory_order_relaxed);
+    hits_returned_.store(0, std::memory_order_relaxed);
+    documents_fetched_.store(0, std::memory_order_relaxed);
+    document_bytes_.store(0, std::memory_order_relaxed);
+    errors_.store(0, std::memory_order_relaxed);
+  }
 
  private:
+  static void Bump(std::atomic<uint64_t>& local, Counter* published,
+                   uint64_t n) {
+    local.fetch_add(n, std::memory_order_relaxed);
+    if (published != nullptr) published->Increment(n);
+  }
+
   TextDatabase* inner_;
-  InteractionCosts costs_;
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> query_bytes_{0};
+  std::atomic<uint64_t> hits_returned_{0};
+  std::atomic<uint64_t> documents_fetched_{0};
+  std::atomic<uint64_t> document_bytes_{0};
+  std::atomic<uint64_t> errors_{0};
+  Counter* queries_published_ = nullptr;
+  Counter* query_bytes_published_ = nullptr;
+  Counter* hits_published_ = nullptr;
+  Counter* documents_published_ = nullptr;
+  Counter* document_bytes_published_ = nullptr;
+  Counter* errors_published_ = nullptr;
 };
 
 }  // namespace qbs

@@ -1,9 +1,69 @@
 #include "sampling/sampler.h"
 
 #include "lm/metrics.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/porter_stemmer.h"
 
 namespace qbs {
+
+namespace {
+
+// Registered once, incremented lock-free thereafter. Counters are
+// process-wide totals across all sampling runs; the convergence gauges
+// reflect the most recent round of whichever sampler updated them last
+// (one sampler per database at a time in the service).
+struct SamplerMetrics {
+  Counter* queries;
+  Counter* failed_queries;
+  Counter* documents;
+  Counter* duplicate_hits;
+  Counter* database_errors;
+  Histogram* query_latency_us;
+  Histogram* fetch_latency_us;
+  Gauge* unique_terms;
+  Gauge* ctf_ratio_proxy;
+
+  static const SamplerMetrics& Get() {
+    static const SamplerMetrics m = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      SamplerMetrics m;
+      m.queries = r.GetCounter("qbs_sampler_queries_total",
+                               "Sampling queries issued");
+      m.failed_queries = r.GetCounter("qbs_sampler_failed_queries_total",
+                                      "Sampling queries returning no hits");
+      m.documents = r.GetCounter("qbs_sampler_documents_total",
+                                 "Unique documents examined by samplers");
+      m.duplicate_hits =
+          r.GetCounter("qbs_sampler_duplicate_hits_total",
+                       "Hits pointing at already-examined documents");
+      m.database_errors =
+          r.GetCounter("qbs_sampler_database_errors_total",
+                       "Tolerated database errors during sampling");
+      m.query_latency_us =
+          r.GetHistogram("qbs_sampler_query_latency_us",
+                         Histogram::LatencyBoundsUs(),
+                         "RunQuery latency seen by the sampler (us)");
+      m.fetch_latency_us =
+          r.GetHistogram("qbs_sampler_fetch_latency_us",
+                         Histogram::LatencyBoundsUs(),
+                         "FetchDocument latency seen by the sampler (us)");
+      m.unique_terms =
+          r.GetGauge("qbs_sampler_unique_terms",
+                     "Learned-model vocabulary size, most recent round");
+      m.ctf_ratio_proxy = r.GetGauge(
+          "qbs_sampler_ctf_ratio_proxy",
+          "1 - vocabulary/occurrences of the learned model: the repeat-"
+          "occurrence fraction, a model-free convergence proxy for the "
+          "paper's ctf ratio");
+      return m;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 QueryBasedSampler::QueryBasedSampler(TextDatabase* db, SamplerOptions options)
     : db_(db), options_(std::move(options)) {}
@@ -25,6 +85,11 @@ Result<SamplingResult> QueryBasedSampler::Run() {
         "kRandomOther requires options.other_model");
   }
 
+  const SamplerMetrics& metrics = SamplerMetrics::Get();
+  QBS_TRACE_SPAN("sampler.run", db_->name());
+  QBS_LOG(DEBUG) << "sampling '" << db_->name() << "' starting from term '"
+                 << options_.initial_term << "'";
+
   Rng rng(options_.seed);
   std::unique_ptr<TermSelector> selector = MakeTermSelector(
       options_.strategy, options_.filter, options_.other_model);
@@ -43,9 +108,12 @@ Result<SamplingResult> QueryBasedSampler::Run() {
 
   // Tolerates up to max_database_errors transient failures; returns the
   // error once the budget is exceeded.
-  auto tolerate = [&](const Status&) -> bool {
+  auto tolerate = [&](const Status& status) -> bool {
     if (result.database_errors < options_.max_database_errors) {
       ++result.database_errors;
+      metrics.database_errors->Increment();
+      QBS_LOG(WARNING) << "tolerated database error from '" << db_->name()
+                       << "': " << status.ToString();
       return true;
     }
     return false;
@@ -56,8 +124,12 @@ Result<SamplingResult> QueryBasedSampler::Run() {
     used_terms.insert(term);
     stopping.OnQuery();
 
-    Result<std::vector<SearchHit>> query_result =
-        db_->RunQuery(term, options_.docs_per_query);
+    Result<std::vector<SearchHit>> query_result = [&] {
+      QBS_TRACE_SPAN("sampler.query");
+      ScopedTimerUs timer(metrics.query_latency_us);
+      return db_->RunQuery(term, options_.docs_per_query);
+    }();
+    metrics.queries->Increment();
     if (!query_result.ok() && !tolerate(query_result.status())) {
       return query_result.status();
     }
@@ -67,17 +139,24 @@ Result<SamplingResult> QueryBasedSampler::Run() {
     QueryRecord record;
     record.term = term;
     record.hits_returned = hits.size();
-    if (hits.empty()) ++result.failed_queries;
+    if (hits.empty()) {
+      ++result.failed_queries;
+      metrics.failed_queries->Increment();
+    }
 
     for (const SearchHit& hit : hits) {
       if (options_.dedup_documents) {
         auto [it, inserted] = seen_docs.insert(hit.handle);
         if (!inserted) {
           ++result.duplicate_hits;
+          metrics.duplicate_hits->Increment();
           continue;
         }
       }
-      Result<std::string> fetch_result = db_->FetchDocument(hit.handle);
+      Result<std::string> fetch_result = [&] {
+        ScopedTimerUs timer(metrics.fetch_latency_us);
+        return db_->FetchDocument(hit.handle);
+      }();
       if (!fetch_result.ok()) {
         if (!tolerate(fetch_result.status())) return fetch_result.status();
         if (options_.dedup_documents) seen_docs.erase(hit.handle);
@@ -94,6 +173,7 @@ Result<SamplingResult> QueryBasedSampler::Run() {
         result.sampled_documents.push_back(std::move(text));
       }
       ++record.new_docs;
+      metrics.documents->Increment();
       stopping.OnDocument();
 
       if (observer_) {
@@ -119,6 +199,19 @@ Result<SamplingResult> QueryBasedSampler::Run() {
     }
     result.queries.push_back(std::move(record));
 
+    // Convergence gauges, refreshed once per round (§6: diminishing
+    // returns are what a stopping criterion watches). The proxy needs no
+    // actual model: as sampling converges, new documents add occurrences
+    // of known terms faster than new terms, so 1 - V/N rises toward 1 in
+    // step with the paper's ctf ratio.
+    const size_t vocab = result.learned.vocabulary_size();
+    const uint64_t occurrences = result.learned.total_term_count();
+    metrics.unique_terms->Set(static_cast<double>(vocab));
+    if (occurrences > 0) {
+      metrics.ctf_ratio_proxy->Set(
+          1.0 - static_cast<double>(vocab) / static_cast<double>(occurrences));
+    }
+
     if (stopping.ShouldStop()) break;
 
     std::optional<std::string> next =
@@ -133,6 +226,12 @@ Result<SamplingResult> QueryBasedSampler::Run() {
   if (result.stop_reason.empty()) result.stop_reason = stopping.reason();
   result.documents_examined = stopping.documents();
   result.queries_run = stopping.queries();
+  QBS_LOG(DEBUG) << "sampled '" << db_->name() << "': "
+                 << result.documents_examined << " documents, "
+                 << result.queries_run << " queries ("
+                 << result.failed_queries << " failed), "
+                 << result.learned.vocabulary_size()
+                 << " terms learned; stop: " << result.stop_reason;
   return result;
 }
 

@@ -1,9 +1,35 @@
 #include "search/search_engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "search/structured_searcher.h"
 #include "util/logging.h"
 
 namespace qbs {
+
+namespace {
+
+struct SearchMetrics {
+  Counter* queries;
+  Histogram* query_latency_us;
+
+  static const SearchMetrics& Get() {
+    static const SearchMetrics m = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      SearchMetrics m;
+      m.queries = r.GetCounter("qbs_search_queries_total",
+                               "Queries answered by in-process engines");
+      m.query_latency_us =
+          r.GetHistogram("qbs_search_query_latency_us",
+                         Histogram::LatencyBoundsUs(),
+                         "End-to-end RunQuery latency inside engines (us)");
+      return m;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 SearchEngine::SearchEngine(std::string name, SearchEngineOptions options)
     : name_(std::move(name)), options_(std::move(options)) {
@@ -62,6 +88,10 @@ Result<std::vector<SearchHit>> SearchEngine::RunQuery(std::string_view query,
   if (max_results == 0) {
     return Status::InvalidArgument("max_results must be positive");
   }
+  const SearchMetrics& metrics = SearchMetrics::Get();
+  metrics.queries->Increment();
+  ScopedTimerUs timer(metrics.query_latency_us);
+  QBS_TRACE_SPAN("search.query");
   // The query passes through the *database's* analyzer: a term this
   // database treats as a stopword retrieves nothing, exactly as the paper
   // observes for its INQUERY-backed databases.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace qbs {
@@ -21,12 +22,14 @@ std::vector<ScoredDoc> Searcher::Search(const std::vector<std::string>& terms,
   corpus.num_docs = index_->num_docs();
   corpus.avg_doc_length = index_->avg_doc_length();
 
+  uint64_t postings_scanned = 0;
   for (const std::string& term : terms) {
     TermId id = index_->LookupTerm(term);
     if (id == kInvalidTermId) continue;
     const PostingList& plist = index_->postings(id);
     MatchStats match;
     match.df = plist.doc_frequency();
+    postings_scanned += plist.doc_frequency();
     for (auto it = plist.NewIterator(); it.Valid(); it.Next()) {
       const Posting& p = it.Get();
       match.tf = p.tf;
@@ -36,6 +39,13 @@ std::vector<ScoredDoc> Searcher::Search(const std::vector<std::string>& terms,
       scores_[p.doc_id] += contrib;
     }
   }
+
+  // One relaxed add per query, not per posting: the inner loop stays
+  // untouched and the total is still exact.
+  static Counter* const postings_counter = MetricRegistry::Default().GetCounter(
+      "qbs_search_postings_scanned_total",
+      "Postings visited by term-at-a-time evaluation");
+  postings_counter->Increment(postings_scanned);
 
   std::vector<ScoredDoc> results;
   results.reserve(touched_.size());

@@ -3,13 +3,50 @@
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sampling/cost_meter.h"
 #include "text/analyzer.h"
 #include "text/porter_stemmer.h"
 #include "text/stopwords.h"
 #include "util/thread_pool.h"
 
 namespace qbs {
+
+namespace {
+
+struct ServiceMetrics {
+  Counter* refresh_success;
+  Counter* refresh_error;
+  Histogram* refresh_latency_us;
+  Gauge* databases_with_model;
+
+  static const ServiceMetrics& Get() {
+    static const ServiceMetrics m = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      ServiceMetrics m;
+      m.refresh_success =
+          r.GetCounter("qbs_service_refresh_success_total",
+                       "Per-database sampling runs that produced a model");
+      m.refresh_error = r.GetCounter("qbs_service_refresh_error_total",
+                                     "Per-database sampling runs that failed");
+      m.refresh_latency_us = r.GetHistogram(
+          "qbs_service_refresh_latency_us",
+          Histogram::ExponentialBounds(100.0, 4.0, 12),
+          "Wall time to sample one database, bootstrap included (us)");
+      m.databases_with_model =
+          r.GetGauge("qbs_service_databases_with_model",
+                     "Registered databases currently holding a model");
+      return m;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 SamplingService::SamplingService(ServiceOptions options)
     : options_(std::move(options)) {
@@ -39,13 +76,19 @@ Status SamplingService::AddDatabase(TextDatabase* db) {
 }
 
 Status SamplingService::SampleOne(size_t i) {
-  TextDatabase* db = databases_[i];
+  const ServiceMetrics& metrics = ServiceMetrics::Get();
   DatabaseState& state = states_[i];
+  QBS_TRACE_SPAN("service.refresh", state.name);
+  ScopedTimerUs timer(metrics.refresh_latency_us);
+
+  // All interactions — the bootstrap probes included — go through a cost
+  // meter, so per-database query/traffic totals land in the registry.
+  CostMeter db(databases_[i]);
 
   // Bootstrap: find a seed term this database responds to.
   std::string initial;
   for (const std::string& seed : options_.seed_terms) {
-    auto probe = db->RunQuery(seed, 1);
+    auto probe = db.RunQuery(seed, 1);
     if (probe.ok() && !probe->empty()) {
       initial = seed;
       break;
@@ -54,16 +97,22 @@ Status SamplingService::SampleOne(size_t i) {
   if (initial.empty()) {
     state.last_status = Status::NotFound(
         "no seed term retrieved any document from '" + state.name + "'");
+    metrics.refresh_error->Increment();
+    QBS_LOG(WARNING) << "refresh of '" << state.name
+                     << "' failed: " << state.last_status.ToString();
     return state.last_status;
   }
 
   SamplerOptions opts = options_.sampler;
   opts.initial_term = initial;
   opts.seed = options_.base_seed + i;
-  QueryBasedSampler sampler(db, opts);
+  QueryBasedSampler sampler(&db, opts);
   auto result = sampler.Run();
   if (!result.ok()) {
     state.last_status = result.status();
+    metrics.refresh_error->Increment();
+    QBS_LOG(WARNING) << "refresh of '" << state.name
+                     << "' failed: " << state.last_status.ToString();
     return state.last_status;
   }
   state.learned = std::move(result->learned);
@@ -72,34 +121,67 @@ Status SamplingService::SampleOne(size_t i) {
   state.queries_run = result->queries_run;
   state.has_model = true;
   state.last_status = Status::OK();
+  metrics.refresh_success->Increment();
+  QBS_LOG(INFO) << "refreshed '" << state.name << "': "
+                << state.documents_examined << " documents, "
+                << state.queries_run << " queries, "
+                << state.learned.vocabulary_size() << " terms";
   return Status::OK();
 }
 
 Status SamplingService::RefreshAll() {
+  QBS_TRACE_SPAN("service.refresh_all");
   std::vector<size_t> todo;
   for (size_t i = 0; i < states_.size(); ++i) {
     if (!states_[i].has_model) todo.push_back(i);
   }
   if (todo.empty()) return Status::OK();
+  QBS_LOG(INFO) << "RefreshAll: sampling " << todo.size() << " of "
+                << states_.size() << " databases on " << options_.num_threads
+                << " threads";
 
   ThreadPool::ParallelFor(todo.size(), options_.num_threads,
                           [&](size_t t) { SampleOne(todo[t]); });
+  UpdateModelGauge();
 
-  Status first_error;
+  // Every failure is reported, not just the first: an operator refreshing
+  // a federation needs the complete casualty list in one status.
+  StatusCode first_code = StatusCode::kOk;
+  size_t failures = 0;
+  std::string detail;
   for (size_t i : todo) {
-    if (!states_[i].last_status.ok() && first_error.ok()) {
-      first_error = states_[i].last_status;
-    }
+    const Status& s = states_[i].last_status;
+    if (s.ok()) continue;
+    if (first_code == StatusCode::kOk) first_code = s.code();
+    ++failures;
+    if (!detail.empty()) detail += "; ";
+    detail += "'" + states_[i].name + "' (" + s.ToString() + ")";
   }
-  QBS_RETURN_IF_ERROR(first_error);
+  if (failures > 0) {
+    return Status(first_code,
+                  "RefreshAll: " + std::to_string(failures) + " of " +
+                      std::to_string(todo.size()) +
+                      " databases failed: " + detail);
+  }
   return SaveModels();
+}
+
+void SamplingService::UpdateModelGauge() const {
+  size_t with_model = 0;
+  for (const DatabaseState& s : states_) {
+    if (s.has_model) ++with_model;
+  }
+  ServiceMetrics::Get().databases_with_model->Set(
+      static_cast<double>(with_model));
 }
 
 Status SamplingService::Refresh(const std::string& name) {
   for (size_t i = 0; i < states_.size(); ++i) {
     if (states_[i].name == name) {
       states_[i].has_model = false;
-      QBS_RETURN_IF_ERROR(SampleOne(i));
+      Status status = SampleOne(i);
+      UpdateModelGauge();
+      QBS_RETURN_IF_ERROR(status);
       return SaveModels();
     }
   }
@@ -183,7 +265,33 @@ Status SamplingService::LoadModels() {
     s.has_model = true;
     s.last_status = Status::OK();
   }
+  UpdateModelGauge();
   return Status::OK();
+}
+
+std::string SamplingService::StatusReport() const {
+  std::ostringstream out;
+  size_t with_model = 0;
+  for (const DatabaseState& s : states_) {
+    if (s.has_model) ++with_model;
+  }
+  out << "SamplingService: " << with_model << "/" << states_.size()
+      << " databases modeled\n";
+  for (const DatabaseState& s : states_) {
+    out << "  " << s.name << ": ";
+    if (s.has_model) {
+      out << "model of " << s.learned.vocabulary_size() << " terms ("
+          << s.documents_examined << " docs, " << s.queries_run
+          << " queries)";
+    } else {
+      out << "no model";
+    }
+    if (!s.last_status.ok()) {
+      out << " [" << s.last_status.ToString() << "]";
+    }
+    out << "\n";
+  }
+  return out.str();
 }
 
 }  // namespace qbs

@@ -77,8 +77,9 @@ class SamplingService {
   size_t size() const { return databases_.size(); }
 
   /// Samples every database that has no model yet (in parallel). Returns
-  /// OK when every database has a model afterwards; otherwise returns the
-  /// first error while leaving per-database statuses in state().
+  /// OK when every database has a model afterwards; otherwise returns a
+  /// single status carrying the first failure's code and a message listing
+  /// *every* failed database, with per-database statuses in state().
   Status RefreshAll();
 
   /// Re-samples one database by name (e.g. after its content changed).
@@ -103,8 +104,13 @@ class SamplingService {
   /// missing files are skipped silently.
   Status LoadModels();
 
+  /// Human-readable per-database summary (model sizes, sampling stats,
+  /// last errors) for operators — `qbs service` prints this.
+  std::string StatusReport() const;
+
  private:
   Status SampleOne(size_t i);
+  void UpdateModelGauge() const;
 
   ServiceOptions options_;
   std::vector<TextDatabase*> databases_;

@@ -2,9 +2,38 @@
 
 #include <atomic>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace qbs {
+
+namespace {
+
+// Process-wide across all pools: the interesting signal is "is the
+// process backed up", not which pool instance holds the queue.
+struct PoolMetrics {
+  Gauge* queue_depth;
+  Counter* tasks;
+  Counter* parallel_for_items;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics m = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      PoolMetrics m;
+      m.queue_depth = r.GetGauge("qbs_threadpool_queue_depth",
+                                 "Tasks queued and not yet started");
+      m.tasks = r.GetCounter("qbs_threadpool_tasks_total",
+                             "Tasks executed by pool workers");
+      m.parallel_for_items = r.GetCounter(
+          "qbs_threadpool_parallel_for_items_total",
+          "Iterations executed by ThreadPool::ParallelFor");
+      return m;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -29,6 +58,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::unique_lock<std::mutex> lock(mu_);
     QBS_CHECK(!shutdown_);
     queue_.push_back(std::move(task));
+    PoolMetrics::Get().queue_depth->Set(static_cast<double>(queue_.size()));
   }
   work_cv_.notify_one();
 }
@@ -50,9 +80,11 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop_front();
+      PoolMetrics::Get().queue_depth->Set(static_cast<double>(queue_.size()));
       ++active_;
     }
     task();
+    PoolMetrics::Get().tasks->Increment();
     {
       std::unique_lock<std::mutex> lock(mu_);
       --active_;
@@ -64,8 +96,12 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::ParallelFor(size_t n, size_t num_threads,
                              const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  const PoolMetrics& metrics = PoolMetrics::Get();
   if (num_threads <= 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+      metrics.parallel_for_items->Increment();
+    }
     return;
   }
   std::atomic<size_t> next{0};
@@ -74,6 +110,7 @@ void ThreadPool::ParallelFor(size_t n, size_t num_threads,
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       fn(i);
+      metrics.parallel_for_items->Increment();
     }
   };
   size_t spawn = std::min(num_threads, n);

@@ -1,0 +1,370 @@
+// Tests for the observability subsystem: metrics registry (concurrency,
+// histogram bucket boundaries, exposition formats), leveled logging
+// (filtering, sink plumbing), and trace recording (ring buffer, Chrome
+// trace export round-trip).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qbs {
+namespace {
+
+// --- MetricRegistry ---
+
+TEST(MetricRegistryTest, CounterConcurrencyIsExact) {
+  MetricRegistry registry;
+  Counter* counter = registry.GetCounter("hits_total");
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (int i = 0; i < kIncrements; ++i) counter->Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter->value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST(MetricRegistryTest, ConcurrentRegistrationYieldsOneMetric) {
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &seen, t] {
+      Counter* c = registry.GetCounter("shared_total");
+      c->Increment();
+      seen[t] = c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(seen[0]->value(), static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricRegistryTest, GaugeSetAndAdd) {
+  MetricRegistry registry;
+  Gauge* gauge = registry.GetGauge("depth");
+  gauge->Set(4.5);
+  EXPECT_DOUBLE_EQ(gauge->value(), 4.5);
+  gauge->Add(-2.0);
+  EXPECT_DOUBLE_EQ(gauge->value(), 2.5);
+}
+
+TEST(HistogramTest, BucketBoundariesUseLeSemantics) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("lat", {1.0, 5.0, 10.0});
+  // Exactly on a bound lands in that bucket (Prometheus le), just above
+  // spills into the next, and anything beyond the last bound is +Inf.
+  h->Observe(1.0);
+  h->Observe(1.0001);
+  h->Observe(5.0);
+  h->Observe(10.0);
+  h->Observe(10.5);
+  h->Observe(0.0);
+  std::vector<uint64_t> counts = h->bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + +Inf
+  EXPECT_EQ(counts[0], 2u);      // 0.0, 1.0
+  EXPECT_EQ(counts[1], 2u);      // 1.0001, 5.0
+  EXPECT_EQ(counts[2], 1u);      // 10.0
+  EXPECT_EQ(counts[3], 1u);      // 10.5
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_DOUBLE_EQ(h->sum(), 1.0 + 1.0001 + 5.0 + 10.0 + 10.5 + 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreExact) {
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram("conc", {10.0, 20.0});
+  constexpr int kThreads = 8;
+  constexpr int kObs = 30'000;  // divisible by 30 so the modulo is uniform
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (int i = 0; i < kObs; ++i) h->Observe(i % 30);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h->count(), static_cast<uint64_t>(kThreads) * kObs);
+  std::vector<uint64_t> counts = h->bucket_counts();
+  EXPECT_EQ(counts[0] + counts[1] + counts[2], h->count());
+  // i % 30: 11 values <= 10, 10 in (10, 20], 9 above.
+  EXPECT_EQ(counts[0], static_cast<uint64_t>(kThreads) * kObs / 30 * 11);
+}
+
+TEST(HistogramTest, ExponentialBounds) {
+  std::vector<double> bounds = Histogram::ExponentialBounds(1.0, 4.0, 3);
+  ASSERT_EQ(bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 4.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 16.0);
+}
+
+TEST(MetricRegistryTest, PrometheusExport) {
+  MetricRegistry registry;
+  registry.GetCounter("requests_total", "Total requests")->Increment(3);
+  registry.GetGauge("queue_depth")->Set(7);
+  Histogram* h = registry.GetHistogram("latency_us", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(4.0);
+  h->Observe(100.0);
+  std::ostringstream out;
+  registry.ExportPrometheus(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("# HELP requests_total Total requests"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter"), std::string::npos);
+  EXPECT_NE(text.find("requests_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_us histogram"), std::string::npos);
+  // Cumulative buckets: 1, 2, 3.
+  EXPECT_NE(text.find("latency_us_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{le=\"10\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("latency_us_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_us_count 3"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, LabeledSeriesShareOneTypeHeader) {
+  MetricRegistry registry;
+  registry.GetCounter(WithLabel("cost_total", "db", "a"))->Increment(1);
+  registry.GetCounter(WithLabel("cost_total", "db", "b"))->Increment(2);
+  std::ostringstream out;
+  registry.ExportPrometheus(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("cost_total{db=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("cost_total{db=\"b\"} 2"), std::string::npos);
+  // Exactly one TYPE line for the family.
+  size_t first = text.find("# TYPE cost_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE cost_total counter", first + 1),
+            std::string::npos);
+}
+
+TEST(MetricRegistryTest, JsonExportIsWellFormed) {
+  MetricRegistry registry;
+  registry.GetCounter("c_total")->Increment(5);
+  registry.GetGauge("g")->Set(1.5);
+  registry.GetHistogram("h", {2.0})->Observe(1.0);
+  std::ostringstream out;
+  registry.ExportJson(out);
+  std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\":{\"c_total\":5}"), std::string::npos);
+  EXPECT_NE(json.find("\"g\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h\":{\"count\":1"), std::string::npos);
+  // Balanced braces/brackets (no nesting mistakes).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(MetricRegistryTest, DefaultRegistryIsSharedAndPopulated) {
+  Counter* a = MetricRegistry::Default().GetCounter("obs_test_total");
+  Counter* b = MetricRegistry::Default().GetCounter("obs_test_total");
+  EXPECT_EQ(a, b);
+}
+
+// --- Logging ---
+
+class CapturingSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    saved_level_ = GetMinLogLevel();
+    records_.clear();
+    SetLogSink([this](const LogRecord& r) { records_.push_back(r); });
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetMinLogLevel(saved_level_);
+  }
+  std::vector<LogRecord> records_;
+  LogLevel saved_level_ = LogLevel::kInfo;
+};
+
+TEST_F(CapturingSinkTest, LevelFilteringSuppressesBelowMin) {
+  SetMinLogLevel(LogLevel::kWarning);
+  QBS_LOG(DEBUG) << "d";
+  QBS_LOG(INFO) << "i";
+  QBS_LOG(WARNING) << "w";
+  QBS_LOG(ERROR) << "e";
+  ASSERT_EQ(records_.size(), 2u);
+  EXPECT_EQ(records_[0].level, LogLevel::kWarning);
+  EXPECT_EQ(records_[0].message, "w");
+  EXPECT_EQ(records_[1].level, LogLevel::kError);
+  EXPECT_EQ(records_[1].message, "e");
+}
+
+TEST_F(CapturingSinkTest, DisabledStatementDoesNotEvaluateStream) {
+  SetMinLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return 1;
+  };
+  QBS_LOG(INFO) << touch();
+  EXPECT_EQ(evaluations, 0);
+  QBS_LOG(ERROR) << touch();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(CapturingSinkTest, OffSilencesEverything) {
+  SetMinLogLevel(LogLevel::kOff);
+  QBS_LOG(ERROR) << "nope";
+  EXPECT_TRUE(records_.empty());
+}
+
+TEST_F(CapturingSinkTest, RecordCarriesSourceLocationAndMessage) {
+  SetMinLogLevel(LogLevel::kInfo);
+  QBS_LOG(INFO) << "x=" << 42 << " y=" << 1.5;
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].message, "x=42 y=1.5");
+  EXPECT_STREQ(records_[0].file, "obs_test.cc");
+  EXPECT_GT(records_[0].line, 0);
+  EXPECT_GT(records_[0].tid, 0u);
+}
+
+TEST_F(CapturingSinkTest, LogIfRespectsCondition) {
+  SetMinLogLevel(LogLevel::kInfo);
+  QBS_LOG_IF(INFO, false) << "skipped";
+  QBS_LOG_IF(INFO, true) << "kept";
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].message, "kept");
+}
+
+TEST(LogLevelTest, ParseAcceptsNamesAndLetters) {
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kOff), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("WARNING", LogLevel::kOff), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("e", LogLevel::kOff), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off", LogLevel::kDebug), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("bogus", LogLevel::kInfo), LogLevel::kInfo);
+}
+
+// --- Tracing ---
+
+TEST(TraceRecorderTest, RecordsSpansWhenEnabled) {
+  TraceRecorder recorder(16);
+  EXPECT_FALSE(recorder.enabled());
+  recorder.Record("ignored-api-allows-it", 0, 1);  // direct Record works
+  recorder.Clear();
+  recorder.set_enabled(true);
+  recorder.Record("a", 10, 5);
+  recorder.Record("b", 20, 2);
+  std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[0].start_us, 10u);
+  EXPECT_EQ(events[0].duration_us, 5u);
+  EXPECT_EQ(events[1].name, "b");
+}
+
+TEST(TraceRecorderTest, RingBufferKeepsMostRecent) {
+  TraceRecorder recorder(4);
+  recorder.set_enabled(true);
+  for (int i = 0; i < 10; ++i) {
+    recorder.Record("span" + std::to_string(i), i, 1);
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_recorded(), 10u);
+  std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first: spans 6..9 survive.
+  EXPECT_EQ(events[0].name, "span6");
+  EXPECT_EQ(events[3].name, "span9");
+}
+
+TEST(TraceRecorderTest, GlobalSpanMacroRecordsOnlyWhenEnabled) {
+  TraceRecorder& global = TraceRecorder::Global();
+  global.Clear();
+  global.set_enabled(false);
+  { QBS_TRACE_SPAN("disabled.span"); }
+  EXPECT_EQ(global.size(), 0u);
+  global.set_enabled(true);
+  { QBS_TRACE_SPAN("enabled.span", "detail"); }
+  global.set_enabled(false);
+  std::vector<TraceEvent> events = global.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "enabled.span/detail");
+  global.Clear();
+}
+
+// Export round-trip: record spans, dump Chrome JSON, parse the essentials
+// back out with a minimal reader, and compare against Events().
+TEST(TraceRecorderTest, ChromeTraceExportRoundTrip) {
+  TraceRecorder recorder(8);
+  recorder.set_enabled(true);
+  recorder.Record("alpha", 100, 7);
+  recorder.Record("beta \"quoted\"\n", 200, 11);
+  std::ostringstream out;
+  recorder.DumpChromeTrace(out);
+  std::string json = out.str();
+
+  // Structure: one object, one traceEvents array, balanced delimiters.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+
+  // Events round-trip: every recorded span appears as a complete ("X")
+  // event with its timestamps, and nothing else does.
+  size_t complete_events = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++complete_events;
+  }
+  EXPECT_EQ(complete_events, recorder.Events().size());
+  EXPECT_NE(json.find("\"name\":\"alpha\",\"cat\":\"qbs\",\"ph\":\"X\","
+                      "\"ts\":100,\"dur\":7"),
+            std::string::npos);
+  // The awkward name was escaped, not emitted raw.
+  EXPECT_NE(json.find("beta \\\"quoted\\\"\\n"), std::string::npos);
+  EXPECT_EQ(json.find("beta \"quoted\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ConcurrentRecordingLosesNothing) {
+  TraceRecorder recorder(100'000);
+  recorder.set_enabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpans = 2'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, t] {
+      for (int i = 0; i < kSpans; ++i) {
+        recorder.Record("t" + std::to_string(t), i, 1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(recorder.size(), static_cast<size_t>(kThreads) * kSpans);
+  EXPECT_EQ(recorder.total_recorded(),
+            static_cast<uint64_t>(kThreads) * kSpans);
+}
+
+TEST(MonotonicMicrosTest, IsMonotonic) {
+  uint64_t a = MonotonicMicros();
+  uint64_t b = MonotonicMicros();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -107,7 +107,9 @@ TEST(CoriRankerTest, MissingTermGetsDefaultBelief) {
   auto ranking = ranker.Rank({"flour"});
   // law and sports lack "flour": their belief is exactly the default.
   for (const auto& r : ranking) {
-    if (r.db_name != "cooking") EXPECT_DOUBLE_EQ(r.score, 0.4);
+    if (r.db_name != "cooking") {
+      EXPECT_DOUBLE_EQ(r.score, 0.4);
+    }
   }
   EXPECT_GT(ranking[0].score, 0.4);
 }

@@ -70,7 +70,9 @@ TEST(QueryParserTest, SyntaxErrors) {
         "#and(a))" }) {
     auto q = ParseQuery(bad);
     EXPECT_FALSE(q.ok()) << "should reject: " << bad;
-    if (!q.ok()) EXPECT_TRUE(q.status().IsInvalidArgument()) << bad;
+    if (!q.ok()) {
+      EXPECT_TRUE(q.status().IsInvalidArgument()) << bad;
+    }
   }
 }
 

@@ -9,6 +9,14 @@
 //   qbs select    --query "..." --model NAME=FILE [--model NAME=FILE ...]
 //                 [--ranker cori|bgloss|vgloss|kl]
 //   qbs estimate  (--synthetic PRESET | --trec FILE) [--capture N]
+//   qbs service   --synthetic PRESET [--synthetic PRESET ...]
+//                 [--trec FILE ...] [--docs N] [--threads N]
+//                 [--query "..."] [--ranker NAME]
+//
+// Observability (any command):
+//   --metrics_out FILE   Prometheus text dump of all metrics on exit
+//   --trace_out FILE     Chrome trace_event JSON (chrome://tracing)
+//   --log_level LEVEL    debug|info|warning|error|off (default info)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,9 +30,13 @@
 #include "corpus/synthetic.h"
 #include "corpus/trec_parser.h"
 #include "lm/metrics.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sampling/sampler.h"
 #include "sampling/size_estimator.h"
 #include "selection/db_selection.h"
+#include "service/sampling_service.h"
 #include "summarize/summarizer.h"
 #include "util/string_util.h"
 
@@ -45,22 +57,39 @@ int Usage() {
                 [--ranker cori|bgloss|vgloss|kl]
   qbs estimate  (--synthetic PRESET | --trec FILE) [--capture N]
                  capture-recapture database size estimate
+  qbs service   (--synthetic PRESET | --trec FILE)... [--docs N]
+                [--threads N] [--query "..."] [--ranker NAME]
+                 run the sampling service over a federation and report
+
+observability flags, valid with every command:
+  --metrics_out FILE  write a Prometheus-style metrics dump on exit
+                      (FILE.json next to it with the JSON exposition)
+  --trace_out FILE    record spans, write Chrome trace_event JSON on exit
+  --log_level LEVEL   debug|info|warning|error|off (default info)
 
 Language models are read/written in the #QBSLM v1 text format.
 )");
   return 2;
 }
 
-// Minimal flag parser: --key value pairs (repeatable keys collected).
+// Minimal flag parser: --key value and --key=value pairs (repeatable keys
+// collected).
 std::multimap<std::string, std::string> ParseFlags(int argc, char** argv,
                                                    int start) {
   std::multimap<std::string, std::string> flags;
   for (int i = start; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0 && i + 1 < argc) {
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      continue;
+    }
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.emplace(arg.substr(2, eq - 2), arg.substr(eq + 1));
+    } else if (i + 1 < argc) {
       flags.emplace(arg.substr(2), argv[++i]);
     } else {
-      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::fprintf(stderr, "flag needs a value: %s\n", arg.c_str());
     }
   }
   return flags;
@@ -70,6 +99,63 @@ std::string FlagOr(const std::multimap<std::string, std::string>& flags,
                    const std::string& key, const std::string& fallback) {
   auto it = flags.find(key);
   return it == flags.end() ? fallback : it->second;
+}
+
+// Observability flags accept both separator spellings (--metrics_out and
+// --metrics-out).
+std::string ObsFlag(const std::multimap<std::string, std::string>& flags,
+                    std::string key) {
+  std::string value = FlagOr(flags, key, "");
+  if (!value.empty()) return value;
+  for (char& c : key) {
+    if (c == '_') c = '-';
+  }
+  return FlagOr(flags, key, "");
+}
+
+// Applies --log_level / --trace_out before the command runs.
+void SetUpObservability(const std::multimap<std::string, std::string>& flags) {
+  std::string level = ObsFlag(flags, "log_level");
+  if (!level.empty()) {
+    SetMinLogLevel(ParseLogLevel(level, GetMinLogLevel()));
+  }
+  if (!ObsFlag(flags, "trace_out").empty()) {
+    TraceRecorder::Global().set_enabled(true);
+  }
+}
+
+// Writes --metrics_out / --trace_out files after the command ran. Failures
+// are reported but do not change the command's exit code: observability
+// output must never turn a successful run into a failed one.
+void DumpObservability(const std::multimap<std::string, std::string>& flags) {
+  std::string metrics_path = ObsFlag(flags, "metrics_out");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path.c_str());
+    } else {
+      MetricRegistry::Default().ExportPrometheus(out);
+    }
+    std::ofstream json(metrics_path + ".json");
+    if (!json) {
+      std::fprintf(stderr, "cannot write %s.json\n", metrics_path.c_str());
+    } else {
+      MetricRegistry::Default().ExportJson(json);
+      json << "\n";
+    }
+  }
+  std::string trace_path = ObsFlag(flags, "trace_out");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+    } else {
+      TraceRecorder::Global().DumpChromeTrace(out);
+      out << "\n";
+      std::fprintf(stderr, "trace: %zu spans -> %s\n",
+                   TraceRecorder::Global().size(), trace_path.c_str());
+    }
+  }
 }
 
 Result<LanguageModel> LoadModelFile(const std::string& path) {
@@ -338,18 +424,104 @@ int CmdSelect(const std::multimap<std::string, std::string>& flags) {
   return 0;
 }
 
+// Builds every --synthetic / --trec engine named on the command line, in
+// flag order (synthetic presets first, matching multimap grouping).
+Result<std::vector<std::unique_ptr<SearchEngine>>> BuildFederation(
+    const std::multimap<std::string, std::string>& flags) {
+  std::vector<std::unique_ptr<SearchEngine>> engines;
+  auto synthetic = flags.equal_range("synthetic");
+  for (auto it = synthetic.first; it != synthetic.second; ++it) {
+    std::multimap<std::string, std::string> one{{"synthetic", it->second}};
+    QBS_ASSIGN_OR_RETURN(std::unique_ptr<SearchEngine> engine,
+                         BuildEngineFromFlags(one));
+    engines.push_back(std::move(engine));
+  }
+  auto trec = flags.equal_range("trec");
+  for (auto it = trec.first; it != trec.second; ++it) {
+    QBS_ASSIGN_OR_RETURN(std::unique_ptr<SearchEngine> engine,
+                         BuildTrecEngine(it->second));
+    engines.push_back(std::move(engine));
+  }
+  if (engines.empty()) {
+    return Status::InvalidArgument(
+        "service requires at least one --synthetic or --trec database");
+  }
+  return engines;
+}
+
+int CmdService(const std::multimap<std::string, std::string>& flags) {
+  auto engines = BuildFederation(flags);
+  if (!engines.ok()) {
+    std::fprintf(stderr, "%s\n", engines.status().ToString().c_str());
+    return 1;
+  }
+
+  ServiceOptions opts;
+  opts.sampler.stopping.max_documents =
+      std::stoul(FlagOr(flags, "docs", "200"));
+  opts.sampler.docs_per_query =
+      std::stoul(FlagOr(flags, "docs-per-query", "4"));
+  opts.num_threads = std::stoul(FlagOr(flags, "threads", "4"));
+  opts.model_dir = FlagOr(flags, "model-dir", "");
+  SamplingService service(opts);
+  for (auto& engine : *engines) {
+    Status status = service.AddDatabase(engine.get());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  Status refresh = service.RefreshAll();
+  std::fputs(service.StatusReport().c_str(), stdout);
+  if (!refresh.ok()) {
+    std::fprintf(stderr, "%s\n", refresh.ToString().c_str());
+    return 1;
+  }
+
+  std::string query = FlagOr(flags, "query", "");
+  if (!query.empty()) {
+    auto ranking = service.Select(query, FlagOr(flags, "ranker", "cori"));
+    if (!ranking.ok()) {
+      std::fprintf(stderr, "%s\n", ranking.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ranking for \"%s\":\n", query.c_str());
+    for (size_t i = 0; i < ranking->size(); ++i) {
+      std::printf("%2zu. %-24s %12.6f\n", i + 1,
+                  (*ranking)[i].db_name.c_str(), (*ranking)[i].score);
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
   auto flags = ParseFlags(argc, argv, 2);
-  if (cmd == "sample") return CmdSample(flags);
-  if (cmd == "export") return CmdExport(flags);
-  if (cmd == "estimate") return CmdEstimate(flags);
-  if (cmd == "stats") return CmdStats(flags);
-  if (cmd == "summarize") return CmdSummarize(flags);
-  if (cmd == "compare") return CmdCompare(flags);
-  if (cmd == "select") return CmdSelect(flags);
-  return Usage();
+  SetUpObservability(flags);
+  int rc;
+  if (cmd == "sample") {
+    rc = CmdSample(flags);
+  } else if (cmd == "export") {
+    rc = CmdExport(flags);
+  } else if (cmd == "estimate") {
+    rc = CmdEstimate(flags);
+  } else if (cmd == "stats") {
+    rc = CmdStats(flags);
+  } else if (cmd == "summarize") {
+    rc = CmdSummarize(flags);
+  } else if (cmd == "compare") {
+    rc = CmdCompare(flags);
+  } else if (cmd == "select") {
+    rc = CmdSelect(flags);
+  } else if (cmd == "service") {
+    rc = CmdService(flags);
+  } else {
+    return Usage();
+  }
+  DumpObservability(flags);
+  return rc;
 }
 
 }  // namespace
