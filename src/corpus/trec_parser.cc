@@ -52,6 +52,14 @@ Result<TrecParseStats> ParseTrecStream(
       }
       continue;
     }
+    if (LineStartsWith(line, "<DOC>")) {
+      // A <DOC> inside an open document means the previous one never
+      // closed; resynchronizing silently would attribute the remainder
+      // of the file to the wrong documents.
+      return Status::Corruption("nested <DOC> at line " +
+                                std::to_string(line_no) +
+                                " (previous document not closed)");
+    }
     if (in_text) {
       if (LineStartsWith(line, "</TEXT>") || LineStartsWith(line, "</TITLE>") ||
           LineStartsWith(line, "</HEADLINE>")) {

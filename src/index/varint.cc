@@ -29,6 +29,11 @@ bool GetVarint32(const std::vector<uint8_t>& data, size_t* pos,
     if ((byte & 0x80) == 0) {
       // Reject overflow in the final byte of a 5-byte encoding.
       if (shift == 28 && (byte & 0x70) != 0) return false;
+      // Reject overlong (non-canonical) encodings: a zero final byte
+      // after at least one continuation byte pads the value with zero
+      // bits the encoder would never emit. Accepting them would make
+      // distinct byte strings decode equal — a round-trip violation.
+      if (shift > 0 && byte == 0) return false;
       *value = result;
       return true;
     }
@@ -47,6 +52,8 @@ bool GetVarint64(const std::vector<uint8_t>& data, size_t* pos,
     result |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) {
       if (shift == 63 && (byte & 0x7E) != 0) return false;
+      // Overlong zero-padded encodings are malformed (see GetVarint32).
+      if (shift > 0 && byte == 0) return false;
       *value = result;
       return true;
     }

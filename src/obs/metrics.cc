@@ -221,7 +221,11 @@ void MetricRegistry::ExportPrometheus(std::ostream& out) const {
               << " " << cumulative << "\n";
         }
         out << name << "_sum " << FormatValue(h.sum()) << "\n";
-        out << name << "_count " << h.count() << "\n";
+        // _count is derived from the bucket snapshot, not read from the
+        // separate count_ atomic: under concurrent Observe the two can
+        // differ by in-flight increments, and Prometheus requires
+        // _count == the +Inf bucket within one scrape.
+        out << name << "_count " << cumulative << "\n";
         break;
       }
     }
@@ -252,7 +256,11 @@ void MetricRegistry::ExportJson(std::ostream& out) const {
   emit_group(Kind::kHistogram, "histograms", [&](const Entry& e) {
     const Histogram& h = *e.histogram;
     std::vector<uint64_t> counts = h.bucket_counts();
-    out << "{\"count\":" << h.count() << ",\"sum\":" << h.sum()
+    // Same snapshot-consistency rule as the Prometheus export: count is
+    // the bucket total, so it always equals the sum of "buckets".
+    uint64_t total = 0;
+    for (uint64_t c : counts) total += c;
+    out << "{\"count\":" << total << ",\"sum\":" << h.sum()
         << ",\"buckets\":[";
     for (size_t i = 0; i < counts.size(); ++i) {
       if (i > 0) out << ",";

@@ -26,7 +26,7 @@ struct SamplerMetrics {
   Gauge* ctf_ratio_proxy;
 
   static const SamplerMetrics& Get() {
-    static const SamplerMetrics m = [] {
+    static const SamplerMetrics metrics = [] {
       MetricRegistry& r = MetricRegistry::Default();
       SamplerMetrics m;
       m.queries = r.GetCounter("qbs_sampler_queries_total",
@@ -59,7 +59,7 @@ struct SamplerMetrics {
           "paper's ctf ratio");
       return m;
     }();
-    return m;
+    return metrics;
   }
 };
 

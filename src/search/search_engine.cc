@@ -14,7 +14,7 @@ struct SearchMetrics {
   Histogram* query_latency_us;
 
   static const SearchMetrics& Get() {
-    static const SearchMetrics m = [] {
+    static const SearchMetrics metrics = [] {
       MetricRegistry& r = MetricRegistry::Default();
       SearchMetrics m;
       m.queries = r.GetCounter("qbs_search_queries_total",
@@ -25,7 +25,7 @@ struct SearchMetrics {
                          "End-to-end RunQuery latency inside engines (us)");
       return m;
     }();
-    return m;
+    return metrics;
   }
 };
 

@@ -25,7 +25,7 @@ struct ServiceMetrics {
   Gauge* databases_with_model;
 
   static const ServiceMetrics& Get() {
-    static const ServiceMetrics m = [] {
+    static const ServiceMetrics metrics = [] {
       MetricRegistry& r = MetricRegistry::Default();
       ServiceMetrics m;
       m.refresh_success =
@@ -42,7 +42,7 @@ struct ServiceMetrics {
                      "Registered databases currently holding a model");
       return m;
     }();
-    return m;
+    return metrics;
   }
 };
 

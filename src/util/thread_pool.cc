@@ -17,7 +17,7 @@ struct PoolMetrics {
   Counter* parallel_for_items;
 
   static const PoolMetrics& Get() {
-    static const PoolMetrics m = [] {
+    static const PoolMetrics metrics = [] {
       MetricRegistry& r = MetricRegistry::Default();
       PoolMetrics m;
       m.queue_depth = r.GetGauge("qbs_threadpool_queue_depth",
@@ -29,7 +29,7 @@ struct PoolMetrics {
           "Iterations executed by ThreadPool::ParallelFor");
       return m;
     }();
-    return m;
+    return metrics;
   }
 };
 
@@ -43,24 +43,35 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::unique_lock<std::mutex> lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
-  for (auto& w : workers_) w.join();
+  // call_once makes concurrent Shutdown calls (including the destructor
+  // racing an explicit call) join exactly once; the losers block until
+  // the winner finishes joining, preserving "all tasks done on return".
+  std::call_once(join_once_, [this] {
+    for (auto& w : workers_) w.join();
+  });
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   QBS_CHECK(task != nullptr);
   {
     std::unique_lock<std::mutex> lock(mu_);
-    QBS_CHECK(!shutdown_);
+    // Submit racing the destructor is a supported shutdown protocol, not
+    // a programming error: the task is rejected, never silently dropped
+    // into a queue no worker will drain.
+    if (shutdown_) return false;
     queue_.push_back(std::move(task));
     PoolMetrics::Get().queue_depth->Set(static_cast<double>(queue_.size()));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {

@@ -20,16 +20,31 @@ class ThreadPool {
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads);
 
-  /// Drains the queue, then joins all workers.
+  /// Drains the queue, then joins all workers (via Shutdown).
   ~ThreadPool();
+
+  /// Stops accepting new tasks, drains every task accepted so far, and
+  /// joins the workers. Idempotent, and safe to call while other threads
+  /// are still calling Submit: they observe `false` from the first
+  /// locked check onwards. After Shutdown returns, every accepted task
+  /// has finished. (This exists as a separate entry point so producers
+  /// can race shutdown against a still-live object; racing the
+  /// *destructor* itself would be a use-after-free by construction.)
+  void Shutdown();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution. Returns true if the task was
+  /// accepted; returns false — without running or retaining the task —
+  /// once shutdown has begun (i.e. the destructor is racing this call).
+  /// Producers running concurrently with pool teardown must check the
+  /// result; tasks accepted before shutdown are always drained.
+  [[nodiscard]] bool Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing. May be
+  /// called concurrently with Submit; it returns at a moment the queue
+  /// was observed empty with no task running.
   void Wait();
 
   /// Number of worker threads.
@@ -49,6 +64,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   size_t active_ = 0;
   bool shutdown_ = false;
+  std::once_flag join_once_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,376 @@
+// Concurrency stress suite: hammers every shared-state component that PR 1
+// introduced (ThreadPool, MetricRegistry, CostMeter, TraceRecorder,
+// SamplingService::RefreshAll) with >= 8 threads. The assertions are
+// deliberately coarse — counts conserved, invariants held, no deadlock —
+// because the real checker is ThreadSanitizer: this binary builds in every
+// configuration but is the gating workload of the `tsan` preset
+// (scripts/check.sh runs it there with halt_on_error=1).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sampling/cost_meter.h"
+#include "search/text_database.h"
+#include "service/sampling_service.h"
+#include "util/thread_pool.h"
+
+namespace qbs {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+// --- ThreadPool ----------------------------------------------------------
+
+TEST(ThreadPoolStress, SubmitDuringShutdownNeverLosesOrLeaksTasks) {
+  // Producers race Shutdown() on a live pool. Every Submit either
+  // returns true (the task must then run before Shutdown returns) or
+  // false (the task must never run). accepted == executed pins both
+  // directions of that contract.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> executed{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> producers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (pool.Submit([&executed] {
+              executed.fetch_add(1, std::memory_order_relaxed);
+            })) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Let the producers build up steam, then shut the pool down under
+  // them while they are still submitting.
+  while (accepted.load(std::memory_order_relaxed) < 2000) {
+    std::this_thread::yield();
+  }
+  pool.Shutdown();
+  const uint64_t executed_at_shutdown =
+      executed.load(std::memory_order_relaxed);
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(accepted.load(), executed.load());
+  // Shutdown returned only after draining what it had accepted; later
+  // Submit calls were all rejected, so the count cannot grow after it.
+  EXPECT_EQ(executed_at_shutdown, executed.load());
+  EXPECT_GE(executed.load(), 2000u);
+}
+
+TEST(ThreadPoolStress, WaitRacingSubmit) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> executed{0};
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads / 2; ++t) {
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (pool.Submit([&executed] {
+              executed.fetch_add(1, std::memory_order_relaxed);
+            })) {
+          submitted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) pool.Wait();
+    });
+  }
+  while (submitted.load(std::memory_order_relaxed) < 5000) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+  pool.Wait();
+  EXPECT_EQ(submitted.load(), executed.load());
+}
+
+TEST(ThreadPoolStress, ParallelForEachIndexExactlyOnce) {
+  constexpr size_t kItems = 10'000;
+  std::vector<std::atomic<uint32_t>> touched(kItems);
+  ThreadPool::ParallelFor(kItems, kThreads,
+                          [&](size_t i) { touched[i].fetch_add(1); });
+  for (size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(touched[i].load(), 1u) << "index " << i;
+  }
+}
+
+// --- MetricRegistry ------------------------------------------------------
+
+TEST(MetricRegistryStress, RegisterIncrementExportConcurrently) {
+  // Every thread interleaves registration (lock path), increments
+  // (lock-free path), and full exports (reader path) against one local
+  // registry. Counts must be conserved exactly.
+  MetricRegistry registry;
+  constexpr size_t kNamesPerThread = 16;
+  constexpr uint64_t kIncrements = 4000;
+
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kIncrements; ++i) {
+        // Names collide across threads on purpose: GetCounter must
+        // return the same stable pointer to everyone.
+        Counter* c = registry.GetCounter(
+            "stress_counter_" + std::to_string(i % kNamesPerThread));
+        c->Increment();
+        Gauge* g = registry.GetGauge("stress_gauge");
+        g->Set(static_cast<double>(i));
+        Histogram* h = registry.GetHistogram(
+            "stress_histogram", Histogram::ExponentialBounds(1.0, 2.0, 8));
+        h->Observe(static_cast<double>(i % 300));
+        if (i % 512 == 0) {
+          std::ostringstream prom, json;
+          registry.ExportPrometheus(prom);
+          registry.ExportJson(json);
+          EXPECT_FALSE(prom.str().empty());
+          EXPECT_FALSE(json.str().empty());
+        }
+      }
+      (void)t;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNamesPerThread; ++i) {
+    total += registry.GetCounter("stress_counter_" + std::to_string(i))
+                 ->value();
+  }
+  EXPECT_EQ(total, kThreads * kIncrements);
+  EXPECT_EQ(registry.GetHistogram("stress_histogram",
+                                  Histogram::ExponentialBounds(1.0, 2.0, 8))
+                ->count(),
+            kThreads * kIncrements);
+}
+
+TEST(MetricRegistryStress, HistogramExportCountMatchesInfBucket) {
+  // Pins the export-vs-increment tearing fix: while observers hammer the
+  // histogram, every scrape must satisfy the Prometheus invariant that
+  // `_count` equals the cumulative +Inf bucket. Before the fix, _count
+  // was read from a separate atomic and routinely disagreed.
+  MetricRegistry registry;
+  Histogram* h = registry.GetHistogram(
+      "tearing_histogram", Histogram::ExponentialBounds(1.0, 2.0, 6));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> observers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    observers.emplace_back([&] {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        h->Observe(static_cast<double>(i++ % 100));
+      }
+    });
+  }
+
+  auto extract = [](const std::string& text, const std::string& key) {
+    size_t pos = text.find(key);
+    EXPECT_NE(pos, std::string::npos) << key;
+    pos += key.size();
+    return std::stoull(text.substr(pos));
+  };
+  for (int scrape = 0; scrape < 200; ++scrape) {
+    std::ostringstream out;
+    registry.ExportPrometheus(out);
+    const std::string text = out.str();
+    uint64_t inf_bucket =
+        extract(text, "tearing_histogram_bucket{le=\"+Inf\"} ");
+    uint64_t count = extract(text, "tearing_histogram_count ");
+    ASSERT_EQ(count, inf_bucket) << "scrape " << scrape;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : observers) t.join();
+}
+
+// --- CostMeter -----------------------------------------------------------
+
+// Minimal thread-safe database: answers every query with one hit and
+// serves a fixed document; fails on a marker query/handle so the error
+// counter is exercised too.
+class EchoDatabase : public TextDatabase {
+ public:
+  std::string name() const override { return "echo"; }
+  Result<std::vector<SearchHit>> RunQuery(std::string_view query,
+                                          size_t) override {
+    if (query == "fail") return Status::IOError("injected");
+    return std::vector<SearchHit>{{"doc", 1.0}};
+  }
+  Result<std::string> FetchDocument(std::string_view handle) override {
+    if (handle == "missing") return Status::NotFound("injected");
+    return std::string("0123456789");
+  }
+};
+
+TEST(CostMeterStress, ConcurrentTrafficConservesCounts) {
+  EchoDatabase inner;
+  MetricRegistry registry;
+  CostMeter meter(&inner, &registry);
+
+  constexpr uint64_t kOpsPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        switch (i % 4) {
+          case 0: (void)meter.RunQuery("ok", 10); break;
+          case 1: (void)meter.RunQuery("fail", 10); break;
+          case 2: (void)meter.FetchDocument("doc"); break;
+          case 3: (void)meter.FetchDocument("missing"); break;
+        }
+        if (i % 1024 == 0) (void)meter.costs();  // concurrent snapshots
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const uint64_t per_kind = kThreads * kOpsPerThread / 4;
+  InteractionCosts c = meter.costs();
+  EXPECT_EQ(c.queries, 2 * per_kind);  // "ok" and "fail" both count
+  EXPECT_EQ(c.hits_returned, per_kind);
+  EXPECT_EQ(c.documents_fetched, per_kind);
+  EXPECT_EQ(c.document_bytes, per_kind * 10);
+  EXPECT_EQ(c.errors, 2 * per_kind);  // failed query + missing fetch
+  EXPECT_EQ(c.query_bytes, per_kind * 2 + per_kind * 4);  // "ok" + "fail"
+}
+
+// --- TraceRecorder -------------------------------------------------------
+
+TEST(TraceRecorderStress, RingWraparoundUnderConcurrentRecordAndExport) {
+  TraceRecorder recorder(/*capacity=*/64);
+  recorder.set_enabled(true);
+
+  constexpr uint64_t kSpansPerThread = 3000;
+  std::atomic<bool> stop{false};
+  std::thread exporter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::ostringstream out;
+      recorder.DumpChromeTrace(out);
+      std::vector<TraceEvent> events = recorder.Events();
+      EXPECT_LE(events.size(), 64u);
+      for (const TraceEvent& e : events) {
+        EXPECT_FALSE(e.name.empty());
+        EXPECT_GT(e.tid, 0u);
+      }
+    }
+  });
+  std::vector<std::thread> recorders;
+  for (size_t t = 0; t < kThreads; ++t) {
+    recorders.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kSpansPerThread; ++i) {
+        recorder.Record("span-" + std::to_string(t), i, 1);
+      }
+    });
+  }
+  for (auto& t : recorders) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  exporter.join();
+
+  EXPECT_EQ(recorder.total_recorded(), kThreads * kSpansPerThread);
+  EXPECT_EQ(recorder.size(), 64u);
+  recorder.Clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(TraceRecorderStress, SpansRacingEnableDisable) {
+  // TraceSpan reads the enabled flag twice (construct/destruct); flipping
+  // it concurrently must only ever drop spans, never corrupt the ring.
+  TraceRecorder& global = TraceRecorder::Global();
+  global.Clear();
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    bool on = false;
+    while (!stop.load(std::memory_order_relaxed)) {
+      global.set_enabled(on = !on);
+    }
+  });
+  std::vector<std::thread> spanners;
+  for (size_t t = 0; t < kThreads; ++t) {
+    spanners.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) { QBS_TRACE_SPAN("stress.race"); }
+    });
+  }
+  for (auto& t : spanners) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  flipper.join();
+  global.set_enabled(false);
+  for (const TraceEvent& e : global.Events()) {
+    EXPECT_EQ(e.name, "stress.race");
+  }
+  global.Clear();
+}
+
+// --- SamplingService -----------------------------------------------------
+
+TEST(ServiceStress, RefreshAllOverSharedFederation) {
+  // A federation twice as wide as the worker count, refreshed on >= 8
+  // threads: per-database sampling runs concurrently against the shared
+  // metric registry, trace recorder, and model-state vector.
+  constexpr size_t kNumDbs = 2 * kThreads;
+  std::vector<std::unique_ptr<SearchEngine>> engines;
+  std::vector<std::string> seed_terms;
+  for (size_t i = 0; i < kNumDbs; ++i) {
+    SyntheticCorpusSpec spec;
+    spec.name = "stress-" + std::to_string(i);
+    spec.num_docs = 120;
+    spec.vocab_size = 8000;
+    spec.num_topics = 2;
+    spec.seed = 4400 + 13 * i;
+    auto engine = BuildSyntheticEngine(spec);
+    ASSERT_TRUE(engine.ok());
+    LanguageModel actual = (*engine)->ActualLanguageModel();
+    for (const auto& [term, score] :
+         actual.RankedTerms(TermMetric::kCtf, 2)) {
+      seed_terms.push_back(term);
+    }
+    engines.push_back(std::move(*engine));
+  }
+
+  ServiceOptions opts;
+  opts.sampler.stopping.max_documents = 30;
+  opts.seed_terms = seed_terms;
+  opts.num_threads = kThreads;
+  SamplingService service(opts);
+  for (auto& engine : engines) {
+    ASSERT_TRUE(service.AddDatabase(engine.get()).ok());
+  }
+
+  TraceRecorder::Global().set_enabled(true);
+  Status status = service.RefreshAll();
+  TraceRecorder::Global().set_enabled(false);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  for (const DatabaseState& s : service.state()) {
+    EXPECT_TRUE(s.has_model) << s.name;
+    EXPECT_GT(s.learned.vocabulary_size(), 0u) << s.name;
+  }
+
+  // Read-only selection from many threads after refresh completes.
+  std::vector<std::thread> selectors;
+  std::atomic<int> ok_selects{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    selectors.emplace_back([&, t] {
+      auto ranking = service.Select(seed_terms[t % seed_terms.size()]);
+      if (ranking.ok() && ranking->size() == kNumDbs) {
+        ok_selects.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : selectors) t.join();
+  EXPECT_EQ(ok_selects.load(), static_cast<int>(kThreads));
+}
+
+}  // namespace
+}  // namespace qbs

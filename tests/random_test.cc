@@ -255,7 +255,7 @@ TEST(ThreadPoolTest, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
   for (int i = 0; i < 100; ++i) {
-    pool.Submit([&counter] { counter.fetch_add(1); });
+    EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 100);
@@ -264,12 +264,25 @@ TEST(ThreadPoolTest, RunsAllTasks) {
 TEST(ThreadPoolTest, WaitIsReusable) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
-  pool.Submit([&counter] { counter.fetch_add(1); });
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
-  pool.Submit([&counter] { counter.fetch_add(1); });
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
   pool.Wait();
   EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  pool.Shutdown();
+  // Shutdown drained the accepted task...
+  EXPECT_EQ(counter.load(), 1);
+  // ...and everything submitted afterwards is rejected, not run.
+  EXPECT_FALSE(pool.Submit([&counter] { counter.fetch_add(1); }));
+  EXPECT_EQ(counter.load(), 1);
+  pool.Shutdown();  // idempotent
 }
 
 TEST(ThreadPoolTest, ParallelForCoversAllIndices) {

@@ -48,9 +48,9 @@ INSTANTIATE_TEST_SUITE_P(
                           SelectionStrategy::kCtfLearned,
                           SelectionStrategy::kAvgTfLearned)),
     [](const ::testing::TestParamInfo<std::tuple<size_t, SelectionStrategy>>&
-           info) {
-      return "N" + std::to_string(std::get<0>(info.param)) + "_" +
-             SelectionStrategyName(std::get<1>(info.param));
+           sweep_info) {
+      return "N" + std::to_string(std::get<0>(sweep_info.param)) + "_" +
+             SelectionStrategyName(std::get<1>(sweep_info.param));
     });
 
 TEST_P(SamplerSweep, CoreInvariantsHold) {

@@ -108,8 +108,10 @@ TEST_F(ServiceTest, SelectRanksRegisteredDatabases) {
   for (const auto& [term, score] : actual0.RankedTerms(TermMetric::kCtf, 50)) {
     bool distinctive = true;
     for (size_t j = 1; j < kNumDbs; ++j) {
-      const TermStats* other =
-          (*engines_)[j]->ActualLanguageModel().Find(term);
+      // ActualLanguageModel() returns by value; the model must outlive
+      // the Find() pointer into it (ASan-caught use-after-free).
+      LanguageModel other_model = (*engines_)[j]->ActualLanguageModel();
+      const TermStats* other = other_model.Find(term);
       if (other != nullptr && other->ctf * 4 > score) distinctive = false;
     }
     if (distinctive) {

@@ -1,0 +1,127 @@
+// Malformed-input tests for the TREC/SGML parser: markup arrives from
+// arbitrary files, so every defect must surface as a graceful Status —
+// never UB, never a silently wrong document stream. The asan-ubsan
+// preset runs these with memory checking on.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/trec_parser.h"
+
+namespace qbs {
+namespace {
+
+using DocList = std::vector<std::pair<std::string, std::string>>;
+
+Result<TrecParseStats> Parse(const std::string& input, DocList* docs) {
+  std::istringstream in(input);
+  return ParseTrecStream(in, [docs](const std::string& docno,
+                                    const std::string& text) {
+    docs->emplace_back(docno, text);
+  });
+}
+
+TEST(TrecMalformedTest, UnterminatedDocIsCorruption) {
+  DocList docs;
+  auto stats = Parse(
+      "<DOC>\n<DOCNO> A </DOCNO>\n<TEXT>\nbody text\n</TEXT>\n", &docs);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCorruption());
+  EXPECT_TRUE(docs.empty());
+}
+
+TEST(TrecMalformedTest, NestedDocIsCorruption) {
+  DocList docs;
+  auto stats = Parse(
+      "<DOC>\n<DOCNO> A </DOCNO>\n"
+      "<DOC>\n<DOCNO> B </DOCNO>\n</DOC>\n</DOC>\n",
+      &docs);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCorruption());
+  EXPECT_NE(stats.status().ToString().find("nested"), std::string::npos);
+}
+
+TEST(TrecMalformedTest, MissingDocnoIsCorruption) {
+  DocList docs;
+  auto stats = Parse("<DOC>\n<TEXT>\nno id\n</TEXT>\n</DOC>\n", &docs);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCorruption());
+}
+
+TEST(TrecMalformedTest, NonUtf8BytesPassThroughVerbatim) {
+  // TREC collections predate UTF-8; the parser must treat document text
+  // as bytes. Latin-1 high bytes and stray continuation bytes must
+  // neither crash nor be altered.
+  std::string body = "caf\xE9 na\xEFve \xFF\xFE\x80 bytes";
+  DocList docs;
+  auto stats = Parse(
+      "<DOC>\n<DOCNO> BYTES-1 </DOCNO>\n<TEXT>\n" + body +
+          "\n</TEXT>\n</DOC>\n",
+      &docs);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].first, "BYTES-1");
+  EXPECT_EQ(docs[0].second, body + "\n");
+}
+
+TEST(TrecMalformedTest, UnclosedTextSectionIsUnterminatedDoc) {
+  // </DOC> is swallowed by an unclosed <TEXT> section, so the document
+  // never terminates: the parser must report, not loop or misattribute.
+  DocList docs;
+  auto stats = Parse(
+      "<DOC>\n<DOCNO> A </DOCNO>\n<TEXT>\nbody\n</DOC>\n", &docs);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCorruption());
+}
+
+TEST(TrecMalformedTest, StrayClosingTagsAreSkipped) {
+  // Closing tags with no opener are unknown markup inside/outside a
+  // document; the parser skips them rather than failing.
+  DocList docs;
+  auto stats = Parse(
+      "</TEXT>\n</DOC-TYPO>\n"
+      "<DOC>\n<DOCNO> A </DOCNO>\n<TEXT>\nok\n</TEXT>\n</DOC>\n",
+      &docs);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(docs.size(), 1u);
+  EXPECT_EQ(docs[0].second, "ok\n");
+}
+
+TEST(TrecMalformedTest, EmptyAndWhitespaceOnlyInputs) {
+  DocList docs;
+  auto stats = Parse("", &docs);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->docs, 0u);
+
+  stats = Parse("\n  \n\t\n", &docs);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->docs, 0u);
+  EXPECT_TRUE(docs.empty());
+}
+
+TEST(TrecMalformedTest, DocumentAfterCorruptionIsNotReported) {
+  // The parser fails fast: once corruption is detected nothing further
+  // is emitted, so callers cannot half-ingest a broken file.
+  DocList docs;
+  auto stats = Parse(
+      "<DOC>\n<DOCNO> A </DOCNO>\n<DOC>\n"
+      "<DOC>\n<DOCNO> B </DOCNO>\n<TEXT>x</TEXT>\n</DOC>\n",
+      &docs);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(docs.empty());
+}
+
+TEST(TrecMalformedTest, MalformedInlineDocnoYieldsEmptyIdError) {
+  // "<DOCNO>" with no closing tag on the line extracts nothing; the
+  // document then ends without an id, which is corruption, not UB.
+  DocList docs;
+  auto stats = Parse("<DOC>\n<DOCNO> dangling\n</DOC>\n", &docs);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_TRUE(stats.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,293 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint for qbs.
+
+Enforces the structural invariants clang-tidy cannot express:
+
+  guard    every header's include guard is QBS_<PATH>_H_ (path relative
+           to the include root, so src/util/thread_pool.h guards with
+           QBS_UTIL_THREAD_POOL_H_)
+  cout     no naked std::cout in library or test code (src/, tests/);
+           stdout belongs to tools/, examples/ and bench/ binaries only
+  cmake    every .cc under src/ is listed in its directory's
+           CMakeLists.txt (an unlisted file silently never builds)
+  log      no QBS_LOG in headers under src/ — headers are included into
+           hot paths and must not force the logging machinery (and its
+           ostringstream) on every includer
+  format   clang-format --dry-run is clean (skipped with a notice when
+           clang-format is not installed; `--fix` rewrites in place)
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+
+`--self-test` seeds one violation per check into a scratch tree and
+verifies each is caught (and that a clean tree passes); it is wired into
+ctest so the linter itself stays honest.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+# Directories scanned for C++ sources, relative to the repo root.
+SCAN_DIRS = ("src", "tests", "tools", "bench", "examples")
+# std::cout is the interface of these binaries, not a lint violation.
+COUT_ALLOWED_DIRS = ("tools", "examples", "bench")
+# log.h *defines* QBS_LOG; every other header must not use it.
+LOG_HEADER_EXEMPT = ("src/obs/log.h",)
+
+
+def find_repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def cxx_files(root):
+    for scan in SCAN_DIRS:
+        top = os.path.join(root, scan)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def rel(root, path):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def expected_guard(relpath):
+    """src/util/thread_pool.h -> QBS_UTIL_THREAD_POOL_H_ ; directories
+    outside src/ keep their prefix (bench/harness/experiment.h ->
+    QBS_BENCH_HARNESS_EXPERIMENT_H_)."""
+    stem = relpath[len("src/"):] if relpath.startswith("src/") else relpath
+    stem = re.sub(r"\.(h|hpp)$", "", stem)
+    return "QBS_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_H_"
+
+
+def check_guards(root):
+    violations = []
+    for path in cxx_files(root):
+        relpath = rel(root, path)
+        if not relpath.endswith((".h", ".hpp")):
+            continue
+        guard = expected_guard(relpath)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+            violations.append(
+                (relpath, 1, f"include guard must be {guard} "
+                             f"(#ifndef/#define pair)"))
+    return violations
+
+
+def check_cout(root):
+    violations = []
+    for path in cxx_files(root):
+        relpath = rel(root, path)
+        if relpath.split("/", 1)[0] in COUT_ALLOWED_DIRS:
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for lineno, line in enumerate(f, 1):
+                stripped = line.split("//", 1)[0]
+                if "std::cout" in stripped:
+                    violations.append(
+                        (relpath, lineno,
+                         "naked std::cout in library/test code; report via "
+                         "Status, QBS_LOG, or a caller-supplied ostream"))
+    return violations
+
+
+def check_cmake_lists(root):
+    violations = []
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        return violations
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+        cc_files = sorted(n for n in filenames if n.endswith((".cc", ".cpp")))
+        if not cc_files:
+            continue
+        cmake_path = os.path.join(dirpath, "CMakeLists.txt")
+        if not os.path.isfile(cmake_path):
+            violations.append(
+                (rel(root, dirpath), 1,
+                 "directory holds .cc files but has no CMakeLists.txt"))
+            continue
+        with open(cmake_path, encoding="utf-8", errors="replace") as f:
+            cmake = f.read()
+        for name in cc_files:
+            if not re.search(r"\b" + re.escape(name) + r"\b", cmake):
+                violations.append(
+                    (rel(root, os.path.join(dirpath, name)), 1,
+                     f"not listed in {rel(root, cmake_path)}; "
+                     f"the file never builds"))
+    return violations
+
+
+def check_log_in_headers(root):
+    violations = []
+    for path in cxx_files(root):
+        relpath = rel(root, path)
+        if not (relpath.startswith("src/") and relpath.endswith((".h", ".hpp"))):
+            continue
+        if relpath in LOG_HEADER_EXEMPT:
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for lineno, line in enumerate(f, 1):
+                stripped = line.split("//", 1)[0]
+                if re.search(r"\bQBS_LOG(_IF)?\s*\(", stripped):
+                    violations.append(
+                        (relpath, lineno,
+                         "QBS_LOG in a header drags logging into every "
+                         "includer's hot path; move it to the .cc"))
+    return violations
+
+
+def clang_format_exe():
+    return shutil.which("clang-format")
+
+
+def check_format(root, fix=False):
+    exe = clang_format_exe()
+    if exe is None:
+        print("lint: clang-format not installed; format check skipped",
+              file=sys.stderr)
+        return []
+    files = list(cxx_files(root))
+    if fix:
+        subprocess.run([exe, "-i", "--style=file"] + files, cwd=root,
+                       check=True)
+        return []
+    violations = []
+    for path in files:
+        proc = subprocess.run(
+            [exe, "--dry-run", "-Werror", "--style=file", path],
+            cwd=root, capture_output=True, text=True)
+        if proc.returncode != 0:
+            violations.append(
+                (rel(root, path), 1,
+                 "not clang-format clean (run tools/lint.py --fix)"))
+    return violations
+
+
+CHECKS = {
+    "guard": check_guards,
+    "cout": check_cout,
+    "cmake": check_cmake_lists,
+    "log": check_log_in_headers,
+}
+
+
+def run_lint(root, fix=False, checks=None):
+    selected = checks or (list(CHECKS) + ["format"])
+    violations = []
+    for name in selected:
+        if name == "format":
+            violations += [(p, l, f"[format] {m}")
+                           for p, l, m in check_format(root, fix=fix)]
+        else:
+            violations += [(p, l, f"[{name}] {m}")
+                           for p, l, m in CHECKS[name](root)]
+    for path, lineno, message in violations:
+        print(f"{path}:{lineno}: {message}")
+    return 1 if violations else 0
+
+
+# --- self test -----------------------------------------------------------
+
+CLEAN_HEADER = """\
+#ifndef QBS_UTIL_CLEAN_H_
+#define QBS_UTIL_CLEAN_H_
+namespace qbs {}
+#endif  // QBS_UTIL_CLEAN_H_
+"""
+
+
+def seed_tree(root):
+    """A minimal tree that passes every check."""
+    util = os.path.join(root, "src", "util")
+    os.makedirs(util)
+    with open(os.path.join(util, "clean.h"), "w") as f:
+        f.write(CLEAN_HEADER)
+    with open(os.path.join(util, "clean.cc"), "w") as f:
+        f.write('#include "util/clean.h"\n')
+    with open(os.path.join(util, "CMakeLists.txt"), "w") as f:
+        f.write("add_library(qbs_util clean.cc)\n")
+
+
+def self_test():
+    failures = []
+
+    def expect(condition, label):
+        print(f"  {'ok' if condition else 'FAIL'}: {label}")
+        if not condition:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        seed_tree(tmp)
+        expect(run_lint(tmp, checks=list(CHECKS)) == 0, "clean tree passes")
+
+    seeds = {
+        "guard": ("src/util/bad_guard.h",
+                  "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n"),
+        "cout": ("src/util/chatty.cc",
+                 '#include <iostream>\nvoid F() { std::cout << 1; }\n'),
+        "cmake": ("src/util/orphan.cc", "// never listed\n"),
+        "log": ("src/util/hot.h",
+                "#ifndef QBS_UTIL_HOT_H_\n#define QBS_UTIL_HOT_H_\n"
+                'inline void F() { QBS_LOG(INFO) << "x"; }\n#endif\n'),
+    }
+    for check, (path, content) in seeds.items():
+        with tempfile.TemporaryDirectory() as tmp:
+            seed_tree(tmp)
+            full = os.path.join(tmp, path)
+            with open(full, "w") as f:
+                f.write(content)
+            expect(run_lint(tmp, checks=[check]) == 1,
+                   f"seeded {path} trips '{check}'")
+
+    if clang_format_exe() is not None:
+        with tempfile.TemporaryDirectory() as tmp:
+            seed_tree(tmp)
+            with open(os.path.join(tmp, ".clang-format"), "w") as f:
+                f.write("BasedOnStyle: Google\n")
+            with open(os.path.join(tmp, "src", "util", "ugly.cc"), "w") as f:
+                f.write("int  F(   ){return 1 ;}\n")
+            expect(run_lint(tmp, checks=["format"]) == 1,
+                   "unformatted file trips 'format'")
+            expect(run_lint(tmp, fix=True, checks=["format"]) == 0 and
+                   run_lint(tmp, checks=["format"]) == 0,
+                   "--fix makes 'format' pass")
+
+    print(f"self-test: {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply clang-format fixes in place")
+    parser.add_argument("--check", action="append", dest="checks",
+                        choices=list(CHECKS) + ["format"],
+                        help="run only the named check (repeatable)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each check catches a seeded violation")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    root = os.path.abspath(args.root) if args.root else find_repo_root()
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"lint: {root} does not look like the repo root", file=sys.stderr)
+        return 2
+    return run_lint(root, fix=args.fix, checks=args.checks)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
