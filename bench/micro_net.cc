@@ -1,0 +1,141 @@
+// Microbenchmarks: the cost of putting the wire between sampler and
+// database. Local RunQuery/FetchDocument vs. the same calls through
+// DbServer + RemoteTextDatabase over loopback TCP, plus raw ping RTT
+// and wire encode/decode throughput.
+//
+// JSON output for dashboards: --benchmark_format=json
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "lm/language_model.h"
+#include "net/db_server.h"
+#include "net/remote_db.h"
+#include "net/wire.h"
+#include "search/search_engine.h"
+
+namespace qbs {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<SearchEngine> engine;
+  std::unique_ptr<DbServer> server;
+  std::unique_ptr<RemoteTextDatabase> remote;
+  std::vector<std::string> terms;
+  std::string handle;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    SyntheticCorpusSpec spec;
+    spec.name = "bench-net";
+    spec.num_docs = 5'000;
+    spec.vocab_size = 100'000;
+    spec.seed = 17;
+    auto engine = BuildSyntheticEngine(spec);
+    QBS_CHECK(engine.ok());
+    auto* f = new Fixture();
+    f->engine = std::move(*engine);
+
+    f->server = std::make_unique<DbServer>(f->engine.get(), DbServerOptions{});
+    QBS_CHECK(f->server->Start().ok());
+    RemoteDatabaseOptions client;
+    client.host = "127.0.0.1";
+    client.port = f->server->port();
+    f->remote = std::make_unique<RemoteTextDatabase>(client);
+    QBS_CHECK(f->remote->Connect().ok());
+
+    LanguageModel actual = f->engine->ActualLanguageModel();
+    auto ranked = actual.RankedTerms(TermMetric::kDf);
+    for (size_t i = 0; i < 16 && i < ranked.size(); ++i) {
+      f->terms.push_back(ranked[i].first);
+    }
+    auto hits = f->engine->RunQuery(f->terms[0], 4);
+    QBS_CHECK(hits.ok() && !hits->empty());
+    f->handle = (*hits)[0].handle;
+    return f;
+  }();
+  return *fixture;
+}
+
+// Baseline: the database answered in-process, no wire involved.
+void BM_LocalRunQuery(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto hits = f.engine->RunQuery(f.terms[i++ % f.terms.size()], 4);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocalRunQuery);
+
+// The same query through frame + TCP loopback + server + frame back.
+// items_per_second here is remote queries/sec on one connection.
+void BM_RemoteRunQuery(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto hits = f.remote->RunQuery(f.terms[i++ % f.terms.size()], 4);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemoteRunQuery);
+
+void BM_LocalFetchDocument(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    auto text = f.engine->FetchDocument(f.handle);
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LocalFetchDocument);
+
+void BM_RemoteFetchDocument(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    auto text = f.remote->FetchDocument(f.handle);
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemoteFetchDocument);
+
+// The floor under every remote call: one minimal frame each way over
+// loopback. Everything above this number is payload and server work.
+void BM_RemotePingRtt(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    Status status = f.remote->Connect();
+    benchmark::DoNotOptimize(status);
+    QBS_CHECK(status.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemotePingRtt);
+
+// Pure serialization cost, no socket: how fast frames are built/parsed.
+void BM_WireEncodeDecodeResponse(benchmark::State& state) {
+  WireResponse response;
+  response.request_id = 1;
+  response.method = WireMethod::kRunQuery;
+  for (int i = 0; i < 10; ++i) {
+    response.hits.push_back({"doc-" + std::to_string(i), 1.0 / (i + 1)});
+  }
+  for (auto _ : state) {
+    auto decoded = DecodeResponse(EncodeResponse(response));
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WireEncodeDecodeResponse);
+
+}  // namespace
+}  // namespace qbs
+
+BENCHMARK_MAIN();

@@ -35,15 +35,8 @@ std::unique_ptr<qbs::SearchEngine> BuildDb(const std::string& name,
   return std::move(*engine);
 }
 
-}  // namespace
-
-int main() {
-  std::filesystem::path model_dir =
-      std::filesystem::temp_directory_path() / "qbs_service_demo_models";
-  std::filesystem::remove_all(model_dir);
-
-  // The federation.
-  std::vector<std::unique_ptr<qbs::SearchEngine>> dbs;
+std::vector<std::unique_ptr<qbs::TextDatabase>> BuildFederation() {
+  std::vector<std::unique_ptr<qbs::TextDatabase>> dbs;
   dbs.push_back(BuildDb("medicine-db", 501,
                         {"patient", "clinical", "diagnosis", "therapy",
                          "dosage", "vaccine"}));
@@ -53,6 +46,15 @@ int main() {
   dbs.push_back(BuildDb("gaming-db", 503,
                         {"console", "multiplayer", "quest", "arcade",
                          "leaderboard", "loot"}));
+  return dbs;
+}
+
+}  // namespace
+
+int main() {
+  std::filesystem::path model_dir =
+      std::filesystem::temp_directory_path() / "qbs_service_demo_models";
+  std::filesystem::remove_all(model_dir);
 
   qbs::ServiceOptions options;
   options.sampler.stopping.max_documents = 200;
@@ -65,8 +67,10 @@ int main() {
 
   {
     qbs::SamplingService service(options);
-    for (auto& db : dbs) {
-      qbs::Status s = service.AddDatabase(db.get());
+    // The owning AddDatabase overload: the service keeps each database
+    // alive, so the federation needs no separate storage on our side.
+    for (auto& db : BuildFederation()) {
+      qbs::Status s = service.AddDatabase(std::move(db));
       if (!s.ok()) {
         std::fprintf(stderr, "%s\n", s.ToString().c_str());
         return 1;
@@ -100,7 +104,9 @@ int main() {
   // persisted models — zero queries to the databases.
   {
     qbs::SamplingService service(options);
-    for (auto& db : dbs) (void)service.AddDatabase(db.get());
+    for (auto& db : BuildFederation()) {
+      (void)service.AddDatabase(std::move(db));
+    }
     qbs::Status s = service.LoadModels();
     if (!s.ok()) {
       std::fprintf(stderr, "%s\n", s.ToString().c_str());

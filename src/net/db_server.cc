@@ -1,0 +1,238 @@
+#include "net/db_server.h"
+
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qbs {
+
+namespace {
+
+struct ServerMetrics {
+  Counter* connections_total;
+  Gauge* active_connections;
+  Counter* errors;
+  Histogram* request_latency_us;
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      ServerMetrics m;
+      m.connections_total =
+          r.GetCounter("qbs_net_server_connections_total",
+                       "Connections accepted by DbServer");
+      m.active_connections =
+          r.GetGauge("qbs_net_server_active_connections",
+                     "Connections currently being served");
+      m.errors = r.GetCounter(
+          "qbs_net_server_errors_total",
+          "Undecodable frames and transport failures on the server side");
+      m.request_latency_us = r.GetHistogram(
+          "qbs_net_server_request_latency_us", Histogram::LatencyBoundsUs(),
+          "Server-side request handling latency, database call included");
+      return m;
+    }();
+    return metrics;
+  }
+
+  static Counter* Requests(WireMethod method) {
+    // One labeled series per method; registration is locked, so look
+    // each up once.
+    static Counter* const per_method[] = {
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method", "ping"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "server_info"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method", "run_query"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "fetch_document"),
+            "Requests served, by method"),
+    };
+    return per_method[static_cast<uint32_t>(method) - 1];
+  }
+};
+
+}  // namespace
+
+DbServer::DbServer(TextDatabase* db, DbServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+DbServer::~DbServer() { Stop(); }
+
+bool DbServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::string DbServer::address() const {
+  return options_.host + ":" + std::to_string(port_);
+}
+
+Status DbServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition("DbServer already started");
+  }
+  auto listener = TcpListener::Listen(options_.host, options_.port);
+  QBS_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+  port_ = listener_->port();
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  QBS_LOG(INFO) << "DbServer: serving '" << db_->name() << "' on "
+                << options_.host << ":" << port_;
+  return Status::OK();
+}
+
+void DbServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    // Stop the intake first: no new connections reach the pool.
+    listener_->CloseListener();
+    // Wake every blocked connection reader; their tasks then drain.
+    for (SocketStream* stream : active_) stream->Close();
+  }
+  accept_thread_.join();
+  // Queued-but-unserved connections run their task post-Close and exit
+  // immediately on the first read; Shutdown drains them all.
+  pool_->Shutdown();
+  QBS_LOG(INFO) << "DbServer: '" << db_->name() << "' on port " << port_
+                << " stopped";
+}
+
+void DbServer::AcceptLoop() {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  while (true) {
+    auto conn = listener_->Accept();
+    if (!conn.ok()) return;  // listener closed (or irrecoverable)
+    metrics.connections_total->Increment();
+    auto stream = std::make_shared<SocketStream>(std::move(*conn));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!running_) {
+        stream->Close();
+        return;
+      }
+      active_.insert(stream.get());
+    }
+    bool accepted =
+        pool_->Submit([this, stream] { ServeConnection(stream); });
+    if (!accepted) {
+      // Shutdown raced the accept; the connection is dropped.
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.erase(stream.get());
+      stream->Close();
+    }
+  }
+}
+
+void DbServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  metrics.active_connections->Add(1.0);
+  while (true) {
+    auto payload = ReadFrame(*stream, options_.max_frame_bytes);
+    if (!payload.ok()) {
+      // Peer hung up (the normal end of a connection), shutdown woke us,
+      // or the frame was oversized/garbled. Only the latter is an error.
+      if (payload.status().IsCorruption()) {
+        metrics.errors->Increment();
+        QBS_LOG(WARNING) << "DbServer: dropping connection: "
+                         << payload.status().ToString();
+      }
+      break;
+    }
+    auto request = DecodeRequest(*payload);
+    if (!request.ok()) {
+      // Without a decoded header there is no request id to answer to;
+      // the stream is out of sync, so drop the connection.
+      metrics.errors->Increment();
+      QBS_LOG(WARNING) << "DbServer: undecodable request: "
+                       << request.status().ToString();
+      break;
+    }
+    WireResponse response;
+    {
+      QBS_TRACE_SPAN("net.serve", WireMethodName(request->method));
+      ScopedTimerUs timer(metrics.request_latency_us);
+      ServerMetrics::Requests(request->method)->Increment();
+      response = HandleRequest(*request);
+    }
+    Status sent = WriteFrame(*stream, EncodeResponse(response));
+    if (!sent.ok()) {
+      metrics.errors->Increment();
+      break;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_.erase(stream.get());
+  }
+  metrics.active_connections->Add(-1.0);
+}
+
+WireResponse DbServer::HandleRequest(const WireRequest& request) {
+  WireResponse response;
+  response.request_id = request.request_id;
+  response.method = request.method;
+  if (request.protocol_version != kWireProtocolVersion) {
+    response.status = Status::FailedPrecondition(
+        "protocol version " + std::to_string(request.protocol_version) +
+        " not supported; server speaks version " +
+        std::to_string(kWireProtocolVersion));
+    return response;
+  }
+  switch (request.method) {
+    case WireMethod::kPing:
+      break;
+    case WireMethod::kServerInfo:
+      response.server_name = db_->name();
+      response.server_protocol_version = kWireProtocolVersion;
+      break;
+    case WireMethod::kRunQuery: {
+      Result<std::vector<SearchHit>> hits = [&] {
+        if (options_.serialize_database) {
+          std::lock_guard<std::mutex> lock(db_mu_);
+          return db_->RunQuery(request.query,
+                               static_cast<size_t>(request.max_results));
+        }
+        return db_->RunQuery(request.query,
+                             static_cast<size_t>(request.max_results));
+      }();
+      if (hits.ok()) {
+        response.hits = std::move(*hits);
+      } else {
+        response.status = hits.status();
+      }
+      break;
+    }
+    case WireMethod::kFetchDocument: {
+      Result<std::string> text = [&] {
+        if (options_.serialize_database) {
+          std::lock_guard<std::mutex> lock(db_mu_);
+          return db_->FetchDocument(request.handle);
+        }
+        return db_->FetchDocument(request.handle);
+      }();
+      if (text.ok()) {
+        response.document = std::move(*text);
+      } else {
+        response.status = text.status();
+      }
+      break;
+    }
+  }
+  return response;
+}
+
+}  // namespace qbs

@@ -1,0 +1,99 @@
+// DbServer: exposes one local TextDatabase on a TCP port over the qbs
+// wire protocol (net/wire.h), making an in-process engine reachable the
+// only way the paper assumes a real database is — through a remote
+// query/fetch interface.
+//
+// Model: one dedicated accept thread; each accepted connection is served
+// as a ThreadPool task that loops request->response until the peer hangs
+// up (connection-per-worker — at most `num_workers` connections are
+// served concurrently; further accepted connections wait in the pool
+// queue). Stop() is graceful: stop accepting, wake every blocked
+// connection reader, drain the pool.
+#ifndef QBS_NET_DB_SERVER_H_
+#define QBS_NET_DB_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "search/text_database.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace qbs {
+
+struct DbServerOptions {
+  /// Bind address. The default serves loopback only; use "0.0.0.0" to
+  /// accept remote peers.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Worker threads == maximum concurrently served connections.
+  size_t num_workers = 4;
+  /// Inbound frames larger than this are rejected and the connection
+  /// dropped.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Serialize calls into the wrapped database. SearchEngine is only
+  /// thread-compatible, so this defaults on; flip it off for databases
+  /// that are themselves thread-safe (e.g. a RemoteTextDatabase proxy).
+  bool serialize_database = true;
+};
+
+/// A blocking TCP server for one TextDatabase. Thread-safe. The wrapped
+/// database must outlive the server.
+class DbServer {
+ public:
+  DbServer(TextDatabase* db, DbServerOptions options);
+  /// Stops the server (Stop()) if still running.
+  ~DbServer();
+
+  DbServer(const DbServer&) = delete;
+  DbServer& operator=(const DbServer&) = delete;
+
+  /// Binds, listens, and starts accepting. Fails if the port is taken or
+  /// the server was already started.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, unblocks every in-flight
+  /// connection reader, and drains the worker pool. In-flight requests
+  /// finish; idle connections are dropped. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start() succeeded).
+  uint16_t port() const { return port_; }
+
+  /// True between a successful Start() and Stop().
+  bool running() const;
+
+  /// host:port of this server (valid after Start()).
+  std::string address() const;
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<SocketStream> stream);
+  WireResponse HandleRequest(const WireRequest& request);
+
+  TextDatabase* db_;
+  DbServerOptions options_;
+  uint16_t port_ = 0;
+
+  std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  bool running_ = false;
+  // Streams of live connections, so Stop() can wake their readers.
+  std::unordered_set<SocketStream*> active_;
+  // Guards calls into db_ when options_.serialize_database is set.
+  std::mutex db_mu_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_NET_DB_SERVER_H_

@@ -1,0 +1,106 @@
+// RemoteTextDatabase: a TextDatabase whose implementation lives on the
+// far side of a qbs wire-protocol connection (net/db_server.h).
+//
+// This is the paper's actual deployment shape: the selection service
+// learns language models from databases it can only reach through a
+// remote query/fetch interface. Because this class *is* a TextDatabase,
+// SamplingService and QueryBasedSampler drive remote databases with
+// zero changes to the sampling logic.
+//
+// Reliability: connections are pooled and reused; every call carries a
+// deadline; failures classified transient by Status::IsTransient()
+// (Unavailable / DeadlineExceeded / IOError) are retried with capped
+// exponential backoff plus deterministic jitter. Server-side statuses
+// (e.g. NotFound for a bad handle) pass through verbatim.
+#ifndef QBS_NET_REMOTE_DB_H_
+#define QBS_NET_REMOTE_DB_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "net/wire.h"
+#include "search/text_database.h"
+#include "util/status.h"
+
+namespace qbs {
+
+struct RemoteDatabaseOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Per-attempt deadline covering send + server work + receive.
+  uint64_t call_timeout_us = 5'000'000;
+  /// Deadline for establishing one TCP connection.
+  uint64_t connect_timeout_us = 2'000'000;
+  /// Total attempts per call (1 = no retry). Only transient failures
+  /// (Status::IsTransient) are retried.
+  size_t max_attempts = 4;
+  /// Backoff before retry k (0-based) is
+  ///   min(backoff_initial_us * backoff_multiplier^k, backoff_max_us)
+  /// scaled by a jitter factor uniform in [0.5, 1.0) so a fleet of
+  /// clients retrying a recovered server does not stampede in phase.
+  uint64_t backoff_initial_us = 10'000;
+  uint64_t backoff_max_us = 1'000'000;
+  double backoff_multiplier = 2.0;
+  /// Seed of the (deterministic) jitter stream.
+  uint64_t jitter_seed = 1;
+  /// Idle connections kept for reuse. Concurrent calls beyond this
+  /// dial extra connections and close the surplus afterwards.
+  size_t max_idle_connections = 4;
+  /// Inbound frames larger than this are rejected as Corruption.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Test seam: when set, used instead of a TCP dial to produce
+  /// connections — e.g. wrapping the real stream in a FaultyTransport.
+  std::function<Result<std::unique_ptr<ByteStream>>()> connector;
+};
+
+/// A TextDatabase served over the wire. Thread-safe: concurrent calls
+/// share the connection pool and take separate connections.
+class RemoteTextDatabase : public TextDatabase {
+ public:
+  explicit RemoteTextDatabase(RemoteDatabaseOptions options);
+  ~RemoteTextDatabase() override;
+
+  /// Performs a ServerInfo round trip: verifies the server speaks this
+  /// protocol version and caches the remote database's name. Optional —
+  /// the first RunQuery dials on demand — but calling it up front turns
+  /// "wrong port" into an immediate, attributable error.
+  Status Connect();
+
+  /// The remote database's name once known (Connect() or any successful
+  /// ServerInfo); "remote:host:port" before that.
+  std::string name() const override;
+
+  Result<std::vector<SearchHit>> RunQuery(std::string_view query,
+                                          size_t max_results) override;
+  Result<std::string> FetchDocument(std::string_view handle) override;
+
+  /// Transient failures retried so far (mirrors qbs_net_retry_total,
+  /// but per-instance).
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+
+ private:
+  Result<std::unique_ptr<ByteStream>> AcquireConnection();
+  void ReleaseConnection(std::unique_ptr<ByteStream> conn);
+  /// One framed request/response exchange with retry + backoff.
+  Result<WireResponse> Call(WireRequest request);
+  /// A single attempt on one connection.
+  Result<WireResponse> CallOnce(ByteStream& conn, const WireRequest& request);
+
+  RemoteDatabaseOptions options_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> retries_{0};
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ByteStream>> idle_;
+  std::string server_name_;  // empty until learned
+};
+
+}  // namespace qbs
+
+#endif  // QBS_NET_REMOTE_DB_H_

@@ -1,0 +1,255 @@
+#include "net/socket.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "obs/trace.h"
+
+namespace qbs {
+
+namespace {
+
+std::string ErrnoMessage(const char* what, int err) {
+  return std::string(what) + ": " +
+         std::error_code(err, std::generic_category()).message();
+}
+
+// The taxonomy ByteStream promises: peer-gone errors are Unavailable
+// (transient), everything else at this layer is IOError (also
+// transient, but distinguishable in metrics and logs).
+Status SocketError(const char* what, int err) {
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case ECONNABORTED:
+    case EPIPE:
+    case ENETUNREACH:
+    case EHOSTUNREACH:
+      return Status::Unavailable(ErrnoMessage(what, err));
+    default:
+      return Status::IOError(ErrnoMessage(what, err));
+  }
+}
+
+}  // namespace
+
+SocketStream::SocketStream(UniqueFd fd) : fd_(std::move(fd)) {}
+
+SocketStream::~SocketStream() = default;
+
+Status SocketStream::PollReady(short events) {
+  while (true) {
+    uint64_t deadline = deadline_us_.load(std::memory_order_relaxed);
+    int timeout_ms = -1;
+    if (deadline != 0) {
+      uint64_t now = MonotonicMicros();
+      if (now >= deadline) {
+        return Status::DeadlineExceeded("socket deadline expired");
+      }
+      // Round up so a sub-millisecond remainder does not spin.
+      timeout_ms = static_cast<int>((deadline - now + 999) / 1000);
+    }
+    pollfd pfd{};
+    pfd.fd = fd_.get();
+    pfd.events = events;
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0) return Status::OK();
+    if (ready == 0) continue;  // timeout slice elapsed; recheck deadline
+    if (errno == EINTR) continue;
+    return SocketError("poll", errno);
+  }
+}
+
+Status SocketStream::WriteAll(const uint8_t* data, size_t n) {
+  size_t sent = 0;
+  while (sent < n) {
+    QBS_RETURN_IF_ERROR(PollReady(POLLOUT));
+    ssize_t w = ::send(fd_.get(), data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return SocketError("send", errno);
+  }
+  return Status::OK();
+}
+
+Status SocketStream::ReadFull(uint8_t* data, size_t n) {
+  size_t received = 0;
+  while (received < n) {
+    QBS_RETURN_IF_ERROR(PollReady(POLLIN));
+    ssize_t r = ::recv(fd_.get(), data + received, n - received, 0);
+    if (r > 0) {
+      received += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) {
+      return Status::Unavailable("connection closed by peer");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return SocketError("recv", errno);
+  }
+  return Status::OK();
+}
+
+void SocketStream::SetDeadlineMicros(uint64_t deadline_us) {
+  deadline_us_.store(deadline_us, std::memory_order_relaxed);
+}
+
+void SocketStream::Close() {
+  // Shutdown, not close: another thread may be blocked in recv/poll on
+  // this descriptor, and closing would let the fd number be reused under
+  // it. The descriptor itself is released by the UniqueFd destructor.
+  ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Result<std::unique_ptr<SocketStream>> SocketStream::Dial(
+    const std::string& host, uint16_t port, uint64_t connect_timeout_us) {
+  QBS_TRACE_SPAN("net.connect", host);
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    return Status::Unavailable("resolve " + host + ": " +
+                               ::gai_strerror(rc));
+  }
+  Status last_error =
+      Status::Unavailable("no addresses resolved for " + host);
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    UniqueFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_error = SocketError("socket", errno);
+      continue;
+    }
+    // Non-blocking connect so the timeout is enforceable via poll.
+    int flags = ::fcntl(fd.get(), F_GETFL, 0);
+    ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+    rc = ::connect(fd.get(), ai->ai_addr, ai->ai_addrlen);
+    if (rc != 0 && errno != EINPROGRESS) {
+      last_error = SocketError("connect", errno);
+      continue;
+    }
+    if (rc != 0) {
+      auto stream = std::make_unique<SocketStream>(std::move(fd));
+      stream->SetDeadlineMicros(
+          connect_timeout_us == 0 ? 0 : MonotonicMicros() + connect_timeout_us);
+      Status ready = stream->PollReady(POLLOUT);
+      if (!ready.ok()) {
+        last_error = std::move(ready);
+        continue;
+      }
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      ::getsockopt(stream->fd_.get(), SOL_SOCKET, SO_ERROR, &so_error, &len);
+      if (so_error != 0) {
+        last_error = SocketError("connect", so_error);
+        continue;
+      }
+      fd = std::move(stream->fd_);
+    }
+    flags = ::fcntl(fd.get(), F_GETFL, 0);
+    ::fcntl(fd.get(), F_SETFL, flags & ~O_NONBLOCK);
+    // RPC frames are small; Nagle would add 40ms stalls to every call.
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ::freeaddrinfo(results);
+    return std::make_unique<SocketStream>(std::move(fd));
+  }
+  ::freeaddrinfo(results);
+  return last_error;
+}
+
+Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
+    const std::string& host, uint16_t port, int backlog) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                         service.c_str(), &hints, &results);
+  if (rc != 0) {
+    return Status::Unavailable("resolve " + host + ": " +
+                               ::gai_strerror(rc));
+  }
+  Status last_error = Status::Unavailable("no addresses resolved");
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    UniqueFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_error = SocketError("socket", errno);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) {
+      last_error = SocketError("bind", errno);
+      continue;
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+      last_error = SocketError("listen", errno);
+      continue;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+        0) {
+      last_error = SocketError("getsockname", errno);
+      continue;
+    }
+    uint16_t bound_port = ntohs(bound.sin_port);
+    ::freeaddrinfo(results);
+    return std::unique_ptr<TcpListener>(
+        new TcpListener(std::move(fd), bound_port));
+  }
+  ::freeaddrinfo(results);
+  return last_error;
+}
+
+Result<UniqueFd> TcpListener::Accept() {
+  while (!closed_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = fd_.get();
+    pfd.events = POLLIN;
+    // Finite slices so CloseListener() is observed promptly even if the
+    // shutdown() wake-up is not delivered on this platform.
+    int ready = ::poll(&pfd, 1, 50);
+    if (ready < 0 && errno != EINTR) return SocketError("poll", errno);
+    if (ready <= 0) continue;
+    int conn = ::accept(fd_.get(), nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK || errno == EINVAL) {
+        continue;
+      }
+      return SocketError("accept", errno);
+    }
+    int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return UniqueFd(conn);
+  }
+  return Status::Unavailable("listener closed");
+}
+
+void TcpListener::CloseListener() {
+  closed_.store(true, std::memory_order_release);
+  // Best-effort wake of a blocked Accept (the poll slice is the fallback).
+  ::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+}  // namespace qbs

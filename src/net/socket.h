@@ -1,0 +1,83 @@
+// Blocking TCP primitives behind the ByteStream seam: a deadline-aware
+// socket stream, a dialer, and a listener.
+//
+// All waiting is poll()-based so per-call deadlines work without
+// touching socket-level timeout options, and writes use MSG_NOSIGNAL so
+// a vanished peer surfaces as a Status instead of SIGPIPE.
+#ifndef QBS_NET_SOCKET_H_
+#define QBS_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/transport.h"
+#include "util/fd.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// A connected TCP socket as a ByteStream. Reads and writes honor the
+/// deadline set with SetDeadlineMicros. Close() is safe to call from
+/// another thread while a read is blocked (it shuts the socket down,
+/// waking the reader with Unavailable).
+class SocketStream : public ByteStream {
+ public:
+  /// Adopts a connected socket descriptor.
+  explicit SocketStream(UniqueFd fd);
+  ~SocketStream() override;
+
+  /// Connects to host:port (numeric IPv4 or a resolvable name such as
+  /// "localhost") within `connect_timeout_us` (0 = no limit). Connection
+  /// refusals and resolution failures are Unavailable; a timeout is
+  /// DeadlineExceeded.
+  static Result<std::unique_ptr<SocketStream>> Dial(
+      const std::string& host, uint16_t port, uint64_t connect_timeout_us);
+
+  Status WriteAll(const uint8_t* data, size_t n) override;
+  Status ReadFull(uint8_t* data, size_t n) override;
+  void SetDeadlineMicros(uint64_t deadline_us) override;
+  void Close() override;
+
+ private:
+  /// Waits until the socket is ready for `events` (POLLIN/POLLOUT) or
+  /// the deadline expires.
+  Status PollReady(short events);
+
+  UniqueFd fd_;
+  std::atomic<uint64_t> deadline_us_{0};
+};
+
+/// A listening TCP socket. Accept() blocks; CloseListener() (from any
+/// thread) wakes it with Unavailable — the graceful-shutdown handshake
+/// DbServer relies on.
+class TcpListener {
+ public:
+  /// Binds and listens on host:port. Port 0 binds an ephemeral port;
+  /// port() reports the actual one.
+  static Result<std::unique_ptr<TcpListener>> Listen(const std::string& host,
+                                                     uint16_t port,
+                                                     int backlog = 64);
+
+  /// The bound port.
+  uint16_t port() const { return port_; }
+
+  /// Accepts one connection. Returns Unavailable once the listener is
+  /// closed.
+  Result<UniqueFd> Accept();
+
+  /// Stops accepting; a blocked Accept() returns Unavailable.
+  void CloseListener();
+
+ private:
+  TcpListener(UniqueFd fd, uint16_t port) : fd_(std::move(fd)), port_(port) {}
+
+  UniqueFd fd_;
+  uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace qbs
+
+#endif  // QBS_NET_SOCKET_H_

@@ -1,0 +1,49 @@
+#include "net/transport.h"
+
+#include <chrono>
+#include <thread>
+
+namespace qbs {
+
+FaultyTransport::FaultyTransport(std::unique_ptr<ByteStream> inner,
+                                 FaultPlan plan)
+    : inner_(std::move(inner)), plan_(plan) {}
+
+Status FaultyTransport::WriteAll(const uint8_t* data, size_t n) {
+  ++writes_;
+  if (plan_.drop_every_n_writes != 0 &&
+      writes_ % plan_.drop_every_n_writes == 0) {
+    ++writes_dropped_;
+    return Status::OK();  // the caller believes the frame went out
+  }
+  if (plan_.truncate_every_n_writes != 0 &&
+      writes_ % plan_.truncate_every_n_writes == 0) {
+    ++writes_truncated_;
+    QBS_RETURN_IF_ERROR(inner_->WriteAll(data, n / 2));
+    return Status::OK();  // the rest of the frame never leaves
+  }
+  return inner_->WriteAll(data, n);
+}
+
+Status FaultyTransport::ReadFull(uint8_t* data, size_t n) {
+  ++reads_;
+  if (plan_.delay_every_n_reads != 0 &&
+      reads_ % plan_.delay_every_n_reads == 0 && plan_.delay_us > 0) {
+    ++reads_delayed_;
+    std::this_thread::sleep_for(std::chrono::microseconds(plan_.delay_us));
+  }
+  if (plan_.fail_every_n_reads != 0 &&
+      reads_ % plan_.fail_every_n_reads == 0) {
+    ++reads_failed_;
+    return Status::IOError("injected read failure");
+  }
+  return inner_->ReadFull(data, n);
+}
+
+void FaultyTransport::SetDeadlineMicros(uint64_t deadline_us) {
+  inner_->SetDeadlineMicros(deadline_us);
+}
+
+void FaultyTransport::Close() { inner_->Close(); }
+
+}  // namespace qbs

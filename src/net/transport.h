@@ -1,0 +1,96 @@
+// The byte-transport seam of the network layer.
+//
+// Everything above this interface (framing, the wire protocol, the RPC
+// client and server) is deterministic and testable without a kernel
+// socket: tests substitute in-memory streams or wrap a real stream in
+// FaultyTransport to inject drops, delays, and truncation at the byte
+// layer — the failure modes a remote, uncooperative database actually
+// exhibits (paper §3 assumes nothing about the far side's reliability).
+#ifndef QBS_NET_TRANSPORT_H_
+#define QBS_NET_TRANSPORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "util/status.h"
+
+namespace qbs {
+
+/// A bidirectional, connection-oriented byte stream.
+///
+/// Implementations must make WriteAll/ReadFull all-or-error: partial
+/// transfers surface as a non-OK Status, never as a short count. Error
+/// taxonomy contract: peer-gone and connection failures map to
+/// Unavailable, an expired deadline to DeadlineExceeded, other transport
+/// faults to IOError — exactly the codes Status::IsTransient() covers,
+/// so retry policies need no transport-specific knowledge.
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Writes exactly `n` bytes or fails.
+  virtual Status WriteAll(const uint8_t* data, size_t n) = 0;
+
+  /// Reads exactly `n` bytes or fails. A connection cleanly closed by
+  /// the peer before `n` bytes arrive is Unavailable.
+  virtual Status ReadFull(uint8_t* data, size_t n) = 0;
+
+  /// Sets an absolute deadline (MonotonicMicros() timebase) applied to
+  /// every subsequent read and write; 0 clears it (block forever).
+  virtual void SetDeadlineMicros(uint64_t deadline_us) = 0;
+
+  /// Shuts the stream down; blocked and future operations fail. Safe to
+  /// call from another thread (this is how servers interrupt readers).
+  virtual void Close() = 0;
+};
+
+/// Deterministic fault schedule for FaultyTransport. Periods count calls
+/// on this wrapper: frame writers emit one WriteAll per frame, so
+/// `drop_every_n_writes = 3` drops every third frame sent.
+struct FaultPlan {
+  /// Every Nth WriteAll is silently swallowed (0 = never): the caller
+  /// sees success, the peer sees nothing — a lost frame.
+  size_t drop_every_n_writes = 0;
+  /// Every Nth WriteAll sends only the first half of the buffer and then
+  /// reports success — a truncated frame (the peer blocks on the rest).
+  size_t truncate_every_n_writes = 0;
+  /// Every Nth ReadFull fails with IOError (0 = never).
+  size_t fail_every_n_reads = 0;
+  /// Every Nth ReadFull sleeps `delay_us` before delegating (0 = never).
+  size_t delay_every_n_reads = 0;
+  uint64_t delay_us = 0;
+};
+
+/// Wraps a stream and injects faults on the deterministic FaultPlan
+/// schedule. Not thread-safe (use one per connection, like any stream).
+class FaultyTransport : public ByteStream {
+ public:
+  /// Takes ownership of `inner`.
+  FaultyTransport(std::unique_ptr<ByteStream> inner, FaultPlan plan);
+
+  Status WriteAll(const uint8_t* data, size_t n) override;
+  Status ReadFull(uint8_t* data, size_t n) override;
+  void SetDeadlineMicros(uint64_t deadline_us) override;
+  void Close() override;
+
+  /// Faults injected so far (for test assertions).
+  size_t writes_dropped() const { return writes_dropped_; }
+  size_t writes_truncated() const { return writes_truncated_; }
+  size_t reads_failed() const { return reads_failed_; }
+  size_t reads_delayed() const { return reads_delayed_; }
+
+ private:
+  std::unique_ptr<ByteStream> inner_;
+  FaultPlan plan_;
+  size_t writes_ = 0;
+  size_t reads_ = 0;
+  size_t writes_dropped_ = 0;
+  size_t writes_truncated_ = 0;
+  size_t reads_failed_ = 0;
+  size_t reads_delayed_ = 0;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_NET_TRANSPORT_H_

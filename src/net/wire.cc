@@ -1,0 +1,338 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "index/varint.h"
+
+namespace qbs {
+
+namespace {
+
+// StatusCode <-> wire integer. Values are wire-stable and independent of
+// the enum's in-memory order; extend only by appending.
+uint32_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kNotFound:
+      return 2;
+    case StatusCode::kOutOfRange:
+      return 3;
+    case StatusCode::kFailedPrecondition:
+      return 4;
+    case StatusCode::kIOError:
+      return 5;
+    case StatusCode::kCorruption:
+      return 6;
+    case StatusCode::kUnimplemented:
+      return 7;
+    case StatusCode::kInternal:
+      return 8;
+    case StatusCode::kUnavailable:
+      return 9;
+    case StatusCode::kDeadlineExceeded:
+      return 10;
+  }
+  return 8;  // kInternal
+}
+
+StatusCode StatusCodeFromWire(uint32_t value) {
+  switch (value) {
+    case 0:
+      return StatusCode::kOk;
+    case 1:
+      return StatusCode::kInvalidArgument;
+    case 2:
+      return StatusCode::kNotFound;
+    case 3:
+      return StatusCode::kOutOfRange;
+    case 4:
+      return StatusCode::kFailedPrecondition;
+    case 5:
+      return StatusCode::kIOError;
+    case 6:
+      return StatusCode::kCorruption;
+    case 7:
+      return StatusCode::kUnimplemented;
+    case 8:
+      return StatusCode::kInternal;
+    case 9:
+      return StatusCode::kUnavailable;
+    case 10:
+      return StatusCode::kDeadlineExceeded;
+    default:
+      // A code from a future protocol revision: degrade to Internal
+      // rather than failing the whole decode — the message text still
+      // describes the error.
+      return StatusCode::kInternal;
+  }
+}
+
+void PutString(std::vector<uint8_t>& out, const std::string& s) {
+  PutVarint64(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void PutFixed64(std::vector<uint8_t>& out, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+uint64_t DoubleToBits(double value) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("wire: truncated or malformed ") +
+                            what);
+}
+
+bool GetString(const std::vector<uint8_t>& data, size_t* pos,
+               std::string* out) {
+  uint64_t length = 0;
+  if (!GetVarint64(data, pos, &length)) return false;
+  if (length > data.size() - *pos) return false;
+  out->assign(reinterpret_cast<const char*>(data.data()) + *pos,
+              static_cast<size_t>(length));
+  *pos += static_cast<size_t>(length);
+  return true;
+}
+
+bool GetFixed64(const std::vector<uint8_t>& data, size_t* pos,
+                uint64_t* value) {
+  if (data.size() - *pos < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data[*pos + static_cast<size_t>(i)])
+         << (8 * i);
+  }
+  *pos += 8;
+  *value = v;
+  return true;
+}
+
+bool IsKnownMethod(uint32_t method) {
+  return method >= static_cast<uint32_t>(WireMethod::kPing) &&
+         method <= static_cast<uint32_t>(WireMethod::kFetchDocument);
+}
+
+}  // namespace
+
+const char* WireMethodName(WireMethod method) {
+  switch (method) {
+    case WireMethod::kPing:
+      return "ping";
+    case WireMethod::kServerInfo:
+      return "server_info";
+    case WireMethod::kRunQuery:
+      return "run_query";
+    case WireMethod::kFetchDocument:
+      return "fetch_document";
+  }
+  return "unknown";
+}
+
+std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
+  std::vector<uint8_t> out;
+  PutVarint32(out, request.protocol_version);
+  PutVarint64(out, request.request_id);
+  PutVarint32(out, static_cast<uint32_t>(request.method));
+  switch (request.method) {
+    case WireMethod::kPing:
+    case WireMethod::kServerInfo:
+      break;
+    case WireMethod::kRunQuery:
+      PutString(out, request.query);
+      PutVarint64(out, request.max_results);
+      break;
+    case WireMethod::kFetchDocument:
+      PutString(out, request.handle);
+      break;
+  }
+  return out;
+}
+
+Result<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload) {
+  WireRequest request;
+  size_t pos = 0;
+  uint32_t method = 0;
+  if (!GetVarint32(payload, &pos, &request.protocol_version) ||
+      !GetVarint64(payload, &pos, &request.request_id) ||
+      !GetVarint32(payload, &pos, &method)) {
+    return Truncated("request header");
+  }
+  if (!IsKnownMethod(method)) {
+    return Status::Corruption("wire: unknown request method " +
+                              std::to_string(method));
+  }
+  request.method = static_cast<WireMethod>(method);
+  switch (request.method) {
+    case WireMethod::kPing:
+    case WireMethod::kServerInfo:
+      break;
+    case WireMethod::kRunQuery:
+      if (!GetString(payload, &pos, &request.query) ||
+          !GetVarint64(payload, &pos, &request.max_results)) {
+        return Truncated("run_query request body");
+      }
+      break;
+    case WireMethod::kFetchDocument:
+      if (!GetString(payload, &pos, &request.handle)) {
+        return Truncated("fetch_document request body");
+      }
+      break;
+  }
+  if (pos != payload.size()) {
+    return Status::Corruption("wire: trailing bytes after request");
+  }
+  return request;
+}
+
+std::vector<uint8_t> EncodeResponse(const WireResponse& response) {
+  std::vector<uint8_t> out;
+  PutVarint32(out, response.protocol_version);
+  PutVarint64(out, response.request_id);
+  PutVarint32(out, static_cast<uint32_t>(response.method));
+  PutVarint32(out, StatusCodeToWire(response.status.code()));
+  PutString(out, response.status.message());
+  if (!response.status.ok()) return out;  // no body on error
+  switch (response.method) {
+    case WireMethod::kPing:
+      break;
+    case WireMethod::kServerInfo:
+      PutString(out, response.server_name);
+      PutVarint32(out, response.server_protocol_version);
+      break;
+    case WireMethod::kRunQuery:
+      PutVarint64(out, response.hits.size());
+      for (const SearchHit& hit : response.hits) {
+        PutString(out, hit.handle);
+        PutFixed64(out, DoubleToBits(hit.score));
+      }
+      break;
+    case WireMethod::kFetchDocument:
+      PutString(out, response.document);
+      break;
+  }
+  return out;
+}
+
+Result<WireResponse> DecodeResponse(const std::vector<uint8_t>& payload) {
+  WireResponse response;
+  size_t pos = 0;
+  uint32_t method = 0;
+  uint32_t code = 0;
+  std::string message;
+  if (!GetVarint32(payload, &pos, &response.protocol_version) ||
+      !GetVarint64(payload, &pos, &response.request_id) ||
+      !GetVarint32(payload, &pos, &method) ||
+      !GetVarint32(payload, &pos, &code) ||
+      !GetString(payload, &pos, &message)) {
+    return Truncated("response header");
+  }
+  if (!IsKnownMethod(method)) {
+    return Status::Corruption("wire: unknown response method " +
+                              std::to_string(method));
+  }
+  response.method = static_cast<WireMethod>(method);
+  StatusCode status_code = StatusCodeFromWire(code);
+  response.status = status_code == StatusCode::kOk
+                        ? Status::OK()
+                        : Status(status_code, std::move(message));
+  if (!response.status.ok()) {
+    if (pos != payload.size()) {
+      return Status::Corruption("wire: trailing bytes after error response");
+    }
+    return response;
+  }
+  switch (response.method) {
+    case WireMethod::kPing:
+      break;
+    case WireMethod::kServerInfo:
+      if (!GetString(payload, &pos, &response.server_name) ||
+          !GetVarint32(payload, &pos, &response.server_protocol_version)) {
+        return Truncated("server_info response body");
+      }
+      break;
+    case WireMethod::kRunQuery: {
+      uint64_t count = 0;
+      if (!GetVarint64(payload, &pos, &count)) {
+        return Truncated("run_query hit count");
+      }
+      // Each hit is at least 9 bytes (1-byte handle length + 8-byte
+      // score); a count promising more hits than the payload could hold
+      // is corrupt, not a reason to reserve gigabytes.
+      if (count > (payload.size() - pos) / 9 + 1) {
+        return Status::Corruption("wire: hit count exceeds payload");
+      }
+      response.hits.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        SearchHit hit;
+        uint64_t score_bits = 0;
+        if (!GetString(payload, &pos, &hit.handle) ||
+            !GetFixed64(payload, &pos, &score_bits)) {
+          return Truncated("run_query hit");
+        }
+        hit.score = DoubleFromBits(score_bits);
+        response.hits.push_back(std::move(hit));
+      }
+      break;
+    }
+    case WireMethod::kFetchDocument:
+      if (!GetString(payload, &pos, &response.document)) {
+        return Truncated("fetch_document response body");
+      }
+      break;
+  }
+  if (pos != payload.size()) {
+    return Status::Corruption("wire: trailing bytes after response");
+  }
+  return response;
+}
+
+Status WriteFrame(ByteStream& stream, const std::vector<uint8_t>& payload) {
+  // Header and payload go out in a single WriteAll so byte-layer fault
+  // injection (and TCP packetization, mostly) acts on whole frames.
+  std::vector<uint8_t> frame;
+  frame.reserve(4 + payload.size());
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<uint8_t>(length >> (8 * i)));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return stream.WriteAll(frame.data(), frame.size());
+}
+
+Result<std::vector<uint8_t>> ReadFrame(ByteStream& stream,
+                                       size_t max_frame_bytes) {
+  uint8_t header[4];
+  QBS_RETURN_IF_ERROR(stream.ReadFull(header, sizeof(header)));
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (length > max_frame_bytes) {
+    return Status::Corruption("wire: frame of " + std::to_string(length) +
+                              " bytes exceeds limit of " +
+                              std::to_string(max_frame_bytes));
+  }
+  std::vector<uint8_t> payload(length);
+  if (length > 0) {
+    QBS_RETURN_IF_ERROR(stream.ReadFull(payload.data(), payload.size()));
+  }
+  return payload;
+}
+
+}  // namespace qbs

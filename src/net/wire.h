@@ -1,0 +1,98 @@
+// The qbs wire protocol: length-prefixed binary frames carrying the four
+// TextDatabase RPCs (Ping, ServerInfo, RunQuery, FetchDocument).
+//
+// A frame is a 4-byte little-endian payload length followed by the
+// payload. Payload fields are LEB128 varints (src/index/varint) and
+// length-prefixed byte strings; scores travel as raw IEEE-754 bit
+// patterns so a model learned remotely is bit-identical to one learned
+// in-process. Responses carry a full Status (code + message) across the
+// wire, so the client-side TextDatabase surfaces exactly the errors the
+// server-side database produced. docs/PROTOCOL.md specifies the layout,
+// versioning, and compatibility rules.
+#ifndef QBS_NET_WIRE_H_
+#define QBS_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "search/text_database.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// Protocol version spoken by this build. A server replies to any other
+/// version with FailedPrecondition and its own version number, so an old
+/// client gets a diagnosable error instead of garbage.
+inline constexpr uint32_t kWireProtocolVersion = 1;
+
+/// Frames larger than this are rejected as Corruption before any
+/// allocation — a garbled length prefix must not become a giant malloc.
+inline constexpr size_t kDefaultMaxFrameBytes = 64u << 20;  // 64 MiB
+
+/// RPC methods. Values are wire-stable; never renumber.
+enum class WireMethod : uint32_t {
+  kPing = 1,
+  kServerInfo = 2,
+  kRunQuery = 3,
+  kFetchDocument = 4,
+};
+
+/// Stable lowercase method name ("ping", ...; "unknown" otherwise),
+/// used for metric labels and trace span names.
+const char* WireMethodName(WireMethod method);
+
+/// One decoded request.
+struct WireRequest {
+  uint32_t protocol_version = kWireProtocolVersion;
+  /// Client-chosen id echoed back in the response; lets a client detect
+  /// a stale or misrouted response on a reused connection.
+  uint64_t request_id = 0;
+  WireMethod method = WireMethod::kPing;
+  /// kRunQuery only.
+  std::string query;
+  uint64_t max_results = 0;
+  /// kFetchDocument only.
+  std::string handle;
+};
+
+/// One decoded response.
+struct WireResponse {
+  uint32_t protocol_version = kWireProtocolVersion;
+  uint64_t request_id = 0;
+  WireMethod method = WireMethod::kPing;
+  /// The server-side operation's outcome, carried verbatim.
+  Status status;
+  /// kServerInfo only.
+  std::string server_name;
+  uint32_t server_protocol_version = 0;
+  /// kRunQuery only (present when status is OK).
+  std::vector<SearchHit> hits;
+  /// kFetchDocument only (present when status is OK).
+  std::string document;
+};
+
+/// Serializes a request/response into a frame payload (no length prefix).
+std::vector<uint8_t> EncodeRequest(const WireRequest& request);
+std::vector<uint8_t> EncodeResponse(const WireResponse& response);
+
+/// Parses a frame payload. Truncated, overlong, or otherwise malformed
+/// input fails with Corruption; no partial message is ever returned.
+Result<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload);
+Result<WireResponse> DecodeResponse(const std::vector<uint8_t>& payload);
+
+/// Writes `payload` as one frame (length prefix + payload) in a single
+/// stream write, so a byte-layer fault drops or truncates whole frames.
+Status WriteFrame(ByteStream& stream, const std::vector<uint8_t>& payload);
+
+/// Reads one frame and returns its payload. Fails with Corruption when
+/// the length prefix exceeds `max_frame_bytes`, and with the stream's
+/// own status (Unavailable / DeadlineExceeded / IOError) on transport
+/// errors.
+Result<std::vector<uint8_t>> ReadFrame(ByteStream& stream,
+                                       size_t max_frame_bytes);
+
+}  // namespace qbs
+
+#endif  // QBS_NET_WIRE_H_

@@ -75,6 +75,12 @@ Status SamplingService::AddDatabase(TextDatabase* db) {
   return Status::OK();
 }
 
+Status SamplingService::AddDatabase(std::unique_ptr<TextDatabase> db) {
+  QBS_RETURN_IF_ERROR(AddDatabase(db.get()));
+  owned_databases_.push_back(std::move(db));
+  return Status::OK();
+}
+
 Status SamplingService::SampleOne(size_t i) {
   const ServiceMetrics& metrics = ServiceMetrics::Get();
   DatabaseState& state = states_[i];
@@ -85,18 +91,31 @@ Status SamplingService::SampleOne(size_t i) {
   // meter, so per-database query/traffic totals land in the registry.
   CostMeter db(databases_[i]);
 
-  // Bootstrap: find a seed term this database responds to.
+  // Bootstrap: find a seed term this database responds to. A probe that
+  // *errors* (vs. matching nothing) is remembered so an unreachable
+  // database reports its real failure (e.g. Unavailable), not NotFound.
   std::string initial;
+  Status probe_error;
   for (const std::string& seed : options_.seed_terms) {
     auto probe = db.RunQuery(seed, 1);
-    if (probe.ok() && !probe->empty()) {
+    if (!probe.ok()) {
+      probe_error = probe.status();
+      continue;
+    }
+    if (!probe->empty()) {
       initial = seed;
       break;
     }
   }
   if (initial.empty()) {
-    state.last_status = Status::NotFound(
-        "no seed term retrieved any document from '" + state.name + "'");
+    state.last_status =
+        !probe_error.ok()
+            ? Status(probe_error.code(), "bootstrap of '" + state.name +
+                                             "' failed: " +
+                                             probe_error.message())
+            : Status::NotFound(
+                  "no seed term retrieved any document from '" + state.name +
+                  "'");
     metrics.refresh_error->Increment();
     QBS_LOG(WARNING) << "refresh of '" << state.name
                      << "' failed: " << state.last_status.ToString();

@@ -73,6 +73,13 @@ class SamplingService {
   /// unique.
   Status AddDatabase(TextDatabase* db);
 
+  /// Registers a database the service owns. For databases constructed
+  /// dynamically — RemoteTextDatabase from a --remote flag, engines
+  /// built from discovery — where the raw-pointer overload's
+  /// must-outlive contract would force callers into awkward lifetime
+  /// juggling. On failure (duplicate name), `db` is destroyed.
+  Status AddDatabase(std::unique_ptr<TextDatabase> db);
+
   /// Number of registered databases.
   size_t size() const { return databases_.size(); }
 
@@ -114,6 +121,10 @@ class SamplingService {
 
   ServiceOptions options_;
   std::vector<TextDatabase*> databases_;
+  /// Databases registered via the owning AddDatabase overload; entries
+  /// of databases_ may point here. Declared after databases_ but
+  /// destroyed first is fine — nothing touches databases_ on teardown.
+  std::vector<std::unique_ptr<TextDatabase>> owned_databases_;
   std::vector<DatabaseState> states_;
 };
 

@@ -1,0 +1,53 @@
+// RAII ownership of a POSIX file descriptor (sockets, pipes, files).
+//
+// The network layer juggles descriptors across threads and error paths;
+// a unique-ownership wrapper makes every close explicit and leak-free
+// without sprinkling `close(fd)` through error handling.
+#ifndef QBS_UTIL_FD_H_
+#define QBS_UTIL_FD_H_
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace qbs {
+
+/// Unique ownership of a file descriptor; closes it on destruction.
+/// Move-only. An fd of -1 means "empty".
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) Reset(other.Release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  /// The wrapped descriptor (-1 when empty). Ownership is retained.
+  int get() const { return fd_; }
+
+  /// True when a descriptor is held.
+  bool valid() const { return fd_ >= 0; }
+  explicit operator bool() const { return valid(); }
+
+  /// Relinquishes ownership without closing; returns the descriptor.
+  int Release() { return std::exchange(fd_, -1); }
+
+  /// Closes the held descriptor (if any) and adopts `fd`.
+  void Reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_UTIL_FD_H_

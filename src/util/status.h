@@ -21,6 +21,8 @@ enum class StatusCode {
   kCorruption,
   kUnimplemented,
   kInternal,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -66,6 +68,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -84,6 +92,23 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+
+  /// True for failures that a retry may plausibly cure: the peer was
+  /// unreachable (Unavailable), the call ran out of time
+  /// (DeadlineExceeded), or the transport hiccuped (IOError). Permanent
+  /// conditions — NotFound, InvalidArgument, Corruption, ... — are not
+  /// transient; retrying them wastes traffic and hides bugs. Retry
+  /// policies (RemoteTextDatabase, sampler error tolerance) must key off
+  /// this predicate rather than enumerating codes at each call site.
+  bool IsTransient() const {
+    return code_ == StatusCode::kUnavailable ||
+           code_ == StatusCode::kDeadlineExceeded ||
+           code_ == StatusCode::kIOError;
+  }
 
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,221 @@
+// Loopback integration tests: DbServer + RemoteTextDatabase against a
+// real TCP socket pair, including the acceptance criterion that sampling
+// a remote database learns the *same* model as sampling it in-process.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "net/db_server.h"
+#include "net/remote_db.h"
+#include "net/socket.h"
+#include "sampling/sampler.h"
+#include "service/sampling_service.h"
+#include "util/random.h"
+
+namespace qbs {
+namespace {
+
+class NetRemoteTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticCorpusSpec spec;
+    spec.name = "netdb";
+    spec.num_docs = 500;
+    spec.vocab_size = 30'000;
+    spec.num_topics = 3;
+    spec.seed = 321321;
+    auto engine = BuildSyntheticEngine(spec);
+    ASSERT_TRUE(engine.ok());
+    engine_ = engine->release();
+
+    server_ = new DbServer(engine_, DbServerOptions{});
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  static void TearDownTestSuite() {
+    server_->Stop();
+    delete server_;
+    server_ = nullptr;
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static RemoteDatabaseOptions ClientOptions() {
+    RemoteDatabaseOptions opts;
+    opts.host = "127.0.0.1";
+    opts.port = server_->port();
+    return opts;
+  }
+
+  static SearchEngine* engine_;
+  static DbServer* server_;
+};
+
+SearchEngine* NetRemoteTest::engine_ = nullptr;
+DbServer* NetRemoteTest::server_ = nullptr;
+
+TEST_F(NetRemoteTest, ConnectLearnsServerName) {
+  RemoteTextDatabase remote(ClientOptions());
+  // Before the first round trip the name is synthesized from the address.
+  EXPECT_EQ(remote.name(),
+            "remote:127.0.0.1:" + std::to_string(server_->port()));
+  ASSERT_TRUE(remote.Connect().ok());
+  EXPECT_EQ(remote.name(), engine_->name());
+}
+
+TEST_F(NetRemoteTest, ConnectToClosedPortFailsFast) {
+  RemoteDatabaseOptions opts = ClientOptions();
+  // Grab an unused port by binding and immediately closing it.
+  auto probe = TcpListener::Listen("127.0.0.1", 0);
+  ASSERT_TRUE(probe.ok());
+  opts.port = (*probe)->port();
+  (*probe)->CloseListener();
+  probe->reset();
+
+  opts.max_attempts = 2;
+  opts.backoff_initial_us = 1'000;
+  opts.backoff_max_us = 2'000;
+  RemoteTextDatabase remote(opts);
+  Status status = remote.Connect();
+  ASSERT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsTransient()) << status.ToString();
+}
+
+TEST_F(NetRemoteTest, RunQueryMatchesInProcessResults) {
+  RemoteTextDatabase remote(ClientOptions());
+  LanguageModel actual = engine_->ActualLanguageModel();
+  Rng rng(11);
+  TermFilter filter;
+  for (int i = 0; i < 5; ++i) {
+    auto term = RandomEligibleTerm(actual, filter, rng);
+    ASSERT_TRUE(term.has_value());
+    auto local = engine_->RunQuery(*term, 10);
+    auto over_wire = remote.RunQuery(*term, 10);
+    ASSERT_TRUE(local.ok());
+    ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+    ASSERT_EQ(local->size(), over_wire->size()) << *term;
+    for (size_t k = 0; k < local->size(); ++k) {
+      EXPECT_EQ((*local)[k].handle, (*over_wire)[k].handle);
+      EXPECT_EQ((*local)[k].score, (*over_wire)[k].score);  // bit-exact
+    }
+  }
+}
+
+TEST_F(NetRemoteTest, FetchDocumentMatchesInProcessBytes) {
+  RemoteTextDatabase remote(ClientOptions());
+  LanguageModel actual = engine_->ActualLanguageModel();
+  Rng rng(13);
+  TermFilter filter;
+  auto term = RandomEligibleTerm(actual, filter, rng);
+  ASSERT_TRUE(term.has_value());
+  auto hits = engine_->RunQuery(*term, 5);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_FALSE(hits->empty());
+  for (const SearchHit& hit : *hits) {
+    auto local = engine_->FetchDocument(hit.handle);
+    auto over_wire = remote.FetchDocument(hit.handle);
+    ASSERT_TRUE(local.ok());
+    ASSERT_TRUE(over_wire.ok()) << over_wire.status().ToString();
+    EXPECT_EQ(*local, *over_wire);
+  }
+}
+
+TEST_F(NetRemoteTest, ServerStatusPassesThroughVerbatim) {
+  RemoteTextDatabase remote(ClientOptions());
+  auto fetched = remote.FetchDocument("no-such-handle");
+  ASSERT_FALSE(fetched.ok());
+  // NotFound is permanent: it must pass through without burning retries.
+  EXPECT_TRUE(fetched.status().IsNotFound()) << fetched.status().ToString();
+  EXPECT_EQ(remote.retries(), 0u);
+
+  // Whatever the engine does with a degenerate query, the wire must
+  // mirror it exactly — outcome code and payload both.
+  auto local = engine_->RunQuery("", 10);
+  auto queried = remote.RunQuery("", 10);
+  ASSERT_EQ(local.ok(), queried.ok());
+  if (local.ok()) {
+    EXPECT_EQ(local->size(), queried->size());
+  } else {
+    EXPECT_EQ(local.status().code(), queried.status().code());
+  }
+}
+
+// The acceptance criterion: sampling through the network stack with
+// identical seeds must produce the *identical* learned language model —
+// the transport is invisible to the sampling logic.
+TEST_F(NetRemoteTest, RemoteSamplingLearnsIdenticalModel) {
+  // Seed terms from the synthetic vocabulary (no real English words).
+  std::vector<std::string> seeds;
+  LanguageModel actual = engine_->ActualLanguageModel();
+  for (const auto& [term, score] : actual.RankedTerms(TermMetric::kCtf, 3)) {
+    seeds.push_back(term);
+  }
+
+  ServiceOptions base;
+  base.sampler.stopping.max_documents = 60;
+  base.seed_terms = seeds;
+  base.num_threads = 2;
+
+  SamplingService local_service(base);
+  ASSERT_TRUE(local_service.AddDatabase(engine_).ok());
+  ASSERT_TRUE(local_service.RefreshAll().ok());
+
+  SamplingService remote_service(base);
+  auto remote = std::make_unique<RemoteTextDatabase>(ClientOptions());
+  ASSERT_TRUE(remote->Connect().ok());  // resolves name() == engine name
+  ASSERT_TRUE(remote_service.AddDatabase(std::move(remote)).ok());
+  Status status = remote_service.RefreshAll();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  const DatabaseState& local_state = local_service.state()[0];
+  const DatabaseState& remote_state = remote_service.state()[0];
+  ASSERT_TRUE(local_state.has_model);
+  ASSERT_TRUE(remote_state.has_model);
+  EXPECT_EQ(local_state.documents_examined, remote_state.documents_examined);
+  EXPECT_EQ(local_state.queries_run, remote_state.queries_run);
+
+  // Byte-identical serialized models, not just matching summary stats.
+  std::ostringstream local_bytes, remote_bytes;
+  ASSERT_TRUE(local_state.learned.Save(local_bytes).ok());
+  ASSERT_TRUE(remote_state.learned.Save(remote_bytes).ok());
+  EXPECT_EQ(local_bytes.str(), remote_bytes.str());
+  ASSERT_GT(local_state.learned.vocabulary_size(), 100u);
+}
+
+TEST_F(NetRemoteTest, StopUnblocksIdleClients) {
+  // A dedicated server so stopping it does not disturb other tests.
+  DbServer server(engine_, DbServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  RemoteDatabaseOptions opts;
+  opts.host = "127.0.0.1";
+  opts.port = server.port();
+  opts.max_attempts = 1;
+  RemoteTextDatabase remote(opts);
+  ASSERT_TRUE(remote.Connect().ok());
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // The pooled connection is dead; with retries disabled the call must
+  // fail cleanly (transient), not hang.
+  auto result = remote.RunQuery("anything", 5);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTransient()) << result.status().ToString();
+}
+
+TEST_F(NetRemoteTest, DoubleStartRejectedAndStopIdempotent) {
+  DbServer server(engine_, DbServerOptions{});
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_TRUE(server.Start().IsFailedPrecondition());
+  EXPECT_TRUE(server.running());
+  EXPECT_EQ(server.address(),
+            "127.0.0.1:" + std::to_string(server.port()));
+  server.Stop();
+  server.Stop();  // idempotent
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,279 @@
+// Unit tests for the wire protocol: encode/decode round trips, error
+// carriage, malformed-input rejection, and framing over a ByteStream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace qbs {
+namespace {
+
+// An in-memory ByteStream: writes append to an output buffer, reads
+// consume a scripted input buffer.
+class MemoryStream : public ByteStream {
+ public:
+  Status WriteAll(const uint8_t* data, size_t n) override {
+    written.insert(written.end(), data, data + n);
+    return Status::OK();
+  }
+  Status ReadFull(uint8_t* data, size_t n) override {
+    if (input.size() < n) {
+      return Status::Unavailable("connection closed by peer");
+    }
+    std::memcpy(data, input.data(), n);
+    input.erase(input.begin(), input.begin() + static_cast<ptrdiff_t>(n));
+    return Status::OK();
+  }
+  void SetDeadlineMicros(uint64_t) override {}
+  void Close() override {}
+
+  std::vector<uint8_t> written;
+  std::vector<uint8_t> input;
+};
+
+TEST(WireRequestTest, PingRoundTrips) {
+  WireRequest request;
+  request.request_id = 42;
+  request.method = WireMethod::kPing;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->protocol_version, kWireProtocolVersion);
+  EXPECT_EQ(decoded->request_id, 42u);
+  EXPECT_EQ(decoded->method, WireMethod::kPing);
+}
+
+TEST(WireRequestTest, RunQueryRoundTrips) {
+  WireRequest request;
+  request.request_id = std::numeric_limits<uint64_t>::max();
+  request.method = WireMethod::kRunQuery;
+  request.query = "information retrieval \xc3\xa9";  // non-ASCII survives
+  request.max_results = 17;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, request.request_id);
+  EXPECT_EQ(decoded->method, WireMethod::kRunQuery);
+  EXPECT_EQ(decoded->query, request.query);
+  EXPECT_EQ(decoded->max_results, 17u);
+}
+
+TEST(WireRequestTest, FetchDocumentRoundTrips) {
+  WireRequest request;
+  request.request_id = 7;
+  request.method = WireMethod::kFetchDocument;
+  request.handle = "doc-123";
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->handle, "doc-123");
+}
+
+TEST(WireRequestTest, EveryTruncationPrefixIsRejectedNotCrashed) {
+  WireRequest request;
+  request.request_id = 99;
+  request.method = WireMethod::kRunQuery;
+  request.query = "abcdefgh";
+  request.max_results = 10;
+  std::vector<uint8_t> payload = EncodeRequest(request);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<uint8_t> prefix(payload.begin(),
+                                payload.begin() + static_cast<ptrdiff_t>(cut));
+    auto decoded = DecodeRequest(prefix);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
+
+TEST(WireRequestTest, TrailingBytesRejected) {
+  std::vector<uint8_t> payload = EncodeRequest(WireRequest{});
+  payload.push_back(0);
+  EXPECT_TRUE(DecodeRequest(payload).status().IsCorruption());
+}
+
+TEST(WireRequestTest, UnknownMethodRejected) {
+  WireRequest request;
+  request.method = static_cast<WireMethod>(200);
+  std::vector<uint8_t> payload = EncodeRequest(request);
+  EXPECT_TRUE(DecodeRequest(payload).status().IsCorruption());
+}
+
+TEST(WireResponseTest, RunQueryHitsRoundTripBitExact) {
+  WireResponse response;
+  response.request_id = 5;
+  response.method = WireMethod::kRunQuery;
+  response.hits = {{"alpha", 1.5}, {"beta", -0.0}, {"gamma", 1e-308}};
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->hits.size(), 3u);
+  EXPECT_EQ(decoded->hits[0].handle, "alpha");
+  EXPECT_EQ(decoded->hits[0].score, 1.5);
+  EXPECT_EQ(decoded->hits[1].handle, "beta");
+  EXPECT_TRUE(std::signbit(decoded->hits[1].score));  // -0.0 preserved
+  EXPECT_EQ(decoded->hits[2].score, 1e-308);  // subnormal-adjacent exact
+}
+
+TEST(WireResponseTest, StatusCarriedAcrossTheWire) {
+  WireResponse response;
+  response.request_id = 9;
+  response.method = WireMethod::kFetchDocument;
+  response.status = Status::NotFound("no document named 'x'");
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->status.IsNotFound());
+  EXPECT_EQ(decoded->status.message(), "no document named 'x'");
+}
+
+TEST(WireResponseTest, EveryStatusCodeRoundTrips) {
+  const StatusCode codes[] = {
+      StatusCode::kInvalidArgument,   StatusCode::kNotFound,
+      StatusCode::kOutOfRange,        StatusCode::kFailedPrecondition,
+      StatusCode::kIOError,           StatusCode::kCorruption,
+      StatusCode::kUnimplemented,     StatusCode::kInternal,
+      StatusCode::kUnavailable,       StatusCode::kDeadlineExceeded,
+  };
+  for (StatusCode code : codes) {
+    WireResponse response;
+    response.method = WireMethod::kPing;
+    response.status = Status(code, "m");
+    auto decoded = DecodeResponse(EncodeResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->status.code(), code) << StatusCodeName(code);
+  }
+}
+
+TEST(WireResponseTest, ServerInfoRoundTrips) {
+  WireResponse response;
+  response.method = WireMethod::kServerInfo;
+  response.server_name = "cacm-like";
+  response.server_protocol_version = kWireProtocolVersion;
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->server_name, "cacm-like");
+  EXPECT_EQ(decoded->server_protocol_version, kWireProtocolVersion);
+}
+
+TEST(WireResponseTest, FetchDocumentRoundTripsLargeBinaryDocument) {
+  WireResponse response;
+  response.method = WireMethod::kFetchDocument;
+  response.document.resize(1 << 20);
+  for (size_t i = 0; i < response.document.size(); ++i) {
+    response.document[i] = static_cast<char>(i * 31);
+  }
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->document, response.document);
+}
+
+TEST(WireResponseTest, EveryTruncationPrefixIsRejectedNotCrashed) {
+  WireResponse response;
+  response.request_id = 3;
+  response.method = WireMethod::kRunQuery;
+  response.hits = {{"h1", 0.5}, {"h2", 0.25}};
+  std::vector<uint8_t> payload = EncodeResponse(response);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<uint8_t> prefix(payload.begin(),
+                                payload.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeResponse(prefix).ok());
+  }
+}
+
+TEST(WireResponseTest, LyingHitCountRejectedWithoutHugeAllocation) {
+  // Header that promises 2^40 hits with an empty body must fail cleanly.
+  WireResponse response;
+  response.method = WireMethod::kRunQuery;
+  std::vector<uint8_t> payload = EncodeResponse(response);
+  // The encoded hit count (0, one varint byte) is the final byte; splice
+  // in a gigantic count instead.
+  payload.pop_back();
+  for (uint8_t byte : {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}) {
+    payload.push_back(byte);
+  }
+  auto decoded = DecodeResponse(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(FramingTest, WriteThenReadRoundTrips) {
+  MemoryStream stream;
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(WriteFrame(stream, payload).ok());
+  // One WriteAll per frame (the property byte-layer fault injection
+  // relies on): header and payload in a single buffer.
+  ASSERT_EQ(stream.written.size(), 4u + payload.size());
+  stream.input = stream.written;
+  auto read_back = ReadFrame(stream, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(read_back.ok()) << read_back.status().ToString();
+  EXPECT_EQ(*read_back, payload);
+}
+
+TEST(FramingTest, EmptyPayloadRoundTrips) {
+  MemoryStream stream;
+  ASSERT_TRUE(WriteFrame(stream, {}).ok());
+  stream.input = stream.written;
+  auto read_back = ReadFrame(stream, kDefaultMaxFrameBytes);
+  ASSERT_TRUE(read_back.ok());
+  EXPECT_TRUE(read_back->empty());
+}
+
+TEST(FramingTest, OversizedFrameRejectedBeforeAllocation) {
+  MemoryStream stream;
+  stream.input = {0xff, 0xff, 0xff, 0x7f};  // ~2 GiB length prefix
+  auto read_back = ReadFrame(stream, 1 << 20);
+  ASSERT_FALSE(read_back.ok());
+  EXPECT_TRUE(read_back.status().IsCorruption());
+}
+
+TEST(FramingTest, TruncatedStreamSurfacesTransportStatus) {
+  MemoryStream stream;
+  ASSERT_TRUE(WriteFrame(stream, {1, 2, 3, 4, 5, 6, 7, 8}).ok());
+  stream.input = stream.written;
+  stream.input.resize(stream.input.size() - 3);  // lose the tail
+  auto read_back = ReadFrame(stream, kDefaultMaxFrameBytes);
+  ASSERT_FALSE(read_back.ok());
+  EXPECT_TRUE(read_back.status().IsUnavailable());
+}
+
+TEST(FaultyTransportTest, DropsAndTruncatesOnSchedule) {
+  auto inner = std::make_unique<MemoryStream>();
+  MemoryStream* raw = inner.get();
+  FaultyTransport faulty(std::move(inner), {.drop_every_n_writes = 2});
+  std::vector<uint8_t> payload = {9, 9, 9};
+  ASSERT_TRUE(WriteFrame(faulty, payload).ok());  // write 1: passes
+  ASSERT_TRUE(WriteFrame(faulty, payload).ok());  // write 2: dropped
+  ASSERT_TRUE(WriteFrame(faulty, payload).ok());  // write 3: passes
+  EXPECT_EQ(faulty.writes_dropped(), 1u);
+  EXPECT_EQ(raw->written.size(), 2 * (4 + payload.size()));
+
+  auto inner2 = std::make_unique<MemoryStream>();
+  MemoryStream* raw2 = inner2.get();
+  FaultyTransport trunc(std::move(inner2), {.truncate_every_n_writes = 1});
+  ASSERT_TRUE(WriteFrame(trunc, payload).ok());
+  EXPECT_EQ(trunc.writes_truncated(), 1u);
+  EXPECT_EQ(raw2->written.size(), (4 + payload.size()) / 2);
+}
+
+TEST(FaultyTransportTest, FailsReadsOnSchedule) {
+  auto inner = std::make_unique<MemoryStream>();
+  inner->input = {1, 0, 0, 0, 42, 1, 0, 0, 0, 43};
+  FaultyTransport faulty(std::move(inner), {.fail_every_n_reads = 3});
+  auto first = ReadFrame(faulty, 1024);  // reads 1, 2
+  ASSERT_TRUE(first.ok());
+  auto second = ReadFrame(faulty, 1024);  // read 3 fails
+  ASSERT_FALSE(second.ok());
+  EXPECT_TRUE(second.status().IsIOError());
+  EXPECT_EQ(faulty.reads_failed(), 1u);
+}
+
+TEST(WireMethodTest, NamesAreStable) {
+  EXPECT_STREQ(WireMethodName(WireMethod::kPing), "ping");
+  EXPECT_STREQ(WireMethodName(WireMethod::kServerInfo), "server_info");
+  EXPECT_STREQ(WireMethodName(WireMethod::kRunQuery), "run_query");
+  EXPECT_STREQ(WireMethodName(WireMethod::kFetchDocument), "fetch_document");
+}
+
+}  // namespace
+}  // namespace qbs

@@ -7,53 +7,12 @@
 #include "corpus/synthetic.h"
 #include "sampling/sampler.h"
 #include "search/text_database.h"
+#include "tests/testing/fake_databases.h"
 
 namespace qbs {
 namespace {
 
-// Wraps a database and injects failures on a deterministic schedule.
-class FlakyDatabase : public TextDatabase {
- public:
-  struct FaultPlan {
-    /// Every Nth RunQuery fails (0 = never).
-    size_t query_failure_period = 0;
-    /// Every Nth FetchDocument fails (0 = never).
-    size_t fetch_failure_period = 0;
-  };
-
-  FlakyDatabase(TextDatabase* inner, FaultPlan plan)
-      : inner_(inner), plan_(plan) {}
-
-  std::string name() const override { return inner_->name() + "+flaky"; }
-
-  Result<std::vector<SearchHit>> RunQuery(std::string_view query,
-                                          size_t max_results) override {
-    ++queries_;
-    if (plan_.query_failure_period != 0 &&
-        queries_ % plan_.query_failure_period == 0) {
-      return Status::IOError("injected query failure");
-    }
-    return inner_->RunQuery(query, max_results);
-  }
-
-  Result<std::string> FetchDocument(std::string_view handle) override {
-    ++fetches_;
-    if (plan_.fetch_failure_period != 0 &&
-        fetches_ % plan_.fetch_failure_period == 0) {
-      return Status::IOError("injected fetch failure");
-    }
-    return inner_->FetchDocument(handle);
-  }
-
-  size_t queries() const { return queries_; }
-  size_t fetches() const { return fetches_; }
-
- private:
-  TextDatabase* inner_;
-  FaultPlan plan_;
-  size_t queries_ = 0;
-  size_t fetches_ = 0;
-};
+using testing::FlakyDatabase;
 
 class SamplerFaultTest : public ::testing::Test {
  protected:

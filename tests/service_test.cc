@@ -8,28 +8,14 @@
 
 #include "corpus/synthetic.h"
 #include "service/sampling_service.h"
+#include "tests/testing/fake_databases.h"
 
 namespace qbs {
 namespace {
 
 namespace fs = std::filesystem;
 
-// A database that always fails queries (simulates an unreachable server).
-class DeadDatabase : public TextDatabase {
- public:
-  explicit DeadDatabase(std::string name) : name_(std::move(name)) {}
-  std::string name() const override { return name_; }
-  Result<std::vector<SearchHit>> RunQuery(std::string_view,
-                                          size_t) override {
-    return Status::IOError("connection refused");
-  }
-  Result<std::string> FetchDocument(std::string_view) override {
-    return Status::IOError("connection refused");
-  }
-
- private:
-  std::string name_;
-};
+using testing::DeadDatabase;
 
 class ServiceTest : public ::testing::Test {
  protected:
@@ -161,7 +147,30 @@ TEST_F(ServiceTest, DeadDatabaseReportsErrorOthersSucceed) {
   // The healthy database still got its model.
   EXPECT_FALSE(service.state()[0].has_model);
   EXPECT_FALSE(service.state()[0].last_status.ok());
+  // The bootstrap probes all *errored* (vs. matching nothing), so the
+  // database's real failure code is reported, not NotFound.
+  EXPECT_TRUE(service.state()[0].last_status.IsIOError())
+      << service.state()[0].last_status.ToString();
   EXPECT_TRUE(service.state()[1].has_model);
+}
+
+TEST_F(ServiceTest, OwningAddDatabaseTransfersLifetime) {
+  SamplingService service(BaseOptions());
+  // The service keeps the database alive; no caller-side storage needed.
+  ASSERT_TRUE(
+      service
+          .AddDatabase(std::make_unique<DeadDatabase>("owned-dead-db"))
+          .ok());
+  EXPECT_EQ(service.size(), 1u);
+  EXPECT_EQ(service.state()[0].name, "owned-dead-db");
+  // Duplicate names are rejected through the owning overload too (and
+  // the rejected database is simply destroyed).
+  EXPECT_TRUE(
+      service.AddDatabase(std::make_unique<DeadDatabase>("owned-dead-db"))
+          .IsInvalidArgument());
+  EXPECT_TRUE(service.AddDatabase(std::unique_ptr<TextDatabase>())
+                  .IsInvalidArgument());
+  EXPECT_EQ(service.size(), 1u);
 }
 
 TEST_F(ServiceTest, RefreshByNameResamples) {

@@ -1,0 +1,89 @@
+// Shared fault-injection TextDatabase fakes for tests.
+//
+// net, service, and sampler tests all need databases that misbehave on a
+// deterministic schedule; keeping the fakes here stops each suite from
+// growing its own divergent copy.
+#ifndef QBS_TESTS_TESTING_FAKE_DATABASES_H_
+#define QBS_TESTS_TESTING_FAKE_DATABASES_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "search/text_database.h"
+#include "util/status.h"
+
+namespace qbs {
+namespace testing {
+
+/// Wraps a database and injects failures on a deterministic schedule.
+class FlakyDatabase : public TextDatabase {
+ public:
+  struct FaultPlan {
+    /// Every Nth RunQuery fails (0 = never).
+    size_t query_failure_period = 0;
+    /// Every Nth FetchDocument fails (0 = never).
+    size_t fetch_failure_period = 0;
+    /// Status injected on a scheduled failure.
+    Status failure = Status::IOError("injected failure");
+  };
+
+  FlakyDatabase(TextDatabase* inner, FaultPlan plan)
+      : inner_(inner), plan_(std::move(plan)) {}
+
+  std::string name() const override { return inner_->name() + "+flaky"; }
+
+  Result<std::vector<SearchHit>> RunQuery(std::string_view query,
+                                          size_t max_results) override {
+    ++queries_;
+    if (plan_.query_failure_period != 0 &&
+        queries_ % plan_.query_failure_period == 0) {
+      return plan_.failure;
+    }
+    return inner_->RunQuery(query, max_results);
+  }
+
+  Result<std::string> FetchDocument(std::string_view handle) override {
+    ++fetches_;
+    if (plan_.fetch_failure_period != 0 &&
+        fetches_ % plan_.fetch_failure_period == 0) {
+      return plan_.failure;
+    }
+    return inner_->FetchDocument(handle);
+  }
+
+  size_t queries() const { return queries_; }
+  size_t fetches() const { return fetches_; }
+
+ private:
+  TextDatabase* inner_;
+  FaultPlan plan_;
+  size_t queries_ = 0;
+  size_t fetches_ = 0;
+};
+
+/// A database whose every interaction fails — an unreachable server.
+class DeadDatabase : public TextDatabase {
+ public:
+  explicit DeadDatabase(std::string name,
+                        Status failure = Status::IOError("connection refused"))
+      : name_(std::move(name)), failure_(std::move(failure)) {}
+
+  std::string name() const override { return name_; }
+  Result<std::vector<SearchHit>> RunQuery(std::string_view, size_t) override {
+    return failure_;
+  }
+  Result<std::string> FetchDocument(std::string_view) override {
+    return failure_;
+  }
+
+ private:
+  std::string name_;
+  Status failure_;
+};
+
+}  // namespace testing
+}  // namespace qbs
+
+#endif  // QBS_TESTS_TESTING_FAKE_DATABASES_H_

@@ -30,6 +30,31 @@ TEST(StatusTest, AllPredicatesMatchTheirFactory) {
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+}
+
+TEST(StatusTest, TransientClassification) {
+  // Retryable: the peer may come back, the next attempt may fit the
+  // deadline, the transport hiccup may pass.
+  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsTransient());
+  EXPECT_TRUE(Status::IOError("x").IsTransient());
+  // Permanent: retrying cannot change the outcome.
+  EXPECT_FALSE(Status::OK().IsTransient());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsTransient());
+  EXPECT_FALSE(Status::NotFound("x").IsTransient());
+  EXPECT_FALSE(Status::OutOfRange("x").IsTransient());
+  EXPECT_FALSE(Status::FailedPrecondition("x").IsTransient());
+  EXPECT_FALSE(Status::Corruption("x").IsTransient());
+  EXPECT_FALSE(Status::Unimplemented("x").IsTransient());
+  EXPECT_FALSE(Status::Internal("x").IsTransient());
+}
+
+TEST(StatusCodeNameTest, NewCodesHaveStableNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

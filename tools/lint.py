@@ -9,7 +9,9 @@ Enforces the structural invariants clang-tidy cannot express:
   cout     no naked std::cout in library or test code (src/, tests/);
            stdout belongs to tools/, examples/ and bench/ binaries only
   cmake    every .cc under src/ is listed in its directory's
-           CMakeLists.txt (an unlisted file silently never builds)
+           CMakeLists.txt, and every .cc under tests/ or bench/ in that
+           tree's top-level CMakeLists.txt (an unlisted file silently
+           never builds)
   log      no QBS_LOG in headers under src/ — headers are included into
            hot paths and must not force the logging machinery (and its
            ostringstream) on every includer
@@ -105,25 +107,59 @@ def check_cout(root):
 def check_cmake_lists(root):
     violations = []
     src = os.path.join(root, "src")
-    if not os.path.isdir(src):
-        return violations
-    for dirpath, dirnames, filenames in os.walk(src):
-        dirnames[:] = [d for d in dirnames if not d.startswith(".")]
-        cc_files = sorted(n for n in filenames if n.endswith((".cc", ".cpp")))
-        if not cc_files:
+    if os.path.isdir(src):
+        for dirpath, dirnames, filenames in os.walk(src):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            cc_files = sorted(
+                n for n in filenames if n.endswith((".cc", ".cpp")))
+            if not cc_files:
+                continue
+            cmake_path = os.path.join(dirpath, "CMakeLists.txt")
+            if not os.path.isfile(cmake_path):
+                violations.append(
+                    (rel(root, dirpath), 1,
+                     "directory holds .cc files but has no CMakeLists.txt"))
+                continue
+            with open(cmake_path, encoding="utf-8", errors="replace") as f:
+                cmake = f.read()
+            for name in cc_files:
+                if not re.search(r"\b" + re.escape(name) + r"\b", cmake):
+                    violations.append(
+                        (rel(root, os.path.join(dirpath, name)), 1,
+                         f"not listed in {rel(root, cmake_path)}; "
+                         f"the file never builds"))
+    # tests/ and bench/ register every binary in one top-level
+    # CMakeLists.txt; subdirectory sources are referenced by relative
+    # path, so matching on the basename covers both layouts.
+    for top_name in ("tests", "bench"):
+        top = os.path.join(root, top_name)
+        if not os.path.isdir(top):
             continue
-        cmake_path = os.path.join(dirpath, "CMakeLists.txt")
+        cc_paths = []
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            cc_paths.extend(
+                os.path.join(dirpath, n) for n in sorted(filenames)
+                if n.endswith((".cc", ".cpp")))
+        if not cc_paths:
+            continue
+        cmake_path = os.path.join(top, "CMakeLists.txt")
         if not os.path.isfile(cmake_path):
             violations.append(
-                (rel(root, dirpath), 1,
+                (top_name, 1,
                  "directory holds .cc files but has no CMakeLists.txt"))
             continue
         with open(cmake_path, encoding="utf-8", errors="replace") as f:
             cmake = f.read()
-        for name in cc_files:
-            if not re.search(r"\b" + re.escape(name) + r"\b", cmake):
+        for path in cc_paths:
+            name = os.path.basename(path)
+            # Registration helpers take the target name without the
+            # extension (qbs_add_test(util_test)), so accept the stem.
+            stem = os.path.splitext(name)[0]
+            if not (re.search(r"\b" + re.escape(name) + r"\b", cmake) or
+                    re.search(r"\b" + re.escape(stem) + r"\b", cmake)):
                 violations.append(
-                    (rel(root, os.path.join(dirpath, name)), 1,
+                    (rel(root, path), 1,
                      f"not listed in {rel(root, cmake_path)}; "
                      f"the file never builds"))
     return violations
@@ -218,6 +254,12 @@ def seed_tree(root):
         f.write('#include "util/clean.h"\n')
     with open(os.path.join(util, "CMakeLists.txt"), "w") as f:
         f.write("add_library(qbs_util clean.cc)\n")
+    tests = os.path.join(root, "tests")
+    os.makedirs(tests)
+    with open(os.path.join(tests, "clean_test.cc"), "w") as f:
+        f.write('#include "util/clean.h"\n')
+    with open(os.path.join(tests, "CMakeLists.txt"), "w") as f:
+        f.write("add_executable(clean_test clean_test.cc)\n")
 
 
 def self_test():
@@ -233,23 +275,27 @@ def self_test():
         expect(run_lint(tmp, checks=list(CHECKS)) == 0, "clean tree passes")
 
     seeds = {
-        "guard": ("src/util/bad_guard.h",
-                  "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n"),
-        "cout": ("src/util/chatty.cc",
-                 '#include <iostream>\nvoid F() { std::cout << 1; }\n'),
-        "cmake": ("src/util/orphan.cc", "// never listed\n"),
-        "log": ("src/util/hot.h",
-                "#ifndef QBS_UTIL_HOT_H_\n#define QBS_UTIL_HOT_H_\n"
-                'inline void F() { QBS_LOG(INFO) << "x"; }\n#endif\n'),
+        "guard": [("src/util/bad_guard.h",
+                   "#ifndef WRONG_H_\n#define WRONG_H_\n#endif\n")],
+        "cout": [("src/util/chatty.cc",
+                  '#include <iostream>\nvoid F() { std::cout << 1; }\n'),
+                 ("tests/chatty_test.cc",
+                  '#include <iostream>\nvoid F() { std::cout << 1; }\n')],
+        "cmake": [("src/util/orphan.cc", "// never listed\n"),
+                  ("tests/orphan_test.cc", "// never listed\n")],
+        "log": [("src/util/hot.h",
+                 "#ifndef QBS_UTIL_HOT_H_\n#define QBS_UTIL_HOT_H_\n"
+                 'inline void F() { QBS_LOG(INFO) << "x"; }\n#endif\n')],
     }
-    for check, (path, content) in seeds.items():
-        with tempfile.TemporaryDirectory() as tmp:
-            seed_tree(tmp)
-            full = os.path.join(tmp, path)
-            with open(full, "w") as f:
-                f.write(content)
-            expect(run_lint(tmp, checks=[check]) == 1,
-                   f"seeded {path} trips '{check}'")
+    for check, cases in seeds.items():
+        for path, content in cases:
+            with tempfile.TemporaryDirectory() as tmp:
+                seed_tree(tmp)
+                full = os.path.join(tmp, path)
+                with open(full, "w") as f:
+                    f.write(content)
+                expect(run_lint(tmp, checks=[check]) == 1,
+                       f"seeded {path} trips '{check}'")
 
     if clang_format_exe() is not None:
         with tempfile.TemporaryDirectory() as tmp:

@@ -10,8 +10,11 @@
 //                 [--ranker cori|bgloss|vgloss|kl]
 //   qbs estimate  (--synthetic PRESET | --trec FILE) [--capture N]
 //   qbs service   --synthetic PRESET [--synthetic PRESET ...]
-//                 [--trec FILE ...] [--docs N] [--threads N]
+//                 [--trec FILE ...] [--remote HOST:PORT ...]
+//                 [--docs N] [--threads N]
 //                 [--query "..."] [--ranker NAME]
+//   qbs serve-db  (--synthetic PRESET | --trec FILE)
+//                 [--host ADDR] [--port N] [--threads N]
 //
 // Observability (any command):
 //   --metrics_out FILE   Prometheus text dump of all metrics on exit
@@ -30,6 +33,8 @@
 #include "corpus/synthetic.h"
 #include "corpus/trec_parser.h"
 #include "lm/metrics.h"
+#include "net/db_server.h"
+#include "net/remote_db.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -57,9 +62,14 @@ int Usage() {
                 [--ranker cori|bgloss|vgloss|kl]
   qbs estimate  (--synthetic PRESET | --trec FILE) [--capture N]
                  capture-recapture database size estimate
-  qbs service   (--synthetic PRESET | --trec FILE)... [--docs N]
-                [--threads N] [--query "..."] [--ranker NAME]
-                 run the sampling service over a federation and report
+  qbs service   (--synthetic PRESET | --trec FILE | --remote HOST:PORT)...
+                [--docs N] [--threads N] [--query "..."] [--ranker NAME]
+                 run the sampling service over a federation and report;
+                 --remote databases are sampled over the wire protocol
+  qbs serve-db  (--synthetic PRESET | --trec FILE)
+                [--host ADDR] [--port N] [--threads N]
+                 expose one database on a TCP port (port 0 = ephemeral);
+                 prints the bound address, serves until stdin closes
 
 observability flags, valid with every command:
   --metrics_out FILE  write a Prometheus-style metrics dump on exit
@@ -442,11 +452,29 @@ Result<std::vector<std::unique_ptr<SearchEngine>>> BuildFederation(
                          BuildTrecEngine(it->second));
     engines.push_back(std::move(engine));
   }
-  if (engines.empty()) {
-    return Status::InvalidArgument(
-        "service requires at least one --synthetic or --trec database");
-  }
   return engines;
+}
+
+// Parses "host:port" (host may be a name or numeric IPv4).
+Result<RemoteDatabaseOptions> ParseRemoteAddress(const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return Status::InvalidArgument("--remote expects HOST:PORT, got '" +
+                                   spec + "'");
+  }
+  unsigned long port = 0;
+  try {
+    port = std::stoul(spec.substr(colon + 1));
+  } catch (...) {
+    port = 0;
+  }
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in --remote '" + spec + "'");
+  }
+  RemoteDatabaseOptions opts;
+  opts.host = spec.substr(0, colon);
+  opts.port = static_cast<uint16_t>(port);
+  return opts;
 }
 
 int CmdService(const std::multimap<std::string, std::string>& flags) {
@@ -470,6 +498,34 @@ int CmdService(const std::multimap<std::string, std::string>& flags) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
     }
+  }
+  auto remotes = flags.equal_range("remote");
+  for (auto it = remotes.first; it != remotes.second; ++it) {
+    auto remote_opts = ParseRemoteAddress(it->second);
+    if (!remote_opts.ok()) {
+      std::fprintf(stderr, "%s\n", remote_opts.status().ToString().c_str());
+      return 1;
+    }
+    auto remote = std::make_unique<RemoteTextDatabase>(*remote_opts);
+    // Connect eagerly so a wrong address fails here, attributably, not
+    // as a sampling error later.
+    Status status = remote->Connect();
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot reach remote database at %s: %s\n",
+                   it->second.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    status = service.AddDatabase(std::move(remote));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (service.size() == 0) {
+    std::fprintf(stderr,
+                 "service requires at least one --synthetic, --trec, or "
+                 "--remote database\n");
+    return 2;
   }
 
   Status refresh = service.RefreshAll();
@@ -495,6 +551,36 @@ int CmdService(const std::multimap<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdServeDb(const std::multimap<std::string, std::string>& flags) {
+  auto engine = BuildEngineFromFlags(flags);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+
+  DbServerOptions opts;
+  opts.host = FlagOr(flags, "host", "127.0.0.1");
+  opts.port = static_cast<uint16_t>(std::stoul(FlagOr(flags, "port", "0")));
+  opts.num_workers = std::stoul(FlagOr(flags, "threads", "4"));
+  DbServer server(engine->get(), opts);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  // Scripts read this line to learn the ephemeral port.
+  std::printf("serving '%s' on %s\n", (*engine)->name().c_str(),
+              server.address().c_str());
+  std::fflush(stdout);
+
+  // Serve until stdin closes (Ctrl-D, or the supervising process exits),
+  // then shut down gracefully.
+  while (std::getchar() != EOF) {
+  }
+  server.Stop();
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
@@ -517,6 +603,8 @@ int Main(int argc, char** argv) {
     rc = CmdSelect(flags);
   } else if (cmd == "service") {
     rc = CmdService(flags);
+  } else if (cmd == "serve-db") {
+    rc = CmdServeDb(flags);
   } else {
     return Usage();
   }
