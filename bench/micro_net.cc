@@ -15,6 +15,7 @@
 #include "net/db_server.h"
 #include "net/remote_db.h"
 #include "net/wire.h"
+#include "sampling/sampler.h"
 #include "search/search_engine.h"
 
 namespace qbs {
@@ -118,6 +119,98 @@ void BM_RemotePingRtt(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_RemotePingRtt);
+
+// One v2 round trip carrying the query AND its documents, against the
+// query-then-fetch-each sequence it replaces (compare with
+// BM_RemoteRunQuery + 4x BM_RemoteFetchDocument).
+void BM_RemoteQueryAndFetch(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto round = f.remote->QueryAndFetch(f.terms[i++ % f.terms.size()], 4);
+    benchmark::DoNotOptimize(round);
+    QBS_CHECK(round.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RemoteQueryAndFetch);
+
+// End-to-end sampling runs over loopback, one per retrieval mode. The
+// ns/op numbers compare wall time; the rpcs_per_doc counter is the
+// wire-efficiency headline (v1 ~ 1 + queries/docs, kQueryAndFetch ~
+// queries/docs). bench.sh extracts both into BENCH_<sha>.json.
+void RemoteSampling(benchmark::State& state, RetrievalMode mode,
+                    bool enable_batching) {
+  const Fixture& f = GetFixture();
+  RemoteDatabaseOptions copts;
+  copts.host = "127.0.0.1";
+  copts.port = f.server->port();
+  copts.enable_batching = enable_batching;
+  RemoteTextDatabase remote(copts);
+  QBS_CHECK(remote.Connect().ok());
+  uint64_t rpcs_before = remote.rpcs();
+
+  SamplerOptions opts;
+  opts.retrieval = mode;
+  opts.docs_per_query = 8;
+  opts.stopping.max_documents = 40;
+  opts.initial_term = f.terms[0];
+  opts.seed = 23;
+
+  size_t docs = 0;
+  for (auto _ : state) {
+    auto result = QueryBasedSampler(&remote, opts).Run();
+    QBS_CHECK(result.ok());
+    docs += result->documents_examined;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(docs));
+  state.counters["rpcs_per_doc"] = benchmark::Counter(
+      static_cast<double>(remote.rpcs() - rpcs_before) /
+      static_cast<double>(docs == 0 ? 1 : docs));
+}
+BENCHMARK_CAPTURE(RemoteSampling, v1_single_fetch,
+                  RetrievalMode::kSingleFetch, false);
+BENCHMARK_CAPTURE(RemoteSampling, fetch_batch,
+                  RetrievalMode::kFetchBatch, true);
+BENCHMARK_CAPTURE(RemoteSampling, query_and_fetch,
+                  RetrievalMode::kQueryAndFetch, true);
+
+// The v1 wire shape again, but with fetches pipelined ahead of
+// ingestion on a small pool — same RPC count as v1_single_fetch, less
+// wall time per document. This is the mode for old servers that will
+// never speak v2.
+void BM_RemoteSamplingPipelined(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  RemoteDatabaseOptions copts;
+  copts.host = "127.0.0.1";
+  copts.port = f.server->port();
+  copts.enable_batching = false;
+  RemoteTextDatabase remote(copts);
+  QBS_CHECK(remote.Connect().ok());
+  uint64_t rpcs_before = remote.rpcs();
+  ThreadPool pool(3);
+
+  SamplerOptions opts;
+  opts.retrieval = RetrievalMode::kSingleFetch;
+  opts.fetch_pool = &pool;
+  opts.prefetch_depth = 4;
+  opts.docs_per_query = 8;
+  opts.stopping.max_documents = 40;
+  opts.initial_term = f.terms[0];
+  opts.seed = 23;
+
+  size_t docs = 0;
+  for (auto _ : state) {
+    auto result = QueryBasedSampler(&remote, opts).Run();
+    QBS_CHECK(result.ok());
+    docs += result->documents_examined;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(docs));
+  state.counters["rpcs_per_doc"] = benchmark::Counter(
+      static_cast<double>(remote.rpcs() - rpcs_before) /
+      static_cast<double>(docs == 0 ? 1 : docs));
+}
+BENCHMARK(BM_RemoteSamplingPipelined);
 
 // Pure serialization cost, no socket: how fast frames are built/parsed.
 void BM_WireEncodeDecodeResponse(benchmark::State& state) {

@@ -63,6 +63,32 @@ void BM_SampleDatabase(benchmark::State& state) {
 }
 BENCHMARK(BM_SampleDatabase)->Arg(50)->Arg(100)->Arg(200);
 
+// The same loop under each retrieval mode, in-process. With no wire to
+// amortize, this isolates the sampler-side batching overhead (building
+// handle lists, dedup-on-arrival) — the modes should be within noise of
+// each other, and the learned model is identical by construction.
+void SampleDatabaseMode(benchmark::State& state, RetrievalMode mode) {
+  const Fixture& f = GetFixture();
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    SamplerOptions opts;
+    opts.retrieval = mode;
+    opts.stopping.max_documents = 100;
+    opts.initial_term = f.initial_term;
+    opts.seed = seed++;
+    auto result = QueryBasedSampler(f.engine.get(), opts).Run();
+    QBS_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->learned.vocabulary_size());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK_CAPTURE(SampleDatabaseMode, single_fetch,
+                  RetrievalMode::kSingleFetch);
+BENCHMARK_CAPTURE(SampleDatabaseMode, fetch_batch,
+                  RetrievalMode::kFetchBatch);
+BENCHMARK_CAPTURE(SampleDatabaseMode, query_and_fetch,
+                  RetrievalMode::kQueryAndFetch);
+
 void BM_CtfRatio(benchmark::State& state) {
   const Fixture& f = GetFixture();
   for (auto _ : state) {

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Benchmark runner: builds the micro benchmarks in Release, runs them
+# with JSON output, and merges the results into one machine-readable
+# file named BENCH_<git-sha>.json in the repo root:
+#
+#   {
+#     "git_sha": "…",
+#     "benchmarks": [
+#       {"name": "BM_RemoteRunQuery", "ns_per_op": 81234.5},
+#       {"name": "RemoteSampling/query_and_fetch",
+#        "ns_per_op": …, "rpcs_per_doc": 0.19},
+#       …
+#     ]
+#   }
+#
+# CI runs this nightly and on demand and uploads the file as an
+# artifact, so regressions are diagnosed by diffing two JSON files, not
+# by rereading log scrollback. Locally:
+#
+#   scripts/bench.sh                  # all micro_* binaries
+#   scripts/bench.sh micro_net        # one suite
+#   QBS_BENCH_MIN_TIME=0.05 scripts/bench.sh   # quick smoke pass
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+detect_jobs() {
+  nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2
+}
+JOBS="${QBS_CHECK_JOBS:-$(detect_jobs)}"
+MIN_TIME="${QBS_BENCH_MIN_TIME:-}"
+BUILD_DIR="${QBS_BENCH_BUILD_DIR:-build}"
+SHA="$(git rev-parse --short=12 HEAD 2>/dev/null || echo nogit)"
+OUT="BENCH_${SHA}.json"
+
+SUITES=("$@")
+if [ ${#SUITES[@]} -eq 0 ]; then
+  SUITES=(micro_text micro_index micro_search micro_sampling micro_obs micro_net)
+fi
+
+if [ ! -d "$BUILD_DIR" ]; then
+  cmake --preset default
+fi
+cmake --build "$BUILD_DIR" -j "$JOBS" --target "${SUITES[@]}"
+
+RAW_DIR="$(mktemp -d)"
+trap 'rm -rf "$RAW_DIR"' EXIT
+for suite in "${SUITES[@]}"; do
+  bin="$BUILD_DIR/bench/$suite"
+  if [ ! -x "$bin" ]; then
+    echo "bench.sh: missing benchmark binary $bin" >&2
+    exit 2
+  fi
+  echo "=== $suite ==="
+  args=(--benchmark_format=json --benchmark_out="$RAW_DIR/$suite.json"
+        --benchmark_out_format=json)
+  if [ -n "$MIN_TIME" ]; then
+    args+=("--benchmark_min_time=$MIN_TIME")
+  fi
+  "$bin" "${args[@]}" >/dev/null
+done
+
+RAW_DIR="$RAW_DIR" OUT="$OUT" SHA="$SHA" python3 - <<'PY'
+import glob, json, os
+
+merged = {"git_sha": os.environ["SHA"], "benchmarks": []}
+for path in sorted(glob.glob(os.path.join(os.environ["RAW_DIR"], "*.json"))):
+    with open(path) as f:
+        report = json.load(f)
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        entry = {"name": bench["name"], "ns_per_op": bench.get("real_time")}
+        # Custom counters (rpcs_per_doc and friends) ride along verbatim.
+        for key in ("rpcs_per_doc", "items_per_second", "bytes_per_second"):
+            if key in bench:
+                entry[key] = bench[key]
+        merged["benchmarks"].append(entry)
+
+out = os.environ["OUT"]
+with open(out, "w") as f:
+    json.dump(merged, f, indent=2)
+    f.write("\n")
+print(f"bench.sh: wrote {out} ({len(merged['benchmarks'])} benchmarks)")
+PY

@@ -17,10 +17,21 @@
 #   scripts/check.sh                 # everything
 #   scripts/check.sh werror tsan     # a subset, in order
 #   QBS_CHECK_JOBS=8 scripts/check.sh
+#   QBS_CHECK_LABEL=net scripts/check.sh werror   # only ctest -L net
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-JOBS="${QBS_CHECK_JOBS:-$(nproc)}"
+# nproc is Linux coreutils; fall back to the BSD/macOS spelling, then 2.
+detect_jobs() {
+  nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2
+}
+JOBS="${QBS_CHECK_JOBS:-$(detect_jobs)}"
+# Optional ctest label filter (unit | stress | net). Empty runs all.
+LABEL="${QBS_CHECK_LABEL:-}"
+CTEST_ARGS=()
+if [ -n "$LABEL" ]; then
+  CTEST_ARGS+=(-L "$LABEL")
+fi
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
   CONFIGS=(werror asan-ubsan tsan tidy)
@@ -38,7 +49,7 @@ run_preset() {
   cmake --preset "$preset"
   cmake --build --preset "$preset" -j "$JOBS"
   # Test presets carry the right ASAN_OPTIONS/TSAN_OPTIONS environment.
-  ctest --preset "$preset" -j "$JOBS"
+  ctest --preset "$preset" -j "$JOBS" "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
 }
 
 for config in "${CONFIGS[@]}"; do
@@ -60,7 +71,7 @@ for config in "${CONFIGS[@]}"; do
       banner "configure+build+test [default]"
       cmake --preset default
       cmake --build --preset default -j "$JOBS"
-      ctest --preset default -j "$JOBS"
+      ctest --preset default -j "$JOBS" "${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"}"
       ;;
     *)
       echo "unknown config '$config' (expected: default werror asan-ubsan tsan tidy)" >&2

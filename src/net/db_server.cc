@@ -1,5 +1,6 @@
 #include "net/db_server.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/log.h"
@@ -14,6 +15,8 @@ struct ServerMetrics {
   Counter* connections_total;
   Gauge* active_connections;
   Counter* errors;
+  Counter* batch_requests;
+  Counter* batch_docs;
   Histogram* request_latency_us;
 
   static const ServerMetrics& Get() {
@@ -29,6 +32,13 @@ struct ServerMetrics {
       m.errors = r.GetCounter(
           "qbs_net_server_errors_total",
           "Undecodable frames and transport failures on the server side");
+      m.batch_requests =
+          r.GetCounter("qbs_net_batch_server_requests_total",
+                       "Batched RPCs (query_and_fetch, fetch_batch) served");
+      m.batch_docs = r.GetCounter(
+          "qbs_net_batch_server_docs_total",
+          "Documents returned inside batched responses — traffic that "
+          "would have cost one RPC each under the v1 protocol");
       m.request_latency_us = r.GetHistogram(
           "qbs_net_server_request_latency_us", Histogram::LatencyBoundsUs(),
           "Server-side request handling latency, database call included");
@@ -54,6 +64,14 @@ struct ServerMetrics {
         MetricRegistry::Default().GetCounter(
             WithLabel("qbs_net_server_requests_total", "method",
                       "fetch_document"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "query_and_fetch"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "fetch_batch"),
             "Requests served, by method"),
     };
     return per_method[static_cast<uint32_t>(method) - 1];
@@ -182,14 +200,21 @@ void DbServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
 }
 
 WireResponse DbServer::HandleRequest(const WireRequest& request) {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  // What this server speaks: kWireProtocolVersion unless an operator
+  // pinned it lower (the old-server compatibility mode).
+  const uint32_t spoken = std::min(
+      std::max<uint32_t>(options_.max_protocol_version, 1), kWireProtocolVersion);
   WireResponse response;
   response.request_id = request.request_id;
   response.method = request.method;
-  if (request.protocol_version != kWireProtocolVersion) {
+  response.protocol_version = request.protocol_version;
+  if (request.protocol_version > spoken ||
+      request.protocol_version < MinVersionForMethod(request.method)) {
     response.status = Status::FailedPrecondition(
         "protocol version " + std::to_string(request.protocol_version) +
-        " not supported; server speaks version " +
-        std::to_string(kWireProtocolVersion));
+        " not supported for " + WireMethodName(request.method) +
+        "; server speaks version " + std::to_string(spoken));
     return response;
   }
   switch (request.method) {
@@ -197,7 +222,11 @@ WireResponse DbServer::HandleRequest(const WireRequest& request) {
       break;
     case WireMethod::kServerInfo:
       response.server_name = db_->name();
-      response.server_protocol_version = kWireProtocolVersion;
+      // The negotiated version: the highest both sides understand. An
+      // old client asking at version 1 hears 1 back, so its equality
+      // check against its own version still passes.
+      response.server_protocol_version =
+          std::min(spoken, request.protocol_version);
       break;
     case WireMethod::kRunQuery: {
       Result<std::vector<SearchHit>> hits = [&] {
@@ -228,6 +257,47 @@ WireResponse DbServer::HandleRequest(const WireRequest& request) {
         response.document = std::move(*text);
       } else {
         response.status = text.status();
+      }
+      break;
+    }
+    case WireMethod::kQueryAndFetch: {
+      metrics.batch_requests->Increment();
+      // The whole round — query plus every fetch — under one lock
+      // acquisition: a batch is the unit of work, and interleaving
+      // another connection's calls between the query and its fetches
+      // buys nothing but lock churn.
+      Result<QueryAndFetchResult> round = [&] {
+        if (options_.serialize_database) {
+          std::lock_guard<std::mutex> lock(db_mu_);
+          return db_->QueryAndFetch(request.query,
+                                    static_cast<size_t>(request.max_results));
+        }
+        return db_->QueryAndFetch(request.query,
+                                  static_cast<size_t>(request.max_results));
+      }();
+      if (round.ok()) {
+        metrics.batch_docs->Increment(round->documents.size());
+        response.hits = std::move(round->hits);
+        response.documents = std::move(round->documents);
+      } else {
+        response.status = round.status();
+      }
+      break;
+    }
+    case WireMethod::kFetchBatch: {
+      metrics.batch_requests->Increment();
+      Result<std::vector<FetchedDocument>> docs = [&] {
+        if (options_.serialize_database) {
+          std::lock_guard<std::mutex> lock(db_mu_);
+          return db_->FetchBatch(request.handles);
+        }
+        return db_->FetchBatch(request.handles);
+      }();
+      if (docs.ok()) {
+        metrics.batch_docs->Increment(docs->size());
+        response.documents = std::move(*docs);
+      } else {
+        response.status = docs.status();
       }
       break;
     }

@@ -42,6 +42,13 @@ struct DbServerOptions {
   /// thread-compatible, so this defaults on; flip it off for databases
   /// that are themselves thread-safe (e.g. a RemoteTextDatabase proxy).
   bool serialize_database = true;
+  /// Highest protocol version this server speaks (clamped to
+  /// [1, kWireProtocolVersion]). Lowering it to 1 makes the server
+  /// behave exactly like a pre-batching build: batched requests are
+  /// rejected with FailedPrecondition and server_info advertises
+  /// version 1. An operational downgrade lever, and the test seam for
+  /// new-client-against-old-server compatibility coverage.
+  uint32_t max_protocol_version = kWireProtocolVersion;
 };
 
 /// A blocking TCP server for one TextDatabase. Thread-safe. The wrapped

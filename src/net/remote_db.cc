@@ -21,6 +21,9 @@ struct ClientMetrics {
   Counter* errors;
   Counter* retries;
   Counter* connects;
+  Counter* batch_rpcs;
+  Counter* batch_docs;
+  Counter* batch_fallbacks;
   Gauge* pool_idle;
   Histogram* call_latency_us;
 
@@ -31,6 +34,18 @@ struct ClientMetrics {
       m.calls = r.GetCounter("qbs_net_client_calls_total",
                              "RPCs issued by RemoteTextDatabase (attempts "
                              "are counted under qbs_net_retry_total)");
+      m.batch_rpcs = r.GetCounter(
+          "qbs_net_batch_client_rpcs_total",
+          "Batched RPCs (query_and_fetch, fetch_batch) issued to v2 "
+          "servers");
+      m.batch_docs = r.GetCounter(
+          "qbs_net_batch_client_docs_total",
+          "Documents received inside batched responses — each one a "
+          "round trip saved against the v1 protocol");
+      m.batch_fallbacks = r.GetCounter(
+          "qbs_net_batch_fallback_total",
+          "Batch calls served by single-shot v1 composition because the "
+          "peer negotiated version 1 or batching is disabled");
       m.errors = r.GetCounter(
           "qbs_net_client_errors_total",
           "RPCs that failed after exhausting retries (transient) or "
@@ -73,20 +88,57 @@ std::string RemoteTextDatabase::name() const {
 }
 
 Status RemoteTextDatabase::Connect() {
-  WireRequest request;
-  request.method = WireMethod::kServerInfo;
-  auto response = Call(std::move(request));
+  // Offer the highest version this client speaks; an old server answers
+  // FailedPrecondition (naming its own version) but keeps serving the
+  // connection, so re-offering the floor completes the negotiation
+  // instead of failing the client.
+  const uint32_t my_max = std::clamp<uint32_t>(options_.max_protocol_version,
+                                               1, kWireProtocolVersion);
+  uint32_t offered = my_max;
+  Result<WireResponse> response = Status::Internal("negotiation never ran");
+  while (true) {
+    WireRequest request;
+    request.method = WireMethod::kServerInfo;
+    request.protocol_version = offered;
+    response = Call(std::move(request));
+    if (response.ok() || offered == 1 ||
+        !response.status().IsFailedPrecondition()) {
+      break;
+    }
+    QBS_LOG(DEBUG) << "RemoteTextDatabase(" << options_.host << ":"
+                   << options_.port << "): version " << offered
+                   << " refused (" << response.status().message()
+                   << "); downgrading to 1";
+    offered = 1;
+  }
   QBS_RETURN_IF_ERROR(response.status());
-  if (response->server_protocol_version != kWireProtocolVersion) {
+  const uint32_t negotiated = response->server_protocol_version;
+  if (negotiated < 1 || negotiated > offered) {
     return Status::FailedPrecondition(
         "server at " + options_.host + ":" + std::to_string(options_.port) +
-        " speaks protocol version " +
-        std::to_string(response->server_protocol_version) + ", client " +
-        std::to_string(kWireProtocolVersion));
+        " negotiated unusable protocol version " +
+        std::to_string(negotiated) + " (client offered " +
+        std::to_string(offered) + ")");
   }
   std::lock_guard<std::mutex> lock(mu_);
   server_name_ = response->server_name;
+  negotiated_version_ = negotiated;
   return Status::OK();
+}
+
+uint32_t RemoteTextDatabase::negotiated_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return negotiated_version_;
+}
+
+Result<uint32_t> RemoteTextDatabase::EnsureNegotiated() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (negotiated_version_ != 0) return negotiated_version_;
+  }
+  QBS_RETURN_IF_ERROR(Connect());
+  std::lock_guard<std::mutex> lock(mu_);
+  return negotiated_version_;
 }
 
 Result<std::vector<SearchHit>> RemoteTextDatabase::RunQuery(
@@ -108,6 +160,66 @@ Result<std::string> RemoteTextDatabase::FetchDocument(
   auto response = Call(std::move(request));
   QBS_RETURN_IF_ERROR(response.status());
   return std::move(response->document);
+}
+
+Result<QueryAndFetchResult> RemoteTextDatabase::QueryAndFetch(
+    std::string_view query, size_t max_results) {
+  const ClientMetrics& metrics = ClientMetrics::Get();
+  if (options_.enable_batching) {
+    auto version = EnsureNegotiated();
+    if (version.ok() && *version >= 2) {
+      WireRequest request;
+      request.method = WireMethod::kQueryAndFetch;
+      request.protocol_version = MinVersionForMethod(request.method);
+      request.query.assign(query.data(), query.size());
+      request.max_results = max_results;
+      auto response = Call(std::move(request));
+      QBS_RETURN_IF_ERROR(response.status());
+      metrics.batch_rpcs->Increment();
+      metrics.batch_docs->Increment(response->documents.size());
+      QueryAndFetchResult result;
+      result.hits = std::move(response->hits);
+      result.documents = std::move(response->documents);
+      return result;
+    }
+    // Negotiation failed outright (server unreachable): let the
+    // composed path surface the real transport error rather than the
+    // negotiation's. A healthy v1 server simply lands here every call.
+  }
+  metrics.batch_fallbacks->Increment();
+  return TextDatabase::QueryAndFetch(query, max_results);
+}
+
+Result<std::vector<FetchedDocument>> RemoteTextDatabase::FetchBatch(
+    const std::vector<std::string>& handles) {
+  const ClientMetrics& metrics = ClientMetrics::Get();
+  if (options_.enable_batching && !handles.empty()) {
+    auto version = EnsureNegotiated();
+    if (version.ok() && *version >= 2) {
+      WireRequest request;
+      request.method = WireMethod::kFetchBatch;
+      request.protocol_version = MinVersionForMethod(request.method);
+      request.handles = handles;
+      auto response = Call(std::move(request));
+      QBS_RETURN_IF_ERROR(response.status());
+      if (response->documents.size() != handles.size()) {
+        return Status::Corruption(
+            "wire: fetch_batch returned " +
+            std::to_string(response->documents.size()) + " documents for " +
+            std::to_string(handles.size()) + " handles");
+      }
+      metrics.batch_rpcs->Increment();
+      metrics.batch_docs->Increment(response->documents.size());
+      // Handles travel only in the request; restore the alignment the
+      // interface promises.
+      for (size_t i = 0; i < handles.size(); ++i) {
+        response->documents[i].handle = handles[i];
+      }
+      return std::move(response->documents);
+    }
+  }
+  metrics.batch_fallbacks->Increment();
+  return TextDatabase::FetchBatch(handles);
 }
 
 Result<std::unique_ptr<ByteStream>> RemoteTextDatabase::AcquireConnection() {
@@ -163,6 +275,7 @@ Result<WireResponse> RemoteTextDatabase::Call(WireRequest request) {
   QBS_TRACE_SPAN("net.rpc", WireMethodName(request.method));
   ScopedTimerUs timer(metrics.call_latency_us);
   metrics.calls->Increment();
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
   request.request_id =
       next_request_id_.fetch_add(1, std::memory_order_relaxed);
   // Deterministic per-call jitter stream: reproducible tests, decorrelated

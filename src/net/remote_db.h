@@ -54,6 +54,16 @@ struct RemoteDatabaseOptions {
   size_t max_idle_connections = 4;
   /// Inbound frames larger than this are rejected as Corruption.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Prefer the batched v2 RPCs (query_and_fetch, fetch_batch) when the
+  /// server negotiates protocol version >= 2. With batching off — or
+  /// against a v1 server — batch calls are composed from the single-shot
+  /// RPCs, so callers see identical semantics either way.
+  bool enable_batching = true;
+  /// Highest protocol version this client will negotiate (clamped to
+  /// [1, kWireProtocolVersion]). Pinning it to 1 reproduces a
+  /// pre-batching client exactly: only v1 frames ever leave this
+  /// process. Operational downgrade lever and compatibility-test seam.
+  uint32_t max_protocol_version = kWireProtocolVersion;
   /// Test seam: when set, used instead of a TCP dial to produce
   /// connections — e.g. wrapping the real stream in a FaultyTransport.
   std::function<Result<std::unique_ptr<ByteStream>>()> connector;
@@ -66,10 +76,12 @@ class RemoteTextDatabase : public TextDatabase {
   explicit RemoteTextDatabase(RemoteDatabaseOptions options);
   ~RemoteTextDatabase() override;
 
-  /// Performs a ServerInfo round trip: verifies the server speaks this
-  /// protocol version and caches the remote database's name. Optional —
-  /// the first RunQuery dials on demand — but calling it up front turns
-  /// "wrong port" into an immediate, attributable error.
+  /// Performs the version-negotiating ServerInfo round trip: offers this
+  /// client's highest protocol version, downgrades to version 1 when an
+  /// old server refuses, and caches the negotiated version plus the
+  /// remote database's name. Optional — the first call that needs the
+  /// negotiated version performs it on demand — but calling it up front
+  /// turns "wrong port" into an immediate, attributable error.
   Status Connect();
 
   /// The remote database's name once known (Connect() or any successful
@@ -80,9 +92,26 @@ class RemoteTextDatabase : public TextDatabase {
                                           size_t max_results) override;
   Result<std::string> FetchDocument(std::string_view handle) override;
 
+  /// Batched retrieval. One RPC each against a v2 server; composed from
+  /// the single-shot RPCs against a v1 server or with enable_batching
+  /// off — same results either way, just more round trips.
+  Result<QueryAndFetchResult> QueryAndFetch(std::string_view query,
+                                            size_t max_results) override;
+  Result<std::vector<FetchedDocument>> FetchBatch(
+      const std::vector<std::string>& handles) override;
+
   /// Transient failures retried so far (mirrors qbs_net_retry_total,
   /// but per-instance).
   uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+
+  /// RPCs issued by this instance (attempts are not double-counted; a
+  /// call retried three times is one RPC here). The denominator-free
+  /// half of the benchmark suite's RPCs-per-document measurement.
+  uint64_t rpcs() const { return rpcs_.load(std::memory_order_relaxed); }
+
+  /// The protocol version negotiated with the server; 0 before the
+  /// first Connect() (explicit or on-demand) completes.
+  uint32_t negotiated_version() const;
 
  private:
   Result<std::unique_ptr<ByteStream>> AcquireConnection();
@@ -91,14 +120,18 @@ class RemoteTextDatabase : public TextDatabase {
   Result<WireResponse> Call(WireRequest request);
   /// A single attempt on one connection.
   Result<WireResponse> CallOnce(ByteStream& conn, const WireRequest& request);
+  /// Negotiated version, running Connect() first if still unknown.
+  Result<uint32_t> EnsureNegotiated();
 
   RemoteDatabaseOptions options_;
   std::atomic<uint64_t> next_request_id_{1};
   std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> rpcs_{0};
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<ByteStream>> idle_;
-  std::string server_name_;  // empty until learned
+  std::string server_name_;       // empty until learned
+  uint32_t negotiated_version_ = 0;  // 0 until negotiated
 };
 
 }  // namespace qbs

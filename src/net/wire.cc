@@ -125,7 +125,30 @@ bool GetFixed64(const std::vector<uint8_t>& data, size_t* pos,
 
 bool IsKnownMethod(uint32_t method) {
   return method >= static_cast<uint32_t>(WireMethod::kPing) &&
-         method <= static_cast<uint32_t>(WireMethod::kFetchDocument);
+         method <= static_cast<uint32_t>(WireMethod::kFetchBatch);
+}
+
+// Shared by the two batched responses: one document entry is its status
+// (code + message) and, on OK, the text.
+void PutFetchedDocument(std::vector<uint8_t>& out, const FetchedDocument& doc) {
+  PutVarint32(out, StatusCodeToWire(doc.status.code()));
+  PutString(out, doc.status.message());
+  if (doc.status.ok()) PutString(out, doc.text);
+}
+
+bool GetFetchedDocument(const std::vector<uint8_t>& data, size_t* pos,
+                        FetchedDocument* doc) {
+  uint32_t code = 0;
+  std::string message;
+  if (!GetVarint32(data, pos, &code) || !GetString(data, pos, &message)) {
+    return false;
+  }
+  StatusCode status_code = StatusCodeFromWire(code);
+  doc->status = status_code == StatusCode::kOk
+                    ? Status::OK()
+                    : Status(status_code, std::move(message));
+  if (doc->status.ok() && !GetString(data, pos, &doc->text)) return false;
+  return true;
 }
 
 }  // namespace
@@ -140,8 +163,26 @@ const char* WireMethodName(WireMethod method) {
       return "run_query";
     case WireMethod::kFetchDocument:
       return "fetch_document";
+    case WireMethod::kQueryAndFetch:
+      return "query_and_fetch";
+    case WireMethod::kFetchBatch:
+      return "fetch_batch";
   }
   return "unknown";
+}
+
+uint32_t MinVersionForMethod(WireMethod method) {
+  switch (method) {
+    case WireMethod::kPing:
+    case WireMethod::kServerInfo:
+    case WireMethod::kRunQuery:
+    case WireMethod::kFetchDocument:
+      return 1;
+    case WireMethod::kQueryAndFetch:
+    case WireMethod::kFetchBatch:
+      return 2;
+  }
+  return kWireProtocolVersion;
 }
 
 std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
@@ -154,11 +195,18 @@ std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
     case WireMethod::kServerInfo:
       break;
     case WireMethod::kRunQuery:
+    case WireMethod::kQueryAndFetch:
       PutString(out, request.query);
       PutVarint64(out, request.max_results);
       break;
     case WireMethod::kFetchDocument:
       PutString(out, request.handle);
+      break;
+    case WireMethod::kFetchBatch:
+      PutVarint64(out, request.handles.size());
+      for (const std::string& handle : request.handles) {
+        PutString(out, handle);
+      }
       break;
   }
   return out;
@@ -183,9 +231,10 @@ Result<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload) {
     case WireMethod::kServerInfo:
       break;
     case WireMethod::kRunQuery:
+    case WireMethod::kQueryAndFetch:
       if (!GetString(payload, &pos, &request.query) ||
           !GetVarint64(payload, &pos, &request.max_results)) {
-        return Truncated("run_query request body");
+        return Truncated("query request body");
       }
       break;
     case WireMethod::kFetchDocument:
@@ -193,6 +242,26 @@ Result<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload) {
         return Truncated("fetch_document request body");
       }
       break;
+    case WireMethod::kFetchBatch: {
+      uint64_t count = 0;
+      if (!GetVarint64(payload, &pos, &count)) {
+        return Truncated("fetch_batch handle count");
+      }
+      // Each handle costs at least its 1-byte length prefix; a count the
+      // payload could not hold is corrupt, not a reason to reserve.
+      if (count > payload.size() - pos + 1) {
+        return Status::Corruption("wire: handle count exceeds payload");
+      }
+      request.handles.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string handle;
+        if (!GetString(payload, &pos, &handle)) {
+          return Truncated("fetch_batch handle");
+        }
+        request.handles.push_back(std::move(handle));
+      }
+      break;
+    }
   }
   if (pos != payload.size()) {
     return Status::Corruption("wire: trailing bytes after request");
@@ -224,6 +293,24 @@ std::vector<uint8_t> EncodeResponse(const WireResponse& response) {
       break;
     case WireMethod::kFetchDocument:
       PutString(out, response.document);
+      break;
+    case WireMethod::kQueryAndFetch:
+      // Hits exactly as run_query, then one document entry per hit.
+      // Handles are not repeated in the document block.
+      PutVarint64(out, response.hits.size());
+      for (const SearchHit& hit : response.hits) {
+        PutString(out, hit.handle);
+        PutFixed64(out, DoubleToBits(hit.score));
+      }
+      for (const FetchedDocument& doc : response.documents) {
+        PutFetchedDocument(out, doc);
+      }
+      break;
+    case WireMethod::kFetchBatch:
+      PutVarint64(out, response.documents.size());
+      for (const FetchedDocument& doc : response.documents) {
+        PutFetchedDocument(out, doc);
+      }
       break;
   }
   return out;
@@ -295,6 +382,58 @@ Result<WireResponse> DecodeResponse(const std::vector<uint8_t>& payload) {
         return Truncated("fetch_document response body");
       }
       break;
+    case WireMethod::kQueryAndFetch: {
+      uint64_t count = 0;
+      if (!GetVarint64(payload, &pos, &count)) {
+        return Truncated("query_and_fetch hit count");
+      }
+      if (count > (payload.size() - pos) / 9 + 1) {
+        return Status::Corruption("wire: hit count exceeds payload");
+      }
+      response.hits.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        SearchHit hit;
+        uint64_t score_bits = 0;
+        if (!GetString(payload, &pos, &hit.handle) ||
+            !GetFixed64(payload, &pos, &score_bits)) {
+          return Truncated("query_and_fetch hit");
+        }
+        hit.score = DoubleFromBits(score_bits);
+        response.hits.push_back(std::move(hit));
+      }
+      response.documents.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        FetchedDocument doc;
+        if (!GetFetchedDocument(payload, &pos, &doc)) {
+          return Truncated("query_and_fetch document");
+        }
+        // The wire does not repeat handles; restore alignment here so
+        // every decoder client sees self-describing entries.
+        doc.handle = response.hits[static_cast<size_t>(i)].handle;
+        response.documents.push_back(std::move(doc));
+      }
+      break;
+    }
+    case WireMethod::kFetchBatch: {
+      uint64_t count = 0;
+      if (!GetVarint64(payload, &pos, &count)) {
+        return Truncated("fetch_batch document count");
+      }
+      // Each entry is at least 2 bytes (status code + empty message).
+      if (count > (payload.size() - pos) / 2 + 1) {
+        return Status::Corruption("wire: document count exceeds payload");
+      }
+      response.documents.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        FetchedDocument doc;
+        if (!GetFetchedDocument(payload, &pos, &doc)) {
+          return Truncated("fetch_batch document");
+        }
+        // Handles are implied by request order; the caller fills them in.
+        response.documents.push_back(std::move(doc));
+      }
+      break;
+    }
   }
   if (pos != payload.size()) {
     return Status::Corruption("wire: trailing bytes after response");

@@ -1,5 +1,6 @@
-// The qbs wire protocol: length-prefixed binary frames carrying the four
-// TextDatabase RPCs (Ping, ServerInfo, RunQuery, FetchDocument).
+// The qbs wire protocol: length-prefixed binary frames carrying the
+// TextDatabase RPCs — Ping, ServerInfo, RunQuery, FetchDocument since
+// v1, and the batched QueryAndFetch / FetchBatch since v2.
 //
 // A frame is a 4-byte little-endian payload length followed by the
 // payload. Payload fields are LEB128 varints (src/index/varint) and
@@ -22,10 +23,15 @@
 
 namespace qbs {
 
-/// Protocol version spoken by this build. A server replies to any other
-/// version with FailedPrecondition and its own version number, so an old
-/// client gets a diagnosable error instead of garbage.
-inline constexpr uint32_t kWireProtocolVersion = 1;
+/// Protocol version spoken by this build. Version 2 adds the batched
+/// RPCs (query_and_fetch, fetch_batch); every version-1 message is
+/// unchanged. A request's version field states the minimum version
+/// needed to understand that message, so a new client keeps stamping
+/// version-1 methods with 1 and an old server keeps accepting them. A
+/// server replies to a version it does not speak with
+/// FailedPrecondition and its own version number, so the peer gets a
+/// diagnosable error instead of garbage (and a new client downgrades).
+inline constexpr uint32_t kWireProtocolVersion = 2;
 
 /// Frames larger than this are rejected as Corruption before any
 /// allocation — a garbled length prefix must not become a giant malloc.
@@ -37,29 +43,42 @@ enum class WireMethod : uint32_t {
   kServerInfo = 2,
   kRunQuery = 3,
   kFetchDocument = 4,
+  /// v2: run a query and return the top-N documents in one frame.
+  kQueryAndFetch = 5,
+  /// v2: fetch several documents by handle in one frame.
+  kFetchBatch = 6,
 };
 
 /// Stable lowercase method name ("ping", ...; "unknown" otherwise),
 /// used for metric labels and trace span names.
 const char* WireMethodName(WireMethod method);
 
+/// The protocol version that introduced `method` — the version a
+/// request carrying it must declare, and the least version a peer must
+/// have negotiated before sending it.
+uint32_t MinVersionForMethod(WireMethod method);
+
 /// One decoded request.
 struct WireRequest {
-  uint32_t protocol_version = kWireProtocolVersion;
+  /// Minimum protocol version needed to understand this message —
+  /// MinVersionForMethod(method), not the build's own version.
+  uint32_t protocol_version = 1;
   /// Client-chosen id echoed back in the response; lets a client detect
   /// a stale or misrouted response on a reused connection.
   uint64_t request_id = 0;
   WireMethod method = WireMethod::kPing;
-  /// kRunQuery only.
+  /// kRunQuery and kQueryAndFetch.
   std::string query;
   uint64_t max_results = 0;
   /// kFetchDocument only.
   std::string handle;
+  /// kFetchBatch only.
+  std::vector<std::string> handles;
 };
 
 /// One decoded response.
 struct WireResponse {
-  uint32_t protocol_version = kWireProtocolVersion;
+  uint32_t protocol_version = 1;
   uint64_t request_id = 0;
   WireMethod method = WireMethod::kPing;
   /// The server-side operation's outcome, carried verbatim.
@@ -67,10 +86,16 @@ struct WireResponse {
   /// kServerInfo only.
   std::string server_name;
   uint32_t server_protocol_version = 0;
-  /// kRunQuery only (present when status is OK).
+  /// kRunQuery and kQueryAndFetch (present when status is OK).
   std::vector<SearchHit> hits;
   /// kFetchDocument only (present when status is OK).
   std::string document;
+  /// kQueryAndFetch (index-aligned with hits) and kFetchBatch
+  /// (index-aligned with the request's handles). Each entry carries its
+  /// own status; the wire does not repeat handles — the decoder leaves
+  /// FetchedDocument::handle empty and the client fills it back in from
+  /// what it asked for.
+  std::vector<FetchedDocument> documents;
 };
 
 /// Serializes a request/response into a frame payload (no length prefix).

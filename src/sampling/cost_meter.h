@@ -111,6 +111,35 @@ class CostMeter : public TextDatabase {
     return text;
   }
 
+  /// Batched calls delegate to the wrapped database's batched methods —
+  /// a meter in front of a RemoteTextDatabase must not unbatch its
+  /// traffic — and account for them in the same units as the
+  /// single-shot paths: one query, N hits, M documents, their bytes.
+  Result<QueryAndFetchResult> QueryAndFetch(std::string_view query,
+                                            size_t max_results) override {
+    Bump(queries_, queries_published_, 1);
+    Bump(query_bytes_, query_bytes_published_, query.size());
+    auto round = inner_->QueryAndFetch(query, max_results);
+    if (round.ok()) {
+      Bump(hits_returned_, hits_published_, round->hits.size());
+      CountFetched(round->documents);
+    } else {
+      Bump(errors_, errors_published_, 1);
+    }
+    return round;
+  }
+
+  Result<std::vector<FetchedDocument>> FetchBatch(
+      const std::vector<std::string>& handles) override {
+    auto documents = inner_->FetchBatch(handles);
+    if (documents.ok()) {
+      CountFetched(*documents);
+    } else {
+      Bump(errors_, errors_published_, 1);
+    }
+    return documents;
+  }
+
   /// Snapshot of the costs accumulated so far.
   InteractionCosts costs() const {
     InteractionCosts c;
@@ -139,6 +168,17 @@ class CostMeter : public TextDatabase {
                    uint64_t n) {
     local.fetch_add(n, std::memory_order_relaxed);
     if (published != nullptr) published->Increment(n);
+  }
+
+  void CountFetched(const std::vector<FetchedDocument>& documents) {
+    for (const FetchedDocument& doc : documents) {
+      if (doc.status.ok()) {
+        Bump(documents_fetched_, documents_published_, 1);
+        Bump(document_bytes_, document_bytes_published_, doc.text.size());
+      } else {
+        Bump(errors_, errors_published_, 1);
+      }
+    }
   }
 
   TextDatabase* inner_;

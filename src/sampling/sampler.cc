@@ -1,5 +1,10 @@
 #include "sampling/sampler.h"
 
+#include <deque>
+#include <future>
+#include <limits>
+#include <utility>
+
 #include "lm/metrics.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -20,6 +25,9 @@ struct SamplerMetrics {
   Counter* documents;
   Counter* duplicate_hits;
   Counter* database_errors;
+  Counter* batch_rounds;
+  Counter* prefetched_fetches;
+  Counter* overfetched_docs;
   Histogram* query_latency_us;
   Histogram* fetch_latency_us;
   Gauge* unique_terms;
@@ -41,6 +49,17 @@ struct SamplerMetrics {
       m.database_errors =
           r.GetCounter("qbs_sampler_database_errors_total",
                        "Tolerated database errors during sampling");
+      m.batch_rounds =
+          r.GetCounter("qbs_sampler_batch_rounds_total",
+                       "Sampling rounds retrieved through a batched "
+                       "database call (query_and_fetch or fetch_batch)");
+      m.prefetched_fetches = r.GetCounter(
+          "qbs_sampler_prefetched_fetches_total",
+          "Document fetches launched ahead of ingestion on a fetch pool");
+      m.overfetched_docs = r.GetCounter(
+          "qbs_sampler_overfetched_docs_total",
+          "Documents transferred but never ingested — duplicates arriving "
+          "via query_and_fetch and round remainders after a mid-round stop");
       m.query_latency_us =
           r.GetHistogram("qbs_sampler_query_latency_us",
                          Histogram::LatencyBoundsUs(),
@@ -119,83 +138,277 @@ Result<SamplingResult> QueryBasedSampler::Run() {
     return false;
   };
 
+  auto discard = [&](size_t n) {
+    if (n == 0) return;
+    result.overfetched_docs += n;
+    metrics.overfetched_docs->Increment(n);
+  };
+
+  // Ingests one fetched document (or its fetch failure) into the model.
+  // Returns true to continue the round, false on a mid-round stop, and
+  // the database error once the tolerance budget is exhausted. Every
+  // retrieval mode funnels through here, in hit order — which is what
+  // keeps the learned model identical across modes.
+  auto ingest = [&](const std::string& handle,
+                    Result<std::string> fetch_result,
+                    QueryRecord& record) -> Result<bool> {
+    if (!fetch_result.ok()) {
+      if (!tolerate(fetch_result.status())) return fetch_result.status();
+      // Skipped, not examined: forget the handle so a later query may
+      // retrieve the document successfully.
+      if (options_.dedup_documents) seen_docs.erase(handle);
+      return true;
+    }
+    std::string text = std::move(*fetch_result);
+    std::vector<std::string> terms = raw_analyzer.Analyze(text);
+    result.learned.AddDocument(terms);
+    if (options_.build_stemmed_model) {
+      for (std::string& t : terms) PorterStemmer::StemInPlace(t);
+      result.learned_stemmed.AddDocument(terms);
+    }
+    if (options_.collect_documents) {
+      result.sampled_documents.push_back(std::move(text));
+    }
+    ++record.new_docs;
+    metrics.documents->Increment();
+    stopping.OnDocument();
+
+    if (observer_) {
+      observer_(stopping.documents(), result.learned,
+                result.learned_stemmed);
+    }
+
+    // Snapshot bookkeeping (Fig. 4 / rdiff stopping).
+    if (stopping.SnapshotDue()) {
+      SamplingSnapshot snap;
+      snap.documents = stopping.documents();
+      snap.queries = stopping.queries();
+      if (have_prev_snapshot) {
+        snap.rdiff_from_prev =
+            RDiff(prev_snapshot, result.learned, TermMetric::kDf);
+      }
+      stopping.OnSnapshot(snap.rdiff_from_prev);
+      result.snapshots.push_back(snap);
+      prev_snapshot = result.learned;  // deep copy
+      have_prev_snapshot = true;
+    }
+    return !stopping.ShouldStop();
+  };
+
   std::string term = options_.initial_term;
   while (true) {
     used_terms.insert(term);
     stopping.OnQuery();
 
-    Result<std::vector<SearchHit>> query_result = [&] {
-      QBS_TRACE_SPAN("sampler.query");
-      ScopedTimerUs timer(metrics.query_latency_us);
-      return db_->RunQuery(term, options_.docs_per_query);
-    }();
-    metrics.queries->Increment();
-    if (!query_result.ok() && !tolerate(query_result.status())) {
-      return query_result.status();
-    }
-    std::vector<SearchHit> hits =
-        query_result.ok() ? std::move(*query_result)
-                          : std::vector<SearchHit>();
     QueryRecord record;
     record.term = term;
-    record.hits_returned = hits.size();
-    if (hits.empty()) {
-      ++result.failed_queries;
-      metrics.failed_queries->Increment();
+
+    // With a document-count stopping rule, never start a fetch the rule
+    // cannot ingest: batching must not change how many documents a
+    // bounded run examines (or pays for).
+    size_t budget = std::numeric_limits<size_t>::max();
+    if (options_.stopping.max_documents > 0) {
+      budget = options_.stopping.max_documents - stopping.documents();
     }
 
-    for (const SearchHit& hit : hits) {
-      if (options_.dedup_documents) {
-        auto [it, inserted] = seen_docs.insert(hit.handle);
-        if (!inserted) {
-          ++result.duplicate_hits;
-          metrics.duplicate_hits->Increment();
-          continue;
-        }
-      }
-      Result<std::string> fetch_result = [&] {
-        ScopedTimerUs timer(metrics.fetch_latency_us);
-        return db_->FetchDocument(hit.handle);
+    bool mid_round_stop = false;
+
+    if (options_.retrieval == RetrievalMode::kQueryAndFetch) {
+      // --- Retrieval: the whole round in one call. ---
+      Result<QueryAndFetchResult> round = [&] {
+        QBS_TRACE_SPAN("sampler.retrieve", term);
+        ScopedTimerUs timer(metrics.query_latency_us);
+        return db_->QueryAndFetch(term, options_.docs_per_query);
       }();
-      if (!fetch_result.ok()) {
-        if (!tolerate(fetch_result.status())) return fetch_result.status();
-        if (options_.dedup_documents) seen_docs.erase(hit.handle);
-        continue;  // skip this document; it may be retrievable later
+      metrics.queries->Increment();
+      metrics.batch_rounds->Increment();
+      if (round.ok() && round->documents.size() != round->hits.size()) {
+        round = Status::Internal(
+            "QueryAndFetch returned " +
+            std::to_string(round->documents.size()) + " documents for " +
+            std::to_string(round->hits.size()) + " hits");
       }
-      std::string text = std::move(*fetch_result);
-      std::vector<std::string> terms = raw_analyzer.Analyze(text);
-      result.learned.AddDocument(terms);
-      if (options_.build_stemmed_model) {
-        for (std::string& t : terms) PorterStemmer::StemInPlace(t);
-        result.learned_stemmed.AddDocument(terms);
-      }
-      if (options_.collect_documents) {
-        result.sampled_documents.push_back(std::move(text));
-      }
-      ++record.new_docs;
-      metrics.documents->Increment();
-      stopping.OnDocument();
-
-      if (observer_) {
-        observer_(stopping.documents(), result.learned,
-                  result.learned_stemmed);
+      if (!round.ok() && !tolerate(round.status())) return round.status();
+      std::vector<SearchHit> hits =
+          round.ok() ? std::move(round->hits) : std::vector<SearchHit>();
+      std::vector<FetchedDocument> docs = round.ok()
+                                              ? std::move(round->documents)
+                                              : std::vector<FetchedDocument>();
+      record.hits_returned = hits.size();
+      if (hits.empty()) {
+        ++result.failed_queries;
+        metrics.failed_queries->Increment();
       }
 
-      // Snapshot bookkeeping (Fig. 4 / rdiff stopping).
-      if (stopping.SnapshotDue()) {
-        SamplingSnapshot snap;
-        snap.documents = stopping.documents();
-        snap.queries = stopping.queries();
-        if (have_prev_snapshot) {
-          snap.rdiff_from_prev =
-              RDiff(prev_snapshot, result.learned, TermMetric::kDf);
+      // --- Ingestion, in hit order; duplicates arrived anyway and are
+      // discarded here. ---
+      QBS_TRACE_SPAN("sampler.ingest", term);
+      size_t i = 0;
+      for (; i < hits.size() && !mid_round_stop; ++i) {
+        if (options_.dedup_documents) {
+          auto [it, inserted] = seen_docs.insert(hits[i].handle);
+          if (!inserted) {
+            ++result.duplicate_hits;
+            metrics.duplicate_hits->Increment();
+            discard(1);
+            continue;
+          }
         }
-        stopping.OnSnapshot(snap.rdiff_from_prev);
-        result.snapshots.push_back(snap);
-        prev_snapshot = result.learned;  // deep copy
-        have_prev_snapshot = true;
+        Result<std::string> text =
+            docs[i].status.ok()
+                ? Result<std::string>(std::move(docs[i].text))
+                : Result<std::string>(docs[i].status);
+        Result<bool> keep_going = ingest(hits[i].handle, std::move(text),
+                                         record);
+        if (!keep_going.ok()) return keep_going.status();
+        if (!*keep_going) mid_round_stop = true;
       }
-      if (stopping.ShouldStop()) break;
+      discard(hits.size() - i);
+    } else {
+      // --- Retrieval stage 1: the query. ---
+      Result<std::vector<SearchHit>> query_result = [&] {
+        QBS_TRACE_SPAN("sampler.retrieve", term);
+        ScopedTimerUs timer(metrics.query_latency_us);
+        return db_->RunQuery(term, options_.docs_per_query);
+      }();
+      metrics.queries->Increment();
+      if (!query_result.ok() && !tolerate(query_result.status())) {
+        return query_result.status();
+      }
+      std::vector<SearchHit> hits = query_result.ok()
+                                        ? std::move(*query_result)
+                                        : std::vector<SearchHit>();
+      record.hits_returned = hits.size();
+      if (hits.empty()) {
+        ++result.failed_queries;
+        metrics.failed_queries->Increment();
+      }
+
+      // Dedup and budget-trim before any fetch: already-examined
+      // documents are never re-fetched, and no fetch starts that the
+      // stopping rule cannot ingest. Hits past the budget stay
+      // untouched (not marked seen), exactly as if the stop had broken
+      // the per-hit loop.
+      std::vector<std::string> to_fetch;
+      for (const SearchHit& hit : hits) {
+        if (to_fetch.size() >= budget) break;
+        if (options_.dedup_documents) {
+          auto [it, inserted] = seen_docs.insert(hit.handle);
+          if (!inserted) {
+            ++result.duplicate_hits;
+            metrics.duplicate_hits->Increment();
+            continue;
+          }
+        }
+        to_fetch.push_back(hit.handle);
+      }
+
+      if (options_.retrieval == RetrievalMode::kFetchBatch &&
+          !to_fetch.empty()) {
+        // --- Retrieval stage 2: every unseen document in one call. ---
+        Result<std::vector<FetchedDocument>> batch = [&] {
+          QBS_TRACE_SPAN("sampler.retrieve", term);
+          ScopedTimerUs timer(metrics.fetch_latency_us);
+          return db_->FetchBatch(to_fetch);
+        }();
+        metrics.batch_rounds->Increment();
+        if (batch.ok() && batch->size() != to_fetch.size()) {
+          batch = Status::Internal(
+              "FetchBatch returned " + std::to_string(batch->size()) +
+              " documents for " + std::to_string(to_fetch.size()) +
+              " handles");
+        }
+        if (!batch.ok()) {
+          // One tolerated error covers the whole failed call; none of
+          // the documents were examined, so all stay retrievable.
+          if (!tolerate(batch.status())) return batch.status();
+          if (options_.dedup_documents) {
+            for (const std::string& handle : to_fetch) {
+              seen_docs.erase(handle);
+            }
+          }
+        } else {
+          QBS_TRACE_SPAN("sampler.ingest", term);
+          size_t i = 0;
+          for (; i < to_fetch.size() && !mid_round_stop; ++i) {
+            FetchedDocument& doc = (*batch)[i];
+            Result<std::string> text =
+                doc.status.ok() ? Result<std::string>(std::move(doc.text))
+                                : Result<std::string>(doc.status);
+            Result<bool> keep_going = ingest(to_fetch[i], std::move(text),
+                                             record);
+            if (!keep_going.ok()) return keep_going.status();
+            if (!*keep_going) mid_round_stop = true;
+          }
+          discard(to_fetch.size() - i);
+        }
+      } else if (options_.retrieval == RetrievalMode::kSingleFetch &&
+                 options_.fetch_pool != nullptr &&
+                 options_.prefetch_depth > 0 && to_fetch.size() > 1) {
+        // --- Pipelined: fetches run ahead on the pool while ingestion
+        // consumes them strictly in hit order. ---
+        QBS_TRACE_SPAN("sampler.ingest", term);
+        std::deque<std::future<Result<std::string>>> window;
+        size_t launched = 0;
+        auto pump = [&] {
+          while (launched < to_fetch.size() &&
+                 window.size() < options_.prefetch_depth) {
+            auto task =
+                std::make_shared<std::packaged_task<Result<std::string>()>>(
+                    [db = db_, handle = to_fetch[launched], &metrics] {
+                      ScopedTimerUs timer(metrics.fetch_latency_us);
+                      return db->FetchDocument(handle);
+                    });
+            window.push_back(task->get_future());
+            if (options_.fetch_pool->Submit([task] { (*task)(); })) {
+              metrics.prefetched_fetches->Increment();
+            } else {
+              (*task)();  // pool already shutting down: degrade inline
+            }
+            ++launched;
+          }
+        };
+        size_t consumed = 0;
+        Status round_error;
+        while (consumed < to_fetch.size() && !mid_round_stop &&
+               round_error.ok()) {
+          pump();
+          Result<std::string> fetch_result = window.front().get();
+          window.pop_front();
+          const std::string& handle = to_fetch[consumed];
+          ++consumed;
+          Result<bool> keep_going =
+              ingest(handle, std::move(fetch_result), record);
+          if (!keep_going.ok()) {
+            round_error = keep_going.status();
+          } else if (!*keep_going) {
+            mid_round_stop = true;
+          }
+        }
+        // Drain in-flight prefetches before leaving the round: no fetch
+        // may outlive this call.
+        size_t drained = 0;
+        while (!window.empty()) {
+          window.front().wait();
+          window.pop_front();
+          ++drained;
+        }
+        discard(drained);
+        if (!round_error.ok()) return round_error;
+      } else {
+        // --- v1 shape: fetch and ingest one document at a time. ---
+        QBS_TRACE_SPAN("sampler.ingest", term);
+        for (size_t i = 0; i < to_fetch.size() && !mid_round_stop; ++i) {
+          Result<std::string> fetch_result = [&] {
+            ScopedTimerUs timer(metrics.fetch_latency_us);
+            return db_->FetchDocument(to_fetch[i]);
+          }();
+          Result<bool> keep_going =
+              ingest(to_fetch[i], std::move(fetch_result), record);
+          if (!keep_going.ok()) return keep_going.status();
+          if (!*keep_going) mid_round_stop = true;
+        }
+      }
     }
     result.queries.push_back(std::move(record));
 
@@ -212,7 +425,7 @@ Result<SamplingResult> QueryBasedSampler::Run() {
           1.0 - static_cast<double>(vocab) / static_cast<double>(occurrences));
     }
 
-    if (stopping.ShouldStop()) break;
+    if (mid_round_stop || stopping.ShouldStop()) break;
 
     std::optional<std::string> next =
         selector->Select(result.learned, used_terms, rng);

@@ -7,8 +7,14 @@
 //   5. If the stopping criterion is not reached, select a new query term
 //      and go to 2.
 //
-// The sampler interacts with the database *only* through the two-method
-// TextDatabase interface — no cooperation, no index access.
+// The sampler interacts with the database *only* through the TextDatabase
+// interface — no cooperation, no index access. Within that interface it
+// can batch (one QueryAndFetch or FetchBatch call per round instead of a
+// call per document) and pipeline (document fetches running ahead of
+// model ingestion on a thread pool); see RetrievalMode. Rounds themselves
+// stay sequential — the paper's algorithm picks query term t+1 from the
+// model as updated by round t — so all the overlap lives inside a round,
+// and the learned model is byte-identical across modes for a fixed seed.
 #ifndef QBS_SAMPLING_SAMPLER_H_
 #define QBS_SAMPLING_SAMPLER_H_
 
@@ -26,8 +32,35 @@
 #include "text/analyzer.h"
 #include "util/random.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace qbs {
+
+/// How the sampler turns a round's hit list into document text — the
+/// network-facing half of the loop. Ingestion order is always the
+/// database's hit order, so against a healthy database every mode learns
+/// the identical model; the modes differ only in round trips and in how
+/// much already-seen text they transfer.
+enum class RetrievalMode {
+  /// One RunQuery, then one FetchDocument per unseen hit — the only
+  /// shape the v1 wire protocol supports. With
+  /// SamplerOptions::fetch_pool set, fetches run ahead of ingestion on
+  /// the pool (bounded by prefetch_depth).
+  kSingleFetch,
+  /// One QueryAndFetch call per round: the hits and their documents in
+  /// a single round trip (one RPC against a v2 server). The database
+  /// cannot know which documents the sampler has already examined, so
+  /// duplicates are transferred anyway and discarded on arrival
+  /// (counted in SamplingResult::overfetched_docs). Fewest RPCs;
+  /// prefer kFetchBatch once duplicate rates climb and transfer bytes
+  /// are the bottleneck.
+  kQueryAndFetch,
+  /// RunQuery, then one FetchBatch covering the round's unseen hits:
+  /// two round trips per round and no duplicate-document transfer —
+  /// the same documents the v1 path would fetch, in the same order,
+  /// at a fraction of the RPCs. The default.
+  kFetchBatch,
+};
 
 /// Configuration of one sampling run.
 struct SamplerOptions {
@@ -71,8 +104,32 @@ struct SamplerOptions {
   /// Number of database errors (failed RunQuery / FetchDocument calls) to
   /// tolerate before giving up. Remote databases fail transiently; a
   /// tolerated query error skips to the next term, a tolerated fetch error
-  /// skips that document. 0 propagates the first error.
+  /// skips that document. 0 propagates the first error. Batched modes
+  /// count a failed batch *call* as one error (its documents are
+  /// retrievable later); a per-document failure inside a successful
+  /// batch counts one error per document, exactly like kSingleFetch.
   size_t max_database_errors = 0;
+
+  /// Retrieval strategy (see RetrievalMode). Safe against any database:
+  /// TextDatabase composes the batched calls from RunQuery /
+  /// FetchDocument when the implementation does not override them, and
+  /// RemoteTextDatabase serves each as a single RPC when the server
+  /// speaks protocol v2.
+  RetrievalMode retrieval = RetrievalMode::kFetchBatch;
+
+  /// Optional pool (borrowed, not owned; must outlive the run) on which
+  /// kSingleFetch document fetches run ahead of ingestion. nullptr
+  /// fetches inline. Only set this when the database tolerates
+  /// concurrent FetchDocument calls (RemoteTextDatabase does; a bare
+  /// SearchEngine is only thread-compatible and does not). Ignored by
+  /// the batched modes, whose rounds already collapse to 1–2 calls.
+  ThreadPool* fetch_pool = nullptr;
+
+  /// Upper bound on fetches in flight ahead of ingestion when
+  /// fetch_pool is set. The learned model does not depend on it —
+  /// ingestion order stays hit order — it only bounds wasted fetches
+  /// when a stopping rule fires mid-round.
+  size_t prefetch_depth = 4;
 };
 
 /// Per-query log entry.
@@ -118,6 +175,11 @@ struct SamplingResult {
   /// Database errors tolerated along the way (see
   /// SamplerOptions::max_database_errors).
   size_t database_errors = 0;
+
+  /// Documents transferred but never ingested: duplicates arriving via
+  /// kQueryAndFetch, and round remainders after a mid-round stop. The
+  /// price paid (in transfer, not in RPCs) for batching.
+  size_t overfetched_docs = 0;
 
   /// Per-query log, in order.
   std::vector<QueryRecord> queries;

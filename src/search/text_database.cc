@@ -1,0 +1,46 @@
+#include "search/text_database.h"
+
+#include <utility>
+
+namespace qbs {
+
+Result<QueryAndFetchResult> TextDatabase::QueryAndFetch(std::string_view query,
+                                                        size_t max_results) {
+  auto hits = RunQuery(query, max_results);
+  QBS_RETURN_IF_ERROR(hits.status());
+  QueryAndFetchResult result;
+  result.hits = std::move(*hits);
+  result.documents.reserve(result.hits.size());
+  for (const SearchHit& hit : result.hits) {
+    FetchedDocument doc;
+    doc.handle = hit.handle;
+    auto text = FetchDocument(hit.handle);
+    if (text.ok()) {
+      doc.text = std::move(*text);
+    } else {
+      doc.status = text.status();
+    }
+    result.documents.push_back(std::move(doc));
+  }
+  return result;
+}
+
+Result<std::vector<FetchedDocument>> TextDatabase::FetchBatch(
+    const std::vector<std::string>& handles) {
+  std::vector<FetchedDocument> documents;
+  documents.reserve(handles.size());
+  for (const std::string& handle : handles) {
+    FetchedDocument doc;
+    doc.handle = handle;
+    auto text = FetchDocument(handle);
+    if (text.ok()) {
+      doc.text = std::move(*text);
+    } else {
+      doc.status = text.status();
+    }
+    documents.push_back(std::move(doc));
+  }
+  return documents;
+}
+
+}  // namespace qbs

@@ -25,6 +25,26 @@ struct SearchHit {
   double score = 0.0;
 };
 
+/// One document of a batched retrieval. Each document carries its own
+/// outcome: a missing document fails alone instead of failing the batch.
+struct FetchedDocument {
+  /// The handle this entry answers (copied from the hit or the request).
+  std::string handle;
+  /// Outcome of fetching this one document (NotFound for a bad handle,
+  /// verbatim from the database).
+  Status status;
+  /// Full raw document text; meaningful only when status is OK.
+  std::string text;
+};
+
+/// Result of QueryAndFetch: the ranked hits exactly as RunQuery would
+/// return them, plus the corresponding documents, index-aligned.
+struct QueryAndFetchResult {
+  std::vector<SearchHit> hits;
+  /// documents[i] answers hits[i].handle; always the same length as hits.
+  std::vector<FetchedDocument> documents;
+};
+
 /// A searchable full-text database, as seen from outside.
 class TextDatabase {
  public:
@@ -42,6 +62,22 @@ class TextDatabase {
   /// Returns the full raw text of a document previously returned by
   /// RunQuery. Fails with NotFound for unknown handles.
   virtual Result<std::string> FetchDocument(std::string_view handle) = 0;
+
+  /// Runs a query and retrieves the documents behind every hit in one
+  /// call. Semantically identical to RunQuery followed by FetchDocument
+  /// per hit (the default implementation is exactly that composition);
+  /// implementations backed by a wire protocol collapse the whole round
+  /// into a single RPC. Only the query itself can fail the call —
+  /// per-document fetch outcomes travel in FetchedDocument::status.
+  virtual Result<QueryAndFetchResult> QueryAndFetch(std::string_view query,
+                                                    size_t max_results);
+
+  /// Fetches several documents in one call, results index-aligned with
+  /// `handles`. Per-document failures (e.g. NotFound) are carried in the
+  /// corresponding FetchedDocument::status; the call itself only fails
+  /// when the batch as a whole could not be attempted.
+  virtual Result<std::vector<FetchedDocument>> FetchBatch(
+      const std::vector<std::string>& handles);
 };
 
 }  // namespace qbs

@@ -125,6 +125,10 @@ Status SamplingService::SampleOne(size_t i) {
   SamplerOptions opts = options_.sampler;
   opts.initial_term = initial;
   opts.seed = options_.base_seed + i;
+  // The fetch pool is shared across every concurrently refreshed
+  // database; it is distinct from the refresh pool running this very
+  // function, so samplers blocking on fetch futures cannot starve it.
+  opts.fetch_pool = fetch_pool_.get();
   QueryBasedSampler sampler(&db, opts);
   auto result = sampler.Run();
   if (!result.ok()) {
@@ -148,6 +152,15 @@ Status SamplingService::SampleOne(size_t i) {
   return Status::OK();
 }
 
+void SamplingService::EnsurePools() {
+  if (!refresh_pool_) {
+    refresh_pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  if (!fetch_pool_ && options_.fetch_threads > 0) {
+    fetch_pool_ = std::make_unique<ThreadPool>(options_.fetch_threads);
+  }
+}
+
 Status SamplingService::RefreshAll() {
   QBS_TRACE_SPAN("service.refresh_all");
   std::vector<size_t> todo;
@@ -155,12 +168,20 @@ Status SamplingService::RefreshAll() {
     if (!states_[i].has_model) todo.push_back(i);
   }
   if (todo.empty()) return Status::OK();
+  EnsurePools();
   QBS_LOG(INFO) << "RefreshAll: sampling " << todo.size() << " of "
                 << states_.size() << " databases on " << options_.num_threads
-                << " threads";
+                << " shared pool threads";
 
-  ThreadPool::ParallelFor(todo.size(), options_.num_threads,
-                          [&](size_t t) { SampleOne(todo[t]); });
+  // One task per database on the long-lived shared pool — refreshing a
+  // federation of N databases no longer spawns N (or num_threads) fresh
+  // threads per call.
+  for (size_t idx : todo) {
+    if (!refresh_pool_->Submit([this, idx] { SampleOne(idx); })) {
+      SampleOne(idx);  // pool shut down (teardown race): run inline
+    }
+  }
+  refresh_pool_->Wait();
   UpdateModelGauge();
 
   // Every failure is reported, not just the first: an operator refreshing
@@ -198,6 +219,7 @@ Status SamplingService::Refresh(const std::string& name) {
   for (size_t i = 0; i < states_.size(); ++i) {
     if (states_[i].name == name) {
       states_[i].has_model = false;
+      EnsurePools();
       Status status = SampleOne(i);
       UpdateModelGauge();
       QBS_RETURN_IF_ERROR(status);

@@ -17,6 +17,7 @@
 #include "selection/db_selection.h"
 #include "search/text_database.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace qbs {
 
@@ -32,9 +33,21 @@ struct ServiceOptions {
   /// initial term has little effect).
   std::vector<std::string> seed_terms;
 
-  /// Worker threads for RefreshAll (each database is sampled on exactly
-  /// one thread, so per-database search engines need no locking).
+  /// Worker threads in the shared refresh pool (each database is sampled
+  /// on exactly one worker, so per-database search engines need no
+  /// locking). The pool is created on first use and reused by every
+  /// later RefreshAll — refreshing N databases costs N tasks, not N
+  /// threads.
   size_t num_threads = 4;
+
+  /// Threads in the shared document-fetch pool that samplers use to run
+  /// RetrievalMode::kSingleFetch fetches ahead of ingestion. 0 (the
+  /// default) fetches inline. Only set this when every registered
+  /// database tolerates concurrent FetchDocument calls
+  /// (RemoteTextDatabase does; a bare SearchEngine does not). Kept
+  /// separate from the refresh pool by construction: a refresh worker
+  /// blocked on its own pool's queue would deadlock.
+  size_t fetch_threads = 0;
 
   /// When non-empty, learned models are persisted to
   /// `<model_dir>/<database-name>.lm` after sampling, and LoadModels()
@@ -118,6 +131,9 @@ class SamplingService {
  private:
   Status SampleOne(size_t i);
   void UpdateModelGauge() const;
+  /// Materializes the lazily created pools. Called from the external
+  /// (thread-compatible) entry points only, never from pool workers.
+  void EnsurePools();
 
   ServiceOptions options_;
   std::vector<TextDatabase*> databases_;
@@ -126,6 +142,10 @@ class SamplingService {
   /// destroyed first is fine — nothing touches databases_ on teardown.
   std::vector<std::unique_ptr<TextDatabase>> owned_databases_;
   std::vector<DatabaseState> states_;
+  /// Declared last so both pools drain before anything they reference
+  /// (databases, states) is torn down.
+  std::unique_ptr<ThreadPool> refresh_pool_;
+  std::unique_ptr<ThreadPool> fetch_pool_;
 };
 
 }  // namespace qbs

@@ -167,6 +167,42 @@ TEST_F(NetFaultTest, ReadFailuresAreRetried) {
   EXPECT_GT(remote.retries(), 0u);
 }
 
+// The v2 batch frames through the same hostile transport: truncated
+// writes and failing reads must end in retries or clean errors, and the
+// documents that do arrive must be byte-correct — never a garbled
+// decode of a half-frame.
+TEST_F(NetFaultTest, BatchFramesSurviveTruncationAndReadFailures) {
+  FaultPlan plan;
+  plan.truncate_every_n_writes = 5;
+  plan.fail_every_n_reads = 13;
+  RemoteTextDatabase remote(FaultyOptions(plan));
+  ASSERT_TRUE(remote.Connect().ok());
+  ASSERT_EQ(remote.negotiated_version(), kWireProtocolVersion);
+  for (int i = 0; i < 15; ++i) {
+    const std::string& term = (*seed_terms_)[i % seed_terms_->size()];
+    auto round = remote.QueryAndFetch(term, 4);
+    ASSERT_TRUE(round.ok()) << round.status().ToString();
+    ASSERT_EQ(round->documents.size(), round->hits.size());
+    for (size_t k = 0; k < round->hits.size(); ++k) {
+      auto local = engine_->FetchDocument(round->hits[k].handle);
+      ASSERT_TRUE(local.ok());
+      ASSERT_TRUE(round->documents[k].status.ok());
+      EXPECT_EQ(round->documents[k].text, *local);
+    }
+    if (!round->hits.empty()) {
+      std::vector<std::string> handles;
+      for (const SearchHit& hit : round->hits) handles.push_back(hit.handle);
+      auto batch = remote.FetchBatch(handles);
+      ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+      ASSERT_EQ(batch->size(), handles.size());
+      EXPECT_EQ((*batch)[0].handle, handles[0]);
+      EXPECT_EQ((*batch)[0].text,
+                *engine_->FetchDocument(handles[0]));
+    }
+  }
+  EXPECT_GT(remote.retries(), 0u);
+}
+
 // Acceptance criterion: a hard-down server yields a clean, attributable
 // per-database failure from RefreshAll — no hang, no crash — while
 // healthy databases in the same federation still get their models.

@@ -186,6 +186,138 @@ TEST_F(NetRemoteTest, RemoteSamplingLearnsIdenticalModel) {
   ASSERT_GT(local_state.learned.vocabulary_size(), 100u);
 }
 
+// The tentpole acceptance criterion: against the same server, batched
+// sampling must learn the byte-identical model while spending at least
+// 3x fewer RPCs per sampled document than the v1 call-per-document shape.
+TEST_F(NetRemoteTest, BatchedSamplingIdenticalModelAtLeast3xFewerRpcs) {
+  LanguageModel actual = engine_->ActualLanguageModel();
+  Rng rng(17);
+  TermFilter filter;
+  auto initial = RandomEligibleTerm(actual, filter, rng);
+  ASSERT_TRUE(initial.has_value());
+
+  SamplerOptions base;
+  // Wider rounds than the paper's N=4 baseline: with tiny rounds the
+  // query RPC dominates both sides of the ratio and the win saturates
+  // near 2x regardless of how well batching works.
+  base.docs_per_query = 8;
+  base.stopping.max_documents = 80;
+  base.initial_term = *initial;
+  base.seed = 99;
+
+  struct Outcome {
+    std::string model_bytes;
+    double rpcs_per_doc = 0;
+  };
+  auto run = [&](RetrievalMode mode, bool enable_batching) -> Outcome {
+    RemoteDatabaseOptions copts = ClientOptions();
+    copts.enable_batching = enable_batching;
+    RemoteTextDatabase remote(copts);
+    SamplerOptions opts = base;
+    opts.retrieval = mode;
+    auto result = QueryBasedSampler(&remote, opts).Run();
+    Outcome out;
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return out;
+    EXPECT_EQ(result->documents_examined, 80u);
+    std::ostringstream bytes;
+    EXPECT_TRUE(result->learned.Save(bytes).ok());
+    out.model_bytes = bytes.str();
+    out.rpcs_per_doc = static_cast<double>(remote.rpcs()) /
+                       static_cast<double>(result->documents_examined);
+    return out;
+  };
+
+  // The v1 shape: batching disabled, one RPC per query and per document.
+  Outcome v1 = run(RetrievalMode::kSingleFetch, false);
+  // One RPC per round.
+  Outcome query_and_fetch = run(RetrievalMode::kQueryAndFetch, true);
+  // Two RPCs per round, no duplicate transfer (the default mode).
+  Outcome fetch_batch = run(RetrievalMode::kFetchBatch, true);
+
+  ASSERT_FALSE(v1.model_bytes.empty());
+  EXPECT_EQ(v1.model_bytes, query_and_fetch.model_bytes);
+  EXPECT_EQ(v1.model_bytes, fetch_batch.model_bytes);
+
+  EXPECT_GE(v1.rpcs_per_doc / query_and_fetch.rpcs_per_doc, 3.0)
+      << "v1: " << v1.rpcs_per_doc
+      << " rpcs/doc, query_and_fetch: " << query_and_fetch.rpcs_per_doc;
+  EXPECT_LT(fetch_batch.rpcs_per_doc, v1.rpcs_per_doc);
+}
+
+// Pipelined retrieval (fetches running ahead of ingestion on a pool)
+// must not change the learned model either — ingestion order is hit
+// order no matter which fetch finishes first.
+TEST_F(NetRemoteTest, PipelinedSamplingLearnsIdenticalModel) {
+  LanguageModel actual = engine_->ActualLanguageModel();
+  Rng rng(19);
+  TermFilter filter;
+  auto initial = RandomEligibleTerm(actual, filter, rng);
+  ASSERT_TRUE(initial.has_value());
+
+  SamplerOptions base;
+  base.docs_per_query = 6;
+  base.stopping.max_documents = 48;
+  base.initial_term = *initial;
+  base.seed = 41;
+  base.retrieval = RetrievalMode::kSingleFetch;
+
+  auto run = [&](ThreadPool* pool, size_t depth) -> std::string {
+    RemoteTextDatabase remote(ClientOptions());
+    SamplerOptions opts = base;
+    opts.fetch_pool = pool;
+    opts.prefetch_depth = depth;
+    auto result = QueryBasedSampler(&remote, opts).Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return std::string();
+    std::ostringstream bytes;
+    EXPECT_TRUE(result->learned.Save(bytes).ok());
+    return bytes.str();
+  };
+
+  std::string inline_bytes = run(nullptr, 0);
+  ThreadPool pool(3);
+  std::string pipelined_bytes = run(&pool, 3);
+  ASSERT_FALSE(inline_bytes.empty());
+  EXPECT_EQ(inline_bytes, pipelined_bytes);
+}
+
+// Service-level wiring: a shared fetch pool across databases yields the
+// same models as inline fetching.
+TEST_F(NetRemoteTest, ServiceSharedFetchPoolKeepsModelsIdentical) {
+  std::vector<std::string> seeds;
+  LanguageModel actual = engine_->ActualLanguageModel();
+  for (const auto& [term, score] : actual.RankedTerms(TermMetric::kCtf, 3)) {
+    seeds.push_back(term);
+  }
+
+  ServiceOptions base;
+  base.sampler.stopping.max_documents = 40;
+  base.sampler.retrieval = RetrievalMode::kSingleFetch;
+  base.seed_terms = seeds;
+  base.num_threads = 2;
+
+  auto run = [&](size_t fetch_threads) -> std::string {
+    ServiceOptions options = base;
+    options.fetch_threads = fetch_threads;
+    SamplingService service(options);
+    auto remote = std::make_unique<RemoteTextDatabase>(ClientOptions());
+    EXPECT_TRUE(remote->Connect().ok());
+    EXPECT_TRUE(service.AddDatabase(std::move(remote)).ok());
+    Status status = service.RefreshAll();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    if (!service.state()[0].has_model) return std::string();
+    std::ostringstream bytes;
+    EXPECT_TRUE(service.state()[0].learned.Save(bytes).ok());
+    return bytes.str();
+  };
+
+  std::string inline_bytes = run(0);
+  std::string pooled_bytes = run(2);
+  ASSERT_FALSE(inline_bytes.empty());
+  EXPECT_EQ(inline_bytes, pooled_bytes);
+}
+
 TEST_F(NetRemoteTest, StopUnblocksIdleClients) {
   // A dedicated server so stopping it does not disturb other tests.
   DbServer server(engine_, DbServerOptions{});

@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "corpus/synthetic.h"
@@ -466,6 +467,43 @@ TEST_F(SamplerTest, ZeroDocsPerQueryFails) {
   auto result = QueryBasedSampler(engine_, opts).Run();
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST_F(SamplerTest, RetrievalModesLearnIdenticalModels) {
+  // The three retrieval modes trade RPCs for transfer; the learned model
+  // must not notice. Byte-identical serialized output, not just stats.
+  auto run = [&](RetrievalMode mode) {
+    SamplerOptions opts = BaseOptions(80);
+    opts.retrieval = mode;
+    return QueryBasedSampler(engine_, opts).Run();
+  };
+  auto single = run(RetrievalMode::kSingleFetch);
+  auto query_and_fetch = run(RetrievalMode::kQueryAndFetch);
+  auto fetch_batch = run(RetrievalMode::kFetchBatch);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(query_and_fetch.ok());
+  ASSERT_TRUE(fetch_batch.ok());
+
+  std::ostringstream single_bytes, qaf_bytes, batch_bytes;
+  ASSERT_TRUE(single->learned.Save(single_bytes).ok());
+  ASSERT_TRUE(query_and_fetch->learned.Save(qaf_bytes).ok());
+  ASSERT_TRUE(fetch_batch->learned.Save(batch_bytes).ok());
+  EXPECT_EQ(single_bytes.str(), qaf_bytes.str());
+  EXPECT_EQ(single_bytes.str(), batch_bytes.str());
+
+  EXPECT_EQ(single->documents_examined, 80u);
+  EXPECT_EQ(query_and_fetch->documents_examined, 80u);
+  EXPECT_EQ(fetch_batch->documents_examined, 80u);
+  EXPECT_EQ(single->duplicate_hits, fetch_batch->duplicate_hits);
+
+  // Only kQueryAndFetch transfers documents it then discards; the modes
+  // that fetch after dedup and budget trimming never overfetch here.
+  EXPECT_EQ(single->overfetched_docs, 0u);
+  EXPECT_EQ(fetch_batch->overfetched_docs, 0u);
+  // kQueryAndFetch pays for every duplicate hit (plus any round
+  // remainder discarded when the budget fires mid-round).
+  EXPECT_GE(query_and_fetch->overfetched_docs,
+            query_and_fetch->duplicate_hits);
 }
 
 TEST(SamplerEdgeTest, TinyDatabaseExhaustsTerms) {
