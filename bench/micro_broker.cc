@@ -1,0 +1,147 @@
+// Microbenchmarks for the selection broker: lock-free snapshot reads
+// (alone and contended), Select through the result cache on both the
+// hit and miss paths, snapshot publication cost, and the full Select
+// RPC over loopback TCP. The selects_per_sec counter on the RPC
+// benchmark is the serving-throughput headline bench.sh extracts into
+// BENCH_<sha>.json.
+//
+// JSON output for dashboards: --benchmark_format=json
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker_server.h"
+#include "broker/model_registry.h"
+#include "broker/remote_selector.h"
+#include "broker/selection_broker.h"
+#include "corpus/synthetic.h"
+#include "lm/language_model.h"
+
+namespace qbs {
+namespace {
+
+struct Fixture {
+  ModelRegistry registry;
+  std::unique_ptr<SelectionBroker> broker;
+  std::unique_ptr<BrokerServer> server;
+  std::unique_ptr<RemoteSelector> remote;
+  DatabaseCollection collection;  // template for republish benchmarks
+  std::vector<std::string> queries;
+};
+
+const Fixture& GetFixture() {
+  static const Fixture* fixture = [] {
+    auto* f = new Fixture();
+    for (size_t i = 0; i < 4; ++i) {
+      SyntheticCorpusSpec spec;
+      spec.name = "bench-broker-" + std::to_string(i);
+      spec.num_docs = 1'000;
+      spec.vocab_size = 40'000;
+      spec.num_topics = 3;
+      spec.seed = 91 + 7 * i;
+      auto engine = BuildSyntheticEngine(spec);
+      QBS_CHECK(engine.ok());
+      LanguageModel actual = (*engine)->ActualLanguageModel();
+      if (i == 0) {
+        auto ranked = actual.RankedTerms(TermMetric::kDf);
+        for (size_t t = 0; t < 16 && t < ranked.size(); ++t) {
+          f->queries.push_back(ranked[t].first);
+        }
+      }
+      f->collection.Add(spec.name, std::move(actual));
+    }
+    f->registry.Publish(f->collection);
+    f->broker = std::make_unique<SelectionBroker>(&f->registry);
+
+    f->server = std::make_unique<BrokerServer>(f->broker.get(),
+                                               BrokerServerOptions{});
+    QBS_CHECK(f->server->Start().ok());
+    WireClientOptions client;
+    client.host = "127.0.0.1";
+    client.port = f->server->port();
+    f->remote = std::make_unique<RemoteSelector>(client);
+    QBS_CHECK(f->remote->Connect().ok());
+    return f;
+  }();
+  return *fixture;
+}
+
+// The read path's first instruction: grabbing the current snapshot.
+// Run with threads to measure contention on the atomic shared_ptr —
+// this is what every concurrent Select pays before any ranking work.
+void BM_SnapshotAcquire(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    auto snapshot = f.registry.Snapshot();
+    benchmark::DoNotOptimize(snapshot);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SnapshotAcquire)->ThreadRange(1, 8);
+
+// What a refresh pays to publish: building the collection copy, all
+// four rankers, and the atomic swap.
+void BM_PublishSnapshot(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  ModelRegistry registry;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.Publish(f.collection));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PublishSnapshot);
+
+// Steady-state serving of a repeated query: one snapshot read, one
+// analysis, one cache hit.
+void BM_BrokerSelectCacheHit(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    auto result = f.broker->Select(f.queries[0], "cori");
+    benchmark::DoNotOptimize(result);
+    QBS_CHECK(result.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BrokerSelectCacheHit);
+
+// The uncached path: a cache sized to never hit (capacity 1, 16 cycled
+// queries) forces a full ranking per Select. hit - miss is what the
+// cache buys.
+void BM_BrokerSelectCacheMiss(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  BrokerOptions options;
+  options.cache.num_shards = 1;
+  options.cache.capacity_per_shard = 1;
+  SelectionBroker uncached(&f.registry, options);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = uncached.Select(f.queries[i++ % f.queries.size()], "cori");
+    benchmark::DoNotOptimize(result);
+    QBS_CHECK(result.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BrokerSelectCacheMiss);
+
+// The full RPC: frame + TCP loopback + admission + Select + frame back.
+// selects_per_sec is the headline serving-rate counter.
+void BM_RemoteSelect(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result = f.remote->Select(f.queries[i++ % f.queries.size()], "cori");
+    benchmark::DoNotOptimize(result);
+    QBS_CHECK(result.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["selects_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_RemoteSelect);
+
+}  // namespace
+}  // namespace qbs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+#include "broker/broker_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace qbs {
+
+namespace {
+
+struct ServerMetrics {
+  Counter* shed;
+  Gauge* inflight;
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      ServerMetrics m;
+      m.shed = r.GetCounter(
+          "qbs_broker_shed_total",
+          "Select requests shed with kUnavailable by admission control");
+      m.inflight = r.GetGauge("qbs_broker_inflight_selects",
+                              "Select requests currently being served");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+FrameServerOptions ToFrameOptions(const BrokerServerOptions& options) {
+  FrameServerOptions frame;
+  frame.host = options.host;
+  frame.port = options.port;
+  frame.num_workers = options.num_workers;
+  frame.max_frame_bytes = options.max_frame_bytes;
+  frame.max_protocol_version = options.max_protocol_version;
+  return frame;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+bool AdmissionController::Admit() {
+  if (options_.max_inflight == 0) return true;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < options_.max_inflight) {
+    ++inflight_;
+    return true;
+  }
+  // Full: wait for a slot, but only as long as the queue deadline — a
+  // request that would wait longer is better answered kUnavailable now
+  // than served stale later.
+  const bool admitted = slot_freed_.wait_for(
+      lock, std::chrono::microseconds(options_.queue_timeout_us),
+      [this] { return inflight_ < options_.max_inflight; });
+  if (!admitted) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  ++inflight_;
+  return true;
+}
+
+void AdmissionController::Release() {
+  if (options_.max_inflight == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  slot_freed_.notify_one();
+}
+
+size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+BrokerServer::BrokerServer(const SelectionBroker* broker,
+                           BrokerServerOptions options)
+    : FrameServer("BrokerServer '" + options.name + "'",
+                  ToFrameOptions(options)),
+      broker_(broker),
+      name_(options.name),
+      select_hook_(std::move(options.select_hook)),
+      admission_(options.admission) {}
+
+BrokerServer::~BrokerServer() { Stop(); }
+
+WireResponse BrokerServer::Handle(const WireRequest& request) {
+  WireResponse response;
+  response.request_id = request.request_id;
+  response.method = request.method;
+  response.protocol_version = request.protocol_version;
+  switch (request.method) {
+    case WireMethod::kPing:
+      break;
+    case WireMethod::kServerInfo:
+      response.server_name = name_;
+      response.server_protocol_version =
+          std::min(spoken_version(), request.protocol_version);
+      break;
+    case WireMethod::kSelect: {
+      if (!admission_.Admit()) {
+        ServerMetrics::Get().shed->Increment();
+        response.status = Status::Unavailable(
+            "broker overloaded: " +
+            std::to_string(admission_.inflight()) +
+            " selects in flight; retry with backoff");
+        break;
+      }
+      {
+        GaugeGuard inflight_guard(ServerMetrics::Get().inflight);
+        if (select_hook_) select_hook_();
+        auto selection =
+            broker_->Select(request.query, request.ranker,
+                            static_cast<size_t>(request.max_results));
+        if (selection.ok()) {
+          response.epoch = selection->epoch;
+          response.scores = std::move(selection->scores);
+        } else {
+          response.status = selection.status();
+        }
+      }
+      admission_.Release();
+      break;
+    }
+    case WireMethod::kBrokerStatus:
+      response.broker = broker_->BrokerStatus();
+      response.broker.shed_total = admission_.shed();
+      break;
+    case WireMethod::kRunQuery:
+    case WireMethod::kFetchDocument:
+    case WireMethod::kQueryAndFetch:
+    case WireMethod::kFetchBatch:
+      response.status = Status::Unimplemented(
+          std::string(WireMethodName(request.method)) +
+          ": this server is a selection broker, not a TextDatabase");
+      break;
+  }
+  return response;
+}
+
+}  // namespace qbs

@@ -1,0 +1,119 @@
+// BrokerServer: a SelectionBroker on a TCP port, speaking protocol v3
+// (select, broker_status) plus the v1 control methods (ping,
+// server_info) over the shared FrameServer transport.
+//
+// Overload policy: selection is cheap but not free, and the north star
+// is "heavy traffic from millions of users" — so the server bounds
+// in-flight Select work with an AdmissionController and sheds the
+// excess with an explicit kUnavailable instead of queueing without
+// limit. kUnavailable is transient, so well-behaved clients back off
+// and retry; cheap control RPCs (ping, server_info, broker_status) are
+// never shed, keeping the server observable while it is saturated.
+#ifndef QBS_BROKER_BROKER_SERVER_H_
+#define QBS_BROKER_BROKER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "broker/selection_broker.h"
+#include "net/frame_server.h"
+#include "net/wire.h"
+
+namespace qbs {
+
+struct AdmissionOptions {
+  /// Select requests processed concurrently; further requests wait up
+  /// to queue_timeout_us for a slot, then are shed. 0 = unbounded (no
+  /// admission control).
+  size_t max_inflight = 64;
+  /// How long a request may wait for an admission slot before being
+  /// shed. 0 sheds immediately when the server is full.
+  uint64_t queue_timeout_us = 50'000;
+};
+
+/// Bounds concurrently admitted work. Thread-safe.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Takes an in-flight slot, waiting up to queue_timeout_us for one to
+  /// free. False = shed (the caller must answer kUnavailable and must
+  /// NOT Release()).
+  bool Admit();
+
+  /// Returns the slot taken by a successful Admit().
+  void Release();
+
+  /// Requests shed so far.
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+
+  /// Currently admitted requests.
+  size_t inflight() const;
+
+ private:
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_freed_;
+  size_t inflight_ = 0;  // guarded by mu_
+  std::atomic<uint64_t> shed_{0};
+};
+
+struct BrokerServerOptions {
+  /// Bind address. The default serves loopback only; use "0.0.0.0" to
+  /// accept remote peers.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Worker threads == maximum concurrently served connections.
+  size_t num_workers = 4;
+  /// Inbound frames larger than this are rejected and the connection
+  /// dropped.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Highest protocol version this server speaks (clamped to
+  /// [1, kWireProtocolVersion]). A v2-pinned broker still answers ping
+  /// and server_info — useful only as a compatibility-test seam; a real
+  /// broker wants v3 for the Select RPC itself.
+  uint32_t max_protocol_version = kWireProtocolVersion;
+  /// Name advertised in server_info.
+  std::string name = "qbs-broker";
+  /// Overload policy for Select requests.
+  AdmissionOptions admission;
+  /// Test seam: when set, runs inside each admitted Select while the
+  /// admission slot is held — lets tests pin requests in-flight and
+  /// observe shedding deterministically.
+  std::function<void()> select_hook;
+};
+
+/// A blocking TCP server for one SelectionBroker. Thread-safe. The
+/// broker must outlive the server. TextDatabase methods (run_query,
+/// fetch_document, ...) are answered with Unimplemented — this server
+/// routes queries to databases, it does not serve one.
+class BrokerServer : public FrameServer {
+ public:
+  BrokerServer(const SelectionBroker* broker, BrokerServerOptions options);
+  /// Stops the server (Stop()) if still running.
+  ~BrokerServer() override;
+
+  /// Select requests shed by admission control so far.
+  uint64_t shed() const { return admission_.shed(); }
+
+ protected:
+  WireResponse Handle(const WireRequest& request) override;
+
+ private:
+  const SelectionBroker* broker_;
+  std::string name_;
+  std::function<void()> select_hook_;
+  AdmissionController admission_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_BROKER_BROKER_SERVER_H_

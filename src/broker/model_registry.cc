@@ -1,0 +1,67 @@
+#include "broker/model_registry.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace qbs {
+
+namespace {
+
+Gauge* EpochGauge() {
+  static Gauge* const gauge = MetricRegistry::Default().GetGauge(
+      "qbs_broker_snapshot_epoch",
+      "Epoch of the most recently published selection snapshot");
+  return gauge;
+}
+
+}  // namespace
+
+const DatabaseRanker* SelectionSnapshot::ranker(std::string_view name) const {
+  const std::vector<std::string>& names = KnownRankerNames();
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return rankers_[i].get();
+  }
+  return nullptr;
+}
+
+ModelRegistry::ModelRegistry() {
+  snapshot_.store(Build(0, DatabaseCollection{}), std::memory_order_release);
+}
+
+std::shared_ptr<const SelectionSnapshot> ModelRegistry::Build(
+    uint64_t epoch, DatabaseCollection collection) {
+  // Not make_shared: the constructor is private, and a plain `new`
+  // keeps the friend declaration sufficient.
+  std::shared_ptr<SelectionSnapshot> snapshot(new SelectionSnapshot());
+  snapshot->epoch_ = epoch;
+  snapshot->collection_ = std::move(collection);
+  // The rankers point at the snapshot's own collection — heap-allocated
+  // above, so the address outlives them by construction.
+  for (const std::string& name : KnownRankerNames()) {
+    std::unique_ptr<DatabaseRanker> ranker =
+        MakeRanker(name, &snapshot->collection_);
+    QBS_CHECK(ranker != nullptr);
+    snapshot->rankers_.push_back(std::move(ranker));
+  }
+  return snapshot;
+}
+
+uint64_t ModelRegistry::Publish(DatabaseCollection collection) {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  const uint64_t epoch = next_epoch_++;
+  // Built outside any reader's path and swapped in whole: a Select that
+  // started a nanosecond ago keeps its old snapshot; the next Snapshot()
+  // call sees this one.
+  snapshot_.store(Build(epoch, std::move(collection)),
+                  std::memory_order_release);
+  EpochGauge()->Set(static_cast<double>(epoch));
+  return epoch;
+}
+
+std::shared_ptr<const SelectionSnapshot> ModelRegistry::Snapshot() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+}  // namespace qbs

@@ -1,0 +1,91 @@
+// ModelRegistry: lock-free publication of selection state.
+//
+// The paper's models exist to be *served*: a selection front-end answers
+// a stream of Select queries while background sampling refreshes the
+// models those answers are computed from. The registry decouples the two
+// with immutable snapshots — a publisher builds a complete
+// SelectionSnapshot (collection + pre-constructed rankers + epoch) off
+// to the side and swaps it in atomically; readers grab a shared_ptr and
+// compute against a state that can never change underneath them. No
+// reader ever blocks on a refresh, and no refresh ever waits for
+// readers to drain: old snapshots die when their last in-flight query
+// releases them.
+#ifndef QBS_BROKER_MODEL_REGISTRY_H_
+#define QBS_BROKER_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "selection/db_selection.h"
+
+namespace qbs {
+
+/// One immutable generation of selection state: a database collection
+/// and one pre-built ranker per algorithm, all constructed once at
+/// publish time. Rank() on the rankers is const and the collection is
+/// frozen, so a snapshot serves any number of concurrent readers.
+class SelectionSnapshot {
+ public:
+  /// Monotonically increasing publish generation; 0 is the registry's
+  /// built-in empty snapshot.
+  uint64_t epoch() const { return epoch_; }
+
+  /// The collection this generation ranks over.
+  const DatabaseCollection& collection() const { return collection_; }
+
+  /// The pre-built ranker for `name` ("cori", "bgloss", "vgloss",
+  /// "kl"); nullptr for unknown names.
+  const DatabaseRanker* ranker(std::string_view name) const;
+
+ private:
+  friend class ModelRegistry;
+  SelectionSnapshot() = default;
+
+  uint64_t epoch_ = 0;
+  DatabaseCollection collection_;
+  /// One entry per KnownRankerNames() element, same order. The rankers
+  /// point at collection_, whose address is stable: the snapshot is
+  /// heap-allocated and never moves.
+  std::vector<std::unique_ptr<DatabaseRanker>> rankers_;
+};
+
+/// Holds the current SelectionSnapshot behind an atomically swapped
+/// shared_ptr. Snapshot() is a lock-free read from any thread; Publish()
+/// serializes publishers (for epoch monotonicity) but never blocks
+/// readers. The registry always holds a snapshot — before the first
+/// Publish() it is the empty epoch-0 snapshot.
+class ModelRegistry {
+ public:
+  ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Builds a new snapshot (rankers included) from `collection` and
+  /// swaps it in. Returns the new snapshot's epoch. Thread-safe;
+  /// concurrent publishers are serialized and epochs stay monotonic.
+  uint64_t Publish(DatabaseCollection collection);
+
+  /// The current snapshot; never null. Lock-free and wait-free against
+  /// publishers — the returned snapshot stays valid (and unchanged) for
+  /// as long as the caller holds the pointer, even across later
+  /// publishes.
+  std::shared_ptr<const SelectionSnapshot> Snapshot() const;
+
+ private:
+  static std::shared_ptr<const SelectionSnapshot> Build(
+      uint64_t epoch, DatabaseCollection collection);
+
+  std::atomic<std::shared_ptr<const SelectionSnapshot>> snapshot_;
+  /// Serializes publishers only; guards next_epoch_.
+  std::mutex publish_mu_;
+  uint64_t next_epoch_ = 1;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_BROKER_MODEL_REGISTRY_H_

@@ -1,0 +1,61 @@
+#include "broker/remote_selector.h"
+
+#include <utility>
+
+namespace qbs {
+
+RemoteSelector::RemoteSelector(WireClientOptions options)
+    : client_(std::move(options)) {}
+
+Status RemoteSelector::Connect() { return client_.Connect(); }
+
+std::string RemoteSelector::name() const {
+  std::string server_name = client_.server_name();
+  if (!server_name.empty()) return server_name;
+  return "broker:" + client_.options().host + ":" +
+         std::to_string(client_.options().port);
+}
+
+Status RemoteSelector::RequireBrokerProtocol() {
+  auto version = client_.EnsureNegotiated();
+  QBS_RETURN_IF_ERROR(version.status());
+  const uint32_t min_version =
+      MinVersionForMethod(WireMethod::kSelect);
+  if (*version < min_version) {
+    return Status::FailedPrecondition(
+        "server '" + name() + "' negotiated protocol version " +
+        std::to_string(*version) + ", which predates the broker RPCs (v" +
+        std::to_string(min_version) + "); is it a broker?");
+  }
+  return Status::OK();
+}
+
+Result<SelectionResult> RemoteSelector::Select(const std::string& query,
+                                               const std::string& ranker_name,
+                                               size_t top_k) {
+  QBS_RETURN_IF_ERROR(RequireBrokerProtocol());
+  WireRequest request;
+  request.method = WireMethod::kSelect;
+  request.protocol_version = MinVersionForMethod(request.method);
+  request.query = query;
+  request.ranker = ranker_name;
+  request.max_results = top_k;
+  auto response = client_.Call(std::move(request));
+  QBS_RETURN_IF_ERROR(response.status());
+  SelectionResult result;
+  result.epoch = response->epoch;
+  result.scores = std::move(response->scores);
+  return result;
+}
+
+Result<BrokerStatusInfo> RemoteSelector::BrokerStatus() {
+  QBS_RETURN_IF_ERROR(RequireBrokerProtocol());
+  WireRequest request;
+  request.method = WireMethod::kBrokerStatus;
+  request.protocol_version = MinVersionForMethod(request.method);
+  auto response = client_.Call(std::move(request));
+  QBS_RETURN_IF_ERROR(response.status());
+  return response->broker;
+}
+
+}  // namespace qbs

@@ -1,0 +1,66 @@
+// RemoteSelector: the client half of the Select RPC — a selection
+// front-end living in another process, reached over the qbs wire
+// protocol with the same pooled, deadline-bounded, retrying transport
+// RemoteTextDatabase uses (net/wire_client.h).
+//
+// A shed Select comes back kUnavailable, which Status::IsTransient
+// classifies as retryable — so the WireClient's backoff-with-jitter
+// machinery is also the client half of the broker's overload policy.
+#ifndef QBS_BROKER_REMOTE_SELECTOR_H_
+#define QBS_BROKER_REMOTE_SELECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "broker/selection_broker.h"
+#include "net/wire.h"
+#include "net/wire_client.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// A SelectionBroker served over the wire. Thread-safe: concurrent
+/// calls share the connection pool and take separate connections.
+class RemoteSelector {
+ public:
+  explicit RemoteSelector(WireClientOptions options);
+
+  /// Negotiates the protocol version (stepping down against older
+  /// peers) and learns the broker's name. Optional — Select negotiates
+  /// on demand — but calling it up front turns "wrong port" into an
+  /// immediate, attributable error.
+  Status Connect();
+
+  /// The broker's self-reported name once known; "broker:host:port"
+  /// before that.
+  std::string name() const;
+
+  /// Ranks the broker's databases for a free-text query. Fails with
+  /// FailedPrecondition when the server negotiated a protocol older
+  /// than v3 (e.g. a DbServer or a pre-broker build) — the Select RPC
+  /// does not exist there.
+  Result<SelectionResult> Select(const std::string& query,
+                                 const std::string& ranker_name,
+                                 size_t top_k = 0);
+
+  /// The broker's live serving state.
+  Result<BrokerStatusInfo> BrokerStatus();
+
+  /// The protocol version negotiated with the server; 0 before the
+  /// first Connect() (explicit or on-demand) completes.
+  uint32_t negotiated_version() const { return client_.negotiated_version(); }
+
+  /// Per-instance counters mirroring the qbs_net_client_* metrics.
+  uint64_t rpcs() const { return client_.rpcs(); }
+  uint64_t retries() const { return client_.retries(); }
+
+ private:
+  /// Fails unless the negotiated version carries the broker RPCs.
+  Status RequireBrokerProtocol();
+
+  WireClient client_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_BROKER_REMOTE_SELECTOR_H_

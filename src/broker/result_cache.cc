@@ -1,0 +1,111 @@
+#include "broker/result_cache.h"
+
+#include <functional>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace qbs {
+
+namespace {
+
+struct CacheMetrics {
+  Counter* hits;
+  Counter* misses;
+  Counter* evictions;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      CacheMetrics m;
+      m.hits = r.GetCounter("qbs_broker_cache_hits_total",
+                            "Select results served from the result cache");
+      m.misses = r.GetCounter("qbs_broker_cache_misses_total",
+                              "Select results computed because no cache "
+                              "entry existed");
+      m.evictions = r.GetCounter(
+          "qbs_broker_cache_evictions_total",
+          "Result-cache entries evicted by LRU capacity pressure");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+ResultCache::ResultCache(ResultCacheOptions options) : options_(options) {
+  QBS_CHECK(options_.num_shards > 0);
+  QBS_CHECK(options_.capacity_per_shard > 0);
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+ResultCache::Ranking ResultCache::Get(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().misses->Increment();
+    return nullptr;
+  }
+  // Promote to most-recently-used.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  CacheMetrics::Get().hits->Increment();
+  return it->second->second;
+}
+
+void ResultCache::Put(const std::string& key, Ranking ranking) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Concurrent compute of the same selection; keep the fresher value
+    // and the MRU position.
+    it->second->second = std::move(ranking);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= options_.capacity_per_shard) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    CacheMetrics::Get().evictions->Increment();
+  }
+  shard.lru.emplace_front(key, std::move(ranking));
+  shard.index.emplace(key, shard.lru.begin());
+}
+
+std::string ResultCache::Key(uint64_t epoch, std::string_view ranker_name,
+                             const std::vector<std::string>& terms) {
+  // Unit separator (0x1f) between fields, record separator (0x1e)
+  // between terms: neither occurs in analyzed tokens, so keys are
+  // unambiguous without escaping.
+  std::string key = std::to_string(epoch);
+  key += '\x1f';
+  key.append(ranker_name.data(), ranker_name.size());
+  key += '\x1f';
+  for (const std::string& term : terms) {
+    key += term;
+    key += '\x1e';
+  }
+  return key;
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace qbs

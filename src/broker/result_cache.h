@@ -1,0 +1,91 @@
+// ResultCache: a sharded LRU cache for selection results.
+//
+// Selection is a pure function of (snapshot epoch, ranker, analyzed
+// query), so identical queries against the same snapshot can be served
+// from memory. Keys embed the epoch, so a refresh invalidates the whole
+// cache implicitly — stale entries are never *served*, they just age
+// out of the LRU. Sharding keeps lock hold times short under the
+// many-reader load the broker is built for.
+#ifndef QBS_BROKER_RESULT_CACHE_H_
+#define QBS_BROKER_RESULT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "selection/db_selection.h"
+
+namespace qbs {
+
+struct ResultCacheOptions {
+  /// Independent LRU shards; a key maps to one shard by hash. More
+  /// shards = less lock contention, coarser LRU.
+  size_t num_shards = 8;
+  /// Entries per shard; total capacity = num_shards * capacity_per_shard.
+  size_t capacity_per_shard = 128;
+};
+
+/// Thread-safe sharded LRU mapping cache keys to shared, immutable
+/// rankings. Values are shared_ptr so a hit can be returned (and used)
+/// after the entry is evicted by a concurrent Put.
+class ResultCache {
+ public:
+  /// A complete ranking, best first, shared between the cache and every
+  /// reader that hit on it.
+  using Ranking = std::shared_ptr<const std::vector<DatabaseScore>>;
+
+  explicit ResultCache(ResultCacheOptions options = {});
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached ranking for `key`, promoting it to most-recently-used;
+  /// nullptr on miss.
+  Ranking Get(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the least-recently-used
+  /// entry of the shard when it is full.
+  void Put(const std::string& key, Ranking ranking);
+
+  /// Canonical cache key for a selection: epoch, ranker, and the
+  /// analyzed query terms (order-preserving — term order never changes
+  /// scores today, but keys must not assert that).
+  static std::string Key(uint64_t epoch, std::string_view ranker_name,
+                         const std::vector<std::string>& terms);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most-recently-used at the front.
+    std::list<std::pair<std::string, Ranking>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, Ranking>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  ResultCacheOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace qbs
+
+#endif  // QBS_BROKER_RESULT_CACHE_H_

@@ -1,0 +1,102 @@
+#include "broker/selection_broker.h"
+
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "text/analyzer.h"
+#include "util/logging.h"
+
+namespace qbs {
+
+namespace {
+
+struct BrokerMetrics {
+  Counter* selects;
+  Histogram* select_latency_us;
+
+  static const BrokerMetrics& Get() {
+    static const BrokerMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      BrokerMetrics m;
+      m.selects = r.GetCounter("qbs_broker_selects_total",
+                               "Selection queries answered by the broker "
+                               "(cache hits included)");
+      m.select_latency_us = r.GetHistogram(
+          "qbs_broker_select_latency_us", Histogram::LatencyBoundsUs(),
+          "Broker-side Select latency: snapshot read, analysis, cache "
+          "lookup, and ranking");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+SelectionBroker::SelectionBroker(const ModelRegistry* registry,
+                                 BrokerOptions options)
+    : registry_(registry), cache_(options.cache) {
+  QBS_CHECK(registry_ != nullptr);
+}
+
+Result<SelectionResult> SelectionBroker::Select(
+    const std::string& query, const std::string& ranker_name,
+    size_t top_k) const {
+  const BrokerMetrics& metrics = BrokerMetrics::Get();
+  QBS_TRACE_SPAN("broker.select", ranker_name);
+  ScopedTimerUs timer(metrics.select_latency_us);
+
+  // One lock-free read pins this request's entire world: collection,
+  // rankers, and epoch stay coherent even if a refresh publishes midway.
+  std::shared_ptr<const SelectionSnapshot> snapshot = registry_->Snapshot();
+  const DatabaseRanker* ranker = snapshot->ranker(ranker_name);
+  if (ranker == nullptr) {
+    return Status::InvalidArgument("unknown ranker '" + ranker_name +
+                                   "'; valid rankers: " + KnownRankerList());
+  }
+  if (snapshot->collection().size() == 0) {
+    return Status::FailedPrecondition(
+        "no language models published; refresh or load models first");
+  }
+  metrics.selects->Increment();
+  selects_.fetch_add(1, std::memory_order_relaxed);
+
+  // The same analysis chain the in-process service Select uses, so a
+  // remote ranking is byte-identical to a local one.
+  static const Analyzer analyzer = Analyzer::InqueryLike();
+  std::vector<std::string> terms = analyzer.Analyze(query);
+
+  const std::string key = ResultCache::Key(snapshot->epoch(), ranker_name,
+                                           terms);
+  ResultCache::Ranking ranking = cache_.Get(key);
+  if (ranking == nullptr) {
+    ranking = std::make_shared<const std::vector<DatabaseScore>>(
+        ranker->Rank(terms));
+    cache_.Put(key, ranking);
+  }
+
+  SelectionResult result;
+  result.epoch = snapshot->epoch();
+  result.scores = *ranking;
+  if (top_k > 0 && result.scores.size() > top_k) {
+    result.scores.resize(top_k);
+  }
+  return result;
+}
+
+BrokerStatusInfo SelectionBroker::BrokerStatus() const {
+  BrokerStatusInfo info;
+  std::shared_ptr<const SelectionSnapshot> snapshot = registry_->Snapshot();
+  info.epoch = snapshot->epoch();
+  info.databases = snapshot->collection().size();
+  info.selects_total = selects_.load(std::memory_order_relaxed);
+  ResultCache::Stats stats = cache_.stats();
+  info.cache_hits = stats.hits;
+  info.cache_misses = stats.misses;
+  info.cache_evictions = stats.evictions;
+  return info;
+}
+
+}  // namespace qbs

@@ -1,0 +1,73 @@
+// SelectionBroker: the query-serving front-end over a ModelRegistry.
+//
+// This is the component the paper's models ultimately exist for — the
+// database-selection service's read path. Each Select grabs the current
+// immutable snapshot (lock-free), analyzes the query exactly like the
+// in-process SamplingService::Select, and answers from the snapshot's
+// pre-built ranker, consulting a sharded LRU result cache first. All
+// state it touches is immutable or internally synchronized, so one
+// broker serves any number of concurrent callers while RefreshAll
+// publishes new snapshots underneath it.
+#ifndef QBS_BROKER_SELECTION_BROKER_H_
+#define QBS_BROKER_SELECTION_BROKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "broker/model_registry.h"
+#include "broker/result_cache.h"
+#include "net/wire.h"
+#include "selection/db_selection.h"
+#include "util/status.h"
+
+namespace qbs {
+
+struct BrokerOptions {
+  /// Result-cache shape; the cache is always on (keys embed the epoch,
+  /// so it can never serve stale rankings).
+  ResultCacheOptions cache;
+};
+
+/// One answered selection.
+struct SelectionResult {
+  /// The snapshot generation the ranking was computed from.
+  uint64_t epoch = 0;
+  /// Databases best-first; trimmed to the requested top-k.
+  std::vector<DatabaseScore> scores;
+};
+
+/// Thread-safe selection front-end. The registry must outlive the
+/// broker.
+class SelectionBroker {
+ public:
+  explicit SelectionBroker(const ModelRegistry* registry,
+                           BrokerOptions options = {});
+
+  SelectionBroker(const SelectionBroker&) = delete;
+  SelectionBroker& operator=(const SelectionBroker&) = delete;
+
+  /// Ranks the registered databases for a free-text query using
+  /// `ranker_name` ("cori", "bgloss", "vgloss", "kl"). `top_k` trims
+  /// the ranking (0 = every database). Fails with InvalidArgument for
+  /// an unknown ranker (the message lists the valid set) and
+  /// FailedPrecondition while the registry has no published models.
+  Result<SelectionResult> Select(const std::string& query,
+                                 const std::string& ranker_name,
+                                 size_t top_k = 0) const;
+
+  /// Live serving state: epoch, database count, select and cache
+  /// counters. shed_total is always 0 here — admission control lives in
+  /// BrokerServer, which overlays its own count.
+  BrokerStatusInfo BrokerStatus() const;
+
+ private:
+  const ModelRegistry* registry_;
+  mutable ResultCache cache_;
+  mutable std::atomic<uint64_t> selects_{0};
+};
+
+}  // namespace qbs
+
+#endif  // QBS_BROKER_SELECTION_BROKER_H_

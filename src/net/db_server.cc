@@ -3,35 +3,20 @@
 #include <algorithm>
 #include <utility>
 
-#include "obs/log.h"
 #include "obs/metrics.h"
-#include "obs/trace.h"
 
 namespace qbs {
 
 namespace {
 
-struct ServerMetrics {
-  Counter* connections_total;
-  Gauge* active_connections;
-  Counter* errors;
+struct BatchMetrics {
   Counter* batch_requests;
   Counter* batch_docs;
-  Histogram* request_latency_us;
 
-  static const ServerMetrics& Get() {
-    static const ServerMetrics metrics = [] {
+  static const BatchMetrics& Get() {
+    static const BatchMetrics metrics = [] {
       MetricRegistry& r = MetricRegistry::Default();
-      ServerMetrics m;
-      m.connections_total =
-          r.GetCounter("qbs_net_server_connections_total",
-                       "Connections accepted by DbServer");
-      m.active_connections =
-          r.GetGauge("qbs_net_server_active_connections",
-                     "Connections currently being served");
-      m.errors = r.GetCounter(
-          "qbs_net_server_errors_total",
-          "Undecodable frames and transport failures on the server side");
+      BatchMetrics m;
       m.batch_requests =
           r.GetCounter("qbs_net_batch_server_requests_total",
                        "Batched RPCs (query_and_fetch, fetch_batch) served");
@@ -39,184 +24,37 @@ struct ServerMetrics {
           "qbs_net_batch_server_docs_total",
           "Documents returned inside batched responses — traffic that "
           "would have cost one RPC each under the v1 protocol");
-      m.request_latency_us = r.GetHistogram(
-          "qbs_net_server_request_latency_us", Histogram::LatencyBoundsUs(),
-          "Server-side request handling latency, database call included");
       return m;
     }();
     return metrics;
   }
-
-  static Counter* Requests(WireMethod method) {
-    // One labeled series per method; registration is locked, so look
-    // each up once.
-    static Counter* const per_method[] = {
-        MetricRegistry::Default().GetCounter(
-            WithLabel("qbs_net_server_requests_total", "method", "ping"),
-            "Requests served, by method"),
-        MetricRegistry::Default().GetCounter(
-            WithLabel("qbs_net_server_requests_total", "method",
-                      "server_info"),
-            "Requests served, by method"),
-        MetricRegistry::Default().GetCounter(
-            WithLabel("qbs_net_server_requests_total", "method", "run_query"),
-            "Requests served, by method"),
-        MetricRegistry::Default().GetCounter(
-            WithLabel("qbs_net_server_requests_total", "method",
-                      "fetch_document"),
-            "Requests served, by method"),
-        MetricRegistry::Default().GetCounter(
-            WithLabel("qbs_net_server_requests_total", "method",
-                      "query_and_fetch"),
-            "Requests served, by method"),
-        MetricRegistry::Default().GetCounter(
-            WithLabel("qbs_net_server_requests_total", "method",
-                      "fetch_batch"),
-            "Requests served, by method"),
-    };
-    return per_method[static_cast<uint32_t>(method) - 1];
-  }
 };
+
+FrameServerOptions ToFrameOptions(const DbServerOptions& options) {
+  FrameServerOptions frame;
+  frame.host = options.host;
+  frame.port = options.port;
+  frame.num_workers = options.num_workers;
+  frame.max_frame_bytes = options.max_frame_bytes;
+  frame.max_protocol_version = options.max_protocol_version;
+  return frame;
+}
 
 }  // namespace
 
 DbServer::DbServer(TextDatabase* db, DbServerOptions options)
-    : db_(db), options_(std::move(options)) {}
+    : FrameServer("DbServer '" + db->name() + "'", ToFrameOptions(options)),
+      db_(db),
+      serialize_database_(options.serialize_database) {}
 
 DbServer::~DbServer() { Stop(); }
 
-bool DbServer::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return running_;
-}
-
-std::string DbServer::address() const {
-  return options_.host + ":" + std::to_string(port_);
-}
-
-Status DbServer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (running_) {
-    return Status::FailedPrecondition("DbServer already started");
-  }
-  auto listener = TcpListener::Listen(options_.host, options_.port);
-  QBS_RETURN_IF_ERROR(listener.status());
-  listener_ = std::move(*listener);
-  port_ = listener_->port();
-  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
-  running_ = true;
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
-  QBS_LOG(INFO) << "DbServer: serving '" << db_->name() << "' on "
-                << options_.host << ":" << port_;
-  return Status::OK();
-}
-
-void DbServer::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!running_) return;
-    running_ = false;
-    // Stop the intake first: no new connections reach the pool.
-    listener_->CloseListener();
-    // Wake every blocked connection reader; their tasks then drain.
-    for (SocketStream* stream : active_) stream->Close();
-  }
-  accept_thread_.join();
-  // Queued-but-unserved connections run their task post-Close and exit
-  // immediately on the first read; Shutdown drains them all.
-  pool_->Shutdown();
-  QBS_LOG(INFO) << "DbServer: '" << db_->name() << "' on port " << port_
-                << " stopped";
-}
-
-void DbServer::AcceptLoop() {
-  const ServerMetrics& metrics = ServerMetrics::Get();
-  while (true) {
-    auto conn = listener_->Accept();
-    if (!conn.ok()) return;  // listener closed (or irrecoverable)
-    metrics.connections_total->Increment();
-    auto stream = std::make_shared<SocketStream>(std::move(*conn));
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!running_) {
-        stream->Close();
-        return;
-      }
-      active_.insert(stream.get());
-    }
-    bool accepted =
-        pool_->Submit([this, stream] { ServeConnection(stream); });
-    if (!accepted) {
-      // Shutdown raced the accept; the connection is dropped.
-      std::lock_guard<std::mutex> lock(mu_);
-      active_.erase(stream.get());
-      stream->Close();
-    }
-  }
-}
-
-void DbServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
-  const ServerMetrics& metrics = ServerMetrics::Get();
-  metrics.active_connections->Add(1.0);
-  while (true) {
-    auto payload = ReadFrame(*stream, options_.max_frame_bytes);
-    if (!payload.ok()) {
-      // Peer hung up (the normal end of a connection), shutdown woke us,
-      // or the frame was oversized/garbled. Only the latter is an error.
-      if (payload.status().IsCorruption()) {
-        metrics.errors->Increment();
-        QBS_LOG(WARNING) << "DbServer: dropping connection: "
-                         << payload.status().ToString();
-      }
-      break;
-    }
-    auto request = DecodeRequest(*payload);
-    if (!request.ok()) {
-      // Without a decoded header there is no request id to answer to;
-      // the stream is out of sync, so drop the connection.
-      metrics.errors->Increment();
-      QBS_LOG(WARNING) << "DbServer: undecodable request: "
-                       << request.status().ToString();
-      break;
-    }
-    WireResponse response;
-    {
-      QBS_TRACE_SPAN("net.serve", WireMethodName(request->method));
-      ScopedTimerUs timer(metrics.request_latency_us);
-      ServerMetrics::Requests(request->method)->Increment();
-      response = HandleRequest(*request);
-    }
-    Status sent = WriteFrame(*stream, EncodeResponse(response));
-    if (!sent.ok()) {
-      metrics.errors->Increment();
-      break;
-    }
-  }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    active_.erase(stream.get());
-  }
-  metrics.active_connections->Add(-1.0);
-}
-
-WireResponse DbServer::HandleRequest(const WireRequest& request) {
-  const ServerMetrics& metrics = ServerMetrics::Get();
-  // What this server speaks: kWireProtocolVersion unless an operator
-  // pinned it lower (the old-server compatibility mode).
-  const uint32_t spoken = std::min(
-      std::max<uint32_t>(options_.max_protocol_version, 1), kWireProtocolVersion);
+WireResponse DbServer::Handle(const WireRequest& request) {
+  const BatchMetrics& metrics = BatchMetrics::Get();
   WireResponse response;
   response.request_id = request.request_id;
   response.method = request.method;
   response.protocol_version = request.protocol_version;
-  if (request.protocol_version > spoken ||
-      request.protocol_version < MinVersionForMethod(request.method)) {
-    response.status = Status::FailedPrecondition(
-        "protocol version " + std::to_string(request.protocol_version) +
-        " not supported for " + WireMethodName(request.method) +
-        "; server speaks version " + std::to_string(spoken));
-    return response;
-  }
   switch (request.method) {
     case WireMethod::kPing:
       break;
@@ -226,11 +64,11 @@ WireResponse DbServer::HandleRequest(const WireRequest& request) {
       // old client asking at version 1 hears 1 back, so its equality
       // check against its own version still passes.
       response.server_protocol_version =
-          std::min(spoken, request.protocol_version);
+          std::min(spoken_version(), request.protocol_version);
       break;
     case WireMethod::kRunQuery: {
       Result<std::vector<SearchHit>> hits = [&] {
-        if (options_.serialize_database) {
+        if (serialize_database_) {
           std::lock_guard<std::mutex> lock(db_mu_);
           return db_->RunQuery(request.query,
                                static_cast<size_t>(request.max_results));
@@ -247,7 +85,7 @@ WireResponse DbServer::HandleRequest(const WireRequest& request) {
     }
     case WireMethod::kFetchDocument: {
       Result<std::string> text = [&] {
-        if (options_.serialize_database) {
+        if (serialize_database_) {
           std::lock_guard<std::mutex> lock(db_mu_);
           return db_->FetchDocument(request.handle);
         }
@@ -267,7 +105,7 @@ WireResponse DbServer::HandleRequest(const WireRequest& request) {
       // another connection's calls between the query and its fetches
       // buys nothing but lock churn.
       Result<QueryAndFetchResult> round = [&] {
-        if (options_.serialize_database) {
+        if (serialize_database_) {
           std::lock_guard<std::mutex> lock(db_mu_);
           return db_->QueryAndFetch(request.query,
                                     static_cast<size_t>(request.max_results));
@@ -287,7 +125,7 @@ WireResponse DbServer::HandleRequest(const WireRequest& request) {
     case WireMethod::kFetchBatch: {
       metrics.batch_requests->Increment();
       Result<std::vector<FetchedDocument>> docs = [&] {
-        if (options_.serialize_database) {
+        if (serialize_database_) {
           std::lock_guard<std::mutex> lock(db_mu_);
           return db_->FetchBatch(request.handles);
         }
@@ -301,6 +139,12 @@ WireResponse DbServer::HandleRequest(const WireRequest& request) {
       }
       break;
     }
+    case WireMethod::kSelect:
+    case WireMethod::kBrokerStatus:
+      response.status = Status::Unimplemented(
+          std::string(WireMethodName(request.method)) +
+          ": this server fronts a TextDatabase, not a selection broker");
+      break;
   }
   return response;
 }

@@ -3,27 +3,20 @@
 // only way the paper assumes a real database is — through a remote
 // query/fetch interface.
 //
-// Model: one dedicated accept thread; each accepted connection is served
-// as a ThreadPool task that loops request->response until the peer hangs
-// up (connection-per-worker — at most `num_workers` connections are
-// served concurrently; further accepted connections wait in the pool
-// queue). Stop() is graceful: stop accepting, wake every blocked
-// connection reader, drain the pool.
+// The transport (accept thread, connection-per-worker pool, graceful
+// Stop, protocol-version gate) lives in the FrameServer base; this class
+// is only the TextDatabase request handler.
 #ifndef QBS_NET_DB_SERVER_H_
 #define QBS_NET_DB_SERVER_H_
 
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
-#include <unordered_set>
 
-#include "net/socket.h"
+#include "net/frame_server.h"
 #include "net/wire.h"
 #include "search/text_database.h"
 #include "util/status.h"
-#include "util/thread_pool.h"
 
 namespace qbs {
 
@@ -52,52 +45,22 @@ struct DbServerOptions {
 };
 
 /// A blocking TCP server for one TextDatabase. Thread-safe. The wrapped
-/// database must outlive the server.
-class DbServer {
+/// database must outlive the server. The broker RPCs (select,
+/// broker_status) are answered with Unimplemented — this server fronts a
+/// database, not a selection broker.
+class DbServer : public FrameServer {
  public:
   DbServer(TextDatabase* db, DbServerOptions options);
   /// Stops the server (Stop()) if still running.
-  ~DbServer();
+  ~DbServer() override;
 
-  DbServer(const DbServer&) = delete;
-  DbServer& operator=(const DbServer&) = delete;
-
-  /// Binds, listens, and starts accepting. Fails if the port is taken or
-  /// the server was already started.
-  Status Start();
-
-  /// Graceful shutdown: stops accepting, unblocks every in-flight
-  /// connection reader, and drains the worker pool. In-flight requests
-  /// finish; idle connections are dropped. Idempotent.
-  void Stop();
-
-  /// The bound port (valid after Start() succeeded).
-  uint16_t port() const { return port_; }
-
-  /// True between a successful Start() and Stop().
-  bool running() const;
-
-  /// host:port of this server (valid after Start()).
-  std::string address() const;
+ protected:
+  WireResponse Handle(const WireRequest& request) override;
 
  private:
-  void AcceptLoop();
-  void ServeConnection(std::shared_ptr<SocketStream> stream);
-  WireResponse HandleRequest(const WireRequest& request);
-
   TextDatabase* db_;
-  DbServerOptions options_;
-  uint16_t port_ = 0;
-
-  std::unique_ptr<TcpListener> listener_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::thread accept_thread_;
-
-  mutable std::mutex mu_;
-  bool running_ = false;
-  // Streams of live connections, so Stop() can wake their readers.
-  std::unordered_set<SocketStream*> active_;
-  // Guards calls into db_ when options_.serialize_database is set.
+  bool serialize_database_;
+  // Guards calls into db_ when serialize_database_ is set.
   std::mutex db_mu_;
 };
 

@@ -1,0 +1,223 @@
+#include "net/frame_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qbs {
+
+namespace {
+
+struct ServerMetrics {
+  Counter* connections_total;
+  Gauge* active_connections;
+  Counter* errors;
+  Histogram* request_latency_us;
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      ServerMetrics m;
+      m.connections_total =
+          r.GetCounter("qbs_net_server_connections_total",
+                       "Connections accepted by wire-protocol servers");
+      m.active_connections =
+          r.GetGauge("qbs_net_server_active_connections",
+                     "Connections currently being served");
+      m.errors = r.GetCounter(
+          "qbs_net_server_errors_total",
+          "Undecodable frames and transport failures on the server side");
+      m.request_latency_us = r.GetHistogram(
+          "qbs_net_server_request_latency_us", Histogram::LatencyBoundsUs(),
+          "Server-side request handling latency, handler included");
+      return m;
+    }();
+    return metrics;
+  }
+
+  static Counter* Requests(WireMethod method) {
+    // One labeled series per method; registration is locked, so look
+    // each up once. Indexed by the wire method value, which is dense
+    // and starts at 1.
+    static Counter* const per_method[] = {
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method", "ping"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "server_info"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method", "run_query"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "fetch_document"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "query_and_fetch"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "fetch_batch"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method", "select"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "broker_status"),
+            "Requests served, by method"),
+    };
+    static_assert(sizeof(per_method) / sizeof(per_method[0]) ==
+                  static_cast<uint32_t>(WireMethod::kBrokerStatus));
+    return per_method[static_cast<uint32_t>(method) - 1];
+  }
+};
+
+}  // namespace
+
+FrameServer::FrameServer(std::string description, FrameServerOptions options)
+    : description_(std::move(description)),
+      options_(std::move(options)),
+      spoken_version_(
+          std::min(std::max<uint32_t>(options_.max_protocol_version, 1),
+                   kWireProtocolVersion)) {}
+
+FrameServer::~FrameServer() {
+  // Safety net only — subclasses stop in their own destructor, while
+  // their Handle() state is still alive.
+  Stop();
+}
+
+bool FrameServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+std::string FrameServer::address() const {
+  return options_.host + ":" + std::to_string(port_);
+}
+
+Status FrameServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition(description_ + " already started");
+  }
+  auto listener = TcpListener::Listen(options_.host, options_.port);
+  QBS_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+  port_ = listener_->port();
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  QBS_LOG(INFO) << description_ << ": serving on " << options_.host << ":"
+                << port_;
+  return Status::OK();
+}
+
+void FrameServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    running_ = false;
+    // Stop the intake first: no new connections reach the pool.
+    listener_->CloseListener();
+    // Wake every blocked connection reader; their tasks then drain.
+    for (SocketStream* stream : active_) stream->Close();
+  }
+  accept_thread_.join();
+  // Queued-but-unserved connections run their task post-Close and exit
+  // immediately on the first read; Shutdown drains them all.
+  pool_->Shutdown();
+  QBS_LOG(INFO) << description_ << ": port " << port_ << " stopped";
+}
+
+void FrameServer::AcceptLoop() {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  while (true) {
+    auto conn = listener_->Accept();
+    if (!conn.ok()) return;  // listener closed (or irrecoverable)
+    metrics.connections_total->Increment();
+    auto stream = std::make_shared<SocketStream>(std::move(*conn));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!running_) {
+        stream->Close();
+        return;
+      }
+      active_.insert(stream.get());
+    }
+    bool accepted =
+        pool_->Submit([this, stream] { ServeConnection(stream); });
+    if (!accepted) {
+      // Shutdown raced the accept; the connection is dropped.
+      std::lock_guard<std::mutex> lock(mu_);
+      active_.erase(stream.get());
+      stream->Close();
+    }
+  }
+}
+
+void FrameServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  GaugeGuard active_guard(metrics.active_connections);
+  while (true) {
+    auto payload = ReadFrame(*stream, options_.max_frame_bytes);
+    if (!payload.ok()) {
+      // Peer hung up (the normal end of a connection), shutdown woke us,
+      // or the frame was oversized/garbled. Only the latter is an error.
+      if (payload.status().IsCorruption()) {
+        metrics.errors->Increment();
+        QBS_LOG(WARNING) << description_ << ": dropping connection: "
+                         << payload.status().ToString();
+      }
+      break;
+    }
+    auto request = DecodeRequest(*payload);
+    if (!request.ok()) {
+      // Without a decoded header there is no request id to answer to;
+      // the stream is out of sync, so drop the connection.
+      metrics.errors->Increment();
+      QBS_LOG(WARNING) << description_ << ": undecodable request: "
+                       << request.status().ToString();
+      break;
+    }
+    WireResponse response;
+    {
+      QBS_TRACE_SPAN("net.serve", WireMethodName(request->method));
+      ScopedTimerUs timer(metrics.request_latency_us);
+      ServerMetrics::Requests(request->method)->Increment();
+      response = Dispatch(*request);
+    }
+    Status sent = WriteFrame(*stream, EncodeResponse(response));
+    if (!sent.ok()) {
+      metrics.errors->Increment();
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  active_.erase(stream.get());
+}
+
+WireResponse FrameServer::Dispatch(const WireRequest& request) {
+  if (request.protocol_version > spoken_version_ ||
+      request.protocol_version < MinVersionForMethod(request.method)) {
+    WireResponse response;
+    response.request_id = request.request_id;
+    response.method = request.method;
+    response.protocol_version = request.protocol_version;
+    response.status = Status::FailedPrecondition(
+        "protocol version " + std::to_string(request.protocol_version) +
+        " not supported for " + WireMethodName(request.method) +
+        "; server speaks version " + std::to_string(spoken_version_));
+    return response;
+  }
+  return Handle(request);
+}
+
+}  // namespace qbs

@@ -1,0 +1,119 @@
+// FrameServer: the transport half of a blocking TCP wire-protocol
+// server, shared by every server in the repo (DbServer serving a
+// TextDatabase, BrokerServer serving selection queries).
+//
+// Model: one dedicated accept thread; each accepted connection is served
+// as a ThreadPool task that loops request->response until the peer hangs
+// up (connection-per-worker — at most `num_workers` connections are
+// served concurrently; further accepted connections wait in the pool
+// queue). Stop() is graceful: stop accepting, wake every blocked
+// connection reader, drain the pool.
+//
+// The base class owns sockets, framing, decode, the protocol-version
+// gate, and the qbs_net_server_* metrics; subclasses implement Handle()
+// for the application half. Handle() may run on several pool workers at
+// once, so subclass state it touches must be thread-safe.
+#ifndef QBS_NET_FRAME_SERVER_H_
+#define QBS_NET_FRAME_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+
+#include "net/socket.h"
+#include "net/wire.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace qbs {
+
+struct FrameServerOptions {
+  /// Bind address. The default serves loopback only; use "0.0.0.0" to
+  /// accept remote peers.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Worker threads == maximum concurrently served connections.
+  size_t num_workers = 4;
+  /// Inbound frames larger than this are rejected and the connection
+  /// dropped.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Highest protocol version this server speaks (clamped to
+  /// [1, kWireProtocolVersion]). Lowering it makes the server behave
+  /// exactly like an older build: newer requests are rejected with
+  /// FailedPrecondition and server_info advertises the pinned version.
+  /// An operational downgrade lever, and the test seam for
+  /// new-client-against-old-server compatibility coverage.
+  uint32_t max_protocol_version = kWireProtocolVersion;
+};
+
+/// A blocking TCP server speaking the qbs framed wire protocol.
+/// Thread-safe. Subclasses MUST call Stop() in their destructor: the
+/// base destructor also stops, but by then the subclass's Handle()
+/// state is already gone.
+class FrameServer {
+ public:
+  /// `description` names this server in logs ("DbServer 'cacm'").
+  FrameServer(std::string description, FrameServerOptions options);
+  virtual ~FrameServer();
+
+  FrameServer(const FrameServer&) = delete;
+  FrameServer& operator=(const FrameServer&) = delete;
+
+  /// Binds, listens, and starts accepting. Fails if the port is taken or
+  /// the server was already started.
+  Status Start();
+
+  /// Graceful shutdown: stops accepting, unblocks every in-flight
+  /// connection reader, and drains the worker pool. In-flight requests
+  /// finish; idle connections are dropped. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start() succeeded).
+  uint16_t port() const { return port_; }
+
+  /// True between a successful Start() and Stop().
+  bool running() const;
+
+  /// host:port of this server (valid after Start()).
+  std::string address() const;
+
+ protected:
+  /// Answers one request. The version gate has already passed: the
+  /// request's version is within [MinVersionForMethod, spoken_version()].
+  /// Called concurrently from pool workers.
+  virtual WireResponse Handle(const WireRequest& request) = 0;
+
+  /// The highest protocol version this server speaks —
+  /// options.max_protocol_version clamped to [1, kWireProtocolVersion].
+  /// A server_info reply should advertise
+  /// min(spoken_version(), request.protocol_version).
+  uint32_t spoken_version() const { return spoken_version_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<SocketStream> stream);
+  /// The version gate, then Handle().
+  WireResponse Dispatch(const WireRequest& request);
+
+  std::string description_;
+  FrameServerOptions options_;
+  uint32_t spoken_version_;
+  uint16_t port_ = 0;
+
+  std::unique_ptr<TcpListener> listener_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  bool running_ = false;
+  // Streams of live connections, so Stop() can wake their readers.
+  std::unordered_set<SocketStream*> active_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_NET_FRAME_SERVER_H_

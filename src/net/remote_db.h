@@ -7,66 +7,29 @@
 // SamplingService and QueryBasedSampler drive remote databases with
 // zero changes to the sampling logic.
 //
-// Reliability: connections are pooled and reused; every call carries a
-// deadline; failures classified transient by Status::IsTransient()
-// (Unavailable / DeadlineExceeded / IOError) are retried with capped
-// exponential backoff plus deterministic jitter. Server-side statuses
-// (e.g. NotFound for a bad handle) pass through verbatim.
+// Pooling, deadlines, retry with backoff, and version negotiation live
+// in the shared WireClient (net/wire_client.h); this class is only the
+// TextDatabase surface plus the batched-vs-composed retrieval choice.
 #ifndef QBS_NET_REMOTE_DB_H_
 #define QBS_NET_REMOTE_DB_H_
 
-#include <atomic>
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
-#include "net/transport.h"
 #include "net/wire.h"
+#include "net/wire_client.h"
 #include "search/text_database.h"
 #include "util/status.h"
 
 namespace qbs {
 
-struct RemoteDatabaseOptions {
-  std::string host = "127.0.0.1";
-  uint16_t port = 0;
-  /// Per-attempt deadline covering send + server work + receive.
-  uint64_t call_timeout_us = 5'000'000;
-  /// Deadline for establishing one TCP connection.
-  uint64_t connect_timeout_us = 2'000'000;
-  /// Total attempts per call (1 = no retry). Only transient failures
-  /// (Status::IsTransient) are retried.
-  size_t max_attempts = 4;
-  /// Backoff before retry k (0-based) is
-  ///   min(backoff_initial_us * backoff_multiplier^k, backoff_max_us)
-  /// scaled by a jitter factor uniform in [0.5, 1.0) so a fleet of
-  /// clients retrying a recovered server does not stampede in phase.
-  uint64_t backoff_initial_us = 10'000;
-  uint64_t backoff_max_us = 1'000'000;
-  double backoff_multiplier = 2.0;
-  /// Seed of the (deterministic) jitter stream.
-  uint64_t jitter_seed = 1;
-  /// Idle connections kept for reuse. Concurrent calls beyond this
-  /// dial extra connections and close the surplus afterwards.
-  size_t max_idle_connections = 4;
-  /// Inbound frames larger than this are rejected as Corruption.
-  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+struct RemoteDatabaseOptions : WireClientOptions {
   /// Prefer the batched v2 RPCs (query_and_fetch, fetch_batch) when the
   /// server negotiates protocol version >= 2. With batching off — or
   /// against a v1 server — batch calls are composed from the single-shot
   /// RPCs, so callers see identical semantics either way.
   bool enable_batching = true;
-  /// Highest protocol version this client will negotiate (clamped to
-  /// [1, kWireProtocolVersion]). Pinning it to 1 reproduces a
-  /// pre-batching client exactly: only v1 frames ever leave this
-  /// process. Operational downgrade lever and compatibility-test seam.
-  uint32_t max_protocol_version = kWireProtocolVersion;
-  /// Test seam: when set, used instead of a TCP dial to produce
-  /// connections — e.g. wrapping the real stream in a FaultyTransport.
-  std::function<Result<std::unique_ptr<ByteStream>>()> connector;
 };
 
 /// A TextDatabase served over the wire. Thread-safe: concurrent calls
@@ -77,11 +40,11 @@ class RemoteTextDatabase : public TextDatabase {
   ~RemoteTextDatabase() override;
 
   /// Performs the version-negotiating ServerInfo round trip: offers this
-  /// client's highest protocol version, downgrades to version 1 when an
-  /// old server refuses, and caches the negotiated version plus the
-  /// remote database's name. Optional — the first call that needs the
-  /// negotiated version performs it on demand — but calling it up front
-  /// turns "wrong port" into an immediate, attributable error.
+  /// client's highest protocol version, steps down one version at a time
+  /// while an old server refuses, and caches the negotiated version plus
+  /// the remote database's name. Optional — the first call that needs
+  /// the negotiated version performs it on demand — but calling it up
+  /// front turns "wrong port" into an immediate, attributable error.
   Status Connect();
 
   /// The remote database's name once known (Connect() or any successful
@@ -92,7 +55,7 @@ class RemoteTextDatabase : public TextDatabase {
                                           size_t max_results) override;
   Result<std::string> FetchDocument(std::string_view handle) override;
 
-  /// Batched retrieval. One RPC each against a v2 server; composed from
+  /// Batched retrieval. One RPC each against a v2+ server; composed from
   /// the single-shot RPCs against a v1 server or with enable_batching
   /// off — same results either way, just more round trips.
   Result<QueryAndFetchResult> QueryAndFetch(std::string_view query,
@@ -102,36 +65,20 @@ class RemoteTextDatabase : public TextDatabase {
 
   /// Transient failures retried so far (mirrors qbs_net_retry_total,
   /// but per-instance).
-  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t retries() const { return client_.retries(); }
 
   /// RPCs issued by this instance (attempts are not double-counted; a
   /// call retried three times is one RPC here). The denominator-free
   /// half of the benchmark suite's RPCs-per-document measurement.
-  uint64_t rpcs() const { return rpcs_.load(std::memory_order_relaxed); }
+  uint64_t rpcs() const { return client_.rpcs(); }
 
   /// The protocol version negotiated with the server; 0 before the
   /// first Connect() (explicit or on-demand) completes.
-  uint32_t negotiated_version() const;
+  uint32_t negotiated_version() const { return client_.negotiated_version(); }
 
  private:
-  Result<std::unique_ptr<ByteStream>> AcquireConnection();
-  void ReleaseConnection(std::unique_ptr<ByteStream> conn);
-  /// One framed request/response exchange with retry + backoff.
-  Result<WireResponse> Call(WireRequest request);
-  /// A single attempt on one connection.
-  Result<WireResponse> CallOnce(ByteStream& conn, const WireRequest& request);
-  /// Negotiated version, running Connect() first if still unknown.
-  Result<uint32_t> EnsureNegotiated();
-
-  RemoteDatabaseOptions options_;
-  std::atomic<uint64_t> next_request_id_{1};
-  std::atomic<uint64_t> retries_{0};
-  std::atomic<uint64_t> rpcs_{0};
-
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ByteStream>> idle_;
-  std::string server_name_;       // empty until learned
-  uint32_t negotiated_version_ = 0;  // 0 until negotiated
+  WireClient client_;
+  bool enable_batching_;
 };
 
 }  // namespace qbs

@@ -125,7 +125,7 @@ bool GetFixed64(const std::vector<uint8_t>& data, size_t* pos,
 
 bool IsKnownMethod(uint32_t method) {
   return method >= static_cast<uint32_t>(WireMethod::kPing) &&
-         method <= static_cast<uint32_t>(WireMethod::kFetchBatch);
+         method <= static_cast<uint32_t>(WireMethod::kBrokerStatus);
 }
 
 // Shared by the two batched responses: one document entry is its status
@@ -167,6 +167,10 @@ const char* WireMethodName(WireMethod method) {
       return "query_and_fetch";
     case WireMethod::kFetchBatch:
       return "fetch_batch";
+    case WireMethod::kSelect:
+      return "select";
+    case WireMethod::kBrokerStatus:
+      return "broker_status";
   }
   return "unknown";
 }
@@ -181,6 +185,9 @@ uint32_t MinVersionForMethod(WireMethod method) {
     case WireMethod::kQueryAndFetch:
     case WireMethod::kFetchBatch:
       return 2;
+    case WireMethod::kSelect:
+    case WireMethod::kBrokerStatus:
+      return 3;
   }
   return kWireProtocolVersion;
 }
@@ -207,6 +214,13 @@ std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
       for (const std::string& handle : request.handles) {
         PutString(out, handle);
       }
+      break;
+    case WireMethod::kSelect:
+      PutString(out, request.query);
+      PutVarint64(out, request.max_results);
+      PutString(out, request.ranker);
+      break;
+    case WireMethod::kBrokerStatus:
       break;
   }
   return out;
@@ -262,6 +276,15 @@ Result<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload) {
       }
       break;
     }
+    case WireMethod::kSelect:
+      if (!GetString(payload, &pos, &request.query) ||
+          !GetVarint64(payload, &pos, &request.max_results) ||
+          !GetString(payload, &pos, &request.ranker)) {
+        return Truncated("select request body");
+      }
+      break;
+    case WireMethod::kBrokerStatus:
+      break;
   }
   if (pos != payload.size()) {
     return Status::Corruption("wire: trailing bytes after request");
@@ -311,6 +334,23 @@ std::vector<uint8_t> EncodeResponse(const WireResponse& response) {
       for (const FetchedDocument& doc : response.documents) {
         PutFetchedDocument(out, doc);
       }
+      break;
+    case WireMethod::kSelect:
+      PutVarint64(out, response.epoch);
+      PutVarint64(out, response.scores.size());
+      for (const DatabaseScore& score : response.scores) {
+        PutString(out, score.db_name);
+        PutFixed64(out, DoubleToBits(score.score));
+      }
+      break;
+    case WireMethod::kBrokerStatus:
+      PutVarint64(out, response.broker.epoch);
+      PutVarint64(out, response.broker.databases);
+      PutVarint64(out, response.broker.selects_total);
+      PutVarint64(out, response.broker.shed_total);
+      PutVarint64(out, response.broker.cache_hits);
+      PutVarint64(out, response.broker.cache_misses);
+      PutVarint64(out, response.broker.cache_evictions);
       break;
   }
   return out;
@@ -434,6 +474,41 @@ Result<WireResponse> DecodeResponse(const std::vector<uint8_t>& payload) {
       }
       break;
     }
+    case WireMethod::kSelect: {
+      uint64_t count = 0;
+      if (!GetVarint64(payload, &pos, &response.epoch) ||
+          !GetVarint64(payload, &pos, &count)) {
+        return Truncated("select response header");
+      }
+      // Each entry is at least 9 bytes (1-byte name length + 8-byte
+      // score), same shape as a search hit.
+      if (count > (payload.size() - pos) / 9 + 1) {
+        return Status::Corruption("wire: score count exceeds payload");
+      }
+      response.scores.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        DatabaseScore score;
+        uint64_t score_bits = 0;
+        if (!GetString(payload, &pos, &score.db_name) ||
+            !GetFixed64(payload, &pos, &score_bits)) {
+          return Truncated("select score");
+        }
+        score.score = DoubleFromBits(score_bits);
+        response.scores.push_back(std::move(score));
+      }
+      break;
+    }
+    case WireMethod::kBrokerStatus:
+      if (!GetVarint64(payload, &pos, &response.broker.epoch) ||
+          !GetVarint64(payload, &pos, &response.broker.databases) ||
+          !GetVarint64(payload, &pos, &response.broker.selects_total) ||
+          !GetVarint64(payload, &pos, &response.broker.shed_total) ||
+          !GetVarint64(payload, &pos, &response.broker.cache_hits) ||
+          !GetVarint64(payload, &pos, &response.broker.cache_misses) ||
+          !GetVarint64(payload, &pos, &response.broker.cache_evictions)) {
+        return Truncated("broker_status response body");
+      }
+      break;
   }
   if (pos != payload.size()) {
     return Status::Corruption("wire: trailing bytes after response");

@@ -1,6 +1,7 @@
 // The qbs wire protocol: length-prefixed binary frames carrying the
 // TextDatabase RPCs — Ping, ServerInfo, RunQuery, FetchDocument since
-// v1, and the batched QueryAndFetch / FetchBatch since v2.
+// v1, the batched QueryAndFetch / FetchBatch since v2, and the
+// selection-broker Select / BrokerStatus since v3.
 //
 // A frame is a 4-byte little-endian payload length followed by the
 // payload. Payload fields are LEB128 varints (src/index/varint) and
@@ -19,19 +20,21 @@
 
 #include "net/transport.h"
 #include "search/text_database.h"
+#include "selection/db_selection.h"
 #include "util/status.h"
 
 namespace qbs {
 
 /// Protocol version spoken by this build. Version 2 adds the batched
-/// RPCs (query_and_fetch, fetch_batch); every version-1 message is
-/// unchanged. A request's version field states the minimum version
+/// RPCs (query_and_fetch, fetch_batch); version 3 adds the
+/// selection-broker RPCs (select, broker_status); every earlier message
+/// is unchanged. A request's version field states the minimum version
 /// needed to understand that message, so a new client keeps stamping
 /// version-1 methods with 1 and an old server keeps accepting them. A
 /// server replies to a version it does not speak with
 /// FailedPrecondition and its own version number, so the peer gets a
 /// diagnosable error instead of garbage (and a new client downgrades).
-inline constexpr uint32_t kWireProtocolVersion = 2;
+inline constexpr uint32_t kWireProtocolVersion = 3;
 
 /// Frames larger than this are rejected as Corruption before any
 /// allocation — a garbled length prefix must not become a giant malloc.
@@ -47,6 +50,10 @@ enum class WireMethod : uint32_t {
   kQueryAndFetch = 5,
   /// v2: fetch several documents by handle in one frame.
   kFetchBatch = 6,
+  /// v3: rank databases for a query (broker servers only).
+  kSelect = 7,
+  /// v3: a broker's live serving state (broker servers only).
+  kBrokerStatus = 8,
 };
 
 /// Stable lowercase method name ("ping", ...; "unknown" otherwise),
@@ -58,6 +65,22 @@ const char* WireMethodName(WireMethod method);
 /// have negotiated before sending it.
 uint32_t MinVersionForMethod(WireMethod method);
 
+/// BrokerStatus payload (v3): a selection broker's live serving state.
+struct BrokerStatusInfo {
+  /// Epoch of the snapshot currently served; 0 until the first publish.
+  uint64_t epoch = 0;
+  /// Databases in the served snapshot.
+  uint64_t databases = 0;
+  /// Select calls answered (cache hits included).
+  uint64_t selects_total = 0;
+  /// Select requests shed by admission control with kUnavailable.
+  uint64_t shed_total = 0;
+  /// Result-cache outcomes.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+};
+
 /// One decoded request.
 struct WireRequest {
   /// Minimum protocol version needed to understand this message —
@@ -67,13 +90,17 @@ struct WireRequest {
   /// a stale or misrouted response on a reused connection.
   uint64_t request_id = 0;
   WireMethod method = WireMethod::kPing;
-  /// kRunQuery and kQueryAndFetch.
+  /// kRunQuery, kQueryAndFetch, and kSelect.
   std::string query;
+  /// Result cap for the query methods; for kSelect it is the top-k cut
+  /// (0 = every database).
   uint64_t max_results = 0;
   /// kFetchDocument only.
   std::string handle;
   /// kFetchBatch only.
   std::vector<std::string> handles;
+  /// kSelect only: ranker name ("cori", "bgloss", "vgloss", "kl").
+  std::string ranker;
 };
 
 /// One decoded response.
@@ -96,6 +123,14 @@ struct WireResponse {
   /// FetchedDocument::handle empty and the client fills it back in from
   /// what it asked for.
   std::vector<FetchedDocument> documents;
+  /// kSelect (present when status is OK): the snapshot epoch the ranking
+  /// was computed from, and the ranked databases, best first. Scores
+  /// travel as raw IEEE-754 bits, so a remote ranking is bit-identical
+  /// to the in-process one.
+  uint64_t epoch = 0;
+  std::vector<DatabaseScore> scores;
+  /// kBrokerStatus only (present when status is OK).
+  BrokerStatusInfo broker;
 };
 
 /// Serializes a request/response into a frame payload (no length prefix).

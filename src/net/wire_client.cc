@@ -1,0 +1,239 @@
+#include "net/wire_client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+#include "net/socket.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/random.h"
+
+namespace qbs {
+
+namespace {
+
+struct ClientMetrics {
+  Counter* calls;
+  Counter* errors;
+  Counter* retries;
+  Counter* connects;
+  Gauge* pool_idle;
+  Histogram* call_latency_us;
+
+  static const ClientMetrics& Get() {
+    static const ClientMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      ClientMetrics m;
+      m.calls = r.GetCounter("qbs_net_client_calls_total",
+                             "RPCs issued by wire-protocol clients (attempts "
+                             "are counted under qbs_net_retry_total)");
+      m.errors = r.GetCounter(
+          "qbs_net_client_errors_total",
+          "RPCs that failed after exhausting retries (transient) or "
+          "immediately (permanent)");
+      m.retries = r.GetCounter(
+          "qbs_net_retry_total",
+          "Transient RPC failures retried with backoff by the client");
+      m.connects = r.GetCounter("qbs_net_client_connects_total",
+                                "Connections dialed by wire-protocol clients");
+      m.pool_idle = r.GetGauge("qbs_net_client_pool_idle",
+                               "Idle pooled connections across all wire "
+                               "clients");
+      m.call_latency_us = r.GetHistogram(
+          "qbs_net_client_call_latency_us", Histogram::LatencyBoundsUs(),
+          "End-to-end RPC latency including retries and backoff");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+WireClient::WireClient(WireClientOptions options)
+    : options_(std::move(options)) {}
+
+WireClient::~WireClient() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ClientMetrics::Get().pool_idle->Add(-static_cast<double>(idle_.size()));
+  idle_.clear();
+}
+
+std::string WireClient::server_name() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return server_name_;
+}
+
+Status WireClient::Connect() {
+  // Offer the highest version this client speaks; an old server answers
+  // FailedPrecondition (naming its own version) but keeps serving the
+  // connection, so re-offering one version lower each round walks down
+  // to the highest version both sides speak instead of failing the
+  // client.
+  const uint32_t my_max = std::clamp<uint32_t>(options_.max_protocol_version,
+                                               1, kWireProtocolVersion);
+  uint32_t offered = my_max;
+  Result<WireResponse> response = Status::Internal("negotiation never ran");
+  while (true) {
+    WireRequest request;
+    request.method = WireMethod::kServerInfo;
+    request.protocol_version = offered;
+    response = Call(std::move(request));
+    if (response.ok() || offered == 1 ||
+        !response.status().IsFailedPrecondition()) {
+      break;
+    }
+    QBS_LOG(DEBUG) << "WireClient(" << options_.host << ":" << options_.port
+                   << "): version " << offered << " refused ("
+                   << response.status().message() << "); downgrading to "
+                   << offered - 1;
+    --offered;
+  }
+  QBS_RETURN_IF_ERROR(response.status());
+  const uint32_t negotiated = response->server_protocol_version;
+  if (negotiated < 1 || negotiated > offered) {
+    return Status::FailedPrecondition(
+        "server at " + options_.host + ":" + std::to_string(options_.port) +
+        " negotiated unusable protocol version " +
+        std::to_string(negotiated) + " (client offered " +
+        std::to_string(offered) + ")");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  server_name_ = response->server_name;
+  negotiated_version_ = negotiated;
+  return Status::OK();
+}
+
+uint32_t WireClient::negotiated_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return negotiated_version_;
+}
+
+Result<uint32_t> WireClient::EnsureNegotiated() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (negotiated_version_ != 0) return negotiated_version_;
+  }
+  QBS_RETURN_IF_ERROR(Connect());
+  std::lock_guard<std::mutex> lock(mu_);
+  return negotiated_version_;
+}
+
+Result<std::unique_ptr<ByteStream>> WireClient::AcquireConnection() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!idle_.empty()) {
+      std::unique_ptr<ByteStream> conn = std::move(idle_.back());
+      idle_.pop_back();
+      ClientMetrics::Get().pool_idle->Add(-1.0);
+      return conn;
+    }
+  }
+  ClientMetrics::Get().connects->Increment();
+  if (options_.connector) return options_.connector();
+  auto stream = SocketStream::Dial(options_.host, options_.port,
+                                   options_.connect_timeout_us);
+  QBS_RETURN_IF_ERROR(stream.status());
+  return std::unique_ptr<ByteStream>(std::move(*stream));
+}
+
+void WireClient::ReleaseConnection(std::unique_ptr<ByteStream> conn) {
+  conn->SetDeadlineMicros(0);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (idle_.size() < options_.max_idle_connections) {
+    idle_.push_back(std::move(conn));
+    ClientMetrics::Get().pool_idle->Add(1.0);
+  }
+  // else: surplus connection closes as `conn` goes out of scope.
+}
+
+Result<WireResponse> WireClient::CallOnce(ByteStream& conn,
+                                          const WireRequest& request) {
+  conn.SetDeadlineMicros(options_.call_timeout_us == 0
+                             ? 0
+                             : MonotonicMicros() + options_.call_timeout_us);
+  QBS_RETURN_IF_ERROR(WriteFrame(conn, EncodeRequest(request)));
+  auto payload = ReadFrame(conn, options_.max_frame_bytes);
+  QBS_RETURN_IF_ERROR(payload.status());
+  auto response = DecodeResponse(*payload);
+  QBS_RETURN_IF_ERROR(response.status());
+  if (response->request_id != request.request_id ||
+      response->method != request.method) {
+    // A response to some other request means the stream is out of sync
+    // (this cannot happen on a connection we never reuse after an
+    // error, but check anyway — it is the invariant reuse relies on).
+    return Status::Corruption("wire: response does not match request");
+  }
+  return response;
+}
+
+Result<WireResponse> WireClient::Call(WireRequest request) {
+  const ClientMetrics& metrics = ClientMetrics::Get();
+  QBS_TRACE_SPAN("net.rpc", WireMethodName(request.method));
+  ScopedTimerUs timer(metrics.call_latency_us);
+  metrics.calls->Increment();
+  rpcs_.fetch_add(1, std::memory_order_relaxed);
+  request.request_id =
+      next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  // Deterministic per-call jitter stream: reproducible tests, decorrelated
+  // calls.
+  Rng jitter(options_.jitter_seed ^ request.request_id);
+
+  Status last_error = Status::OK();
+  for (size_t attempt = 0; attempt < std::max<size_t>(options_.max_attempts, 1);
+       ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      metrics.retries->Increment();
+      double scale =
+          std::pow(options_.backoff_multiplier,
+                   static_cast<double>(attempt - 1));
+      uint64_t backoff = static_cast<uint64_t>(std::min(
+          static_cast<double>(options_.backoff_initial_us) * scale,
+          static_cast<double>(options_.backoff_max_us)));
+      backoff = static_cast<uint64_t>(
+          static_cast<double>(backoff) * (0.5 + 0.5 * jitter.UniformDouble()));
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      }
+    }
+
+    auto conn = AcquireConnection();
+    if (!conn.ok()) {
+      last_error = conn.status();
+      if (last_error.IsTransient()) continue;
+      break;
+    }
+    auto response = CallOnce(**conn, request);
+    if (response.ok()) {
+      // The connection is healthy; pool it. The *server's* status may
+      // still be an error — that is the remote operation's outcome, and
+      // only its transient subset is worth another attempt.
+      ReleaseConnection(std::move(*conn));
+      if (response->status.ok()) return response;
+      if (!response->status.IsTransient()) {
+        // Permanent server-side outcome (NotFound, InvalidArgument...):
+        // pass it through verbatim, with no retries burned.
+        return response->status;
+      }
+      last_error = response->status;
+      continue;
+    }
+    // Transport or framing failure: the connection is suspect, drop it.
+    (*conn)->Close();
+    last_error = response.status();
+    if (!last_error.IsTransient()) break;
+  }
+  metrics.errors->Increment();
+  QBS_LOG(WARNING) << "WireClient(" << options_.host << ":" << options_.port
+                   << "): " << WireMethodName(request.method)
+                   << " failed after " << options_.max_attempts
+                   << " attempt(s): " << last_error.ToString();
+  return last_error;
+}
+
+}  // namespace qbs

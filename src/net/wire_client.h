@@ -1,0 +1,127 @@
+// WireClient: the transport half of a qbs wire-protocol client, shared
+// by every client in the repo (RemoteTextDatabase sampling a remote
+// database, RemoteSelector querying a selection broker).
+//
+// Reliability: connections are pooled and reused; every call carries a
+// deadline; failures classified transient by Status::IsTransient()
+// (Unavailable / DeadlineExceeded / IOError) are retried with capped
+// exponential backoff plus deterministic jitter. Server-side statuses
+// (e.g. NotFound for a bad handle) pass through verbatim.
+#ifndef QBS_NET_WIRE_CLIENT_H_
+#define QBS_NET_WIRE_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/transport.h"
+#include "net/wire.h"
+#include "util/status.h"
+
+namespace qbs {
+
+struct WireClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Per-attempt deadline covering send + server work + receive.
+  uint64_t call_timeout_us = 5'000'000;
+  /// Deadline for establishing one TCP connection.
+  uint64_t connect_timeout_us = 2'000'000;
+  /// Total attempts per call (1 = no retry). Only transient failures
+  /// (Status::IsTransient) are retried.
+  size_t max_attempts = 4;
+  /// Backoff before retry k (0-based) is
+  ///   min(backoff_initial_us * backoff_multiplier^k, backoff_max_us)
+  /// scaled by a jitter factor uniform in [0.5, 1.0) so a fleet of
+  /// clients retrying a recovered server does not stampede in phase.
+  uint64_t backoff_initial_us = 10'000;
+  uint64_t backoff_max_us = 1'000'000;
+  double backoff_multiplier = 2.0;
+  /// Seed of the (deterministic) jitter stream.
+  uint64_t jitter_seed = 1;
+  /// Idle connections kept for reuse. Concurrent calls beyond this
+  /// dial extra connections and close the surplus afterwards.
+  size_t max_idle_connections = 4;
+  /// Inbound frames larger than this are rejected as Corruption.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Highest protocol version this client will negotiate (clamped to
+  /// [1, kWireProtocolVersion]). Pinning it to an older version
+  /// reproduces an old client exactly: only frames of that era ever
+  /// leave this process. Operational downgrade lever and
+  /// compatibility-test seam.
+  uint32_t max_protocol_version = kWireProtocolVersion;
+  /// Test seam: when set, used instead of a TCP dial to produce
+  /// connections — e.g. wrapping the real stream in a FaultyTransport.
+  std::function<Result<std::unique_ptr<ByteStream>>()> connector;
+};
+
+/// A pooled, retrying wire-protocol client for one server. Thread-safe:
+/// concurrent calls share the connection pool and take separate
+/// connections.
+class WireClient {
+ public:
+  explicit WireClient(WireClientOptions options);
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Performs the version-negotiating ServerInfo round trip: offers this
+  /// client's highest protocol version and, each time an old server
+  /// refuses with FailedPrecondition, re-offers the next version down
+  /// until one is accepted (so a v3 client meets a v2 server at 2 and a
+  /// v1 server at 1). Caches the negotiated version plus the server's
+  /// name. Optional — the first call that needs the negotiated version
+  /// performs it on demand — but calling it up front turns "wrong port"
+  /// into an immediate, attributable error.
+  Status Connect();
+
+  /// One framed request/response exchange with retry + backoff. Fills
+  /// in the request id.
+  Result<WireResponse> Call(WireRequest request);
+
+  /// Negotiated version, running Connect() first if still unknown.
+  Result<uint32_t> EnsureNegotiated();
+
+  /// The protocol version negotiated with the server; 0 before the
+  /// first Connect() (explicit or on-demand) completes.
+  uint32_t negotiated_version() const;
+
+  /// The server's self-reported name once known (Connect() or any
+  /// successful ServerInfo); empty before that.
+  std::string server_name() const;
+
+  /// Transient failures retried so far (mirrors qbs_net_retry_total,
+  /// but per-instance).
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+
+  /// RPCs issued by this instance (attempts are not double-counted; a
+  /// call retried three times is one RPC here).
+  uint64_t rpcs() const { return rpcs_.load(std::memory_order_relaxed); }
+
+  const WireClientOptions& options() const { return options_; }
+
+ private:
+  Result<std::unique_ptr<ByteStream>> AcquireConnection();
+  void ReleaseConnection(std::unique_ptr<ByteStream> conn);
+  /// A single attempt on one connection.
+  Result<WireResponse> CallOnce(ByteStream& conn, const WireRequest& request);
+
+  WireClientOptions options_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> rpcs_{0};
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ByteStream>> idle_;
+  std::string server_name_;          // empty until learned
+  uint32_t negotiated_version_ = 0;  // 0 until negotiated
+};
+
+}  // namespace qbs
+
+#endif  // QBS_NET_WIRE_CLIENT_H_

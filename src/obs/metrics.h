@@ -177,6 +177,25 @@ class MetricRegistry {
   std::map<std::string, Entry> metrics_;
 };
 
+/// RAII in-flight tracker: adds +1 to a gauge on construction and -1 on
+/// destruction, so the gauge counts concurrently open scopes (in-flight
+/// requests, active connections) without paired call sites that can
+/// desynchronize on early returns. `gauge` may be null (no-op).
+class GaugeGuard {
+ public:
+  explicit GaugeGuard(Gauge* gauge) : gauge_(gauge) {
+    if (gauge_ != nullptr) gauge_->Add(1.0);
+  }
+  ~GaugeGuard() {
+    if (gauge_ != nullptr) gauge_->Add(-1.0);
+  }
+  GaugeGuard(const GaugeGuard&) = delete;
+  GaugeGuard& operator=(const GaugeGuard&) = delete;
+
+ private:
+  Gauge* gauge_;
+};
+
 /// Observes elapsed wall time (microseconds) into a histogram when it
 /// goes out of scope. `histogram` may be null (no-op), so call sites can
 /// keep one code path whether or not metrics are enabled.

@@ -170,4 +170,19 @@ std::unique_ptr<DatabaseRanker> MakeRanker(
   return nullptr;
 }
 
+const std::vector<std::string>& KnownRankerNames() {
+  static const std::vector<std::string> kNames = {"cori", "bgloss", "vgloss",
+                                                  "kl"};
+  return kNames;
+}
+
+std::string KnownRankerList() {
+  std::string joined;
+  for (const std::string& name : KnownRankerNames()) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
+}
+
 }  // namespace qbs

@@ -51,6 +51,12 @@ struct DatabaseScore {
 };
 
 /// A database-selection algorithm over a fixed collection.
+///
+/// Rankers are immutable after construction: Rank() only reads the ranker
+/// and its collection, so one ranker instance may serve concurrent Rank()
+/// calls from many threads, provided the collection is not mutated while
+/// any ranker over it is live. The broker's SelectionSnapshot relies on
+/// this to share pre-built rankers across all in-flight Select requests.
 class DatabaseRanker {
  public:
   virtual ~DatabaseRanker() = default;
@@ -138,6 +144,15 @@ class KlRanker : public DatabaseRanker {
 /// Factory by name; returns nullptr for unknown names.
 std::unique_ptr<DatabaseRanker> MakeRanker(const std::string& name,
                                            const DatabaseCollection* collection);
+
+/// Every name MakeRanker accepts, in canonical order. The single source
+/// of truth shared by the CLI, the sampling service, and the broker's
+/// Select validation.
+const std::vector<std::string>& KnownRankerNames();
+
+/// The known ranker names joined for error messages:
+/// "cori, bgloss, vgloss, kl".
+std::string KnownRankerList();
 
 }  // namespace qbs
 

@@ -183,6 +183,9 @@ Status SamplingService::RefreshAll() {
   }
   refresh_pool_->Wait();
   UpdateModelGauge();
+  // Publish even when some databases failed: the snapshot must mirror
+  // states_ (the databases that *do* have models), not the happy path.
+  PublishSnapshot();
 
   // Every failure is reported, not just the first: an operator refreshing
   // a federation needs the complete casualty list in one status.
@@ -206,6 +209,8 @@ Status SamplingService::RefreshAll() {
   return SaveModels();
 }
 
+void SamplingService::PublishSnapshot() { registry_.Publish(Collection()); }
+
 void SamplingService::UpdateModelGauge() const {
   size_t with_model = 0;
   for (const DatabaseState& s : states_) {
@@ -222,6 +227,9 @@ Status SamplingService::Refresh(const std::string& name) {
       EnsurePools();
       Status status = SampleOne(i);
       UpdateModelGauge();
+      // A failed re-sample dropped this database's model; publish that
+      // too, so Select never ranks against a model states_ disowned.
+      PublishSnapshot();
       QBS_RETURN_IF_ERROR(status);
       return SaveModels();
     }
@@ -241,14 +249,19 @@ DatabaseCollection SamplingService::Collection() const {
 
 Result<std::vector<DatabaseScore>> SamplingService::Select(
     const std::string& query, const std::string& ranker_name) const {
-  DatabaseCollection dbs = Collection();
-  if (dbs.size() == 0) {
+  // One lock-free snapshot read replaces the old per-call collection
+  // rebuild + ranker construction; the snapshot's rankers were built once
+  // at publish time. Must stay result-identical to SelectionBroker's
+  // uncached path — the loopback acceptance test holds both to it.
+  std::shared_ptr<const SelectionSnapshot> snapshot = registry_.Snapshot();
+  const DatabaseRanker* ranker = snapshot->ranker(ranker_name);
+  if (ranker == nullptr) {
+    return Status::InvalidArgument("unknown ranker '" + ranker_name +
+                                   "'; valid rankers: " + KnownRankerList());
+  }
+  if (snapshot->collection().size() == 0) {
     return Status::FailedPrecondition(
         "no language models available; call RefreshAll() first");
-  }
-  std::unique_ptr<DatabaseRanker> ranker = MakeRanker(ranker_name, &dbs);
-  if (ranker == nullptr) {
-    return Status::InvalidArgument("unknown ranker: " + ranker_name);
   }
   // Selection models are stemmed and stopped: analyze the query the same
   // way.
@@ -307,6 +320,7 @@ Status SamplingService::LoadModels() {
     s.last_status = Status::OK();
   }
   UpdateModelGauge();
+  PublishSnapshot();
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "broker/model_registry.h"
 #include "lm/language_model.h"
 #include "sampling/sampler.h"
 #include "selection/db_selection.h"
@@ -76,8 +77,12 @@ struct DatabaseState {
 
 /// Orchestrates sampling and selection over a database federation.
 ///
-/// Thread-compatible: RefreshAll runs internally parallel; external calls
-/// must not overlap with each other.
+/// Thread-compatible for mutation: RefreshAll runs internally parallel,
+/// and mutating calls (AddDatabase, Refresh*, LoadModels) must not
+/// overlap with each other. Select() is the exception: it reads the
+/// registry's immutable snapshot, so any number of Select calls may run
+/// concurrently with each other *and* with an in-flight refresh — they
+/// see the last published epoch until the refresh publishes the next.
 class SamplingService {
  public:
   explicit SamplingService(ServiceOptions options);
@@ -108,12 +113,21 @@ class SamplingService {
   /// Per-database state, index-aligned with registration order.
   const std::vector<DatabaseState>& state() const { return states_; }
 
-  /// Builds the current selection collection (stemmed models, stopwords
-  /// removed). Databases without models are skipped.
+  /// Builds a fresh selection collection (stemmed models, stopwords
+  /// removed). Databases without models are skipped. This is an explicit
+  /// copy for callers that want to own one — the serving path does not
+  /// pay it; Select() reads the registry snapshot instead.
   DatabaseCollection Collection() const;
+
+  /// The registry of published selection snapshots. Hand this to a
+  /// SelectionBroker / BrokerServer to serve this federation's models
+  /// remotely; it observes every epoch this service publishes.
+  const ModelRegistry& registry() const { return registry_; }
 
   /// Ranks databases for a free-text query using `ranker_name`
   /// ("cori", "bgloss", "vgloss", "kl"). Fails if no models exist yet.
+  /// Served from the registry snapshot: lock-free, and safe concurrently
+  /// with a refresh.
   Result<std::vector<DatabaseScore>> Select(
       const std::string& query, const std::string& ranker_name = "cori") const;
 
@@ -131,6 +145,10 @@ class SamplingService {
  private:
   Status SampleOne(size_t i);
   void UpdateModelGauge() const;
+  /// Publishes the current Collection() to the registry as a new epoch.
+  /// Called whenever the model set may have changed — even a partially
+  /// failed refresh publishes, so the snapshot tracks states_ exactly.
+  void PublishSnapshot();
   /// Materializes the lazily created pools. Called from the external
   /// (thread-compatible) entry points only, never from pool workers.
   void EnsurePools();
@@ -142,6 +160,8 @@ class SamplingService {
   /// destroyed first is fine — nothing touches databases_ on teardown.
   std::vector<std::unique_ptr<TextDatabase>> owned_databases_;
   std::vector<DatabaseState> states_;
+  /// Immutable selection snapshots, atomically swapped on publish.
+  ModelRegistry registry_;
   /// Declared last so both pools drain before anything they reference
   /// (databases, states) is torn down.
   std::unique_ptr<ThreadPool> refresh_pool_;

@@ -1,0 +1,345 @@
+// Loopback tests for the broker wire surface: BrokerServer +
+// RemoteSelector over real sockets, including the PR's acceptance
+// scenario — concurrent remote Selects during active refreshes, with
+// every answer verified byte-for-byte against the snapshot of the epoch
+// it reports.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "broker/broker_server.h"
+#include "broker/model_registry.h"
+#include "broker/remote_selector.h"
+#include "broker/selection_broker.h"
+#include "corpus/synthetic.h"
+#include "net/db_server.h"
+#include "net/remote_db.h"
+#include "service/sampling_service.h"
+#include "text/analyzer.h"
+
+namespace qbs {
+namespace {
+
+class BrokerServerTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kNumDbs = 3;
+
+  static void SetUpTestSuite() {
+    engines_ = new std::vector<std::unique_ptr<SearchEngine>>();
+    seed_terms_ = new std::vector<std::string>();
+    for (size_t i = 0; i < kNumDbs; ++i) {
+      SyntheticCorpusSpec spec;
+      spec.name = "brk-" + std::to_string(i);
+      spec.num_docs = 300;
+      spec.vocab_size = 20'000;
+      spec.num_topics = 3;
+      spec.topic_mix = 0.5;
+      spec.seed = 4400 + 13 * i;
+      auto engine = BuildSyntheticEngine(spec);
+      ASSERT_TRUE(engine.ok());
+      LanguageModel actual = (*engine)->ActualLanguageModel();
+      for (const auto& [term, score] :
+           actual.RankedTerms(TermMetric::kCtf, 2)) {
+        seed_terms_->push_back(term);
+      }
+      engines_->push_back(std::move(*engine));
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete engines_;
+    engines_ = nullptr;
+    delete seed_terms_;
+    seed_terms_ = nullptr;
+  }
+
+  // A refreshed service over the shared federation.
+  std::unique_ptr<SamplingService> MakeRefreshedService() {
+    ServiceOptions opts;
+    opts.sampler.stopping.max_documents = 40;
+    opts.seed_terms = *seed_terms_;
+    opts.num_threads = 3;
+    auto service = std::make_unique<SamplingService>(opts);
+    for (auto& engine : *engines_) {
+      EXPECT_TRUE(service->AddDatabase(engine.get()).ok());
+    }
+    EXPECT_TRUE(service->RefreshAll().ok());
+    return service;
+  }
+
+  static WireClientOptions ClientOptionsFor(const FrameServer& server) {
+    WireClientOptions options;
+    options.port = server.port();
+    return options;
+  }
+
+  static std::vector<std::unique_ptr<SearchEngine>>* engines_;
+  static std::vector<std::string>* seed_terms_;
+};
+
+std::vector<std::unique_ptr<SearchEngine>>* BrokerServerTest::engines_ =
+    nullptr;
+std::vector<std::string>* BrokerServerTest::seed_terms_ = nullptr;
+
+TEST_F(BrokerServerTest, SelectOverLoopbackMatchesInProcessSelect) {
+  auto service = MakeRefreshedService();
+  SelectionBroker broker(&service->registry());
+  BrokerServer server(&broker, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  RemoteSelector selector(ClientOptionsFor(server));
+  ASSERT_TRUE(selector.Connect().ok());
+  EXPECT_EQ(selector.negotiated_version(), kWireProtocolVersion);
+  EXPECT_EQ(selector.name(), "qbs-broker");
+
+  const std::string query =
+      (*seed_terms_)[0] + " " + (*seed_terms_)[2] + " " + (*seed_terms_)[4];
+  for (const std::string& ranker : KnownRankerNames()) {
+    auto remote = selector.Select(query, ranker);
+    ASSERT_TRUE(remote.ok()) << ranker << ": " << remote.status().ToString();
+    auto local = service->Select(query, ranker);
+    ASSERT_TRUE(local.ok()) << ranker;
+    ASSERT_EQ(remote->scores.size(), local->size()) << ranker;
+    for (size_t i = 0; i < local->size(); ++i) {
+      EXPECT_EQ(remote->scores[i].db_name, (*local)[i].db_name) << ranker;
+      // fixed64 on the wire: scores survive bit-exactly.
+      EXPECT_EQ(remote->scores[i].score, (*local)[i].score) << ranker;
+    }
+  }
+
+  auto info = selector.BrokerStatus();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->databases, kNumDbs);
+  EXPECT_GE(info->selects_total, KnownRankerNames().size());
+}
+
+TEST_F(BrokerServerTest, SelectErrorsCrossTheWireIntact) {
+  auto service = MakeRefreshedService();
+  SelectionBroker broker(&service->registry());
+  BrokerServer server(&broker, {});
+  ASSERT_TRUE(server.Start().ok());
+  RemoteSelector selector(ClientOptionsFor(server));
+
+  auto unknown = selector.Select("anything", "pagerank");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_TRUE(unknown.status().IsInvalidArgument());
+  // The valid set survives serialization — remote operators get the
+  // same actionable message local callers do.
+  EXPECT_NE(unknown.status().message().find("cori, bgloss, vgloss, kl"),
+            std::string::npos)
+      << unknown.status().message();
+}
+
+// The acceptance scenario: remote Selects racing an active sequence of
+// refresh publications. Every answer must carry a published epoch and
+// match a from-scratch ranking against that exact snapshot.
+TEST_F(BrokerServerTest, ConcurrentSelectsDuringRefreshMatchEverySnapshot) {
+  auto service = MakeRefreshedService();
+  SelectionBroker broker(&service->registry());
+  BrokerServer server(&broker, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  // This thread is the only publisher, so capturing the snapshot after
+  // each publish records every epoch the run can ever serve.
+  std::map<uint64_t, std::shared_ptr<const SelectionSnapshot>> snapshots;
+  auto capture = [&] {
+    auto snapshot = service->registry().Snapshot();
+    snapshots[snapshot->epoch()] = snapshot;
+  };
+  capture();  // epoch 1, from MakeRefreshedService's RefreshAll
+
+  struct RemoteAnswer {
+    std::string query;
+    std::string ranker;
+    uint64_t epoch;
+    std::vector<DatabaseScore> scores;
+  };
+  const std::vector<std::string> queries = {
+      (*seed_terms_)[0] + " " + (*seed_terms_)[3],
+      (*seed_terms_)[1],
+      (*seed_terms_)[2] + " " + (*seed_terms_)[5] + " " + (*seed_terms_)[4],
+  };
+
+  constexpr size_t kClients = 4;
+  constexpr size_t kSelectsPerClient = 24;
+  std::vector<std::vector<RemoteAnswer>> answers(kClients);
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      RemoteSelector selector(ClientOptionsFor(server));
+      for (size_t i = 0; i < kSelectsPerClient; ++i) {
+        const std::string& query = queries[(c + i) % queries.size()];
+        const std::string& ranker =
+            KnownRankerNames()[(c + i) % KnownRankerNames().size()];
+        auto result = selector.Select(query, ranker);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        answers[c].push_back(
+            {query, ranker, result->epoch, std::move(result->scores)});
+      }
+    });
+  }
+
+  // Re-sample each database while the clients hammer Select; each
+  // Refresh publishes a new epoch the clients may land on.
+  for (auto& engine : *engines_) {
+    ASSERT_TRUE(service->Refresh((*engine).name()).ok());
+    capture();
+  }
+  for (std::thread& t : clients) t.join();
+
+  const Analyzer analyzer = Analyzer::InqueryLike();
+  size_t distinct_epochs_served = 0;
+  {
+    std::vector<bool> seen(snapshots.size() + 2, false);
+    for (const auto& per_client : answers) {
+      for (const RemoteAnswer& answer : per_client) {
+        auto it = snapshots.find(answer.epoch);
+        ASSERT_NE(it, snapshots.end())
+            << "answer reports unpublished epoch " << answer.epoch;
+        const SelectionSnapshot& snapshot = *it->second;
+        std::vector<DatabaseScore> expected =
+            snapshot.ranker(answer.ranker)->Rank(analyzer.Analyze(answer.query));
+        ASSERT_EQ(answer.scores.size(), expected.size());
+        for (size_t i = 0; i < expected.size(); ++i) {
+          EXPECT_EQ(answer.scores[i].db_name, expected[i].db_name)
+              << "epoch " << answer.epoch << " ranker " << answer.ranker;
+          EXPECT_EQ(answer.scores[i].score, expected[i].score)
+              << "epoch " << answer.epoch << " ranker " << answer.ranker;
+        }
+        if (!seen[answer.epoch]) {
+          seen[answer.epoch] = true;
+          ++distinct_epochs_served;
+        }
+      }
+    }
+  }
+  // Sanity: the run actually exercised publication (epoch 1 at minimum;
+  // usually several).
+  EXPECT_GE(distinct_epochs_served, 1u);
+  EXPECT_EQ(service->registry().Snapshot()->epoch(), 1u + kNumDbs);
+}
+
+TEST_F(BrokerServerTest, V2PeerNegotiatesDownAndControlMethodsWork) {
+  auto service = MakeRefreshedService();
+  SelectionBroker broker(&service->registry());
+  BrokerServer server(&broker, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  // A batching-era (v2) TextDatabase client dialing a broker: version
+  // negotiation lands on 2 and control methods work; data methods fail
+  // with a self-describing error, not a dropped connection.
+  RemoteDatabaseOptions options;
+  options.port = server.port();
+  options.max_protocol_version = 2;
+  RemoteTextDatabase v2_peer(options);
+  ASSERT_TRUE(v2_peer.Connect().ok());
+  EXPECT_EQ(v2_peer.negotiated_version(), 2u);
+  EXPECT_EQ(v2_peer.name(), "qbs-broker");
+
+  auto hits = v2_peer.RunQuery("anything", 3);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_TRUE(hits.status().IsUnimplemented());
+  // The connection survives the error: the next call still works.
+  EXPECT_EQ(v2_peer.name(), "qbs-broker");
+}
+
+TEST_F(BrokerServerTest, RemoteSelectorAgainstADbServerFailsAttributably) {
+  SearchEngine* engine = (*engines_)[0].get();
+
+  // Current-version DbServer: the version gate admits the Select frame,
+  // and the server answers Unimplemented (it fronts a database).
+  DbServer current(engine, {});
+  ASSERT_TRUE(current.Start().ok());
+  WireClientOptions options;
+  options.port = current.port();
+  RemoteSelector selector(options);
+  auto result = selector.Select("anything", "cori");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnimplemented()) << result.status().ToString();
+
+  // v2-pinned DbServer: negotiation lands below v3 and the client
+  // refuses to send the frame at all, naming the version mismatch.
+  DbServerOptions old_options;
+  old_options.max_protocol_version = 2;
+  DbServer old_server(engine, old_options);
+  ASSERT_TRUE(old_server.Start().ok());
+  WireClientOptions old_client_options;
+  old_client_options.port = old_server.port();
+  RemoteSelector old_selector(old_client_options);
+  auto old_result = old_selector.Select("anything", "cori");
+  ASSERT_FALSE(old_result.ok());
+  EXPECT_TRUE(old_result.status().IsFailedPrecondition())
+      << old_result.status().ToString();
+  EXPECT_EQ(old_selector.negotiated_version(), 2u);
+}
+
+TEST_F(BrokerServerTest, OverloadShedsWithUnavailableWithoutStallingOthers) {
+  auto service = MakeRefreshedService();
+  SelectionBroker broker(&service->registry());
+
+  // One Select slot, zero queue budget, and a hook that parks the first
+  // admitted Select until released — a deterministic saturation.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+  bool first = true;
+  BrokerServerOptions server_options;
+  server_options.admission.max_inflight = 1;
+  server_options.admission.queue_timeout_us = 0;
+  server_options.select_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    if (!first) return;
+    first = false;
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  BrokerServer server(&broker, server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // kUnavailable is transient, so the default client would retry into
+  // the very overload this test creates; pin every client to one shot.
+  WireClientOptions one_shot = ClientOptionsFor(server);
+  one_shot.max_attempts = 1;
+
+  std::thread parked([&] {
+    RemoteSelector selector(one_shot);
+    auto result = selector.Select((*seed_terms_)[0], "cori");
+    // Released below; the parked request must complete successfully.
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+
+  // The slot is held: a second Select is shed with kUnavailable...
+  RemoteSelector shed_client(one_shot);
+  auto shed = shed_client.Select((*seed_terms_)[1], "cori");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsUnavailable()) << shed.status().ToString();
+
+  // ...while control RPCs on other connections are served, not stalled.
+  auto info = shed_client.BrokerStatus();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_GE(info->shed_total, 1u);
+  EXPECT_EQ(server.shed(), info->shed_total);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  parked.join();
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,287 @@
+// Unit tests for the selection broker subsystem: registry snapshots,
+// the sharded LRU result cache, the SelectionBroker read path, and
+// admission control. The loopback (socket) half lives in
+// broker_server_test.cc under the `net` label.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker_server.h"
+#include "broker/model_registry.h"
+#include "broker/result_cache.h"
+#include "broker/selection_broker.h"
+#include "selection/db_selection.h"
+#include "text/analyzer.h"
+
+namespace qbs {
+namespace {
+
+// Three databases with clear topical identities (mirrors selection_test).
+DatabaseCollection ToyCollection() {
+  DatabaseCollection dbs;
+
+  LanguageModel cooking;
+  cooking.AddTerm("recipe", 80, 200);
+  cooking.AddTerm("flour", 60, 120);
+  cooking.AddTerm("oven", 50, 90);
+  cooking.AddTerm("court", 1, 1);
+  cooking.set_num_docs(100);
+
+  LanguageModel law;
+  law.AddTerm("court", 90, 300);
+  law.AddTerm("appeal", 70, 150);
+  law.AddTerm("ruling", 65, 130);
+  law.AddTerm("recipe", 1, 1);
+  law.set_num_docs(120);
+
+  LanguageModel sports;
+  sports.AddTerm("match", 85, 250);
+  sports.AddTerm("court", 40, 60);  // tennis courts
+  sports.AddTerm("score", 75, 140);
+  sports.set_num_docs(110);
+
+  dbs.Add("cooking", std::move(cooking));
+  dbs.Add("law", std::move(law));
+  dbs.Add("sports", std::move(sports));
+  return dbs;
+}
+
+TEST(KnownRankersTest, NamesMatchTheFactory) {
+  DatabaseCollection dbs = ToyCollection();
+  ASSERT_EQ(KnownRankerNames().size(), 4u);
+  for (const std::string& name : KnownRankerNames()) {
+    EXPECT_NE(MakeRanker(name, &dbs), nullptr) << name;
+  }
+  EXPECT_EQ(KnownRankerList(), "cori, bgloss, vgloss, kl");
+}
+
+TEST(ModelRegistryTest, StartsWithTheEmptyEpochZeroSnapshot) {
+  ModelRegistry registry;
+  auto snapshot = registry.Snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->epoch(), 0u);
+  EXPECT_EQ(snapshot->collection().size(), 0u);
+  // Even the empty snapshot carries every ranker: unknown-ranker errors
+  // must not depend on whether anything was published yet.
+  for (const std::string& name : KnownRankerNames()) {
+    EXPECT_NE(snapshot->ranker(name), nullptr) << name;
+  }
+  EXPECT_EQ(snapshot->ranker("pagerank"), nullptr);
+}
+
+TEST(ModelRegistryTest, PublishReturnsMonotonicEpochs) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Publish(ToyCollection()), 1u);
+  EXPECT_EQ(registry.Publish(ToyCollection()), 2u);
+  EXPECT_EQ(registry.Publish(DatabaseCollection{}), 3u);
+  EXPECT_EQ(registry.Snapshot()->epoch(), 3u);
+}
+
+TEST(ModelRegistryTest, HeldSnapshotSurvivesLaterPublishesUnchanged) {
+  ModelRegistry registry;
+  registry.Publish(ToyCollection());
+  auto pinned = registry.Snapshot();
+  ASSERT_EQ(pinned->epoch(), 1u);
+  ASSERT_EQ(pinned->collection().size(), 3u);
+
+  // Publish an empty generation; the pinned snapshot must not notice.
+  registry.Publish(DatabaseCollection{});
+  EXPECT_EQ(registry.Snapshot()->epoch(), 2u);
+  EXPECT_EQ(registry.Snapshot()->collection().size(), 0u);
+  EXPECT_EQ(pinned->epoch(), 1u);
+  EXPECT_EQ(pinned->collection().size(), 3u);
+  EXPECT_EQ(pinned->ranker("cori")->Rank({"court"}).size(), 3u);
+}
+
+TEST(ResultCacheTest, HitAfterPutMissBefore) {
+  ResultCache cache;
+  auto ranking = std::make_shared<const std::vector<DatabaseScore>>(
+      std::vector<DatabaseScore>{{"law", 0.9}});
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  cache.Put("k", ranking);
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit, ranking);
+  ResultCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedWithinAShard) {
+  // One shard of capacity 2 makes LRU order fully observable.
+  ResultCache cache({.num_shards = 1, .capacity_per_shard = 2});
+  auto ranking = std::make_shared<const std::vector<DatabaseScore>>();
+  cache.Put("a", ranking);
+  cache.Put("b", ranking);
+  ASSERT_NE(cache.Get("a"), nullptr);  // promotes "a"; "b" is now LRU
+  cache.Put("c", ranking);             // evicts "b"
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCacheTest, PutRefreshesAnExistingKeyWithoutEviction) {
+  ResultCache cache({.num_shards = 1, .capacity_per_shard = 2});
+  auto old_ranking = std::make_shared<const std::vector<DatabaseScore>>(
+      std::vector<DatabaseScore>{{"old", 1.0}});
+  auto new_ranking = std::make_shared<const std::vector<DatabaseScore>>(
+      std::vector<DatabaseScore>{{"new", 2.0}});
+  cache.Put("k", old_ranking);
+  cache.Put("k", new_ranking);
+  auto hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0].db_name, "new");
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ResultCacheTest, KeySeparatesEpochRankerAndTermBoundaries) {
+  // Same terms, different epoch or ranker → different keys; and term
+  // boundaries must not concatenate ambiguously.
+  EXPECT_NE(ResultCache::Key(1, "cori", {"court"}),
+            ResultCache::Key(2, "cori", {"court"}));
+  EXPECT_NE(ResultCache::Key(1, "cori", {"court"}),
+            ResultCache::Key(1, "kl", {"court"}));
+  EXPECT_NE(ResultCache::Key(1, "cori", {"ab", "c"}),
+            ResultCache::Key(1, "cori", {"a", "bc"}));
+  EXPECT_EQ(ResultCache::Key(1, "cori", {"a", "b"}),
+            ResultCache::Key(1, "cori", {"a", "b"}));
+}
+
+class SelectionBrokerTest : public ::testing::Test {
+ protected:
+  SelectionBrokerTest() : broker_(&registry_) {}
+
+  ModelRegistry registry_;
+  SelectionBroker broker_;
+};
+
+TEST_F(SelectionBrokerTest, SelectBeforeAnyPublishFails) {
+  auto result = broker_.Select("court appeal", "cori");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsFailedPrecondition());
+}
+
+TEST_F(SelectionBrokerTest, UnknownRankerNamesTheValidSet) {
+  registry_.Publish(ToyCollection());
+  auto result = broker_.Select("court", "pagerank");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_NE(result.status().message().find("pagerank"), std::string::npos);
+  for (const std::string& name : KnownRankerNames()) {
+    EXPECT_NE(result.status().message().find(name), std::string::npos)
+        << "error message does not list '" << name << "': "
+        << result.status().message();
+  }
+}
+
+TEST_F(SelectionBrokerTest, MatchesADirectlyConstructedRankerExactly) {
+  registry_.Publish(ToyCollection());
+  const std::string query = "court appeal ruling";
+  DatabaseCollection reference = registry_.Snapshot()->collection();
+  std::vector<std::string> terms = Analyzer::InqueryLike().Analyze(query);
+  for (const std::string& name : KnownRankerNames()) {
+    auto ranker = MakeRanker(name, &reference);
+    std::vector<DatabaseScore> expected = ranker->Rank(terms);
+    auto got = broker_.Select(query, name);
+    ASSERT_TRUE(got.ok()) << name << ": " << got.status().ToString();
+    EXPECT_EQ(got->epoch, 1u);
+    ASSERT_EQ(got->scores.size(), expected.size()) << name;
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got->scores[i].db_name, expected[i].db_name) << name;
+      EXPECT_EQ(got->scores[i].score, expected[i].score) << name;  // bitwise
+    }
+  }
+}
+
+TEST_F(SelectionBrokerTest, TopKTrimsTheRanking) {
+  registry_.Publish(ToyCollection());
+  auto all = broker_.Select("court", "cori");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->scores.size(), 3u);
+  auto top1 = broker_.Select("court", "cori", 1);
+  ASSERT_TRUE(top1.ok());
+  ASSERT_EQ(top1->scores.size(), 1u);
+  EXPECT_EQ(top1->scores[0].db_name, all->scores[0].db_name);
+  // top_k larger than the federation returns everything.
+  auto top9 = broker_.Select("court", "cori", 9);
+  ASSERT_TRUE(top9.ok());
+  EXPECT_EQ(top9->scores.size(), 3u);
+}
+
+TEST_F(SelectionBrokerTest, RepeatQueryHitsTheCacheWithIdenticalResult) {
+  registry_.Publish(ToyCollection());
+  auto first = broker_.Select("court appeal", "cori");
+  ASSERT_TRUE(first.ok());
+  BrokerStatusInfo before = broker_.BrokerStatus();
+  auto second = broker_.Select("court appeal", "cori");
+  ASSERT_TRUE(second.ok());
+  BrokerStatusInfo after = broker_.BrokerStatus();
+  EXPECT_EQ(after.cache_hits, before.cache_hits + 1);
+  EXPECT_EQ(after.cache_misses, before.cache_misses);
+  ASSERT_EQ(second->scores.size(), first->scores.size());
+  for (size_t i = 0; i < first->scores.size(); ++i) {
+    EXPECT_EQ(second->scores[i].db_name, first->scores[i].db_name);
+    EXPECT_EQ(second->scores[i].score, first->scores[i].score);
+  }
+}
+
+TEST_F(SelectionBrokerTest, NewEpochMissesTheCacheAndReportsItsEpoch) {
+  registry_.Publish(ToyCollection());
+  ASSERT_TRUE(broker_.Select("court", "cori").ok());
+  registry_.Publish(ToyCollection());
+  BrokerStatusInfo before = broker_.BrokerStatus();
+  auto result = broker_.Select("court", "cori");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->epoch, 2u);
+  // Keys embed the epoch, so the same query misses after a publish.
+  EXPECT_EQ(broker_.BrokerStatus().cache_misses, before.cache_misses + 1);
+}
+
+TEST_F(SelectionBrokerTest, BrokerStatusReportsServingState) {
+  registry_.Publish(ToyCollection());
+  ASSERT_TRUE(broker_.Select("court", "cori").ok());
+  ASSERT_TRUE(broker_.Select("court", "cori").ok());
+  BrokerStatusInfo info = broker_.BrokerStatus();
+  EXPECT_EQ(info.epoch, 1u);
+  EXPECT_EQ(info.databases, 3u);
+  EXPECT_EQ(info.selects_total, 2u);
+  EXPECT_EQ(info.cache_hits, 1u);
+  EXPECT_EQ(info.cache_misses, 1u);
+  EXPECT_EQ(info.shed_total, 0u);  // admission control lives in the server
+}
+
+TEST_F(SelectionBrokerTest, FailedSelectsAreNotCountedAsServed) {
+  registry_.Publish(ToyCollection());
+  ASSERT_FALSE(broker_.Select("court", "pagerank").ok());
+  EXPECT_EQ(broker_.BrokerStatus().selects_total, 0u);
+}
+
+TEST(AdmissionControllerTest, BoundsInflightAndCountsShed) {
+  AdmissionController admission({.max_inflight = 2, .queue_timeout_us = 0});
+  ASSERT_TRUE(admission.Admit());
+  ASSERT_TRUE(admission.Admit());
+  EXPECT_EQ(admission.inflight(), 2u);
+  // Full, zero queue budget: shed immediately.
+  EXPECT_FALSE(admission.Admit());
+  EXPECT_EQ(admission.shed(), 1u);
+  admission.Release();
+  EXPECT_TRUE(admission.Admit());
+  admission.Release();
+  admission.Release();
+  EXPECT_EQ(admission.inflight(), 0u);
+}
+
+TEST(AdmissionControllerTest, ZeroMaxInflightMeansUnbounded) {
+  AdmissionController admission({.max_inflight = 0, .queue_timeout_us = 0});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(admission.Admit());
+  }
+  EXPECT_EQ(admission.shed(), 0u);
+}
+
+}  // namespace
+}  // namespace qbs

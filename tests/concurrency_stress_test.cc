@@ -14,11 +14,14 @@
 #include <thread>
 #include <vector>
 
+#include "broker/model_registry.h"
+#include "broker/selection_broker.h"
 #include "corpus/synthetic.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sampling/cost_meter.h"
 #include "search/text_database.h"
+#include "selection/db_selection.h"
 #include "service/sampling_service.h"
 #include "util/thread_pool.h"
 
@@ -370,6 +373,67 @@ TEST(ServiceStress, RefreshAllOverSharedFederation) {
   }
   for (auto& t : selectors) t.join();
   EXPECT_EQ(ok_selects.load(), static_cast<int>(kThreads));
+}
+
+// --- Selection broker ----------------------------------------------------
+
+TEST(BrokerStress, SelectsRaceSnapshotPublication) {
+  // The tentpole race: >= 8 threads hammering SelectionBroker::Select
+  // (lock-free snapshot reads + the sharded result cache) while a
+  // publisher thread swaps in new snapshots the whole time. TSan is the
+  // real checker; the inline assertions pin the snapshot contract — a
+  // reader never sees a half-published generation, and the epochs one
+  // thread observes never move backwards.
+  auto make_collection = [](size_t generation) {
+    DatabaseCollection dbs;
+    for (size_t i = 0; i < 3; ++i) {
+      LanguageModel model;
+      model.AddTerm("alpha", 10 + generation, 30 + generation);
+      model.AddTerm("beta" + std::to_string(i), 5 + i, 9 + i);
+      model.set_num_docs(50 + 10 * i);
+      dbs.Add("db-" + std::to_string(i), std::move(model));
+    }
+    return dbs;
+  };
+
+  ModelRegistry registry;
+  registry.Publish(make_collection(0));  // readers never see epoch 0
+  SelectionBroker broker(&registry);
+
+  constexpr int kPublishes = 200;
+  constexpr int kSelectsPerThread = 400;
+  std::atomic<bool> publisher_done{false};
+  std::thread publisher([&] {
+    for (int g = 1; g <= kPublishes; ++g) {
+      registry.Publish(make_collection(static_cast<size_t>(g)));
+    }
+    publisher_done.store(true, std::memory_order_relaxed);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<uint64_t> ok_selects{0};
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      const std::string ranker =
+          KnownRankerNames()[t % KnownRankerNames().size()];
+      uint64_t last_epoch = 0;
+      for (int i = 0; i < kSelectsPerThread; ++i) {
+        auto result = broker.Select("alpha beta1", ranker);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        // Complete-or-absent: every published generation has all 3
+        // databases, so a partial view would show up as a short ranking.
+        ASSERT_EQ(result->scores.size(), 3u);
+        ASSERT_GE(result->epoch, last_epoch);
+        last_epoch = result->epoch;
+        ok_selects.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : readers) t.join();
+  publisher.join();
+  ASSERT_TRUE(publisher_done.load());
+  EXPECT_EQ(ok_selects.load(), kThreads * uint64_t{kSelectsPerThread});
+  EXPECT_EQ(registry.Snapshot()->epoch(), 1u + kPublishes);
 }
 
 }  // namespace

@@ -285,6 +285,8 @@ TEST(WireMethodTest, NamesAreStable) {
   EXPECT_STREQ(WireMethodName(WireMethod::kFetchDocument), "fetch_document");
   EXPECT_STREQ(WireMethodName(WireMethod::kQueryAndFetch), "query_and_fetch");
   EXPECT_STREQ(WireMethodName(WireMethod::kFetchBatch), "fetch_batch");
+  EXPECT_STREQ(WireMethodName(WireMethod::kSelect), "select");
+  EXPECT_STREQ(WireMethodName(WireMethod::kBrokerStatus), "broker_status");
 }
 
 TEST(WireMethodTest, MinVersionsMatchTheProtocolHistory) {
@@ -294,6 +296,8 @@ TEST(WireMethodTest, MinVersionsMatchTheProtocolHistory) {
   EXPECT_EQ(MinVersionForMethod(WireMethod::kFetchDocument), 1u);
   EXPECT_EQ(MinVersionForMethod(WireMethod::kQueryAndFetch), 2u);
   EXPECT_EQ(MinVersionForMethod(WireMethod::kFetchBatch), 2u);
+  EXPECT_EQ(MinVersionForMethod(WireMethod::kSelect), 3u);
+  EXPECT_EQ(MinVersionForMethod(WireMethod::kBrokerStatus), 3u);
 }
 
 // --- v2 batch frames ------------------------------------------------------
@@ -414,6 +418,121 @@ TEST(WireBatchTest, LyingDocumentCountRejectedWithoutHugeAllocation) {
   EXPECT_TRUE(decoded.status().IsCorruption());
 }
 
+// --- v3 broker frames -----------------------------------------------------
+
+TEST(WireSelectTest, SelectRequestRoundTrips) {
+  WireRequest request;
+  request.protocol_version = MinVersionForMethod(WireMethod::kSelect);
+  request.request_id = 21;
+  request.method = WireMethod::kSelect;
+  request.query = "medical imaging \xc3\xbc";  // non-ASCII survives
+  request.ranker = "vgloss";
+  request.max_results = 5;  // top-k
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->protocol_version, 3u);
+  EXPECT_EQ(decoded->method, WireMethod::kSelect);
+  EXPECT_EQ(decoded->query, request.query);
+  EXPECT_EQ(decoded->ranker, "vgloss");
+  EXPECT_EQ(decoded->max_results, 5u);
+}
+
+TEST(WireSelectTest, SelectResponseRoundTripsBitExactScores) {
+  WireResponse response;
+  response.protocol_version = 3;
+  response.request_id = 22;
+  response.method = WireMethod::kSelect;
+  response.epoch = 17;
+  response.scores = {{"wsj88", 0.4375}, {"cacm", -0.0}, {"kb", 1e-308}};
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->epoch, 17u);
+  ASSERT_EQ(decoded->scores.size(), 3u);
+  EXPECT_EQ(decoded->scores[0].db_name, "wsj88");
+  EXPECT_EQ(decoded->scores[0].score, 0.4375);
+  EXPECT_TRUE(std::signbit(decoded->scores[1].score));  // -0.0 preserved
+  EXPECT_EQ(decoded->scores[2].score, 1e-308);
+}
+
+TEST(WireSelectTest, BrokerStatusResponseRoundTrips) {
+  WireResponse response;
+  response.protocol_version = 3;
+  response.method = WireMethod::kBrokerStatus;
+  response.broker.epoch = 3;
+  response.broker.databases = 4;
+  response.broker.selects_total = 1000;
+  response.broker.shed_total = 7;
+  response.broker.cache_hits = 800;
+  response.broker.cache_misses = 200;
+  response.broker.cache_evictions = 50;
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->broker.epoch, 3u);
+  EXPECT_EQ(decoded->broker.databases, 4u);
+  EXPECT_EQ(decoded->broker.selects_total, 1000u);
+  EXPECT_EQ(decoded->broker.shed_total, 7u);
+  EXPECT_EQ(decoded->broker.cache_hits, 800u);
+  EXPECT_EQ(decoded->broker.cache_misses, 200u);
+  EXPECT_EQ(decoded->broker.cache_evictions, 50u);
+}
+
+TEST(WireSelectTest, EveryRequestTruncationPrefixIsRejectedNotCrashed) {
+  WireRequest request;
+  request.protocol_version = 3;
+  request.method = WireMethod::kSelect;
+  request.query = "digital libraries";
+  request.ranker = "cori";
+  request.max_results = 2;
+  std::vector<uint8_t> payload = EncodeRequest(request);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<uint8_t> prefix(payload.begin(),
+                                payload.begin() + static_cast<ptrdiff_t>(cut));
+    auto decoded = DecodeRequest(prefix);
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
+
+TEST(WireSelectTest, EveryResponseTruncationPrefixIsRejectedNotCrashed) {
+  WireResponse select_response;
+  select_response.protocol_version = 3;
+  select_response.method = WireMethod::kSelect;
+  select_response.epoch = 9;
+  select_response.scores = {{"a", 0.5}, {"b", 0.25}};
+  WireResponse status_response;
+  status_response.protocol_version = 3;
+  status_response.method = WireMethod::kBrokerStatus;
+  status_response.broker.epoch = 2;
+  status_response.broker.selects_total = 12345;
+  for (const WireResponse& response : {select_response, status_response}) {
+    std::vector<uint8_t> payload = EncodeResponse(response);
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      std::vector<uint8_t> prefix(
+          payload.begin(), payload.begin() + static_cast<ptrdiff_t>(cut));
+      EXPECT_FALSE(DecodeResponse(prefix).ok())
+          << WireMethodName(response.method) << " prefix of " << cut
+          << " bytes decoded";
+    }
+  }
+}
+
+TEST(WireSelectTest, LyingScoreCountRejectedWithoutHugeAllocation) {
+  WireResponse response;
+  response.protocol_version = 3;
+  response.method = WireMethod::kSelect;
+  response.epoch = 1;
+  std::vector<uint8_t> payload = EncodeResponse(response);
+  // The encoded score count (0, one varint byte) is the final byte;
+  // splice in a gigantic count instead.
+  payload.pop_back();
+  for (uint8_t byte : {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01}) {
+    payload.push_back(byte);
+  }
+  auto decoded = DecodeResponse(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
 // --- cross-version compatibility -----------------------------------------
 //
 // Real client against real server over loopback, with one side pinned to
@@ -505,7 +624,22 @@ TEST(WireCompatibilityTest, OldClientAgainstNewServerNegotiatesV1) {
   EXPECT_EQ(*text, "first tiny document");
 }
 
-TEST(WireCompatibilityTest, NewPairNegotiatesV2AndBatches) {
+TEST(WireCompatibilityTest, V3ClientAgainstV2ServerStepsDownOnce) {
+  // A broker-aware client dialing a batching-era (v2) server must land on
+  // exactly 2 — stepping down one version at a time, not crashing to 1 —
+  // so batch RPCs keep working across the mixed-version window.
+  VersionedPair pair;
+  ASSERT_TRUE(pair.Start(/*server_max=*/2, kWireProtocolVersion).ok());
+  EXPECT_EQ(pair.client->negotiated_version(), 2u);
+  const uint64_t before = pair.client->rpcs();
+  auto round = pair.client->QueryAndFetch("anything", 3);
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  ASSERT_EQ(round->documents.size(), 3u);
+  // Still one batched RPC, not a single-shot fallback.
+  EXPECT_EQ(pair.client->rpcs() - before, 1u);
+}
+
+TEST(WireCompatibilityTest, NewPairNegotiatesCurrentVersionAndBatches) {
   VersionedPair pair;
   ASSERT_TRUE(pair.Start(kWireProtocolVersion, kWireProtocolVersion).ok());
   EXPECT_EQ(pair.client->negotiated_version(), kWireProtocolVersion);

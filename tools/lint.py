@@ -9,9 +9,12 @@ Enforces the structural invariants clang-tidy cannot express:
   cout     no naked std::cout in library or test code (src/, tests/);
            stdout belongs to tools/, examples/ and bench/ binaries only
   cmake    every .cc under src/ is listed in its directory's
-           CMakeLists.txt, and every .cc under tests/ or bench/ in that
+           CMakeLists.txt, every .cc under tests/ or bench/ in that
            tree's top-level CMakeLists.txt (an unlisted file silently
-           never builds)
+           never builds), and every src/ subdirectory with its own
+           CMakeLists.txt is add_subdirectory()'d from
+           src/CMakeLists.txt (an unwired directory's targets silently
+           never exist)
   log      no QBS_LOG in headers under src/ — headers are included into
            hot paths and must not force the logging machinery (and its
            ostringstream) on every includer
@@ -128,6 +131,27 @@ def check_cmake_lists(root):
                         (rel(root, os.path.join(dirpath, name)), 1,
                          f"not listed in {rel(root, cmake_path)}; "
                          f"the file never builds"))
+    # Every immediate src/ child with its own CMakeLists.txt must be
+    # add_subdirectory()'d from src/CMakeLists.txt, or its targets are
+    # silently never configured. Skipped when src/ itself has no
+    # CMakeLists.txt (flat layouts wire subdirectories elsewhere).
+    src_cmake = os.path.join(src, "CMakeLists.txt")
+    if os.path.isdir(src) and os.path.isfile(src_cmake):
+        with open(src_cmake, encoding="utf-8", errors="replace") as f:
+            src_cmake_text = f.read()
+        for name in sorted(os.listdir(src)):
+            child = os.path.join(src, name)
+            if name.startswith(".") or not os.path.isdir(child):
+                continue
+            if not os.path.isfile(os.path.join(child, "CMakeLists.txt")):
+                continue
+            if not re.search(
+                    r"add_subdirectory\s*\(\s*" + re.escape(name) + r"\s*\)",
+                    src_cmake_text):
+                violations.append(
+                    (rel(root, child), 1,
+                     "has a CMakeLists.txt but src/CMakeLists.txt never "
+                     "add_subdirectory()s it; its targets never exist"))
     # tests/ and bench/ register every binary in one top-level
     # CMakeLists.txt; subdirectory sources are referenced by relative
     # path, so matching on the basename covers both layouts.
@@ -254,6 +278,8 @@ def seed_tree(root):
         f.write('#include "util/clean.h"\n')
     with open(os.path.join(util, "CMakeLists.txt"), "w") as f:
         f.write("add_library(qbs_util clean.cc)\n")
+    with open(os.path.join(root, "src", "CMakeLists.txt"), "w") as f:
+        f.write("add_subdirectory(util)\n")
     tests = os.path.join(root, "tests")
     os.makedirs(tests)
     with open(os.path.join(tests, "clean_test.cc"), "w") as f:
@@ -282,7 +308,10 @@ def self_test():
                  ("tests/chatty_test.cc",
                   '#include <iostream>\nvoid F() { std::cout << 1; }\n')],
         "cmake": [("src/util/orphan.cc", "// never listed\n"),
-                  ("tests/orphan_test.cc", "// never listed\n")],
+                  ("tests/orphan_test.cc", "// never listed\n"),
+                  # A src/ subdirectory src/CMakeLists.txt never wires in.
+                  ("src/orphanmod/CMakeLists.txt",
+                   "add_library(qbs_orphanmod orphanmod.cc)\n")],
         "log": [("src/util/hot.h",
                  "#ifndef QBS_UTIL_HOT_H_\n#define QBS_UTIL_HOT_H_\n"
                  'inline void F() { QBS_LOG(INFO) << "x"; }\n#endif\n')],
@@ -292,6 +321,7 @@ def self_test():
             with tempfile.TemporaryDirectory() as tmp:
                 seed_tree(tmp)
                 full = os.path.join(tmp, path)
+                os.makedirs(os.path.dirname(full), exist_ok=True)
                 with open(full, "w") as f:
                     f.write(content)
                 expect(run_lint(tmp, checks=[check]) == 1,

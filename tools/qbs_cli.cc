@@ -8,6 +8,7 @@
 //   qbs compare   --learned FILE --actual FILE
 //   qbs select    --query "..." --model NAME=FILE [--model NAME=FILE ...]
 //                 [--ranker cori|bgloss|vgloss|kl]
+//   qbs select    --query "..." --remote HOST:PORT [--ranker NAME] [--top N]
 //   qbs estimate  (--synthetic PRESET | --trec FILE) [--capture N]
 //   qbs service   --synthetic PRESET [--synthetic PRESET ...]
 //                 [--trec FILE ...] [--remote HOST:PORT ...]
@@ -15,6 +16,9 @@
 //                 [--query "..."] [--ranker NAME]
 //   qbs serve-db  (--synthetic PRESET | --trec FILE)
 //                 [--host ADDR] [--port N] [--threads N]
+//   qbs serve-broker (--synthetic PRESET | --trec FILE | --remote HOST:PORT)...
+//                 [--docs N] [--host ADDR] [--port N] [--threads N]
+//                 [--max-inflight N]
 //
 // Observability (any command):
 //   --metrics_out FILE   Prometheus text dump of all metrics on exit
@@ -29,6 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "broker/broker_server.h"
+#include "broker/remote_selector.h"
+#include "broker/selection_broker.h"
 #include "corpus/corpus_stats.h"
 #include "corpus/synthetic.h"
 #include "corpus/trec_parser.h"
@@ -60,6 +67,8 @@ int Usage() {
   qbs compare   --learned FILE --actual FILE
   qbs select    --query "..." --model NAME=FILE [--model NAME=FILE ...]
                 [--ranker cori|bgloss|vgloss|kl]
+  qbs select    --query "..." --remote HOST:PORT [--ranker NAME] [--top N]
+                 ask a running broker (serve-broker) to rank its databases
   qbs estimate  (--synthetic PRESET | --trec FILE) [--capture N]
                  capture-recapture database size estimate
   qbs service   (--synthetic PRESET | --trec FILE | --remote HOST:PORT)...
@@ -70,6 +79,11 @@ int Usage() {
                 [--host ADDR] [--port N] [--threads N]
                  expose one database on a TCP port (port 0 = ephemeral);
                  prints the bound address, serves until stdin closes
+  qbs serve-broker (--synthetic PRESET | --trec FILE | --remote HOST:PORT)...
+                [--docs N] [--host ADDR] [--port N] [--threads N]
+                [--max-inflight N]
+                 sample the federation, then serve Select RPCs (wire v3)
+                 from lock-free model snapshots until stdin closes
 
 observability flags, valid with every command:
   --metrics_out FILE  write a Prometheus-style metrics dump on exit
@@ -398,9 +412,66 @@ int CmdCompare(const std::multimap<std::string, std::string>& flags) {
   return 0;
 }
 
+// Parses "host:port" (host may be a name or numeric IPv4).
+Result<RemoteDatabaseOptions> ParseRemoteAddress(const std::string& spec) {
+  size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    return Status::InvalidArgument("--remote expects HOST:PORT, got '" +
+                                   spec + "'");
+  }
+  unsigned long port = 0;
+  try {
+    port = std::stoul(spec.substr(colon + 1));
+  } catch (...) {
+    port = 0;
+  }
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("bad port in --remote '" + spec + "'");
+  }
+  RemoteDatabaseOptions opts;
+  opts.host = spec.substr(0, colon);
+  opts.port = static_cast<uint16_t>(port);
+  return opts;
+}
+
+// `select --remote`: the query goes to a serve-broker process; analysis,
+// caching, and ranking all happen server-side against its snapshot.
+int CmdSelectRemote(const std::multimap<std::string, std::string>& flags,
+                    const std::string& query, const std::string& spec) {
+  auto remote_opts = ParseRemoteAddress(spec);
+  if (!remote_opts.ok()) {
+    std::fprintf(stderr, "%s\n", remote_opts.status().ToString().c_str());
+    return 2;
+  }
+  RemoteSelector selector(static_cast<WireClientOptions>(*remote_opts));
+  Status status = selector.Connect();
+  if (!status.ok()) {
+    std::fprintf(stderr, "cannot reach broker at %s: %s\n", spec.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  auto selection =
+      selector.Select(query, FlagOr(flags, "ranker", "cori"),
+                      std::stoul(FlagOr(flags, "top", "0")));
+  if (!selection.ok()) {
+    std::fprintf(stderr, "%s\n", selection.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ranking from %s (epoch %llu):\n", selector.name().c_str(),
+              static_cast<unsigned long long>(selection->epoch));
+  for (size_t i = 0; i < selection->scores.size(); ++i) {
+    std::printf("%2zu. %-24s %12.6f\n", i + 1,
+                selection->scores[i].db_name.c_str(),
+                selection->scores[i].score);
+  }
+  return 0;
+}
+
 int CmdSelect(const std::multimap<std::string, std::string>& flags) {
   std::string query = FlagOr(flags, "query", "");
   if (query.empty()) return Usage();
+  std::string remote = FlagOr(flags, "remote", "");
+  if (!remote.empty()) return CmdSelectRemote(flags, query, remote);
   DatabaseCollection dbs;
   auto range = flags.equal_range("model");
   for (auto it = range.first; it != range.second; ++it) {
@@ -419,9 +490,12 @@ int CmdSelect(const std::multimap<std::string, std::string>& flags) {
   }
   if (dbs.size() == 0) return Usage();
 
-  auto ranker = MakeRanker(FlagOr(flags, "ranker", "cori"), &dbs);
+  std::string ranker_name = FlagOr(flags, "ranker", "cori");
+  auto ranker = MakeRanker(ranker_name, &dbs);
   if (ranker == nullptr) {
-    std::fprintf(stderr, "unknown ranker\n");
+    // Same valid set the broker's Select RPC reports (KnownRankerList).
+    std::fprintf(stderr, "unknown ranker '%s'; valid rankers: %s\n",
+                 ranker_name.c_str(), KnownRankerList().c_str());
     return 2;
   }
   // Query terms go through the raw pipeline (models are raw learned LMs).
@@ -453,28 +527,6 @@ Result<std::vector<std::unique_ptr<SearchEngine>>> BuildFederation(
     engines.push_back(std::move(engine));
   }
   return engines;
-}
-
-// Parses "host:port" (host may be a name or numeric IPv4).
-Result<RemoteDatabaseOptions> ParseRemoteAddress(const std::string& spec) {
-  size_t colon = spec.rfind(':');
-  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
-    return Status::InvalidArgument("--remote expects HOST:PORT, got '" +
-                                   spec + "'");
-  }
-  unsigned long port = 0;
-  try {
-    port = std::stoul(spec.substr(colon + 1));
-  } catch (...) {
-    port = 0;
-  }
-  if (port == 0 || port > 65535) {
-    return Status::InvalidArgument("bad port in --remote '" + spec + "'");
-  }
-  RemoteDatabaseOptions opts;
-  opts.host = spec.substr(0, colon);
-  opts.port = static_cast<uint16_t>(port);
-  return opts;
 }
 
 int CmdService(const std::multimap<std::string, std::string>& flags) {
@@ -581,6 +633,88 @@ int CmdServeDb(const std::multimap<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdServeBroker(const std::multimap<std::string, std::string>& flags) {
+  auto engines = BuildFederation(flags);
+  if (!engines.ok()) {
+    std::fprintf(stderr, "%s\n", engines.status().ToString().c_str());
+    return 1;
+  }
+
+  ServiceOptions opts;
+  opts.sampler.stopping.max_documents =
+      std::stoul(FlagOr(flags, "docs", "200"));
+  opts.sampler.docs_per_query =
+      std::stoul(FlagOr(flags, "docs-per-query", "4"));
+  opts.num_threads = std::stoul(FlagOr(flags, "threads", "4"));
+  opts.model_dir = FlagOr(flags, "model-dir", "");
+  SamplingService service(opts);
+  for (auto& engine : *engines) {
+    Status status = service.AddDatabase(engine.get());
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  auto remotes = flags.equal_range("remote");
+  for (auto it = remotes.first; it != remotes.second; ++it) {
+    auto remote_opts = ParseRemoteAddress(it->second);
+    if (!remote_opts.ok()) {
+      std::fprintf(stderr, "%s\n", remote_opts.status().ToString().c_str());
+      return 1;
+    }
+    auto remote = std::make_unique<RemoteTextDatabase>(*remote_opts);
+    Status status = remote->Connect();
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot reach remote database at %s: %s\n",
+                   it->second.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    status = service.AddDatabase(std::move(remote));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (service.size() == 0) {
+    std::fprintf(stderr,
+                 "serve-broker requires at least one --synthetic, --trec, or "
+                 "--remote database\n");
+    return 2;
+  }
+
+  // Learn the models up front; the broker serves from whatever snapshot
+  // the refresh published (a partial federation still serves).
+  Status refresh = service.RefreshAll();
+  std::fputs(service.StatusReport().c_str(), stderr);
+  if (!refresh.ok()) {
+    std::fprintf(stderr, "%s\n", refresh.ToString().c_str());
+  }
+
+  SelectionBroker broker(&service.registry());
+  BrokerServerOptions server_opts;
+  server_opts.host = FlagOr(flags, "host", "127.0.0.1");
+  server_opts.port =
+      static_cast<uint16_t>(std::stoul(FlagOr(flags, "port", "0")));
+  server_opts.num_workers = std::stoul(FlagOr(flags, "threads", "4"));
+  server_opts.admission.max_inflight =
+      std::stoul(FlagOr(flags, "max-inflight", "64"));
+  BrokerServer server(&broker, server_opts);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  // Scripts read this line to learn the ephemeral port.
+  std::printf("serving broker over %zu database(s) on %s\n", service.size(),
+              server.address().c_str());
+  std::fflush(stdout);
+
+  while (std::getchar() != EOF) {
+  }
+  server.Stop();
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   std::string cmd = argv[1];
@@ -605,6 +739,8 @@ int Main(int argc, char** argv) {
     rc = CmdService(flags);
   } else if (cmd == "serve-db") {
     rc = CmdServeDb(flags);
+  } else if (cmd == "serve-broker") {
+    rc = CmdServeBroker(flags);
   } else {
     return Usage();
   }
