@@ -4,9 +4,12 @@
 // QBS_TRACE_SPAN must cost single-digit nanoseconds.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "net/socket.h"
+#include "obs/admin_server.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -102,6 +105,63 @@ void BM_EnabledTraceSpan(benchmark::State& state) {
 }
 BENCHMARK(BM_EnabledTraceSpan);
 
+void BM_EnabledTraceSpanInContext(benchmark::State& state) {
+  // The propagated case: every span under a remote caller's sampled
+  // context captures trace ids and parent links. This is the per-span
+  // cost servers pay once a v4 client turns tracing on.
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.set_enabled(true);
+  TraceContext remote;
+  remote.trace_id_hi = 0x1234;
+  remote.trace_id_lo = 0x5678;
+  remote.parent_span_id = 0x9abc;
+  remote.sampled = true;
+  TraceContextScope scope(remote, /*request_id=*/42);
+  for (auto _ : state) {
+    QBS_TRACE_SPAN("bench.in_context");
+  }
+  recorder.set_enabled(false);
+  recorder.Clear();
+}
+BENCHMARK(BM_EnabledTraceSpanInContext);
+
+void BM_EnabledTraceSpanUnsampledContext(benchmark::State& state) {
+  // An unsampled ambient context silences spans even with the recorder
+  // on — the cost a server pays per span when an upstream opted out.
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.set_enabled(true);
+  TraceContext remote;
+  remote.trace_id_hi = 1;
+  remote.trace_id_lo = 2;
+  remote.sampled = false;
+  TraceContextScope scope(remote);
+  for (auto _ : state) {
+    QBS_TRACE_SPAN("bench.unsampled");
+  }
+  recorder.set_enabled(false);
+  recorder.Clear();
+}
+BENCHMARK(BM_EnabledTraceSpanUnsampledContext);
+
+void BM_TraceContextScopeInstall(benchmark::State& state) {
+  // The per-request server-side cost of installing and restoring the
+  // caller's context (FrameServer does this once per request).
+  TraceContext remote;
+  remote.trace_id_hi = 0xaaaa;
+  remote.trace_id_lo = 0xbbbb;
+  remote.parent_span_id = 0xcccc;
+  remote.sampled = true;
+  remote.deadline_budget_us = 500'000;
+  uint64_t request_id = 0;
+  for (auto _ : state) {
+    TraceContextScope scope(remote, ++request_id);
+    benchmark::DoNotOptimize(CurrentRequestId());
+  }
+}
+BENCHMARK(BM_TraceContextScopeInstall);
+
 void BM_ScopedTimer(benchmark::State& state) {
   MetricRegistry registry;
   Histogram* h =
@@ -130,6 +190,35 @@ void BM_PrometheusExport(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PrometheusExport);
+
+void BM_AdminMetricsScrape(benchmark::State& state) {
+  // A full /metrics scrape over loopback HTTP: dial, GET, read to EOF.
+  // This is what a Prometheus scraper costs the serving process per
+  // scrape interval — dominated by the export, not the socket.
+  AdminServer server({});
+  if (!server.Start().ok()) {
+    state.SkipWithError("admin server failed to start");
+    return;
+  }
+  const std::string request =
+      "GET /metrics HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n";
+  for (auto _ : state) {
+    auto stream = SocketStream::Dial("127.0.0.1", server.port(), 2'000'000);
+    if (!stream.ok()) {
+      state.SkipWithError("dial failed");
+      return;
+    }
+    (*stream)->WriteAll(reinterpret_cast<const uint8_t*>(request.data()),
+                        request.size());
+    std::string response;
+    uint8_t byte = 0;
+    while ((*stream)->ReadFull(&byte, 1).ok()) {
+      response.push_back(static_cast<char>(byte));
+    }
+    benchmark::DoNotOptimize(response.size());
+  }
+}
+BENCHMARK(BM_AdminMetricsScrape);
 
 }  // namespace
 }  // namespace qbs

@@ -18,6 +18,7 @@
 #   scripts/check.sh werror tsan     # a subset, in order
 #   QBS_CHECK_JOBS=8 scripts/check.sh
 #   QBS_CHECK_LABEL=net scripts/check.sh werror   # only ctest -L net
+#   QBS_CHECK_LABEL=obs scripts/check.sh werror   # tracing + admin suites
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,7 +27,7 @@ detect_jobs() {
   nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2
 }
 JOBS="${QBS_CHECK_JOBS:-$(detect_jobs)}"
-# Optional ctest label filter (unit | stress | net). Empty runs all.
+# Optional ctest label filter (unit | stress | net | obs). Empty runs all.
 LABEL="${QBS_CHECK_LABEL:-}"
 CTEST_ARGS=()
 if [ -n "$LABEL" ]; then

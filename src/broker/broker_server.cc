@@ -36,6 +36,8 @@ FrameServerOptions ToFrameOptions(const BrokerServerOptions& options) {
   frame.num_workers = options.num_workers;
   frame.max_frame_bytes = options.max_frame_bytes;
   frame.max_protocol_version = options.max_protocol_version;
+  frame.admin_port = options.admin_port;
+  frame.admin_host = options.admin_host;
   return frame;
 }
 
@@ -86,7 +88,16 @@ BrokerServer::BrokerServer(const SelectionBroker* broker,
       broker_(broker),
       name_(options.name),
       select_hook_(std::move(options.select_hook)),
-      admission_(options.admission) {}
+      admission_(options.admission) {
+  AddStatusProvider("broker_epoch", [this] {
+    return std::to_string(broker_->BrokerStatus().epoch);
+  });
+  AddStatusProvider("inflight_selects", [this] {
+    return std::to_string(admission_.inflight());
+  });
+  AddStatusProvider("shed_selects",
+                    [this] { return std::to_string(admission_.shed()); });
+}
 
 BrokerServer::~BrokerServer() { Stop(); }
 

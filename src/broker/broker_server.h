@@ -81,6 +81,11 @@ struct BrokerServerOptions {
   /// and server_info — useful only as a compatibility-test seam; a real
   /// broker wants v3 for the Select RPC itself.
   uint32_t max_protocol_version = kWireProtocolVersion;
+  /// Embedded admin HTTP endpoint (/metrics, /statusz, /tracez): the
+  /// port to bind, 0 for an ephemeral one, negative (default) for none.
+  int32_t admin_port = -1;
+  /// Bind address of the admin endpoint.
+  std::string admin_host = "127.0.0.1";
   /// Name advertised in server_info.
   std::string name = "qbs-broker";
   /// Overload policy for Select requests.

@@ -45,7 +45,7 @@ Result<SelectionResult> SelectionBroker::Select(
     const std::string& query, const std::string& ranker_name,
     size_t top_k) const {
   const BrokerMetrics& metrics = BrokerMetrics::Get();
-  QBS_TRACE_SPAN("broker.select", ranker_name);
+  QBS_TRACE_SPAN("broker.select", ranker_name, CurrentRequestId());
   ScopedTimerUs timer(metrics.select_latency_us);
 
   // One lock-free read pins this request's entire world: collection,

@@ -37,6 +37,8 @@ FrameServerOptions ToFrameOptions(const DbServerOptions& options) {
   frame.num_workers = options.num_workers;
   frame.max_frame_bytes = options.max_frame_bytes;
   frame.max_protocol_version = options.max_protocol_version;
+  frame.admin_port = options.admin_port;
+  frame.admin_host = options.admin_host;
   return frame;
 }
 
@@ -45,7 +47,9 @@ FrameServerOptions ToFrameOptions(const DbServerOptions& options) {
 DbServer::DbServer(TextDatabase* db, DbServerOptions options)
     : FrameServer("DbServer '" + db->name() + "'", ToFrameOptions(options)),
       db_(db),
-      serialize_database_(options.serialize_database) {}
+      serialize_database_(options.serialize_database) {
+  AddStatusProvider("database", [this] { return db_->name(); });
+}
 
 DbServer::~DbServer() { Stop(); }
 

@@ -42,6 +42,11 @@ struct DbServerOptions {
   /// version 1. An operational downgrade lever, and the test seam for
   /// new-client-against-old-server compatibility coverage.
   uint32_t max_protocol_version = kWireProtocolVersion;
+  /// Embedded admin HTTP endpoint (/metrics, /statusz, /tracez): the
+  /// port to bind, 0 for an ephemeral one, negative (default) for none.
+  int32_t admin_port = -1;
+  /// Bind address of the admin endpoint.
+  std::string admin_host = "127.0.0.1";
 };
 
 /// A blocking TCP server for one TextDatabase. Thread-safe. The wrapped

@@ -103,6 +103,17 @@ std::string FrameServer::address() const {
   return options_.host + ":" + std::to_string(port_);
 }
 
+size_t FrameServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_.size();
+}
+
+void FrameServer::AddStatusProvider(std::string key,
+                                    std::function<std::string()> value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  status_providers_.emplace_back(std::move(key), std::move(value));
+}
+
 Status FrameServer::Start() {
   std::lock_guard<std::mutex> lock(mu_);
   if (running_) {
@@ -112,6 +123,31 @@ Status FrameServer::Start() {
   QBS_RETURN_IF_ERROR(listener.status());
   listener_ = std::move(*listener);
   port_ = listener_->port();
+  if (options_.admin_port >= 0) {
+    AdminServerOptions admin_options;
+    admin_options.host = options_.admin_host;
+    admin_options.port = static_cast<uint16_t>(options_.admin_port);
+    admin_ = std::make_unique<AdminServer>(std::move(admin_options));
+    admin_->AddStatus("server", [this] { return description_; });
+    admin_->AddStatus("address", [this] { return address(); });
+    admin_->AddStatus("protocol_version", [this] {
+      return std::to_string(spoken_version_);
+    });
+    admin_->AddStatus("active_connections", [this] {
+      return std::to_string(active_connections());
+    });
+    for (auto& [key, value] : status_providers_) {
+      admin_->AddStatus(key, std::move(value));
+    }
+    status_providers_.clear();
+    Status admin_started = admin_->Start();
+    if (!admin_started.ok()) {
+      listener_->CloseListener();
+      listener_.reset();
+      admin_.reset();
+      return admin_started;
+    }
+  }
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
   running_ = true;
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -134,6 +170,9 @@ void FrameServer::Stop() {
   // Queued-but-unserved connections run their task post-Close and exit
   // immediately on the first read; Shutdown drains them all.
   pool_->Shutdown();
+  // The admin endpoint outlives the request path on purpose (a /statusz
+  // during drain still answers); it goes down last.
+  if (admin_ != nullptr) admin_->Stop();
   QBS_LOG(INFO) << description_ << ": port " << port_ << " stopped";
 }
 
@@ -189,7 +228,13 @@ void FrameServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
     }
     WireResponse response;
     {
-      QBS_TRACE_SPAN("net.serve", WireMethodName(request->method));
+      // Adopt the caller's trace (v4 trailer) for the whole handling
+      // scope: the net.serve span below and everything under it —
+      // handler spans, downstream RPCs — join the caller's trace_id and
+      // parent under its net.rpc span.
+      TraceContextScope trace_scope(request->trace, request->request_id);
+      QBS_TRACE_SPAN("net.serve", WireMethodName(request->method),
+                     request->request_id);
       ScopedTimerUs timer(metrics.request_latency_us);
       ServerMetrics::Requests(request->method)->Increment();
       response = Dispatch(*request);

@@ -17,14 +17,18 @@
 #define QBS_NET_FRAME_SERVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "net/socket.h"
 #include "net/wire.h"
+#include "obs/admin_server.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -48,6 +52,13 @@ struct FrameServerOptions {
   /// An operational downgrade lever, and the test seam for
   /// new-client-against-old-server compatibility coverage.
   uint32_t max_protocol_version = kWireProtocolVersion;
+  /// Embedded admin HTTP endpoint (/metrics, /statusz, /tracez): the
+  /// port to bind, 0 for an ephemeral one, or negative (the default) to
+  /// not start one.
+  int32_t admin_port = -1;
+  /// Bind address of the admin endpoint (loopback-only by default; the
+  /// surface has no auth).
+  std::string admin_host = "127.0.0.1";
 };
 
 /// A blocking TCP server speaking the qbs framed wire protocol.
@@ -81,7 +92,19 @@ class FrameServer {
   /// host:port of this server (valid after Start()).
   std::string address() const;
 
+  /// Connections currently tracked (being served or queued).
+  size_t active_connections() const;
+
+  /// The embedded admin server, or null when options.admin_port < 0 or
+  /// before Start(). Its port() gives the bound admin port.
+  AdminServer* admin_server() const { return admin_.get(); }
+
  protected:
+  /// Registers a /statusz line ("key: value()") on the embedded admin
+  /// endpoint. Call before Start(); a no-op risk otherwise. Providers
+  /// run on the admin thread and must be thread-safe.
+  void AddStatusProvider(std::string key, std::function<std::string()> value);
+
   /// Answers one request. The version gate has already passed: the
   /// request's version is within [MinVersionForMethod, spoken_version()].
   /// Called concurrently from pool workers.
@@ -107,6 +130,10 @@ class FrameServer {
   std::unique_ptr<TcpListener> listener_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
+  std::unique_ptr<AdminServer> admin_;
+  // Status providers registered before Start(), handed to admin_ then.
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      status_providers_;
 
   mutable std::mutex mu_;
   bool running_ = false;

@@ -223,6 +223,16 @@ std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
     case WireMethod::kBrokerStatus:
       break;
   }
+  // v4 trace-context trailer, present only when the caller is tracing.
+  // Pre-v4 decoders reject trailing bytes, so callers must not set
+  // `trace` unless the peer negotiated >= kTraceContextMinVersion.
+  if (request.trace.valid()) {
+    PutFixed64(out, request.trace.trace_id_hi);
+    PutFixed64(out, request.trace.trace_id_lo);
+    PutFixed64(out, request.trace.parent_span_id);
+    PutVarint32(out, request.trace.sampled ? 1 : 0);
+    PutVarint64(out, request.trace.deadline_budget_us);
+  }
   return out;
 }
 
@@ -285,6 +295,23 @@ Result<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload) {
       break;
     case WireMethod::kBrokerStatus:
       break;
+  }
+  // Optional v4 trace-context trailer. A trailer that starts but does
+  // not parse to exactly the end of the payload is corrupt — optional
+  // never means "tolerate garbage".
+  if (pos < payload.size()) {
+    uint32_t flags = 0;
+    if (!GetFixed64(payload, &pos, &request.trace.trace_id_hi) ||
+        !GetFixed64(payload, &pos, &request.trace.trace_id_lo) ||
+        !GetFixed64(payload, &pos, &request.trace.parent_span_id) ||
+        !GetVarint32(payload, &pos, &flags) ||
+        !GetVarint64(payload, &pos, &request.trace.deadline_budget_us)) {
+      return Truncated("trace context trailer");
+    }
+    request.trace.sampled = (flags & 1) != 0;
+    if (!request.trace.valid()) {
+      return Status::Corruption("wire: trace context with zero trace id");
+    }
   }
   if (pos != payload.size()) {
     return Status::Corruption("wire: trailing bytes after request");

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "net/transport.h"
+#include "obs/trace.h"
 #include "search/text_database.h"
 #include "selection/db_selection.h"
 #include "util/status.h"
@@ -27,14 +28,22 @@ namespace qbs {
 
 /// Protocol version spoken by this build. Version 2 adds the batched
 /// RPCs (query_and_fetch, fetch_batch); version 3 adds the
-/// selection-broker RPCs (select, broker_status); every earlier message
-/// is unchanged. A request's version field states the minimum version
-/// needed to understand that message, so a new client keeps stamping
-/// version-1 methods with 1 and an old server keeps accepting them. A
-/// server replies to a version it does not speak with
+/// selection-broker RPCs (select, broker_status); version 4 adds the
+/// optional trace-context trailer on requests (no new methods); every
+/// earlier message is unchanged. A request's version field states the
+/// minimum version needed to understand that message, so a new client
+/// keeps stamping version-1 methods with 1 and an old server keeps
+/// accepting them. A server replies to a version it does not speak with
 /// FailedPrecondition and its own version number, so the peer gets a
 /// diagnosable error instead of garbage (and a new client downgrades).
-inline constexpr uint32_t kWireProtocolVersion = 3;
+inline constexpr uint32_t kWireProtocolVersion = 4;
+
+/// First version whose decoders accept the optional trace-context
+/// trailer on request frames. Pre-v4 decoders reject any bytes after
+/// the method body as Corruption, so a client must only attach a trace
+/// context once it has negotiated >= this version with the peer — and a
+/// request carrying one must declare at least this version.
+inline constexpr uint32_t kTraceContextMinVersion = 4;
 
 /// Frames larger than this are rejected as Corruption before any
 /// allocation — a garbled length prefix must not become a giant malloc.
@@ -101,6 +110,11 @@ struct WireRequest {
   std::vector<std::string> handles;
   /// kSelect only: ranker name ("cori", "bgloss", "vgloss", "kl").
   std::string ranker;
+  /// v4: distributed-tracing context, encoded as an optional trailer
+  /// after the method body. Absent on the wire (and all-zero here) when
+  /// the caller is not tracing or the peer negotiated < v4. Decoded
+  /// requests with no trailer leave this invalid().
+  TraceContext trace;
 };
 
 /// One decoded response.

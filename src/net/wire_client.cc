@@ -54,6 +54,11 @@ struct ClientMetrics {
 
 }  // namespace
 
+uint64_t NextGlobalRequestId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 WireClient::WireClient(WireClientOptions options)
     : options_(std::move(options)) {}
 
@@ -153,9 +158,16 @@ void WireClient::ReleaseConnection(std::unique_ptr<ByteStream> conn) {
 
 Result<WireResponse> WireClient::CallOnce(ByteStream& conn,
                                           const WireRequest& request) {
-  conn.SetDeadlineMicros(options_.call_timeout_us == 0
-                             ? 0
-                             : MonotonicMicros() + options_.call_timeout_us);
+  // Honor the tighter of the per-attempt timeout and the remaining
+  // ambient deadline budget, so a deadline set upstream bounds this
+  // whole RPC even when the peer predates the v4 trace trailer.
+  uint64_t timeout_us = options_.call_timeout_us;
+  uint64_t budget_us = CurrentTraceContext().deadline_budget_us;
+  if (budget_us > 0 && (timeout_us == 0 || budget_us < timeout_us)) {
+    timeout_us = budget_us;
+  }
+  conn.SetDeadlineMicros(timeout_us == 0 ? 0
+                                         : MonotonicMicros() + timeout_us);
   QBS_RETURN_IF_ERROR(WriteFrame(conn, EncodeRequest(request)));
   auto payload = ReadFrame(conn, options_.max_frame_bytes);
   QBS_RETURN_IF_ERROR(payload.status());
@@ -173,12 +185,29 @@ Result<WireResponse> WireClient::CallOnce(ByteStream& conn,
 
 Result<WireResponse> WireClient::Call(WireRequest request) {
   const ClientMetrics& metrics = ClientMetrics::Get();
-  QBS_TRACE_SPAN("net.rpc", WireMethodName(request.method));
+  request.request_id = NextGlobalRequestId();
+  // The span carries the request id in its detail so logs, traces, and
+  // wire frames join on one key; it also becomes the remote parent of
+  // the server's spans when the context is attached below.
+  QBS_TRACE_SPAN("net.rpc", WireMethodName(request.method),
+                 request.request_id);
+  if (negotiated_version() >= kTraceContextMinVersion) {
+    TraceContext ambient = CurrentTraceContext();
+    if (ambient.valid()) {
+      // Never promise the server more time than this call will wait.
+      if (options_.call_timeout_us > 0 &&
+          (ambient.deadline_budget_us == 0 ||
+           ambient.deadline_budget_us > options_.call_timeout_us)) {
+        ambient.deadline_budget_us = options_.call_timeout_us;
+      }
+      request.trace = ambient;
+      request.protocol_version =
+          std::max(request.protocol_version, kTraceContextMinVersion);
+    }
+  }
   ScopedTimerUs timer(metrics.call_latency_us);
   metrics.calls->Increment();
   rpcs_.fetch_add(1, std::memory_order_relaxed);
-  request.request_id =
-      next_request_id_.fetch_add(1, std::memory_order_relaxed);
   // Deterministic per-call jitter stream: reproducible tests, decorrelated
   // calls.
   Rng jitter(options_.jitter_seed ^ request.request_id);

@@ -24,6 +24,12 @@
 
 namespace qbs {
 
+/// Next request id from the process-wide counter. Ids are unique across
+/// every client instance in the process (not merely per connection), so
+/// a request_id seen in a log line, a span detail, or a wire frame names
+/// one RPC unambiguously.
+uint64_t NextGlobalRequestId();
+
 struct WireClientOptions {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
@@ -81,7 +87,10 @@ class WireClient {
   Status Connect();
 
   /// One framed request/response exchange with retry + backoff. Fills
-  /// in the request id.
+  /// in the request id (process-globally unique) and, when the calling
+  /// thread is inside a sampled trace and the server has negotiated
+  /// >= kTraceContextMinVersion, attaches the trace context so the
+  /// server's spans parent under this call's net.rpc span.
   Result<WireResponse> Call(WireRequest request);
 
   /// Negotiated version, running Connect() first if still unknown.
@@ -112,7 +121,6 @@ class WireClient {
   Result<WireResponse> CallOnce(ByteStream& conn, const WireRequest& request);
 
   WireClientOptions options_;
-  std::atomic<uint64_t> next_request_id_{1};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> rpcs_{0};
 

@@ -1,0 +1,237 @@
+#include "obs/admin_server.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "net/socket.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qbs {
+
+namespace {
+
+// One request per connection and headers are bounded: a debug surface
+// must never be the allocation amplifier in the process it debugs.
+constexpr size_t kMaxRequestBytes = 8192;
+constexpr size_t kMaxTracezRows = 100;
+
+Counter* AdminRequests() {
+  static Counter* counter = MetricRegistry::Default().GetCounter(
+      "qbs_admin_requests_total",
+      "HTTP requests answered by embedded admin servers");
+  return counter;
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << code << " " << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+std::string HexTraceId(const TraceEvent& e) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(e.trace_id_hi),
+                static_cast<unsigned long long>(e.trace_id_lo));
+  return buf;
+}
+
+/// Parses "min_us=N" out of a raw query string; returns `fallback` when
+/// absent or unparseable.
+uint64_t ParseMinUs(const std::string& query, uint64_t fallback) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    std::string param = query.substr(pos, end - pos);
+    if (param.rfind("min_us=", 0) == 0) {
+      char* parse_end = nullptr;
+      unsigned long long value =
+          std::strtoull(param.c_str() + 7, &parse_end, 10);
+      if (parse_end != nullptr && *parse_end == '\0' &&
+          parse_end != param.c_str() + 7) {
+        return value;
+      }
+      return fallback;
+    }
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+AdminServer::AdminServer(AdminServerOptions options)
+    : options_(std::move(options)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+std::string AdminServer::address() const {
+  return options_.host + ":" + std::to_string(port_);
+}
+
+void AdminServer::AddStatus(std::string key,
+                            std::function<std::string()> value) {
+  status_.emplace_back(std::move(key), std::move(value));
+}
+
+Status AdminServer::Start() {
+  if (running_) {
+    return Status::FailedPrecondition("admin server already started");
+  }
+  auto listener = TcpListener::Listen(options_.host, options_.port);
+  QBS_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+  port_ = listener_->port();
+  start_us_ = MonotonicMicros();
+  running_ = true;
+  serve_thread_ = std::thread([this] { ServeLoop(); });
+  QBS_LOG(INFO) << "AdminServer: serving on http://" << options_.host << ":"
+                << port_ << "/";
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!running_) return;
+  running_ = false;
+  listener_->CloseListener();
+  serve_thread_.join();
+}
+
+void AdminServer::ServeLoop() {
+  while (true) {
+    auto conn = listener_->Accept();
+    if (!conn.ok()) return;  // listener closed
+    SocketStream stream(std::move(*conn));
+    stream.SetDeadlineMicros(MonotonicMicros() + options_.read_timeout_us);
+    // Read byte-wise until the end of the headers (or the cap). HTTP
+    // request parsing at its most minimal: only the request line
+    // matters, but draining the headers first keeps the close clean.
+    std::string request;
+    bool complete = false;
+    while (request.size() < kMaxRequestBytes) {
+      uint8_t byte = 0;
+      if (!stream.ReadFull(&byte, 1).ok()) break;
+      request.push_back(static_cast<char>(byte));
+      if (request.size() >= 4 &&
+          request.compare(request.size() - 4, 4, "\r\n\r\n") == 0) {
+        complete = true;
+        break;
+      }
+    }
+    if (!complete) continue;  // slow, huge, or vanished peer: drop it
+    AdminRequests()->Increment();
+    std::string response;
+    size_t line_end = request.find("\r\n");
+    std::string line = request.substr(0, line_end);
+    if (line.rfind("GET ", 0) != 0) {
+      response = HttpResponse(405, "Method Not Allowed", "text/plain",
+                              "only GET is supported\n");
+    } else {
+      size_t path_end = line.find(' ', 4);
+      std::string target = path_end == std::string::npos
+                               ? line.substr(4)
+                               : line.substr(4, path_end - 4);
+      response = HandleRequest(target);
+    }
+    stream.WriteAll(reinterpret_cast<const uint8_t*>(response.data()),
+                    response.size());
+  }
+}
+
+std::string AdminServer::HandleRequest(const std::string& target) {
+  std::string path = target;
+  std::string query;
+  size_t query_pos = target.find('?');
+  if (query_pos != std::string::npos) {
+    path = target.substr(0, query_pos);
+    query = target.substr(query_pos + 1);
+  }
+
+  if (path == "/" || path == "/index.html") {
+    return HttpResponse(200, "OK", "text/plain",
+                        "qbs admin endpoints:\n"
+                        "  /metrics     Prometheus text exposition\n"
+                        "  /statusz     process + server status\n"
+                        "  /tracez      recent slow spans (?min_us=N)\n"
+                        "  /trace.json  trace ring as Chrome trace JSON\n");
+  }
+
+  if (path == "/metrics") {
+    std::ostringstream body;
+    MetricRegistry::Default().ExportPrometheus(body);
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4", body.str());
+  }
+
+  if (path == "/statusz") {
+    const TraceRecorder& recorder = TraceRecorder::Global();
+    std::ostringstream body;
+    body << "uptime_us: " << MonotonicMicros() - start_us_ << "\n"
+         << "pid: " << ::getpid() << "\n"
+         << "compiler: " << __VERSION__ << "\n"
+         << "trace_enabled: " << (recorder.enabled() ? "true" : "false")
+         << "\n"
+         << "trace_spans_buffered: " << recorder.size() << "\n"
+         << "trace_spans_recorded_total: " << recorder.total_recorded()
+         << "\n"
+         << "trace_spans_dropped_total: " << recorder.dropped() << "\n";
+    for (const auto& [key, value] : status_) {
+      body << key << ": " << value() << "\n";
+    }
+    return HttpResponse(200, "OK", "text/plain", body.str());
+  }
+
+  if (path == "/tracez") {
+    uint64_t min_us = ParseMinUs(query, options_.tracez_min_duration_us);
+    std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [min_us](const TraceEvent& e) {
+                                  return e.duration_us < min_us;
+                                }),
+                 events.end());
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent& a, const TraceEvent& b) {
+                return a.duration_us > b.duration_us;
+              });
+    std::ostringstream body;
+    body << "spans with duration >= " << min_us << "us ("
+         << (events.size() > kMaxTracezRows ? kMaxTracezRows : events.size())
+         << " of " << events.size() << " shown; slowest first)\n\n";
+    char line[256];
+    std::snprintf(line, sizeof(line), "%12s  %-40s %32s  %s\n",
+                  "duration_us", "name", "trace_id", "span_id");
+    body << line;
+    size_t shown = 0;
+    for (const TraceEvent& e : events) {
+      if (++shown > kMaxTracezRows) break;
+      std::snprintf(line, sizeof(line), "%12llu  %-40.120s %32s  %016llx\n",
+                    static_cast<unsigned long long>(e.duration_us),
+                    e.name.c_str(), HexTraceId(e).c_str(),
+                    static_cast<unsigned long long>(e.span_id));
+      body << line;
+    }
+    return HttpResponse(200, "OK", "text/plain", body.str());
+  }
+
+  if (path == "/trace.json") {
+    std::ostringstream body;
+    TraceRecorder::Global().DumpChromeTrace(body);
+    return HttpResponse(200, "OK", "application/json", body.str());
+  }
+
+  return HttpResponse(404, "Not Found", "text/plain",
+                      "unknown path: " + path + "\n");
+}
+
+}  // namespace qbs

@@ -1,0 +1,99 @@
+// AdminServer: a minimal embedded HTTP/1.1 endpoint exposing the
+// process's observability state to a browser, curl, or a Prometheus
+// scraper — no more round-tripping through `qbs_cli --metrics_out=`
+// files to see what a live server is doing.
+//
+// Endpoints:
+//   /         index of the endpoints below
+//   /metrics  MetricRegistry in Prometheus text exposition format
+//   /statusz  uptime, pid, build info, trace-recorder state, plus any
+//             status providers the embedding server registered
+//             (broker epoch, connection counts, ...)
+//   /tracez   recent spans slower than a threshold (?min_us=N)
+//   /trace.json  the trace ring as Chrome trace_event JSON, ready for
+//             about:tracing / ui.perfetto.dev or tools/trace_merge.py
+//
+// Scope: GET only, one request per connection (Connection: close),
+// served sequentially by one background thread. That is deliberate —
+// this is a debug surface for a handful of humans and one scraper, not
+// a web server; sequential service keeps it immune to slowloris-style
+// fd exhaustion (the read deadline bounds each connection's lifetime).
+#ifndef QBS_OBS_ADMIN_SERVER_H_
+#define QBS_OBS_ADMIN_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace qbs {
+
+class TcpListener;
+
+struct AdminServerOptions {
+  /// Bind address. Loopback by default: the admin surface exposes
+  /// internals and has no auth, so exporting it off-host is an explicit
+  /// operator decision.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// /tracez default threshold: spans at least this slow are listed.
+  uint64_t tracez_min_duration_us = 1000;
+  /// A connection that has not delivered a full request line within
+  /// this deadline is dropped — the server thread must never be
+  /// parked forever by a half-open peer.
+  uint64_t read_timeout_us = 2'000'000;
+};
+
+/// The embedded admin/debug HTTP server. Thread-safe; Start/Stop may be
+/// called once each from any thread. Status providers must be
+/// registered before Start().
+class AdminServer {
+ public:
+  explicit AdminServer(AdminServerOptions options);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  /// Registers a named value for /statusz, rendered as "key: value()".
+  /// Providers run on the serving thread and must be thread-safe.
+  void AddStatus(std::string key, std::function<std::string()> value);
+
+  /// Binds, listens, and starts the serving thread.
+  Status Start();
+
+  /// Stops serving and joins the thread. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start() succeeded).
+  uint16_t port() const { return port_; }
+
+  /// host:port (valid after Start()).
+  std::string address() const;
+
+  bool running() const { return running_; }
+
+ private:
+  void ServeLoop();
+  /// Routes one parsed request; returns the full HTTP response bytes.
+  std::string HandleRequest(const std::string& path);
+
+  AdminServerOptions options_;
+  uint16_t port_ = 0;
+  uint64_t start_us_ = 0;
+  std::vector<std::pair<std::string, std::function<std::string()>>> status_;
+
+  std::unique_ptr<TcpListener> listener_;
+  std::thread serve_thread_;
+  bool running_ = false;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_OBS_ADMIN_SERVER_H_

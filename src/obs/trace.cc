@@ -4,6 +4,10 @@
 #include <cstdio>
 #include <thread>
 
+#include <unistd.h>
+
+#include "obs/metrics.h"
+
 namespace qbs {
 
 namespace internal {
@@ -43,6 +47,75 @@ std::string JsonEscape(std::string_view s) {
   return out;
 }
 
+std::string HexId(uint64_t hi, uint64_t lo) {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+std::string HexId(uint64_t id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+// splitmix64: full-period mix over a strided counter. Seeded from the pid
+// and the wall clock so ids from separately started processes do not
+// collide when their trace dumps are merged into one timeline.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t NewId() {
+  static std::atomic<uint64_t> counter{[] {
+    uint64_t seed = static_cast<uint64_t>(::getpid()) << 32;
+    seed ^= static_cast<uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+    seed ^= static_cast<uint64_t>(
+        std::chrono::system_clock::now().time_since_epoch().count())
+            << 17;
+    return seed;
+  }()};
+  uint64_t id = 0;
+  while (id == 0) {  // ids of 0 mean "absent" everywhere
+    id = Mix64(counter.fetch_add(1, std::memory_order_relaxed));
+  }
+  return id;
+}
+
+// The ambient per-thread trace state. `deadline_us` is an absolute
+// MonotonicMicros() instant (0 = none); it is converted to a relative
+// budget at the propagation boundary so clocks never cross processes.
+// `no_trace` distinguishes "no context installed" (spans may start fresh
+// root traces) from "a context is installed but unsampled" (spans stay
+// silent).
+struct ThreadTraceState {
+  uint64_t trace_hi = 0;
+  uint64_t trace_lo = 0;
+  uint64_t current_span = 0;
+  uint64_t deadline_us = 0;
+  uint64_t request_id = 0;
+  bool sampled = false;
+};
+
+ThreadTraceState& State() {
+  thread_local ThreadTraceState state;
+  return state;
+}
+
+Counter* DroppedSpans() {
+  static Counter* counter = MetricRegistry::Default().GetCounter(
+      "qbs_trace_spans_dropped_total",
+      "Trace spans overwritten (lost) because the recorder ring was full");
+  return counter;
+}
+
 }  // namespace
 
 uint64_t MonotonicMicros() {
@@ -54,6 +127,56 @@ uint64_t MonotonicMicros() {
           .count());
 }
 
+TraceContext CurrentTraceContext() {
+  const ThreadTraceState& state = State();
+  TraceContext context;
+  if ((state.trace_hi | state.trace_lo) == 0) return context;
+  context.trace_id_hi = state.trace_hi;
+  context.trace_id_lo = state.trace_lo;
+  context.parent_span_id = state.current_span;
+  context.sampled = state.sampled;
+  if (state.deadline_us != 0) {
+    uint64_t now = MonotonicMicros();
+    // An expired deadline still propagates as a 1us budget: "give up
+    // immediately", never "wait forever".
+    context.deadline_budget_us =
+        state.deadline_us > now ? state.deadline_us - now : 1;
+  }
+  return context;
+}
+
+uint64_t CurrentRequestId() { return State().request_id; }
+
+TraceContextScope::TraceContextScope(const TraceContext& context,
+                                     uint64_t request_id) {
+  ThreadTraceState& state = State();
+  saved_trace_hi_ = state.trace_hi;
+  saved_trace_lo_ = state.trace_lo;
+  saved_span_ = state.current_span;
+  saved_deadline_us_ = state.deadline_us;
+  saved_request_id_ = state.request_id;
+  saved_sampled_ = state.sampled;
+  state.request_id = request_id;
+  if (!context.valid()) return;
+  state.trace_hi = context.trace_id_hi;
+  state.trace_lo = context.trace_id_lo;
+  state.current_span = context.parent_span_id;
+  state.sampled = context.sampled;
+  state.deadline_us = context.deadline_budget_us == 0
+                          ? 0
+                          : MonotonicMicros() + context.deadline_budget_us;
+}
+
+TraceContextScope::~TraceContextScope() {
+  ThreadTraceState& state = State();
+  state.trace_hi = saved_trace_hi_;
+  state.trace_lo = saved_trace_lo_;
+  state.current_span = saved_span_;
+  state.deadline_us = saved_deadline_us_;
+  state.request_id = saved_request_id_;
+  state.sampled = saved_sampled_;
+}
+
 TraceRecorder::TraceRecorder(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
@@ -62,20 +185,25 @@ TraceRecorder& TraceRecorder::Global() {
   return *recorder;
 }
 
-void TraceRecorder::Record(std::string name, uint64_t start_us,
-                           uint64_t duration_us) {
-  TraceEvent event;
-  event.name = std::move(name);
-  event.start_us = start_us;
-  event.duration_us = duration_us;
+void TraceRecorder::Record(TraceEvent event) {
   event.tid = internal::CurrentThreadId();
   std::lock_guard<std::mutex> lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
     ring_[total_ % capacity_] = std::move(event);
+    DroppedSpans()->Increment();
   }
   ++total_;
+}
+
+void TraceRecorder::Record(std::string name, uint64_t start_us,
+                           uint64_t duration_us) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.start_us = start_us;
+  event.duration_us = duration_us;
+  Record(std::move(event));
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
@@ -101,42 +229,111 @@ uint64_t TraceRecorder::total_recorded() const {
   return total_;
 }
 
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > ring_.size() ? total_ - ring_.size() : 0;
+}
+
 void TraceRecorder::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   total_ = 0;
 }
 
-void TraceRecorder::DumpChromeTrace(std::ostream& out) const {
+void TraceRecorder::DumpChromeTrace(std::ostream& out,
+                                    std::string_view process_name) const {
   std::vector<TraceEvent> events = Events();
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    if (i > 0) out << ",";
+  bool first = true;
+  if (!process_name.empty()) {
+    out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        << "\"args\":{\"name\":\"" << JsonEscape(process_name) << "\"}}";
+    first = false;
+  }
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
     out << "{\"name\":\"" << JsonEscape(e.name)
         << "\",\"cat\":\"qbs\",\"ph\":\"X\",\"ts\":" << e.start_us
-        << ",\"dur\":" << e.duration_us << ",\"pid\":1,\"tid\":" << e.tid
-        << "}";
+        << ",\"dur\":" << e.duration_us << ",\"pid\":1,\"tid\":" << e.tid;
+    if (e.span_id != 0 || (e.trace_id_hi | e.trace_id_lo) != 0) {
+      out << ",\"args\":{";
+      bool first_arg = true;
+      if ((e.trace_id_hi | e.trace_id_lo) != 0) {
+        out << "\"trace_id\":\"" << HexId(e.trace_id_hi, e.trace_id_lo)
+            << "\"";
+        first_arg = false;
+      }
+      if (e.span_id != 0) {
+        if (!first_arg) out << ",";
+        out << "\"span_id\":\"" << HexId(e.span_id) << "\"";
+        first_arg = false;
+      }
+      if (e.parent_span_id != 0) {
+        if (!first_arg) out << ",";
+        out << "\"parent_span_id\":\"" << HexId(e.parent_span_id) << "\"";
+      }
+      out << "}";
+    }
+    out << "}";
   }
   out << "]}";
 }
 
-void TraceSpan::Start(std::string_view name, std::string_view detail) {
+void TraceSpan::Start(std::string_view name, std::string_view detail,
+                      uint64_t request_id) {
+  ThreadTraceState& state = State();
+  bool in_trace = (state.trace_hi | state.trace_lo) != 0;
+  if (in_trace && !state.sampled) return;  // unsampled trace: stay silent
   active_ = true;
+  if (!in_trace) {
+    // No ambient context: this span roots a fresh trace that lives until
+    // it finishes. Spans below it (and RPCs it makes) inherit the ids.
+    owns_trace_ = true;
+    state.trace_hi = NewId();
+    state.trace_lo = NewId();
+    state.sampled = true;
+  }
   name_ = name;
   if (!detail.empty()) {
     name_ += "/";
     name_ += detail;
   }
+  if (request_id != 0) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "#%llu",
+                  static_cast<unsigned long long>(request_id));
+    name_ += buf;
+  }
+  trace_hi_ = state.trace_hi;
+  trace_lo_ = state.trace_lo;
+  span_id_ = NewId();
+  parent_span_id_ = state.current_span;
+  prev_span_id_ = state.current_span;
+  state.current_span = span_id_;
   start_us_ = MonotonicMicros();
 }
 
 void TraceSpan::Finish() {
+  ThreadTraceState& state = State();
+  state.current_span = prev_span_id_;
+  if (owns_trace_) {
+    state.trace_hi = 0;
+    state.trace_lo = 0;
+    state.sampled = false;
+  }
   // Re-check enabled so a span that straddles disable is simply dropped.
   TraceRecorder& recorder = TraceRecorder::Global();
   if (!recorder.enabled()) return;
-  recorder.Record(std::move(name_), start_us_,
-                  MonotonicMicros() - start_us_);
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.start_us = start_us_;
+  event.duration_us = MonotonicMicros() - start_us_;
+  event.trace_id_hi = trace_hi_;
+  event.trace_id_lo = trace_lo_;
+  event.span_id = span_id_;
+  event.parent_span_id = parent_span_id_;
+  recorder.Record(std::move(event));
 }
 
 }  // namespace qbs

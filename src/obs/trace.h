@@ -2,6 +2,15 @@
 // into a fixed-capacity ring buffer and exportable as Chrome trace_event
 // JSON (load the file at chrome://tracing or https://ui.perfetto.dev).
 //
+// Since the system became distributed (RemoteSelector -> BrokerServer ->
+// DbServer), spans carry identity: every recorded span has a 64-bit
+// span_id, a parent_span_id linking it into a tree, and a 128-bit
+// trace_id naming the end-to-end operation it belongs to. A TraceContext
+// crosses process boundaries as an optional trailer on wire-protocol
+// requests (net/wire.h), so one trace_id follows a Select from the
+// client through the broker down into per-database RPCs, and
+// tools/trace_merge.py stitches the per-process dumps into one timeline.
+//
 // Tracing is off by default. The disabled path of QBS_TRACE_SPAN is one
 // relaxed atomic load and a branch (sub-nanosecond-to-a-few-ns — see
 // bench/micro_obs.cc), so spans can stay in hot paths permanently. When
@@ -29,6 +38,68 @@ namespace internal {
 uint32_t CurrentThreadId();
 }  // namespace internal
 
+/// The portable identity of an in-flight distributed operation — what a
+/// caller hands to a callee so the callee's spans join the caller's
+/// trace. Travels as an optional trailer on wire requests (see
+/// docs/PROTOCOL.md); within a process it is ambient, thread-local state
+/// installed by TraceContextScope and read by CurrentTraceContext().
+struct TraceContext {
+  /// 128-bit trace id; all-zero means "no trace" (the struct is absent).
+  uint64_t trace_id_hi = 0;
+  uint64_t trace_id_lo = 0;
+  /// The caller-side span the callee's spans parent under; 0 = root.
+  uint64_t parent_span_id = 0;
+  /// Whether the trace is being recorded. An unsampled context still
+  /// propagates its ids (so a downstream sampler could join later) but
+  /// spans under it are not recorded.
+  bool sampled = false;
+  /// Remaining wall-clock budget the caller is willing to wait, in
+  /// microseconds; 0 = unbounded. Callees cap their own downstream call
+  /// deadlines to this, so a deadline set at the front-end bounds the
+  /// whole tree of RPCs it fans out into.
+  uint64_t deadline_budget_us = 0;
+
+  bool valid() const { return (trace_id_hi | trace_id_lo) != 0; }
+};
+
+/// The ambient context of the calling thread: trace ids and sampled bit
+/// from the innermost TraceContextScope (or from the root span a client
+/// opened), parent_span_id = the innermost active span, and
+/// deadline_budget_us = what remains of the installed budget (clamped to
+/// >= 1 once expired, so an exhausted budget propagates as "fail fast",
+/// not as "unbounded"). Everything zero when no trace is in progress.
+TraceContext CurrentTraceContext();
+
+/// The wire request id of the request the calling thread is serving
+/// (installed by TraceContextScope); 0 outside a server handler. Lets
+/// span details and log lines carry the same join key.
+uint64_t CurrentRequestId();
+
+/// Installs `context` (typically decoded from a wire request) as the
+/// calling thread's ambient trace context for the current scope, so
+/// spans opened inside parent under the remote caller's span and
+/// downstream RPCs propagate the same trace. Restores the previous
+/// ambient state on destruction. `request_id` is surfaced through
+/// CurrentRequestId(). An invalid (all-zero) context installs only the
+/// request id — local spans then start their own traces as usual.
+class TraceContextScope {
+ public:
+  explicit TraceContextScope(const TraceContext& context,
+                             uint64_t request_id = 0);
+  ~TraceContextScope();
+  TraceContextScope(const TraceContextScope&) = delete;
+  TraceContextScope& operator=(const TraceContextScope&) = delete;
+
+ private:
+  // Saved thread state, restored verbatim on destruction.
+  uint64_t saved_trace_hi_;
+  uint64_t saved_trace_lo_;
+  uint64_t saved_span_;
+  uint64_t saved_deadline_us_;
+  uint64_t saved_request_id_;
+  bool saved_sampled_;
+};
+
 /// One completed span.
 struct TraceEvent {
   std::string name;
@@ -36,11 +107,20 @@ struct TraceEvent {
   uint64_t duration_us = 0;
   /// Stable small integer identifying the recording thread.
   uint32_t tid = 0;
+  /// Trace identity: all-zero trace id for spans recorded outside any
+  /// trace (e.g. direct Record() calls).
+  uint64_t trace_id_hi = 0;
+  uint64_t trace_id_lo = 0;
+  uint64_t span_id = 0;
+  /// The enclosing span (same trace); 0 = a root span.
+  uint64_t parent_span_id = 0;
 };
 
 /// Fixed-capacity ring buffer of completed spans. When full, the oldest
 /// events are overwritten — a trace is a window onto recent activity, not
-/// an unbounded log.
+/// an unbounded log. Overwrites are counted (dropped()) and published as
+/// qbs_trace_spans_dropped_total so silent span loss under load is
+/// visible.
 class TraceRecorder {
  public:
   explicit TraceRecorder(size_t capacity = 1 << 16);
@@ -54,7 +134,10 @@ class TraceRecorder {
   }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Records one completed span (call-site: TraceSpan destructor).
+  /// Records one completed span (call-site: TraceSpan destructor). The
+  /// two-argument-short form keeps old callers/tests working; ids
+  /// default to zero.
+  void Record(TraceEvent event);
   void Record(std::string name, uint64_t start_us, uint64_t duration_us);
 
   /// Events currently buffered, oldest first.
@@ -64,13 +147,18 @@ class TraceRecorder {
   size_t size() const;
   /// Total events ever recorded, including overwritten ones.
   uint64_t total_recorded() const;
+  /// Events overwritten (lost) because the ring was full.
+  uint64_t dropped() const;
 
   /// Discards all buffered events.
   void Clear();
 
   /// Writes the buffered events as Chrome trace_event JSON ("X" complete
-  /// events; ts/dur in microseconds).
-  void DumpChromeTrace(std::ostream& out) const;
+  /// events; ts/dur in microseconds). Span/trace ids ride along in each
+  /// event's "args". A non-empty `process_name` is emitted as process
+  /// metadata so merged multi-process timelines stay attributable.
+  void DumpChromeTrace(std::ostream& out,
+                       std::string_view process_name = {}) const;
 
  private:
   std::atomic<bool> enabled_{false};
@@ -82,15 +170,29 @@ class TraceRecorder {
 
 /// RAII span: captures the start time on construction (only when the
 /// global recorder is enabled) and records name + duration on
-/// destruction. The two-argument form appends "/<detail>" to the name for
-/// per-entity spans such as `service.refresh/<database>`.
+/// destruction. The two-argument form appends "/<detail>" to the name
+/// for per-entity spans such as `service.refresh/<database>`; the
+/// three-argument form additionally appends "#<request_id>" (when
+/// nonzero) so spans and log lines join on the same id — the id is only
+/// formatted when tracing is enabled, so the disabled path stays free.
+///
+/// An active span registers as the thread's innermost span: spans opened
+/// inside it (same thread) parent under it, and downstream RPCs started
+/// inside it carry its span_id as the remote parent. A span opened with
+/// no ambient trace starts a new trace (fresh 128-bit trace_id) that
+/// ends when it finishes. Under an unsampled ambient context the span
+/// records nothing.
 class TraceSpan {
  public:
   explicit TraceSpan(std::string_view name) {
-    if (TraceRecorder::Global().enabled()) Start(name, {});
+    if (TraceRecorder::Global().enabled()) Start(name, {}, 0);
   }
   TraceSpan(std::string_view name, std::string_view detail) {
-    if (TraceRecorder::Global().enabled()) Start(name, detail);
+    if (TraceRecorder::Global().enabled()) Start(name, detail, 0);
+  }
+  TraceSpan(std::string_view name, std::string_view detail,
+            uint64_t request_id) {
+    if (TraceRecorder::Global().enabled()) Start(name, detail, request_id);
   }
   ~TraceSpan() {
     if (active_) Finish();
@@ -99,12 +201,19 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
-  void Start(std::string_view name, std::string_view detail);
+  void Start(std::string_view name, std::string_view detail,
+             uint64_t request_id);
   void Finish();
 
   bool active_ = false;
+  bool owns_trace_ = false;  // root span: started this thread's trace
   std::string name_;
   uint64_t start_us_ = 0;
+  uint64_t trace_hi_ = 0;  // captured at Start so Finish records them
+  uint64_t trace_lo_ = 0;  // even after a root span clears thread state
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  uint64_t prev_span_id_ = 0;  // restored as innermost on Finish
 };
 
 #define QBS_OBS_CONCAT_INNER_(a, b) a##b
@@ -113,6 +222,7 @@ class TraceSpan {
 /// Declares a scope-local span. Near-zero cost while tracing is disabled.
 ///   QBS_TRACE_SPAN("sampler.query");
 ///   QBS_TRACE_SPAN("service.refresh", db_name);
+///   QBS_TRACE_SPAN("net.serve", method_name, request_id);
 #define QBS_TRACE_SPAN(...) \
   ::qbs::TraceSpan QBS_OBS_CONCAT_(_qbs_trace_span_, __LINE__)(__VA_ARGS__)
 

@@ -1,0 +1,171 @@
+// Tests for the embedded admin/debug HTTP endpoint: raw HTTP GETs over
+// a loopback socket against each route, plus protocol edge cases (bad
+// method, unknown path).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/socket.h"
+#include "obs/admin_server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qbs {
+namespace {
+
+constexpr uint64_t kDialTimeoutUs = 2'000'000;
+
+// Sends one raw HTTP request and returns the full response (headers and
+// body) once the server closes the connection.
+std::string RawRequest(uint16_t port, const std::string& request) {
+  auto stream = SocketStream::Dial("127.0.0.1", port, kDialTimeoutUs);
+  if (!stream.ok()) return "dial failed: " + stream.status().ToString();
+  (*stream)->SetDeadlineMicros(MonotonicMicros() + kDialTimeoutUs);
+  Status written = (*stream)->WriteAll(
+      reinterpret_cast<const uint8_t*>(request.data()), request.size());
+  if (!written.ok()) return "write failed: " + written.ToString();
+  // The server answers one request then closes; read until it does.
+  std::string response;
+  uint8_t byte = 0;
+  while ((*stream)->ReadFull(&byte, 1).ok()) {
+    response.push_back(static_cast<char>(byte));
+  }
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& target) {
+  return RawRequest(port, "GET " + target +
+                              " HTTP/1.1\r\nHost: t\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+class AdminServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    server_.reset();
+    TraceRecorder::Global().set_enabled(false);
+    TraceRecorder::Global().Clear();
+  }
+
+  AdminServer& StartServer(AdminServerOptions options = {}) {
+    server_ = std::make_unique<AdminServer>(std::move(options));
+    Status started = server_->Start();
+    EXPECT_TRUE(started.ok()) << started.ToString();
+    EXPECT_NE(server_->port(), 0);  // ephemeral bind reported back
+    return *server_;
+  }
+
+  std::unique_ptr<AdminServer> server_;
+};
+
+TEST_F(AdminServerTest, IndexListsTheEndpoints) {
+  AdminServer& server = StartServer();
+  std::string response = Get(server.port(), "/");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("/metrics"), std::string::npos);
+  EXPECT_NE(response.find("/statusz"), std::string::npos);
+  EXPECT_NE(response.find("/tracez"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, MetricsServesPrometheusExposition) {
+  MetricRegistry::Default()
+      .GetCounter("qbs_admin_requests_total")
+      ->Increment();
+  AdminServer& server = StartServer();
+  std::string response = Get(server.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(response.find("# TYPE"), std::string::npos);
+  EXPECT_NE(response.find("qbs_admin_requests_total"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, StatuszShowsProcessInfoAndRegisteredProviders) {
+  server_ = std::make_unique<AdminServer>(AdminServerOptions{});
+  server_->AddStatus("flavor", [] { return std::string("vanilla"); });
+  ASSERT_TRUE(server_->Start().ok());
+  std::string response = Get(server_->port(), "/statusz");
+  EXPECT_NE(response.find("uptime_us: "), std::string::npos) << response;
+  EXPECT_NE(response.find("pid: "), std::string::npos);
+  EXPECT_NE(response.find("trace_enabled: true"), std::string::npos);
+  EXPECT_NE(response.find("flavor: vanilla"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, TracezListsSlowSpansAndHonorsThreshold) {
+  TraceRecorder::Global().Record("slow.op", 10, 50'000);
+  TraceRecorder::Global().Record("fast.op", 20, 5);
+  AdminServer& server = StartServer();
+  // Default threshold (1000us) keeps only the slow span.
+  std::string response = Get(server.port(), "/tracez");
+  EXPECT_NE(response.find("slow.op"), std::string::npos) << response;
+  EXPECT_EQ(response.find("fast.op"), std::string::npos);
+  // An explicit min_us=0 shows everything.
+  response = Get(server.port(), "/tracez?min_us=0");
+  EXPECT_NE(response.find("slow.op"), std::string::npos);
+  EXPECT_NE(response.find("fast.op"), std::string::npos);
+  // An unparseable threshold falls back to the default.
+  response = Get(server.port(), "/tracez?min_us=banana");
+  EXPECT_EQ(response.find("fast.op"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, TraceJsonIsLoadableChromeTrace) {
+  TraceRecorder::Global().Record("traced.op", 1, 2'000);
+  AdminServer& server = StartServer();
+  std::string response = Get(server.port(), "/trace.json");
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(response.find("\"traceEvents\""), std::string::npos) << response;
+  EXPECT_NE(response.find("\"traced.op\""), std::string::npos);
+}
+
+TEST_F(AdminServerTest, UnknownPathIs404) {
+  AdminServer& server = StartServer();
+  std::string response = Get(server.port(), "/nope");
+  EXPECT_NE(response.find("HTTP/1.1 404 Not Found"), std::string::npos)
+      << response;
+}
+
+TEST_F(AdminServerTest, NonGetMethodIs405) {
+  AdminServer& server = StartServer();
+  std::string response = RawRequest(
+      server.port(), "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 405 Method Not Allowed"),
+            std::string::npos)
+      << response;
+}
+
+TEST_F(AdminServerTest, RequestCounterCountsServedRequests) {
+  Counter* requests =
+      MetricRegistry::Default().GetCounter("qbs_admin_requests_total");
+  AdminServer& server = StartServer();
+  uint64_t before = requests->value();
+  Get(server.port(), "/");
+  Get(server.port(), "/metrics");
+  EXPECT_EQ(requests->value() - before, 2u);
+}
+
+TEST_F(AdminServerTest, ServesSequentialConnectionsAndStopsCleanly) {
+  AdminServer& server = StartServer();
+  for (int i = 0; i < 5; ++i) {
+    std::string response = Get(server.port(), "/");
+    ASSERT_NE(response.find("200 OK"), std::string::npos) << response;
+  }
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+}
+
+TEST_F(AdminServerTest, SecondStartIsRejected) {
+  AdminServer& server = StartServer();
+  Status again = server.Start();
+  EXPECT_TRUE(again.IsFailedPrecondition()) << again.ToString();
+}
+
+}  // namespace
+}  // namespace qbs

@@ -15,6 +15,8 @@
 #include "net/remote_db.h"
 #include "net/transport.h"
 #include "net/wire.h"
+#include "net/wire_client.h"
+#include "obs/trace.h"
 #include "search/text_database.h"
 
 namespace qbs {
@@ -533,6 +535,113 @@ TEST(WireSelectTest, LyingScoreCountRejectedWithoutHugeAllocation) {
   EXPECT_TRUE(decoded.status().IsCorruption());
 }
 
+// --- v4 trace context trailer ---------------------------------------------
+
+TEST(WireTraceTest, TraceTrailerRoundTripsOnEveryMethod) {
+  const WireMethod methods[] = {
+      WireMethod::kPing,          WireMethod::kServerInfo,
+      WireMethod::kRunQuery,      WireMethod::kFetchDocument,
+      WireMethod::kQueryAndFetch, WireMethod::kFetchBatch,
+      WireMethod::kSelect,        WireMethod::kBrokerStatus,
+  };
+  for (WireMethod method : methods) {
+    WireRequest request;
+    request.protocol_version = kTraceContextMinVersion;
+    request.request_id = 31;
+    request.method = method;
+    request.handles = {"h"};  // keep batch bodies decodable
+    request.trace.trace_id_hi = 0xdeadbeefcafef00d;
+    request.trace.trace_id_lo = 0x0123456789abcdef;
+    request.trace.parent_span_id = 0xfeedface;
+    request.trace.sampled = true;
+    request.trace.deadline_budget_us = 250'000;
+    auto decoded = DecodeRequest(EncodeRequest(request));
+    ASSERT_TRUE(decoded.ok())
+        << WireMethodName(method) << ": " << decoded.status().ToString();
+    EXPECT_EQ(decoded->trace.trace_id_hi, request.trace.trace_id_hi);
+    EXPECT_EQ(decoded->trace.trace_id_lo, request.trace.trace_id_lo);
+    EXPECT_EQ(decoded->trace.parent_span_id, request.trace.parent_span_id);
+    EXPECT_TRUE(decoded->trace.sampled);
+    EXPECT_EQ(decoded->trace.deadline_budget_us, 250'000u);
+  }
+}
+
+TEST(WireTraceTest, UnsampledFlagRoundTrips) {
+  WireRequest request;
+  request.protocol_version = kTraceContextMinVersion;
+  request.method = WireMethod::kPing;
+  request.trace.trace_id_hi = 1;
+  request.trace.trace_id_lo = 2;
+  request.trace.sampled = false;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->trace.valid());
+  EXPECT_FALSE(decoded->trace.sampled);
+  EXPECT_EQ(decoded->trace.deadline_budget_us, 0u);
+}
+
+TEST(WireTraceTest, AbsentTrailerDecodesAsInvalidContext) {
+  // A v3-era frame (no trailer) is byte-identical to a v4 frame from a
+  // caller with no ambient trace: both decode with trace.valid() false.
+  WireRequest request;
+  request.method = WireMethod::kRunQuery;
+  request.query = "q";
+  request.max_results = 1;
+  ASSERT_FALSE(request.trace.valid());
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->trace.valid());
+}
+
+TEST(WireTraceTest, EveryTrailerTruncationPrefixIsRejectedNotCrashed) {
+  WireRequest request;
+  request.protocol_version = kTraceContextMinVersion;
+  request.method = WireMethod::kSelect;
+  request.query = "q";
+  request.ranker = "cori";
+  request.max_results = 3;
+  std::vector<uint8_t> bare = EncodeRequest(request);
+  request.trace.trace_id_hi = 0xa;
+  request.trace.trace_id_lo = 0xb;
+  request.trace.sampled = true;
+  request.trace.deadline_budget_us = 1000;
+  std::vector<uint8_t> traced = EncodeRequest(request);
+  ASSERT_GT(traced.size(), bare.size());
+  // Every cut strictly inside the trailer must fail as Corruption — a
+  // partial trailer is never silently treated as "no trace context".
+  for (size_t cut = bare.size() + 1; cut < traced.size(); ++cut) {
+    std::vector<uint8_t> prefix(traced.begin(),
+                                traced.begin() + static_cast<ptrdiff_t>(cut));
+    auto decoded = DecodeRequest(prefix);
+    EXPECT_FALSE(decoded.ok()) << "trailer prefix of " << cut << " decoded";
+    EXPECT_TRUE(decoded.status().IsCorruption());
+  }
+}
+
+TEST(WireTraceTest, ZeroTraceIdTrailerRejected) {
+  WireRequest request;
+  request.method = WireMethod::kPing;
+  std::vector<uint8_t> payload = EncodeRequest(request);
+  // Hand-append a trailer whose 128-bit trace id is all zeroes: a sender
+  // bug, not a valid "absent" encoding (absent means no trailer at all).
+  payload.insert(payload.end(), 24, 0);  // trace_id_hi/lo + parent, zeroed
+  payload.push_back(0x01);               // flags: sampled
+  payload.push_back(0x00);               // deadline budget: unbounded
+  auto decoded = DecodeRequest(payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(WireTraceTest, GlobalRequestIdsAreUniqueAcrossClients) {
+  // Two ids pulled back-to-back — even as if by different WireClient
+  // instances — never collide; cross-tier log correlation depends on it.
+  uint64_t a = NextGlobalRequestId();
+  uint64_t b = NextGlobalRequestId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
 // --- cross-version compatibility -----------------------------------------
 //
 // Real client against real server over loopback, with one side pinned to
@@ -680,6 +789,43 @@ TEST(WireCompatibilityTest, OldServerRejectsBatchFramesWithDiagnosableError) {
   ASSERT_TRUE(round.ok()) << round.status().ToString();
   EXPECT_EQ(round->documents.size(), 2u);
   EXPECT_EQ(eager.negotiated_version(), 1u);
+}
+
+TEST(WireCompatibilityTest, TraceContextNeverSentToPreV4Servers) {
+  // A v4 client carrying an ambient trace context must keep working
+  // against servers pinned to every older protocol version: the trailer
+  // is only injected once negotiation lands on >= 4, and pre-v4 decoders
+  // reject trailing bytes as corruption, so success here proves the
+  // trailer was withheld.
+  for (uint32_t server_max : {1u, 2u, 3u}) {
+    VersionedPair pair;
+    ASSERT_TRUE(pair.Start(server_max, kWireProtocolVersion).ok());
+    ASSERT_EQ(pair.client->negotiated_version(), server_max);
+    TraceContext ambient;
+    ambient.trace_id_hi = 0x1234;
+    ambient.trace_id_lo = 0x5678;
+    ambient.parent_span_id = 0x9abc;
+    ambient.sampled = true;
+    TraceContextScope scope(ambient);
+    auto hits = pair.client->RunQuery("anything", 2);
+    ASSERT_TRUE(hits.ok())
+        << "server_max=" << server_max << ": " << hits.status().ToString();
+    EXPECT_EQ(hits->size(), 2u);
+  }
+}
+
+TEST(WireCompatibilityTest, TraceContextAcceptedByV4Server) {
+  VersionedPair pair;
+  ASSERT_TRUE(pair.Start(kWireProtocolVersion, kWireProtocolVersion).ok());
+  ASSERT_EQ(pair.client->negotiated_version(), kWireProtocolVersion);
+  TraceContext ambient;
+  ambient.trace_id_hi = 0x1234;
+  ambient.trace_id_lo = 0x5678;
+  ambient.sampled = true;
+  TraceContextScope scope(ambient);
+  auto hits = pair.client->RunQuery("anything", 3);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  EXPECT_EQ(hits->size(), 3u);
 }
 
 }  // namespace

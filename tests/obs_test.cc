@@ -366,5 +366,186 @@ TEST(MonotonicMicrosTest, IsMonotonic) {
   EXPECT_LE(a, b);
 }
 
+// --- Distributed tracing: span identity and context propagation ---
+
+// Enables the global recorder for a test and restores + clears after.
+class TraceIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceRecorder::Global().Clear();
+    TraceRecorder::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    TraceRecorder::Global().set_enabled(false);
+    TraceRecorder::Global().Clear();
+  }
+  static const TraceEvent* FindSpan(const std::vector<TraceEvent>& events,
+                                    const std::string& name) {
+    for (const TraceEvent& e : events) {
+      if (e.name == name) return &e;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(TraceIdentityTest, NestedSpansFormAParentChainInOneTrace) {
+  {
+    QBS_TRACE_SPAN("outer");
+    { QBS_TRACE_SPAN("inner"); }
+  }
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  const TraceEvent* outer = FindSpan(events, "outer");
+  const TraceEvent* inner = FindSpan(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The root span started a fresh trace both spans belong to.
+  EXPECT_NE(outer->trace_id_hi | outer->trace_id_lo, 0u);
+  EXPECT_EQ(inner->trace_id_hi, outer->trace_id_hi);
+  EXPECT_EQ(inner->trace_id_lo, outer->trace_id_lo);
+  EXPECT_NE(outer->span_id, 0u);
+  EXPECT_NE(inner->span_id, outer->span_id);
+  EXPECT_EQ(outer->parent_span_id, 0u);
+  EXPECT_EQ(inner->parent_span_id, outer->span_id);
+}
+
+TEST_F(TraceIdentityTest, SeparateRootSpansGetSeparateTraces) {
+  { QBS_TRACE_SPAN("first"); }
+  { QBS_TRACE_SPAN("second"); }
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  const TraceEvent* first = FindSpan(events, "first");
+  const TraceEvent* second = FindSpan(events, "second");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_TRUE(first->trace_id_hi != second->trace_id_hi ||
+              first->trace_id_lo != second->trace_id_lo);
+}
+
+TEST_F(TraceIdentityTest, RequestIdDetailFormatsIntoSpanName) {
+  { QBS_TRACE_SPAN("net.rpc", "select", uint64_t{42}); }
+  { QBS_TRACE_SPAN("net.rpc", "ping", uint64_t{0}); }  // 0 id: omitted
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  EXPECT_NE(FindSpan(events, "net.rpc/select#42"), nullptr);
+  EXPECT_NE(FindSpan(events, "net.rpc/ping"), nullptr);
+}
+
+TEST_F(TraceIdentityTest, ScopeInstallsAmbientContextAndRestores) {
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  EXPECT_EQ(CurrentRequestId(), 0u);
+  TraceContext remote;
+  remote.trace_id_hi = 0x1111;
+  remote.trace_id_lo = 0x2222;
+  remote.parent_span_id = 0x3333;
+  remote.sampled = true;
+  {
+    TraceContextScope scope(remote, /*request_id=*/99);
+    EXPECT_EQ(CurrentRequestId(), 99u);
+    TraceContext ambient = CurrentTraceContext();
+    EXPECT_EQ(ambient.trace_id_hi, 0x1111u);
+    EXPECT_EQ(ambient.trace_id_lo, 0x2222u);
+    EXPECT_EQ(ambient.parent_span_id, 0x3333u);
+    EXPECT_TRUE(ambient.sampled);
+    { QBS_TRACE_SPAN("under.remote"); }
+  }
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  EXPECT_EQ(CurrentRequestId(), 0u);
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  const TraceEvent* span = FindSpan(events, "under.remote");
+  ASSERT_NE(span, nullptr);
+  // The local span joined the remote trace and parented under the
+  // remote caller's span instead of starting its own trace.
+  EXPECT_EQ(span->trace_id_hi, 0x1111u);
+  EXPECT_EQ(span->trace_id_lo, 0x2222u);
+  EXPECT_EQ(span->parent_span_id, 0x3333u);
+}
+
+TEST_F(TraceIdentityTest, UnsampledContextSilencesSpans) {
+  TraceContext remote;
+  remote.trace_id_hi = 0x1;
+  remote.trace_id_lo = 0x2;
+  remote.sampled = false;
+  {
+    TraceContextScope scope(remote);
+    QBS_TRACE_SPAN("silent");
+  }
+  EXPECT_EQ(TraceRecorder::Global().size(), 0u);
+}
+
+TEST_F(TraceIdentityTest, SpanInsideScopeParentsUnderLocalSpanNotRemote) {
+  TraceContext remote;
+  remote.trace_id_hi = 0xaa;
+  remote.trace_id_lo = 0xbb;
+  remote.parent_span_id = 0xcc;
+  remote.sampled = true;
+  {
+    TraceContextScope scope(remote);
+    QBS_TRACE_SPAN("serve");
+    { QBS_TRACE_SPAN("handler"); }
+  }
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  const TraceEvent* serve = FindSpan(events, "serve");
+  const TraceEvent* handler = FindSpan(events, "handler");
+  ASSERT_NE(serve, nullptr);
+  ASSERT_NE(handler, nullptr);
+  EXPECT_EQ(serve->parent_span_id, 0xccu);
+  EXPECT_EQ(handler->parent_span_id, serve->span_id);
+  EXPECT_EQ(handler->trace_id_hi, 0xaau);
+}
+
+TEST_F(TraceIdentityTest, DeadlineBudgetCountsDownAndNeverHitsZero) {
+  TraceContext remote;
+  remote.trace_id_hi = 1;
+  remote.trace_id_lo = 1;
+  remote.sampled = true;
+  remote.deadline_budget_us = 1'000'000;
+  {
+    TraceContextScope scope(remote);
+    uint64_t remaining = CurrentTraceContext().deadline_budget_us;
+    EXPECT_GT(remaining, 0u);
+    EXPECT_LE(remaining, 1'000'000u);
+  }
+  // An already-expired budget propagates as "1us left", not "unbounded".
+  remote.deadline_budget_us = 0;  // unbounded stays unbounded
+  {
+    TraceContextScope scope(remote);
+    EXPECT_EQ(CurrentTraceContext().deadline_budget_us, 0u);
+  }
+}
+
+TEST(TraceRecorderTest, OverwritesAreCountedAsDropped) {
+  Counter* metric = MetricRegistry::Default().GetCounter(
+      "qbs_trace_spans_dropped_total");
+  uint64_t before = metric->value();
+  TraceRecorder recorder(2);
+  recorder.set_enabled(true);
+  for (int i = 0; i < 5; ++i) recorder.Record("s", i, 1);
+  EXPECT_EQ(recorder.dropped(), 3u);
+  EXPECT_EQ(metric->value() - before, 3u);
+}
+
+TEST(TraceRecorderTest, ChromeTraceCarriesIdsAndProcessName) {
+  TraceRecorder recorder(8);
+  recorder.set_enabled(true);
+  TraceEvent event;
+  event.name = "identified";
+  event.start_us = 5;
+  event.duration_us = 2;
+  event.trace_id_hi = 0xabcd;
+  event.trace_id_lo = 0x1234;
+  event.span_id = 0x77;
+  event.parent_span_id = 0x66;
+  recorder.Record(std::move(event));
+  std::ostringstream out;
+  recorder.DumpChromeTrace(out, "qbs test-process");
+  std::string json = out.str();
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"qbs test-process\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"000000000000abcd0000000000001234\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"span_id\":\"0000000000000077\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"parent_span_id\":\"0000000000000066\""),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace qbs

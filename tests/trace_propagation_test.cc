@@ -1,0 +1,171 @@
+// The distributed-tracing acceptance scenario: one Select through a
+// live broker that fans out to a remote DbServer, with all three tiers
+// (selector client, broker, db server) recording spans. Every span must
+// carry the single trace id the client minted, and the parent links
+// must reconstruct the call tree:
+//
+//   net.rpc/select#A            client-side RPC span (trace root)
+//     net.serve/select#A        broker server handling tier
+//       net.rpc/run_query#B     broker's fan-out call to the db server
+//         net.serve/run_query#B db server handling tier
+//       broker.select/...#A     broker ranking work
+//
+// The tiers run as separate servers on separate threads in this
+// process, so the one global TraceRecorder sees all of them — which is
+// exactly what lets the test assert cross-tier parent links directly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker_server.h"
+#include "broker/remote_selector.h"
+#include "broker/selection_broker.h"
+#include "corpus/synthetic.h"
+#include "net/db_server.h"
+#include "net/remote_db.h"
+#include "obs/trace.h"
+#include "service/sampling_service.h"
+
+namespace qbs {
+namespace {
+
+const TraceEvent* FindByPrefix(const std::vector<TraceEvent>& events,
+                               const std::string& prefix) {
+  for (const TraceEvent& e : events) {
+    if (e.name.rfind(prefix, 0) == 0) return &e;
+  }
+  return nullptr;
+}
+
+TEST(TracePropagationTest, OneTraceIdSpansClientBrokerAndDbServer) {
+  // A small synthetic federation: one engine, sampled and published so
+  // broker Selects succeed.
+  SyntheticCorpusSpec spec;
+  spec.name = "trace-db";
+  spec.num_docs = 200;
+  spec.vocab_size = 10'000;
+  spec.num_topics = 2;
+  spec.seed = 7100;
+  auto engine = BuildSyntheticEngine(spec);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  ServiceOptions service_options;
+  service_options.sampler.stopping.max_documents = 30;
+  LanguageModel actual = (*engine)->ActualLanguageModel();
+  for (const auto& [term, score] : actual.RankedTerms(TermMetric::kCtf, 4)) {
+    service_options.seed_terms.push_back(term);
+  }
+  SamplingService service(service_options);
+  ASSERT_TRUE(service.AddDatabase(engine->get()).ok());
+  ASSERT_TRUE(service.RefreshAll().ok());
+  SelectionBroker broker(&service.registry());
+
+  // Tier 3: the db server the broker fans out to.
+  DbServer db_server(engine->get(), {});
+  ASSERT_TRUE(db_server.Start().ok());
+  RemoteDatabaseOptions db_client_options;
+  db_client_options.port = db_server.port();
+  RemoteTextDatabase remote_db(db_client_options);
+  ASSERT_TRUE(remote_db.Connect().ok());
+  ASSERT_EQ(remote_db.negotiated_version(), kWireProtocolVersion);
+
+  // Tier 2: a broker whose admitted Selects call through to the db
+  // server — the fan-out happens inside the serve-side trace scope, so
+  // the nested RPC must inherit and extend the caller's trace.
+  std::atomic<bool> fanout_enabled{false};
+  std::atomic<bool> fanout_ok{false};
+  BrokerServerOptions broker_options;
+  broker_options.select_hook = [&] {
+    if (!fanout_enabled.load()) return;
+    auto hits = remote_db.RunQuery("anything", 2);
+    fanout_ok.store(hits.ok());
+  };
+  BrokerServer broker_server(&broker, broker_options);
+  ASSERT_TRUE(broker_server.Start().ok());
+
+  // Tier 1: the selector client. Connect (and negotiate) before
+  // enabling the recorder so only the traced Select's spans land in it.
+  WireClientOptions selector_options;
+  selector_options.port = broker_server.port();
+  RemoteSelector selector(selector_options);
+  ASSERT_TRUE(selector.Connect().ok());
+  ASSERT_EQ(selector.negotiated_version(), kWireProtocolVersion);
+
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().set_enabled(true);
+  fanout_enabled.store(true);
+  auto result = selector.Select(service_options.seed_terms[0], "cori");
+  fanout_enabled.store(false);
+  TraceRecorder::Global().set_enabled(false);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(fanout_ok.load());
+
+  std::vector<TraceEvent> events = TraceRecorder::Global().Events();
+  TraceRecorder::Global().Clear();
+  const TraceEvent* rpc_select = FindByPrefix(events, "net.rpc/select#");
+  const TraceEvent* serve_select = FindByPrefix(events, "net.serve/select#");
+  const TraceEvent* broker_select = FindByPrefix(events, "broker.select/");
+  const TraceEvent* rpc_run = FindByPrefix(events, "net.rpc/run_query#");
+  const TraceEvent* serve_run = FindByPrefix(events, "net.serve/run_query#");
+  ASSERT_NE(rpc_select, nullptr);
+  ASSERT_NE(serve_select, nullptr);
+  ASSERT_NE(broker_select, nullptr);
+  ASSERT_NE(rpc_run, nullptr);
+  ASSERT_NE(serve_run, nullptr);
+
+  // One trace id, minted by the client's root span, spans every tier.
+  EXPECT_NE(rpc_select->trace_id_hi | rpc_select->trace_id_lo, 0u);
+  for (const TraceEvent* span :
+       {serve_select, broker_select, rpc_run, serve_run}) {
+    EXPECT_EQ(span->trace_id_hi, rpc_select->trace_id_hi) << span->name;
+    EXPECT_EQ(span->trace_id_lo, rpc_select->trace_id_lo) << span->name;
+  }
+
+  // Parent links reconstruct the call tree across the wire hops.
+  EXPECT_EQ(rpc_select->parent_span_id, 0u);  // the root
+  EXPECT_EQ(serve_select->parent_span_id, rpc_select->span_id);
+  EXPECT_EQ(broker_select->parent_span_id, serve_select->span_id);
+  EXPECT_EQ(rpc_run->parent_span_id, serve_select->span_id);
+  EXPECT_EQ(serve_run->parent_span_id, rpc_run->span_id);
+
+  // The request id crosses the wire: client and server spans of the
+  // same hop agree on it, and the two hops use distinct global ids.
+  std::string select_id = rpc_select->name.substr(rpc_select->name.find('#'));
+  std::string run_id = rpc_run->name.substr(rpc_run->name.find('#'));
+  EXPECT_EQ(serve_select->name.substr(serve_select->name.find('#')),
+            select_id);
+  EXPECT_EQ(serve_run->name.substr(serve_run->name.find('#')), run_id);
+  EXPECT_NE(select_id, run_id);
+}
+
+TEST(TracePropagationTest, UnsampledRootStaysSilentAcrossTiers) {
+  // With the recorder disabled on the client there is no root span, no
+  // ambient context, and therefore nothing injected on the wire: the
+  // server side must record nothing even if its recorder were enabled.
+  SyntheticCorpusSpec spec;
+  spec.name = "trace-db-2";
+  spec.num_docs = 100;
+  spec.vocab_size = 5'000;
+  spec.seed = 7200;
+  auto engine = BuildSyntheticEngine(spec);
+  ASSERT_TRUE(engine.ok());
+  DbServer db_server(engine->get(), {});
+  ASSERT_TRUE(db_server.Start().ok());
+  RemoteDatabaseOptions options;
+  options.port = db_server.port();
+  RemoteTextDatabase client(options);
+  ASSERT_TRUE(client.Connect().ok());
+
+  TraceRecorder::Global().Clear();
+  ASSERT_FALSE(TraceRecorder::Global().enabled());
+  auto hits = client.RunQuery("anything", 2);
+  ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+  EXPECT_EQ(TraceRecorder::Global().size(), 0u);
+}
+
+}  // namespace
+}  // namespace qbs

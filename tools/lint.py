@@ -18,6 +18,10 @@ Enforces the structural invariants clang-tidy cannot express:
   log      no QBS_LOG in headers under src/ — headers are included into
            hot paths and must not force the logging machinery (and its
            ostringstream) on every includer
+  metricdoc  every qbs_* metric name registered in src/ (GetCounter /
+           GetGauge / GetHistogram / WithLabel) appears in
+           docs/OBSERVABILITY.md — an undocumented metric is invisible
+           to the people dashboarding on that table
   format   clang-format --dry-run is clean (skipped with a notice when
            clang-format is not installed; `--fix` rewrites in place)
 
@@ -208,6 +212,42 @@ def check_log_in_headers(root):
     return violations
 
 
+METRIC_DOC_PATH = "docs/OBSERVABILITY.md"
+# A metric registration: the qbs_* name handed to the registry (or to
+# WithLabel, whose base name is what the docs table lists). \s* crosses
+# the line break clang-format puts after the open paren.
+METRIC_REGISTRATION_RE = re.compile(
+    r'\b(?:GetCounter|GetGauge|GetHistogram|WithLabel)\s*\(\s*'
+    r'"(qbs_[A-Za-z0-9_]+)"')
+
+
+def check_metric_docs(root):
+    doc_path = os.path.join(root, METRIC_DOC_PATH)
+    doc_text = ""
+    if os.path.isfile(doc_path):
+        with open(doc_path, encoding="utf-8", errors="replace") as f:
+            doc_text = f.read()
+    violations = []
+    reported = set()
+    for path in cxx_files(root):
+        relpath = rel(root, path)
+        if not relpath.startswith("src/"):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        for match in METRIC_REGISTRATION_RE.finditer(text):
+            name = match.group(1)
+            if name in reported or name in doc_text:
+                continue
+            reported.add(name)
+            lineno = text.count("\n", 0, match.start()) + 1
+            violations.append(
+                (relpath, lineno,
+                 f"metric '{name}' is registered but not documented in "
+                 f"{METRIC_DOC_PATH}"))
+    return violations
+
+
 def clang_format_exe():
     return shutil.which("clang-format")
 
@@ -240,6 +280,7 @@ CHECKS = {
     "cout": check_cout,
     "cmake": check_cmake_lists,
     "log": check_log_in_headers,
+    "metricdoc": check_metric_docs,
 }
 
 
@@ -286,6 +327,10 @@ def seed_tree(root):
         f.write('#include "util/clean.h"\n')
     with open(os.path.join(tests, "CMakeLists.txt"), "w") as f:
         f.write("add_executable(clean_test clean_test.cc)\n")
+    docs = os.path.join(root, "docs")
+    os.makedirs(docs)
+    with open(os.path.join(docs, "OBSERVABILITY.md"), "w") as f:
+        f.write("| `qbs_documented_total` | documented |\n")
 
 
 def self_test():
@@ -315,6 +360,10 @@ def self_test():
         "log": [("src/util/hot.h",
                  "#ifndef QBS_UTIL_HOT_H_\n#define QBS_UTIL_HOT_H_\n"
                  'inline void F() { QBS_LOG(INFO) << "x"; }\n#endif\n')],
+        "metricdoc": [("src/util/metric.cc",
+                       'void F(MetricRegistry& r) {\n'
+                       '  r.GetCounter(\n'
+                       '      "qbs_seeded_bogus_total", "help");\n}\n')],
     }
     for check, cases in seeds.items():
         for path, content in cases:

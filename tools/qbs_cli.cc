@@ -15,15 +15,18 @@
 //                 [--docs N] [--threads N]
 //                 [--query "..."] [--ranker NAME]
 //   qbs serve-db  (--synthetic PRESET | --trec FILE)
-//                 [--host ADDR] [--port N] [--threads N]
+//                 [--host ADDR] [--port N] [--threads N] [--admin_port N]
 //   qbs serve-broker (--synthetic PRESET | --trec FILE | --remote HOST:PORT)...
 //                 [--docs N] [--host ADDR] [--port N] [--threads N]
-//                 [--max-inflight N]
+//                 [--max-inflight N] [--admin_port N]
 //
 // Observability (any command):
 //   --metrics_out FILE   Prometheus text dump of all metrics on exit
 //   --trace_out FILE     Chrome trace_event JSON (chrome://tracing)
 //   --log_level LEVEL    debug|info|warning|error|off (default info)
+// Observability (serve-db / serve-broker):
+//   --admin_port N       embedded admin HTTP endpoint (/metrics, /statusz,
+//                        /tracez, /trace.json); 0 = ephemeral port
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -76,12 +79,12 @@ int Usage() {
                  run the sampling service over a federation and report;
                  --remote databases are sampled over the wire protocol
   qbs serve-db  (--synthetic PRESET | --trec FILE)
-                [--host ADDR] [--port N] [--threads N]
+                [--host ADDR] [--port N] [--threads N] [--admin_port N]
                  expose one database on a TCP port (port 0 = ephemeral);
                  prints the bound address, serves until stdin closes
   qbs serve-broker (--synthetic PRESET | --trec FILE | --remote HOST:PORT)...
                 [--docs N] [--host ADDR] [--port N] [--threads N]
-                [--max-inflight N]
+                [--max-inflight N] [--admin_port N]
                  sample the federation, then serve Select RPCs (wire v3)
                  from lock-free model snapshots until stdin closes
 
@@ -89,7 +92,10 @@ observability flags, valid with every command:
   --metrics_out FILE  write a Prometheus-style metrics dump on exit
                       (FILE.json next to it with the JSON exposition)
   --trace_out FILE    record spans, write Chrome trace_event JSON on exit
+                      (merge several with tools/trace_merge.py)
   --log_level LEVEL   debug|info|warning|error|off (default info)
+  --admin_port N      serve-db/serve-broker: embedded admin HTTP endpoint
+                      (/metrics, /statusz, /tracez); 0 = ephemeral port
 
 Language models are read/written in the #QBSLM v1 text format.
 )");
@@ -148,10 +154,28 @@ void SetUpObservability(const std::multimap<std::string, std::string>& flags) {
   }
 }
 
+// The --admin_port flag: the port to serve the embedded admin HTTP
+// endpoint on (0 = ephemeral), or -1 (disabled) when the flag is absent.
+int32_t AdminPortFlag(const std::multimap<std::string, std::string>& flags) {
+  std::string value = ObsFlag(flags, "admin_port");
+  if (value.empty()) return -1;
+  try {
+    unsigned long port = std::stoul(value);
+    if (port <= 65535) return static_cast<int32_t>(port);
+  } catch (...) {
+  }
+  std::fprintf(stderr, "bad --admin_port '%s'; admin endpoint disabled\n",
+               value.c_str());
+  return -1;
+}
+
 // Writes --metrics_out / --trace_out files after the command ran. Failures
 // are reported but do not change the command's exit code: observability
 // output must never turn a successful run into a failed one.
-void DumpObservability(const std::multimap<std::string, std::string>& flags) {
+// `process_name` labels the trace dump so tools/trace_merge.py can name
+// each process in a stitched multi-process timeline.
+void DumpObservability(const std::multimap<std::string, std::string>& flags,
+                       const std::string& process_name) {
   std::string metrics_path = ObsFlag(flags, "metrics_out");
   if (!metrics_path.empty()) {
     std::ofstream out(metrics_path);
@@ -174,7 +198,7 @@ void DumpObservability(const std::multimap<std::string, std::string>& flags) {
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
     } else {
-      TraceRecorder::Global().DumpChromeTrace(out);
+      TraceRecorder::Global().DumpChromeTrace(out, process_name);
       out << "\n";
       std::fprintf(stderr, "trace: %zu spans -> %s\n",
                    TraceRecorder::Global().size(), trace_path.c_str());
@@ -614,6 +638,7 @@ int CmdServeDb(const std::multimap<std::string, std::string>& flags) {
   opts.host = FlagOr(flags, "host", "127.0.0.1");
   opts.port = static_cast<uint16_t>(std::stoul(FlagOr(flags, "port", "0")));
   opts.num_workers = std::stoul(FlagOr(flags, "threads", "4"));
+  opts.admin_port = AdminPortFlag(flags);
   DbServer server(engine->get(), opts);
   Status status = server.Start();
   if (!status.ok()) {
@@ -623,6 +648,10 @@ int CmdServeDb(const std::multimap<std::string, std::string>& flags) {
   // Scripts read this line to learn the ephemeral port.
   std::printf("serving '%s' on %s\n", (*engine)->name().c_str(),
               server.address().c_str());
+  if (server.admin_server() != nullptr) {
+    std::printf("admin on http://%s/\n",
+                server.admin_server()->address().c_str());
+  }
   std::fflush(stdout);
 
   // Serve until stdin closes (Ctrl-D, or the supervising process exits),
@@ -698,6 +727,7 @@ int CmdServeBroker(const std::multimap<std::string, std::string>& flags) {
   server_opts.num_workers = std::stoul(FlagOr(flags, "threads", "4"));
   server_opts.admission.max_inflight =
       std::stoul(FlagOr(flags, "max-inflight", "64"));
+  server_opts.admin_port = AdminPortFlag(flags);
   BrokerServer server(&broker, server_opts);
   Status status = server.Start();
   if (!status.ok()) {
@@ -707,6 +737,10 @@ int CmdServeBroker(const std::multimap<std::string, std::string>& flags) {
   // Scripts read this line to learn the ephemeral port.
   std::printf("serving broker over %zu database(s) on %s\n", service.size(),
               server.address().c_str());
+  if (server.admin_server() != nullptr) {
+    std::printf("admin on http://%s/\n",
+                server.admin_server()->address().c_str());
+  }
   std::fflush(stdout);
 
   while (std::getchar() != EOF) {
@@ -744,7 +778,7 @@ int Main(int argc, char** argv) {
   } else {
     return Usage();
   }
-  DumpObservability(flags);
+  DumpObservability(flags, "qbs " + cmd);
   return rc;
 }
 

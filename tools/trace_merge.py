@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Stitch per-process qbs Chrome trace dumps into one timeline.
+
+Each qbs process dumps its own trace (qbs_cli --trace_out, or the admin
+endpoint's /trace.json) with pid 1 and its own monotonic clock. This
+tool merges several such files into a single Chrome trace_event JSON
+loadable in about:tracing or https://ui.perfetto.dev: every input file
+becomes its own pid (with a process_name metadata row), and spans keep
+the trace_id / span_id / parent_span_id args the v4 wire protocol
+propagated, so one distributed operation reads as one tree across
+processes.
+
+Clocks are NOT synchronized across processes — each process's
+MonotonicMicros starts at its own process start. --align shifts every
+file so its earliest event starts at 0, which lines processes up well
+enough to eyeball concurrency; leave it off to keep raw timestamps.
+
+Usage:
+  tools/trace_merge.py client.json broker.json db.json -o merged.json
+  tools/trace_merge.py --trace-id <hex32> a.json b.json   # one trace only
+  tools/trace_merge.py --self-test
+
+Exit status: 0 on success (self-test included), 1 on merge errors,
+2 on usage errors. Unresolved parent_span_id links (a parent span that
+was overwritten in its process's ring buffer, or a file not passed in)
+are reported on stderr but do not fail the merge.
+"""
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+
+
+def load_trace(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: no traceEvents array")
+    return events
+
+
+def process_name_of(events, path):
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            name = event.get("args", {}).get("name")
+            if name:
+                return name
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def merge(paths, trace_id=None, align=False):
+    """Returns (merged_doc, unresolved_parent_count)."""
+    merged = []
+    span_ids = set()
+    parents = []  # (parent_span_id, process_name, event_name)
+    for pid, path in enumerate(paths, start=1):
+        events = load_trace(path)
+        name = process_name_of(events, path)
+        merged.append({"name": "process_name", "ph": "M", "pid": pid,
+                       "tid": 0, "args": {"name": name}})
+        spans = [e for e in events if e.get("ph") == "X"]
+        if trace_id is not None:
+            spans = [e for e in spans
+                     if e.get("args", {}).get("trace_id") == trace_id]
+        shift = 0
+        if align and spans:
+            shift = min(e.get("ts", 0) for e in spans)
+        for event in spans:
+            event = dict(event)
+            event["pid"] = pid
+            if shift:
+                event["ts"] = event.get("ts", 0) - shift
+            merged.append(event)
+            args = event.get("args", {})
+            if "span_id" in args:
+                span_ids.add(args["span_id"])
+            parent = args.get("parent_span_id")
+            if parent is not None:
+                parents.append((parent, name, event.get("name", "?")))
+    unresolved = 0
+    for parent, process, event_name in parents:
+        if parent not in span_ids:
+            unresolved += 1
+            print(f"trace_merge: unresolved parent {parent} of "
+                  f"'{event_name}' in {process} (span evicted or its "
+                  f"process's dump not passed in)", file=sys.stderr)
+    return {"displayTimeUnit": "ms", "traceEvents": merged}, unresolved
+
+
+# --- self test -----------------------------------------------------------
+
+def _fake_dump(process, spans):
+    events = [{"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+               "args": {"name": process}}]
+    for name, ts, dur, span, parent in spans:
+        args = {"trace_id": "ab" * 16, "span_id": span}
+        if parent:
+            args["parent_span_id"] = parent
+        events.append({"name": name, "cat": "qbs", "ph": "X", "ts": ts,
+                       "dur": dur, "pid": 1, "tid": 1, "args": args})
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def self_test():
+    failures = []
+
+    def expect(condition, label):
+        print(f"  {'ok' if condition else 'FAIL'}: {label}")
+        if not condition:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        client = os.path.join(tmp, "client.json")
+        server = os.path.join(tmp, "server.json")
+        with open(client, "w") as f:
+            json.dump(_fake_dump("qbs select", [
+                ("net.rpc/select", 100, 50, "aaaa", None)]), f)
+        with open(server, "w") as f:
+            json.dump(_fake_dump("qbs serve-broker", [
+                ("net.serve/select", 5, 40, "bbbb", "aaaa"),
+                ("broker.select/cori", 10, 30, "cccc", "bbbb")]), f)
+
+        doc, unresolved = merge([client, server])
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        names = {e["name"] for e in spans}
+        metas = [e for e in doc["traceEvents"] if e.get("ph") == "M"]
+        expect(len(spans) == 3, "all spans merged")
+        expect(unresolved == 0, "cross-file parent link resolves")
+        expect({e["pid"] for e in spans} == {1, 2},
+               "each file gets its own pid")
+        expect(len(metas) == 2 and
+               {m["args"]["name"] for m in metas} ==
+               {"qbs select", "qbs serve-broker"},
+               "process names carried over")
+        expect("broker.select/cori" in names, "span names survive")
+        expect(json.loads(json.dumps(doc)) == doc, "output is valid JSON")
+
+        doc, _ = merge([client, server], trace_id="00" * 16)
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        expect(len(spans) == 0, "--trace-id filters foreign traces")
+
+        _, unresolved = merge([server])
+        expect(unresolved == 1,
+               "missing parent file reported as unresolved")
+
+        doc, _ = merge([client, server], align=True)
+        spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        expect(min(e["ts"] for e in spans if e["pid"] == 1) == 0 and
+               min(e["ts"] for e in spans if e["pid"] == 2) == 0,
+               "--align rebases each file to 0")
+
+    print(f"self-test: {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="per-process trace dumps")
+    parser.add_argument("-o", "--out", default=None,
+                        help="output path (default: stdout)")
+    parser.add_argument("--trace-id", default=None,
+                        help="keep only spans of this 32-hex-digit trace")
+    parser.add_argument("--align", action="store_true",
+                        help="rebase each file's earliest span to ts=0")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify merging on synthesized dumps")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.files:
+        parser.print_usage(sys.stderr)
+        return 2
+    try:
+        doc, _ = merge(args.files, trace_id=args.trace_id, align=args.align)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"trace_merge: {error}", file=sys.stderr)
+        return 1
+    text = json.dumps(doc)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            f.write(text + "\n")
+        spans = sum(1 for e in doc["traceEvents"] if e.get("ph") == "X")
+        print(f"trace_merge: {spans} spans from {len(args.files)} "
+              f"file(s) -> {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
