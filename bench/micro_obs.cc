@@ -208,8 +208,13 @@ void BM_AdminMetricsScrape(benchmark::State& state) {
       state.SkipWithError("dial failed");
       return;
     }
-    (*stream)->WriteAll(reinterpret_cast<const uint8_t*>(request.data()),
-                        request.size());
+    if (!(*stream)
+             ->WriteAll(reinterpret_cast<const uint8_t*>(request.data()),
+                        request.size())
+             .ok()) {
+      state.SkipWithError("write failed");
+      return;
+    }
     std::string response;
     uint8_t byte = 0;
     while ((*stream)->ReadFull(&byte, 1).ok()) {

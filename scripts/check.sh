@@ -10,8 +10,11 @@
 #   tidy        clang-tidy (.clang-tidy config) on every translation unit
 #               — skipped with a notice when clang-tidy is not installed
 #
-# tools/lint.py (repo invariants + clang-format) always runs first: it is
-# the cheapest check and catches structural rot before any compile.
+# tools/lint.py (repo invariants + clang-format) and tools/analyze.py
+# (concurrency/ownership invariants: annotated-mutex usage, no blocking
+# call under a lock, no detached threads, no naked new/delete, no
+# virtual calls in constructors) always run first: they are the cheapest
+# checks and catch structural rot before any compile.
 #
 # Usage:
 #   scripts/check.sh                 # everything
@@ -43,6 +46,10 @@ banner() { printf '\n=== %s ===\n' "$*"; }
 banner "lint (tools/lint.py)"
 python3 tools/lint.py --root .
 python3 tools/lint.py --self-test >/dev/null
+
+banner "analyze (tools/analyze.py)"
+python3 tools/analyze.py --root .
+python3 tools/analyze.py --self-test >/dev/null
 
 run_preset() {
   local preset="$1"

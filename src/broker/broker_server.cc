@@ -48,7 +48,7 @@ AdmissionController::AdmissionController(AdmissionOptions options)
 
 bool AdmissionController::Admit() {
   if (options_.max_inflight == 0) return true;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (inflight_ < options_.max_inflight) {
     ++inflight_;
     return true;
@@ -56,9 +56,9 @@ bool AdmissionController::Admit() {
   // Full: wait for a slot, but only as long as the queue deadline — a
   // request that would wait longer is better answered kUnavailable now
   // than served stale later.
-  const bool admitted = slot_freed_.wait_for(
-      lock, std::chrono::microseconds(options_.queue_timeout_us),
-      [this] { return inflight_ < options_.max_inflight; });
+  const bool admitted = slot_freed_.WaitFor(
+      mu_, options_.queue_timeout_us,
+      [this]() QBS_REQUIRES(mu_) { return inflight_ < options_.max_inflight; });
   if (!admitted) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     return false;
@@ -70,14 +70,14 @@ bool AdmissionController::Admit() {
 void AdmissionController::Release() {
   if (options_.max_inflight == 0) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --inflight_;
   }
-  slot_freed_.notify_one();
+  slot_freed_.NotifyOne();
 }
 
 size_t AdmissionController::inflight() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return inflight_;
 }
 

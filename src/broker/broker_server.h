@@ -13,15 +13,15 @@
 #define QBS_BROKER_BROKER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
 #include "broker/selection_broker.h"
 #include "net/frame_server.h"
 #include "net/wire.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace qbs {
 
@@ -46,22 +46,22 @@ class AdmissionController {
   /// Takes an in-flight slot, waiting up to queue_timeout_us for one to
   /// free. False = shed (the caller must answer kUnavailable and must
   /// NOT Release()).
-  bool Admit();
+  [[nodiscard]] bool Admit() QBS_EXCLUDES(mu_);
 
   /// Returns the slot taken by a successful Admit().
-  void Release();
+  void Release() QBS_EXCLUDES(mu_);
 
   /// Requests shed so far.
   uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
 
   /// Currently admitted requests.
-  size_t inflight() const;
+  size_t inflight() const QBS_EXCLUDES(mu_);
 
  private:
   AdmissionOptions options_;
-  mutable std::mutex mu_;
-  std::condition_variable slot_freed_;
-  size_t inflight_ = 0;  // guarded by mu_
+  mutable Mutex mu_;
+  CondVar slot_freed_;
+  size_t inflight_ QBS_GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> shed_{0};
 };
 

@@ -34,6 +34,7 @@ std::shared_ptr<const SelectionSnapshot> ModelRegistry::Build(
     uint64_t epoch, DatabaseCollection collection) {
   // Not make_shared: the constructor is private, and a plain `new`
   // keeps the friend declaration sufficient.
+  // analyze:allow(rawnew): private ctor; adopted by shared_ptr here
   std::shared_ptr<SelectionSnapshot> snapshot(new SelectionSnapshot());
   snapshot->epoch_ = epoch;
   snapshot->collection_ = std::move(collection);
@@ -49,7 +50,7 @@ std::shared_ptr<const SelectionSnapshot> ModelRegistry::Build(
 }
 
 uint64_t ModelRegistry::Publish(DatabaseCollection collection) {
-  std::lock_guard<std::mutex> lock(publish_mu_);
+  MutexLock lock(publish_mu_);
   const uint64_t epoch = next_epoch_++;
   // Built outside any reader's path and swapped in whole: a Select that
   // started a nanosecond ago keeps its old snapshot; the next Snapshot()

@@ -16,11 +16,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <vector>
 
 #include "selection/db_selection.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace qbs {
 
@@ -81,9 +82,9 @@ class ModelRegistry {
       uint64_t epoch, DatabaseCollection collection);
 
   std::atomic<std::shared_ptr<const SelectionSnapshot>> snapshot_;
-  /// Serializes publishers only; guards next_epoch_.
-  std::mutex publish_mu_;
-  uint64_t next_epoch_ = 1;
+  /// Serializes publishers only; readers never touch it.
+  Mutex publish_mu_;
+  uint64_t next_epoch_ QBS_GUARDED_BY(publish_mu_) = 1;
 };
 
 }  // namespace qbs

@@ -49,7 +49,7 @@ ResultCache::Shard& ResultCache::ShardFor(const std::string& key) {
 
 ResultCache::Ranking ResultCache::Get(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -65,7 +65,7 @@ ResultCache::Ranking ResultCache::Get(const std::string& key) {
 
 void ResultCache::Put(const std::string& key, Ranking ranking) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     // Concurrent compute of the same selection; keep the fresher value

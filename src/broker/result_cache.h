@@ -13,7 +13,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -21,6 +20,8 @@
 #include <vector>
 
 #include "selection/db_selection.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace qbs {
 
@@ -69,12 +70,12 @@ class ResultCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Most-recently-used at the front.
-    std::list<std::pair<std::string, Ranking>> lru;
+    std::list<std::pair<std::string, Ranking>> lru QBS_GUARDED_BY(mu);
     std::unordered_map<std::string,
                        std::list<std::pair<std::string, Ranking>>::iterator>
-        index;
+        index QBS_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);

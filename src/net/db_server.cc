@@ -73,7 +73,7 @@ WireResponse DbServer::Handle(const WireRequest& request) {
     case WireMethod::kRunQuery: {
       Result<std::vector<SearchHit>> hits = [&] {
         if (serialize_database_) {
-          std::lock_guard<std::mutex> lock(db_mu_);
+          MutexLock lock(db_mu_);
           return db_->RunQuery(request.query,
                                static_cast<size_t>(request.max_results));
         }
@@ -90,7 +90,7 @@ WireResponse DbServer::Handle(const WireRequest& request) {
     case WireMethod::kFetchDocument: {
       Result<std::string> text = [&] {
         if (serialize_database_) {
-          std::lock_guard<std::mutex> lock(db_mu_);
+          MutexLock lock(db_mu_);
           return db_->FetchDocument(request.handle);
         }
         return db_->FetchDocument(request.handle);
@@ -110,7 +110,7 @@ WireResponse DbServer::Handle(const WireRequest& request) {
       // buys nothing but lock churn.
       Result<QueryAndFetchResult> round = [&] {
         if (serialize_database_) {
-          std::lock_guard<std::mutex> lock(db_mu_);
+          MutexLock lock(db_mu_);
           return db_->QueryAndFetch(request.query,
                                     static_cast<size_t>(request.max_results));
         }
@@ -130,7 +130,7 @@ WireResponse DbServer::Handle(const WireRequest& request) {
       metrics.batch_requests->Increment();
       Result<std::vector<FetchedDocument>> docs = [&] {
         if (serialize_database_) {
-          std::lock_guard<std::mutex> lock(db_mu_);
+          MutexLock lock(db_mu_);
           return db_->FetchBatch(request.handles);
         }
         return db_->FetchBatch(request.handles);

@@ -10,13 +10,14 @@
 #define QBS_NET_DB_SERVER_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "net/frame_server.h"
 #include "net/wire.h"
 #include "search/text_database.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace qbs {
 
@@ -63,10 +64,18 @@ class DbServer : public FrameServer {
   WireResponse Handle(const WireRequest& request) override;
 
  private:
-  TextDatabase* db_;
+  // Guarded when serialize_database_ is set: SearchEngine is only
+  // thread-compatible, so every call into it holds db_mu_. (When the
+  // flag is off the database is itself thread-safe and db_mu_ is never
+  // taken — the annotation documents the serialized configuration.)
+  // db_ may block (a RemoteTextDatabase proxy does network I/O), which
+  // is why thread-safe databases should run with serialize_database
+  // off. The calls are virtual, so tools/analyze.py's blockinglock walk
+  // cannot see through them: this is the one place a lock deliberately
+  // spans potentially-blocking work, documented here instead.
+  TextDatabase* db_ QBS_PT_GUARDED_BY(db_mu_);
   bool serialize_database_;
-  // Guards calls into db_ when serialize_database_ is set.
-  std::mutex db_mu_;
+  Mutex db_mu_;
 };
 
 }  // namespace qbs

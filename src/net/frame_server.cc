@@ -95,7 +95,7 @@ FrameServer::~FrameServer() {
 }
 
 bool FrameServer::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return running_;
 }
 
@@ -104,18 +104,18 @@ std::string FrameServer::address() const {
 }
 
 size_t FrameServer::active_connections() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_.size();
 }
 
 void FrameServer::AddStatusProvider(std::string key,
                                     std::function<std::string()> value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   status_providers_.emplace_back(std::move(key), std::move(value));
 }
 
 Status FrameServer::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (running_) {
     return Status::FailedPrecondition(description_ + " already started");
   }
@@ -158,7 +158,7 @@ Status FrameServer::Start() {
 
 void FrameServer::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!running_) return;
     running_ = false;
     // Stop the intake first: no new connections reach the pool.
@@ -184,7 +184,7 @@ void FrameServer::AcceptLoop() {
     metrics.connections_total->Increment();
     auto stream = std::make_shared<SocketStream>(std::move(*conn));
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!running_) {
         stream->Close();
         return;
@@ -195,7 +195,7 @@ void FrameServer::AcceptLoop() {
         pool_->Submit([this, stream] { ServeConnection(stream); });
     if (!accepted) {
       // Shutdown raced the accept; the connection is dropped.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       active_.erase(stream.get());
       stream->Close();
     }
@@ -245,7 +245,7 @@ void FrameServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   active_.erase(stream.get());
 }
 

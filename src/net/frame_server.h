@@ -19,7 +19,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -29,7 +28,9 @@
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/admin_server.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace qbs {
@@ -76,24 +77,30 @@ class FrameServer {
 
   /// Binds, listens, and starts accepting. Fails if the port is taken or
   /// the server was already started.
-  Status Start();
+  Status Start() QBS_EXCLUDES(mu_);
 
   /// Graceful shutdown: stops accepting, unblocks every in-flight
   /// connection reader, and drains the worker pool. In-flight requests
   /// finish; idle connections are dropped. Idempotent.
-  void Stop();
+  ///
+  /// Lock-release order matters here and is machine-checked: the
+  /// accept-thread join and pool drain are blocking waits on threads
+  /// that themselves take mu_, so Stop() must release mu_ before either
+  /// (holding it would deadlock) — hence QBS_EXCLUDES plus the
+  /// analyzer's no-blocking-call-under-lock invariant.
+  void Stop() QBS_EXCLUDES(mu_);
 
   /// The bound port (valid after Start() succeeded).
   uint16_t port() const { return port_; }
 
   /// True between a successful Start() and Stop().
-  bool running() const;
+  bool running() const QBS_EXCLUDES(mu_);
 
   /// host:port of this server (valid after Start()).
   std::string address() const;
 
   /// Connections currently tracked (being served or queued).
-  size_t active_connections() const;
+  size_t active_connections() const QBS_EXCLUDES(mu_);
 
   /// The embedded admin server, or null when options.admin_port < 0 or
   /// before Start(). Its port() gives the bound admin port.
@@ -103,7 +110,8 @@ class FrameServer {
   /// Registers a /statusz line ("key: value()") on the embedded admin
   /// endpoint. Call before Start(); a no-op risk otherwise. Providers
   /// run on the admin thread and must be thread-safe.
-  void AddStatusProvider(std::string key, std::function<std::string()> value);
+  void AddStatusProvider(std::string key, std::function<std::string()> value)
+      QBS_EXCLUDES(mu_);
 
   /// Answers one request. The version gate has already passed: the
   /// request's version is within [MinVersionForMethod, spoken_version()].
@@ -117,8 +125,9 @@ class FrameServer {
   uint32_t spoken_version() const { return spoken_version_; }
 
  private:
-  void AcceptLoop();
-  void ServeConnection(std::shared_ptr<SocketStream> stream);
+  void AcceptLoop() QBS_EXCLUDES(mu_);
+  void ServeConnection(std::shared_ptr<SocketStream> stream)
+      QBS_EXCLUDES(mu_);
   /// The version gate, then Handle().
   WireResponse Dispatch(const WireRequest& request);
 
@@ -127,18 +136,24 @@ class FrameServer {
   uint32_t spoken_version_;
   uint16_t port_ = 0;
 
+  // listener_, pool_, accept_thread_, admin_ are written once in Start()
+  // (under mu_) and then used lock-free by the accept/serve threads;
+  // the std::thread constructor's happens-before edge publishes them.
+  // They are deliberately NOT guarded: AcceptLoop blocks in
+  // listener_->Accept() for its whole lifetime, and Stop() joining the
+  // pool must run unlocked (see Stop()).
   std::unique_ptr<TcpListener> listener_;
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
   std::unique_ptr<AdminServer> admin_;
+
+  mutable Mutex mu_;
   // Status providers registered before Start(), handed to admin_ then.
   std::vector<std::pair<std::string, std::function<std::string()>>>
-      status_providers_;
-
-  mutable std::mutex mu_;
-  bool running_ = false;
+      status_providers_ QBS_GUARDED_BY(mu_);
+  bool running_ QBS_GUARDED_BY(mu_) = false;
   // Streams of live connections, so Stop() can wake their readers.
-  std::unordered_set<SocketStream*> active_;
+  std::unordered_set<SocketStream*> active_ QBS_GUARDED_BY(mu_);
 };
 
 }  // namespace qbs

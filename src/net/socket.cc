@@ -215,6 +215,7 @@ Result<std::unique_ptr<TcpListener>> TcpListener::Listen(
     uint16_t bound_port = ntohs(bound.sin_port);
     ::freeaddrinfo(results);
     return std::unique_ptr<TcpListener>(
+        // analyze:allow(rawnew): private ctor; adopted by unique_ptr here
         new TcpListener(std::move(fd), bound_port));
   }
   ::freeaddrinfo(results);

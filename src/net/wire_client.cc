@@ -63,13 +63,13 @@ WireClient::WireClient(WireClientOptions options)
     : options_(std::move(options)) {}
 
 WireClient::~WireClient() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ClientMetrics::Get().pool_idle->Add(-static_cast<double>(idle_.size()));
   idle_.clear();
 }
 
 std::string WireClient::server_name() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return server_name_;
 }
 
@@ -107,30 +107,30 @@ Status WireClient::Connect() {
         std::to_string(negotiated) + " (client offered " +
         std::to_string(offered) + ")");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   server_name_ = response->server_name;
   negotiated_version_ = negotiated;
   return Status::OK();
 }
 
 uint32_t WireClient::negotiated_version() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return negotiated_version_;
 }
 
 Result<uint32_t> WireClient::EnsureNegotiated() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (negotiated_version_ != 0) return negotiated_version_;
   }
   QBS_RETURN_IF_ERROR(Connect());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return negotiated_version_;
 }
 
 Result<std::unique_ptr<ByteStream>> WireClient::AcquireConnection() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (!idle_.empty()) {
       std::unique_ptr<ByteStream> conn = std::move(idle_.back());
       idle_.pop_back();
@@ -148,7 +148,7 @@ Result<std::unique_ptr<ByteStream>> WireClient::AcquireConnection() {
 
 void WireClient::ReleaseConnection(std::unique_ptr<ByteStream> conn) {
   conn->SetDeadlineMicros(0);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (idle_.size() < options_.max_idle_connections) {
     idle_.push_back(std::move(conn));
     ClientMetrics::Get().pool_idle->Add(1.0);

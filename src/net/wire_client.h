@@ -14,13 +14,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "net/transport.h"
 #include "net/wire.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace qbs {
 
@@ -84,25 +85,25 @@ class WireClient {
   /// name. Optional — the first call that needs the negotiated version
   /// performs it on demand — but calling it up front turns "wrong port"
   /// into an immediate, attributable error.
-  Status Connect();
+  Status Connect() QBS_EXCLUDES(mu_);
 
   /// One framed request/response exchange with retry + backoff. Fills
   /// in the request id (process-globally unique) and, when the calling
   /// thread is inside a sampled trace and the server has negotiated
   /// >= kTraceContextMinVersion, attaches the trace context so the
   /// server's spans parent under this call's net.rpc span.
-  Result<WireResponse> Call(WireRequest request);
+  Result<WireResponse> Call(WireRequest request) QBS_EXCLUDES(mu_);
 
   /// Negotiated version, running Connect() first if still unknown.
-  Result<uint32_t> EnsureNegotiated();
+  Result<uint32_t> EnsureNegotiated() QBS_EXCLUDES(mu_);
 
   /// The protocol version negotiated with the server; 0 before the
   /// first Connect() (explicit or on-demand) completes.
-  uint32_t negotiated_version() const;
+  uint32_t negotiated_version() const QBS_EXCLUDES(mu_);
 
   /// The server's self-reported name once known (Connect() or any
   /// successful ServerInfo); empty before that.
-  std::string server_name() const;
+  std::string server_name() const QBS_EXCLUDES(mu_);
 
   /// Transient failures retried so far (mirrors qbs_net_retry_total,
   /// but per-instance).
@@ -115,8 +116,10 @@ class WireClient {
   const WireClientOptions& options() const { return options_; }
 
  private:
-  Result<std::unique_ptr<ByteStream>> AcquireConnection();
-  void ReleaseConnection(std::unique_ptr<ByteStream> conn);
+  /// Dials (or takes a pooled connection); blocking, so never call with
+  /// mu_ held — the annotation makes that a compile error under Clang.
+  Result<std::unique_ptr<ByteStream>> AcquireConnection() QBS_EXCLUDES(mu_);
+  void ReleaseConnection(std::unique_ptr<ByteStream> conn) QBS_EXCLUDES(mu_);
   /// A single attempt on one connection.
   Result<WireResponse> CallOnce(ByteStream& conn, const WireRequest& request);
 
@@ -124,10 +127,10 @@ class WireClient {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> rpcs_{0};
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<ByteStream>> idle_;
-  std::string server_name_;          // empty until learned
-  uint32_t negotiated_version_ = 0;  // 0 until negotiated
+  mutable Mutex mu_;
+  std::vector<std::unique_ptr<ByteStream>> idle_ QBS_GUARDED_BY(mu_);
+  std::string server_name_ QBS_GUARDED_BY(mu_);  // empty until learned
+  uint32_t negotiated_version_ QBS_GUARDED_BY(mu_) = 0;  // 0 until negotiated
 };
 
 }  // namespace qbs

@@ -18,6 +18,10 @@ namespace {
 // One request per connection and headers are bounded: a debug surface
 // must never be the allocation amplifier in the process it debugs.
 constexpr size_t kMaxRequestBytes = 8192;
+// The request line alone (method + target + version) is bounded more
+// tightly; anything longer gets an explicit 414 instead of a silent
+// drop, so misconfigured scrapers see *why* they were refused.
+constexpr size_t kMaxRequestLineBytes = 2048;
 constexpr size_t kMaxTracezRows = 100;
 
 Counter* AdminRequests() {
@@ -29,12 +33,13 @@ Counter* AdminRequests() {
 
 std::string HttpResponse(int code, const char* reason,
                          const std::string& content_type,
-                         const std::string& body) {
+                         const std::string& body,
+                         const std::string& extra_headers = "") {
   std::ostringstream out;
   out << "HTTP/1.1 " << code << " " << reason << "\r\n"
       << "Content-Type: " << content_type << "\r\n"
       << "Content-Length: " << body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
+      << extra_headers << "Connection: close\r\n\r\n"
       << body;
   return out.str();
 }
@@ -86,16 +91,28 @@ void AdminServer::AddStatus(std::string key,
   status_.emplace_back(std::move(key), std::move(value));
 }
 
+bool AdminServer::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
 Status AdminServer::Start() {
-  if (running_) {
-    return Status::FailedPrecondition("admin server already started");
+  {
+    MutexLock lock(mu_);
+    if (running_) {
+      return Status::FailedPrecondition("admin server already started");
+    }
   }
   auto listener = TcpListener::Listen(options_.host, options_.port);
   QBS_RETURN_IF_ERROR(listener.status());
   listener_ = std::move(*listener);
   port_ = listener_->port();
   start_us_ = MonotonicMicros();
-  running_ = true;
+  {
+    MutexLock lock(mu_);
+    running_ = true;
+    started_ = true;
+  }
   serve_thread_ = std::thread([this] { ServeLoop(); });
   QBS_LOG(INFO) << "AdminServer: serving on http://" << options_.host << ":"
                 << port_ << "/";
@@ -103,10 +120,24 @@ Status AdminServer::Start() {
 }
 
 void AdminServer::Stop() {
-  if (!running_) return;
-  running_ = false;
-  listener_->CloseListener();
-  serve_thread_.join();
+  // The running_ -> false transition is taken once under mu_; the join
+  // happens exactly once via call_once, and every concurrent caller
+  // (including a destructor racing an explicit Stop) blocks until the
+  // winner's join finishes — no double-join, no early return while the
+  // serving thread is still live. The join is a blocking wait, so it
+  // runs with mu_ released.
+  bool should_join;
+  {
+    MutexLock lock(mu_);
+    should_join = started_;
+    if (running_) {
+      running_ = false;
+      listener_->CloseListener();
+    }
+  }
+  if (should_join) {
+    std::call_once(join_once_, [this] { serve_thread_.join(); });
+  }
 }
 
 void AdminServer::ServeLoop() {
@@ -115,39 +146,91 @@ void AdminServer::ServeLoop() {
     if (!conn.ok()) return;  // listener closed
     SocketStream stream(std::move(*conn));
     stream.SetDeadlineMicros(MonotonicMicros() + options_.read_timeout_us);
-    // Read byte-wise until the end of the headers (or the cap). HTTP
+    // Read byte-wise until the end of the headers (or a cap). HTTP
     // request parsing at its most minimal: only the request line
     // matters, but draining the headers first keeps the close clean.
+    // Bytes a peer pipelines after the first request are never read —
+    // one request per connection, then close.
     std::string request;
     bool complete = false;
+    bool line_too_long = false;
+    bool read_failed = false;
     while (request.size() < kMaxRequestBytes) {
       uint8_t byte = 0;
-      if (!stream.ReadFull(&byte, 1).ok()) break;
+      if (!stream.ReadFull(&byte, 1).ok()) {
+        read_failed = true;
+        break;
+      }
       request.push_back(static_cast<char>(byte));
+      if (request.find("\r\n") == std::string::npos &&
+          request.size() > kMaxRequestLineBytes) {
+        line_too_long = true;
+        break;
+      }
       if (request.size() >= 4 &&
           request.compare(request.size() - 4, 4, "\r\n\r\n") == 0) {
         complete = true;
         break;
       }
     }
-    if (!complete) continue;  // slow, huge, or vanished peer: drop it
+    if (read_failed) continue;  // slow or vanished peer: drop it
     AdminRequests()->Increment();
     std::string response;
-    size_t line_end = request.find("\r\n");
-    std::string line = request.substr(0, line_end);
-    if (line.rfind("GET ", 0) != 0) {
-      response = HttpResponse(405, "Method Not Allowed", "text/plain",
-                              "only GET is supported\n");
+    if (line_too_long) {
+      // The request line alone blew the cap — almost always a
+      // runaway-URI client. Answer before closing so it can tell.
+      response = HttpResponse(414, "URI Too Long", "text/plain",
+                              "request line exceeds " +
+                                  std::to_string(kMaxRequestLineBytes) +
+                                  " bytes\n");
+    } else if (!complete) {
+      // Terminator never arrived within kMaxRequestBytes: oversized
+      // header section.
+      response = HttpResponse(431, "Request Header Fields Too Large",
+                              "text/plain",
+                              "request exceeds " +
+                                  std::to_string(kMaxRequestBytes) +
+                                  " bytes\n");
     } else {
-      size_t path_end = line.find(' ', 4);
-      std::string target = path_end == std::string::npos
-                               ? line.substr(4)
-                               : line.substr(4, path_end - 4);
-      response = HandleRequest(target);
+      size_t line_end = request.find("\r\n");
+      response = RouteRequestLine(request.substr(0, line_end));
     }
-    stream.WriteAll(reinterpret_cast<const uint8_t*>(response.data()),
-                    response.size());
+    // Best-effort: the peer may have hung up before the response; there
+    // is nobody to report a write failure to on a debug surface.
+    stream
+        .WriteAll(reinterpret_cast<const uint8_t*>(response.data()),
+                  response.size())
+        .IgnoreError();
   }
+}
+
+std::string AdminServer::RouteRequestLine(const std::string& line) {
+  // Expect exactly "METHOD SP target SP HTTP/1.x". A missing version or
+  // extra spaces is a malformed request, not a routing miss — 400, so
+  // broken scrapers are told apart from wrong paths (404) and wrong
+  // methods (405).
+  size_t method_end = line.find(' ');
+  if (method_end == std::string::npos || method_end == 0) {
+    return HttpResponse(400, "Bad Request", "text/plain",
+                        "malformed request line\n");
+  }
+  std::string method = line.substr(0, method_end);
+  size_t target_end = line.find(' ', method_end + 1);
+  if (target_end == std::string::npos || target_end == method_end + 1) {
+    return HttpResponse(400, "Bad Request", "text/plain",
+                        "malformed request line: missing HTTP version\n");
+  }
+  std::string version = line.substr(target_end + 1);
+  if (version.rfind("HTTP/1.", 0) != 0 ||
+      version.find(' ') != std::string::npos) {
+    return HttpResponse(400, "Bad Request", "text/plain",
+                        "malformed request line: bad HTTP version\n");
+  }
+  if (method != "GET") {
+    return HttpResponse(405, "Method Not Allowed", "text/plain",
+                        "only GET is supported\n", "Allow: GET\r\n");
+  }
+  return HandleRequest(line.substr(method_end + 1, target_end - method_end - 1));
 }
 
 std::string AdminServer::HandleRequest(const std::string& target) {

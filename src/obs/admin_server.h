@@ -24,12 +24,15 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>  // std::once_flag
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace qbs {
 
@@ -66,10 +69,13 @@ class AdminServer {
   void AddStatus(std::string key, std::function<std::string()> value);
 
   /// Binds, listens, and starts the serving thread.
-  Status Start();
+  Status Start() QBS_EXCLUDES(mu_);
 
-  /// Stops serving and joins the thread. Idempotent.
-  void Stop();
+  /// Stops serving and joins the thread. Idempotent and safe against
+  /// concurrent Stop() calls (including the destructor racing an
+  /// explicit Stop): exactly one caller joins the serving thread. The
+  /// join is a blocking wait, so it runs with mu_ released.
+  void Stop() QBS_EXCLUDES(mu_);
 
   /// The bound port (valid after Start() succeeded).
   uint16_t port() const { return port_; }
@@ -77,21 +83,34 @@ class AdminServer {
   /// host:port (valid after Start()).
   std::string address() const;
 
-  bool running() const { return running_; }
+  bool running() const QBS_EXCLUDES(mu_);
 
  private:
-  void ServeLoop();
+  void ServeLoop() QBS_EXCLUDES(mu_);
+  /// Validates one HTTP request line (method, target, version) and
+  /// routes it; returns the full HTTP response bytes (400 on a
+  /// malformed line, 405 on a non-GET method).
+  std::string RouteRequestLine(const std::string& line);
   /// Routes one parsed request; returns the full HTTP response bytes.
   std::string HandleRequest(const std::string& path);
 
   AdminServerOptions options_;
+
+  // port_, start_us_, status_, listener_, serve_thread_ are written in
+  // Start() before the serving thread is spawned and are read-only
+  // afterwards; the std::thread constructor's happens-before edge
+  // publishes them, so they are deliberately not guarded.
   uint16_t port_ = 0;
   uint64_t start_us_ = 0;
   std::vector<std::pair<std::string, std::function<std::string()>>> status_;
-
   std::unique_ptr<TcpListener> listener_;
   std::thread serve_thread_;
-  bool running_ = false;
+
+  mutable Mutex mu_;
+  bool running_ QBS_GUARDED_BY(mu_) = false;
+  // Whether Start() ever spawned the serving thread (join target exists).
+  bool started_ QBS_GUARDED_BY(mu_) = false;
+  std::once_flag join_once_;
 };
 
 }  // namespace qbs

@@ -4,9 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "obs/trace.h"  // MonotonicMicros, CurrentThreadId
+#include "util/mutex.h"
 
 namespace qbs {
 
@@ -29,12 +29,13 @@ void DefaultSink(const LogRecord& record) {
 
 // The sink is swapped rarely (startup, tests); reads take the same mutex
 // because std::function cannot be read atomically.
-std::mutex& SinkMutex() {
-  static std::mutex mu;
+Mutex& SinkMutex() {
+  static Mutex mu;
   return mu;
 }
 
 LogSink& SinkStorage() {
+  // analyze:allow(rawnew): deliberate static leak (exit-order safe)
   static LogSink* sink = new LogSink();
   return *sink;
 }
@@ -89,7 +90,7 @@ LogLevel GetMinLogLevel() {
 }
 
 void SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   SinkStorage() = std::move(sink);
 }
 
@@ -106,7 +107,7 @@ LogMessage::~LogMessage() {
   record.timestamp_us = MonotonicMicros();
   record.tid = CurrentThreadId();
   record.message = stream_.str();
-  std::lock_guard<std::mutex> lock(SinkMutex());
+  MutexLock lock(SinkMutex());
   const LogSink& sink = SinkStorage();
   if (sink) {
     sink(record);

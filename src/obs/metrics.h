@@ -19,11 +19,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace qbs {
 
@@ -141,23 +143,25 @@ class MetricRegistry {
   /// The process-wide default registry used by library instrumentation.
   static MetricRegistry& Default();
 
-  Counter* GetCounter(const std::string& name, const std::string& help = "");
-  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Counter* GetCounter(const std::string& name, const std::string& help = "")
+      QBS_EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name, const std::string& help = "")
+      QBS_EXCLUDES(mu_);
   /// `bounds` must be non-empty and strictly ascending.
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
-                          const std::string& help = "");
+                          const std::string& help = "") QBS_EXCLUDES(mu_);
 
   /// Number of registered metrics.
-  size_t size() const;
+  size_t size() const QBS_EXCLUDES(mu_);
 
   /// Prometheus text exposition format v0.0.4 (`# HELP` / `# TYPE` plus
   /// one line per sample; histograms expand to cumulative `_bucket`
   /// series with `le` labels plus `_sum` and `_count`).
-  void ExportPrometheus(std::ostream& out) const;
+  void ExportPrometheus(std::ostream& out) const QBS_EXCLUDES(mu_);
 
   /// One JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, buckets: [{le, count}...]}}}.
-  void ExportJson(std::ostream& out) const;
+  void ExportJson(std::ostream& out) const QBS_EXCLUDES(mu_);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -169,12 +173,12 @@ class MetricRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* FindOrNull(const std::string& name);
+  Entry* FindOrNull(const std::string& name) QBS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // Ordered so exports are deterministic; pointers into Entry are stable
   // because entries are never erased.
-  std::map<std::string, Entry> metrics_;
+  std::map<std::string, Entry> metrics_ QBS_GUARDED_BY(mu_);
 };
 
 /// RAII in-flight tracker: adds +1 to a gauge on construction and -1 on

@@ -181,13 +181,14 @@ TraceRecorder::TraceRecorder(size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity) {}
 
 TraceRecorder& TraceRecorder::Global() {
+  // analyze:allow(rawnew): deliberate static leak (exit-order safe)
   static TraceRecorder* recorder = new TraceRecorder();
   return *recorder;
 }
 
 void TraceRecorder::Record(TraceEvent event) {
   event.tid = internal::CurrentThreadId();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
@@ -207,7 +208,7 @@ void TraceRecorder::Record(std::string name, uint64_t start_us,
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) return ring_;
   // Ring is full: slot total_ % capacity_ holds the oldest event.
   std::vector<TraceEvent> events;
@@ -220,22 +221,22 @@ std::vector<TraceEvent> TraceRecorder::Events() const {
 }
 
 size_t TraceRecorder::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 uint64_t TraceRecorder::total_recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_;
 }
 
 uint64_t TraceRecorder::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return total_ > ring_.size() ? total_ - ring_.size() : 0;
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   total_ = 0;
 }

@@ -21,11 +21,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace qbs {
 
@@ -137,35 +139,37 @@ class TraceRecorder {
   /// Records one completed span (call-site: TraceSpan destructor). The
   /// two-argument-short form keeps old callers/tests working; ids
   /// default to zero.
-  void Record(TraceEvent event);
+  void Record(TraceEvent event) QBS_EXCLUDES(mu_);
   void Record(std::string name, uint64_t start_us, uint64_t duration_us);
 
   /// Events currently buffered, oldest first.
-  std::vector<TraceEvent> Events() const;
+  std::vector<TraceEvent> Events() const QBS_EXCLUDES(mu_);
 
   /// Number of buffered events (<= capacity).
-  size_t size() const;
+  size_t size() const QBS_EXCLUDES(mu_);
   /// Total events ever recorded, including overwritten ones.
-  uint64_t total_recorded() const;
+  uint64_t total_recorded() const QBS_EXCLUDES(mu_);
   /// Events overwritten (lost) because the ring was full.
-  uint64_t dropped() const;
+  uint64_t dropped() const QBS_EXCLUDES(mu_);
 
   /// Discards all buffered events.
-  void Clear();
+  void Clear() QBS_EXCLUDES(mu_);
 
   /// Writes the buffered events as Chrome trace_event JSON ("X" complete
   /// events; ts/dur in microseconds). Span/trace ids ride along in each
   /// event's "args". A non-empty `process_name` is emitted as process
   /// metadata so merged multi-process timelines stay attributable.
   void DumpChromeTrace(std::ostream& out,
-                       std::string_view process_name = {}) const;
+                       std::string_view process_name = {}) const
+      QBS_EXCLUDES(mu_);
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ QBS_GUARDED_BY(mu_);
   size_t capacity_;
-  uint64_t total_ = 0;  // ring slot of the next write is total_ % capacity_
+  // Ring slot of the next write is total_ % capacity_.
+  uint64_t total_ QBS_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span: captures the start time on construction (only when the

@@ -176,9 +176,12 @@ Status SamplingService::RefreshAll() {
   // One task per database on the long-lived shared pool — refreshing a
   // federation of N databases no longer spawns N (or num_threads) fresh
   // threads per call.
+  // SampleOne's status is deliberately dropped here: per-database
+  // outcomes land in states_[i].last_error, and the casualty list is
+  // assembled from there below once every task has finished.
   for (size_t idx : todo) {
-    if (!refresh_pool_->Submit([this, idx] { SampleOne(idx); })) {
-      SampleOne(idx);  // pool shut down (teardown race): run inline
+    if (!refresh_pool_->Submit([this, idx] { SampleOne(idx).IgnoreError(); })) {
+      SampleOne(idx).IgnoreError();  // pool shut down (teardown race)
     }
   }
   refresh_pool_->Wait();

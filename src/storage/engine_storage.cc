@@ -2,10 +2,10 @@
 
 #include <filesystem>
 #include <fstream>
-#include <mutex>
 #include <vector>
 
 #include "storage/file_io.h"
+#include "util/mutex.h"
 
 namespace qbs {
 
@@ -27,10 +27,11 @@ enum StopwordMode : uint32_t {
 // Restored custom stopword lists must outlive their engines; intern them
 // for the process lifetime (custom lists are rare and small).
 const StopwordList* InternCustomList(const std::vector<std::string>& words) {
-  static std::mutex mu;
+  static Mutex mu;
   static std::vector<std::unique_ptr<StopwordList>>* lists =
+      // analyze:allow(rawnew): interned for the process lifetime on purpose
       new std::vector<std::unique_ptr<StopwordList>>();
-  std::lock_guard<std::mutex> lock(mu);
+  MutexLock lock(mu);
   lists->push_back(std::make_unique<StopwordList>(words));
   return lists->back().get();
 }

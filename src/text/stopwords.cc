@@ -95,6 +95,7 @@ const StopwordList& StopwordList::Default() {
   static const StopwordList* list = [] {
     std::vector<std::string> words;
     for (const char* w : kDefaultStopwords) words.emplace_back(w);
+    // analyze:allow(rawnew): deliberate static leak (exit-order safe)
     return new StopwordList(words);
   }();
   return *list;
@@ -107,6 +108,7 @@ const StopwordList& StopwordList::DefaultStemmed() {
       words.emplace_back(w);
       words.push_back(PorterStemmer::Stem(w));
     }
+    // analyze:allow(rawnew): deliberate static leak (exit-order safe)
     return new StopwordList(words);
   }();
   return *list;
@@ -116,6 +118,7 @@ const StopwordList& StopwordList::Minimal() {
   static const StopwordList* list = [] {
     std::vector<std::string> words;
     for (const char* w : kMinimalStopwords) words.emplace_back(w);
+    // analyze:allow(rawnew): deliberate static leak (exit-order safe)
     return new StopwordList(words);
   }();
   return *list;

@@ -33,7 +33,12 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// All fallible library operations return Status (or Result<T>); exceptions
 /// are never thrown across public API boundaries.
-class Status {
+///
+/// The class is [[nodiscard]]: a dropped Status is a swallowed error, so
+/// every call site must either propagate it (QBS_RETURN_IF_ERROR), test
+/// it (ok()), or discard it on purpose with IgnoreError() — which states
+/// in source that best-effort is the intent.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -113,6 +118,12 @@ class Status {
   /// Renders "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Explicitly discards this status. The one sanctioned way to drop a
+  /// Status on the floor: `Flush().IgnoreError();` compiles where a bare
+  /// `Flush();` is rejected by [[nodiscard]], and the call site reads as
+  /// the deliberate best-effort it is.
+  void IgnoreError() const {}
+
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
   }
@@ -126,8 +137,11 @@ class Status {
 ///
 /// Accessing the value of an errored Result is a programming error and
 /// asserts in debug builds.
+///
+/// [[nodiscard]] for the same reason as Status: a dropped Result is a
+/// swallowed error (and a discarded value).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a Result holding a value (implicit, enables `return value;`).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,0 +1,95 @@
+// Clang thread-safety annotation macros (no-ops on other compilers).
+//
+// These make the locking discipline of a class machine-checkable:
+// declare which mutex guards which field (QBS_GUARDED_BY), which lock a
+// function expects its caller to hold (QBS_REQUIRES) or must NOT hold
+// (QBS_EXCLUDES), and Clang's -Wthread-safety analysis proves every
+// access site consistent at compile time — races that TSan can only
+// catch when a test happens to interleave them become build errors.
+//
+// The analysis only understands lock objects whose acquire/release
+// methods are themselves annotated, which std::mutex (libstdc++) is
+// not; use the annotated wrappers in util/mutex.h (qbs::Mutex,
+// qbs::MutexLock, qbs::CondVar) instead of raw standard types.
+// tools/lint.py and tools/analyze.py enforce that rule for members in
+// src/.
+//
+// Enforcement tiers (docs/ANALYSIS.md):
+//   - any Clang build: -Wthread-safety -Wthread-safety-beta warnings,
+//     errors under QBS_WERROR
+//   - tidy preset: clang-tidy injects the same flags via --extra-arg,
+//     so the analysis gates even when the compiler is gcc
+//
+// Annotation policy — when to use what — is documented in
+// docs/ANALYSIS.md ("Thread-safety annotations").
+#ifndef QBS_UTIL_THREAD_ANNOTATIONS_H_
+#define QBS_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define QBS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define QBS_THREAD_ANNOTATION_(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a lockable capability ("mutex", "role", ...).
+#define QBS_CAPABILITY(x) QBS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor and
+/// releases it in its destructor (MutexLock).
+#define QBS_SCOPED_CAPABILITY QBS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a field (or a function's return) may only be accessed
+/// while holding the given mutex.
+#define QBS_GUARDED_BY(x) QBS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Like QBS_GUARDED_BY, but for the data a pointer/smart-pointer field
+/// points AT (the pointer itself is unguarded).
+#define QBS_PT_GUARDED_BY(x) QBS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The caller must hold the given mutex(es) exclusively when calling.
+#define QBS_REQUIRES(...) \
+  QBS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// The caller must hold the given mutex(es) at least shared.
+#define QBS_REQUIRES_SHARED(...) \
+  QBS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the mutex(es) and holds them on return.
+#define QBS_ACQUIRE(...) \
+  QBS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define QBS_ACQUIRE_SHARED(...) \
+  QBS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases mutex(es) its caller held.
+#define QBS_RELEASE(...) \
+  QBS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define QBS_RELEASE_SHARED(...) \
+  QBS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the mutex only when it returns the given value
+/// (try-lock).
+#define QBS_TRY_ACQUIRE(...) \
+  QBS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the given mutex(es) — the function acquires
+/// them itself, so calling with them held would self-deadlock. This is
+/// the annotation for public entry points of classes with internal
+/// locking.
+#define QBS_EXCLUDES(...) QBS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Documents global lock-ordering between two mutexes (deadlock-freedom).
+#define QBS_ACQUIRED_AFTER(...) \
+  QBS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+#define QBS_ACQUIRED_BEFORE(...) \
+  QBS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+
+/// The function returns a reference to the given mutex (lock accessors).
+#define QBS_RETURN_CAPABILITY(x) QBS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Opts one function out of the analysis. Reserved for code the analysis
+/// cannot model (init/teardown choreography); every use carries a
+/// comment saying why, same policy as NOLINT (docs/ANALYSIS.md).
+#define QBS_NO_THREAD_SAFETY_ANALYSIS \
+  QBS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // QBS_UTIL_THREAD_ANNOTATIONS_H_

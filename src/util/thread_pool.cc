@@ -47,10 +47,10 @@ ThreadPool::~ThreadPool() { Shutdown(); }
 
 void ThreadPool::Shutdown() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // call_once makes concurrent Shutdown calls (including the destructor
   // racing an explicit call) join exactly once; the losers block until
   // the winner finishes joining, preserving "all tasks done on return".
@@ -62,7 +62,7 @@ void ThreadPool::Shutdown() {
 bool ThreadPool::Submit(std::function<void()> task) {
   QBS_CHECK(task != nullptr);
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     // Submit racing the destructor is a supported shutdown protocol, not
     // a programming error: the task is rejected, never silently dropped
     // into a queue no worker will drain.
@@ -70,21 +70,25 @@ bool ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     PoolMetrics::Get().queue_depth->Set(static_cast<double>(queue_.size()));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  idle_cv_.Wait(mu_, [this]() QBS_REQUIRES(mu_) {
+    return queue_.empty() && active_ == 0;
+  });
 }
 
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      work_cv_.Wait(mu_, [this]() QBS_REQUIRES(mu_) {
+        return shutdown_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (shutdown_) return;
         continue;
@@ -97,9 +101,9 @@ void ThreadPool::WorkerLoop() {
     task();
     PoolMetrics::Get().tasks->Increment();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
-      if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

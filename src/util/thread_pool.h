@@ -3,13 +3,15 @@
 #ifndef QBS_UTIL_THREAD_POOL_H_
 #define QBS_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace qbs {
 
@@ -30,7 +32,7 @@ class ThreadPool {
   /// has finished. (This exists as a separate entry point so producers
   /// can race shutdown against a still-live object; racing the
   /// *destructor* itself would be a use-after-free by construction.)
-  void Shutdown();
+  void Shutdown() QBS_EXCLUDES(mu_);
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
@@ -40,12 +42,12 @@ class ThreadPool {
   /// once shutdown has begun (i.e. the destructor is racing this call).
   /// Producers running concurrently with pool teardown must check the
   /// result; tasks accepted before shutdown are always drained.
-  [[nodiscard]] bool Submit(std::function<void()> task);
+  [[nodiscard]] bool Submit(std::function<void()> task) QBS_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished executing. May be
   /// called concurrently with Submit; it returns at a moment the queue
   /// was observed empty with no task running.
-  void Wait();
+  void Wait() QBS_EXCLUDES(mu_);
 
   /// Number of worker threads.
   size_t num_threads() const { return workers_.size(); }
@@ -56,14 +58,14 @@ class ThreadPool {
                           const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() QBS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  size_t active_ = 0;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ QBS_GUARDED_BY(mu_);
+  size_t active_ QBS_GUARDED_BY(mu_) = 0;
+  bool shutdown_ QBS_GUARDED_BY(mu_) = false;
   std::once_flag join_once_;
   std::vector<std::thread> workers_;
 };

@@ -131,13 +131,87 @@ TEST_F(AdminServerTest, UnknownPathIs404) {
       << response;
 }
 
-TEST_F(AdminServerTest, NonGetMethodIs405) {
+TEST_F(AdminServerTest, NonGetMethodIs405WithAllowHeader) {
   AdminServer& server = StartServer();
   std::string response = RawRequest(
       server.port(), "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
   EXPECT_NE(response.find("HTTP/1.1 405 Method Not Allowed"),
             std::string::npos)
       << response;
+  // RFC 9110 requires the 405 to advertise what *is* allowed.
+  EXPECT_NE(response.find("Allow: GET"), std::string::npos) << response;
+}
+
+// --- malformed-HTTP hardening: the parser must answer, not crash or
+// --- silently drop, when fed protocol garbage.
+
+TEST_F(AdminServerTest, OverlongRequestLineIs414) {
+  AdminServer& server = StartServer();
+  // A 3000-byte URI blows the 2048-byte request-line cap before the
+  // first CRLF ever arrives.
+  std::string response = RawRequest(
+      server.port(),
+      "GET /" + std::string(3000, 'a') + " HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 414 URI Too Long"), std::string::npos)
+      << response.substr(0, 200);
+}
+
+TEST_F(AdminServerTest, OversizedHeaderSectionIs431) {
+  AdminServer& server = StartServer();
+  // Request line is fine; the headers never terminate within the
+  // 8192-byte connection cap.
+  std::string response = RawRequest(
+      server.port(),
+      "GET / HTTP/1.1\r\nX-Junk: " + std::string(9000, 'j') + "\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 431 Request Header Fields Too Large"),
+            std::string::npos)
+      << response.substr(0, 200);
+}
+
+TEST_F(AdminServerTest, MissingHttpVersionIs400) {
+  AdminServer& server = StartServer();
+  std::string response =
+      RawRequest(server.port(), "GET /metrics\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"), std::string::npos)
+      << response;
+  EXPECT_NE(response.find("missing HTTP version"), std::string::npos)
+      << response;
+}
+
+TEST_F(AdminServerTest, BogusHttpVersionIs400) {
+  AdminServer& server = StartServer();
+  std::string response =
+      RawRequest(server.port(), "GET /metrics FTP/9.9\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"), std::string::npos)
+      << response;
+}
+
+TEST_F(AdminServerTest, EmptyOrLeadingSpaceRequestLineIs400) {
+  AdminServer& server = StartServer();
+  std::string response = RawRequest(server.port(), "\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"), std::string::npos)
+      << response;
+  response = RawRequest(server.port(), " GET / HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 400 Bad Request"), std::string::npos)
+      << response;
+}
+
+TEST_F(AdminServerTest, PipelinedGarbageGetsOneResponseThenClose) {
+  AdminServer& server = StartServer();
+  // Everything after the first request's terminator — a second request,
+  // binary junk — must be ignored: one response, then the server closes.
+  std::string response = RawRequest(
+      server.port(),
+      "GET / HTTP/1.1\r\nHost: t\r\n\r\n"
+      "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n"
+      "\x01\x02garbage\xff");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  // Exactly one status line: the pipelined second request was not served.
+  size_t first = response.find("HTTP/1.1 ");
+  EXPECT_EQ(response.find("HTTP/1.1 ", first + 1), std::string::npos)
+      << response;
+  // The body served is the index, not /metrics.
+  EXPECT_NE(response.find("qbs admin endpoints"), std::string::npos);
 }
 
 TEST_F(AdminServerTest, RequestCounterCountsServedRequests) {

@@ -1,0 +1,17 @@
+// Negative compile-fixture: dropping a Status on the floor must NOT
+// compile under -Werror=unused-result, because Status is [[nodiscard]].
+// tests/CMakeLists.txt try_compile()s this at configure time expecting
+// failure, and the `status_nodiscard_compile_fail` ctest re-runs the
+// compiler on it expecting a non-zero exit (WILL_FAIL).
+#include "util/status.h"
+
+namespace {
+
+qbs::Status Flush() { return qbs::Status::IOError("disk full"); }
+
+}  // namespace
+
+int main() {
+  Flush();  // the dropped Status: this line must be a compile error
+  return 0;
+}

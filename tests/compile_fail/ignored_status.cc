@@ -1,0 +1,16 @@
+// Positive control for dropped_status.cc: the same dropped call is
+// fine once the drop is explicit — IgnoreError() is the sanctioned
+// escape hatch, and this file must keep compiling under
+// -Werror=unused-result.
+#include "util/status.h"
+
+namespace {
+
+qbs::Status Flush() { return qbs::Status::IOError("disk full"); }
+
+}  // namespace
+
+int main() {
+  Flush().IgnoreError();  // explicit, grep-able, intentional
+  return 0;
+}

@@ -1,0 +1,867 @@
+#!/usr/bin/env python3
+"""AST-aware concurrency/error-handling analyzer for qbs.
+
+Enforces the whole-program invariants the compiler cannot see from one
+translation unit at a time (and gcc cannot see at all):
+
+  stdmutex     no raw std::mutex / std::shared_mutex /
+               std::condition_variable / std::lock_guard /
+               std::unique_lock / std::scoped_lock in src/ outside
+               util/mutex.h — locking goes through the annotated
+               qbs::Mutex wrappers so Clang's -Wthread-safety can reason
+               about it (std::once_flag and <mutex> includes are fine)
+  blockinglock no blocking transport/pool primitive (Dial, Accept,
+               ReadFull, WriteAll, ReadFrame, WriteFrame, sleep_for,
+               ParallelFor, thread join) called, directly or through a
+               same-file callee chain, while a MutexLock is lexically
+               held — the deadlock shape every Stop()-style bug in a
+               server has
+  detach       no detached threads in src/ — a detached thread outlives
+               the state it captures and cannot be joined at shutdown
+  rawnew       no naked new/delete expressions in src/ outside
+               src/util/ — ownership goes through
+               make_unique/make_shared; the handful of deliberate
+               static-leak singletons carry an analyze:allow(rawnew)
+               marker stating why
+  ctorvirtual  no call to one of the class's own virtual methods from a
+               constructor or destructor — dispatch there ignores the
+               override and runs the base version silently
+
+A finding is suppressed by a marker comment on the same or the
+preceding line:
+
+    // analyze:allow(rawnew): interned for process lifetime on purpose
+
+The marker names the check it silences, so suppressions are grep-able
+and reviewable.
+
+Frontends: `--frontend=libclang` parses with the clang AST via the
+clang.cindex python bindings when they are installed; `--frontend=
+internal` uses the built-in comment/string-aware tokenizer frontend
+that needs nothing beyond python3. The default `auto` prefers libclang
+and silently falls back (per file) to the internal frontend when the
+bindings are missing or a parse fails, so the gate runs everywhere.
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+
+`--self-test` runs every check against seeded fixture trees (one
+violating file per invariant plus a clean tree and an allow-marker
+case) and verifies each is caught; it is wired into ctest (label
+`analysis`) so the analyzer itself stays honest.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Directories scanned, relative to the repo root. The invariants are
+# library invariants: tests and tools may use whatever std primitives
+# they like.
+SCAN_DIRS = ("src",)
+CXX_EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+
+# The one file allowed to touch raw std locking: the annotated wrapper.
+STDMUTEX_EXEMPT = ("src/util/mutex.h",)
+
+# Raw new/delete is the business of the allocator-adjacent util layer
+# (and the annotated wrapper machinery); everything else goes through
+# make_unique/make_shared or an allow marker.
+RAWNEW_ALLOWED_PREFIXES = ("src/util/",)
+
+FORBIDDEN_STD_LOCKING = (
+    "std::mutex",
+    "std::shared_mutex",
+    "std::recursive_mutex",
+    "std::timed_mutex",
+    "std::condition_variable",
+    "std::condition_variable_any",
+    "std::lock_guard",
+    "std::unique_lock",
+    "std::shared_lock",
+    "std::scoped_lock",
+)
+
+# Primitives that block the calling thread (socket I/O, thread joins,
+# sleeps, pool fan-out). CondVar::Wait/WaitFor are deliberately NOT
+# here: waiting on a condition variable *requires* the lock, and the
+# thread-safety annotations already check that pairing.
+BLOCKING_CALLS = frozenset({
+    "Dial",
+    "Accept",
+    "ReadFull",
+    "WriteAll",
+    "ReadFrame",
+    "WriteFrame",
+    "sleep_for",
+    "sleep_until",
+    "ParallelFor",
+    "join",
+})
+
+# Call-looking tokens that are never function calls of interest.
+CALL_NOISE = frozenset({
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "defined", "catch", "assert", "decltype", "noexcept", "new",
+    "delete", "static_assert", "alignas", "typeid", "throw",
+})
+
+ALLOW_MARKER_RE = re.compile(r"analyze:allow\(([a-z]+)\)")
+
+MAX_CALL_DEPTH = 8
+
+
+def find_repo_root():
+    return os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def rel(root, path):
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def cxx_files(root):
+    for scan in SCAN_DIRS:
+        top = os.path.join(root, scan)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = [d for d in dirnames if not d.startswith(".")]
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    yield os.path.join(dirpath, name)
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments, string and char literals (newlines preserved, so
+    offsets and line numbers survive)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            end = text.find("\n", i)
+            end = n if end == -1 else end
+            out.append(" " * (end - i))
+            i = end
+        elif c == "/" and nxt == "*":
+            end = text.find("*/", i + 2)
+            end = n - 2 if end == -1 else end
+            chunk = text[i:end + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in chunk))
+            i = end + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + quote if j - i >= 2
+                       else text[i:j])
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def allowed_lines(text, check):
+    """Line numbers suppressed for `check`: marker lines plus the line
+    after each (a marker can sit on its own line above the code)."""
+    allowed = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for match in ALLOW_MARKER_RE.finditer(line):
+            if match.group(1) == check:
+                allowed.add(lineno)
+                allowed.add(lineno + 1)
+    return allowed
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# --- the analysis model ---------------------------------------------------
+#
+# Both frontends reduce a file to the same model:
+#   FileModel.functions: list of FunctionDef
+#     .name        simple name ("Stop"), qualifiers dropped
+#     .qualname    as written ("AdminServer::Stop")
+#     .start_line  1-based line of the definition
+#     .calls       [(callee_simple_name, line)], body order
+#     .lock_calls  calls made while a MutexLock is lexically held
+# The checks only consume the model, so the frontends stay swappable.
+
+
+class FunctionDef:
+    def __init__(self, name, qualname, start_line):
+        self.name = name
+        self.qualname = qualname
+        self.start_line = start_line
+        self.calls = []
+        self.lock_calls = []
+
+
+class FileModel:
+    def __init__(self, relpath, text, clean):
+        self.relpath = relpath
+        self.text = text
+        self.clean = clean
+        self.functions = []
+        self.by_name = {}
+
+    def add(self, fn):
+        self.functions.append(fn)
+        self.by_name.setdefault(fn.name, fn)
+
+
+# --- internal frontend ----------------------------------------------------
+
+FUNC_DEF_RE = re.compile(
+    r"(?:^|[;}])\s*"                      # after the previous decl
+    r"(?:template\s*<[^<>]*>\s*)?"        # one-level template heads
+    r"[\w:<>,~&*\s\[\]]*?"                # return type soup
+    r"\b((?:[A-Za-z_]\w*::)*~?[A-Za-z_]\w*)\s*"  # qualified name
+    r"\(([^;{}()]*(?:\([^()]*\)[^;{}()]*)*)\)\s*"  # params (1 nesting)
+    r"(?:const\s*|noexcept\s*|override\s*|final\s*|->\s*[\w:<>]+\s*"
+    r"|QBS_\w+\s*(?:\([^()]*\)\s*)?)*"    # trailers incl. annotations
+    r"(?::\s*[^{;]*)?"                    # ctor init list
+    r"\{", re.MULTILINE)
+
+CALL_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+KEYWORD_HEADS = frozenset({
+    "if", "for", "while", "switch", "return", "catch", "do", "else",
+})
+
+
+def match_brace(text, open_pos):
+    """Offset just past the brace matching text[open_pos] == '{'."""
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+LAMBDA_RE = re.compile(r"\[[^\[\]]*\]\s*(?:\([^()]*\)\s*)?(?:mutable\s*)?"
+                       r"(?:noexcept\s*)?(?:->\s*[\w:<>]+\s*)?\{")
+
+
+def blank_lambdas(body):
+    """Blanks lambda bodies (newlines kept): code inside a lambda runs
+    when the lambda is invoked — on a pool worker or a spawned thread —
+    not at the capture site, so its calls are not the enclosing
+    function's calls (and are not made under the enclosing locks)."""
+    out = body
+    while True:
+        m = LAMBDA_RE.search(out)
+        if m is None:
+            return out
+        end = match_brace(out, m.end() - 1)
+        blanked = "".join(c if c == "\n" else " " for c in out[m.start():end])
+        out = out[:m.start()] + blanked + out[end:]
+
+
+def body_calls(body, base_offset, clean):
+    """[(name, line, offset, qualified)] for every call-looking token in
+    `body`. `qualified` marks calls through . / -> / :: — calls on some
+    other object, which must not resolve to a same-file function that
+    merely shares the method name."""
+    calls = []
+    for m in CALL_RE.finditer(body):
+        name = m.group(1)
+        if name in CALL_NOISE or name in KEYWORD_HEADS:
+            continue
+        before = body[:m.start()].rstrip()
+        qualified = before.endswith((".", "->", "::"))
+        off = base_offset + m.start()
+        calls.append((name, line_of(clean, off), m.start(), qualified))
+    return calls
+
+
+LOCK_DECL_RE = re.compile(r"\bMutexLock\s+\w+\s*[({]")
+
+
+def lock_scopes(body):
+    """[(start, end)] body offsets where a MutexLock is lexically held:
+    from its declaration to the close of the enclosing brace scope."""
+    scopes = []
+    for m in LOCK_DECL_RE.finditer(body):
+        start = m.end()
+        depth = 0
+        end = len(body)
+        for i in range(start, len(body)):
+            if body[i] == "{":
+                depth += 1
+            elif body[i] == "}":
+                depth -= 1
+                if depth < 0:
+                    end = i
+                    break
+        scopes.append((start, end))
+    return scopes
+
+
+def parse_file_internal(relpath, text):
+    clean = strip_comments_and_strings(text)
+    model = FileModel(relpath, text, clean)
+    pos = 0
+    while True:
+        m = FUNC_DEF_RE.search(clean, pos)
+        if m is None:
+            break
+        qualname = m.group(1)
+        simple = qualname.rsplit("::", 1)[-1]
+        if simple in KEYWORD_HEADS or simple in CALL_NOISE:
+            pos = m.start() + 1
+            continue
+        open_brace = clean.index("{", m.end() - 1)
+        body_end = match_brace(clean, open_brace)
+        body = blank_lambdas(clean[open_brace:body_end])
+        fn = FunctionDef(simple, qualname, line_of(clean, m.start(1)))
+        calls = body_calls(body, open_brace, clean)
+        fn.calls = [(n, ln, q) for n, ln, _, q in calls]
+        scopes = lock_scopes(body)
+        fn.lock_calls = [(n, ln, q) for n, ln, off, q in calls
+                         if any(s <= off < e for s, e in scopes)]
+        model.add(fn)
+        pos = body_end
+    return model
+
+
+# --- libclang frontend ----------------------------------------------------
+
+
+def load_libclang():
+    try:
+        from clang import cindex  # noqa: F401  (optional dependency)
+        cindex.Index.create()
+        return cindex
+    except Exception:  # missing module or unloadable libclang
+        return None
+
+
+def parse_file_libclang(cindex, relpath, text, root):
+    """Same model via the clang AST. Returns None on parse trouble so
+    the caller can fall back to the internal frontend."""
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(
+            relpath, args=["-std=c++20", "-I" + os.path.join(root, "src"),
+                           "-xc++"],
+            unsaved_files=[(relpath, text)],
+            options=cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0)
+    except Exception:
+        return None
+    clean = strip_comments_and_strings(text)
+    model = FileModel(relpath, text, clean)
+    K = cindex.CursorKind
+
+    def walk_body(cursor, fn, fn_parent, in_lock):
+        for child in cursor.get_children():
+            if child.kind == K.LAMBDA_EXPR:
+                continue  # deferred execution: not this function's calls
+            held = in_lock
+            if (child.kind == K.VAR_DECL and
+                    "MutexLock" in (child.type.spelling or "")):
+                in_lock = True  # rest of this compound scope
+            if child.kind == K.CALL_EXPR and child.spelling:
+                qualified = True
+                try:
+                    ref = child.referenced
+                    if ref is not None:
+                        ref_parent = ref.semantic_parent
+                        if ref_parent is None or \
+                                ref_parent.kind == K.TRANSLATION_UNIT or \
+                                (fn_parent is not None and
+                                 ref_parent.spelling == fn_parent.spelling):
+                            qualified = False
+                except Exception:
+                    pass
+                entry = (child.spelling, child.location.line, qualified)
+                fn.calls.append(entry)
+                if held:
+                    fn.lock_calls.append(entry)
+            walk_body(child, fn, fn_parent, in_lock)
+
+    def visit(cursor):
+        for child in cursor.get_children():
+            if child.location.file and \
+                    os.path.abspath(str(child.location.file)) != \
+                    os.path.abspath(relpath):
+                continue
+            if child.kind in (K.CXX_METHOD, K.FUNCTION_DECL,
+                              K.CONSTRUCTOR, K.DESTRUCTOR) and \
+                    child.is_definition():
+                qual = child.spelling
+                parent = child.semantic_parent
+                if parent is not None and parent.kind in (
+                        K.CLASS_DECL, K.STRUCT_DECL):
+                    qual = parent.spelling + "::" + child.spelling
+                fn = FunctionDef(child.spelling, qual,
+                                 child.location.line)
+                walk_body(child, fn, child.semantic_parent, False)
+                model.add(fn)
+            else:
+                visit(child)
+
+    try:
+        visit(tu.cursor)
+    except Exception:
+        return None
+    return model
+
+
+# --- checks ---------------------------------------------------------------
+
+
+def check_stdmutex(root, models):
+    violations = []
+    for model in models:
+        if model.relpath in STDMUTEX_EXEMPT:
+            continue
+        allowed = allowed_lines(model.text, "stdmutex")
+        for token in FORBIDDEN_STD_LOCKING:
+            for m in re.finditer(re.escape(token) + r"\b", model.clean):
+                lineno = line_of(model.clean, m.start())
+                if lineno in allowed:
+                    continue
+                violations.append(
+                    (model.relpath, lineno,
+                     f"raw {token} is invisible to thread-safety "
+                     f"analysis; use the annotated qbs::Mutex / "
+                     f"MutexLock / CondVar (util/mutex.h)"))
+    return violations
+
+
+def check_detach(root, models):
+    violations = []
+    for model in models:
+        allowed = allowed_lines(model.text, "detach")
+        for m in re.finditer(r"[.\->]\s*detach\s*\(\s*\)", model.clean):
+            lineno = line_of(model.clean, m.start())
+            if lineno in allowed:
+                continue
+            violations.append(
+                (model.relpath, lineno,
+                 "detached thread: it outlives the state it captures "
+                 "and cannot be joined at shutdown; keep the handle "
+                 "and join"))
+    return violations
+
+
+RAW_NEW_RE = re.compile(r"(?<![\w.])new\b(?!\s*\()")
+RAW_DELETE_RE = re.compile(r"(?<![\w.])delete\b(\s*\[\s*\])?")
+
+
+def check_rawnew(root, models):
+    violations = []
+    for model in models:
+        if model.relpath.startswith(RAWNEW_ALLOWED_PREFIXES):
+            continue
+        allowed = allowed_lines(model.text, "rawnew")
+        for m in RAW_NEW_RE.finditer(model.clean):
+            lineno = line_of(model.clean, m.start())
+            if lineno in allowed:
+                continue
+            violations.append(
+                (model.relpath, lineno,
+                 "naked new outside src/util/; use make_unique / "
+                 "make_shared, or mark a deliberate static leak with "
+                 "analyze:allow(rawnew)"))
+        for m in RAW_DELETE_RE.finditer(model.clean):
+            lineno = line_of(model.clean, m.start())
+            if lineno in allowed:
+                continue
+            before = model.clean[:m.start()].rstrip()
+            if before.endswith("="):  # deleted special member
+                continue
+            violations.append(
+                (model.relpath, lineno,
+                 "naked delete outside src/util/; ownership belongs to "
+                 "a smart pointer"))
+    return violations
+
+
+def blocking_chain(model, name, qualified, visited, depth):
+    """Call-name path from `name` to a blocking primitive via same-file
+    unqualified callees, or None. Blocking primitives match whether or
+    not the call is qualified (`stream->ReadFull`, `SocketStream::Dial`);
+    resolution into a same-file function body only happens for
+    unqualified calls — `other_->Start()` is some other object's Start,
+    not ours."""
+    if name in BLOCKING_CALLS:
+        return []
+    if qualified or depth >= MAX_CALL_DEPTH or name in visited:
+        return None
+    fn = model.by_name.get(name)
+    if fn is None:
+        return None
+    visited.add(name)
+    for callee, _, q in fn.calls:
+        tail = blocking_chain(model, callee, q, visited, depth + 1)
+        if tail is not None:
+            return [callee] + tail
+    return None
+
+
+def check_blockinglock(root, models):
+    violations = []
+    for model in models:
+        allowed = allowed_lines(model.text, "blockinglock")
+        for fn in model.functions:
+            for callee, line, qualified in fn.lock_calls:
+                if line in allowed:
+                    continue
+                if callee in BLOCKING_CALLS:
+                    violations.append(
+                        (model.relpath, line,
+                         f"{fn.qualname} calls blocking '{callee}' while "
+                         f"holding a MutexLock; release the lock first "
+                         f"(deadlock shape: the blocked-on thread may "
+                         f"need this lock)"))
+                    continue
+                tail = blocking_chain(model, callee, qualified, set(), 0)
+                if tail is not None:
+                    chain = " -> ".join([fn.qualname, callee] + tail)
+                    violations.append(
+                        (model.relpath, line,
+                         f"{fn.qualname} holds a MutexLock across "
+                         f"'{callee}', which reaches a blocking "
+                         f"primitive ({chain})"))
+    return violations
+
+
+CLASS_DEF_RE = re.compile(r"\b(?:class|struct)\s+(?:QBS_\w+(?:\(\s*[^)]*\))?"
+                          r"\s+)*([A-Za-z_]\w*)\s*(?:final\s*)?"
+                          r"(?::[^{;]*)?\{")
+VIRTUAL_RE = re.compile(r"\bvirtual\s+[\w:<>&*\s]+?\b([A-Za-z_]\w*)\s*\(")
+OVERRIDE_RE = re.compile(r"\b([A-Za-z_]\w*)\s*\([^;{}]*\)\s*"
+                         r"(?:const\s*)?(?:noexcept\s*)?override\b")
+
+
+def virtual_methods(models):
+    """class name -> set of its virtual/overridden method names, from
+    every scanned file (headers define, sources may override)."""
+    virtuals = {}
+    for model in models:
+        pos = 0
+        while True:
+            m = CLASS_DEF_RE.search(model.clean, pos)
+            if m is None:
+                break
+            body_end = match_brace(model.clean, m.end() - 1)
+            body = model.clean[m.end():body_end]
+            names = set(VIRTUAL_RE.findall(body))
+            names |= set(OVERRIDE_RE.findall(body))
+            names.discard(m.group(1))  # a virtual dtor is not a call
+            if names:
+                virtuals.setdefault(m.group(1), set()).update(names)
+            pos = m.end()
+    return virtuals
+
+
+def check_ctorvirtual(root, models):
+    violations = []
+    virtuals = virtual_methods(models)
+    for model in models:
+        allowed = allowed_lines(model.text, "ctorvirtual")
+        for fn in model.functions:
+            parts = fn.qualname.split("::")
+            cls = None
+            if len(parts) >= 2 and parts[-1].lstrip("~") == parts[-2]:
+                cls = parts[-2]          # Foo::Foo / Foo::~Foo
+            elif fn.name.lstrip("~") == fn.name and \
+                    fn.name in virtuals and len(parts) == 1:
+                cls = None               # free function named like a class
+            if cls is None or cls not in virtuals:
+                continue
+            for callee, line, _ in fn.calls:
+                if callee in virtuals[cls] and line not in allowed:
+                    violations.append(
+                        (model.relpath, line,
+                         f"{fn.qualname} calls virtual '{callee}' during "
+                         f"construction/destruction; dispatch ignores "
+                         f"overrides there — make it non-virtual or move "
+                         f"the call after construction"))
+    return violations
+
+
+CHECKS = {
+    "stdmutex": check_stdmutex,
+    "blockinglock": check_blockinglock,
+    "detach": check_detach,
+    "rawnew": check_rawnew,
+    "ctorvirtual": check_ctorvirtual,
+}
+
+
+def build_models(root, frontend):
+    cindex = load_libclang() if frontend in ("auto", "libclang") else None
+    if frontend == "libclang" and cindex is None:
+        print("analyze: --frontend=libclang but the clang python bindings "
+              "are not importable", file=sys.stderr)
+        return None
+    models = []
+    for path in cxx_files(root):
+        relpath = rel(root, path)
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        model = None
+        if cindex is not None:
+            model = parse_file_libclang(cindex, path, text, root)
+            if model is not None:
+                model.relpath = relpath
+        if model is None:
+            model = parse_file_internal(relpath, text)
+        models.append(model)
+    return models
+
+
+def run_analysis(root, frontend="auto", checks=None):
+    models = build_models(root, frontend)
+    if models is None:
+        return 2
+    violations = []
+    for name in (checks or list(CHECKS)):
+        violations += [(p, l, f"[{name}] {m}")
+                       for p, l, m in CHECKS[name](root, models)]
+    violations.sort()
+    for path, lineno, message in violations:
+        print(f"{path}:{lineno}: {message}")
+    return 1 if violations else 0
+
+
+# --- self test ------------------------------------------------------------
+
+FIXTURE_CLEAN = """\
+#include "util/mutex.h"
+namespace qbs {
+class Counter {
+ public:
+  void Add(int n) {
+    MutexLock lock(mu_);
+    value_ += n;
+  }
+  int value() const {
+    MutexLock lock(mu_);
+    return value_;
+  }
+ private:
+  mutable Mutex mu_;
+  int value_ = 0;
+};
+}  // namespace qbs
+"""
+
+FIXTURE_STDMUTEX = """\
+#include <mutex>
+namespace qbs {
+class Bad {
+  std::mutex mu_;
+  int v_ = 0;
+};
+}  // namespace qbs
+"""
+
+FIXTURE_DETACH = """\
+#include <thread>
+namespace qbs {
+void FireAndForget() {
+  std::thread([] {}).detach();
+}
+}  // namespace qbs
+"""
+
+FIXTURE_RAWNEW = """\
+namespace qbs {
+int* Make() { return new int(7); }
+void Drop(int* p) { delete p; }
+}  // namespace qbs
+"""
+
+FIXTURE_RAWNEW_ALLOWED = """\
+namespace qbs {
+struct Thing { int v = 0; };
+Thing* Singleton() {
+  // analyze:allow(rawnew): interned for the process lifetime on purpose
+  static Thing* t = new Thing();
+  return t;
+}
+}  // namespace qbs
+"""
+
+FIXTURE_BLOCKING_DIRECT = """\
+#include "util/mutex.h"
+namespace qbs {
+class Server {
+ public:
+  void Stop() {
+    MutexLock lock(mu_);
+    thread_.join();
+  }
+ private:
+  Mutex mu_;
+  std::thread thread_;
+};
+}  // namespace qbs
+"""
+
+FIXTURE_BLOCKING_TRANSITIVE = """\
+#include "util/mutex.h"
+namespace qbs {
+class Client {
+ public:
+  void Refresh() {
+    MutexLock lock(mu_);
+    Redial();
+  }
+ private:
+  void Redial() { Reconnect(); }
+  void Reconnect() { Dial("127.0.0.1", 80); }
+  Mutex mu_;
+};
+}  // namespace qbs
+"""
+
+FIXTURE_BLOCKING_OK = """\
+#include "util/mutex.h"
+namespace qbs {
+class Server {
+ public:
+  void Stop() {
+    {
+      MutexLock lock(mu_);
+      stopped_ = true;
+    }
+    thread_.join();
+  }
+ private:
+  Mutex mu_;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+}  // namespace qbs
+"""
+
+FIXTURE_CTORVIRTUAL_H = """\
+namespace qbs {
+class Widget {
+ public:
+  Widget();
+  virtual ~Widget() = default;
+  virtual void Reset();
+};
+}  // namespace qbs
+"""
+
+FIXTURE_CTORVIRTUAL_CC = """\
+#include "widget.h"
+namespace qbs {
+Widget::Widget() {
+  Reset();
+}
+void Widget::Reset() {}
+}  // namespace qbs
+"""
+
+
+def seed_tree(root, files):
+    for relpath, content in files.items():
+        full = os.path.join(root, relpath)
+        os.makedirs(os.path.dirname(full), exist_ok=True)
+        with open(full, "w") as f:
+            f.write(content)
+
+
+def self_test(frontend):
+    failures = []
+
+    def expect(condition, label):
+        print(f"  {'ok' if condition else 'FAIL'}: {label}")
+        if not condition:
+            failures.append(label)
+
+    def run(files, checks=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            seed_tree(tmp, files)
+            return run_analysis(tmp, frontend=frontend, checks=checks)
+
+    expect(run({"src/util/clean.cc": FIXTURE_CLEAN}) == 0,
+           "clean annotated code passes every check")
+    expect(run({"src/net/bad.h": FIXTURE_STDMUTEX},
+               checks=["stdmutex"]) == 1,
+           "raw std::mutex member trips 'stdmutex'")
+    expect(run({"src/util/mutex.h": "namespace qbs { }\n",
+                "src/util/wrapped.h": FIXTURE_STDMUTEX},
+               checks=["stdmutex"]) == 1,
+           "'stdmutex' exempts only util/mutex.h itself")
+    expect(run({"src/net/fire.cc": FIXTURE_DETACH},
+               checks=["detach"]) == 1,
+           "detached thread trips 'detach'")
+    expect(run({"src/net/owner.cc": FIXTURE_RAWNEW},
+               checks=["rawnew"]) == 1,
+           "naked new/delete trips 'rawnew'")
+    expect(run({"src/net/singleton.cc": FIXTURE_RAWNEW_ALLOWED},
+               checks=["rawnew"]) == 0,
+           "analyze:allow(rawnew) marker suppresses 'rawnew'")
+    expect(run({"src/net/server.cc": FIXTURE_BLOCKING_DIRECT},
+               checks=["blockinglock"]) == 1,
+           "join under MutexLock trips 'blockinglock'")
+    expect(run({"src/net/client.cc": FIXTURE_BLOCKING_TRANSITIVE},
+               checks=["blockinglock"]) == 1,
+           "transitive Dial under MutexLock trips 'blockinglock'")
+    expect(run({"src/net/server.cc": FIXTURE_BLOCKING_OK},
+               checks=["blockinglock"]) == 0,
+           "join after the lock scope closes passes 'blockinglock'")
+    expect(run({"src/ui/widget.h": FIXTURE_CTORVIRTUAL_H,
+                "src/ui/widget.cc": FIXTURE_CTORVIRTUAL_CC},
+               checks=["ctorvirtual"]) == 1,
+           "virtual call in constructor trips 'ctorvirtual'")
+
+    print(f"self-test ({frontend} frontend): {len(failures)} failure(s)")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of tools/)")
+    parser.add_argument("--frontend", default="auto",
+                        choices=("auto", "libclang", "internal"),
+                        help="parser: clang AST bindings, the built-in "
+                             "tokenizer, or auto (libclang when "
+                             "importable, else internal)")
+    parser.add_argument("--check", action="append", dest="checks",
+                        choices=list(CHECKS),
+                        help="run only the named check (repeatable)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each check catches a seeded "
+                             "violation (and that clean code passes)")
+    args = parser.parse_args()
+    if args.self_test:
+        frontend = args.frontend
+        if frontend == "auto":
+            frontend = "internal"  # deterministic in every environment
+        rc = self_test(frontend)
+        if rc == 0 and args.frontend == "auto" and \
+                load_libclang() is not None:
+            rc = self_test("libclang")
+        return rc
+    root = os.path.abspath(args.root) if args.root else find_repo_root()
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"analyze: {root} does not look like the repo root",
+              file=sys.stderr)
+        return 2
+    return run_analysis(root, frontend=args.frontend, checks=args.checks)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_<sha>.json files produced by scripts/bench.sh.
+
+Compares the current run against a committed baseline and reports every
+benchmark whose headline metric moved more than --threshold (fraction,
+default 0.10). Direction-aware:
+
+  ns_per_op            lower is better  -> regression when it RISES
+  rpcs_per_doc         lower is better  -> regression when it RISES
+  selects_per_sec      higher is better -> regression when it FALLS
+  items_per_second     higher is better -> regression when it FALLS
+  bytes_per_second     higher is better -> regression when it FALLS
+
+The exit code is always 0: nightly CI runs this advisorily (shared
+runners are noisy), and with --github-annotations each regression is
+emitted as a `::warning::` line so it surfaces on the run summary
+without blocking anything. Benchmarks present in only one file are
+listed but never warned about — suites come and go across PRs.
+
+Usage:
+  tools/bench_diff.py --baseline bench/baseline/BENCH_abc.json \
+                      --current BENCH_def.json [--threshold 0.10] \
+                      [--github-annotations]
+  tools/bench_diff.py --self-test
+"""
+
+import argparse
+import json
+import sys
+
+# metric -> True when a larger value is better (so a drop regresses).
+HIGHER_IS_BETTER = {
+    "ns_per_op": False,
+    "rpcs_per_doc": False,
+    "selects_per_sec": True,
+    "items_per_second": True,
+    "bytes_per_second": True,
+}
+
+# Report order: the paper-level metrics first, raw latency last.
+METRIC_ORDER = [
+    "selects_per_sec",
+    "rpcs_per_doc",
+    "items_per_second",
+    "bytes_per_second",
+    "ns_per_op",
+]
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    out = {}
+    for bench in report.get("benchmarks", []):
+        out[bench["name"]] = bench
+    return report.get("git_sha", "?"), out
+
+
+def compare(baseline, current, threshold):
+    """Return (regressions, improvements, only_in_one) lists.
+
+    Each regression/improvement entry is a dict with name, metric,
+    baseline value, current value, and the signed relative delta
+    (positive = metric rose).
+    """
+    regressions, improvements, only = [], [], []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            only.append((name, "current-only"))
+            continue
+        if name not in current:
+            only.append((name, "baseline-only"))
+            continue
+        for metric in METRIC_ORDER:
+            b = baseline[name].get(metric)
+            c = current[name].get(metric)
+            if b is None or c is None or b == 0:
+                continue
+            delta = (c - b) / abs(b)
+            entry = {
+                "name": name,
+                "metric": metric,
+                "baseline": b,
+                "current": c,
+                "delta": delta,
+            }
+            worse = -delta if HIGHER_IS_BETTER[metric] else delta
+            if worse > threshold:
+                regressions.append(entry)
+            elif worse < -threshold:
+                improvements.append(entry)
+    return regressions, improvements, only
+
+
+def fmt(entry):
+    return (
+        f"{entry['name']} {entry['metric']}: "
+        f"{entry['baseline']:.4g} -> {entry['current']:.4g} "
+        f"({entry['delta']:+.1%})"
+    )
+
+
+def run_diff(args):
+    base_sha, baseline = load(args.baseline)
+    cur_sha, current = load(args.current)
+    regressions, improvements, only = compare(
+        baseline, current, args.threshold
+    )
+
+    print(f"bench_diff: baseline {base_sha} -> current {cur_sha} "
+          f"(threshold {args.threshold:.0%})")
+    for name, side in only:
+        print(f"  [{side}] {name}")
+    for entry in improvements:
+        print(f"  [improved]  {fmt(entry)}")
+    for entry in regressions:
+        print(f"  [REGRESSED] {fmt(entry)}")
+        if args.github_annotations:
+            print(f"::warning::bench regression: {fmt(entry)}")
+    if not regressions:
+        print("  no regressions beyond threshold")
+    # Always advisory: CI reads the warnings, never a red X.
+    return 0
+
+
+def self_test():
+    baseline = {
+        "Select": {"name": "Select", "selects_per_sec": 100.0,
+                   "ns_per_op": 50.0},
+        "Sample": {"name": "Sample", "rpcs_per_doc": 0.20},
+        "Gone": {"name": "Gone", "ns_per_op": 1.0},
+    }
+    current = {
+        # selects_per_sec fell 20% (regression), ns_per_op fell 20%
+        # (improvement: lower is better).
+        "Select": {"name": "Select", "selects_per_sec": 80.0,
+                   "ns_per_op": 40.0},
+        # rpcs_per_doc rose 50%: regression.
+        "Sample": {"name": "Sample", "rpcs_per_doc": 0.30},
+        "New": {"name": "New", "ns_per_op": 1.0},
+    }
+    regressions, improvements, only = compare(baseline, current, 0.10)
+    got = {(e["name"], e["metric"]) for e in regressions}
+    want = {("Select", "selects_per_sec"), ("Sample", "rpcs_per_doc")}
+    assert got == want, f"regressions {got} != {want}"
+    got_imp = {(e["name"], e["metric"]) for e in improvements}
+    assert got_imp == {("Select", "ns_per_op")}, got_imp
+    assert set(only) == {("Gone", "baseline-only"),
+                         ("New", "current-only")}, only
+
+    # Inside the threshold: silence in both directions.
+    regressions, improvements, _ = compare(
+        {"A": {"name": "A", "ns_per_op": 100.0}},
+        {"A": {"name": "A", "ns_per_op": 105.0}}, 0.10)
+    assert not regressions and not improvements
+
+    # Zero baseline must not divide; metric is skipped.
+    regressions, _, _ = compare(
+        {"A": {"name": "A", "ns_per_op": 0.0}},
+        {"A": {"name": "A", "ns_per_op": 5.0}}, 0.10)
+    assert not regressions
+
+    print("bench_diff: self-test ok (4 scenarios)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="committed BENCH_<sha>.json")
+    parser.add_argument("--current", help="freshly produced BENCH_<sha>.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative change that counts as a regression")
+    parser.add_argument("--github-annotations", action="store_true",
+                        help="emit ::warning:: lines for regressions")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required")
+    return run_diff(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,12 @@ Enforces the structural invariants clang-tidy cannot express:
            GetGauge / GetHistogram / WithLabel) appears in
            docs/OBSERVABILITY.md — an undocumented metric is invisible
            to the people dashboarding on that table
+  mutex    every src/ file declaring a mutex member (qbs Mutex or a
+           std:: mutex flavor) includes util/mutex.h or
+           util/thread_annotations.h, so the declaration *can* carry
+           QBS_GUARDED_BY annotations — a lock declared without the
+           annotation headers is invisible to clang's thread-safety
+           analysis (see docs/ANALYSIS.md)
   format   clang-format --dry-run is clean (skipped with a notice when
            clang-format is not installed; `--fix` rewrites in place)
 
@@ -248,6 +254,38 @@ def check_metric_docs(root):
     return violations
 
 
+# A mutex *declaration* (member, static, or local): the type followed by
+# an identifier. `\bMutex\b` does not match MutexLock, and `Mutex&`
+# (a reference return/parameter) has no following identifier-with-space.
+MUTEX_DECL_RE = re.compile(
+    r"\b(?:std::(?:shared_|recursive_|recursive_timed_|timed_)?mutex"
+    r"|Mutex)\s+[A-Za-z_]\w*\s*[;={]")
+MUTEX_EXEMPT = ("src/util/mutex.h", "src/util/thread_annotations.h")
+MUTEX_REQUIRED_INCLUDES = ('#include "util/mutex.h"',
+                           '#include "util/thread_annotations.h"')
+
+
+def check_mutex_annotations(root):
+    violations = []
+    for path in cxx_files(root):
+        relpath = rel(root, path)
+        if not relpath.startswith("src/") or relpath in MUTEX_EXEMPT:
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            text = f.read()
+        if any(inc in text for inc in MUTEX_REQUIRED_INCLUDES):
+            continue
+        for lineno, line in enumerate(text.splitlines(), 1):
+            stripped = line.split("//", 1)[0]
+            if MUTEX_DECL_RE.search(stripped):
+                violations.append(
+                    (relpath, lineno,
+                     "declares a mutex without including util/mutex.h or "
+                     "util/thread_annotations.h; the lock cannot carry "
+                     "QBS_GUARDED_BY and is invisible to -Wthread-safety"))
+    return violations
+
+
 def clang_format_exe():
     return shutil.which("clang-format")
 
@@ -281,6 +319,7 @@ CHECKS = {
     "cmake": check_cmake_lists,
     "log": check_log_in_headers,
     "metricdoc": check_metric_docs,
+    "mutex": check_mutex_annotations,
 }
 
 
@@ -364,6 +403,13 @@ def self_test():
                        'void F(MetricRegistry& r) {\n'
                        '  r.GetCounter(\n'
                        '      "qbs_seeded_bogus_total", "help");\n}\n')],
+        "mutex": [("src/util/locky.h",
+                   "#ifndef QBS_UTIL_LOCKY_H_\n#define QBS_UTIL_LOCKY_H_\n"
+                   "#include <mutex>\n"
+                   "class Locky { std::mutex mu_; };\n#endif\n"),
+                  ("src/util/locky.cc",
+                   '#include "util/locky.h"\n'
+                   "void F() { static Mutex mu; }\n")],
     }
     for check, cases in seeds.items():
         for path, content in cases:
