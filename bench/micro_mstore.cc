@@ -1,0 +1,176 @@
+// Microbenchmarks for the mapped model store: pack rate (heap models ->
+// on-disk image), store-open latency with and without verification (the
+// "instant broker restart" number), and per-lookup cost of the mapped
+// front-coded dictionary against the heap hash map it replaces at serve
+// time. models_per_sec on the pack benchmark and the open/lookup ns/op
+// are what bench.sh extracts into BENCH_<sha>.json.
+//
+// JSON output for dashboards: --benchmark_format=json
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "lm/language_model.h"
+#include "mstore/mapped_model_store.h"
+#include "mstore/model_store_writer.h"
+
+namespace qbs {
+namespace {
+
+struct Fixture {
+  std::vector<std::pair<std::string, LanguageModel>> models;
+  std::string path;        // packed image of `models`
+  uint64_t image_bytes = 0;
+  std::shared_ptr<const MappedModelStore> store;
+  std::vector<std::string> probes;  // alternating present / absent terms
+
+  Fixture() {
+    for (size_t i = 0; i < 4; ++i) {
+      SyntheticCorpusSpec spec;
+      spec.name = "bench-mstore-" + std::to_string(i);
+      spec.num_docs = 1'000;
+      spec.vocab_size = 40'000;
+      spec.num_topics = 3;
+      spec.seed = 137 + 11 * i;
+      auto engine = BuildSyntheticEngine(spec);
+      QBS_CHECK(engine.ok());
+      models.emplace_back(spec.name, (*engine)->ActualLanguageModel());
+    }
+    ModelStoreWriter writer;
+    for (const auto& [name, model] : models) {
+      QBS_CHECK(writer.Add(name, model).ok());
+    }
+    path = (std::filesystem::temp_directory_path() / "qbs_micro_mstore.qms")
+               .string();
+    QBS_CHECK(writer.WriteToFile(path).ok());
+    auto opened = MappedModelStore::Open(path);
+    QBS_CHECK(opened.ok());
+    store = *opened;
+    image_bytes = store->file_size();
+    // Probe terms spread across the df spectrum, interleaved with misses
+    // so the lookup benchmarks pay for both outcomes.
+    auto ranked = models[0].second.RankedTerms(TermMetric::kDf);
+    for (size_t t = 0; t < ranked.size() && probes.size() < 64; t += 97) {
+      probes.push_back(ranked[t].first);
+      probes.push_back("absent-" + std::to_string(t));
+    }
+  }
+  ~Fixture() { std::remove(path.c_str()); }
+};
+
+const Fixture& GetFixture() {
+  static Fixture fixture;
+  return fixture;
+}
+
+// Packing cost: snapshot + sort + front-code + checksum for the whole
+// federation, image in memory (no disk). models_per_sec is the rate a
+// refresh cycle can afford to persist at.
+void BM_PackModels(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    ModelStoreWriter writer;
+    for (const auto& [name, model] : f.models) {
+      QBS_CHECK(writer.Add(name, model).ok());
+    }
+    auto image = writer.Serialize();
+    QBS_CHECK(image.ok());
+    benchmark::DoNotOptimize(*image);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * f.models.size()));
+  state.counters["models_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * f.models.size()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PackModels);
+
+// Cold-start latency, full integrity pass: every section CRC, the whole
+// dictionary walked in order. This is the worst-case restart cost.
+void BM_StoreOpenVerify(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  MappedModelStore::OpenOptions opts;
+  opts.verify = true;
+  for (auto _ : state) {
+    auto store = MappedModelStore::Open(f.path, opts);
+    QBS_CHECK(store.ok());
+    benchmark::DoNotOptimize(*store);
+  }
+  state.counters["image_bytes"] =
+      benchmark::Counter(static_cast<double>(f.image_bytes));
+}
+BENCHMARK(BM_StoreOpenVerify);
+
+// Restart latency with structural checks only — header, directory, and
+// section bounds, no CRC sweep. "mmap and publish" costs this.
+void BM_StoreOpenNoVerify(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  MappedModelStore::OpenOptions opts;
+  opts.verify = false;
+  for (auto _ : state) {
+    auto store = MappedModelStore::Open(f.path, opts);
+    QBS_CHECK(store.ok());
+    benchmark::DoNotOptimize(*store);
+  }
+}
+BENCHMARK(BM_StoreOpenNoVerify);
+
+// Per-lookup cost of the mapped dictionary: block binary search plus a
+// bounded front-coded scan, straight off the mapping.
+void BM_MappedFindStats(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const LanguageModelView& view = f.store->model(0);
+  size_t i = 0;
+  for (auto _ : state) {
+    TermStats stats;
+    benchmark::DoNotOptimize(
+        view.FindStats(f.probes[i++ % f.probes.size()], &stats));
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MappedFindStats);
+
+// The heap hash map the mapping competes with, on identical probes —
+// the delta is the price of zero-copy restart.
+void BM_HeapFindStats(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const LanguageModelView& view = f.models[0].second;
+  size_t i = 0;
+  for (auto _ : state) {
+    TermStats stats;
+    benchmark::DoNotOptimize(
+        view.FindStats(f.probes[i++ % f.probes.size()], &stats));
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HeapFindStats);
+
+// Full dictionary scan: what a Merge or model export pays per term when
+// reading straight from the mapping.
+void BM_MappedForEachTerm(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const LanguageModelView& view = f.store->model(0);
+  uint64_t terms = 0;
+  for (auto _ : state) {
+    uint64_t df_sum = 0;
+    view.ForEachTerm([&df_sum](std::string_view, const TermStats& stats) {
+      df_sum += stats.df;
+    });
+    benchmark::DoNotOptimize(df_sum);
+    terms += view.vocabulary_size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(terms));
+}
+BENCHMARK(BM_MappedForEachTerm);
+
+}  // namespace
+}  // namespace qbs
+
+BENCHMARK_MAIN();

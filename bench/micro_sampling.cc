@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "corpus/synthetic.h"
+#include "lm/language_model.h"
 #include "lm/metrics.h"
 #include "sampling/sampler.h"
 

@@ -35,7 +35,7 @@ OUT="BENCH_${SHA}.json"
 SUITES=("$@")
 if [ ${#SUITES[@]} -eq 0 ]; then
   SUITES=(micro_text micro_index micro_search micro_sampling micro_obs micro_net
-          micro_broker)
+          micro_broker micro_mstore)
 fi
 
 if [ ! -d "$BUILD_DIR" ]; then
@@ -72,8 +72,8 @@ for path in sorted(glob.glob(os.path.join(os.environ["RAW_DIR"], "*.json"))):
             continue
         entry = {"name": bench["name"], "ns_per_op": bench.get("real_time")}
         # Custom counters (rpcs_per_doc and friends) ride along verbatim.
-        for key in ("rpcs_per_doc", "selects_per_sec", "items_per_second",
-                    "bytes_per_second"):
+        for key in ("rpcs_per_doc", "selects_per_sec", "models_per_sec",
+                    "image_bytes", "items_per_second", "bytes_per_second"):
             if key in bench:
                 entry[key] = bench[key]
         merged["benchmarks"].append(entry)

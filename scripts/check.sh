@@ -30,7 +30,10 @@ detect_jobs() {
   nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2
 }
 JOBS="${QBS_CHECK_JOBS:-$(detect_jobs)}"
-# Optional ctest label filter (unit | stress | net | obs). Empty runs all.
+# Optional ctest label filter (unit | stress | net | obs | storage).
+# Empty runs all. `storage` selects the on-disk-format suites: engine
+# storage, raw-fd file_io, and the mmapped model store (whose corrupt
+# -image tests are most meaningful under the asan-ubsan config).
 LABEL="${QBS_CHECK_LABEL:-}"
 CTEST_ARGS=()
 if [ -n "$LABEL" ]; then

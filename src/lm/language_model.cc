@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -11,17 +12,16 @@
 
 namespace qbs {
 
-const char* TermMetricName(TermMetric metric) {
-  switch (metric) {
-    case TermMetric::kDf:
-      return "df";
-    case TermMetric::kCtf:
-      return "ctf";
-    case TermMetric::kAvgTf:
-      return "avg_tf";
-  }
-  return "unknown";
+namespace {
+
+// Counters saturate rather than wrap: a wrapped total_terms_ would
+// silently corrupt every probability the rankers compute.
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  uint64_t sum = a + b;
+  return sum < a ? std::numeric_limits<uint64_t>::max() : sum;
 }
+
+}  // namespace
 
 void LanguageModel::AddDocument(const std::vector<std::string>& terms) {
   // Count within-document tf first so df increases exactly once per term.
@@ -30,34 +30,51 @@ void LanguageModel::AddDocument(const std::vector<std::string>& terms) {
   for (const std::string& t : terms) ++tf[t];
   for (const auto& [term, count] : tf) {
     TermStats& s = stats_[std::string(term)];
-    s.df += 1;
-    s.ctf += count;
+    s.df = SatAdd(s.df, 1);
+    s.ctf = SatAdd(s.ctf, count);
   }
-  total_terms_ += terms.size();
+  total_terms_ = SatAdd(total_terms_, terms.size());
   ++num_docs_;
 }
 
 void LanguageModel::AddTerm(std::string_view term, uint64_t df,
                             uint64_t ctf) {
   TermStats& s = stats_[std::string(term)];
-  s.df += df;
-  s.ctf += ctf;
-  total_terms_ += ctf;
+  s.df = SatAdd(s.df, df);
+  s.ctf = SatAdd(s.ctf, ctf);
+  total_terms_ = SatAdd(total_terms_, ctf);
 }
 
-void LanguageModel::Merge(const LanguageModel& other) {
-  for (const auto& [term, s] : other.stats_) {
-    TermStats& mine = stats_[term];
-    mine.df += s.df;
-    mine.ctf += s.ctf;
+void LanguageModel::Merge(const LanguageModelView& other) {
+  if (&other == static_cast<const LanguageModelView*>(this)) {
+    // Merging with self would mutate stats_ while iterating it; double
+    // in place instead (same result, no aliasing hazard).
+    for (auto& [term, s] : stats_) {
+      s.df = SatAdd(s.df, s.df);
+      s.ctf = SatAdd(s.ctf, s.ctf);
+    }
+    total_terms_ = SatAdd(total_terms_, total_terms_);
+    num_docs_ = SatAdd(num_docs_, num_docs_);
+    return;
   }
-  total_terms_ += other.total_terms_;
-  num_docs_ += other.num_docs_;
+  other.ForEachTerm([this](std::string_view term, const TermStats& s) {
+    // AddTerm also accumulates total_terms_ by ctf, which matches the
+    // invariant total_terms_ == sum(ctf) the source view maintains.
+    AddTerm(term, s.df, s.ctf);
+  });
+  num_docs_ = SatAdd(num_docs_, other.num_docs());
 }
 
 const TermStats* LanguageModel::Find(std::string_view term) const {
   auto it = stats_.find(term);
   return it == stats_.end() ? nullptr : &it->second;
+}
+
+bool LanguageModel::FindStats(std::string_view term, TermStats* stats) const {
+  const TermStats* s = Find(term);
+  if (s == nullptr) return false;
+  *stats = *s;
+  return true;
 }
 
 void LanguageModel::ForEach(
@@ -66,36 +83,10 @@ void LanguageModel::ForEach(
   for (const auto& [term, s] : stats_) fn(term, s);
 }
 
-std::vector<std::pair<std::string, double>> LanguageModel::RankedTerms(
-    TermMetric metric, size_t top_k) const {
-  std::vector<std::pair<std::string, double>> out;
-  out.reserve(stats_.size());
-  for (const auto& [term, s] : stats_) {
-    double score = 0.0;
-    switch (metric) {
-      case TermMetric::kDf:
-        score = static_cast<double>(s.df);
-        break;
-      case TermMetric::kCtf:
-        score = static_cast<double>(s.ctf);
-        break;
-      case TermMetric::kAvgTf:
-        score = s.avg_tf();
-        break;
-    }
-    out.emplace_back(term, score);
-  }
-  auto cmp = [](const auto& a, const auto& b) {
-    if (a.second != b.second) return a.second > b.second;
-    return a.first < b.first;
-  };
-  if (top_k > 0 && top_k < out.size()) {
-    std::partial_sort(out.begin(), out.begin() + top_k, out.end(), cmp);
-    out.resize(top_k);
-  } else {
-    std::sort(out.begin(), out.end(), cmp);
-  }
-  return out;
+void LanguageModel::ForEachTerm(
+    const std::function<void(std::string_view, const TermStats&)>& fn)
+    const {
+  for (const auto& [term, s] : stats_) fn(term, s);
 }
 
 LanguageModel LanguageModel::StemCollapsed() const {

@@ -11,36 +11,22 @@
 #include <unordered_map>
 #include <vector>
 
+#include "lm/model_view.h"
 #include "util/status.h"
 
 namespace qbs {
 
 class InvertedIndex;
 
-/// Per-term frequency statistics.
-struct TermStats {
-  /// Document frequency: number of documents containing the term.
-  uint64_t df = 0;
-  /// Collection term frequency: total occurrences of the term.
-  uint64_t ctf = 0;
-
-  /// Average term frequency, ctf / df (the paper's avg_tf).
-  double avg_tf() const { return df == 0 ? 0.0 : static_cast<double>(ctf) / df; }
-
-  bool operator==(const TermStats&) const = default;
-};
-
-/// Term-frequency metrics used for ranking and query-term selection
-/// (paper §5.2: "the three most common in Information Retrieval").
-enum class TermMetric { kDf, kCtf, kAvgTf };
-
-/// Returns a stable name for a TermMetric ("df", "ctf", "avg_tf").
-const char* TermMetricName(TermMetric metric);
-
 /// A language model: vocabulary plus df/ctf per term, and corpus-level
 /// counters. This is both the *actual* model (exported from an index) and
 /// the *learned* model (accumulated from sampled documents).
-class LanguageModel {
+///
+/// Implements the read-only LanguageModelView interface, so rankers and
+/// metrics written against the view serve heap and mmap-backed models
+/// interchangeably. Counter accumulation (AddTerm / Merge) saturates at
+/// UINT64_MAX instead of wrapping.
+class LanguageModel : public LanguageModelView {
  public:
   LanguageModel() = default;
 
@@ -48,28 +34,32 @@ class LanguageModel {
   /// each occurrence increases ctf. Also bumps num_docs.
   void AddDocument(const std::vector<std::string>& terms);
 
-  /// Directly sets/accumulates stats for a term (merging adds both fields).
+  /// Directly sets/accumulates stats for a term (merging adds both fields,
+  /// saturating at UINT64_MAX).
   void AddTerm(std::string_view term, uint64_t df, uint64_t ctf);
 
   /// Merges another model into this one (df/ctf add; num_docs adds).
-  /// Useful for building the union-of-samples model (paper §8).
-  void Merge(const LanguageModel& other);
+  /// Useful for building the union-of-samples model (paper §8). Accepts
+  /// any view — merging a mapped model into a heap model works. Merging
+  /// a model with itself doubles every counter.
+  void Merge(const LanguageModelView& other);
 
-  /// Returns the stats for a term, or nullptr when absent.
+  /// Returns the stats for a term, or nullptr when absent. Heap-model
+  /// fast path; view-generic code uses FindStats.
   const TermStats* Find(std::string_view term) const;
 
-  /// True iff the term is in the vocabulary.
-  bool Contains(std::string_view term) const { return Find(term) != nullptr; }
+  // LanguageModelView:
+  bool FindStats(std::string_view term, TermStats* stats) const override;
+  bool Contains(std::string_view term) const override {
+    return Find(term) != nullptr;
+  }
+  size_t vocabulary_size() const override { return stats_.size(); }
+  uint64_t total_term_count() const override { return total_terms_; }
+  uint64_t num_docs() const override { return num_docs_; }
+  void ForEachTerm(
+      const std::function<void(std::string_view, const TermStats&)>& fn)
+      const override;
 
-  /// Vocabulary size (distinct terms).
-  size_t vocabulary_size() const { return stats_.size(); }
-
-  /// Total term occurrences (sum of ctf).
-  uint64_t total_term_count() const { return total_terms_; }
-
-  /// Number of documents this model was built from (0 when unknown, e.g.
-  /// after deserializing a model that did not record it).
-  uint64_t num_docs() const { return num_docs_; }
   void set_num_docs(uint64_t n) { num_docs_ = n; }
 
   /// Invokes fn(term, stats) for every vocabulary entry (unspecified order).
@@ -81,7 +71,9 @@ class LanguageModel {
   /// lexicographically for determinism. If `top_k` > 0, only that many are
   /// returned.
   std::vector<std::pair<std::string, double>> RankedTerms(
-      TermMetric metric, size_t top_k = 0) const;
+      TermMetric metric, size_t top_k = 0) const {
+    return RankedTermsOf(*this, metric, top_k);
+  }
 
   /// Returns a copy whose terms are Porter-stemmed, with stats of words
   /// sharing a stem merged (df is summed — an upper bound, since variants

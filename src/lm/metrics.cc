@@ -26,19 +26,21 @@ struct CommonScores {
   std::vector<double> score_b;
 };
 
-CommonScores CollectCommon(const LanguageModel& a, const LanguageModel& b,
-                           TermMetric metric) {
+CommonScores CollectCommon(const LanguageModelView& a,
+                           const LanguageModelView& b, TermMetric metric) {
   CommonScores out;
   // Iterate the smaller vocabulary for speed; membership test on the other.
-  const LanguageModel& small = a.vocabulary_size() <= b.vocabulary_size() ? a : b;
-  const LanguageModel& large = a.vocabulary_size() <= b.vocabulary_size() ? b : a;
+  const LanguageModelView& small =
+      a.vocabulary_size() <= b.vocabulary_size() ? a : b;
+  const LanguageModelView& large =
+      a.vocabulary_size() <= b.vocabulary_size() ? b : a;
   const bool small_is_a = &small == &a;
-  small.ForEach([&](const std::string& term, const TermStats& s_small) {
-    const TermStats* s_large = large.Find(term);
-    if (s_large == nullptr) return;
-    out.terms.push_back(term);
+  small.ForEachTerm([&](std::string_view term, const TermStats& s_small) {
+    TermStats s_large;
+    if (!large.FindStats(term, &s_large)) return;
+    out.terms.emplace_back(term);
     double sc_small = ScoreOf(s_small, metric);
-    double sc_large = ScoreOf(*s_large, metric);
+    double sc_large = ScoreOf(s_large, metric);
     out.score_a.push_back(small_is_a ? sc_small : sc_large);
     out.score_b.push_back(small_is_a ? sc_large : sc_small);
   });
@@ -117,30 +119,32 @@ std::unordered_map<std::string, double> AverageRanks(
   return out;
 }
 
-double PercentageLearned(const LanguageModel& learned,
-                         const LanguageModel& actual) {
+double PercentageLearned(const LanguageModelView& learned,
+                         const LanguageModelView& actual) {
   if (actual.vocabulary_size() == 0) return 1.0;
   // Iterate the learned vocabulary (typically a few thousand terms) and
   // probe the actual model; the intersection is the same either way, but
   // learned models are orders of magnitude smaller during sampling.
   size_t common = 0;
-  learned.ForEach([&](const std::string& term, const TermStats&) {
+  learned.ForEachTerm([&](std::string_view term, const TermStats&) {
     if (actual.Contains(term)) ++common;
   });
   return static_cast<double>(common) / actual.vocabulary_size();
 }
 
-double CtfRatio(const LanguageModel& learned, const LanguageModel& actual) {
+double CtfRatio(const LanguageModelView& learned,
+                const LanguageModelView& actual) {
   if (actual.total_term_count() == 0) return 1.0;
   uint64_t covered = 0;
-  learned.ForEach([&](const std::string& term, const TermStats&) {
-    const TermStats* s = actual.Find(term);
-    if (s != nullptr) covered += s->ctf;
+  learned.ForEachTerm([&](std::string_view term, const TermStats&) {
+    TermStats s;
+    if (actual.FindStats(term, &s)) covered += s.ctf;
   });
   return static_cast<double>(covered) / actual.total_term_count();
 }
 
-double SpearmanRankCorrelation(const LanguageModel& a, const LanguageModel& b,
+double SpearmanRankCorrelation(const LanguageModelView& a,
+                               const LanguageModelView& b,
                                const SpearmanOptions& options) {
   CommonScores common = CollectCommon(a, b, options.metric);
   const size_t n = common.terms.size();
@@ -152,7 +156,7 @@ double SpearmanRankCorrelation(const LanguageModel& a, const LanguageModel& b,
                                : SimpleSpearman(ra, rb);
 }
 
-double RDiff(const LanguageModel& a, const LanguageModel& b,
+double RDiff(const LanguageModelView& a, const LanguageModelView& b,
              TermMetric metric) {
   CommonScores common = CollectCommon(a, b, metric);
   const size_t n = common.terms.size();
@@ -165,19 +169,19 @@ double RDiff(const LanguageModel& a, const LanguageModel& b,
   return sum_abs / (dn * dn);
 }
 
-LmComparison CompareLanguageModels(const LanguageModel& learned,
-                                   const LanguageModel& actual) {
+LmComparison CompareLanguageModels(const LanguageModelView& learned,
+                                   const LanguageModelView& actual) {
   LmComparison out;
   out.pct_vocab_learned = 0.0;
   out.ctf_ratio = 0.0;
 
   uint64_t covered_ctf = 0;
   size_t common_count = 0;
-  learned.ForEach([&](const std::string& term, const TermStats&) {
-    const TermStats* s = actual.Find(term);
-    if (s != nullptr) {
+  learned.ForEachTerm([&](std::string_view term, const TermStats&) {
+    TermStats s;
+    if (actual.FindStats(term, &s)) {
       ++common_count;
-      covered_ctf += s->ctf;
+      covered_ctf += s.ctf;
     }
   });
   if (actual.vocabulary_size() > 0) {

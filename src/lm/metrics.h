@@ -11,7 +11,7 @@
 #include <utility>
 #include <vector>
 
-#include "lm/language_model.h"
+#include "lm/model_view.h"
 
 namespace qbs {
 
@@ -24,14 +24,15 @@ std::unordered_map<std::string, double> AverageRanks(
 /// Fraction of the actual vocabulary present in the learned vocabulary
 /// (paper's "percentage learned", returned as a fraction in [0, 1]).
 /// Returns 1.0 when the actual vocabulary is empty.
-double PercentageLearned(const LanguageModel& learned,
-                         const LanguageModel& actual);
+double PercentageLearned(const LanguageModelView& learned,
+                         const LanguageModelView& actual);
 
 /// Fraction of the actual database's term *occurrences* covered by the
 /// learned vocabulary: sum of actual ctf over common terms, divided by the
 /// actual total term count (paper §4.3.2). Returns 1.0 when the actual
 /// model is empty.
-double CtfRatio(const LanguageModel& learned, const LanguageModel& actual);
+double CtfRatio(const LanguageModelView& learned,
+                const LanguageModelView& actual);
 
 /// Options for Spearman rank correlation.
 struct SpearmanOptions {
@@ -49,14 +50,15 @@ struct SpearmanOptions {
 ///
 /// Degenerate cases: returns 0.0 when there are no common terms, 1.0 when
 /// exactly one.
-double SpearmanRankCorrelation(const LanguageModel& a, const LanguageModel& b,
+double SpearmanRankCorrelation(const LanguageModelView& a,
+                               const LanguageModelView& b,
                                const SpearmanOptions& options = {});
 
 /// The paper's rdiff (§6): mean absolute rank difference of common terms,
 /// normalized by n^2:  rdiff = (1/n^2) * sum_i |d_i|. Measures how far the
 /// average term moved between two rankings, as a fraction of the number of
 /// ranks. Returns 0.0 when fewer than two common terms exist.
-double RDiff(const LanguageModel& a, const LanguageModel& b,
+double RDiff(const LanguageModelView& a, const LanguageModelView& b,
              TermMetric metric = TermMetric::kDf);
 
 /// All comparison metrics at once, sharing the common-term computation.
@@ -76,8 +78,8 @@ struct LmComparison {
 /// Compares a learned model against the actual model of a database.
 /// The caller is responsible for having put both models into a comparable
 /// term space first (e.g. stemming the learned model, paper §4.1).
-LmComparison CompareLanguageModels(const LanguageModel& learned,
-                                   const LanguageModel& actual);
+LmComparison CompareLanguageModels(const LanguageModelView& learned,
+                                   const LanguageModelView& actual);
 
 }  // namespace qbs
 

@@ -1,0 +1,53 @@
+#include "lm/model_view.h"
+
+#include <algorithm>
+
+namespace qbs {
+
+const char* TermMetricName(TermMetric metric) {
+  switch (metric) {
+    case TermMetric::kDf:
+      return "df";
+    case TermMetric::kCtf:
+      return "ctf";
+    case TermMetric::kAvgTf:
+      return "avg_tf";
+  }
+  return "unknown";
+}
+
+std::vector<std::pair<std::string, double>> RankedTermsOf(
+    const LanguageModelView& view, TermMetric metric, size_t top_k) {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(view.vocabulary_size());
+  view.ForEachTerm([&](std::string_view term, const TermStats& s) {
+    double score = 0.0;
+    switch (metric) {
+      case TermMetric::kDf:
+        score = static_cast<double>(s.df);
+        break;
+      case TermMetric::kCtf:
+        score = static_cast<double>(s.ctf);
+        break;
+      case TermMetric::kAvgTf:
+        score = s.avg_tf();
+        break;
+    }
+    out.emplace_back(std::string(term), score);
+  });
+  auto cmp = [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (top_k > 0 && top_k < out.size()) {
+    std::partial_sort(out.begin(),
+                      out.begin() + static_cast<std::ptrdiff_t>(top_k),
+                      out.end(), cmp);
+    out.resize(top_k);
+  } else {
+    std::sort(out.begin(), out.end(), cmp);
+  }
+  return out;
+}
+
+}  // namespace qbs

@@ -1,0 +1,85 @@
+// Read-only view over a language model: the interface the selection
+// rankers, metrics, and the broker's snapshots consume.
+//
+// Two implementations exist: the heap-backed LanguageModel (mutable,
+// built by sampling) and the mmap-backed MappedLanguageModel
+// (src/mstore, serving lookups straight from a packed file). Anything
+// that only *reads* a model should take a LanguageModelView so both
+// coexist behind one snapshot.
+#ifndef QBS_LM_MODEL_VIEW_H_
+#define QBS_LM_MODEL_VIEW_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qbs {
+
+/// Per-term frequency statistics.
+struct TermStats {
+  /// Document frequency: number of documents containing the term.
+  uint64_t df = 0;
+  /// Collection term frequency: total occurrences of the term.
+  uint64_t ctf = 0;
+
+  /// Average term frequency, ctf / df (the paper's avg_tf).
+  double avg_tf() const { return df == 0 ? 0.0 : static_cast<double>(ctf) / df; }
+
+  bool operator==(const TermStats&) const = default;
+};
+
+/// Term-frequency metrics used for ranking and query-term selection
+/// (paper §5.2: "the three most common in Information Retrieval").
+enum class TermMetric { kDf, kCtf, kAvgTf };
+
+/// Returns a stable name for a TermMetric ("df", "ctf", "avg_tf").
+const char* TermMetricName(TermMetric metric);
+
+/// Read-only interface over a language model. Implementations must be
+/// immutable while a view reference is shared (the broker publishes
+/// views inside immutable snapshots read by many threads).
+///
+/// Stats are returned by value: a mapped model decodes varint-packed
+/// stats out of the file, so there is no TermStats object to point at.
+class LanguageModelView {
+ public:
+  virtual ~LanguageModelView() = default;
+
+  /// Looks up a term. Returns true and fills `*stats` when present.
+  virtual bool FindStats(std::string_view term, TermStats* stats) const = 0;
+
+  /// True iff the term is in the vocabulary.
+  virtual bool Contains(std::string_view term) const {
+    TermStats ignored;
+    return FindStats(term, &ignored);
+  }
+
+  /// Vocabulary size (distinct terms).
+  virtual size_t vocabulary_size() const = 0;
+
+  /// Total term occurrences (sum of ctf).
+  virtual uint64_t total_term_count() const = 0;
+
+  /// Number of documents the model was built from (0 when unknown).
+  virtual uint64_t num_docs() const = 0;
+
+  /// Invokes fn(term, stats) for every vocabulary entry. The iteration
+  /// order is implementation-defined (heap models iterate hash order,
+  /// mapped models sorted order); callers must not depend on it.
+  virtual void ForEachTerm(
+      const std::function<void(std::string_view, const TermStats&)>& fn)
+      const = 0;
+};
+
+/// Returns (term, score) pairs sorted by `metric` descending, ties
+/// broken lexicographically — deterministic regardless of the view's
+/// iteration order. If `top_k` > 0, only that many are returned.
+std::vector<std::pair<std::string, double>> RankedTermsOf(
+    const LanguageModelView& view, TermMetric metric, size_t top_k = 0);
+
+}  // namespace qbs
+
+#endif  // QBS_LM_MODEL_VIEW_H_

@@ -1,0 +1,75 @@
+// On-disk constants and raw-byte varint coding for the binary model
+// store. The authoritative layout spec is docs/STORAGE.md; this header
+// and that document must change together (bump kModelStoreVersion).
+#ifndef QBS_MSTORE_FORMAT_H_
+#define QBS_MSTORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace qbs {
+
+/// 8-byte file magic. The trailing '1' is a format generation marker
+/// distinct from the version field: a reader that does not even know
+/// the header layout can reject a foreign file on the first 8 bytes.
+inline constexpr char kModelStoreMagic[] = "QBSMSTR1";
+inline constexpr size_t kModelStoreMagicSize = 8;
+
+/// Current format version. Readers reject newer versions with
+/// Unimplemented (forward compatibility is by rewrite, not in-place
+/// interpretation; see docs/STORAGE.md §Versioning).
+inline constexpr uint32_t kModelStoreVersion = 1;
+
+/// File header: magic(8) version(4) flags(4) model_count(8)
+/// directory_offset(8) directory_size(8) header_crc(4).
+inline constexpr size_t kModelStoreHeaderSize = 44;
+
+/// Fixed prefix of every model section: num_docs(8) total_terms(8)
+/// term_count(8) block_size(4) num_blocks(4).
+inline constexpr size_t kModelSectionFixedSize = 32;
+
+/// Model sections and the directory start on 8-byte boundaries.
+inline constexpr size_t kModelStoreAlignment = 8;
+
+/// Terms per front-coded block. Larger blocks compress better but scan
+/// longer; 16 keeps worst-case lookup under one cache-line-ish scan.
+inline constexpr uint32_t kModelStoreDefaultBlockSize = 16;
+
+/// Appends the canonical LEB128 encoding of `v`.
+inline void MstorePutVarint64(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(static_cast<uint8_t>(v) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(static_cast<uint8_t>(v)));
+}
+
+/// Decodes a canonical LEB128 varint from [p, end). Returns the number
+/// of bytes consumed, or 0 when the input is truncated, longer than 10
+/// bytes, overflows 64 bits, or is a non-canonical (overlong,
+/// zero-padded) encoding — the same rules as index/varint.h, applied
+/// to raw mapped bytes.
+inline size_t MstoreGetVarint64(const uint8_t* p, const uint8_t* end,
+                                uint64_t* v) {
+  uint64_t result = 0;
+  size_t i = 0;
+  while (p + i < end && i < 10) {
+    uint8_t byte = p[i];
+    if (i == 9 && byte > 1) return 0;  // would overflow 64 bits
+    result |= static_cast<uint64_t>(byte & 0x7F) << (7 * i);
+    ++i;
+    if ((byte & 0x80) == 0) {
+      // Reject overlong zero-padded encodings: the final byte of a
+      // multi-byte varint must contribute bits.
+      if (byte == 0 && i > 1) return 0;
+      *v = result;
+      return i;
+    }
+  }
+  return 0;  // truncated (or an 11th continuation byte)
+}
+
+}  // namespace qbs
+
+#endif  // QBS_MSTORE_FORMAT_H_

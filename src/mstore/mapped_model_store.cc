@@ -1,0 +1,454 @@
+#include "mstore/mapped_model_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "mstore/format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/crc32c.h"
+#include "util/endian.h"
+#include "util/fd.h"
+
+namespace qbs {
+
+namespace {
+
+struct OpenMetrics {
+  Counter* opens;
+  Counter* open_errors;
+  Histogram* open_latency_us;
+  Gauge* mapped_bytes;
+
+  static const OpenMetrics& Get() {
+    static const OpenMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      OpenMetrics m;
+      m.opens = r.GetCounter("qbs_mstore_open_total",
+                             "Model-store open attempts");
+      m.open_errors =
+          r.GetCounter("qbs_mstore_open_error_total",
+                       "Model-store opens rejected (missing, corrupt, or "
+                       "unsupported files)");
+      m.open_latency_us = r.GetHistogram(
+          "qbs_mstore_open_latency_us",
+          Histogram::ExponentialBounds(10.0, 4.0, 10),
+          "Wall time to mmap + validate one store (us)");
+      m.mapped_bytes = r.GetGauge("qbs_mstore_mapped_bytes",
+                                  "Bytes of model stores currently mapped");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+// --- MappedLanguageModel --------------------------------------------------
+
+const uint8_t* MappedLanguageModel::BlockStart(uint32_t b) const {
+  if (b >= num_blocks_) return nullptr;
+  uint32_t off = LoadLe32(block_index_ + 4 * b);
+  if (off > static_cast<size_t>(terms_end_ - terms_begin_)) return nullptr;
+  return terms_begin_ + off;
+}
+
+std::string_view MappedLanguageModel::BlockFirstTerm(uint32_t b) const {
+  const uint8_t* p = BlockStart(b);
+  const uint8_t* limit =
+      b + 1 < num_blocks_ ? BlockStart(b + 1) : terms_end_;
+  if (p == nullptr || limit == nullptr || p >= limit) return {};
+  uint64_t prefix = 0, len = 0;
+  size_t n = MstoreGetVarint64(p, limit, &prefix);
+  // A block's first entry always carries the whole term (prefix 0), so
+  // it can be read without decoding the preceding block.
+  if (n == 0 || prefix != 0) return {};
+  p += n;
+  n = MstoreGetVarint64(p, limit, &len);
+  if (n == 0) return {};
+  p += n;
+  if (len > static_cast<uint64_t>(limit - p)) return {};
+  return {reinterpret_cast<const char*>(p), static_cast<size_t>(len)};
+}
+
+bool MappedLanguageModel::FindStats(std::string_view term,
+                                    TermStats* stats) const {
+  if (num_blocks_ == 0) return false;
+
+  // Binary search for the block that could hold `term`: the last block
+  // whose first term is <= term.
+  uint32_t left = 0, right = num_blocks_;
+  while (left < right) {
+    uint32_t mid = left + (right - left) / 2;
+    if (BlockFirstTerm(mid) <= term) {
+      left = mid + 1;
+    } else {
+      right = mid;
+    }
+  }
+  if (left == 0) return false;  // term sorts before the whole dictionary
+  const uint32_t block = left - 1;
+
+  // Linear front-coded scan within the block. Every decode is
+  // bounds-checked, so a store opened with verify=false can serve a
+  // malformed block as "not found" but can never read out of bounds.
+  const uint8_t* p = BlockStart(block);
+  const uint8_t* limit =
+      block + 1 < num_blocks_ ? BlockStart(block + 1) : terms_end_;
+  if (p == nullptr || limit == nullptr) return false;
+  std::string cur;
+  for (uint32_t i = 0; i < block_size_ && p < limit; ++i) {
+    uint64_t prefix = 0, suffix_len = 0, df = 0, ctf = 0;
+    size_t n = MstoreGetVarint64(p, limit, &prefix);
+    if (n == 0 || (i == 0 && prefix != 0)) return false;
+    p += n;
+    n = MstoreGetVarint64(p, limit, &suffix_len);
+    if (n == 0) return false;
+    p += n;
+    if (suffix_len > static_cast<uint64_t>(limit - p) ||
+        prefix > cur.size()) {
+      return false;
+    }
+    cur.resize(static_cast<size_t>(prefix));
+    cur.append(reinterpret_cast<const char*>(p),
+               static_cast<size_t>(suffix_len));
+    p += suffix_len;
+    n = MstoreGetVarint64(p, limit, &df);
+    if (n == 0) return false;
+    p += n;
+    n = MstoreGetVarint64(p, limit, &ctf);
+    if (n == 0) return false;
+    p += n;
+    if (cur == term) {
+      stats->df = df;
+      stats->ctf = ctf;
+      return true;
+    }
+    if (cur > term) return false;  // sorted: the term cannot follow
+  }
+  return false;
+}
+
+bool MappedLanguageModel::Walk(
+    const std::function<bool(std::string_view, const TermStats&)>& fn)
+    const {
+  std::string cur;
+  uint64_t remaining = term_count_;
+  for (uint32_t b = 0; b < num_blocks_; ++b) {
+    const uint8_t* p = BlockStart(b);
+    const uint8_t* limit =
+        b + 1 < num_blocks_ ? BlockStart(b + 1) : terms_end_;
+    if (p == nullptr || limit == nullptr || p > limit) return false;
+    const uint64_t in_block = std::min<uint64_t>(block_size_, remaining);
+    for (uint64_t i = 0; i < in_block; ++i) {
+      uint64_t prefix = 0, suffix_len = 0, df = 0, ctf = 0;
+      size_t n = MstoreGetVarint64(p, limit, &prefix);
+      if (n == 0 || (i == 0 && prefix != 0)) return false;
+      p += n;
+      n = MstoreGetVarint64(p, limit, &suffix_len);
+      if (n == 0) return false;
+      p += n;
+      if (suffix_len > static_cast<uint64_t>(limit - p) ||
+          prefix > cur.size()) {
+        return false;
+      }
+      cur.resize(static_cast<size_t>(prefix));
+      cur.append(reinterpret_cast<const char*>(p),
+                 static_cast<size_t>(suffix_len));
+      p += suffix_len;
+      n = MstoreGetVarint64(p, limit, &df);
+      if (n == 0) return false;
+      p += n;
+      n = MstoreGetVarint64(p, limit, &ctf);
+      if (n == 0) return false;
+      p += n;
+      TermStats stats;
+      stats.df = df;
+      stats.ctf = ctf;
+      if (!fn(cur, stats)) return false;
+    }
+    if (p != limit) return false;  // trailing bytes inside a block
+    remaining -= in_block;
+  }
+  return remaining == 0;
+}
+
+void MappedLanguageModel::ForEachTerm(
+    const std::function<void(std::string_view, const TermStats&)>& fn)
+    const {
+  // The dictionary was validated at open (or is served defensively);
+  // a malformed tail simply ends the iteration.
+  (void)Walk([&fn](std::string_view term, const TermStats& s) {
+    fn(term, s);
+    return true;
+  });
+}
+
+// --- MappedModelStore -----------------------------------------------------
+
+MappedModelStore::~MappedModelStore() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+    OpenMetrics::Get().mapped_bytes->Add(-static_cast<double>(size_));
+  }
+}
+
+Status MappedModelStore::Init(const std::string& path,
+                              const OpenOptions& options) {
+  UniqueFd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd.valid()) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such model store: " + path);
+    }
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st = {};
+  if (::fstat(fd.get(), &st) != 0) {
+    return Status::IOError("cannot stat " + path + ": " +
+                           std::strerror(errno));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kModelStoreHeaderSize) {
+    return Status::Corruption("store file too small for a header (" +
+                              std::to_string(size) + " bytes): " + path);
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd.get(), 0);
+  if (mapped == reinterpret_cast<void*>(-1)) {  // MAP_FAILED sans C cast
+    return Status::IOError("mmap failed for " + path + ": " +
+                           std::strerror(errno));
+  }
+  data_ = static_cast<const uint8_t*>(mapped);
+  size_ = size;
+  OpenMetrics::Get().mapped_bytes->Add(static_cast<double>(size_));
+
+  // Header. The magic is checked before the CRC so a foreign file says
+  // "bad magic", and the CRC before the fields so a bit-flipped header
+  // says Corruption rather than misreading offsets.
+  if (std::memcmp(data_, kModelStoreMagic, kModelStoreMagicSize) != 0) {
+    return Status::Corruption("bad model-store magic in " + path);
+  }
+  const uint32_t header_crc = LoadLe32(data_ + 40);
+  if (Crc32c::Of(data_, 40) != header_crc) {
+    return Status::Corruption("model-store header checksum mismatch in " +
+                              path);
+  }
+  version_ = LoadLe32(data_ + 8);
+  if (version_ != kModelStoreVersion) {
+    return Status::Unimplemented(
+        "model-store version " + std::to_string(version_) +
+        " is not supported (this build reads version " +
+        std::to_string(kModelStoreVersion) + ")");
+  }
+  const uint32_t flags = LoadLe32(data_ + 12);
+  if (flags != 0) {
+    return Status::Unimplemented("model store uses unknown flag bits: " +
+                                 std::to_string(flags));
+  }
+  const uint64_t model_count = LoadLe64(data_ + 16);
+  const uint64_t dir_offset = LoadLe64(data_ + 24);
+  const uint64_t dir_size = LoadLe64(data_ + 32);
+  if (dir_offset < kModelStoreHeaderSize || dir_offset > size_ ||
+      dir_size > size_ - dir_offset ||
+      size_ - dir_offset - dir_size != 4) {
+    return Status::Corruption("model-store directory bounds are invalid");
+  }
+
+  // Directory: checksummed (always — it is small and everything hangs
+  // off it), then parsed entry by entry.
+  const uint8_t* dir = data_ + dir_offset;
+  const uint8_t* dir_end = dir + dir_size;
+  const uint32_t dir_crc = LoadLe32(dir_end);
+  if (Crc32c::Of(dir, static_cast<size_t>(dir_size)) != dir_crc) {
+    return Status::Corruption("model-store directory checksum mismatch");
+  }
+
+  struct SectionRef {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint32_t crc = 0;
+  };
+  std::vector<SectionRef> sections;
+  const uint8_t* cursor = dir;
+  for (uint64_t i = 0; i < model_count; ++i) {
+    uint64_t name_len = 0;
+    size_t n = MstoreGetVarint64(cursor, dir_end, &name_len);
+    if (n == 0 || name_len == 0 ||
+        name_len > static_cast<uint64_t>(dir_end - cursor) - n) {
+      return Status::Corruption("model-store directory entry " +
+                                std::to_string(i) + " is malformed");
+    }
+    cursor += n;
+    std::string name(reinterpret_cast<const char*>(cursor),
+                     static_cast<size_t>(name_len));
+    cursor += name_len;
+    if (static_cast<size_t>(dir_end - cursor) < 20) {
+      return Status::Corruption("model-store directory entry " +
+                                std::to_string(i) + " is truncated");
+    }
+    SectionRef ref;
+    ref.offset = LoadLe64(cursor);
+    ref.size = LoadLe64(cursor + 8);
+    ref.crc = LoadLe32(cursor + 16);
+    cursor += 20;
+    if (ref.offset < kModelStoreHeaderSize ||
+        ref.offset % kModelStoreAlignment != 0 || ref.offset > dir_offset ||
+        ref.size < kModelSectionFixedSize ||
+        ref.size > dir_offset - ref.offset) {
+      return Status::Corruption("model section for '" + name +
+                                "' has invalid bounds");
+    }
+    names_.push_back(std::move(name));
+    sections.push_back(ref);
+  }
+  if (cursor != dir_end) {
+    return Status::Corruption("model-store directory has trailing bytes");
+  }
+
+  // Model sections: structural parse always; checksum + full dictionary
+  // walk under verify.
+  models_.resize(sections.size());
+  for (size_t i = 0; i < sections.size(); ++i) {
+    const SectionRef& ref = sections[i];
+    const uint8_t* sec = data_ + ref.offset;
+    MappedLanguageModel& m = models_[i];
+    m.num_docs_ = LoadLe64(sec);
+    m.total_terms_ = LoadLe64(sec + 8);
+    m.term_count_ = LoadLe64(sec + 16);
+    m.block_size_ = LoadLe32(sec + 24);
+    m.num_blocks_ = LoadLe32(sec + 28);
+    if (m.term_count_ == 0) {
+      if (m.num_blocks_ != 0) {
+        return Status::Corruption("empty model '" + names_[i] +
+                                  "' declares dictionary blocks");
+      }
+    } else {
+      if (m.block_size_ == 0 ||
+          m.num_blocks_ !=
+              (m.term_count_ + m.block_size_ - 1) / m.block_size_) {
+        return Status::Corruption("model '" + names_[i] +
+                                  "' has an inconsistent block count");
+      }
+    }
+    const uint64_t fixed =
+        kModelSectionFixedSize + 4ull * m.num_blocks_;
+    if (fixed > ref.size) {
+      return Status::Corruption("model '" + names_[i] +
+                                "' section is too small for its block index");
+    }
+    m.block_index_ = sec + kModelSectionFixedSize;
+    m.terms_begin_ = sec + fixed;
+    m.terms_end_ = sec + ref.size;
+    const uint64_t term_bytes = ref.size - fixed;
+    uint32_t prev_off = 0;
+    for (uint32_t b = 0; b < m.num_blocks_; ++b) {
+      uint32_t off = LoadLe32(m.block_index_ + 4 * b);
+      if (off >= term_bytes || (b == 0 && off != 0) ||
+          (b > 0 && off <= prev_off)) {
+        return Status::Corruption("model '" + names_[i] +
+                                  "' has an invalid block index");
+      }
+      prev_off = off;
+    }
+
+    if (options.verify) {
+      if (Crc32c::Of(sec, static_cast<size_t>(ref.size)) != ref.crc) {
+        return Status::Corruption("model '" + names_[i] +
+                                  "' section checksum mismatch");
+      }
+      std::string prev;
+      bool first = true;
+      const bool ok =
+          m.Walk([&](std::string_view term, const TermStats&) {
+            if (!first && std::string_view(prev) >= term) return false;
+            prev.assign(term.data(), term.size());
+            first = false;
+            return true;
+          });
+      if (!ok) {
+        return Status::Corruption(
+            "model '" + names_[i] +
+            "' has a malformed or unsorted term dictionary");
+      }
+    }
+  }
+
+  if (options.verify) {
+    // Every byte outside the header, the sections, and the directory is
+    // alignment padding and must be zero — no CRC covers the gaps, so
+    // this is what keeps a bit flip there from hiding.
+    std::vector<std::pair<uint64_t, uint64_t>> covered;
+    covered.reserve(sections.size());
+    for (const SectionRef& ref : sections) {
+      covered.emplace_back(ref.offset, ref.offset + ref.size);
+    }
+    std::sort(covered.begin(), covered.end());
+    const auto gap_is_zero = [this](uint64_t from, uint64_t to) {
+      for (uint64_t p = from; p < to; ++p) {
+        if (data_[p] != 0) return false;
+      }
+      return true;
+    };
+    uint64_t pos = kModelStoreHeaderSize;
+    for (const auto& [begin, end] : covered) {
+      if (begin > pos && !gap_is_zero(pos, begin)) {
+        return Status::Corruption(
+            "model store has non-zero alignment padding");
+      }
+      pos = std::max(pos, end);
+    }
+    if (pos < dir_offset && !gap_is_zero(pos, dir_offset)) {
+      return Status::Corruption(
+          "model store has non-zero alignment padding");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const MappedModelStore>> MappedModelStore::Open(
+    const std::string& path, const OpenOptions& options) {
+  const OpenMetrics& metrics = OpenMetrics::Get();
+  QBS_TRACE_SPAN("mstore.open");
+  ScopedTimerUs timer(metrics.open_latency_us);
+  metrics.opens->Increment();
+  // analyze:allow(rawnew): private ctor; adopted by shared_ptr here
+  std::shared_ptr<MappedModelStore> store(new MappedModelStore());
+  Status status = store->Init(path, options);
+  if (!status.ok()) {
+    metrics.open_errors->Increment();
+    return status;
+  }
+  return std::shared_ptr<const MappedModelStore>(std::move(store));
+}
+
+Result<size_t> MappedModelStore::IndexOf(std::string_view model_name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == model_name) return i;
+  }
+  return Status::NotFound("no model named '" + std::string(model_name) +
+                          "' in this store");
+}
+
+std::shared_ptr<const LanguageModelView> MappedModelStore::ModelView(
+    const std::shared_ptr<const MappedModelStore>& store, size_t i) {
+  // Aliasing constructor: the view pointer borrows the store's mapping,
+  // the control block keeps the whole store (and mapping) alive.
+  return std::shared_ptr<const LanguageModelView>(store, &store->models_[i]);
+}
+
+DatabaseCollection CollectionFromStore(
+    const std::shared_ptr<const MappedModelStore>& store) {
+  DatabaseCollection dbs;
+  for (size_t i = 0; i < store->num_models(); ++i) {
+    dbs.Add(store->name(i), MappedModelStore::ModelView(store, i));
+  }
+  return dbs;
+}
+
+}  // namespace qbs

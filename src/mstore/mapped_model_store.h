@@ -1,0 +1,136 @@
+// Zero-copy reader for the binary model store (docs/STORAGE.md).
+//
+// MappedModelStore mmaps a store file and serves term lookups straight
+// from the mapping: opening a store is O(validation), not O(rebuild),
+// and N processes serving the same store share one page-cache copy —
+// the property that makes broker restart "mmap and publish" instead of
+// re-sampling every database.
+#ifndef QBS_MSTORE_MAPPED_MODEL_STORE_H_
+#define QBS_MSTORE_MAPPED_MODEL_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lm/model_view.h"
+#include "selection/db_selection.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// A LanguageModelView whose term dictionary lives in a mapped store
+/// section. Lookup binary-searches the block index, then scans one
+/// front-coded block; nothing is decoded into the heap up front.
+///
+/// The view borrows the mapping: it is valid only while its owning
+/// MappedModelStore is alive. Use MappedModelStore::ModelView() /
+/// CollectionFromStore() for handles that keep the store alive.
+class MappedLanguageModel final : public LanguageModelView {
+ public:
+  bool FindStats(std::string_view term, TermStats* stats) const override;
+  size_t vocabulary_size() const override {
+    return static_cast<size_t>(term_count_);
+  }
+  uint64_t total_term_count() const override { return total_terms_; }
+  uint64_t num_docs() const override { return num_docs_; }
+  void ForEachTerm(
+      const std::function<void(std::string_view, const TermStats&)>& fn)
+      const override;
+
+  /// A default-constructed model is empty (vector storage inside
+  /// MappedModelStore needs this); only MappedModelStore can point one
+  /// at a mapped section.
+  MappedLanguageModel() = default;
+
+ private:
+  friend class MappedModelStore;
+
+  /// First term of block `b` (points into the mapping). Empty view on
+  /// malformed data — callers treat that as "not found".
+  std::string_view BlockFirstTerm(uint32_t b) const;
+  /// Byte offset of block `b`'s first entry within the term data.
+  const uint8_t* BlockStart(uint32_t b) const;
+  /// Walks every entry of the dictionary in order; returns false (and
+  /// stops) when `fn` returns false or the data is malformed.
+  bool Walk(const std::function<bool(std::string_view, const TermStats&)>&
+                fn) const;
+
+  uint64_t num_docs_ = 0;
+  uint64_t total_terms_ = 0;
+  uint64_t term_count_ = 0;
+  uint32_t block_size_ = 0;
+  uint32_t num_blocks_ = 0;
+  /// Block index: num_blocks_ little-endian u32s.
+  const uint8_t* block_index_ = nullptr;
+  /// Front-coded term data: [terms_begin_, terms_end_).
+  const uint8_t* terms_begin_ = nullptr;
+  const uint8_t* terms_end_ = nullptr;
+};
+
+/// An open, validated model store. Create with Open(); the shared_ptr
+/// keeps the mapping alive for every view handed out. Immutable after
+/// Open, so all accessors are safe from any number of threads.
+class MappedModelStore {
+ public:
+  struct OpenOptions {
+    /// When true (the default, and the only safe mode for untrusted
+    /// files), Open checksums every section and walks every dictionary
+    /// so later lookups can trust the structure. When false, only the
+    /// header and structural bounds are checked — for benchmarking the
+    /// open path and for re-opening stores this process just wrote.
+    bool verify = true;
+  };
+
+  /// Opens and validates a store file. Typed failures: NotFound (no
+  /// such file), IOError (open/stat/mmap), Corruption (bad magic,
+  /// checksum, truncation, malformed dictionary), Unimplemented
+  /// (future version or unknown flags).
+  static Result<std::shared_ptr<const MappedModelStore>> Open(
+      const std::string& path, const OpenOptions& options);
+  static Result<std::shared_ptr<const MappedModelStore>> Open(
+      const std::string& path) {
+    return Open(path, OpenOptions());
+  }
+
+  ~MappedModelStore();
+  MappedModelStore(const MappedModelStore&) = delete;
+  MappedModelStore& operator=(const MappedModelStore&) = delete;
+
+  size_t num_models() const { return models_.size(); }
+  const std::string& name(size_t i) const { return names_[i]; }
+  const MappedLanguageModel& model(size_t i) const { return models_[i]; }
+
+  /// Index of the model named `name`, or NotFound.
+  Result<size_t> IndexOf(std::string_view model_name) const;
+
+  uint32_t version() const { return version_; }
+  uint64_t file_size() const { return size_; }
+
+  /// A view of model `i` that shares ownership of the store, so the
+  /// mapping outlives every handed-out view.
+  static std::shared_ptr<const LanguageModelView> ModelView(
+      const std::shared_ptr<const MappedModelStore>& store, size_t i);
+
+ private:
+  MappedModelStore() = default;
+
+  Status Init(const std::string& path, const OpenOptions& options);
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  uint32_t version_ = 0;
+  std::vector<std::string> names_;
+  std::vector<MappedLanguageModel> models_;
+};
+
+/// Builds a selection collection whose models point straight into the
+/// store's mapping. Each entry shares ownership of `store`, so the
+/// collection (and every snapshot built from it) keeps the mapping
+/// alive.
+DatabaseCollection CollectionFromStore(
+    const std::shared_ptr<const MappedModelStore>& store);
+
+}  // namespace qbs
+
+#endif  // QBS_MSTORE_MAPPED_MODEL_STORE_H_

@@ -1,0 +1,181 @@
+#include "mstore/model_store_writer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mstore/format.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/file_io.h"
+#include "util/crc32c.h"
+#include "util/endian.h"
+
+namespace qbs {
+
+namespace {
+
+struct PackMetrics {
+  Counter* packs;
+  Counter* models_packed;
+  Histogram* pack_latency_us;
+
+  static const PackMetrics& Get() {
+    static const PackMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      PackMetrics m;
+      m.packs = r.GetCounter("qbs_mstore_pack_total",
+                             "Model-store serializations completed");
+      m.models_packed =
+          r.GetCounter("qbs_mstore_pack_models_total",
+                       "Language models packed into store files");
+      m.pack_latency_us = r.GetHistogram(
+          "qbs_mstore_pack_latency_us",
+          Histogram::ExponentialBounds(100.0, 4.0, 10),
+          "Wall time to serialize one store image (us)");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+// Length of the longest common prefix of two byte strings.
+size_t SharedPrefix(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+void PadToAlignment(std::string* out) {
+  while (out->size() % kModelStoreAlignment != 0) out->push_back('\0');
+}
+
+}  // namespace
+
+Status ModelStoreWriter::Add(std::string name,
+                             const LanguageModelView& model) {
+  if (name.empty()) {
+    return Status::InvalidArgument("model name must be non-empty");
+  }
+  for (const PendingModel& m : models_) {
+    if (m.name == name) {
+      return Status::InvalidArgument("duplicate model name: " + name);
+    }
+  }
+  if (options_.block_size == 0) {
+    return Status::InvalidArgument("block_size must be > 0");
+  }
+  PendingModel pending;
+  pending.name = std::move(name);
+  pending.num_docs = model.num_docs();
+  pending.total_terms = model.total_term_count();
+  pending.terms.reserve(model.vocabulary_size());
+  model.ForEachTerm([&](std::string_view term, const TermStats& s) {
+    pending.terms.emplace_back(std::string(term), s);
+  });
+  // The dictionary is sorted by raw byte order — the order the mapped
+  // reader binary-searches and validates.
+  std::sort(pending.terms.begin(), pending.terms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  models_.push_back(std::move(pending));
+  return Status::OK();
+}
+
+Result<std::string> ModelStoreWriter::Serialize() const {
+  const PackMetrics& metrics = PackMetrics::Get();
+  QBS_TRACE_SPAN("mstore.pack");
+  ScopedTimerUs timer(metrics.pack_latency_us);
+
+  std::string out(kModelStoreHeaderSize, '\0');
+
+  struct SectionInfo {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint32_t crc = 0;
+  };
+  std::vector<SectionInfo> sections;
+  sections.reserve(models_.size());
+
+  for (const PendingModel& model : models_) {
+    // Term data and block index, front-coded within each block.
+    std::string term_data;
+    std::vector<uint32_t> block_offsets;
+    const uint64_t term_count = model.terms.size();
+    std::string_view prev;
+    for (size_t i = 0; i < model.terms.size(); ++i) {
+      const auto& [term, stats] = model.terms[i];
+      const bool block_start = i % options_.block_size == 0;
+      if (block_start) {
+        if (term_data.size() >
+            std::numeric_limits<uint32_t>::max()) {
+          return Status::OutOfRange(
+              "model '" + model.name +
+              "' exceeds the 4 GiB per-section term-data limit");
+        }
+        block_offsets.push_back(static_cast<uint32_t>(term_data.size()));
+      }
+      // Block-first entries carry the full term (prefix length 0), so a
+      // block can be decoded without touching its predecessor.
+      const size_t prefix = block_start ? 0 : SharedPrefix(prev, term);
+      MstorePutVarint64(&term_data, prefix);
+      MstorePutVarint64(&term_data, term.size() - prefix);
+      term_data.append(term, prefix, term.size() - prefix);
+      MstorePutVarint64(&term_data, stats.df);
+      MstorePutVarint64(&term_data, stats.ctf);
+      prev = term;
+    }
+
+    std::string section;
+    AppendLe64(&section, model.num_docs);
+    AppendLe64(&section, model.total_terms);
+    AppendLe64(&section, term_count);
+    AppendLe32(&section, options_.block_size);
+    AppendLe32(&section, static_cast<uint32_t>(block_offsets.size()));
+    for (uint32_t off : block_offsets) AppendLe32(&section, off);
+    section += term_data;
+
+    PadToAlignment(&out);
+    SectionInfo info;
+    info.offset = out.size();
+    info.size = section.size();
+    info.crc = Crc32c::Of(section);
+    sections.push_back(info);
+    out += section;
+  }
+
+  PadToAlignment(&out);
+  const uint64_t directory_offset = out.size();
+  std::string directory;
+  for (size_t i = 0; i < models_.size(); ++i) {
+    MstorePutVarint64(&directory, models_[i].name.size());
+    directory += models_[i].name;
+    AppendLe64(&directory, sections[i].offset);
+    AppendLe64(&directory, sections[i].size);
+    AppendLe32(&directory, sections[i].crc);
+  }
+  out += directory;
+  AppendLe32(&out, Crc32c::Of(directory));
+
+  // Header last: it commits the directory location.
+  std::string header;
+  header.append(kModelStoreMagic, kModelStoreMagicSize);
+  AppendLe32(&header, kModelStoreVersion);
+  AppendLe32(&header, 0);  // flags: none defined in v1
+  AppendLe64(&header, models_.size());
+  AppendLe64(&header, directory_offset);
+  AppendLe64(&header, directory.size());
+  AppendLe32(&header, Crc32c::Of(header));
+  out.replace(0, kModelStoreHeaderSize, header);
+
+  metrics.packs->Increment();
+  metrics.models_packed->Increment(static_cast<uint64_t>(models_.size()));
+  return out;
+}
+
+Status ModelStoreWriter::WriteToFile(const std::string& path) const {
+  Result<std::string> image = Serialize();
+  QBS_RETURN_IF_ERROR(image.status());
+  return WriteFileAtomic(path, *image);
+}
+
+}  // namespace qbs

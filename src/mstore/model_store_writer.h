@@ -1,0 +1,58 @@
+// Packs language models into the binary model-store format
+// (docs/STORAGE.md): front-coded sorted term dictionary, varint df/ctf
+// payloads, CRC32C per section, one file per collection. The result is
+// opened zero-copy by MappedModelStore.
+#ifndef QBS_MSTORE_MODEL_STORE_WRITER_H_
+#define QBS_MSTORE_MODEL_STORE_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lm/model_view.h"
+#include "util/status.h"
+
+namespace qbs {
+
+/// Accumulates models, then serializes them all into one store file.
+/// Add() snapshots the model's terms immediately, so the source model
+/// may be mutated or destroyed afterwards. Not thread-safe.
+class ModelStoreWriter {
+ public:
+  struct Options {
+    /// Terms per front-coded dictionary block (must be > 0).
+    uint32_t block_size = 16;
+  };
+
+  ModelStoreWriter() = default;
+  explicit ModelStoreWriter(Options options) : options_(options) {}
+
+  /// Snapshots `model` under `name`. Names must be unique within one
+  /// store; empty names are rejected.
+  Status Add(std::string name, const LanguageModelView& model);
+
+  size_t num_models() const { return models_.size(); }
+
+  /// Serializes every added model into the store byte image.
+  Result<std::string> Serialize() const;
+
+  /// Serializes and atomically writes the store to `path` (temp file +
+  /// fsync + rename, so readers never see a torn store).
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  struct PendingModel {
+    std::string name;
+    uint64_t num_docs = 0;
+    uint64_t total_terms = 0;
+    /// Sorted ascending by term (byte order) — the dictionary order.
+    std::vector<std::pair<std::string, TermStats>> terms;
+  };
+
+  Options options_;
+  std::vector<PendingModel> models_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_MSTORE_MODEL_STORE_WRITER_H_

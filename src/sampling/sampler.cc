@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "lm/language_model.h"
 #include "lm/metrics.h"
 #include "obs/log.h"
 #include "obs/metrics.h"

@@ -8,13 +8,20 @@
 namespace qbs {
 
 void DatabaseCollection::Add(std::string name, LanguageModel model) {
+  entries_.push_back({std::move(name), std::make_shared<const LanguageModel>(
+                                           std::move(model))});
+}
+
+void DatabaseCollection::Add(std::string name,
+                             std::shared_ptr<const LanguageModelView> model) {
+  QBS_CHECK(model != nullptr);
   entries_.push_back({std::move(name), std::move(model)});
 }
 
 size_t DatabaseCollection::DatabasesContaining(std::string_view term) const {
   size_t count = 0;
   for (const Entry& e : entries_) {
-    if (e.model.Contains(term)) ++count;
+    if (e.model->Contains(term)) ++count;
   }
   return count;
 }
@@ -23,7 +30,7 @@ double DatabaseCollection::AvgCollectionSize() const {
   if (entries_.empty()) return 0.0;
   double total = 0.0;
   for (const Entry& e : entries_) {
-    total += static_cast<double>(e.model.total_term_count());
+    total += static_cast<double>(e.model->total_term_count());
   }
   return total / entries_.size();
 }
@@ -61,14 +68,14 @@ std::vector<DatabaseScore> CoriRanker::Rank(
   }
 
   for (size_t i = 0; i < num_dbs; ++i) {
-    const LanguageModel& lm = collection_->model(i);
+    const LanguageModelView& lm = collection_->model(i);
     double cw = static_cast<double>(lm.total_term_count());
     double belief_sum = 0.0;
     for (size_t t = 0; t < query_terms.size(); ++t) {
-      const TermStats* s = lm.Find(query_terms[t]);
+      TermStats s;
       double belief = default_belief_;
-      if (s != nullptr && cf[t] > 0) {
-        double df = static_cast<double>(s->df);
+      if (lm.FindStats(query_terms[t], &s) && cf[t] > 0) {
+        double df = static_cast<double>(s.df);
         double tt = df / (df + 50.0 + 150.0 * (avg_cw_ > 0 ? cw / avg_cw_ : 1.0));
         double ii = std::log((num_dbs + 0.5) / cf[t]) / std::log(num_dbs + 1.0);
         belief = default_belief_ + (1.0 - default_belief_) * tt * ii;
@@ -86,16 +93,16 @@ std::vector<DatabaseScore> BglossRanker::Rank(
     const std::vector<std::string>& query_terms) const {
   std::vector<DatabaseScore> scores(collection_->size());
   for (size_t i = 0; i < collection_->size(); ++i) {
-    const LanguageModel& lm = collection_->model(i);
+    const LanguageModelView& lm = collection_->model(i);
     double num_docs = static_cast<double>(lm.num_docs());
     double est = num_docs;
     for (const std::string& term : query_terms) {
-      const TermStats* s = lm.Find(term);
-      if (s == nullptr || num_docs == 0.0) {
+      TermStats s;
+      if (!lm.FindStats(term, &s) || num_docs == 0.0) {
         est = 0.0;
         break;
       }
-      est *= static_cast<double>(s->df) / num_docs;
+      est *= static_cast<double>(s.df) / num_docs;
     }
     scores[i].db_name = collection_->name(i);
     scores[i].score = query_terms.empty() ? 0.0 : est;
@@ -115,11 +122,13 @@ std::vector<DatabaseScore> VglossRanker::Rank(
   }
 
   for (size_t i = 0; i < num_dbs; ++i) {
-    const LanguageModel& lm = collection_->model(i);
+    const LanguageModelView& lm = collection_->model(i);
     double score = 0.0;
     for (size_t t = 0; t < query_terms.size(); ++t) {
-      const TermStats* s = lm.Find(query_terms[t]);
-      if (s != nullptr) score += static_cast<double>(s->ctf) * idf[t];
+      TermStats s;
+      if (lm.FindStats(query_terms[t], &s)) {
+        score += static_cast<double>(s.ctf) * idf[t];
+      }
     }
     scores[i].db_name = collection_->name(i);
     scores[i].score = score;
@@ -131,6 +140,9 @@ KlRanker::KlRanker(const DatabaseCollection* collection, double lambda)
     : collection_(collection), lambda_(lambda) {
   QBS_CHECK(collection_ != nullptr);
   QBS_CHECK(lambda_ > 0.0 && lambda_ < 1.0);
+  // Integer accumulation over each model's terms: the union is identical
+  // whatever order each view iterates in, so heap-built and mapped
+  // collections produce the same union model (and the same rankings).
   for (size_t i = 0; i < collection_->size(); ++i) {
     union_model_.Merge(collection_->model(i));
   }
@@ -145,13 +157,13 @@ std::vector<DatabaseScore> KlRanker::Rank(
   const double kFloor = 1e-12;
 
   for (size_t i = 0; i < collection_->size(); ++i) {
-    const LanguageModel& lm = collection_->model(i);
+    const LanguageModelView& lm = collection_->model(i);
     double total = std::max<double>(lm.total_term_count(), 1.0);
     double score = 0.0;
     for (const std::string& term : query_terms) {
-      const TermStats* s = lm.Find(term);
+      TermStats s;
       const TermStats* u = union_model_.Find(term);
-      double p_db = s != nullptr ? s->ctf / total : 0.0;
+      double p_db = lm.FindStats(term, &s) ? s.ctf / total : 0.0;
       double p_bg = u != nullptr ? u->ctf / union_total : 0.0;
       score += std::log(lambda_ * p_db + (1.0 - lambda_) * p_bg + kFloor);
     }

@@ -15,20 +15,37 @@
 
 namespace qbs {
 
-/// A set of databases described by their language models. The collection
-/// owns copies of the models; `num_docs` on each model should be set (it
-/// is, both for actual models and for learned models).
+/// A set of databases described by their language models. Entries hold
+/// shared read-only views, so one collection can mix heap-built models
+/// with models served zero-copy out of a mapped store (src/mstore) —
+/// and copying a collection shares the models instead of duplicating
+/// them (the broker copies collections into every snapshot).
+/// `num_docs` on each model should be set (it is, both for actual
+/// models and for learned models).
 class DatabaseCollection {
  public:
   DatabaseCollection() = default;
 
-  /// Registers a database under `name` with its language model.
+  /// Registers a database under `name`, taking ownership of a copy of
+  /// the heap model.
   void Add(std::string name, LanguageModel model);
+
+  /// Registers a database under `name` with a shared view (e.g. a
+  /// MappedModelStore's model). `model` must be non-null and immutable
+  /// for as long as any copy of this collection is alive.
+  void Add(std::string name, std::shared_ptr<const LanguageModelView> model);
 
   size_t size() const { return entries_.size(); }
 
   const std::string& name(size_t i) const { return entries_[i].name; }
-  const LanguageModel& model(size_t i) const { return entries_[i].model; }
+  const LanguageModelView& model(size_t i) const {
+    return *entries_[i].model;
+  }
+  /// The shared handle, for callers that need to extend a model's
+  /// lifetime beyond the collection's.
+  const std::shared_ptr<const LanguageModelView>& model_ptr(size_t i) const {
+    return entries_[i].model;
+  }
 
   /// Number of databases whose model contains `term`.
   size_t DatabasesContaining(std::string_view term) const;
@@ -39,7 +56,7 @@ class DatabaseCollection {
  private:
   struct Entry {
     std::string name;
-    LanguageModel model;
+    std::shared_ptr<const LanguageModelView> model;
   };
   std::vector<Entry> entries_;
 };

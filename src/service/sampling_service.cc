@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "mstore/mapped_model_store.h"
+#include "mstore/model_store_writer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -209,7 +211,8 @@ Status SamplingService::RefreshAll() {
                       std::to_string(todo.size()) +
                       " databases failed: " + detail);
   }
-  return SaveModels();
+  QBS_RETURN_IF_ERROR(SaveModels());
+  return SaveStore();
 }
 
 void SamplingService::PublishSnapshot() { registry_.Publish(Collection()); }
@@ -234,7 +237,8 @@ Status SamplingService::Refresh(const std::string& name) {
       // too, so Select never ranks against a model states_ disowned.
       PublishSnapshot();
       QBS_RETURN_IF_ERROR(status);
-      return SaveModels();
+      QBS_RETURN_IF_ERROR(SaveModels());
+      return SaveStore();
     }
   }
   return Status::NotFound("no database named '" + name + "'");
@@ -324,6 +328,36 @@ Status SamplingService::LoadModels() {
   }
   UpdateModelGauge();
   PublishSnapshot();
+  return Status::OK();
+}
+
+Status SamplingService::SaveStore() const {
+  if (options_.store_path.empty()) return Status::OK();
+  DatabaseCollection dbs = Collection();
+  ModelStoreWriter writer;
+  for (size_t i = 0; i < dbs.size(); ++i) {
+    QBS_RETURN_IF_ERROR(writer.Add(dbs.name(i), dbs.model(i)));
+  }
+  QBS_RETURN_IF_ERROR(writer.WriteToFile(options_.store_path));
+  QBS_LOG(INFO) << "packed " << writer.num_models() << " models into "
+                << options_.store_path;
+  return Status::OK();
+}
+
+Status SamplingService::LoadStore() {
+  if (options_.store_path.empty()) {
+    return Status::FailedPrecondition(
+        "LoadStore requires ServiceOptions::store_path");
+  }
+  auto store = MappedModelStore::Open(options_.store_path);
+  QBS_RETURN_IF_ERROR(store.status());
+  // Publish straight from the mapping. states_ stays as-is: these models
+  // belong to the store file, not to any registered database, and a later
+  // RefreshAll will re-sample and supersede this epoch normally.
+  registry_.Publish(CollectionFromStore(*store));
+  QBS_LOG(INFO) << "published snapshot of " << (*store)->num_models()
+                << " models from store " << options_.store_path
+                << " (no sampling)";
   return Status::OK();
 }
 

@@ -55,6 +55,12 @@ struct ServiceOptions {
   /// can warm-start from them.
   std::string model_dir;
 
+  /// When non-empty, every successful refresh also packs the selection
+  /// collection into a binary model store at this path (docs/STORAGE.md),
+  /// and LoadStore() can cold-start the broker by mmapping it — first
+  /// snapshot published without re-sampling a single database.
+  std::string store_path;
+
   /// Base RNG seed; database i samples with seed `base_seed + i`.
   uint64_t base_seed = 71;
 };
@@ -137,6 +143,20 @@ class SamplingService {
   /// Loads previously saved models for registered databases that lack one;
   /// missing files are skipped silently.
   Status LoadModels();
+
+  /// Packs the current selection collection into the binary store at
+  /// options_.store_path (no-op without store_path). Called automatically
+  /// after successful refreshes; exposed for explicit checkpoints.
+  Status SaveStore() const;
+
+  /// Publishes a selection snapshot straight from the packed store at
+  /// options_.store_path — the instant-restart path. The store is mmapped
+  /// and validated, and its models are served zero-copy; no database is
+  /// sampled and states_ is untouched. Fails with NotFound when the store
+  /// does not exist (callers fall back to RefreshAll), Corruption /
+  /// Unimplemented when it is unusable, FailedPrecondition without a
+  /// store_path.
+  Status LoadStore();
 
   /// Human-readable per-database summary (model sizes, sampling stats,
   /// last errors) for operators — `qbs service` prints this.

@@ -1,11 +1,99 @@
 #include "storage/file_io.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <istream>
 #include <ostream>
 
+#include "util/fd.h"
 #include "util/logging.h"
 
 namespace qbs {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what, int err) {
+  return what + ": " + std::strerror(err);
+}
+
+}  // namespace
+
+Status ReadFdFull(int fd, void* buf, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::read(fd, p + done, n - done);
+    if (got < 0) {
+      if (errno == EINTR) continue;  // signal without SA_RESTART; retry
+      return Status::IOError(ErrnoMessage("read failed", errno));
+    }
+    if (got == 0) {
+      return Status::Corruption("unexpected end of file: wanted " +
+                                std::to_string(n) + " bytes, got " +
+                                std::to_string(done));
+    }
+    done += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status WriteFdAll(int fd, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t put = ::write(fd, p + done, n - done);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("write failed", errno));
+    }
+    done += static_cast<size_t>(put);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  UniqueFd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd.valid()) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return Status::IOError(ErrnoMessage("cannot open " + path, errno));
+  }
+  struct stat st = {};
+  if (::fstat(fd.get(), &st) != 0) {
+    return Status::IOError(ErrnoMessage("cannot stat " + path, errno));
+  }
+  std::string out;
+  out.resize(static_cast<size_t>(st.st_size));
+  if (!out.empty()) {
+    QBS_RETURN_IF_ERROR(ReadFdFull(fd.get(), out.data(), out.size()));
+  }
+  return out;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  UniqueFd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                     0644));
+  if (!fd.valid()) {
+    return Status::IOError(ErrnoMessage("cannot create " + tmp, errno));
+  }
+  Status status = WriteFdAll(fd.get(), data.data(), data.size());
+  if (status.ok() && ::fsync(fd.get()) != 0) {
+    status = Status::IOError(ErrnoMessage("fsync failed for " + tmp, errno));
+  }
+  fd.Reset();  // close before rename
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::IOError(
+        ErrnoMessage("cannot rename " + tmp + " to " + path, errno));
+  }
+  if (!status.ok()) ::unlink(tmp.c_str());
+  return status;
+}
 
 void Fnv1a::Update(const void* data, size_t n) {
   const uint8_t* p = static_cast<const uint8_t*>(data);

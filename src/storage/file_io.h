@@ -1,8 +1,20 @@
-// Checksummed binary stream primitives for the on-disk index format.
+// Checksummed binary stream primitives for the on-disk index format,
+// plus the POSIX full-transfer helpers the binary model store builds on.
 //
 // Every persisted file is:  magic(8) | payload | crc(8, FNV-1a of payload)
 // Integers are little-endian fixed-width or LEB128 varints; strings are
 // varint-length-prefixed bytes.
+//
+// Partial-transfer audit (the paths mstore reuses): the iostream-based
+// SectionReader/SectionWriter sit on std::filebuf, whose read/write
+// loops internally until the requested count transfers or the stream
+// fails — gcount() is checked after every read, so short sections
+// surface as Corruption, not garbage. Raw read(2)/write(2), by
+// contrast, may transfer fewer bytes than asked (always possible on
+// pipes/sockets, and on files when interrupted) and may fail with
+// EINTR when a signal lands without SA_RESTART. The fd helpers below
+// centralize the retry loops so no caller ever sees a short transfer;
+// tests/file_io_posix_test.cc pins both behaviors.
 #ifndef QBS_STORAGE_FILE_IO_H_
 #define QBS_STORAGE_FILE_IO_H_
 
@@ -15,6 +27,23 @@
 #include "util/status.h"
 
 namespace qbs {
+
+/// Reads exactly `n` bytes from `fd` into `buf`, looping across partial
+/// reads and EINTR. Returns Corruption("unexpected end of file") when
+/// EOF arrives first, IOError for any other errno.
+Status ReadFdFull(int fd, void* buf, size_t n);
+
+/// Writes all `n` bytes to `fd`, looping across partial writes and
+/// EINTR. Returns IOError on failure.
+Status WriteFdAll(int fd, const void* data, size_t n);
+
+/// Reads an entire regular file. NotFound when the path does not exist.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Atomically replaces `path` with `data`: writes to a temp file in the
+/// same directory, fsyncs, then rename(2)s over the target — readers
+/// (and mmap openers) never observe a torn or truncated file.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
 
 /// Incremental FNV-1a 64-bit hash.
 class Fnv1a {

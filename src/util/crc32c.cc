@@ -1,0 +1,66 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace qbs {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+// Slice-by-8 lookup tables: table[0] is the classic byte-at-a-time
+// table; table[k] advances a byte through k additional zero bytes, so
+// eight table lookups consume eight input bytes per iteration.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (size_t k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Tables& GetTables() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+void Crc32c::Update(const void* data, size_t n) {
+  const Tables& tab = GetTables();
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = state_;
+  while (n >= 8) {
+    // Fold the current state into the first four bytes, then advance
+    // all eight through the sliced tables.
+    uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                         static_cast<uint32_t>(p[1]) << 8 |
+                         static_cast<uint32_t>(p[2]) << 16 |
+                         static_cast<uint32_t>(p[3]) << 24);
+    crc = tab.t[7][lo & 0xFFu] ^ tab.t[6][(lo >> 8) & 0xFFu] ^
+          tab.t[5][(lo >> 16) & 0xFFu] ^ tab.t[4][lo >> 24] ^
+          tab.t[3][p[4]] ^ tab.t[2][p[5]] ^ tab.t[1][p[6]] ^ tab.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = (crc >> 8) ^ tab.t[0][(crc ^ *p) & 0xFFu];
+    ++p;
+    --n;
+  }
+  state_ = crc;
+}
+
+}  // namespace qbs

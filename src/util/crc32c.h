@@ -1,0 +1,39 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected): the checksum
+// used by the binary model store (docs/STORAGE.md) and available to the
+// wire and index formats. Chosen over FNV-1a for sections that must
+// detect corruption: CRC32C has guaranteed burst-error detection and a
+// fixed 4-byte footprint.
+#ifndef QBS_UTIL_CRC32C_H_
+#define QBS_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace qbs {
+
+/// Incremental CRC32C. Update() may be called any number of times;
+/// digest() returns the checksum of everything fed so far and does not
+/// reset the state, so callers can checkpoint mid-stream.
+class Crc32c {
+ public:
+  void Update(const void* data, size_t n);
+  void Update(std::string_view s) { Update(s.data(), s.size()); }
+
+  uint32_t digest() const { return state_ ^ 0xFFFFFFFFu; }
+
+  /// One-shot convenience.
+  static uint32_t Of(const void* data, size_t n) {
+    Crc32c crc;
+    crc.Update(data, n);
+    return crc.digest();
+  }
+  static uint32_t Of(std::string_view s) { return Of(s.data(), s.size()); }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_UTIL_CRC32C_H_

@@ -1,0 +1,63 @@
+// Little-endian fixed-width encode/decode helpers. Every on-disk and
+// on-wire fixed-width integer in qbs is little-endian; these helpers
+// read and write byte-at-a-time, so they are alignment-safe and
+// byte-order-independent on any host.
+#ifndef QBS_UTIL_ENDIAN_H_
+#define QBS_UTIL_ENDIAN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace qbs {
+
+inline void StoreLe16(uint8_t* dst, uint16_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void StoreLe32(uint8_t* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline void StoreLe64(uint8_t* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = static_cast<uint8_t>(v >> (8 * i));
+}
+
+inline uint16_t LoadLe16(const uint8_t* p) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) |
+                               static_cast<uint16_t>(p[1]) << 8);
+}
+
+inline uint32_t LoadLe32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline uint64_t LoadLe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline void AppendLe16(std::string* out, uint16_t v) {
+  uint8_t buf[2];
+  StoreLe16(buf, v);
+  out->append(reinterpret_cast<const char*>(buf), 2);
+}
+
+inline void AppendLe32(std::string* out, uint32_t v) {
+  uint8_t buf[4];
+  StoreLe32(buf, v);
+  out->append(reinterpret_cast<const char*>(buf), 4);
+}
+
+inline void AppendLe64(std::string* out, uint64_t v) {
+  uint8_t buf[8];
+  StoreLe64(buf, v);
+  out->append(reinterpret_cast<const char*>(buf), 8);
+}
+
+}  // namespace qbs
+
+#endif  // QBS_UTIL_ENDIAN_H_

@@ -1,0 +1,123 @@
+// Unit tests for the binary coding primitives shared by the model
+// store and (eventually) the wire/index formats: CRC32C and the
+// little-endian fixed-width helpers.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "util/crc32c.h"
+#include "util/endian.h"
+
+namespace qbs {
+namespace {
+
+// The canonical CRC32C check value (RFC 3720 appendix B / every
+// published implementation): crc32c("123456789") == 0xE3069283.
+TEST(Crc32cTest, CheckValue) {
+  EXPECT_EQ(Crc32c::Of("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c::Of("", 0), 0u);
+  Crc32c crc;
+  EXPECT_EQ(crc.digest(), 0u);
+}
+
+// Known vectors from the iSCSI spec (also pinned by leveldb's suite).
+TEST(Crc32cTest, StandardVectors) {
+  uint8_t buf[32];
+
+  std::fill(std::begin(buf), std::end(buf), uint8_t{0});
+  EXPECT_EQ(Crc32c::Of(buf, sizeof(buf)), 0x8A9136AAu);
+
+  std::fill(std::begin(buf), std::end(buf), uint8_t{0xFF});
+  EXPECT_EQ(Crc32c::Of(buf, sizeof(buf)), 0x62A8AB43u);
+
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<uint8_t>(i);
+  EXPECT_EQ(Crc32c::Of(buf, sizeof(buf)), 0x46DD794Eu);
+
+  for (int i = 0; i < 32; ++i) buf[i] = static_cast<uint8_t>(31 - i);
+  EXPECT_EQ(Crc32c::Of(buf, sizeof(buf)), 0x113FDB5Cu);
+}
+
+// Incremental updates over arbitrary split points must equal one-shot.
+TEST(Crc32cTest, IncrementalMatchesOneShot) {
+  std::string data;
+  for (int i = 0; i < 997; ++i) {
+    data.push_back(static_cast<char>((i * 131 + 7) & 0xFF));
+  }
+  uint32_t whole = Crc32c::Of(data);
+  for (size_t split : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                       size_t{64}, size_t{996}, size_t{997}}) {
+    Crc32c crc;
+    crc.Update(data.substr(0, split));
+    crc.Update(data.substr(split));
+    EXPECT_EQ(crc.digest(), whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DigestDoesNotResetState) {
+  Crc32c crc;
+  crc.Update("1234");
+  (void)crc.digest();
+  crc.Update("56789");
+  EXPECT_EQ(crc.digest(), 0xE3069283u);
+}
+
+TEST(Crc32cTest, DifferentInputsDiffer) {
+  EXPECT_NE(Crc32c::Of("hello"), Crc32c::Of("hellp"));
+  EXPECT_NE(Crc32c::Of("hello"), Crc32c::Of("hell"));
+}
+
+TEST(EndianTest, RoundTrip16) {
+  uint8_t buf[2];
+  for (uint32_t v : {0u, 1u, 0x1234u, 0xFFFFu}) {
+    StoreLe16(buf, static_cast<uint16_t>(v));
+    EXPECT_EQ(LoadLe16(buf), v);
+  }
+}
+
+TEST(EndianTest, RoundTrip32) {
+  uint8_t buf[4];
+  for (uint32_t v : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
+    StoreLe32(buf, v);
+    EXPECT_EQ(LoadLe32(buf), v);
+  }
+}
+
+TEST(EndianTest, RoundTrip64) {
+  uint8_t buf[8];
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0x0123456789ABCDEF},
+                     ~uint64_t{0}}) {
+    StoreLe64(buf, v);
+    EXPECT_EQ(LoadLe64(buf), v);
+  }
+}
+
+// The byte order on disk is little-endian regardless of host.
+TEST(EndianTest, ByteLayoutIsLittleEndian) {
+  uint8_t buf[8];
+  StoreLe32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04u);
+  EXPECT_EQ(buf[1], 0x03u);
+  EXPECT_EQ(buf[2], 0x02u);
+  EXPECT_EQ(buf[3], 0x01u);
+  StoreLe64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(buf[0], 0x08u);
+  EXPECT_EQ(buf[7], 0x01u);
+}
+
+TEST(EndianTest, AppendHelpers) {
+  std::string out;
+  AppendLe16(&out, 0x0201u);
+  AppendLe32(&out, 0x06050403u);
+  AppendLe64(&out, 0x0E0D0C0B0A090807ull);
+  ASSERT_EQ(out.size(), 14u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(static_cast<uint8_t>(out[i]), i + 1) << "byte " << i;
+  }
+}
+
+}  // namespace
+}  // namespace qbs

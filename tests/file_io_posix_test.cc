@@ -1,0 +1,174 @@
+// Tests for the raw-fd file_io primitives: full-transfer loops over
+// partial reads/writes, EINTR resilience, and atomic file replacement.
+// These are the paths the model store trusts for its on-disk images.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <unistd.h>
+
+#include "storage/file_io.h"
+#include "util/fd.h"
+#include "util/status.h"
+
+namespace qbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempDir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() /
+                 ("qbs_file_io_posix_" + tag + "_" +
+                  std::to_string(
+                      ::testing::UnitTest::GetInstance()->random_seed()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+TEST(FdIoTest, ReadFdFullAssemblesPartialReads) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  UniqueFd read_end(fds[0]), write_end(fds[1]);
+
+  // The writer dribbles 64 KiB in 1000-byte chunks with pauses, so the
+  // reader's single ReadFdFull call sees many short reads.
+  std::string payload(64 * 1024, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 31 + 7);
+  }
+  std::thread writer([fd = write_end.get(), &payload] {
+    for (size_t off = 0; off < payload.size(); off += 1000) {
+      size_t n = std::min<size_t>(1000, payload.size() - off);
+      ASSERT_TRUE(WriteFdAll(fd, payload.data() + off, n).ok());
+      std::this_thread::yield();
+    }
+  });
+  std::string got(payload.size(), '\0');
+  Status status = ReadFdFull(read_end.get(), got.data(), got.size());
+  writer.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(got, payload);
+}
+
+TEST(FdIoTest, ReadFdFullReportsEarlyEofAsCorruption) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  UniqueFd read_end(fds[0]);
+  {
+    UniqueFd write_end(fds[1]);
+    ASSERT_TRUE(WriteFdAll(write_end.get(), "abc", 3).ok());
+  }  // closes the write end: 3 bytes then EOF
+  char buf[8];
+  Status status = ReadFdFull(read_end.get(), buf, sizeof(buf));
+  EXPECT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+}
+
+TEST(FdIoTest, ReadFdFullOfZeroBytesIsOk) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  UniqueFd read_end(fds[0]), write_end(fds[1]);
+  EXPECT_TRUE(ReadFdFull(read_end.get(), nullptr, 0).ok());
+  EXPECT_TRUE(WriteFdAll(write_end.get(), nullptr, 0).ok());
+}
+
+// EINTR: a no-op handler installed WITHOUT SA_RESTART makes blocking
+// reads fail with EINTR when signalled. The loops must retry. (If the
+// signal misses the blocking window the test still passes — it then
+// simply exercises the ordinary path.)
+void IgnoreSignal(int) {}
+
+TEST(FdIoTest, ReadFdFullRetriesAfterEintr) {
+  struct sigaction sa = {};
+  sa.sa_handler = IgnoreSignal;
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction old_sa = {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old_sa), 0);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  UniqueFd read_end(fds[0]), write_end(fds[1]);
+
+  pthread_t reader_thread = ::pthread_self();
+  const std::string payload = "interrupted but intact";
+  std::thread interrupter([&, fd = write_end.get()] {
+    // Pepper the (blocked) reader with signals, then satisfy the read.
+    for (int i = 0; i < 50; ++i) {
+      ::pthread_kill(reader_thread, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+    ASSERT_TRUE(WriteFdAll(fd, payload.data(), payload.size()).ok());
+  });
+  std::string got(payload.size(), '\0');
+  Status status = ReadFdFull(read_end.get(), got.data(), got.size());
+  interrupter.join();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(got, payload);
+  ASSERT_EQ(::sigaction(SIGUSR1, &old_sa, nullptr), 0);
+}
+
+TEST(FileIoTest, ReadFileToStringRoundTripsBinary) {
+  std::string dir = TempDir("read");
+  std::string path = dir + "/blob.bin";
+  std::string payload("\x00\x01\xffhello\nworld\x00", 14);
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  auto got = ReadFileToString(path);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(*got, payload);
+  fs::remove_all(dir);
+}
+
+TEST(FileIoTest, ReadFileToStringMissingIsNotFound) {
+  auto got = ReadFileToString(TempDir("missing") + "/nope");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileIoTest, WriteFileAtomicReplacesAndLeavesNoTemp) {
+  std::string dir = TempDir("atomic");
+  std::string path = dir + "/target";
+  ASSERT_TRUE(WriteFileAtomic(path, "first version").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "second version").ok());
+  auto got = ReadFileToString(path);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "second version");
+  // No temp files survive a successful write.
+  size_t entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+  fs::remove_all(dir);
+}
+
+TEST(FileIoTest, WriteFileAtomicFailsIntoMissingDirectory) {
+  Status s = WriteFileAtomic(TempDir("gone") + "/sub/none", "data");
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+}
+
+TEST(FileIoTest, WriteFileAtomicLargePayload) {
+  // Larger than any single pipe/write buffer, so the write loop runs
+  // multiple rounds.
+  std::string dir = TempDir("large");
+  std::string path = dir + "/large.bin";
+  std::string payload(8 * 1024 * 1024, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i % 251);
+  }
+  ASSERT_TRUE(WriteFileAtomic(path, payload).ok());
+  auto got = ReadFileToString(path);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, payload);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace qbs

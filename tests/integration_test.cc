@@ -10,6 +10,7 @@
 
 #include "corpus/synthetic.h"
 #include "expansion/cooccurrence.h"
+#include "lm/language_model.h"
 #include "lm/metrics.h"
 #include "sampling/sampler.h"
 #include "selection/db_selection.h"

@@ -67,6 +67,75 @@ TEST(LanguageModelTest, MergeAddsBothSides) {
   EXPECT_EQ(a.total_term_count(), 5u);
 }
 
+TEST(LanguageModelTest, AddTermKeepsZeroCountTerms) {
+  // A zero-df/zero-ctf term is a legitimate vocabulary entry (e.g. from
+  // a store round trip); it must survive, not vanish or divide-by-zero.
+  LanguageModel lm;
+  lm.AddTerm("ghost", 0, 0);
+  const TermStats* s = lm.Find("ghost");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->df, 0u);
+  EXPECT_EQ(s->ctf, 0u);
+  EXPECT_EQ(s->avg_tf(), 0.0);
+  EXPECT_EQ(lm.vocabulary_size(), 1u);
+  EXPECT_EQ(lm.total_term_count(), 0u);
+}
+
+TEST(LanguageModelTest, AddTermSaturatesInsteadOfWrapping) {
+  LanguageModel lm;
+  lm.AddTerm("t", UINT64_MAX - 1, UINT64_MAX - 1);
+  lm.AddTerm("t", 5, 7);  // would wrap; must clamp
+  const TermStats* s = lm.Find("t");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->df, UINT64_MAX);
+  EXPECT_EQ(s->ctf, UINT64_MAX);
+  EXPECT_EQ(lm.total_term_count(), UINT64_MAX);
+}
+
+TEST(LanguageModelTest, MergeSaturatesCounters) {
+  LanguageModel a, b;
+  a.AddTerm("t", UINT64_MAX, UINT64_MAX);
+  a.set_num_docs(UINT64_MAX);
+  b.AddTerm("t", 1, 1);
+  b.set_num_docs(1);
+  a.Merge(b);
+  EXPECT_EQ(a.Find("t")->df, UINT64_MAX);
+  EXPECT_EQ(a.Find("t")->ctf, UINT64_MAX);
+  EXPECT_EQ(a.num_docs(), UINT64_MAX);
+  EXPECT_EQ(a.total_term_count(), UINT64_MAX);
+}
+
+TEST(LanguageModelTest, MergeWithSelfDoublesEverything) {
+  LanguageModel lm;
+  lm.AddDocument({"x", "x", "y"});
+  lm.AddDocument({"x"});
+  lm.Merge(lm);  // aliasing merge: no iterator invalidation, no UB
+  EXPECT_EQ(lm.Find("x")->df, 4u);
+  EXPECT_EQ(lm.Find("x")->ctf, 6u);
+  EXPECT_EQ(lm.Find("y")->df, 2u);
+  EXPECT_EQ(lm.Find("y")->ctf, 2u);
+  EXPECT_EQ(lm.num_docs(), 4u);
+  EXPECT_EQ(lm.total_term_count(), 8u);
+  EXPECT_EQ(lm.vocabulary_size(), 2u);
+}
+
+TEST(LanguageModelTest, MergeIntoEmptyCopiesSource) {
+  LanguageModel empty, src;
+  src.AddDocument({"a", "b", "a"});
+  empty.Merge(src);
+  EXPECT_EQ(empty.Find("a")->df, 1u);
+  EXPECT_EQ(empty.Find("a")->ctf, 2u);
+  EXPECT_EQ(empty.num_docs(), 1u);
+  EXPECT_EQ(empty.total_term_count(), 3u);
+  // And merging an empty model changes nothing.
+  LanguageModel nothing;
+  src.Merge(nothing);
+  EXPECT_EQ(src.Find("a")->df, 1u);
+  EXPECT_EQ(src.Find("a")->ctf, 2u);
+  EXPECT_EQ(src.num_docs(), 1u);
+  EXPECT_EQ(src.total_term_count(), 3u);
+}
+
 TEST(LanguageModelTest, RankedTermsOrdersByMetric) {
   LanguageModel lm;
   lm.AddTerm("high_df", 10, 10);

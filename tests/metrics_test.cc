@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "lm/language_model.h"
 #include "lm/metrics.h"
 
 namespace qbs {

@@ -1,0 +1,280 @@
+// Adversarial tests for the mapped model store: corrupt images must be
+// rejected with a typed Status — never a crash, never an out-of-bounds
+// read (the asan/ubsan configuration is this suite's real judge).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lm/language_model.h"
+#include "mstore/format.h"
+#include "mstore/mapped_model_store.h"
+#include "mstore/model_store_writer.h"
+#include "storage/file_io.h"
+#include "util/crc32c.h"
+#include "util/endian.h"
+
+namespace qbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& tag) {
+  fs::path p = fs::temp_directory_path() /
+               ("qbs_mstore_corrupt_" + tag + "_" +
+                std::to_string(
+                    ::testing::UnitTest::GetInstance()->random_seed()) +
+                ".qms");
+  fs::remove(p);
+  return p.string();
+}
+
+// A store with enough structure to make every section interesting.
+std::string ValidImage() {
+  LanguageModel a;
+  a.AddTerm("apple", 3, 7);
+  a.AddTerm("apricot", 2, 2);
+  a.AddTerm("banana", 1, 1);
+  a.AddTerm("blueberry", 4, 9);
+  a.AddTerm("cherry", 10, 42);
+  a.set_num_docs(12);
+  LanguageModel b;
+  b.AddTerm("zebra", 1, 1);
+  b.set_num_docs(1);
+  ModelStoreWriter::Options opts;
+  opts.block_size = 2;
+  ModelStoreWriter writer(opts);
+  EXPECT_TRUE(writer.Add("first", a).ok());
+  EXPECT_TRUE(writer.Add("second", b).ok());
+  auto image = writer.Serialize();
+  EXPECT_TRUE(image.ok());
+  return *image;
+}
+
+// Writes `image`, opens it, and returns the status. The file is removed
+// either way.
+Status OpenImage(const std::string& image, const std::string& tag,
+                 bool verify = true) {
+  std::string path = TempPath(tag);
+  EXPECT_TRUE(WriteFileAtomic(path, image).ok());
+  MappedModelStore::OpenOptions opts;
+  opts.verify = verify;
+  auto store = MappedModelStore::Open(path, opts);
+  fs::remove(path);
+  return store.status();
+}
+
+TEST(MstoreCorruptTest, ValidImageOpens) {
+  EXPECT_TRUE(OpenImage(ValidImage(), "valid").ok());
+}
+
+TEST(MstoreCorruptTest, RejectsBadMagic) {
+  std::string image = ValidImage();
+  image[0] ^= 0x01;
+  Status s = OpenImage(image, "magic");
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(MstoreCorruptTest, RejectsEveryHeaderBitFlip) {
+  const std::string image = ValidImage();
+  // Flip one bit in each header byte past the magic. Every flip must be
+  // caught: by the header CRC, or (for the CRC bytes themselves) by the
+  // CRC no longer matching the header it covers.
+  for (size_t byte = kModelStoreMagicSize; byte < kModelStoreHeaderSize;
+       ++byte) {
+    std::string mutated = image;
+    mutated[byte] ^= 0x40;
+    Status s = OpenImage(mutated, "hdrflip" + std::to_string(byte));
+    EXPECT_FALSE(s.ok()) << "header byte " << byte;
+    EXPECT_TRUE(s.code() == StatusCode::kCorruption ||
+                s.code() == StatusCode::kUnimplemented)
+        << "header byte " << byte << ": " << s.ToString();
+  }
+}
+
+TEST(MstoreCorruptTest, RejectsFutureVersion) {
+  std::string image = ValidImage();
+  StoreLe32(reinterpret_cast<uint8_t*>(&image[8]), kModelStoreVersion + 1);
+  // Re-seal the header so only the version is "wrong".
+  std::string header = image.substr(0, 40);
+  StoreLe32(reinterpret_cast<uint8_t*>(&image[40]), Crc32c::Of(header));
+  Status s = OpenImage(image, "version");
+  EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
+}
+
+TEST(MstoreCorruptTest, RejectsUnknownFlags) {
+  std::string image = ValidImage();
+  StoreLe32(reinterpret_cast<uint8_t*>(&image[12]), 0x8000'0001u);
+  std::string header = image.substr(0, 40);
+  StoreLe32(reinterpret_cast<uint8_t*>(&image[40]), Crc32c::Of(header));
+  Status s = OpenImage(image, "flags");
+  EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
+}
+
+TEST(MstoreCorruptTest, RejectsTruncationAtEveryStride) {
+  const std::string image = ValidImage();
+  // Cut the file at a spread of lengths, including 0, mid-header,
+  // mid-section, mid-directory, and one-byte-short.
+  std::vector<size_t> cuts = {0, 1, 8, kModelStoreHeaderSize - 1,
+                              kModelStoreHeaderSize};
+  for (size_t len = kModelStoreHeaderSize; len < image.size(); len += 37) {
+    cuts.push_back(len);
+  }
+  cuts.push_back(image.size() - 1);
+  for (size_t len : cuts) {
+    Status s = OpenImage(image.substr(0, len), "cut" + std::to_string(len));
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << "cut at " << len;
+  }
+}
+
+TEST(MstoreCorruptTest, RejectsTrailingGarbage) {
+  Status s = OpenImage(ValidImage() + "extra!", "trailing");
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(MstoreCorruptTest, RejectsEveryBodyBitFlipUnderVerify) {
+  const std::string image = ValidImage();
+  // Flip a bit in every byte of the body (sections + directory). Under
+  // verify, each flip must be caught by a section CRC, the directory
+  // CRC, or a structural check — silently serving a flipped dictionary
+  // is the one unacceptable outcome.
+  for (size_t byte = kModelStoreHeaderSize; byte < image.size(); ++byte) {
+    std::string mutated = image;
+    mutated[byte] ^= 0x10;
+    Status s = OpenImage(mutated, "bodyflip");
+    EXPECT_EQ(s.code(), StatusCode::kCorruption)
+        << "body byte " << byte << ": " << s.ToString();
+  }
+}
+
+TEST(MstoreCorruptTest, NoVerifyStillFailsClosedOnLookup) {
+  const std::string image = ValidImage();
+  // Without verify, a corrupted dictionary may open — but every lookup
+  // and iteration stays bounds-checked: asan/ubsan holds this suite to
+  // "no out-of-bounds read", and lookups just miss.
+  for (size_t byte = kModelStoreHeaderSize; byte < image.size(); byte += 3) {
+    std::string mutated = image;
+    mutated[byte] ^= 0x08;
+    std::string path = TempPath("noverify");
+    ASSERT_TRUE(WriteFileAtomic(path, mutated).ok());
+    MappedModelStore::OpenOptions opts;
+    opts.verify = false;
+    auto store = MappedModelStore::Open(path, opts);
+    fs::remove(path);
+    if (!store.ok()) continue;  // structural checks still caught it
+    for (size_t i = 0; i < (*store)->num_models(); ++i) {
+      TermStats s;
+      (*store)->model(i).FindStats("apple", &s);
+      (*store)->model(i).FindStats("cherry", &s);
+      (*store)->model(i).ForEachTerm(
+          [](std::string_view, const TermStats&) {});
+    }
+  }
+}
+
+TEST(MstoreCorruptTest, RejectsOverlongVarintInDictionary) {
+  // Hand-build a one-model store whose single dictionary entry encodes
+  // prefix_len 0 as an overlong two-byte varint (0x80 0x00).
+  std::string term_data;
+  term_data.push_back(static_cast<char>(0x80));  // overlong prefix_len 0
+  term_data.push_back(static_cast<char>(0x00));
+  MstorePutVarint64(&term_data, 1);  // suffix_len
+  term_data += "a";
+  MstorePutVarint64(&term_data, 1);  // df
+  MstorePutVarint64(&term_data, 1);  // ctf
+
+  std::string section;
+  AppendLe64(&section, 1);  // num_docs
+  AppendLe64(&section, 1);  // total_terms
+  AppendLe64(&section, 1);  // term_count
+  AppendLe32(&section, 16);  // block_size
+  AppendLe32(&section, 1);   // num_blocks
+  AppendLe32(&section, 0);   // block 0 offset
+  section += term_data;
+
+  std::string out(kModelStoreHeaderSize, '\0');
+  while (out.size() % kModelStoreAlignment != 0) out.push_back('\0');
+  const uint64_t section_offset = out.size();
+  out += section;
+  while (out.size() % kModelStoreAlignment != 0) out.push_back('\0');
+  const uint64_t dir_offset = out.size();
+  std::string directory;
+  MstorePutVarint64(&directory, 2);
+  directory += "db";
+  AppendLe64(&directory, section_offset);
+  AppendLe64(&directory, section.size());
+  AppendLe32(&directory, Crc32c::Of(section));
+  out += directory;
+  AppendLe32(&out, Crc32c::Of(directory));
+  std::string header;
+  header.append(kModelStoreMagic, kModelStoreMagicSize);
+  AppendLe32(&header, kModelStoreVersion);
+  AppendLe32(&header, 0);
+  AppendLe64(&header, 1);
+  AppendLe64(&header, dir_offset);
+  AppendLe64(&header, directory.size());
+  AppendLe32(&header, Crc32c::Of(header));
+  out.replace(0, kModelStoreHeaderSize, header);
+
+  Status s = OpenImage(out, "overlong");
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+TEST(MstoreCorruptTest, RejectsUnsortedDictionary) {
+  // Two single-term blocks in descending order: block index and CRCs are
+  // all internally consistent, so only the verify walk can catch it.
+  std::string term_data;
+  std::vector<uint32_t> offsets;
+  for (const std::string term : {"zebra", "apple"}) {
+    offsets.push_back(static_cast<uint32_t>(term_data.size()));
+    MstorePutVarint64(&term_data, 0);
+    MstorePutVarint64(&term_data, term.size());
+    term_data += term;
+    MstorePutVarint64(&term_data, 1);
+    MstorePutVarint64(&term_data, 1);
+  }
+  std::string section;
+  AppendLe64(&section, 2);
+  AppendLe64(&section, 2);
+  AppendLe64(&section, 2);
+  AppendLe32(&section, 1);  // block_size 1
+  AppendLe32(&section, 2);  // num_blocks
+  for (uint32_t off : offsets) AppendLe32(&section, off);
+  section += term_data;
+
+  std::string out(kModelStoreHeaderSize, '\0');
+  while (out.size() % kModelStoreAlignment != 0) out.push_back('\0');
+  const uint64_t section_offset = out.size();
+  out += section;
+  while (out.size() % kModelStoreAlignment != 0) out.push_back('\0');
+  const uint64_t dir_offset = out.size();
+  std::string directory;
+  MstorePutVarint64(&directory, 2);
+  directory += "db";
+  AppendLe64(&directory, section_offset);
+  AppendLe64(&directory, section.size());
+  AppendLe32(&directory, Crc32c::Of(section));
+  out += directory;
+  AppendLe32(&out, Crc32c::Of(directory));
+  std::string header;
+  header.append(kModelStoreMagic, kModelStoreMagicSize);
+  AppendLe32(&header, kModelStoreVersion);
+  AppendLe32(&header, 0);
+  AppendLe64(&header, 1);
+  AppendLe64(&header, dir_offset);
+  AppendLe64(&header, directory.size());
+  AppendLe32(&header, Crc32c::Of(header));
+  out.replace(0, kModelStoreHeaderSize, header);
+
+  EXPECT_EQ(OpenImage(out, "unsorted").code(), StatusCode::kCorruption);
+  // Without verify the walk is skipped; the open may succeed, but
+  // lookups stay safe (checked implicitly by asan).
+  Status no_verify = OpenImage(out, "unsorted_nv", /*verify=*/false);
+  EXPECT_TRUE(no_verify.ok() ||
+              no_verify.code() == StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,166 @@
+// The model store acceptance test: for every ranker, Select over a
+// packed-then-mmapped collection returns byte-identical rankings to the
+// heap-built collection at the same epoch — and a cold service start
+// from a packed store publishes its first snapshot without sampling.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/synthetic.h"
+#include "lm/language_model.h"
+#include "mstore/mapped_model_store.h"
+#include "mstore/model_store_writer.h"
+#include "selection/db_selection.h"
+#include "service/sampling_service.h"
+
+namespace qbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& tag) {
+  fs::path p = fs::temp_directory_path() /
+               ("qbs_mstore_rt_" + tag + "_" +
+                std::to_string(
+                    ::testing::UnitTest::GetInstance()->random_seed()) +
+                ".qms");
+  fs::remove(p);
+  return p.string();
+}
+
+// A federation with deliberately varied statistics: overlapping and
+// disjoint vocabularies, a db with one document, and a term present
+// everywhere — the shapes that exercise each ranker differently.
+std::vector<std::pair<std::string, LanguageModel>> BuildFederation() {
+  std::vector<std::pair<std::string, LanguageModel>> dbs;
+  LanguageModel news;
+  news.AddTerm("market", 40, 120);
+  news.AddTerm("election", 25, 60);
+  news.AddTerm("weather", 10, 15);
+  news.AddTerm("common", 50, 200);
+  news.set_num_docs(60);
+  dbs.emplace_back("news", std::move(news));
+
+  LanguageModel medicine;
+  medicine.AddTerm("protein", 33, 90);
+  medicine.AddTerm("trial", 20, 41);
+  medicine.AddTerm("market", 2, 2);
+  medicine.AddTerm("common", 45, 333);
+  medicine.set_num_docs(48);
+  dbs.emplace_back("medicine", std::move(medicine));
+
+  LanguageModel tiny;
+  tiny.AddTerm("weather", 1, 4);
+  tiny.AddTerm("common", 1, 1);
+  tiny.set_num_docs(1);
+  dbs.emplace_back("tiny", std::move(tiny));
+
+  LanguageModel law;
+  law.AddTerm("trial", 30, 77);
+  law.AddTerm("election", 12, 19);
+  law.AddTerm("appeal", 28, 64);
+  law.AddTerm("common", 39, 101);
+  law.set_num_docs(52);
+  dbs.emplace_back("law", std::move(law));
+  return dbs;
+}
+
+TEST(MstoreAcceptanceTest, EveryRankerIsByteIdenticalHeapVsMapped) {
+  auto federation = BuildFederation();
+
+  DatabaseCollection heap;
+  ModelStoreWriter writer;
+  for (const auto& [name, model] : federation) {
+    heap.Add(name, model);
+    ASSERT_TRUE(writer.Add(name, model).ok());
+  }
+  std::string path = TempPath("accept");
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  auto store = MappedModelStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  DatabaseCollection mapped = CollectionFromStore(*store);
+
+  const std::vector<std::vector<std::string>> queries = {
+      {"market"},
+      {"election", "trial"},
+      {"common"},
+      {"weather", "protein", "appeal"},
+      {"absent"},
+      {"market", "market", "common"},  // repeated query terms
+      {},                              // empty query
+  };
+  for (const std::string& ranker_name : KnownRankerNames()) {
+    auto heap_ranker = MakeRanker(ranker_name, &heap);
+    auto mapped_ranker = MakeRanker(ranker_name, &mapped);
+    ASSERT_NE(heap_ranker, nullptr) << ranker_name;
+    ASSERT_NE(mapped_ranker, nullptr) << ranker_name;
+    for (const auto& query : queries) {
+      std::vector<DatabaseScore> expected = heap_ranker->Rank(query);
+      std::vector<DatabaseScore> got = mapped_ranker->Rank(query);
+      ASSERT_EQ(got.size(), expected.size()) << ranker_name;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(got[i].db_name, expected[i].db_name)
+            << ranker_name << " rank " << i;
+        // Byte-identical, not approximately equal: the mapped store must
+        // feed rankers exactly the counts the heap models hold.
+        EXPECT_EQ(got[i].score, expected[i].score)
+            << ranker_name << " rank " << i << " (" << got[i].db_name << ")";
+      }
+    }
+  }
+  fs::remove(path);
+}
+
+TEST(MstoreAcceptanceTest, ColdServiceStartServesFromStoreWithoutSampling) {
+  std::string path = TempPath("cold");
+
+  // First life: sample a small synthetic federation and pack the store.
+  std::vector<DatabaseScore> first_ranking;
+  {
+    ServiceOptions opts;
+    opts.sampler.stopping.max_documents = 40;
+    opts.store_path = path;
+    SamplingService service(opts);
+    auto cacm = BuildSyntheticEngine(CacmLikeSpec());
+    auto kb = BuildSyntheticEngine(SupportKbLikeSpec());
+    ASSERT_TRUE(cacm.ok());
+    ASSERT_TRUE(kb.ok());
+    ASSERT_TRUE(service.AddDatabase(cacm->get()).ok());
+    ASSERT_TRUE(service.AddDatabase(kb->get()).ok());
+    ASSERT_TRUE(service.RefreshAll().ok());
+    auto ranking = service.Select("information system", "cori");
+    ASSERT_TRUE(ranking.ok());
+    first_ranking = *ranking;
+    ASSERT_TRUE(fs::exists(path));
+  }
+
+  // Second life: no databases registered at all — the store alone must
+  // bring the broker back to serving, byte-identically.
+  {
+    ServiceOptions opts;
+    opts.store_path = path;
+    SamplingService service(opts);
+    ASSERT_TRUE(service.LoadStore().ok());
+    EXPECT_EQ(service.registry().Snapshot()->collection().size(), 2u);
+    auto ranking = service.Select("information system", "cori");
+    ASSERT_TRUE(ranking.ok()) << ranking.status().ToString();
+    ASSERT_EQ(ranking->size(), first_ranking.size());
+    for (size_t i = 0; i < first_ranking.size(); ++i) {
+      EXPECT_EQ((*ranking)[i].db_name, first_ranking[i].db_name);
+      EXPECT_EQ((*ranking)[i].score, first_ranking[i].score);
+    }
+  }
+
+  // A service without a store_path refuses LoadStore, typed.
+  {
+    SamplingService service(ServiceOptions{});
+    EXPECT_EQ(service.LoadStore().code(), StatusCode::kFailedPrecondition);
+  }
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace qbs

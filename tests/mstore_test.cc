@@ -1,0 +1,322 @@
+// Tests for the binary model store: writer packing, zero-copy reader
+// round trips, and the raw varint coding shared by both.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lm/language_model.h"
+#include "mstore/format.h"
+#include "mstore/mapped_model_store.h"
+#include "mstore/model_store_writer.h"
+#include "storage/file_io.h"
+
+namespace qbs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& tag) {
+  fs::path p = fs::temp_directory_path() /
+               ("qbs_mstore_test_" + tag + "_" +
+                std::to_string(
+                    ::testing::UnitTest::GetInstance()->random_seed()) +
+                ".qms");
+  fs::remove(p);
+  return p.string();
+}
+
+LanguageModel SmallModel() {
+  LanguageModel lm;
+  lm.AddTerm("apple", 3, 7);
+  lm.AddTerm("banana", 1, 1);
+  lm.AddTerm("cherry", 10, 42);
+  lm.set_num_docs(12);
+  return lm;
+}
+
+// Writes `models` through the writer and reopens the file mapped.
+std::shared_ptr<const MappedModelStore> PackAndOpen(
+    const std::vector<std::pair<std::string, const LanguageModel*>>& models,
+    uint32_t block_size = kModelStoreDefaultBlockSize) {
+  ModelStoreWriter::Options opts;
+  opts.block_size = block_size;
+  ModelStoreWriter writer(opts);
+  for (const auto& [name, model] : models) {
+    EXPECT_TRUE(writer.Add(name, *model).ok());
+  }
+  std::string path = TempPath("pack");
+  EXPECT_TRUE(writer.WriteToFile(path).ok());
+  auto store = MappedModelStore::Open(path);
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  fs::remove(path);  // the mapping outlives the directory entry
+  return *store;
+}
+
+// --- varint coding --------------------------------------------------------
+
+TEST(MstoreVarintTest, RoundTripsBoundaryValues) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             16383,
+                             16384,
+                             (1ull << 35) - 1,
+                             1ull << 35,
+                             UINT64_MAX};
+  for (uint64_t v : values) {
+    std::string buf;
+    MstorePutVarint64(&buf, v);
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+    uint64_t decoded = 0;
+    ASSERT_EQ(MstoreGetVarint64(p, p + buf.size(), &decoded), buf.size())
+        << v;
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(MstoreVarintTest, RejectsTruncatedInput) {
+  std::string buf;
+  MstorePutVarint64(&buf, 1ull << 40);
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(buf.data());
+  for (size_t len = 0; len < buf.size(); ++len) {
+    uint64_t v = 0;
+    EXPECT_EQ(MstoreGetVarint64(p, p + len, &v), 0u) << len;
+  }
+}
+
+TEST(MstoreVarintTest, RejectsOverlongEncodings) {
+  uint64_t v = 0;
+  // 0 encoded in two bytes (0x80 0x00) instead of one.
+  const uint8_t overlong_zero[] = {0x80, 0x00};
+  EXPECT_EQ(MstoreGetVarint64(overlong_zero, overlong_zero + 2, &v), 0u);
+  // 1 zero-padded into two bytes.
+  const uint8_t padded_one[] = {0x81, 0x00};
+  EXPECT_EQ(MstoreGetVarint64(padded_one, padded_one + 2, &v), 0u);
+  // Eleven continuation bytes: longer than any 64-bit varint.
+  const uint8_t eleven[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                            0xFF, 0xFF, 0xFF, 0xFF, 0x01};
+  EXPECT_EQ(MstoreGetVarint64(eleven, eleven + sizeof(eleven), &v), 0u);
+  // Tenth byte contributing more than the top bit (overflows 64 bits).
+  const uint8_t overflow[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                              0xFF, 0xFF, 0xFF, 0xFF, 0x02};
+  EXPECT_EQ(MstoreGetVarint64(overflow, overflow + sizeof(overflow), &v),
+            0u);
+}
+
+// --- writer ---------------------------------------------------------------
+
+TEST(ModelStoreWriterTest, RejectsEmptyAndDuplicateNames) {
+  LanguageModel lm = SmallModel();
+  ModelStoreWriter writer;
+  EXPECT_FALSE(writer.Add("", lm).ok());
+  EXPECT_TRUE(writer.Add("a", lm).ok());
+  EXPECT_FALSE(writer.Add("a", lm).ok());
+  EXPECT_EQ(writer.num_models(), 1u);
+}
+
+TEST(ModelStoreWriterTest, RejectsZeroBlockSize) {
+  ModelStoreWriter::Options opts;
+  opts.block_size = 0;
+  ModelStoreWriter writer(opts);
+  LanguageModel lm = SmallModel();
+  EXPECT_EQ(writer.Add("a", lm).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelStoreWriterTest, SerializeIsDeterministic) {
+  LanguageModel lm = SmallModel();
+  ModelStoreWriter a, b;
+  ASSERT_TRUE(a.Add("db", lm).ok());
+  ASSERT_TRUE(b.Add("db", lm).ok());
+  auto image_a = a.Serialize();
+  auto image_b = b.Serialize();
+  ASSERT_TRUE(image_a.ok());
+  ASSERT_TRUE(image_b.ok());
+  EXPECT_EQ(*image_a, *image_b);
+}
+
+// --- mapped reader round trips -------------------------------------------
+
+TEST(MappedModelStoreTest, OpenMissingFileIsNotFound) {
+  auto store = MappedModelStore::Open(TempPath("missing"));
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kNotFound);
+}
+
+TEST(MappedModelStoreTest, RoundTripsEmptyStore) {
+  auto store = PackAndOpen({});
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->num_models(), 0u);
+  EXPECT_EQ(store->version(), kModelStoreVersion);
+}
+
+TEST(MappedModelStoreTest, RoundTripsEmptyModel) {
+  LanguageModel empty;
+  auto store = PackAndOpen({{"empty", &empty}});
+  ASSERT_NE(store, nullptr);
+  ASSERT_EQ(store->num_models(), 1u);
+  const MappedLanguageModel& m = store->model(0);
+  EXPECT_EQ(m.vocabulary_size(), 0u);
+  EXPECT_EQ(m.total_term_count(), 0u);
+  EXPECT_EQ(m.num_docs(), 0u);
+  TermStats s;
+  EXPECT_FALSE(m.FindStats("anything", &s));
+}
+
+TEST(MappedModelStoreTest, RoundTripsEveryTermAndCount) {
+  LanguageModel lm = SmallModel();
+  auto store = PackAndOpen({{"db", &lm}});
+  ASSERT_NE(store, nullptr);
+  const MappedLanguageModel& m = store->model(0);
+  EXPECT_EQ(m.vocabulary_size(), lm.vocabulary_size());
+  EXPECT_EQ(m.total_term_count(), lm.total_term_count());
+  EXPECT_EQ(m.num_docs(), lm.num_docs());
+  lm.ForEach([&](const std::string& term, const TermStats& expected) {
+    TermStats got;
+    ASSERT_TRUE(m.FindStats(term, &got)) << term;
+    EXPECT_EQ(got.df, expected.df) << term;
+    EXPECT_EQ(got.ctf, expected.ctf) << term;
+  });
+  TermStats s;
+  EXPECT_FALSE(m.FindStats("aardvark", &s));  // before the first term
+  EXPECT_FALSE(m.FindStats("applf", &s));     // between terms
+  EXPECT_FALSE(m.FindStats("zebra", &s));     // after the last term
+  EXPECT_FALSE(m.FindStats("appl", &s));      // proper prefix of a term
+  EXPECT_FALSE(m.FindStats("apples", &s));    // extension of a term
+}
+
+TEST(MappedModelStoreTest, ForEachTermIsSortedAndComplete) {
+  LanguageModel lm;
+  for (int i = 0; i < 100; ++i) {
+    lm.AddTerm("term" + std::to_string(i), static_cast<uint64_t>(i + 1),
+               static_cast<uint64_t>(2 * i + 1));
+  }
+  auto store = PackAndOpen({{"db", &lm}}, /*block_size=*/7);
+  ASSERT_NE(store, nullptr);
+  std::vector<std::string> seen;
+  store->model(0).ForEachTerm(
+      [&](std::string_view term, const TermStats& s) {
+        seen.emplace_back(term);
+        TermStats expected;
+        ASSERT_TRUE(lm.FindStats(term, &expected));
+        EXPECT_EQ(s.df, expected.df);
+        EXPECT_EQ(s.ctf, expected.ctf);
+      });
+  ASSERT_EQ(seen.size(), lm.vocabulary_size());
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LT(seen[i - 1], seen[i]);
+  }
+}
+
+TEST(MappedModelStoreTest, LookupWorksAtEveryBlockBoundary) {
+  // block_size 4 with 19 terms: full blocks plus a ragged tail.
+  LanguageModel lm;
+  std::vector<std::string> terms;
+  for (int i = 0; i < 19; ++i) {
+    std::string t = "k" + std::string(1 + i % 3, static_cast<char>('a' + i));
+    lm.AddTerm(t, static_cast<uint64_t>(i + 1), static_cast<uint64_t>(i + 5));
+    terms.push_back(t);
+  }
+  auto store = PackAndOpen({{"db", &lm}}, /*block_size=*/4);
+  ASSERT_NE(store, nullptr);
+  const MappedLanguageModel& m = store->model(0);
+  for (const std::string& t : terms) {
+    TermStats got, expected;
+    ASSERT_TRUE(lm.FindStats(t, &expected));
+    ASSERT_TRUE(m.FindStats(t, &got)) << t;
+    EXPECT_EQ(got.df, expected.df);
+    EXPECT_EQ(got.ctf, expected.ctf);
+  }
+}
+
+TEST(MappedModelStoreTest, HandlesBinaryTermsAndExtremeCounts) {
+  LanguageModel lm;
+  lm.AddTerm(std::string("\x00\x01", 2), 1, 1);
+  lm.AddTerm(std::string("\xff\xfe", 2), UINT64_MAX, UINT64_MAX);
+  lm.AddTerm("middle", 0, 0);  // zero-df/ctf terms survive the round trip
+  auto store = PackAndOpen({{"db", &lm}}, /*block_size=*/2);
+  ASSERT_NE(store, nullptr);
+  const MappedLanguageModel& m = store->model(0);
+  TermStats s;
+  ASSERT_TRUE(m.FindStats(std::string_view("\x00\x01", 2), &s));
+  EXPECT_EQ(s.df, 1u);
+  ASSERT_TRUE(m.FindStats(std::string_view("\xff\xfe", 2), &s));
+  EXPECT_EQ(s.df, UINT64_MAX);
+  EXPECT_EQ(s.ctf, UINT64_MAX);
+  ASSERT_TRUE(m.FindStats("middle", &s));
+  EXPECT_EQ(s.df, 0u);
+  EXPECT_EQ(s.ctf, 0u);
+}
+
+TEST(MappedModelStoreTest, MultipleModelsAndIndexOf) {
+  LanguageModel a = SmallModel();
+  LanguageModel b;
+  b.AddTerm("zebra", 2, 3);
+  b.set_num_docs(1);
+  auto store = PackAndOpen({{"alpha", &a}, {"beta", &b}});
+  ASSERT_NE(store, nullptr);
+  ASSERT_EQ(store->num_models(), 2u);
+  auto ia = store->IndexOf("alpha");
+  auto ib = store->IndexOf("beta");
+  ASSERT_TRUE(ia.ok());
+  ASSERT_TRUE(ib.ok());
+  EXPECT_EQ(store->name(*ia), "alpha");
+  EXPECT_EQ(store->name(*ib), "beta");
+  EXPECT_EQ(store->model(*ib).num_docs(), 1u);
+  EXPECT_EQ(store->IndexOf("gamma").status().code(), StatusCode::kNotFound);
+}
+
+TEST(MappedModelStoreTest, ViewKeepsStoreAliveAfterHandleDrop) {
+  LanguageModel lm = SmallModel();
+  std::shared_ptr<const LanguageModelView> view;
+  {
+    auto store = PackAndOpen({{"db", &lm}});
+    ASSERT_NE(store, nullptr);
+    view = MappedModelStore::ModelView(store, 0);
+  }
+  // The store handle is gone; the aliasing view must keep the mapping.
+  TermStats s;
+  ASSERT_TRUE(view->FindStats("apple", &s));
+  EXPECT_EQ(s.df, 3u);
+}
+
+TEST(MappedModelStoreTest, OpenWithoutVerifyStillRoundTrips) {
+  LanguageModel lm = SmallModel();
+  ModelStoreWriter writer;
+  ASSERT_TRUE(writer.Add("db", lm).ok());
+  std::string path = TempPath("noverify");
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  MappedModelStore::OpenOptions opts;
+  opts.verify = false;
+  auto store = MappedModelStore::Open(path, opts);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  TermStats s;
+  ASSERT_TRUE((*store)->model(0).FindStats("cherry", &s));
+  EXPECT_EQ(s.ctf, 42u);
+  fs::remove(path);
+}
+
+TEST(MappedModelStoreTest, CollectionFromStoreMatchesHeapCollection) {
+  LanguageModel a = SmallModel();
+  LanguageModel b;
+  b.AddTerm("apple", 5, 6);
+  b.set_num_docs(3);
+  auto store = PackAndOpen({{"a", &a}, {"b", &b}});
+  ASSERT_NE(store, nullptr);
+  DatabaseCollection mapped = CollectionFromStore(store);
+  DatabaseCollection heap;
+  heap.Add("a", a);
+  heap.Add("b", b);
+  ASSERT_EQ(mapped.size(), heap.size());
+  EXPECT_EQ(mapped.DatabasesContaining("apple"),
+            heap.DatabasesContaining("apple"));
+  EXPECT_EQ(mapped.DatabasesContaining("zebra"),
+            heap.DatabasesContaining("zebra"));
+  EXPECT_DOUBLE_EQ(mapped.AvgCollectionSize(), heap.AvgCollectionSize());
+}
+
+}  // namespace
+}  // namespace qbs

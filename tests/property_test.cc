@@ -10,6 +10,7 @@
 
 #include "index/postings.h"
 #include "index/varint.h"
+#include "lm/language_model.h"
 #include "lm/metrics.h"
 #include "text/porter_stemmer.h"
 #include "text/tokenizer.h"

@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "corpus/synthetic.h"
+#include "lm/language_model.h"
 #include "lm/metrics.h"
 #include "sampling/sampler.h"
 

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "corpus/synthetic.h"
+#include "lm/language_model.h"
 #include "lm/metrics.h"
 #include "sampling/sampler.h"
 #include "sampling/stopping.h"

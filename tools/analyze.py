@@ -26,6 +26,11 @@ translation unit at a time (and gcc cannot see at all):
   ctorvirtual  no call to one of the class's own virtual methods from a
                constructor or destructor — dispatch there ignores the
                override and runs the base version silently
+  rawio        no direct mmap/munmap/open syscalls in src/ outside
+               src/storage/ and src/mstore/ — raw descriptors and
+               mappings bypass the EINTR-safe, typed-Status I/O layer
+               (storage/file_io.h) and the validated MappedModelStore
+               open path; methods like f.open() are fine
 
 A finding is suppressed by a marker comment on the same or the
 preceding line:
@@ -69,6 +74,10 @@ STDMUTEX_EXEMPT = ("src/util/mutex.h",)
 # (and the annotated wrapper machinery); everything else goes through
 # make_unique/make_shared or an allow marker.
 RAWNEW_ALLOWED_PREFIXES = ("src/util/",)
+
+# The only modules allowed to issue raw mmap/munmap/open syscalls:
+# the fd layer and the mapped model store built on it.
+RAWIO_ALLOWED_PREFIXES = ("src/storage/", "src/mstore/")
 
 FORBIDDEN_STD_LOCKING = (
     "std::mutex",
@@ -539,6 +548,30 @@ def check_blockinglock(root, models):
     return violations
 
 
+# A raw-syscall spelling: bare or ::-qualified mmap/munmap/open followed
+# by a call paren. The lookbehind rejects member calls (f.open, s->open)
+# and longer identifiers (fopen, is_open, MmapFile).
+RAW_IO_RE = re.compile(r"(?<![\w.>])(::\s*)?(mmap|munmap|open)\s*\(")
+
+
+def check_rawio(root, models):
+    violations = []
+    for model in models:
+        if model.relpath.startswith(RAWIO_ALLOWED_PREFIXES):
+            continue
+        allowed = allowed_lines(model.text, "rawio")
+        for m in RAW_IO_RE.finditer(model.clean):
+            lineno = line_of(model.clean, m.start())
+            if lineno in allowed:
+                continue
+            violations.append(
+                (model.relpath, lineno,
+                 f"raw ::{m.group(2)}() outside src/storage/ and "
+                 f"src/mstore/; go through storage/file_io.h (EINTR-safe,"
+                 f" typed Status) or MappedModelStore (validated mmap)"))
+    return violations
+
+
 CLASS_DEF_RE = re.compile(r"\b(?:class|struct)\s+(?:QBS_\w+(?:\(\s*[^)]*\))?"
                           r"\s+)*([A-Za-z_]\w*)\s*(?:final\s*)?"
                           r"(?::[^{;]*)?\{")
@@ -599,6 +632,7 @@ CHECKS = {
     "blockinglock": check_blockinglock,
     "detach": check_detach,
     "rawnew": check_rawnew,
+    "rawio": check_rawio,
     "ctorvirtual": check_ctorvirtual,
 }
 
@@ -751,6 +785,26 @@ class Server {
 }  // namespace qbs
 """
 
+FIXTURE_RAWIO = """\
+#include <fcntl.h>
+namespace qbs {
+int Sneaky(const char* path) {
+  return ::open(path, O_RDONLY);
+}
+}  // namespace qbs
+"""
+
+FIXTURE_RAWIO_OK = """\
+#include <fstream>
+namespace qbs {
+bool Fine(const char* path) {
+  std::ifstream f;
+  f.open(path);
+  return f.is_open();
+}
+}  // namespace qbs
+"""
+
 FIXTURE_CTORVIRTUAL_H = """\
 namespace qbs {
 class Widget {
@@ -821,6 +875,15 @@ def self_test(frontend):
     expect(run({"src/net/server.cc": FIXTURE_BLOCKING_OK},
                checks=["blockinglock"]) == 0,
            "join after the lock scope closes passes 'blockinglock'")
+    expect(run({"src/net/sneaky.cc": FIXTURE_RAWIO},
+               checks=["rawio"]) == 1,
+           "raw ::open outside storage/mstore trips 'rawio'")
+    expect(run({"src/net/fine.cc": FIXTURE_RAWIO_OK},
+               checks=["rawio"]) == 0,
+           "member f.open() passes 'rawio'")
+    expect(run({"src/storage/fd_layer.cc": FIXTURE_RAWIO},
+               checks=["rawio"]) == 0,
+           "'rawio' exempts src/storage/ and src/mstore/")
     expect(run({"src/ui/widget.h": FIXTURE_CTORVIRTUAL_H,
                 "src/ui/widget.cc": FIXTURE_CTORVIRTUAL_CC},
                checks=["ctorvirtual"]) == 1,

@@ -8,6 +8,7 @@ default 0.10). Direction-aware:
   ns_per_op            lower is better  -> regression when it RISES
   rpcs_per_doc         lower is better  -> regression when it RISES
   selects_per_sec      higher is better -> regression when it FALLS
+  models_per_sec       higher is better -> regression when it FALLS
   items_per_second     higher is better -> regression when it FALLS
   bytes_per_second     higher is better -> regression when it FALLS
 
@@ -33,6 +34,7 @@ HIGHER_IS_BETTER = {
     "ns_per_op": False,
     "rpcs_per_doc": False,
     "selects_per_sec": True,
+    "models_per_sec": True,
     "items_per_second": True,
     "bytes_per_second": True,
 }
@@ -40,6 +42,7 @@ HIGHER_IS_BETTER = {
 # Report order: the paper-level metrics first, raw latency last.
 METRIC_ORDER = [
     "selects_per_sec",
+    "models_per_sec",
     "rpcs_per_doc",
     "items_per_second",
     "bytes_per_second",

@@ -22,6 +22,10 @@ Enforces the structural invariants clang-tidy cannot express:
            GetGauge / GetHistogram / WithLabel) appears in
            docs/OBSERVABILITY.md — an undocumented metric is invisible
            to the people dashboarding on that table
+  mman     <sys/mman.h> is included only under src/storage/ and
+           src/mstore/ — memory mapping is an on-disk-format concern,
+           and a stray mmap elsewhere bypasses the validated, typed
+           open paths those modules provide (docs/STORAGE.md)
   mutex    every src/ file declaring a mutex member (qbs Mutex or a
            std:: mutex flavor) includes util/mutex.h or
            util/thread_annotations.h, so the declaration *can* carry
@@ -53,6 +57,9 @@ SCAN_DIRS = ("src", "tests", "tools", "bench", "examples")
 COUT_ALLOWED_DIRS = ("tools", "examples", "bench")
 # log.h *defines* QBS_LOG; every other header must not use it.
 LOG_HEADER_EXEMPT = ("src/obs/log.h",)
+# The only src/ trees allowed to touch raw file descriptors and mmap;
+# everything else goes through their typed, validated interfaces.
+RAW_IO_ALLOWED_PREFIXES = ("src/storage/", "src/mstore/")
 
 
 def find_repo_root():
@@ -218,6 +225,26 @@ def check_log_in_headers(root):
     return violations
 
 
+def check_mman_includes(root):
+    violations = []
+    for path in cxx_files(root):
+        relpath = rel(root, path)
+        if not relpath.startswith("src/"):
+            continue
+        if relpath.startswith(RAW_IO_ALLOWED_PREFIXES):
+            continue
+        with open(path, encoding="utf-8", errors="replace") as f:
+            for lineno, line in enumerate(f, 1):
+                stripped = line.split("//", 1)[0]
+                if re.search(r'#\s*include\s*<sys/mman\.h>', stripped):
+                    violations.append(
+                        (relpath, lineno,
+                         "<sys/mman.h> outside src/storage/ and "
+                         "src/mstore/; mmap belongs behind "
+                         "MappedModelStore / the storage layer"))
+    return violations
+
+
 METRIC_DOC_PATH = "docs/OBSERVABILITY.md"
 # A metric registration: the qbs_* name handed to the registry (or to
 # WithLabel, whose base name is what the docs table lists). \s* crosses
@@ -318,6 +345,7 @@ CHECKS = {
     "cout": check_cout,
     "cmake": check_cmake_lists,
     "log": check_log_in_headers,
+    "mman": check_mman_includes,
     "metricdoc": check_metric_docs,
     "mutex": check_mutex_annotations,
 }
@@ -399,6 +427,8 @@ def self_test():
         "log": [("src/util/hot.h",
                  "#ifndef QBS_UTIL_HOT_H_\n#define QBS_UTIL_HOT_H_\n"
                  'inline void F() { QBS_LOG(INFO) << "x"; }\n#endif\n')],
+        "mman": [("src/util/sneaky_map.cc",
+                  "#include <sys/mman.h>\nvoid F() {}\n")],
         "metricdoc": [("src/util/metric.cc",
                        'void F(MetricRegistry& r) {\n'
                        '  r.GetCounter(\n'

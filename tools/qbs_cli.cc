@@ -9,6 +9,8 @@
 //   qbs select    --query "..." --model NAME=FILE [--model NAME=FILE ...]
 //                 [--ranker cori|bgloss|vgloss|kl]
 //   qbs select    --query "..." --remote HOST:PORT [--ranker NAME] [--top N]
+//   qbs pack-models --model NAME=FILE... --out STORE [--block-size N]
+//   qbs inspect-store --store FILE [--no-verify]
 //   qbs estimate  (--synthetic PRESET | --trec FILE) [--capture N]
 //   qbs service   --synthetic PRESET [--synthetic PRESET ...]
 //                 [--trec FILE ...] [--remote HOST:PORT ...]
@@ -42,7 +44,10 @@
 #include "corpus/corpus_stats.h"
 #include "corpus/synthetic.h"
 #include "corpus/trec_parser.h"
+#include "lm/language_model.h"
 #include "lm/metrics.h"
+#include "mstore/mapped_model_store.h"
+#include "mstore/model_store_writer.h"
 #include "net/db_server.h"
 #include "net/remote_db.h"
 #include "obs/log.h"
@@ -72,6 +77,11 @@ int Usage() {
                 [--ranker cori|bgloss|vgloss|kl]
   qbs select    --query "..." --remote HOST:PORT [--ranker NAME] [--top N]
                  ask a running broker (serve-broker) to rank its databases
+  qbs pack-models --model NAME=FILE [--model NAME=FILE ...] --out STORE
+                [--block-size N]
+                 pack #QBSLM text models into one binary model store
+  qbs inspect-store --store FILE [--no-verify]
+                 validate a binary model store and print its contents
   qbs estimate  (--synthetic PRESET | --trec FILE) [--capture N]
                  capture-recapture database size estimate
   qbs service   (--synthetic PRESET | --trec FILE | --remote HOST:PORT)...
@@ -84,9 +94,12 @@ int Usage() {
                  prints the bound address, serves until stdin closes
   qbs serve-broker (--synthetic PRESET | --trec FILE | --remote HOST:PORT)...
                 [--docs N] [--host ADDR] [--port N] [--threads N]
-                [--max-inflight N] [--admin_port N]
+                [--max-inflight N] [--admin_port N] [--store FILE]
                  sample the federation, then serve Select RPCs (wire v3)
-                 from lock-free model snapshots until stdin closes
+                 from lock-free model snapshots until stdin closes;
+                 with --store, a valid packed store is mmapped and served
+                 instantly (no re-sampling), and fresh samples are packed
+                 back to it
 
 observability flags, valid with every command:
   --metrics_out FILE  write a Prometheus-style metrics dump on exit
@@ -532,6 +545,71 @@ int CmdSelect(const std::multimap<std::string, std::string>& flags) {
   return 0;
 }
 
+int CmdPackModels(const std::multimap<std::string, std::string>& flags) {
+  std::string out_path = FlagOr(flags, "out", "");
+  if (out_path.empty()) return Usage();
+  ModelStoreWriter::Options opts;
+  std::string block_size = FlagOr(flags, "block-size", "");
+  if (!block_size.empty()) {
+    opts.block_size = static_cast<uint32_t>(std::stoul(block_size));
+  }
+  ModelStoreWriter writer(opts);
+  auto range = flags.equal_range("model");
+  for (auto it = range.first; it != range.second; ++it) {
+    size_t eq = it->second.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "--model expects NAME=FILE, got %s\n",
+                   it->second.c_str());
+      return 2;
+    }
+    auto model = LoadModelFile(it->second.substr(eq + 1));
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    Status added = writer.Add(it->second.substr(0, eq), *model);
+    if (!added.ok()) {
+      std::fprintf(stderr, "%s\n", added.ToString().c_str());
+      return 1;
+    }
+  }
+  if (writer.num_models() == 0) return Usage();
+  Status written = writer.WriteToFile(out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("packed %zu model(s) into %s\n", writer.num_models(),
+              out_path.c_str());
+  return 0;
+}
+
+int CmdInspectStore(const std::multimap<std::string, std::string>& flags) {
+  std::string path = FlagOr(flags, "store", "");
+  if (path.empty()) return Usage();
+  MappedModelStore::OpenOptions opts;
+  // `--no-verify true` (any value) skips checksums and the dictionary
+  // walk — structural header checks only.
+  opts.verify = flags.find("no-verify") == flags.end();
+  auto store = MappedModelStore::Open(path, opts);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: model store v%u, %zu model(s), %llu bytes%s\n",
+              path.c_str(), (*store)->version(), (*store)->num_models(),
+              static_cast<unsigned long long>((*store)->file_size()),
+              opts.verify ? " (verified)" : " (NOT verified)");
+  for (size_t i = 0; i < (*store)->num_models(); ++i) {
+    const MappedLanguageModel& m = (*store)->model(i);
+    std::printf("  %-24s %8zu terms %10llu total %8llu docs\n",
+                (*store)->name(i).c_str(), m.vocabulary_size(),
+                static_cast<unsigned long long>(m.total_term_count()),
+                static_cast<unsigned long long>(m.num_docs()));
+  }
+  return 0;
+}
+
 // Builds every --synthetic / --trec engine named on the command line, in
 // flag order (synthetic presets first, matching multimap grouping).
 Result<std::vector<std::unique_ptr<SearchEngine>>> BuildFederation(
@@ -676,6 +754,7 @@ int CmdServeBroker(const std::multimap<std::string, std::string>& flags) {
       std::stoul(FlagOr(flags, "docs-per-query", "4"));
   opts.num_threads = std::stoul(FlagOr(flags, "threads", "4"));
   opts.model_dir = FlagOr(flags, "model-dir", "");
+  opts.store_path = FlagOr(flags, "store", "");
   SamplingService service(opts);
   for (auto& engine : *engines) {
     Status status = service.AddDatabase(engine.get());
@@ -704,19 +783,43 @@ int CmdServeBroker(const std::multimap<std::string, std::string>& flags) {
       return 1;
     }
   }
-  if (service.size() == 0) {
+  if (service.size() == 0 && opts.store_path.empty()) {
     std::fprintf(stderr,
                  "serve-broker requires at least one --synthetic, --trec, or "
-                 "--remote database\n");
+                 "--remote database (or --store to restore a packed one)\n");
     return 2;
   }
 
-  // Learn the models up front; the broker serves from whatever snapshot
-  // the refresh published (a partial federation still serves).
-  Status refresh = service.RefreshAll();
-  std::fputs(service.StatusReport().c_str(), stderr);
-  if (!refresh.ok()) {
-    std::fprintf(stderr, "%s\n", refresh.ToString().c_str());
+  // Instant restart: a valid --store file is mmapped and published as
+  // the first snapshot, and the expensive sampling pass is skipped. Any
+  // load failure (missing, corrupt, future version) falls back to
+  // sampling from scratch, which then repacks the store — unless there
+  // is nothing to sample, which makes the load failure fatal.
+  bool restored = false;
+  if (!opts.store_path.empty()) {
+    Status loaded = service.LoadStore();
+    if (loaded.ok()) {
+      restored = true;
+      std::fprintf(stderr, "restored models from %s; skipping sampling\n",
+                   opts.store_path.c_str());
+    } else if (service.size() == 0) {
+      std::fprintf(stderr, "cannot restore from %s (%s) and no databases "
+                   "to sample\n",
+                   opts.store_path.c_str(), loaded.ToString().c_str());
+      return 1;
+    } else {
+      std::fprintf(stderr, "cannot restore from %s (%s); sampling instead\n",
+                   opts.store_path.c_str(), loaded.ToString().c_str());
+    }
+  }
+  if (!restored) {
+    // Learn the models up front; the broker serves from whatever snapshot
+    // the refresh published (a partial federation still serves).
+    Status refresh = service.RefreshAll();
+    std::fputs(service.StatusReport().c_str(), stderr);
+    if (!refresh.ok()) {
+      std::fprintf(stderr, "%s\n", refresh.ToString().c_str());
+    }
   }
 
   SelectionBroker broker(&service.registry());
@@ -761,6 +864,10 @@ int Main(int argc, char** argv) {
     rc = CmdExport(flags);
   } else if (cmd == "estimate") {
     rc = CmdEstimate(flags);
+  } else if (cmd == "pack-models") {
+    rc = CmdPackModels(flags);
+  } else if (cmd == "inspect-store") {
+    rc = CmdInspectStore(flags);
   } else if (cmd == "stats") {
     rc = CmdStats(flags);
   } else if (cmd == "summarize") {
