@@ -1,13 +1,17 @@
 // Microbenchmarks for the selection broker: lock-free snapshot reads
 // (alone and contended), Select through the result cache on both the
 // hit and miss paths, snapshot publication cost, and the full Select
-// RPC over loopback TCP. The selects_per_sec counter on the RPC
-// benchmark is the serving-throughput headline bench.sh extracts into
-// BENCH_<sha>.json.
+// RPC over loopback TCP — alone and while the event loop holds 1k/10k
+// open connections. selects_per_sec (and its _1k_conns/_10k_conns
+// variants) plus p99_select_us are the serving-throughput headlines
+// bench.sh extracts into BENCH_<sha>.json.
 //
 // JSON output for dashboards: --benchmark_format=json
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -140,6 +144,93 @@ void BM_RemoteSelect(benchmark::State& state) {
       static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_RemoteSelect);
+
+/// Raises RLIMIT_NOFILE toward its hard cap (2 fds per held
+/// connection) and reports the resulting soft limit.
+size_t RaiseFdLimit() {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 1024;
+  if (limit.rlim_cur < limit.rlim_max) {
+    rlimit raised = limit;
+    raised.rlim_cur = limit.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) limit = raised;
+  }
+  return static_cast<size_t>(limit.rlim_cur);
+}
+
+/// N connected selector clients held open against the shared broker
+/// server, cached per N: google-benchmark re-enters the function to
+/// hit min time, and redialing 10k connections each pass would swamp
+/// the measurement.
+const std::vector<std::unique_ptr<RemoteSelector>>* ConnPool(size_t conns) {
+  static auto* pools =
+      new std::vector<std::pair<size_t,
+                                std::vector<std::unique_ptr<RemoteSelector>>>>;
+  for (auto& [n, pool] : *pools) {
+    if (n == conns) return &pool;
+  }
+  const Fixture& f = GetFixture();
+  std::vector<std::unique_ptr<RemoteSelector>> pool;
+  pool.reserve(conns);
+  for (size_t i = 0; i < conns; ++i) {
+    WireClientOptions copts;
+    copts.host = "127.0.0.1";
+    copts.port = f.server->port();
+    auto client = std::make_unique<RemoteSelector>(copts);
+    // Connect() is a negotiation round trip, so the dial loop
+    // self-paces against the server's accept loop instead of
+    // overrunning the listen backlog.
+    if (!client->Connect().ok()) return nullptr;
+    pool.push_back(std::move(client));
+  }
+  pools->emplace_back(conns, std::move(pool));
+  return &pools->back().second;
+}
+
+// The C10K question, measured: Select latency while the server holds
+// 1k / 10k open connections on one epoll loop. The request rotates
+// across the pool so every connection stays live in the epoll interest
+// set; selects_per_sec_<n>_conns and p99_select_us are the headline
+// counters bench.sh extracts and CI's load job diffs.
+void BM_RemoteSelectAtScale(benchmark::State& state) {
+  const size_t conns = static_cast<size_t>(state.range(0));
+  const size_t fd_limit = RaiseFdLimit();
+  if (fd_limit < 2 * conns + 128) {
+    state.SkipWithError("RLIMIT_NOFILE too low for this connection count");
+    return;
+  }
+  const auto* pool = ConnPool(conns);
+  if (pool == nullptr) {
+    state.SkipWithError("failed to dial the connection pool");
+    return;
+  }
+  const Fixture& f = GetFixture();
+  std::vector<double> latencies_us;
+  latencies_us.reserve(1 << 16);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = (*pool)[i % pool->size()]->Select(
+        f.queries[i % f.queries.size()], "cori");
+    const auto stop = std::chrono::steady_clock::now();
+    ++i;
+    benchmark::DoNotOptimize(result);
+    QBS_CHECK(result.ok());
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  const std::string rate_counter =
+      "selects_per_sec_" + std::to_string(conns / 1000) + "k_conns";
+  state.counters[rate_counter] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    state.counters["p99_select_us"] = latencies_us[std::min(
+        latencies_us.size() - 1, latencies_us.size() * 99 / 100)];
+  }
+}
+BENCHMARK(BM_RemoteSelectAtScale)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace qbs

@@ -1,11 +1,15 @@
 // Microbenchmarks: the cost of putting the wire between sampler and
 // database. Local RunQuery/FetchDocument vs. the same calls through
-// DbServer + RemoteTextDatabase over loopback TCP, plus raw ping RTT
-// and wire encode/decode throughput.
+// DbServer + RemoteTextDatabase over loopback TCP, raw ping RTT (alone
+// and at 1k/10k held connections — p99_rpc_us is the tail-latency
+// headline), and wire encode/decode throughput.
 //
 // JSON output for dashboards: --benchmark_format=json
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -211,6 +215,82 @@ void BM_RemoteSamplingPipelined(benchmark::State& state) {
       static_cast<double>(docs == 0 ? 1 : docs));
 }
 BENCHMARK(BM_RemoteSamplingPipelined);
+
+/// Raises RLIMIT_NOFILE toward its hard cap (2 fds per held
+/// connection) and reports the resulting soft limit.
+size_t RaiseFdLimit() {
+  rlimit limit{};
+  if (::getrlimit(RLIMIT_NOFILE, &limit) != 0) return 1024;
+  if (limit.rlim_cur < limit.rlim_max) {
+    rlimit raised = limit;
+    raised.rlim_cur = limit.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) limit = raised;
+  }
+  return static_cast<size_t>(limit.rlim_cur);
+}
+
+/// N connected clients held open against the shared DbServer, cached
+/// per N — benchmark re-entry must not redial the whole pool.
+const std::vector<std::unique_ptr<RemoteTextDatabase>>* ConnPool(
+    size_t conns) {
+  static auto* pools = new std::vector<
+      std::pair<size_t, std::vector<std::unique_ptr<RemoteTextDatabase>>>>;
+  for (auto& [n, pool] : *pools) {
+    if (n == conns) return &pool;
+  }
+  const Fixture& f = GetFixture();
+  std::vector<std::unique_ptr<RemoteTextDatabase>> pool;
+  pool.reserve(conns);
+  for (size_t i = 0; i < conns; ++i) {
+    RemoteDatabaseOptions copts;
+    copts.host = "127.0.0.1";
+    copts.port = f.server->port();
+    auto client = std::make_unique<RemoteTextDatabase>(copts);
+    // Connect() is a ping round trip: the dial loop self-paces against
+    // the accept loop instead of overrunning the listen backlog.
+    if (!client->Connect().ok()) return nullptr;
+    pool.push_back(std::move(client));
+  }
+  pools->emplace_back(conns, std::move(pool));
+  return &pools->back().second;
+}
+
+// Ping RTT while the event loop holds state.range(0) open connections:
+// the floor under every RPC at connection scale, rotating across the
+// pool so the whole epoll interest set stays live. p99_rpc_us is the
+// tail-latency counter bench.sh extracts; CI's load job diffs it.
+void BM_RemotePingRttAtScale(benchmark::State& state) {
+  const size_t conns = static_cast<size_t>(state.range(0));
+  const size_t fd_limit = RaiseFdLimit();
+  if (fd_limit < 2 * conns + 128) {
+    state.SkipWithError("RLIMIT_NOFILE too low for this connection count");
+    return;
+  }
+  const auto* pool = ConnPool(conns);
+  if (pool == nullptr) {
+    state.SkipWithError("failed to dial the connection pool");
+    return;
+  }
+  std::vector<double> latencies_us;
+  latencies_us.reserve(1 << 16);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto start = std::chrono::steady_clock::now();
+    Status status = (*pool)[i++ % pool->size()]->Connect();
+    const auto stop = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(status);
+    QBS_CHECK(status.ok());
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(stop - start).count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    state.counters["p99_rpc_us"] = latencies_us[std::min(
+        latencies_us.size() - 1, latencies_us.size() * 99 / 100)];
+  }
+}
+BENCHMARK(BM_RemotePingRttAtScale)->Arg(1000)->Arg(10000);
 
 // Pure serialization cost, no socket: how fast frames are built/parsed.
 void BM_WireEncodeDecodeResponse(benchmark::State& state) {

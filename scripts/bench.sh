@@ -70,9 +70,16 @@ for path in sorted(glob.glob(os.path.join(os.environ["RAW_DIR"], "*.json"))):
     for bench in report.get("benchmarks", []):
         if bench.get("run_type") == "aggregate":
             continue
+        # Skipped runs (e.g. the 10k-connection benches on a machine
+        # whose RLIMIT_NOFILE cannot hold 2 fds per connection) carry no
+        # measurement; keeping them would diff as a fake regression.
+        if bench.get("error_occurred"):
+            continue
         entry = {"name": bench["name"], "ns_per_op": bench.get("real_time")}
         # Custom counters (rpcs_per_doc and friends) ride along verbatim.
-        for key in ("rpcs_per_doc", "selects_per_sec", "models_per_sec",
+        for key in ("rpcs_per_doc", "selects_per_sec",
+                    "selects_per_sec_1k_conns", "selects_per_sec_10k_conns",
+                    "p99_select_us", "p99_rpc_us", "models_per_sec",
                     "image_bytes", "items_per_second", "bytes_per_second"):
             if key in bench:
                 entry[key] = bench[key]

@@ -38,6 +38,9 @@ FrameServerOptions ToFrameOptions(const BrokerServerOptions& options) {
   frame.max_protocol_version = options.max_protocol_version;
   frame.admin_port = options.admin_port;
   frame.admin_host = options.admin_host;
+  frame.max_write_queue_bytes = options.max_write_queue_bytes;
+  frame.max_pipelined_requests = options.max_pipelined_requests;
+  frame.idle_timeout_us = options.idle_timeout_us;
   return frame;
 }
 

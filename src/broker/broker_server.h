@@ -71,7 +71,9 @@ struct BrokerServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   uint16_t port = 0;
-  /// Worker threads == maximum concurrently served connections.
+  /// Worker threads == maximum concurrently *executing* requests. Open
+  /// connections are unbounded — the event loop holds them without a
+  /// thread each.
   size_t num_workers = 4;
   /// Inbound frames larger than this are rejected and the connection
   /// dropped.
@@ -86,6 +88,16 @@ struct BrokerServerOptions {
   int32_t admin_port = -1;
   /// Bind address of the admin endpoint.
   std::string admin_host = "127.0.0.1";
+  /// Per-connection write-queue high watermark: a peer that stops
+  /// reading its responses is paused (backpressure) above this.
+  size_t max_write_queue_bytes = 4u << 20;
+  /// Complete frames one connection may queue for the worker pool
+  /// before its reads pause.
+  size_t max_pipelined_requests = 64;
+  /// Drop connections idle this long (no bytes, no request in flight).
+  /// 0 (default) keeps idle connections forever. A broker fronting
+  /// millions of intermittent clients wants this on.
+  uint64_t idle_timeout_us = 0;
   /// Name advertised in server_info.
   std::string name = "qbs-broker";
   /// Overload policy for Select requests.
@@ -96,7 +108,7 @@ struct BrokerServerOptions {
   std::function<void()> select_hook;
 };
 
-/// A blocking TCP server for one SelectionBroker. Thread-safe. The
+/// An event-loop TCP server for one SelectionBroker. Thread-safe. The
 /// broker must outlive the server. TextDatabase methods (run_query,
 /// fetch_document, ...) are answered with Unimplemented — this server
 /// routes queries to databases, it does not serve one.

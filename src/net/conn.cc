@@ -1,0 +1,238 @@
+#include "net/conn.h"
+
+#include <sys/epoll.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "net/socket.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qbs {
+
+namespace {
+
+struct ConnMetrics {
+  Counter* backpressure_pauses;
+  Counter* bytes_read;
+  Counter* bytes_written;
+
+  static const ConnMetrics& Get() {
+    static const ConnMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      ConnMetrics m;
+      m.backpressure_pauses = r.GetCounter(
+          "qbs_net_loop_backpressure_pauses_total",
+          "Connections whose reads were paused because their write "
+          "queue crossed the high watermark (peer not reading)");
+      m.bytes_read = r.GetCounter("qbs_net_loop_bytes_read_total",
+                                  "Bytes read by event-loop servers");
+      m.bytes_written =
+          r.GetCounter("qbs_net_loop_bytes_written_total",
+                       "Bytes written by event-loop servers");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Conn::Conn(uint64_t id, UniqueFd fd, EventLoop* loop, ConnOptions options,
+           FrameCallback on_frame, ReadEndCallback on_read_end,
+           ClosedCallback on_closed)
+    : id_(id),
+      fd_(std::move(fd)),
+      loop_(loop),
+      options_(options),
+      on_frame_(std::move(on_frame)),
+      on_read_end_(std::move(on_read_end)),
+      on_closed_(std::move(on_closed)),
+      last_activity_us_(MonotonicMicros()) {}
+
+Conn::~Conn() {
+  if (watch_token_ != 0 && !closed_) loop_->RemoveWatch(watch_token_);
+}
+
+Status Conn::Register() {
+  watch_mask_ = EPOLLIN;
+  auto token = loop_->AddWatch(fd_.get(), watch_mask_,
+                               [this](uint32_t events) { OnEvents(events); });
+  QBS_RETURN_IF_ERROR(token.status());
+  watch_token_ = *token;
+  return Status::OK();
+}
+
+void Conn::UpdateWatchMask() {
+  if (closed_) return;
+  uint32_t mask = 0;
+  if (reads_enabled()) mask |= EPOLLIN;
+  if (!write_queue_.empty()) mask |= EPOLLOUT;
+  if (mask == watch_mask_) return;
+  watch_mask_ = mask;
+  // A mask of 0 stays registered (EPOLLHUP/EPOLLERR always fire), which
+  // is exactly what a fully-paused connection wants: we still hear
+  // about the peer vanishing.
+  loop_->ModifyWatch(watch_token_, mask).IgnoreError();
+}
+
+void Conn::OnEvents(uint32_t events) {
+  if (closed_) return;
+  if ((events & (EPOLLHUP | EPOLLERR)) != 0 && write_queue_.empty() &&
+      !reads_enabled()) {
+    // Nothing left to say and the peer is gone.
+    CloseNow();
+    return;
+  }
+  if ((events & EPOLLOUT) != 0) FlushWrites();
+  if (closed_) return;
+  if ((events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0 && reads_enabled()) {
+    ReadSome();
+  }
+}
+
+void Conn::ReadSome() {
+  const ConnMetrics& metrics = ConnMetrics::Get();
+  // Level-triggered: read until would-block, a full frame pausing us,
+  // or the peer ends the stream. on_frame_ may pause reads (pipelining
+  // bound) or queue a response that trips the write watermark, so the
+  // gate is re-checked every round.
+  while (reads_enabled() && !closed_) {
+    if (!in_payload_) {
+      auto n = NonBlockingRead(fd_.get(), header_ + header_filled_,
+                               sizeof(header_) - header_filled_);
+      if (!n.ok()) {
+        if (n.status().IsWouldBlock()) break;
+        EndRead(n.status());
+        return;
+      }
+      header_filled_ += *n;
+      last_activity_us_ = MonotonicMicros();
+      metrics.bytes_read->Increment(*n);
+      if (header_filled_ < sizeof(header_)) continue;
+      uint32_t length = 0;
+      for (size_t i = 0; i < sizeof(header_); ++i) {
+        length |= static_cast<uint32_t>(header_[i]) << (8 * i);
+      }
+      if (length > options_.max_frame_bytes) {
+        EndRead(Status::Corruption(
+            "wire: frame of " + std::to_string(length) +
+            " bytes exceeds limit of " +
+            std::to_string(options_.max_frame_bytes)));
+        return;
+      }
+      in_payload_ = true;
+      payload_.clear();
+      payload_.resize(length);
+      payload_filled_ = 0;
+    }
+    if (payload_filled_ < payload_.size()) {
+      auto n = NonBlockingRead(fd_.get(), payload_.data() + payload_filled_,
+                               payload_.size() - payload_filled_);
+      if (!n.ok()) {
+        if (n.status().IsWouldBlock()) break;
+        EndRead(n.status());
+        return;
+      }
+      payload_filled_ += *n;
+      last_activity_us_ = MonotonicMicros();
+      metrics.bytes_read->Increment(*n);
+      if (payload_filled_ < payload_.size()) continue;
+    }
+    // Frame complete; reset the assembler before handing it off.
+    in_payload_ = false;
+    header_filled_ = 0;
+    payload_filled_ = 0;
+    std::vector<uint8_t> payload;
+    payload.swap(payload_);
+    on_frame_(std::move(payload));
+  }
+}
+
+void Conn::EndRead(Status reason) {
+  if (read_ended_ || closed_) return;
+  read_ended_ = true;
+  UpdateWatchMask();
+  on_read_end_(std::move(reason));
+}
+
+void Conn::SendFrame(std::vector<uint8_t> frame) {
+  if (closed_ || frame.empty()) return;
+  write_queue_bytes_ += frame.size();
+  write_queue_.push_back(std::move(frame));
+  FlushWrites();
+}
+
+void Conn::FlushWrites() {
+  const ConnMetrics& metrics = ConnMetrics::Get();
+  while (!write_queue_.empty()) {
+    const std::vector<uint8_t>& front = write_queue_.front();
+    auto n = NonBlockingWrite(fd_.get(), front.data() + write_offset_,
+                              front.size() - write_offset_);
+    if (!n.ok()) {
+      if (n.status().IsWouldBlock()) break;
+      // Peer reset or transport failure: unsent responses have nowhere
+      // to go.
+      CloseNow();
+      return;
+    }
+    write_offset_ += *n;
+    write_queue_bytes_ -= *n;
+    last_activity_us_ = MonotonicMicros();
+    metrics.bytes_written->Increment(*n);
+    if (write_offset_ < front.size()) break;  // kernel buffer full
+    write_queue_.pop_front();
+    write_offset_ = 0;
+  }
+  if (write_queue_.empty() && draining_) {
+    CloseNow();
+    return;
+  }
+  // Backpressure hysteresis: pause above the high watermark, resume
+  // only once below half of it, so a peer hovering at the boundary
+  // does not thrash the epoll mask.
+  if (!write_paused_ && write_queue_bytes_ > options_.max_write_queue_bytes) {
+    write_paused_ = true;
+    metrics.backpressure_pauses->Increment();
+  } else if (write_paused_ &&
+             write_queue_bytes_ < options_.max_write_queue_bytes / 2) {
+    write_paused_ = false;
+  }
+  UpdateWatchMask();
+}
+
+void Conn::PauseReads() {
+  if (owner_paused_) return;
+  owner_paused_ = true;
+  UpdateWatchMask();
+}
+
+void Conn::ResumeReads() {
+  if (!owner_paused_) return;
+  owner_paused_ = false;
+  UpdateWatchMask();
+}
+
+void Conn::StartDrain() {
+  if (closed_) return;
+  draining_ = true;
+  if (write_queue_.empty()) {
+    CloseNow();
+    return;
+  }
+  UpdateWatchMask();
+}
+
+void Conn::CloseNow() {
+  if (closed_) return;
+  closed_ = true;
+  if (watch_token_ != 0) loop_->RemoveWatch(watch_token_);
+  write_queue_.clear();
+  write_queue_bytes_ = 0;
+  fd_.Reset();
+  on_closed_();
+}
+
+}  // namespace qbs

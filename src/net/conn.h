@@ -1,0 +1,142 @@
+// Conn: the per-connection state machine of the epoll frame servers.
+//
+// One Conn owns one accepted non-blocking socket and turns readiness
+// events into whole protocol frames (incremental reassembly of the
+// 4-byte length prefix + payload, however the bytes are sliced by the
+// peer or the kernel) and queued response frames into writes (a bounded
+// write queue with backpressure: a connection whose responses back up
+// past the high watermark stops being read until the queue drains, so a
+// peer that never reads cannot balloon server memory).
+//
+// Thread model: every method is loop-affine — called only from the
+// owning EventLoop's thread — so Conn holds no lock. Cross-thread work
+// (handler completions from the ThreadPool) reaches a Conn exclusively
+// via EventLoop::Post in FrameServer; this is the invariant that makes
+// the no-lock design sound, and it is documented rather than
+// lock-enforced on purpose (a mutex here would serialize the loop
+// against 10k peers' worth of handler completions).
+#ifndef QBS_NET_CONN_H_
+#define QBS_NET_CONN_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "util/fd.h"
+#include "util/status.h"
+
+namespace qbs {
+
+struct ConnOptions {
+  /// Inbound frames larger than this are a protocol violation; the
+  /// read side reports Corruption and the server drops the connection.
+  size_t max_frame_bytes = 64u << 20;
+  /// Write-queue high watermark: above it reads pause (backpressure);
+  /// they resume once the queue drains below half of it.
+  size_t max_write_queue_bytes = 4u << 20;
+};
+
+class Conn {
+ public:
+  /// A complete inbound frame payload (length prefix stripped).
+  using FrameCallback = std::function<void(std::vector<uint8_t> payload)>;
+  /// The read side ended: clean EOF surfaces Unavailable, a garbled or
+  /// oversized frame Corruption, other socket failures IOError. The
+  /// owner decides between draining queued responses and closing now.
+  using ReadEndCallback = std::function<void(Status reason)>;
+  /// The connection is fully closed (fd released, watch removed).
+  /// Fired exactly once, from inside a Conn method — the owner must
+  /// defer destruction of this Conn (EventLoop::Post), not delete it
+  /// re-entrantly.
+  using ClosedCallback = std::function<void()>;
+
+  /// `fd` must already be O_NONBLOCK. Callbacks run on the loop thread.
+  Conn(uint64_t id, UniqueFd fd, EventLoop* loop, ConnOptions options,
+       FrameCallback on_frame, ReadEndCallback on_read_end,
+       ClosedCallback on_closed);
+  /// Removes the watch and closes the fd if still open (without firing
+  /// on_closed — destruction is the owner already knowing).
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  /// Registers with the loop for reads. Call once after construction.
+  Status Register();
+
+  /// Queues one already-length-prefixed frame and flushes as much as
+  /// the socket accepts now; the rest goes out on EPOLLOUT. No-op after
+  /// close.
+  void SendFrame(std::vector<uint8_t> frame);
+
+  /// Owner-side flow control (e.g. too many pipelined requests from
+  /// this peer are already queued for the pool). Nests with the
+  /// internal write-backpressure pause; reads resume only when both
+  /// reasons clear.
+  void PauseReads();
+  void ResumeReads();
+
+  /// Stops reading and closes once the write queue has flushed (now,
+  /// if it is already empty). The graceful-shutdown path.
+  void StartDrain();
+
+  /// Closes immediately: discards unsent responses, removes the watch,
+  /// closes the fd, fires on_closed. Idempotent.
+  void CloseNow();
+
+  uint64_t id() const { return id_; }
+  bool closed() const { return closed_; }
+  /// True once the peer's read side ended (EOF or error seen).
+  bool read_ended() const { return read_ended_; }
+  size_t write_queue_bytes() const { return write_queue_bytes_; }
+  /// MonotonicMicros of the last byte read or written; idle-deadline
+  /// bookkeeping for the owner's wheel timer.
+  uint64_t last_activity_us() const { return last_activity_us_; }
+
+ private:
+  void OnEvents(uint32_t events);
+  void ReadSome();
+  void FlushWrites();
+  /// Re-derives the epoll mask from the pause/drain/queue state.
+  void UpdateWatchMask();
+  bool reads_enabled() const {
+    return !read_ended_ && !draining_ && !owner_paused_ && !write_paused_;
+  }
+  void EndRead(Status reason);
+
+  const uint64_t id_;
+  UniqueFd fd_;
+  EventLoop* loop_;
+  const ConnOptions options_;
+  FrameCallback on_frame_;
+  ReadEndCallback on_read_end_;
+  ClosedCallback on_closed_;
+
+  uint64_t watch_token_ = 0;
+  uint32_t watch_mask_ = 0;
+
+  // Inbound frame reassembly.
+  uint8_t header_[4] = {0, 0, 0, 0};
+  size_t header_filled_ = 0;
+  std::vector<uint8_t> payload_;
+  size_t payload_filled_ = 0;
+  bool in_payload_ = false;
+
+  // Outbound queue; front frame is sent from write_offset_ onward.
+  std::deque<std::vector<uint8_t>> write_queue_;
+  size_t write_offset_ = 0;
+  size_t write_queue_bytes_ = 0;
+
+  bool owner_paused_ = false;
+  bool write_paused_ = false;
+  bool read_ended_ = false;
+  bool draining_ = false;
+  bool closed_ = false;
+  uint64_t last_activity_us_ = 0;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_NET_CONN_H_

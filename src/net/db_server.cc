@@ -39,6 +39,10 @@ FrameServerOptions ToFrameOptions(const DbServerOptions& options) {
   frame.max_protocol_version = options.max_protocol_version;
   frame.admin_port = options.admin_port;
   frame.admin_host = options.admin_host;
+  frame.max_write_queue_bytes = options.max_write_queue_bytes;
+  frame.max_pipelined_requests = options.max_pipelined_requests;
+  frame.idle_timeout_us = options.idle_timeout_us;
+  frame.queue_timeout_us = options.queue_timeout_us;
   return frame;
 }
 

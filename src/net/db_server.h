@@ -3,9 +3,10 @@
 // only way the paper assumes a real database is — through a remote
 // query/fetch interface.
 //
-// The transport (accept thread, connection-per-worker pool, graceful
-// Stop, protocol-version gate) lives in the FrameServer base; this class
-// is only the TextDatabase request handler.
+// The transport (epoll event loop, per-connection state machines,
+// worker-pool dispatch, graceful Stop, protocol-version gate) lives in
+// the FrameServer base; this class is only the TextDatabase request
+// handler.
 #ifndef QBS_NET_DB_SERVER_H_
 #define QBS_NET_DB_SERVER_H_
 
@@ -27,11 +28,25 @@ struct DbServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   uint16_t port = 0;
-  /// Worker threads == maximum concurrently served connections.
+  /// Worker threads == maximum concurrently *executing* requests. Open
+  /// connections are unbounded — the event loop holds them without a
+  /// thread each.
   size_t num_workers = 4;
   /// Inbound frames larger than this are rejected and the connection
   /// dropped.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-connection write-queue high watermark: a peer that stops
+  /// reading its responses is paused (backpressure) above this.
+  size_t max_write_queue_bytes = 4u << 20;
+  /// Complete frames one connection may queue for the worker pool
+  /// before its reads pause.
+  size_t max_pipelined_requests = 64;
+  /// Drop connections idle this long (no bytes, no request in flight).
+  /// 0 (default) keeps idle connections forever.
+  uint64_t idle_timeout_us = 0;
+  /// Answer requests that waited longer than this in the worker queue
+  /// with a retryable Unavailable. 0 (default) disables shedding.
+  uint64_t queue_timeout_us = 0;
   /// Serialize calls into the wrapped database. SearchEngine is only
   /// thread-compatible, so this defaults on; flip it off for databases
   /// that are themselves thread-safe (e.g. a RemoteTextDatabase proxy).
@@ -50,7 +65,7 @@ struct DbServerOptions {
   std::string admin_host = "127.0.0.1";
 };
 
-/// A blocking TCP server for one TextDatabase. Thread-safe. The wrapped
+/// An event-loop TCP server for one TextDatabase. Thread-safe. The wrapped
 /// database must outlive the server. The broker RPCs (select,
 /// broker_status) are answered with Unimplemented — this server fronts a
 /// database, not a selection broker.

@@ -1,0 +1,271 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace qbs {
+
+namespace {
+
+struct LoopMetrics {
+  Counter* wakeups;
+  Counter* events;
+  Counter* tasks;
+  Counter* deadlines_fired;
+
+  static const LoopMetrics& Get() {
+    static const LoopMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      LoopMetrics m;
+      m.wakeups = r.GetCounter("qbs_net_loop_wakeups_total",
+                               "epoll_wait returns in event-loop servers");
+      m.events = r.GetCounter("qbs_net_loop_events_total",
+                              "fd readiness events dispatched by the loop");
+      m.tasks = r.GetCounter("qbs_net_loop_tasks_total",
+                             "cross-thread tasks executed on the loop");
+      m.deadlines_fired =
+          r.GetCounter("qbs_net_loop_deadlines_fired_total",
+                       "deadline-wheel timers fired (idle closes, drain "
+                       "force-closes, admission deadlines)");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+EventLoop::EventLoop() : wheel_(kWheelSlots) {}
+
+EventLoop::~EventLoop() {
+  assert(loop_thread_id_.load(std::memory_order_relaxed) ==
+             std::thread::id() &&
+         "EventLoop destroyed while Run() is live");
+}
+
+Status EventLoop::Init() {
+  if (epoll_fd_.valid()) {
+    return Status::FailedPrecondition("EventLoop already initialized");
+  }
+  epoll_fd_.Reset(::epoll_create1(EPOLL_CLOEXEC));
+  if (!epoll_fd_.valid()) {
+    return Status::IOError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  wake_fd_.Reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  if (!wake_fd_.valid()) {
+    epoll_fd_.Reset();
+    return Status::IOError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // token 0 is reserved for the wake fd
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) != 0) {
+    Status status = Status::IOError(std::string("epoll_ctl(wake): ") +
+                                    std::strerror(errno));
+    epoll_fd_.Reset();
+    wake_fd_.Reset();
+    return status;
+  }
+  last_tick_ = MonotonicMicros() / kTickUs;
+  return Status::OK();
+}
+
+bool EventLoop::OnLoopThread() const {
+  return loop_thread_id_.load(std::memory_order_relaxed) ==
+         std::this_thread::get_id();
+}
+
+void EventLoop::Wake() {
+  uint64_t one = 1;
+  // A full eventfd counter already guarantees a wake; short/failed
+  // writes here are therefore harmless.
+  [[maybe_unused]] ssize_t n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+void EventLoop::Post(std::function<void()> task) {
+  {
+    MutexLock lock(mu_);
+    posted_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void EventLoop::Stop() {
+  {
+    MutexLock lock(mu_);
+    stop_requested_ = true;
+  }
+  Wake();
+}
+
+Result<uint64_t> EventLoop::AddWatch(int fd, uint32_t events,
+                                     FdCallback callback) {
+  const uint64_t token = next_token_++;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(add): ") +
+                           std::strerror(errno));
+  }
+  watches_[token] =
+      Watch{fd, std::make_shared<FdCallback>(std::move(callback))};
+  return token;
+}
+
+Status EventLoop::ModifyWatch(uint64_t token, uint32_t events) {
+  auto it = watches_.find(token);
+  if (it == watches_.end()) {
+    return Status::NotFound("no such watch");
+  }
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = token;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, it->second.fd, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(mod): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void EventLoop::RemoveWatch(uint64_t token) {
+  auto it = watches_.find(token);
+  if (it == watches_.end()) return;
+  // Failure here (EBADF after the owner already closed the fd) still
+  // leaves the table consistent; the token can never fire again.
+  ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, it->second.fd, nullptr);
+  watches_.erase(it);
+}
+
+EventLoop::TimerId EventLoop::AddDeadline(uint64_t deadline_us,
+                                          std::function<void()> callback) {
+  const TimerId id = next_timer_++;
+  deadlines_[id] = Deadline{deadline_us, std::move(callback)};
+  wheel_[(deadline_us / kTickUs) & (kWheelSlots - 1)].push_back(id);
+  return id;
+}
+
+void EventLoop::CancelDeadline(TimerId id) {
+  // The wheel slot keeps a stale id; expiry skips ids that miss the
+  // table, so cancel is O(1) with no list surgery.
+  deadlines_.erase(id);
+}
+
+int EventLoop::PollTimeoutMs() const {
+  // With deadlines armed the loop must keep ticking the wheel; without
+  // any it can sleep until an fd event or a Post() wake.
+  return deadlines_.empty() ? -1 : static_cast<int>(kTickUs / 1000);
+}
+
+void EventLoop::ExpireDeadlines(uint64_t now_us) {
+  if (deadlines_.empty()) {
+    last_tick_ = now_us / kTickUs;
+    return;
+  }
+  const LoopMetrics& metrics = LoopMetrics::Get();
+  const uint64_t current_tick = now_us / kTickUs;
+  // Scan each slot between the last processed tick and now — at most
+  // one full rotation, after which every slot has been visited once.
+  uint64_t from = last_tick_ + 1;
+  if (current_tick >= from + kWheelSlots) from = current_tick - kWheelSlots + 1;
+  for (uint64_t tick = from; tick <= current_tick; ++tick) {
+    std::vector<TimerId>& slot = wheel_[tick & (kWheelSlots - 1)];
+    size_t keep = 0;
+    for (size_t i = 0; i < slot.size(); ++i) {
+      const TimerId id = slot[i];
+      auto it = deadlines_.find(id);
+      if (it == deadlines_.end()) continue;  // cancelled
+      if (it->second.deadline_us > now_us) {
+        slot[keep++] = id;  // a rotation (or more) away; revisit later
+        continue;
+      }
+      std::function<void()> callback = std::move(it->second.callback);
+      deadlines_.erase(it);
+      metrics.deadlines_fired->Increment();
+      callback();
+    }
+    slot.resize(keep);
+  }
+  last_tick_ = current_tick;
+}
+
+void EventLoop::RunPostedTasks() {
+  const LoopMetrics& metrics = LoopMetrics::Get();
+  // Drain in FIFO batches. Tasks posted *by* these tasks run in the
+  // same drain, so completion chains settle within one iteration;
+  // termination is guaranteed by Stop()'s contract (no self-sustaining
+  // post loops — FrameServer's completions are finite).
+  while (true) {
+    std::deque<std::function<void()>> batch;
+    {
+      MutexLock lock(mu_);
+      if (posted_.empty()) return;
+      batch.swap(posted_);
+    }
+    for (std::function<void()>& task : batch) {
+      metrics.tasks->Increment();
+      task();
+    }
+  }
+}
+
+void EventLoop::Run() {
+  assert(epoll_fd_.valid() && "EventLoop::Run before Init");
+  loop_thread_id_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+  const LoopMetrics& metrics = LoopMetrics::Get();
+  std::vector<epoll_event> events(256);
+  while (true) {
+    {
+      MutexLock lock(mu_);
+      if (stop_requested_ && posted_.empty()) break;
+    }
+    int n = ::epoll_wait(epoll_fd_.get(), events.data(),
+                         static_cast<int>(events.size()), PollTimeoutMs());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      QBS_LOG(ERROR) << "EventLoop: epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    metrics.wakeups->Increment();
+    if (n > 0) {
+      QBS_TRACE_SPAN("net.loop", "dispatch");
+      for (int i = 0; i < n; ++i) {
+        const uint64_t token = events[static_cast<size_t>(i)].data.u64;
+        if (token == 0) {
+          uint64_t drained;
+          while (::read(wake_fd_.get(), &drained, sizeof(drained)) > 0) {
+          }
+          continue;
+        }
+        auto it = watches_.find(token);
+        if (it == watches_.end()) continue;  // removed earlier this batch
+        metrics.events->Increment();
+        // Keep the closure alive across self-removal (see Watch).
+        std::shared_ptr<FdCallback> callback = it->second.callback;
+        (*callback)(events[static_cast<size_t>(i)].events);
+      }
+      if (n == static_cast<int>(events.size())) {
+        events.resize(events.size() * 2);  // saturated batch: widen
+      }
+    }
+    RunPostedTasks();
+    ExpireDeadlines(MonotonicMicros());
+  }
+  RunPostedTasks();
+  loop_thread_id_.store(std::thread::id(), std::memory_order_relaxed);
+}
+
+}  // namespace qbs

@@ -1,0 +1,155 @@
+// EventLoop: a single-threaded, non-blocking epoll readiness loop — the
+// core the C10K-scale servers (net/frame_server.h) run on.
+//
+// One thread calls Run(); everything the loop owns (fd watches, the
+// deadline wheel) is *loop-affine*: touched only from that thread, so
+// it needs no lock and no atomic. The two cross-thread entry points are
+// Post() (run a closure on the loop thread; a mutex-guarded FIFO plus
+// an eventfd wake) and Stop(). Everything else documents its affinity
+// and is enforced by convention plus the OnLoopThread() assertions in
+// debug builds.
+//
+// Watches are level-triggered and keyed by an opaque monotonically
+// increasing token, NOT by fd: a callback that closes its fd mid-batch
+// lets the kernel reuse the fd number within the same epoll batch, and
+// a stale event must miss the table instead of firing into the new
+// owner's callback.
+//
+// Timers are a hashed deadline wheel (fixed tick, power-of-two slots):
+// arming, re-arming, and cancelling are O(1), expiry is amortized O(1)
+// per tick — no thread per timer, no priority-queue rebalancing on the
+// hot path. Precision is one tick (~10ms), which is what admission and
+// idle deadlines need; it is not a high-resolution timer.
+#ifndef QBS_NET_EVENT_LOOP_H_
+#define QBS_NET_EVENT_LOOP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/fd.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace qbs {
+
+class EventLoop {
+ public:
+  /// Receives the ready epoll event mask (EPOLLIN/EPOLLOUT/EPOLLHUP...).
+  using FdCallback = std::function<void(uint32_t events)>;
+  /// Handle for a wheel deadline; kInvalidTimer is never issued.
+  using TimerId = uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  /// Deadline-wheel granularity. A deadline fires within one tick after
+  /// it expires, never before it.
+  static constexpr uint64_t kTickUs = 10'000;
+
+  EventLoop();
+  /// The loop must not be running (Run() returned or never called).
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance and the wake eventfd. Call once, before
+  /// Run() / any watch registration.
+  Status Init();
+
+  /// The loop body: blocks in epoll_wait, dispatches fd events, runs
+  /// posted tasks, expires wheel deadlines — until Stop(). Call from
+  /// exactly one thread; that thread becomes the loop thread.
+  void Run();
+
+  /// Asks Run() to return after the current iteration. Thread-safe and
+  /// idempotent. Posted tasks already queued still run before exit;
+  /// tasks posted after Run() returned are dropped (their work must
+  /// already be unreachable — see FrameServer::Stop()'s ordering).
+  void Stop();
+
+  /// Runs `task` on the loop thread, FIFO with other posted tasks.
+  /// Thread-safe; callable from the loop thread itself (the task runs
+  /// later in the same iteration, not inline).
+  void Post(std::function<void()> task) QBS_EXCLUDES(mu_);
+
+  /// Registers `fd` for level-triggered `events`. Returns the watch
+  /// token for ModifyWatch/RemoveWatch. Loop-affine (or before Run()).
+  Result<uint64_t> AddWatch(int fd, uint32_t events, FdCallback callback);
+
+  /// Changes the event mask of a live watch. Loop-affine.
+  Status ModifyWatch(uint64_t token, uint32_t events);
+
+  /// Deregisters a watch; the fd itself stays open (the caller owns
+  /// it). Safe against already-removed tokens. Loop-affine.
+  void RemoveWatch(uint64_t token);
+
+  /// Arms a wheel deadline: `callback` runs on the loop thread within
+  /// one tick after `deadline_us` (MonotonicMicros timebase). One-shot;
+  /// re-arm from the callback for periodic behavior. Loop-affine.
+  TimerId AddDeadline(uint64_t deadline_us, std::function<void()> callback);
+
+  /// Cancels an armed deadline; a no-op for fired/cancelled ids.
+  /// Loop-affine.
+  void CancelDeadline(TimerId id);
+
+  /// True when called from the thread currently inside Run().
+  bool OnLoopThread() const;
+
+  /// Watches currently registered (loop-affine; for tests/statusz).
+  size_t num_watches() const { return watches_.size(); }
+
+  /// Deadlines currently armed (loop-affine; for tests/statusz).
+  size_t num_deadlines() const { return deadlines_.size(); }
+
+ private:
+  static constexpr size_t kWheelSlots = 512;  // power of two; ~5.1s/turn
+
+  struct Watch {
+    int fd = -1;
+    // Shared so a callback erasing its own watch entry mid-invocation
+    // does not destroy the closure it is executing.
+    std::shared_ptr<FdCallback> callback;
+  };
+
+  struct Deadline {
+    uint64_t deadline_us = 0;
+    std::function<void()> callback;
+  };
+
+  void Wake();
+  void RunPostedTasks() QBS_EXCLUDES(mu_);
+  /// Fires every due deadline in the slots between the last processed
+  /// tick and `now_us`.
+  void ExpireDeadlines(uint64_t now_us);
+  /// Milliseconds epoll_wait may block given the armed deadlines.
+  int PollTimeoutMs() const;
+
+  UniqueFd epoll_fd_;
+  UniqueFd wake_fd_;
+
+  // --- loop-affine state (only the Run() thread touches these) -------
+  std::unordered_map<uint64_t, Watch> watches_;
+  uint64_t next_token_ = 1;
+  std::unordered_map<TimerId, Deadline> deadlines_;
+  TimerId next_timer_ = 1;
+  // wheel_[slot] holds candidate timer ids; a slot is rescanned each
+  // rotation, so an entry whose deadline is a rotation away just stays.
+  std::vector<std::vector<TimerId>> wheel_;
+  uint64_t last_tick_ = 0;
+
+  // --- cross-thread state --------------------------------------------
+  mutable Mutex mu_;
+  std::deque<std::function<void()>> posted_ QBS_GUARDED_BY(mu_);
+  bool stop_requested_ QBS_GUARDED_BY(mu_) = false;
+  std::atomic<std::thread::id> loop_thread_id_{};
+};
+
+}  // namespace qbs
+
+#endif  // QBS_NET_EVENT_LOOP_H_

@@ -1,5 +1,7 @@
 #include "net/frame_server.h"
 
+#include <sys/epoll.h>
+
 #include <algorithm>
 #include <utility>
 
@@ -13,8 +15,11 @@ namespace {
 
 struct ServerMetrics {
   Counter* connections_total;
+  Gauge* open_connections;
   Gauge* active_connections;
   Counter* errors;
+  Counter* queue_shed;
+  Counter* idle_closed;
   Histogram* request_latency_us;
 
   static const ServerMetrics& Get() {
@@ -24,12 +29,22 @@ struct ServerMetrics {
       m.connections_total =
           r.GetCounter("qbs_net_server_connections_total",
                        "Connections accepted by wire-protocol servers");
+      m.open_connections =
+          r.GetGauge("qbs_net_connections",
+                     "Connections currently open on event-loop servers");
       m.active_connections =
           r.GetGauge("qbs_net_server_active_connections",
                      "Connections currently being served");
       m.errors = r.GetCounter(
           "qbs_net_server_errors_total",
           "Undecodable frames and transport failures on the server side");
+      m.queue_shed = r.GetCounter(
+          "qbs_net_loop_queue_shed_total",
+          "Requests answered with retryable Unavailable because they "
+          "outwaited the server's admission deadline in the worker queue");
+      m.idle_closed =
+          r.GetCounter("qbs_net_loop_idle_closed_total",
+                       "Connections dropped by the idle deadline");
       m.request_latency_us = r.GetHistogram(
           "qbs_net_server_request_latency_us", Histogram::LatencyBoundsUs(),
           "Server-side request handling latency, handler included");
@@ -79,6 +94,19 @@ struct ServerMetrics {
   }
 };
 
+/// Prepends the 4-byte little-endian length prefix — the same frame
+/// layout WriteFrame produces on a blocking stream (net/transport.cc),
+/// assembled here so the loop can queue it as one contiguous buffer.
+std::vector<uint8_t> FrameBytes(const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame(sizeof(uint32_t) + payload.size());
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  for (size_t i = 0; i < sizeof(uint32_t); ++i) {
+    frame[i] = static_cast<uint8_t>((length >> (8 * i)) & 0xFF);
+  }
+  std::copy(payload.begin(), payload.end(), frame.begin() + sizeof(uint32_t));
+  return frame;
+}
+
 }  // namespace
 
 FrameServer::FrameServer(std::string description, FrameServerOptions options)
@@ -103,11 +131,6 @@ std::string FrameServer::address() const {
   return options_.host + ":" + std::to_string(port_);
 }
 
-size_t FrameServer::active_connections() const {
-  MutexLock lock(mu_);
-  return active_.size();
-}
-
 void FrameServer::AddStatusProvider(std::string key,
                                     std::function<std::string()> value) {
   MutexLock lock(mu_);
@@ -123,6 +146,20 @@ Status FrameServer::Start() {
   QBS_RETURN_IF_ERROR(listener.status());
   listener_ = std::move(*listener);
   port_ = listener_->port();
+  Status nonblocking = SetNonBlocking(listener_->fd(), true);
+  if (!nonblocking.ok()) {
+    listener_->CloseListener();
+    listener_.reset();
+    return nonblocking;
+  }
+  loop_ = std::make_unique<EventLoop>();
+  Status loop_ready = loop_->Init();
+  if (!loop_ready.ok()) {
+    listener_->CloseListener();
+    listener_.reset();
+    loop_.reset();
+    return loop_ready;
+  }
   if (options_.admin_port >= 0) {
     AdminServerOptions admin_options;
     admin_options.host = options_.admin_host;
@@ -144,13 +181,32 @@ Status FrameServer::Start() {
     if (!admin_started.ok()) {
       listener_->CloseListener();
       listener_.reset();
+      loop_.reset();
       admin_.reset();
       return admin_started;
     }
   }
   pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  // Loop-affine state is pristine here: conns_ drained to empty before
+  // the previous Stop() returned.
+  stopping_ = false;
+  drained_ = false;
+  next_conn_id_ = 1;
+  auto watch = loop_->AddWatch(listener_->fd(), EPOLLIN,
+                               [this](uint32_t) { OnAccept(); });
+  if (!watch.ok()) {
+    pool_->Shutdown();
+    pool_.reset();
+    if (admin_ != nullptr) admin_->Stop();
+    admin_.reset();
+    listener_->CloseListener();
+    listener_.reset();
+    loop_.reset();
+    return watch.status();
+  }
+  listener_watch_ = *watch;
   running_ = true;
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  loop_thread_ = std::thread([this] { loop_->Run(); });
   QBS_LOG(INFO) << description_ << ": serving on " << options_.host << ":"
                 << port_;
   return Status::OK();
@@ -161,92 +217,295 @@ void FrameServer::Stop() {
     MutexLock lock(mu_);
     if (!running_) return;
     running_ = false;
-    // Stop the intake first: no new connections reach the pool.
-    listener_->CloseListener();
-    // Wake every blocked connection reader; their tasks then drain.
-    for (SocketStream* stream : active_) stream->Close();
   }
-  accept_thread_.join();
-  // Queued-but-unserved connections run their task post-Close and exit
-  // immediately on the first read; Shutdown drains them all.
+  // Phase 1: stop the intake. No new connections, no new requests read.
+  loop_->Post([this] {
+    stopping_ = true;
+    if (listener_watch_ != 0) {
+      loop_->RemoveWatch(listener_watch_);
+      listener_watch_ = 0;
+    }
+    listener_->CloseListener();
+    for (auto& [id, state] : conns_) state.conn->PauseReads();
+  });
+  // Phase 2: drain the in-flight requests. Every worker posts its
+  // completion to the (still running) loop before Shutdown() returns,
+  // so the responses are queued on their connections strictly before
+  // phase 3's task — Post is FIFO.
   pool_->Shutdown();
+  // Phase 3: flush and close. Connections with queued responses get
+  // drain_timeout_us for their peers to read; stragglers are
+  // force-closed by the wheel deadline. Pending-but-undispatched frames
+  // are dropped, exactly like the old server's unserved reads.
+  loop_->Post([this] {
+    for (auto& [id, state] : conns_) {
+      if (options_.drain_timeout_us == 0) {
+        state.conn->CloseNow();
+      } else {
+        state.conn->StartDrain();
+      }
+    }
+    if (!conns_.empty() && options_.drain_timeout_us > 0) {
+      loop_->AddDeadline(
+          MonotonicMicros() + options_.drain_timeout_us, [this] {
+            for (auto& [id, state] : conns_) state.conn->CloseNow();
+          });
+    }
+    CheckDrained();
+  });
+  {
+    MutexLock lock(mu_);
+    drained_cv_.Wait(mu_, [this]() QBS_REQUIRES(mu_) { return drained_; });
+  }
+  loop_->Stop();
+  loop_thread_.join();
   // The admin endpoint outlives the request path on purpose (a /statusz
   // during drain still answers); it goes down last.
   if (admin_ != nullptr) admin_->Stop();
   QBS_LOG(INFO) << description_ << ": port " << port_ << " stopped";
 }
 
-void FrameServer::AcceptLoop() {
+void FrameServer::CheckDrained() {
+  if (!stopping_ || !conns_.empty()) return;
+  {
+    MutexLock lock(mu_);
+    drained_ = true;
+  }
+  drained_cv_.NotifyAll();
+}
+
+void FrameServer::OnAccept() {
   const ServerMetrics& metrics = ServerMetrics::Get();
+  // Level-triggered: accept until would-block so one wakeup drains an
+  // accept burst.
   while (true) {
-    auto conn = listener_->Accept();
-    if (!conn.ok()) return;  // listener closed (or irrecoverable)
-    metrics.connections_total->Increment();
-    auto stream = std::make_shared<SocketStream>(std::move(*conn));
-    {
-      MutexLock lock(mu_);
-      if (!running_) {
-        stream->Close();
-        return;
+    auto accepted = listener_->AcceptNonBlocking();
+    if (!accepted.ok()) {
+      if (accepted.status().IsWouldBlock()) return;
+      if (accepted.status().IsUnavailable()) return;  // listener closed
+      // Transient accept failure — EMFILE under fd pressure being the
+      // canonical one. The listener stays level-ready, so spinning here
+      // would peg the loop; unwatch it and come back after a beat.
+      metrics.errors->Increment();
+      QBS_LOG(WARNING) << description_
+                       << ": accept: " << accepted.status().ToString();
+      if (listener_watch_ != 0) {
+        loop_->RemoveWatch(listener_watch_);
+        listener_watch_ = 0;
+        loop_->AddDeadline(MonotonicMicros() + 100'000, [this] {
+          if (stopping_) return;
+          auto rewatch = loop_->AddWatch(listener_->fd(), EPOLLIN,
+                                         [this](uint32_t) { OnAccept(); });
+          if (rewatch.ok()) listener_watch_ = *rewatch;
+        });
       }
-      active_.insert(stream.get());
+      return;
     }
-    bool accepted =
-        pool_->Submit([this, stream] { ServeConnection(stream); });
-    if (!accepted) {
-      // Shutdown raced the accept; the connection is dropped.
-      MutexLock lock(mu_);
-      active_.erase(stream.get());
-      stream->Close();
+    UniqueFd fd = std::move(*accepted);
+    Status nonblocking = SetNonBlocking(fd.get(), true);
+    if (!nonblocking.ok()) {
+      metrics.errors->Increment();
+      continue;  // the UniqueFd drops the connection
     }
+    metrics.connections_total->Increment();
+    const uint64_t conn_id = next_conn_id_++;
+    ConnOptions conn_options;
+    conn_options.max_frame_bytes = options_.max_frame_bytes;
+    conn_options.max_write_queue_bytes = options_.max_write_queue_bytes;
+    auto conn = std::make_unique<Conn>(
+        conn_id, std::move(fd), loop_.get(), conn_options,
+        [this, conn_id](std::vector<uint8_t> payload) {
+          OnFrame(conn_id, std::move(payload));
+        },
+        [this, conn_id](Status reason) { OnReadEnd(conn_id, reason); },
+        [this, conn_id] { OnConnClosed(conn_id); });
+    Status registered = conn->Register();
+    if (!registered.ok()) {
+      metrics.errors->Increment();
+      QBS_LOG(WARNING) << description_ << ": watch accepted connection: "
+                       << registered.ToString();
+      continue;
+    }
+    ConnState state;
+    state.conn = std::move(conn);
+    if (options_.idle_timeout_us > 0) {
+      state.idle_timer = loop_->AddDeadline(
+          MonotonicMicros() + options_.idle_timeout_us,
+          [this, conn_id] { OnIdleDeadline(conn_id); });
+    }
+    conns_.emplace(conn_id, std::move(state));
+    open_conns_.fetch_add(1, std::memory_order_relaxed);
+    metrics.open_connections->Add(1);
   }
 }
 
-void FrameServer::ServeConnection(std::shared_ptr<SocketStream> stream) {
-  const ServerMetrics& metrics = ServerMetrics::Get();
-  GaugeGuard active_guard(metrics.active_connections);
-  while (true) {
-    auto payload = ReadFrame(*stream, options_.max_frame_bytes);
-    if (!payload.ok()) {
-      // Peer hung up (the normal end of a connection), shutdown woke us,
-      // or the frame was oversized/garbled. Only the latter is an error.
-      if (payload.status().IsCorruption()) {
-        metrics.errors->Increment();
-        QBS_LOG(WARNING) << description_ << ": dropping connection: "
-                         << payload.status().ToString();
-      }
-      break;
-    }
-    auto request = DecodeRequest(*payload);
-    if (!request.ok()) {
-      // Without a decoded header there is no request id to answer to;
-      // the stream is out of sync, so drop the connection.
-      metrics.errors->Increment();
-      QBS_LOG(WARNING) << description_ << ": undecodable request: "
-                       << request.status().ToString();
-      break;
-    }
-    WireResponse response;
-    {
-      // Adopt the caller's trace (v4 trailer) for the whole handling
-      // scope: the net.serve span below and everything under it —
-      // handler spans, downstream RPCs — join the caller's trace_id and
-      // parent under its net.rpc span.
-      TraceContextScope trace_scope(request->trace, request->request_id);
-      QBS_TRACE_SPAN("net.serve", WireMethodName(request->method),
-                     request->request_id);
-      ScopedTimerUs timer(metrics.request_latency_us);
-      ServerMetrics::Requests(request->method)->Increment();
-      response = Dispatch(*request);
-    }
-    Status sent = WriteFrame(*stream, EncodeResponse(response));
-    if (!sent.ok()) {
-      metrics.errors->Increment();
-      break;
-    }
+void FrameServer::OnFrame(uint64_t conn_id, std::vector<uint8_t> payload) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ConnState& state = it->second;
+  PendingFrame frame;
+  frame.payload = std::move(payload);
+  frame.enqueued_us = MonotonicMicros();
+  state.pending.push_back(std::move(frame));
+  if (state.pending.size() >= options_.max_pipelined_requests) {
+    state.conn->PauseReads();
   }
-  MutexLock lock(mu_);
-  active_.erase(stream.get());
+  DispatchNext(conn_id, state);
+}
+
+void FrameServer::DispatchNext(uint64_t conn_id, ConnState& state) {
+  if (state.busy || state.pending.empty() || stopping_) return;
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  PendingFrame frame = std::move(state.pending.front());
+  state.pending.pop_front();
+  state.busy = true;
+  metrics.active_connections->Add(1);
+  bool accepted =
+      pool_->Submit([this, conn_id, frame = std::move(frame)]() mutable {
+        HandleFrameOnWorker(conn_id, std::move(frame));
+      });
+  if (!accepted) {
+    // Shutdown raced the dispatch; flush what this connection was
+    // already owed and close it.
+    state.busy = false;
+    metrics.active_connections->Add(-1);
+    state.conn->StartDrain();
+  }
+}
+
+void FrameServer::HandleFrameOnWorker(uint64_t conn_id, PendingFrame frame) {
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  auto request = DecodeRequest(frame.payload);
+  if (!request.ok()) {
+    // Without a decoded header there is no request id to answer to;
+    // the stream is out of sync, so drop the connection.
+    metrics.errors->Increment();
+    QBS_LOG(WARNING) << description_ << ": undecodable request: "
+                     << request.status().ToString();
+    loop_->Post([this, conn_id] {
+      OnHandlerDone(conn_id, std::vector<uint8_t>(), true);
+    });
+    return;
+  }
+  WireResponse response;
+  if (options_.queue_timeout_us > 0 &&
+      MonotonicMicros() - frame.enqueued_us > options_.queue_timeout_us) {
+    // The admission deadline passed while this request sat behind its
+    // connection's predecessors; shed it with the retryable contract
+    // instead of serving it stale.
+    metrics.queue_shed->Increment();
+    response.request_id = request->request_id;
+    response.method = request->method;
+    response.protocol_version = request->protocol_version;
+    response.status = Status::Unavailable(
+        description_ + " overloaded: request outwaited the " +
+        std::to_string(options_.queue_timeout_us) +
+        "us admission deadline; retry with backoff");
+  } else {
+    // Adopt the caller's trace (v4 trailer) for the whole handling
+    // scope: the net.serve span below and everything under it —
+    // handler spans, downstream RPCs — join the caller's trace_id and
+    // parent under its net.rpc span.
+    TraceContextScope trace_scope(request->trace, request->request_id);
+    QBS_TRACE_SPAN("net.serve", WireMethodName(request->method),
+                   request->request_id);
+    ScopedTimerUs timer(metrics.request_latency_us);
+    ServerMetrics::Requests(request->method)->Increment();
+    response = Dispatch(*request);
+  }
+  std::vector<uint8_t> out = FrameBytes(EncodeResponse(response));
+  loop_->Post([this, conn_id, out = std::move(out)]() mutable {
+    OnHandlerDone(conn_id, std::move(out), false);
+  });
+}
+
+void FrameServer::OnHandlerDone(uint64_t conn_id,
+                                std::vector<uint8_t> response_frame,
+                                bool drop_connection) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // closed while the handler ran
+  const ServerMetrics& metrics = ServerMetrics::Get();
+  ConnState& state = it->second;
+  state.busy = false;
+  metrics.active_connections->Add(-1);
+  Conn* conn = state.conn.get();
+  if (drop_connection) {
+    conn->CloseNow();
+    return;
+  }
+  conn->SendFrame(std::move(response_frame));
+  if (conn->closed()) return;  // write failed inside SendFrame
+  if (state.pending.size() < options_.max_pipelined_requests / 2) {
+    conn->ResumeReads();
+  }
+  DispatchNext(conn_id, state);
+  if (!state.busy && state.pending.empty() && conn->read_ended()) {
+    // The peer already half-closed; this response was the last word.
+    conn->StartDrain();
+  }
+}
+
+void FrameServer::OnReadEnd(uint64_t conn_id, const Status& reason) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ConnState& state = it->second;
+  if (reason.IsCorruption()) {
+    // Peer hung up (the normal end of a connection) or the transport
+    // failed — only a garbled/oversized frame is an error.
+    ServerMetrics::Get().errors->Increment();
+    QBS_LOG(WARNING) << description_
+                     << ": dropping connection: " << reason.ToString();
+    state.conn->CloseNow();
+    return;
+  }
+  if (!state.busy && state.pending.empty()) {
+    state.conn->StartDrain();
+  }
+  // Otherwise requests are still in flight; the completion path drains
+  // once the last response is queued.
+}
+
+void FrameServer::OnConnClosed(uint64_t conn_id) {
+  open_conns_.fetch_sub(1, std::memory_order_relaxed);
+  ServerMetrics::Get().open_connections->Add(-1);
+  auto it = conns_.find(conn_id);
+  if (it != conns_.end() &&
+      it->second.idle_timer != EventLoop::kInvalidTimer) {
+    loop_->CancelDeadline(it->second.idle_timer);
+    it->second.idle_timer = EventLoop::kInvalidTimer;
+  }
+  // on_closed fires from inside a Conn method; destroy the Conn only
+  // after its stack unwinds.
+  loop_->Post([this, conn_id] {
+    auto entry = conns_.find(conn_id);
+    if (entry == conns_.end()) return;
+    if (entry->second.busy) {
+      // Its worker will finish into a missing conn; settle the gauge
+      // here, once.
+      ServerMetrics::Get().active_connections->Add(-1);
+    }
+    conns_.erase(entry);
+    CheckDrained();
+  });
+}
+
+void FrameServer::OnIdleDeadline(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ConnState& state = it->second;
+  state.idle_timer = EventLoop::kInvalidTimer;
+  const uint64_t now = MonotonicMicros();
+  const uint64_t expires_at =
+      state.conn->last_activity_us() + options_.idle_timeout_us;
+  if (now >= expires_at && !state.busy && state.pending.empty()) {
+    ServerMetrics::Get().idle_closed->Increment();
+    state.conn->CloseNow();
+    return;
+  }
+  // Activity (or an in-flight request) moved the horizon; re-arm for it.
+  state.idle_timer =
+      loop_->AddDeadline(std::max(expires_at, now + EventLoop::kTickUs),
+                         [this, conn_id] { OnIdleDeadline(conn_id); });
 }
 
 WireResponse FrameServer::Dispatch(const WireRequest& request) {

@@ -1,30 +1,47 @@
-// FrameServer: the transport half of a blocking TCP wire-protocol
-// server, shared by every server in the repo (DbServer serving a
-// TextDatabase, BrokerServer serving selection queries).
+// FrameServer: the transport half of every wire-protocol server in the
+// repo (DbServer serving a TextDatabase, BrokerServer serving selection
+// queries) — rebuilt on a non-blocking epoll event loop for C10K-scale
+// connection counts.
 //
-// Model: one dedicated accept thread; each accepted connection is served
-// as a ThreadPool task that loops request->response until the peer hangs
-// up (connection-per-worker — at most `num_workers` connections are
-// served concurrently; further accepted connections wait in the pool
-// queue). Stop() is graceful: stop accepting, wake every blocked
-// connection reader, drain the pool.
+// Model: one EventLoop thread owns the listener and every connection's
+// state machine (net/conn.h): accepts, incremental frame reassembly,
+// bounded write queues with backpressure, idle deadlines on a timer
+// wheel. Request *execution* never runs on the loop — each complete
+// frame is dispatched to a ThreadPool worker (decode, version gate,
+// Handle(), encode) and the response is posted back to the loop for
+// writing. Connections are therefore cheap (a few KB of buffered state,
+// no thread), while handler concurrency stays bounded by num_workers
+// exactly as before; requests on one connection are handled strictly in
+// order, so the wire behavior is byte-identical to the old
+// thread-per-connection server.
+//
+// Overload behavior: a peer that stops reading its responses is paused
+// (its reads stop at the write-queue watermark) instead of ballooning
+// memory; a peer that floods pipelined requests is paused at the
+// pipeline bound; and with queue_timeout_us set, a request that waited
+// longer than its admission deadline in the worker queue is answered
+// with a retryable Unavailable instead of being served stale.
 //
 // The base class owns sockets, framing, decode, the protocol-version
-// gate, and the qbs_net_server_* metrics; subclasses implement Handle()
-// for the application half. Handle() may run on several pool workers at
+// gate, and the qbs_net_* metrics; subclasses implement Handle() for
+// the application half. Handle() may run on several pool workers at
 // once, so subclass state it touches must be thread-safe.
 #ifndef QBS_NET_FRAME_SERVER_H_
 #define QBS_NET_FRAME_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "net/conn.h"
+#include "net/event_loop.h"
 #include "net/socket.h"
 #include "net/wire.h"
 #include "obs/admin_server.h"
@@ -41,7 +58,9 @@ struct FrameServerOptions {
   std::string host = "127.0.0.1";
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   uint16_t port = 0;
-  /// Worker threads == maximum concurrently served connections.
+  /// Handler worker threads == maximum concurrently *executing*
+  /// requests. Connections are no longer bounded by this: the event
+  /// loop holds any number of them open.
   size_t num_workers = 4;
   /// Inbound frames larger than this are rejected and the connection
   /// dropped.
@@ -60,11 +79,33 @@ struct FrameServerOptions {
   /// Bind address of the admin endpoint (loopback-only by default; the
   /// surface has no auth).
   std::string admin_host = "127.0.0.1";
+  /// Per-connection write-queue high watermark: a connection whose
+  /// unread responses exceed this stops being read (backpressure) until
+  /// the peer drains below half of it.
+  size_t max_write_queue_bytes = 4u << 20;
+  /// Complete frames a single connection may have queued for the
+  /// worker pool before its reads pause; resumes below half. Bounds the
+  /// memory a pipelining flooder can pin per connection.
+  size_t max_pipelined_requests = 64;
+  /// Drop a connection after this long with no bytes in either
+  /// direction and no request in flight (timer-wheel enforced, one-tick
+  /// granularity). 0 (default) keeps idle connections forever — the
+  /// pre-epoll behavior.
+  uint64_t idle_timeout_us = 0;
+  /// Admission deadline: a request that sat longer than this in the
+  /// worker queue is answered with a retryable Unavailable instead of
+  /// being served stale (same shedding contract as the broker's
+  /// AdmissionController, one layer down). 0 (default) disables.
+  uint64_t queue_timeout_us = 0;
+  /// Graceful-shutdown flush budget: Stop() lets queued responses drain
+  /// for up to this long before force-closing connections whose peers
+  /// are not reading. 0 closes without flushing.
+  uint64_t drain_timeout_us = 2'000'000;
 };
 
-/// A blocking TCP server speaking the qbs framed wire protocol.
-/// Thread-safe. Subclasses MUST call Stop() in their destructor: the
-/// base destructor also stops, but by then the subclass's Handle()
+/// A TCP server speaking the qbs framed wire protocol on an epoll event
+/// loop. Thread-safe. Subclasses MUST call Stop() in their destructor:
+/// the base destructor also stops, but by then the subclass's Handle()
 /// state is already gone.
 class FrameServer {
  public:
@@ -75,19 +116,20 @@ class FrameServer {
   FrameServer(const FrameServer&) = delete;
   FrameServer& operator=(const FrameServer&) = delete;
 
-  /// Binds, listens, and starts accepting. Fails if the port is taken or
+  /// Binds, listens, and starts the loop. Fails if the port is taken or
   /// the server was already started.
   Status Start() QBS_EXCLUDES(mu_);
 
-  /// Graceful shutdown: stops accepting, unblocks every in-flight
-  /// connection reader, and drains the worker pool. In-flight requests
-  /// finish; idle connections are dropped. Idempotent.
+  /// Graceful shutdown: stops accepting and reading, drains every
+  /// request already on the worker pool, flushes their responses (up to
+  /// drain_timeout_us for peers that are not reading), then closes all
+  /// connections and joins the loop. Idempotent.
   ///
-  /// Lock-release order matters here and is machine-checked: the
-  /// accept-thread join and pool drain are blocking waits on threads
-  /// that themselves take mu_, so Stop() must release mu_ before either
-  /// (holding it would deadlock) — hence QBS_EXCLUDES plus the
-  /// analyzer's no-blocking-call-under-lock invariant.
+  /// Lock-release order matters and is machine-checked: the pool drain
+  /// and loop-thread join are blocking waits on threads that themselves
+  /// post to this object, so Stop() must not hold mu_ across either —
+  /// hence QBS_EXCLUDES plus the analyzer's no-blocking-call-under-lock
+  /// invariant.
   void Stop() QBS_EXCLUDES(mu_);
 
   /// The bound port (valid after Start() succeeded).
@@ -99,8 +141,10 @@ class FrameServer {
   /// host:port of this server (valid after Start()).
   std::string address() const;
 
-  /// Connections currently tracked (being served or queued).
-  size_t active_connections() const QBS_EXCLUDES(mu_);
+  /// Connections currently open on the loop.
+  size_t active_connections() const {
+    return open_conns_.load(std::memory_order_relaxed);
+  }
 
   /// The embedded admin server, or null when options.admin_port < 0 or
   /// before Start(). Its port() gives the bound admin port.
@@ -115,7 +159,7 @@ class FrameServer {
 
   /// Answers one request. The version gate has already passed: the
   /// request's version is within [MinVersionForMethod, spoken_version()].
-  /// Called concurrently from pool workers.
+  /// Called concurrently from pool workers — never from the loop.
   virtual WireResponse Handle(const WireRequest& request) = 0;
 
   /// The highest protocol version this server speaks —
@@ -125,9 +169,42 @@ class FrameServer {
   uint32_t spoken_version() const { return spoken_version_; }
 
  private:
-  void AcceptLoop() QBS_EXCLUDES(mu_);
-  void ServeConnection(std::shared_ptr<SocketStream> stream)
-      QBS_EXCLUDES(mu_);
+  /// A frame awaiting its turn on the worker pool, with its arrival
+  /// time for the admission deadline.
+  struct PendingFrame {
+    std::vector<uint8_t> payload;
+    uint64_t enqueued_us = 0;
+  };
+
+  /// Loop-affine per-connection bookkeeping around the Conn state
+  /// machine: the in-order dispatch queue and the idle deadline.
+  struct ConnState {
+    std::unique_ptr<Conn> conn;
+    std::deque<PendingFrame> pending;
+    /// True while a frame from this connection is on the worker pool;
+    /// at most one, preserving per-connection request order.
+    bool busy = false;
+    EventLoop::TimerId idle_timer = EventLoop::kInvalidTimer;
+  };
+
+  // All On*/Dispatch* methods below are loop-affine: they run only on
+  // the EventLoop thread, which is why conns_ and the ConnState graph
+  // carry no lock (see net/conn.h for the thread model). The worker
+  // pool re-enters the loop exclusively through EventLoop::Post.
+  void OnAccept();
+  void OnFrame(uint64_t conn_id, std::vector<uint8_t> payload);
+  void OnReadEnd(uint64_t conn_id, const Status& reason);
+  void OnConnClosed(uint64_t conn_id);
+  void OnIdleDeadline(uint64_t conn_id);
+  void DispatchNext(uint64_t conn_id, ConnState& state);
+  void OnHandlerDone(uint64_t conn_id, std::vector<uint8_t> response_frame,
+                     bool drop_connection);
+  /// Signals Stop() once draining has emptied conns_.
+  void CheckDrained() QBS_EXCLUDES(mu_);
+
+  /// Runs on a pool worker: decode, version gate, Handle, encode;
+  /// posts the framed response (or a drop verdict) back to the loop.
+  void HandleFrameOnWorker(uint64_t conn_id, PendingFrame frame);
   /// The version gate, then Handle().
   WireResponse Dispatch(const WireRequest& request);
 
@@ -136,24 +213,36 @@ class FrameServer {
   uint32_t spoken_version_;
   uint16_t port_ = 0;
 
-  // listener_, pool_, accept_thread_, admin_ are written once in Start()
-  // (under mu_) and then used lock-free by the accept/serve threads;
-  // the std::thread constructor's happens-before edge publishes them.
-  // They are deliberately NOT guarded: AcceptLoop blocks in
-  // listener_->Accept() for its whole lifetime, and Stop() joining the
-  // pool must run unlocked (see Stop()).
+  // listener_, pool_, loop_thread_, admin_ are written once in Start()
+  // (under mu_) and then used lock-free; the std::thread constructor's
+  // happens-before edge publishes them to the loop thread, and Stop()
+  // joins before teardown.
   std::unique_ptr<TcpListener> listener_;
   std::unique_ptr<ThreadPool> pool_;
-  std::thread accept_thread_;
+  // Heap-held and replaced on every Start() so a stopped server can be
+  // started again with a pristine loop (epoll fd, wheel, token space).
+  std::unique_ptr<EventLoop> loop_;
+  std::thread loop_thread_;
   std::unique_ptr<AdminServer> admin_;
+
+  // --- loop-affine state ---------------------------------------------
+  uint64_t listener_watch_ = 0;
+  uint64_t next_conn_id_ = 1;
+  std::unordered_map<uint64_t, ConnState> conns_;
+  /// Set by Stop()'s first posted phase; no new work is dispatched.
+  bool stopping_ = false;
+
+  std::atomic<size_t> open_conns_{0};
 
   mutable Mutex mu_;
   // Status providers registered before Start(), handed to admin_ then.
   std::vector<std::pair<std::string, std::function<std::string()>>>
       status_providers_ QBS_GUARDED_BY(mu_);
   bool running_ QBS_GUARDED_BY(mu_) = false;
-  // Streams of live connections, so Stop() can wake their readers.
-  std::unordered_set<SocketStream*> active_ QBS_GUARDED_BY(mu_);
+  /// Stop() handshake: the loop sets this once every connection is
+  /// closed during shutdown.
+  bool drained_ QBS_GUARDED_BY(mu_) = false;
+  CondVar drained_cv_;
 };
 
 }  // namespace qbs

@@ -42,6 +42,41 @@ Status SocketError(const char* what, int err) {
 
 }  // namespace
 
+Status SetNonBlocking(int fd, bool enable) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return SocketError("fcntl(F_GETFL)", errno);
+  int desired = enable ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (desired != flags && ::fcntl(fd, F_SETFL, desired) < 0) {
+    return SocketError("fcntl(F_SETFL)", errno);
+  }
+  return Status::OK();
+}
+
+Result<size_t> NonBlockingRead(int fd, uint8_t* data, size_t n) {
+  while (true) {
+    ssize_t r = ::recv(fd, data, n, 0);
+    if (r > 0) return static_cast<size_t>(r);
+    if (r == 0) return Status::Unavailable("connection closed by peer");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::WouldBlock("recv would block");
+    }
+    return SocketError("recv", errno);
+  }
+}
+
+Result<size_t> NonBlockingWrite(int fd, const uint8_t* data, size_t n) {
+  while (true) {
+    ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w >= 0) return static_cast<size_t>(w);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::WouldBlock("send would block");
+    }
+    return SocketError("send", errno);
+  }
+}
+
 SocketStream::SocketStream(UniqueFd fd) : fd_(std::move(fd)) {}
 
 SocketStream::~SocketStream() = default;
@@ -245,6 +280,29 @@ Result<UniqueFd> TcpListener::Accept() {
     return UniqueFd(conn);
   }
   return Status::Unavailable("listener closed");
+}
+
+Result<UniqueFd> TcpListener::AcceptNonBlocking() {
+  while (true) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("listener closed");
+    }
+    int conn = ::accept(fd_.get(), nullptr, nullptr);
+    if (conn < 0) {
+      // A connection that died between the kernel queue and our accept
+      // (ECONNABORTED) is not "nothing pending" — try the next one.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::WouldBlock("no connection pending");
+      }
+      // EINVAL: the listener was shut down under us (CloseListener).
+      if (errno == EINVAL) return Status::Unavailable("listener closed");
+      return SocketError("accept", errno);
+    }
+    int one = 1;
+    ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return UniqueFd(conn);
+  }
 }
 
 void TcpListener::CloseListener() {

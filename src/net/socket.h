@@ -1,11 +1,18 @@
-// Blocking TCP primitives behind the ByteStream seam: a deadline-aware
-// socket stream, a dialer, and a listener.
+// TCP primitives behind the ByteStream seam: a deadline-aware blocking
+// socket stream, a dialer, a listener, and the non-blocking read/write/
+// accept calls the epoll event loop (net/event_loop.h) is built on.
 //
-// All waiting is poll()-based so per-call deadlines work without
+// Blocking waiting is poll()-based so per-call deadlines work without
 // touching socket-level timeout options, and writes use MSG_NOSIGNAL so
 // a vanished peer surfaces as a Status instead of SIGPIPE.
+//
+// The non-blocking calls never wait: an fd that is not ready surfaces
+// as a typed Status::WouldBlock, which the caller answers by parking
+// the fd in a poller — retrying it in a loop would busy-spin.
 #ifndef QBS_NET_SOCKET_H_
 #define QBS_NET_SOCKET_H_
+
+#include <sys/socket.h>
 
 #include <atomic>
 #include <cstdint>
@@ -17,6 +24,23 @@
 #include "util/status.h"
 
 namespace qbs {
+
+/// Sets or clears O_NONBLOCK on `fd`.
+Status SetNonBlocking(int fd, bool enable);
+
+/// Reads up to `n` bytes from a non-blocking `fd`. Returns the count
+/// read (>= 1); EINTR is retried internally. Typed errors:
+///   WouldBlock    nothing buffered (EAGAIN) — park the fd in a poller
+///   Unavailable   peer closed (EOF) or reset the connection
+///   IOError       any other socket failure
+Result<size_t> NonBlockingRead(int fd, uint8_t* data, size_t n);
+
+/// Writes up to `n` bytes to a non-blocking `fd` (MSG_NOSIGNAL).
+/// Returns the count accepted by the kernel, which may be short — the
+/// caller keeps the tail queued and re-arms POLLOUT. WouldBlock means
+/// zero bytes fit; a short count is success, not an error. EINTR is
+/// retried internally; peer-gone maps to Unavailable as above.
+Result<size_t> NonBlockingWrite(int fd, const uint8_t* data, size_t n);
 
 /// A connected TCP socket as a ByteStream. Reads and writes honor the
 /// deadline set with SetDeadlineMicros. Close() is safe to call from
@@ -55,10 +79,15 @@ class SocketStream : public ByteStream {
 class TcpListener {
  public:
   /// Binds and listens on host:port. Port 0 binds an ephemeral port;
-  /// port() reports the actual one.
+  /// port() reports the actual one. The default backlog asks for the
+  /// system maximum (the kernel clamps it to net.core.somaxconn): the
+  /// kernel completes handshakes before accept() ever runs, so a deep
+  /// queue is what absorbs dial bursts that momentarily outrun the
+  /// accept loop — a shallow one silently drops SYNs and costs each
+  /// affected client a full retransmission timeout.
   static Result<std::unique_ptr<TcpListener>> Listen(const std::string& host,
                                                      uint16_t port,
-                                                     int backlog = 64);
+                                                     int backlog = SOMAXCONN);
 
   /// The bound port.
   uint16_t port() const { return port_; }
@@ -66,6 +95,19 @@ class TcpListener {
   /// Accepts one connection. Returns Unavailable once the listener is
   /// closed.
   Result<UniqueFd> Accept();
+
+  /// Accepts one already-pending connection without waiting; the
+  /// polled flavor the epoll accept path uses. Typed errors:
+  ///   WouldBlock    no connection pending — wait for POLLIN and retry
+  ///   Unavailable   the listener was closed
+  /// Transient per-connection accept failures (ECONNABORTED, EINTR)
+  /// are retried internally; the returned fd is TCP_NODELAY but NOT
+  /// non-blocking — callers flip it with SetNonBlocking as needed.
+  Result<UniqueFd> AcceptNonBlocking();
+
+  /// The listening descriptor, for poller registration. Ownership is
+  /// retained; the fd stays valid until CloseListener/destruction.
+  int fd() const { return fd_.get(); }
 
   /// Stops accepting; a blocked Accept() returns Unavailable.
   void CloseListener();

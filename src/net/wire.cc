@@ -34,6 +34,11 @@ uint32_t StatusCodeToWire(StatusCode code) {
       return 9;
     case StatusCode::kDeadlineExceeded:
       return 10;
+    case StatusCode::kWouldBlock:
+      // A local readiness signal (EAGAIN) that must never describe an
+      // RPC outcome; if one leaks into a response it degrades to
+      // Internal so the peer sees a diagnosable server bug.
+      return 8;
   }
   return 8;  // kInternal
 }

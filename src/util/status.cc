@@ -26,6 +26,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Unavailable";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kWouldBlock:
+      return "WouldBlock";
   }
   return "Unknown";
 }

@@ -23,6 +23,12 @@ enum class StatusCode {
   kInternal,
   kUnavailable,
   kDeadlineExceeded,
+  /// A non-blocking operation found the fd not ready (EAGAIN). A local
+  /// readiness signal for event-loop code, not an error: the caller
+  /// parks the fd in the poller and retries on the next readiness
+  /// event. Never sent across the wire and deliberately NOT transient —
+  /// blind retry loops on it would busy-spin.
+  kWouldBlock,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -79,6 +85,9 @@ class [[nodiscard]] Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status WouldBlock(std::string msg) {
+    return Status(StatusCode::kWouldBlock, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -101,6 +110,7 @@ class [[nodiscard]] Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsWouldBlock() const { return code_ == StatusCode::kWouldBlock; }
 
   /// True for failures that a retry may plausibly cure: the peer was
   /// unreachable (Unavailable), the call ran out of time

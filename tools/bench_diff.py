@@ -7,7 +7,11 @@ default 0.10). Direction-aware:
 
   ns_per_op            lower is better  -> regression when it RISES
   rpcs_per_doc         lower is better  -> regression when it RISES
+  p99_select_us        lower is better  -> regression when it RISES
+  p99_rpc_us           lower is better  -> regression when it RISES
   selects_per_sec      higher is better -> regression when it FALLS
+  selects_per_sec_1k_conns   higher is better -> regression when it FALLS
+  selects_per_sec_10k_conns  higher is better -> regression when it FALLS
   models_per_sec       higher is better -> regression when it FALLS
   items_per_second     higher is better -> regression when it FALLS
   bytes_per_second     higher is better -> regression when it FALLS
@@ -33,7 +37,11 @@ import sys
 HIGHER_IS_BETTER = {
     "ns_per_op": False,
     "rpcs_per_doc": False,
+    "p99_select_us": False,
+    "p99_rpc_us": False,
     "selects_per_sec": True,
+    "selects_per_sec_1k_conns": True,
+    "selects_per_sec_10k_conns": True,
     "models_per_sec": True,
     "items_per_second": True,
     "bytes_per_second": True,
@@ -42,8 +50,12 @@ HIGHER_IS_BETTER = {
 # Report order: the paper-level metrics first, raw latency last.
 METRIC_ORDER = [
     "selects_per_sec",
+    "selects_per_sec_1k_conns",
+    "selects_per_sec_10k_conns",
     "models_per_sec",
     "rpcs_per_doc",
+    "p99_select_us",
+    "p99_rpc_us",
     "items_per_second",
     "bytes_per_second",
     "ns_per_op",
@@ -163,7 +175,26 @@ def self_test():
         {"A": {"name": "A", "ns_per_op": 5.0}}, 0.10)
     assert not regressions
 
-    print("bench_diff: self-test ok (4 scenarios)")
+    # Connection-scale series: p99 latency regresses upward, the
+    # at-scale throughput series regress downward.
+    regressions, improvements, _ = compare(
+        {"Scale": {"name": "Scale", "p99_select_us": 100.0,
+                   "p99_rpc_us": 50.0,
+                   "selects_per_sec_1k_conns": 1000.0,
+                   "selects_per_sec_10k_conns": 800.0}},
+        {"Scale": {"name": "Scale", "p99_select_us": 150.0,
+                   "p99_rpc_us": 40.0,
+                   "selects_per_sec_1k_conns": 700.0,
+                   "selects_per_sec_10k_conns": 900.0}}, 0.10)
+    got = {(e["name"], e["metric"]) for e in regressions}
+    want = {("Scale", "p99_select_us"), ("Scale", "selects_per_sec_1k_conns")}
+    assert got == want, f"regressions {got} != {want}"
+    got_imp = {(e["name"], e["metric"]) for e in improvements}
+    want_imp = {("Scale", "p99_rpc_us"),
+                ("Scale", "selects_per_sec_10k_conns")}
+    assert got_imp == want_imp, f"improvements {got_imp} != {want_imp}"
+
+    print("bench_diff: self-test ok (5 scenarios)")
     return 0
 
 
