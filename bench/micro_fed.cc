@@ -1,0 +1,178 @@
+// Microbenchmarks for the federation layer: the two-phase scatter-gather
+// Select at 1 / 4 / 16 shards over loopback TCP, and snapshot
+// replication throughput via the chunked v5 fetch. The shard sweep
+// re-partitions the SAME 16 databases, so the axis isolates fan-out
+// cost (more RPCs, same ranking work) rather than collection growth.
+// selects_per_sec, fanout_rpcs_per_select, and bytes_per_second are the
+// counters bench.sh extracts into BENCH_<sha>.json.
+//
+// JSON output for dashboards: --benchmark_format=json
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "broker/broker_server.h"
+#include "broker/model_registry.h"
+#include "broker/selection_broker.h"
+#include "broker/snapshot_provider.h"
+#include "corpus/synthetic.h"
+#include "fed/federated_selector.h"
+#include "fed/snapshot_client.h"
+#include "lm/language_model.h"
+#include "net/wire_client.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace qbs {
+namespace {
+
+constexpr size_t kDatabases = 16;
+
+/// The 16 database models every fleet re-partitions, built once.
+const std::vector<std::pair<std::string, LanguageModel>>& SharedModels() {
+  static const auto* models = [] {
+    auto* m = new std::vector<std::pair<std::string, LanguageModel>>();
+    for (size_t i = 0; i < kDatabases; ++i) {
+      SyntheticCorpusSpec spec;
+      spec.name = "bench-fed-" + std::to_string(i);
+      spec.num_docs = 300;
+      spec.vocab_size = 10'000;
+      spec.num_topics = 3;
+      spec.seed = 131 + 5 * i;
+      auto engine = BuildSyntheticEngine(spec);
+      QBS_CHECK(engine.ok());
+      m->emplace_back(spec.name, (*engine)->ActualLanguageModel());
+    }
+    return m;
+  }();
+  return *models;
+}
+
+const std::vector<std::string>& Queries() {
+  static const auto* queries = [] {
+    auto* q = new std::vector<std::string>();
+    auto ranked = SharedModels()[0].second.RankedTerms(TermMetric::kDf);
+    for (size_t t = 0; t < 16 && t < ranked.size(); ++t) {
+      q->push_back(ranked[t].first);
+    }
+    return q;
+  }();
+  return *queries;
+}
+
+struct ShardNode {
+  ModelRegistry registry;
+  std::unique_ptr<SelectionBroker> broker;
+  std::unique_ptr<SnapshotProvider> provider;
+  std::unique_ptr<BrokerServer> server;
+};
+
+struct Fleet {
+  std::vector<std::unique_ptr<ShardNode>> nodes;
+  std::unique_ptr<FederatedSelector> fed;
+};
+
+/// A running fleet of `num_shards` shard brokers holding the shared 16
+/// databases round-robin, cached per shard count: google-benchmark
+/// re-enters the function to hit min time, and respawning servers each
+/// pass would swamp the measurement.
+const Fleet* GetFleet(size_t num_shards) {
+  static auto* fleets =
+      new std::vector<std::pair<size_t, std::unique_ptr<Fleet>>>;
+  for (auto& [n, fleet] : *fleets) {
+    if (n == num_shards) return fleet.get();
+  }
+  auto fleet = std::make_unique<Fleet>();
+  std::vector<std::string> addresses;
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto node = std::make_unique<ShardNode>();
+    DatabaseCollection collection;
+    for (size_t i = s; i < SharedModels().size(); i += num_shards) {
+      collection.Add(SharedModels()[i].first, SharedModels()[i].second);
+    }
+    node->registry.Publish(collection);
+    node->broker = std::make_unique<SelectionBroker>(&node->registry);
+    node->provider = std::make_unique<SnapshotProvider>(&node->registry);
+    BrokerServerOptions options;
+    options.snapshot_source = [provider = node->provider.get()] {
+      return provider->Get();
+    };
+    node->server =
+        std::make_unique<BrokerServer>(node->broker.get(), options);
+    QBS_CHECK(node->server->Start().ok());
+    addresses.push_back("127.0.0.1:" + std::to_string(node->server->port()));
+    fleet->nodes.push_back(std::move(node));
+  }
+  FederatedSelectorOptions options;
+  options.shards = std::move(addresses);
+  fleet->fed = std::make_unique<FederatedSelector>(options);
+  fleets->emplace_back(num_shards, std::move(fleet));
+  return fleets->back().second.get();
+}
+
+// The federated serving rate: both fan-out phases, the stats merge, and
+// the rank merge, end to end over loopback. fanout_rpcs_per_select
+// (read off the qbs_fed_fanout_rpcs_total delta) pins the RPC amplification
+// — 2 per live shard; a drift upward means retries or a third phase
+// crept in.
+void BM_FederatedSelect(benchmark::State& state) {
+  const Fleet* fleet = GetFleet(static_cast<size_t>(state.range(0)));
+  Counter* fanout =
+      MetricRegistry::Default().GetCounter("qbs_fed_fanout_rpcs_total");
+  const uint64_t fanout_before = fanout->value();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto result =
+        fleet->fed->Select(Queries()[i++ % Queries().size()], "cori");
+    benchmark::DoNotOptimize(result);
+    QBS_CHECK(result.ok());
+    QBS_CHECK(!result->partial);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["selects_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  if (state.iterations() > 0) {
+    state.counters["fanout_rpcs_per_select"] =
+        static_cast<double>(fanout->value() - fanout_before) /
+        static_cast<double>(state.iterations());
+  }
+}
+BENCHMARK(BM_FederatedSelect)->Arg(1)->Arg(4)->Arg(16);
+
+// Replica bootstrap throughput: the chunked epoch-pinned fetch of a
+// shard's packed model-store image into a local file (atomic write
+// included — that is what a real replica pays). bytes_per_second is the
+// headline; the image is re-fetched whole each iteration.
+void BM_SnapshotFetch(benchmark::State& state) {
+  const Fleet* fleet = GetFleet(1);
+  WireClientOptions copts;
+  copts.host = "127.0.0.1";
+  copts.port = fleet->nodes[0]->server->port();
+  WireClient client(copts);
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string path = std::string(tmpdir != nullptr ? tmpdir : "/tmp") +
+                           "/micro_fed_snapshot_" +
+                           std::to_string(::getpid()) + ".mstore";
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto fetched = FetchSnapshotToFile(client, path);
+    benchmark::DoNotOptimize(fetched);
+    QBS_CHECK(fetched.ok());
+    bytes += static_cast<int64_t>(fetched->bytes);
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_SnapshotFetch);
+
+}  // namespace
+}  // namespace qbs
+
+BENCHMARK_MAIN();

@@ -35,7 +35,7 @@ OUT="BENCH_${SHA}.json"
 SUITES=("$@")
 if [ ${#SUITES[@]} -eq 0 ]; then
   SUITES=(micro_text micro_index micro_search micro_sampling micro_obs micro_net
-          micro_broker micro_mstore)
+          micro_broker micro_mstore micro_fed)
 fi
 
 if [ ! -d "$BUILD_DIR" ]; then
@@ -80,7 +80,8 @@ for path in sorted(glob.glob(os.path.join(os.environ["RAW_DIR"], "*.json"))):
         for key in ("rpcs_per_doc", "selects_per_sec",
                     "selects_per_sec_1k_conns", "selects_per_sec_10k_conns",
                     "p99_select_us", "p99_rpc_us", "models_per_sec",
-                    "image_bytes", "items_per_second", "bytes_per_second"):
+                    "image_bytes", "items_per_second", "bytes_per_second",
+                    "fanout_rpcs_per_select"):
             if key in bench:
                 entry[key] = bench[key]
         merged["benchmarks"].append(entry)

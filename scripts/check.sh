@@ -22,6 +22,7 @@
 #   QBS_CHECK_JOBS=8 scripts/check.sh
 #   QBS_CHECK_LABEL=net scripts/check.sh werror   # only ctest -L net
 #   QBS_CHECK_LABEL=obs scripts/check.sh werror   # tracing + admin suites
+#   QBS_CHECK_LABEL=fed scripts/check.sh werror   # federation suites
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,10 +31,12 @@ detect_jobs() {
   nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2
 }
 JOBS="${QBS_CHECK_JOBS:-$(detect_jobs)}"
-# Optional ctest label filter (unit | stress | net | obs | storage).
-# Empty runs all. `storage` selects the on-disk-format suites: engine
-# storage, raw-fd file_io, and the mmapped model store (whose corrupt
-# -image tests are most meaningful under the asan-ubsan config).
+# Optional ctest label filter (unit | stress | net | obs | storage |
+# fed | load). Empty runs all. `storage` selects the on-disk-format
+# suites: engine storage, raw-fd file_io, and the mmapped model store
+# (whose corrupt-image tests are most meaningful under the asan-ubsan
+# config); `fed` the sharded-federation suites (scatter-gather,
+# snapshot replication).
 LABEL="${QBS_CHECK_LABEL:-}"
 CTEST_ARGS=()
 if [ -n "$LABEL" ]; then

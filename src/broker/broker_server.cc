@@ -91,6 +91,9 @@ BrokerServer::BrokerServer(const SelectionBroker* broker,
       broker_(broker),
       name_(options.name),
       select_hook_(std::move(options.select_hook)),
+      snapshot_source_(std::move(options.snapshot_source)),
+      max_snapshot_chunk_bytes_(std::max<uint64_t>(
+          uint64_t{1}, options.max_snapshot_chunk_bytes)),
       admission_(options.admission) {
   AddStatusProvider("broker_epoch", [this] {
     return std::to_string(broker_->BrokerStatus().epoch);
@@ -129,19 +132,93 @@ WireResponse BrokerServer::Handle(const WireRequest& request) {
       {
         GaugeGuard inflight_guard(ServerMetrics::Get().inflight);
         if (select_hook_) select_hook_();
-        auto selection =
-            broker_->Select(request.query, request.ranker,
-                            static_cast<size_t>(request.max_results));
-        if (selection.ok()) {
-          response.epoch = selection->epoch;
-          response.scores = std::move(selection->scores);
+        if (request.stats_only) {
+          // Scatter-gather phase 1: no ranking, just this shard's
+          // collection-global statistics pinned to its current epoch.
+          auto stats = broker_->CollectStats(request.query);
+          if (stats.ok()) {
+            response.epoch = stats->epoch;
+            response.has_stats = true;
+            response.stats = std::move(stats->stats);
+          } else {
+            response.status = stats.status();
+          }
+        } else if (request.has_stats) {
+          // Scatter-gather phase 2: rank with the federation-wide stats
+          // the caller aggregated, refusing if the snapshot moved.
+          auto selection = broker_->SelectWith(
+              request.query, request.ranker,
+              static_cast<size_t>(request.max_results), request.pinned_epoch,
+              request.stats);
+          if (selection.ok()) {
+            response.epoch = selection->epoch;
+            response.scores = std::move(selection->scores);
+          } else {
+            response.status = selection.status();
+          }
         } else {
-          response.status = selection.status();
+          auto selection =
+              broker_->Select(request.query, request.ranker,
+                              static_cast<size_t>(request.max_results));
+          if (selection.ok()) {
+            response.epoch = selection->epoch;
+            response.scores = std::move(selection->scores);
+          } else {
+            response.status = selection.status();
+          }
         }
       }
       admission_.Release();
       break;
     }
+    case WireMethod::kSnapshotFetch: {
+      if (!snapshot_source_) {
+        response.status = Status::Unimplemented(
+            "snapshot_fetch: snapshot serving not enabled on this broker");
+        break;
+      }
+      Result<SnapshotImage> image = snapshot_source_();
+      if (!image.ok()) {
+        response.status = image.status();
+        break;
+      }
+      const std::string& bytes = *image->bytes;
+      // A non-zero requested epoch pins the stream: the image must still
+      // be the one the client started fetching, else it restarts rather
+      // than splicing two epochs into one file.
+      if (request.snapshot_epoch != 0 &&
+          request.snapshot_epoch != image->epoch) {
+        response.status = Status::FailedPrecondition(
+            "snapshot epoch changed: fetch started at epoch " +
+            std::to_string(request.snapshot_epoch) + ", now serving epoch " +
+            std::to_string(image->epoch) + "; restart the fetch");
+        break;
+      }
+      if (request.snapshot_offset > bytes.size()) {
+        response.status = Status::OutOfRange(
+            "snapshot offset " + std::to_string(request.snapshot_offset) +
+            " past image end " + std::to_string(bytes.size()));
+        break;
+      }
+      uint64_t chunk = request.snapshot_chunk_bytes == 0
+                           ? max_snapshot_chunk_bytes_
+                           : std::min(request.snapshot_chunk_bytes,
+                                      max_snapshot_chunk_bytes_);
+      chunk = std::min<uint64_t>(chunk,
+                                 bytes.size() - request.snapshot_offset);
+      response.snapshot_epoch = image->epoch;
+      response.snapshot_total_bytes = bytes.size();
+      response.snapshot_offset = request.snapshot_offset;
+      response.snapshot_data = bytes.substr(
+          static_cast<size_t>(request.snapshot_offset),
+          static_cast<size_t>(chunk));
+      break;
+    }
+    case WireMethod::kShardInfo:
+      response.status = Status::Unimplemented(
+          "shard_info: this server is a single broker, not a federation "
+          "front-end");
+      break;
     case WireMethod::kBrokerStatus:
       response.broker = broker_->BrokerStatus();
       response.broker.shed_total = admission_.shed();

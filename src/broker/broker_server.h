@@ -18,6 +18,7 @@
 #include <string>
 
 #include "broker/selection_broker.h"
+#include "broker/snapshot_provider.h"
 #include "net/frame_server.h"
 #include "net/wire.h"
 #include "util/mutex.h"
@@ -106,6 +107,13 @@ struct BrokerServerOptions {
   /// admission slot is held — lets tests pin requests in-flight and
   /// observe shedding deterministically.
   std::function<void()> select_hook;
+  /// When set, the v5 snapshot_fetch RPC serves the image this returns
+  /// (typically SnapshotProvider::Get on the broker's registry). Unset
+  /// (default) answers snapshot_fetch with Unimplemented.
+  std::function<Result<SnapshotImage>()> snapshot_source;
+  /// Largest snapshot_fetch chunk the server will return in one
+  /// response; client requests are clamped to this.
+  uint64_t max_snapshot_chunk_bytes = 4u << 20;
 };
 
 /// An event-loop TCP server for one SelectionBroker. Thread-safe. The
@@ -128,6 +136,8 @@ class BrokerServer : public FrameServer {
   const SelectionBroker* broker_;
   std::string name_;
   std::function<void()> select_hook_;
+  std::function<Result<SnapshotImage>()> snapshot_source_;
+  uint64_t max_snapshot_chunk_bytes_;
   AdmissionController admission_;
 };
 

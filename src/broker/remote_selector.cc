@@ -36,7 +36,13 @@ Result<SelectionResult> RemoteSelector::Select(const std::string& query,
   QBS_RETURN_IF_ERROR(RequireBrokerProtocol());
   WireRequest request;
   request.method = WireMethod::kSelect;
+  // Minimum-needed for a plain select, bumped to v5 against a peer that
+  // speaks it so federation front-ends can attach their partial-result
+  // and per-shard-epoch fields to the reply.
   request.protocol_version = MinVersionForMethod(request.method);
+  if (client_.negotiated_version() >= kFederationMinVersion) {
+    request.protocol_version = kFederationMinVersion;
+  }
   request.query = query;
   request.ranker = ranker_name;
   request.max_results = top_k;
@@ -45,6 +51,10 @@ Result<SelectionResult> RemoteSelector::Select(const std::string& query,
   SelectionResult result;
   result.epoch = response->epoch;
   result.scores = std::move(response->scores);
+  result.partial = response->partial;
+  result.down_shards = std::move(response->down_shards);
+  result.shard_epochs = std::move(response->shard_epochs);
+  last_epoch_.store(result.epoch, std::memory_order_relaxed);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #ifndef QBS_BROKER_REMOTE_SELECTOR_H_
 #define QBS_BROKER_REMOTE_SELECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -38,10 +39,20 @@ class RemoteSelector {
   /// Ranks the broker's databases for a free-text query. Fails with
   /// FailedPrecondition when the server negotiated a protocol older
   /// than v3 (e.g. a DbServer or a pre-broker build) — the Select RPC
-  /// does not exist there.
+  /// does not exist there. Against a v5 peer the request is stamped v5,
+  /// so a federation front-end's partial/down_shards/shard_epochs
+  /// fields come through; older peers still see the v3 byte layout.
   Result<SelectionResult> Select(const std::string& query,
                                  const std::string& ranker_name,
                                  size_t top_k = 0);
+
+  /// The snapshot epoch reported by the most recent successful Select
+  /// (a federation front-end reports its largest shard epoch); 0 before
+  /// any Select succeeds. Lets callers watch the server republish
+  /// without re-plumbing every call site's SelectionResult.
+  uint64_t last_epoch() const {
+    return last_epoch_.load(std::memory_order_relaxed);
+  }
 
   /// The broker's live serving state.
   Result<BrokerStatusInfo> BrokerStatus();
@@ -59,6 +70,7 @@ class RemoteSelector {
   Status RequireBrokerProtocol();
 
   WireClient client_;
+  std::atomic<uint64_t> last_epoch_{0};
 };
 
 }  // namespace qbs

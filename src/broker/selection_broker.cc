@@ -86,6 +86,59 @@ Result<SelectionResult> SelectionBroker::Select(
   return result;
 }
 
+Result<CollectionStatsResult> SelectionBroker::CollectStats(
+    const std::string& query) const {
+  QBS_TRACE_SPAN("broker.collect_stats", query, CurrentRequestId());
+  std::shared_ptr<const SelectionSnapshot> snapshot = registry_->Snapshot();
+  static const Analyzer analyzer = Analyzer::InqueryLike();
+  std::vector<std::string> terms = analyzer.Analyze(query);
+
+  CollectionStatsResult result;
+  result.epoch = snapshot->epoch();
+  result.stats = ComputeCollectionStats(snapshot->collection(), terms);
+  return result;
+}
+
+Result<SelectionResult> SelectionBroker::SelectWith(
+    const std::string& query, const std::string& ranker_name, size_t top_k,
+    uint64_t pinned_epoch, const CollectionStats& stats) const {
+  const BrokerMetrics& metrics = BrokerMetrics::Get();
+  QBS_TRACE_SPAN("broker.select", ranker_name, CurrentRequestId());
+  ScopedTimerUs timer(metrics.select_latency_us);
+
+  std::shared_ptr<const SelectionSnapshot> snapshot = registry_->Snapshot();
+  if (snapshot->epoch() != pinned_epoch) {
+    return Status::FailedPrecondition(
+        "snapshot epoch changed: stats were gathered at epoch " +
+        std::to_string(pinned_epoch) + ", now serving epoch " +
+        std::to_string(snapshot->epoch()) + "; restart the query");
+  }
+  const DatabaseRanker* ranker = snapshot->ranker(ranker_name);
+  if (ranker == nullptr) {
+    return Status::InvalidArgument("unknown ranker '" + ranker_name +
+                                   "'; valid rankers: " + KnownRankerList());
+  }
+  metrics.selects->Increment();
+  selects_.fetch_add(1, std::memory_order_relaxed);
+
+  static const Analyzer analyzer = Analyzer::InqueryLike();
+  std::vector<std::string> terms = analyzer.Analyze(query);
+  if (stats.terms.size() != terms.size()) {
+    return Status::InvalidArgument(
+        "collection stats cover " + std::to_string(stats.terms.size()) +
+        " terms but the query analyzes to " + std::to_string(terms.size()) +
+        "; both sides must analyze identically");
+  }
+
+  SelectionResult result;
+  result.epoch = snapshot->epoch();
+  result.scores = ranker->RankWith(terms, stats);
+  if (top_k > 0 && result.scores.size() > top_k) {
+    result.scores.resize(top_k);
+  }
+  return result;
+}
+
 BrokerStatusInfo SelectionBroker::BrokerStatus() const {
   BrokerStatusInfo info;
   std::shared_ptr<const SelectionSnapshot> snapshot = registry_->Snapshot();

@@ -32,10 +32,26 @@ struct BrokerOptions {
 
 /// One answered selection.
 struct SelectionResult {
-  /// The snapshot generation the ranking was computed from.
+  /// The snapshot generation the ranking was computed from. For a
+  /// federated selection this is the largest per-shard epoch; the full
+  /// vector is in shard_epochs.
   uint64_t epoch = 0;
   /// Databases best-first; trimmed to the requested top-k.
   std::vector<DatabaseScore> scores;
+  /// Federated selections only: true when one or more shards were down
+  /// and the ranking covers the live subset; the unreachable shard
+  /// addresses; and the per-shard snapshot epochs the ranking was
+  /// computed from. All empty/false for a single-broker selection.
+  bool partial = false;
+  std::vector<std::string> down_shards;
+  std::vector<ShardEpoch> shard_epochs;
+};
+
+/// A query's collection-global statistics at one snapshot epoch — the
+/// scatter-gather phase-1 answer.
+struct CollectionStatsResult {
+  uint64_t epoch = 0;
+  CollectionStats stats;
 };
 
 /// Thread-safe selection front-end. The registry must outlive the
@@ -56,6 +72,27 @@ class SelectionBroker {
   Result<SelectionResult> Select(const std::string& query,
                                  const std::string& ranker_name,
                                  size_t top_k = 0) const;
+
+  /// Scatter-gather phase 1: analyzes `query` and returns the
+  /// collection-global statistics (per-term cf / union ctf plus the
+  /// collection-wide counters) at the current snapshot epoch. Unlike
+  /// Select, an empty collection is not an error — a shard that has
+  /// published nothing contributes zero databases to the federation.
+  Result<CollectionStatsResult> CollectStats(const std::string& query) const;
+
+  /// Scatter-gather phase 2: ranks this broker's databases using the
+  /// supplied federation-wide `stats` instead of locally computed ones.
+  /// `pinned_epoch` must equal the current snapshot epoch exactly
+  /// (including epoch 0 for the empty snapshot); any difference fails
+  /// with FailedPrecondition so the caller restarts the query instead
+  /// of mixing epochs. `stats.terms` must align with the analyzed query
+  /// (InvalidArgument otherwise). Bypasses the result cache: the
+  /// ranking depends on caller-supplied stats, not only on (epoch,
+  /// ranker, terms).
+  Result<SelectionResult> SelectWith(const std::string& query,
+                                     const std::string& ranker_name,
+                                     size_t top_k, uint64_t pinned_epoch,
+                                     const CollectionStats& stats) const;
 
   /// Live serving state: epoch, database count, select and cache
   /// counters. shed_total is always 0 here — admission control lives in

@@ -1,0 +1,69 @@
+#include "broker/snapshot_provider.h"
+
+#include <utility>
+
+#include "mstore/model_store_writer.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace qbs {
+
+namespace {
+
+struct ProviderMetrics {
+  Counter* packs;
+
+  static const ProviderMetrics& Get() {
+    static const ProviderMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      ProviderMetrics m;
+      m.packs = r.GetCounter(
+          "qbs_broker_snapshot_packs_total",
+          "Snapshot epochs packed into a model-store image for followers "
+          "(cache misses; fetches of a cached epoch are free)");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+SnapshotProvider::SnapshotProvider(const ModelRegistry* registry)
+    : registry_(registry) {
+  QBS_CHECK(registry_ != nullptr);
+}
+
+Result<SnapshotImage> SnapshotProvider::Get() const {
+  std::shared_ptr<const SelectionSnapshot> snapshot = registry_->Snapshot();
+  if (snapshot->epoch() == 0) {
+    return Status::FailedPrecondition(
+        "no snapshot published yet (epoch 0); refresh models first");
+  }
+  {
+    MutexLock lock(mu_);
+    if (cached_.epoch == snapshot->epoch() && cached_.bytes != nullptr) {
+      return cached_;
+    }
+  }
+  // Pack outside the lock: serialization walks every model and may take
+  // a while, and concurrent fetchers of an already-cached epoch must not
+  // stall behind it. Two threads racing on a fresh epoch both pack; the
+  // images are identical, so last-writer-wins is harmless.
+  ModelStoreWriter writer;
+  const DatabaseCollection& collection = snapshot->collection();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    QBS_RETURN_IF_ERROR(writer.Add(collection.name(i), collection.model(i)));
+  }
+  QBS_ASSIGN_OR_RETURN(std::string image, writer.Serialize());
+  ProviderMetrics::Get().packs->Increment();
+
+  SnapshotImage result;
+  result.epoch = snapshot->epoch();
+  result.bytes = std::make_shared<const std::string>(std::move(image));
+  MutexLock lock(mu_);
+  cached_ = result;
+  return result;
+}
+
+}  // namespace qbs

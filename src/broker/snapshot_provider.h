@@ -1,0 +1,54 @@
+// SnapshotProvider: serves a broker's current selection snapshot as a
+// packed model-store image (src/mstore format), so a follower can
+// SnapshotFetch it over the wire, drop it on disk, and serve reads via
+// MappedModelStore while the leader keeps re-sampling.
+//
+// The image is packed once per epoch and cached behind a shared_ptr:
+// concurrent SnapshotFetch chunks of the same epoch share one immutable
+// byte string, and a republish simply repacks on the next request.
+#ifndef QBS_BROKER_SNAPSHOT_PROVIDER_H_
+#define QBS_BROKER_SNAPSHOT_PROVIDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "broker/model_registry.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace qbs {
+
+/// One epoch's packed model-store image. `bytes` is immutable and
+/// shared: chunk handlers hold it across the response write without
+/// copying the image per chunk.
+struct SnapshotImage {
+  uint64_t epoch = 0;
+  std::shared_ptr<const std::string> bytes;
+};
+
+/// Packs the registry's current snapshot into the binary model-store
+/// format on demand, caching the image by epoch. Thread-safe. The
+/// registry must outlive the provider.
+class SnapshotProvider {
+ public:
+  explicit SnapshotProvider(const ModelRegistry* registry);
+
+  SnapshotProvider(const SnapshotProvider&) = delete;
+  SnapshotProvider& operator=(const SnapshotProvider&) = delete;
+
+  /// The packed image of the current snapshot. FailedPrecondition while
+  /// nothing has been published (epoch 0) — a follower bootstrapping
+  /// from an empty leader should retry, not restore an empty store.
+  Result<SnapshotImage> Get() const QBS_EXCLUDES(mu_);
+
+ private:
+  const ModelRegistry* registry_;
+  mutable Mutex mu_;
+  mutable SnapshotImage cached_ QBS_GUARDED_BY(mu_);
+};
+
+}  // namespace qbs
+
+#endif  // QBS_BROKER_SNAPSHOT_PROVIDER_H_

@@ -1,0 +1,343 @@
+#include "fed/federated_selector.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/mutex.h"
+
+namespace qbs {
+
+namespace {
+
+struct FedMetrics {
+  Counter* selects;
+  Counter* fanout_rpcs;
+  Counter* partial_selects;
+  Counter* epoch_restarts;
+  Counter* shard_down;
+  Histogram* select_latency_us;
+
+  static const FedMetrics& Get() {
+    static const FedMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      FedMetrics m;
+      m.selects = r.GetCounter("qbs_fed_selects_total",
+                               "Federated selection queries answered");
+      m.fanout_rpcs = r.GetCounter(
+          "qbs_fed_fanout_rpcs_total",
+          "Per-shard RPCs issued by federated selects (both phases)");
+      m.partial_selects = r.GetCounter(
+          "qbs_fed_partial_selects_total",
+          "Federated selects answered from a live subset because one or "
+          "more shards were down");
+      m.epoch_restarts = r.GetCounter(
+          "qbs_fed_epoch_restarts_total",
+          "Select attempts restarted because a shard republished its "
+          "snapshot between the stats and ranking phases");
+      m.shard_down = r.GetCounter(
+          "qbs_fed_shard_down_total",
+          "Shard probes (within selects) that found the shard unreachable "
+          "or speaking a pre-federation protocol");
+      m.select_latency_us = r.GetHistogram(
+          "qbs_fed_select_latency_us", Histogram::LatencyBoundsUs(),
+          "End-to-end federated Select latency: both fan-out phases, "
+          "merge, and any epoch-conflict restarts");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+/// Splits "host:port"; check-fails on malformed input (shard lists are
+/// operator configuration, validated by the CLI before reaching here).
+void ParseHostPort(const std::string& address, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = address.rfind(':');
+  QBS_CHECK(colon != std::string::npos && colon + 1 < address.size());
+  *host = address.substr(0, colon);
+  const long parsed = std::strtol(address.c_str() + colon + 1, nullptr, 10);
+  QBS_CHECK(parsed > 0 && parsed <= 65535);
+  *port = static_cast<uint16_t>(parsed);
+}
+
+}  // namespace
+
+FederatedSelector::FederatedSelector(FederatedSelectorOptions options)
+    : options_(std::move(options)),
+      map_(options_.shards, ShardMapOptions{options_.vnodes_per_shard}) {
+  shards_.reserve(options_.shards.size());
+  for (size_t i = 0; i < options_.shards.size(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->address = options_.shards[i];
+    WireClientOptions client_options = options_.client_template;
+    ParseHostPort(shard->address, &client_options.host, &client_options.port);
+    // Decorrelate the per-shard retry jitter streams: shards recovering
+    // together should not be retried in phase.
+    client_options.jitter_seed = options_.client_template.jitter_seed + i + 1;
+    shard->client = std::make_unique<WireClient>(std::move(client_options));
+    shards_.push_back(std::move(shard));
+  }
+  pool_ = std::make_unique<ThreadPool>(
+      std::max<size_t>(size_t{1}, options_.fanout_threads));
+}
+
+FederatedSelector::~FederatedSelector() = default;
+
+void FederatedSelector::FanOut(size_t n,
+                               const std::function<void(size_t)>& fn) {
+  QBS_TRACE_SPAN("fed.fanout");
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // Per-call completion latch. The pool's Wait() is global — concurrent
+  // Selects share the pool, so waiting on "the whole pool is idle"
+  // would couple unrelated queries; counting down our own tasks does
+  // not.
+  Mutex mu;
+  CondVar done_cv;
+  size_t pending = n;
+  auto run_one = [&](size_t i) {
+    fn(i);
+    MutexLock lock(mu);
+    --pending;
+    // Notify while still holding the latch mutex: the waiter can only
+    // observe pending == 0 (and then destroy this stack latch) after
+    // this thread releases the lock, by which point the broadcast has
+    // completed — released-lock notification would let the waiter free
+    // the CondVar out from under a notifier that had already
+    // decremented.
+    done_cv.NotifyAll();
+  };
+  for (size_t i = 1; i < n; ++i) {
+    if (!pool_->Submit([&run_one, i] { run_one(i); })) {
+      // Pool shutting down (destructor racing a late Select): degrade
+      // to inline execution rather than deadlocking on the latch.
+      run_one(i);
+    }
+  }
+  run_one(0);  // The calling thread is a worker too — one task stays home.
+  MutexLock lock(mu);
+  done_cv.Wait(mu, [&pending] { return pending == 0; });
+}
+
+Result<SelectionResult> FederatedSelector::Select(
+    const std::string& query, const std::string& ranker_name, size_t top_k) {
+  const FedMetrics& metrics = FedMetrics::Get();
+  QBS_TRACE_SPAN("fed.select", ranker_name, CurrentRequestId());
+  ScopedTimerUs timer(metrics.select_latency_us);
+  metrics.selects->Increment();
+
+  Status last_conflict = Status::OK();
+  for (size_t attempt = 0; attempt < std::max<size_t>(
+           size_t{1}, options_.max_query_attempts); ++attempt) {
+    bool retry = false;
+    auto result = SelectAttempt(query, ranker_name, top_k, &retry);
+    if (!retry) return result;
+    last_conflict = result.ok() ? Status::OK() : result.status();
+  }
+  return Status::Unavailable(
+      "federated select gave up after " +
+      std::to_string(options_.max_query_attempts) +
+      " attempts invalidated mid-query (shards republishing or failing "
+      "between phases); last: " +
+      last_conflict.message());
+}
+
+Result<SelectionResult> FederatedSelector::SelectAttempt(
+    const std::string& query, const std::string& ranker_name, size_t top_k,
+    bool* retry) {
+  const FedMetrics& metrics = FedMetrics::Get();
+  *retry = false;
+  const size_t n = shards_.size();
+
+  // Phase 1: every shard's collection statistics, each pinned to the
+  // epoch that shard is serving right now.
+  struct Phase1 {
+    bool live = false;
+    uint64_t epoch = 0;
+    CollectionStats stats;
+    Status status;
+  };
+  std::vector<Phase1> gathered(n);
+  FanOut(n, [&](size_t i) {
+    Shard& shard = *shards_[i];
+    Phase1& out = gathered[i];
+    auto version = shard.client->EnsureNegotiated();
+    if (!version.ok()) {
+      out.status = version.status();
+      return;
+    }
+    if (*version < kFederationMinVersion) {
+      out.status = Status::FailedPrecondition(
+          "shard '" + shard.address + "' negotiated protocol v" +
+          std::to_string(*version) + ", which predates federation (v" +
+          std::to_string(kFederationMinVersion) + ")");
+      return;
+    }
+    metrics.fanout_rpcs->Increment();
+    WireRequest request;
+    request.method = WireMethod::kSelect;
+    request.protocol_version = kFederationMinVersion;
+    request.stats_only = true;
+    request.query = query;
+    auto response = shard.client->Call(std::move(request));
+    if (!response.ok()) {
+      out.status = response.status();
+      return;
+    }
+    if (!response->has_stats) {
+      out.status = Status::Internal("shard '" + shard.address +
+                                    "' answered stats_only without stats");
+      return;
+    }
+    out.live = true;
+    out.epoch = response->epoch;
+    out.stats = std::move(response->stats);
+  });
+
+  std::vector<size_t> live;
+  std::vector<std::string> down;
+  for (size_t i = 0; i < n; ++i) {
+    shards_[i]->healthy.store(gathered[i].live, std::memory_order_relaxed);
+    if (gathered[i].live) {
+      shards_[i]->epoch.store(gathered[i].epoch, std::memory_order_relaxed);
+      live.push_back(i);
+    } else {
+      metrics.shard_down->Increment();
+      down.push_back(shards_[i]->address);
+    }
+  }
+  if (live.empty()) {
+    return Status::Unavailable(
+        "all " + std::to_string(n) + " shards down; first: " +
+        gathered[0].status.message());
+  }
+
+  // Merge is a fold of saturating integer sums — order-independent, so
+  // it equals the statistics a single broker over the union collection
+  // would compute directly.
+  CollectionStats aggregate;
+  for (size_t i : live) {
+    MergeCollectionStats(aggregate, gathered[i].stats);
+  }
+
+  // Phase 2: each live shard ranks its own databases with the
+  // federation-wide statistics, pinned to its phase-1 epoch. Per-shard
+  // top-k is enough: any database in the global top-k is necessarily in
+  // its own shard's top-k.
+  struct Phase2 {
+    std::vector<DatabaseScore> scores;
+    Status status;
+  };
+  std::vector<Phase2> ranked(live.size());
+  FanOut(live.size(), [&](size_t j) {
+    Shard& shard = *shards_[live[j]];
+    metrics.fanout_rpcs->Increment();
+    WireRequest request;
+    request.method = WireMethod::kSelect;
+    request.protocol_version = kFederationMinVersion;
+    request.has_stats = true;
+    request.pinned_epoch = gathered[live[j]].epoch;
+    request.stats = aggregate;
+    request.query = query;
+    request.ranker = ranker_name;
+    request.max_results = top_k;
+    auto response = shard.client->Call(std::move(request));
+    if (!response.ok()) {
+      ranked[j].status = response.status();
+      return;
+    }
+    ranked[j].scores = std::move(response->scores);
+  });
+
+  for (size_t j = 0; j < live.size(); ++j) {
+    const Status& status = ranked[j].status;
+    if (status.ok()) continue;
+    // Deterministic caller errors (unknown ranker) pass through; every
+    // other phase-2 failure invalidates the attempt — either the shard
+    // republished (FailedPrecondition from the epoch pin) or it died
+    // after phase 1, and the next attempt's phase 1 will exclude it.
+    if (status.code() == StatusCode::kInvalidArgument) return status;
+    if (status.code() == StatusCode::kFailedPrecondition) {
+      metrics.epoch_restarts->Increment();
+    } else {
+      shards_[live[j]]->healthy.store(false, std::memory_order_relaxed);
+      metrics.shard_down->Increment();
+    }
+    *retry = true;
+    return status;
+  }
+
+  SelectionResult result;
+  for (size_t j = 0; j < live.size(); ++j) {
+    const size_t i = live[j];
+    result.shard_epochs.push_back(
+        ShardEpoch{shards_[i]->address, gathered[i].epoch});
+    result.epoch = std::max(result.epoch, gathered[i].epoch);
+    result.scores.insert(result.scores.end(),
+                         std::make_move_iterator(ranked[j].scores.begin()),
+                         std::make_move_iterator(ranked[j].scores.end()));
+  }
+  // The rankers' own comparator (selection/db_selection.cc Finish):
+  // score descending, name ascending — a total order since names are
+  // unique, so the merged ranking is byte-identical to the
+  // single-broker sort over the union.
+  std::sort(result.scores.begin(), result.scores.end(),
+            [](const DatabaseScore& a, const DatabaseScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.db_name < b.db_name;
+            });
+  if (top_k > 0 && result.scores.size() > top_k) {
+    result.scores.resize(top_k);
+  }
+  result.down_shards = std::move(down);
+  result.partial = !result.down_shards.empty();
+  if (result.partial) metrics.partial_selects->Increment();
+  return result;
+}
+
+std::vector<ShardStatusInfo> FederatedSelector::ShardStatus() {
+  const FedMetrics& metrics = FedMetrics::Get();
+  std::vector<ShardStatusInfo> rows(shards_.size());
+  FanOut(shards_.size(), [&](size_t i) {
+    Shard& shard = *shards_[i];
+    ShardStatusInfo& row = rows[i];
+    row.address = shard.address;
+    metrics.fanout_rpcs->Increment();
+    WireRequest request;
+    request.method = WireMethod::kBrokerStatus;
+    request.protocol_version = MinVersionForMethod(request.method);
+    auto response = shard.client->Call(std::move(request));
+    if (response.ok()) {
+      row.healthy = true;
+      row.epoch = response->broker.epoch;
+      row.databases = response->broker.databases;
+    }
+    shard.healthy.store(row.healthy, std::memory_order_relaxed);
+    shard.epoch.store(row.epoch, std::memory_order_relaxed);
+    shard.databases.store(row.databases, std::memory_order_relaxed);
+  });
+  return rows;
+}
+
+std::vector<ShardStatusInfo> FederatedSelector::LastKnownShardStatus() const {
+  std::vector<ShardStatusInfo> rows;
+  rows.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardStatusInfo row;
+    row.address = shard->address;
+    row.healthy = shard->healthy.load(std::memory_order_relaxed);
+    row.epoch = shard->epoch.load(std::memory_order_relaxed);
+    row.databases = shard->databases.load(std::memory_order_relaxed);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace qbs

@@ -1,0 +1,127 @@
+// FederatedSelector: scatter-gather Select across a fleet of shard
+// brokers, score-faithful to a single broker holding the union of the
+// shards' databases.
+//
+// Why two phases: every ranker's scores depend on collection-global
+// statistics — CORI's cf and average cw, vGlOSS's idf, KL's union
+// background model. A shard ranking only its own databases with only
+// its own statistics would score them against the wrong collection, and
+// the merged ranking would diverge from the single-broker one. So a
+// federated Select first gathers each live shard's per-term statistics
+// (a v5 stats_only select, pinned to that shard's snapshot epoch),
+// merges them — the statistics are saturating integer sums, so the
+// merge is order-independent and equals the union collection's direct
+// computation — then fans the aggregate back out (a v5 has_stats select
+// pinned to the same epoch) for each shard to rank its databases with.
+// Concatenate, re-sort with the ranker's own comparator (score
+// descending, name ascending — a total order, names being unique), trim
+// to top-k: byte-identical to the single-broker ranking.
+//
+// Epoch safety: a shard that republishes between the two phases refuses
+// the pinned phase-2 call with FailedPrecondition, and the whole
+// attempt restarts — a ranking never mixes two epochs of one shard.
+// Fault tolerance: a shard that is down at phase 1 is excluded from the
+// attempt and reported in down_shards with partial=true; the ranking is
+// then exactly what a single broker over the live subset would return.
+#ifndef QBS_FED_FEDERATED_SELECTOR_H_
+#define QBS_FED_FEDERATED_SELECTOR_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/selection_broker.h"
+#include "fed/shard_map.h"
+#include "net/wire.h"
+#include "net/wire_client.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace qbs {
+
+struct FederatedSelectorOptions {
+  /// Shard broker addresses, "host:port". Order defines shard indices
+  /// (and the ShardMap identity).
+  std::vector<std::string> shards;
+  /// Consistent-hash smoothing for the placement map (docs only —
+  /// selection itself asks every shard; placement is for loaders).
+  size_t vnodes_per_shard = 64;
+  /// Threads fanning RPCs out to shards. Clamped to at least 1;
+  /// RPCs beyond this run inline on the calling thread.
+  size_t fanout_threads = 8;
+  /// Full two-phase attempts per Select before giving up. An attempt
+  /// restarts when a shard republishes between phases or fails phase 2.
+  size_t max_query_attempts = 4;
+  /// Per-shard transport settings; host/port/jitter_seed are overridden
+  /// per shard, the rest (timeouts, retries, connector seam) apply to
+  /// every shard client.
+  WireClientOptions client_template;
+};
+
+/// Live view of one shard, for /statusz and the shard_info RPC.
+/// (`ShardStatusInfo` itself is declared in net/wire.h, as shard_info
+/// responses carry it.)
+class FederatedSelector {
+ public:
+  explicit FederatedSelector(FederatedSelectorOptions options);
+  ~FederatedSelector();
+
+  FederatedSelector(const FederatedSelector&) = delete;
+  FederatedSelector& operator=(const FederatedSelector&) = delete;
+
+  /// The federated ranking. On success, result.partial tells whether
+  /// any shard was excluded (its addresses in down_shards) and
+  /// shard_epochs records the snapshot epoch each live shard answered
+  /// at; result.epoch is the largest of those. Fails Unavailable when
+  /// every shard is down or when max_query_attempts consecutive
+  /// attempts were invalidated by shards republishing or dying
+  /// mid-query (both transient, hence retryable), and InvalidArgument
+  /// for an unknown ranker.
+  Result<SelectionResult> Select(const std::string& query,
+                                 const std::string& ranker_name,
+                                 size_t top_k = 0);
+
+  /// Probes every shard (broker_status) and returns one row per shard,
+  /// in shard order: healthy=false rows carry zero epoch/databases.
+  std::vector<ShardStatusInfo> ShardStatus();
+
+  /// The last health observation per shard (updated by Select and
+  /// ShardStatus), without touching the network. All-healthy before
+  /// any call.
+  std::vector<ShardStatusInfo> LastKnownShardStatus() const;
+
+  const ShardMap& shard_map() const { return map_; }
+
+ private:
+  struct Shard {
+    std::string address;
+    std::unique_ptr<WireClient> client;
+    /// Health board for /statusz: last observation, not a live probe.
+    std::atomic<bool> healthy{true};
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<uint64_t> databases{0};
+  };
+
+  /// One two-phase attempt. Sets `*retry` alongside the error return
+  /// when the attempt was invalidated (a shard republished between
+  /// phases, or died after phase 1) and the caller should start over.
+  Result<SelectionResult> SelectAttempt(const std::string& query,
+                                        const std::string& ranker_name,
+                                        size_t top_k, bool* retry);
+
+  /// Runs fn(i) for i in [0, n) across the fan-out pool and waits.
+  void FanOut(size_t n, const std::function<void(size_t)>& fn);
+
+  FederatedSelectorOptions options_;
+  ShardMap map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_FED_FEDERATED_SELECTOR_H_

@@ -1,0 +1,146 @@
+#include "fed/federation_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace qbs {
+
+namespace {
+
+FrameServerOptions ToFrameOptions(const FederationServerOptions& options) {
+  FrameServerOptions frame;
+  frame.host = options.host;
+  frame.port = options.port;
+  frame.num_workers = options.num_workers;
+  frame.max_frame_bytes = options.max_frame_bytes;
+  frame.max_protocol_version = options.max_protocol_version;
+  frame.admin_port = options.admin_port;
+  frame.admin_host = options.admin_host;
+  frame.max_write_queue_bytes = options.max_write_queue_bytes;
+  frame.max_pipelined_requests = options.max_pipelined_requests;
+  frame.idle_timeout_us = options.idle_timeout_us;
+  return frame;
+}
+
+}  // namespace
+
+FederationServer::FederationServer(FederatedSelector* selector,
+                                   FederationServerOptions options)
+    : FrameServer("FederationServer '" + options.name + "'",
+                  ToFrameOptions(options)),
+      selector_(selector),
+      name_(options.name),
+      admission_(options.admission) {
+  AddStatusProvider("shards", [this] {
+    return std::to_string(selector_->shard_map().size());
+  });
+  AddStatusProvider("shard_map_version", [this] {
+    return std::to_string(selector_->shard_map().version());
+  });
+  // The health board: last observation per shard, no network touched —
+  // /statusz must answer even while every shard is down.
+  AddStatusProvider("shard_health", [this] {
+    std::string out;
+    for (const ShardStatusInfo& row : selector_->LastKnownShardStatus()) {
+      if (!out.empty()) out += ", ";
+      out += row.address;
+      out += row.healthy ? " up (epoch " + std::to_string(row.epoch) + ")"
+                         : " DOWN";
+    }
+    return out;
+  });
+  AddStatusProvider("shed_selects",
+                    [this] { return std::to_string(admission_.shed()); });
+}
+
+FederationServer::~FederationServer() { Stop(); }
+
+WireResponse FederationServer::Handle(const WireRequest& request) {
+  WireResponse response;
+  response.request_id = request.request_id;
+  response.method = request.method;
+  response.protocol_version = request.protocol_version;
+  switch (request.method) {
+    case WireMethod::kPing:
+      break;
+    case WireMethod::kServerInfo:
+      response.server_name = name_;
+      response.server_protocol_version =
+          std::min(spoken_version(), request.protocol_version);
+      break;
+    case WireMethod::kSelect: {
+      if (request.stats_only || request.has_stats) {
+        // The scatter-gather sub-RPCs are what this server *issues* to
+        // its shards; accepting them here would let a query re-enter
+        // the federation with foreign statistics.
+        response.status = Status::Unimplemented(
+            "select: stats_only/has_stats are shard-broker RPCs; send a "
+            "plain select to the federation front-end");
+        break;
+      }
+      if (!admission_.Admit()) {
+        response.status = Status::Unavailable(
+            "federation front-end overloaded: " +
+            std::to_string(admission_.inflight()) +
+            " selects in flight; retry with backoff");
+        break;
+      }
+      auto selection =
+          selector_->Select(request.query, request.ranker,
+                            static_cast<size_t>(request.max_results));
+      if (selection.ok()) {
+        selects_.fetch_add(1, std::memory_order_relaxed);
+        response.epoch = selection->epoch;
+        response.scores = std::move(selection->scores);
+        // The federation extension rides only on v5 replies; a v3/v4
+        // client still gets the plain ranking, unaware it was sharded.
+        if (request.protocol_version >= kFederationMinVersion) {
+          response.partial = selection->partial;
+          response.down_shards = std::move(selection->down_shards);
+          response.shard_epochs = std::move(selection->shard_epochs);
+        }
+      } else {
+        response.status = selection.status();
+      }
+      admission_.Release();
+      break;
+    }
+    case WireMethod::kBrokerStatus: {
+      // Aggregate the fleet into one broker-shaped answer: epoch = the
+      // newest shard snapshot, databases = the union count. Cache
+      // fields stay zero — the front-end holds no result cache.
+      BrokerStatusInfo info;
+      for (const ShardStatusInfo& row : selector_->ShardStatus()) {
+        if (!row.healthy) continue;
+        info.epoch = std::max(info.epoch, row.epoch);
+        info.databases += row.databases;
+      }
+      info.selects_total = selects_.load(std::memory_order_relaxed);
+      info.shed_total = admission_.shed();
+      response.broker = info;
+      break;
+    }
+    case WireMethod::kShardInfo:
+      response.shard_map_version = selector_->shard_map().version();
+      response.shards = selector_->ShardStatus();
+      break;
+    case WireMethod::kSnapshotFetch:
+      response.status = Status::Unimplemented(
+          "snapshot_fetch: fetch snapshots from the shard broker that "
+          "owns them, not the federation front-end");
+      break;
+    case WireMethod::kRunQuery:
+    case WireMethod::kFetchDocument:
+    case WireMethod::kQueryAndFetch:
+    case WireMethod::kFetchBatch:
+      response.status = Status::Unimplemented(
+          std::string(WireMethodName(request.method)) +
+          ": this server is a federation front-end, not a TextDatabase");
+      break;
+  }
+  return response;
+}
+
+}  // namespace qbs

@@ -1,0 +1,73 @@
+// FederationServer: a FederatedSelector on a TCP port. To clients it
+// looks exactly like one big broker — the same v3 select /
+// broker_status RPCs, answered by scatter-gathering the shard fleet —
+// plus the v5 shard_info RPC exposing the topology underneath.
+//
+// Overload policy mirrors BrokerServer: federated selects are bounded
+// by an AdmissionController and shed with kUnavailable; control RPCs
+// (ping, server_info, broker_status, shard_info) are never shed, so the
+// front-end stays observable while saturated.
+#ifndef QBS_FED_FEDERATION_SERVER_H_
+#define QBS_FED_FEDERATION_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "broker/broker_server.h"
+#include "fed/federated_selector.h"
+#include "net/frame_server.h"
+#include "net/wire.h"
+
+namespace qbs {
+
+struct FederationServerOptions {
+  /// Bind address; the default serves loopback only.
+  std::string host = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  /// Worker threads == maximum concurrently executing requests.
+  size_t num_workers = 4;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Highest protocol version this server speaks. A federation
+  /// front-end wants v5 (shard_info); v3 still serves plain selects.
+  uint32_t max_protocol_version = kWireProtocolVersion;
+  /// Embedded admin HTTP endpoint: port to bind, 0 for ephemeral,
+  /// negative (default) for none.
+  int32_t admin_port = -1;
+  std::string admin_host = "127.0.0.1";
+  size_t max_write_queue_bytes = 4u << 20;
+  size_t max_pipelined_requests = 64;
+  uint64_t idle_timeout_us = 0;
+  /// Name advertised in server_info.
+  std::string name = "qbs-fed";
+  /// Overload policy for federated Select requests.
+  AdmissionOptions admission;
+};
+
+/// An event-loop TCP server fronting one FederatedSelector. Thread-safe
+/// (the selector fans out concurrently from any number of workers). The
+/// selector must outlive the server.
+class FederationServer : public FrameServer {
+ public:
+  FederationServer(FederatedSelector* selector,
+                   FederationServerOptions options);
+  /// Stops the server (Stop()) if still running.
+  ~FederationServer() override;
+
+  /// Select requests shed by admission control so far.
+  uint64_t shed() const { return admission_.shed(); }
+
+ protected:
+  WireResponse Handle(const WireRequest& request) override;
+
+ private:
+  FederatedSelector* selector_;
+  std::string name_;
+  AdmissionController admission_;
+  std::atomic<uint64_t> selects_{0};
+};
+
+}  // namespace qbs
+
+#endif  // QBS_FED_FEDERATION_SERVER_H_

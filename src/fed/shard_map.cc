@@ -1,0 +1,82 @@
+#include "fed/shard_map.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace qbs {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001B3ULL;
+
+uint64_t Fnv1a(std::string_view data, uint64_t hash = kFnvOffset) {
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t Fnv1aU64(uint64_t value, uint64_t hash) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    hash ^= (value >> shift) & 0xFF;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+// Avalanche finalizer (MurmurHash3 fmix64). Raw FNV-1a has weak
+// diffusion on short inputs: names sharing a prefix and differing only
+// in trailing bytes ("db-0".."db-99") hash within a span far smaller
+// than one ring gap, so they would all fall to a single vnode. The
+// finalizer spreads every input bit across all 64 output bits, making
+// ring placement uniform for exactly the clustered names real
+// collections use.
+uint64_t Mix64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::vector<std::string> shard_addresses,
+                   ShardMapOptions options)
+    : shards_(std::move(shard_addresses)) {
+  QBS_CHECK(!shards_.empty());
+  const size_t vnodes = std::max<size_t>(size_t{1}, options.vnodes_per_shard);
+  ring_.reserve(shards_.size() * vnodes);
+  uint64_t version = Fnv1aU64(vnodes, kFnvOffset);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // Address bytes then length then vnode number: the length separator
+    // keeps "ab"+"c" and "a"+"bc" style prefixes from colliding, and
+    // the vnode counter spreads each shard over the ring.
+    const uint64_t shard_hash =
+        Fnv1aU64(shards_[i].size(), Fnv1a(shards_[i]));
+    for (size_t v = 0; v < vnodes; ++v) {
+      ring_.emplace_back(Mix64(Fnv1aU64(v, shard_hash)),
+                         static_cast<uint32_t>(i));
+    }
+    version = Fnv1aU64(shard_hash, version);
+  }
+  std::sort(ring_.begin(), ring_.end());
+  version_ = version;
+}
+
+size_t ShardMap::OwnerIndexOf(std::string_view db_name) const {
+  const uint64_t point = Mix64(Fnv1a(db_name));
+  // First vnode at or after the name's point, wrapping past the top of
+  // the ring back to the smallest vnode.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(),
+      std::make_pair(point, uint32_t{0}));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace qbs

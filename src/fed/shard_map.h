@@ -1,0 +1,72 @@
+// ShardMap: deterministic placement of database names onto shard
+// brokers by consistent hashing.
+//
+// Each shard address is expanded into a fixed number of virtual nodes
+// on a 64-bit FNV-1a hash ring; a database name hashes to a point and
+// is owned by the first virtual node clockwise from it. Consistent
+// hashing keeps reassignment proportional to the change when shards are
+// added or removed (~1/N of names move, instead of nearly all under
+// `hash % N`), so replicated shard stores stay mostly valid across a
+// topology change.
+//
+// Placement is a pure function of (shard list, vnodes_per_shard): every
+// loader, federator, and test that constructs the same map computes the
+// same owner for every name, with no coordination. version() digests
+// that identity so two processes can cheaply check they agree before
+// trusting each other's placement.
+#ifndef QBS_FED_SHARD_MAP_H_
+#define QBS_FED_SHARD_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qbs {
+
+struct ShardMapOptions {
+  /// Virtual nodes per shard on the hash ring. More vnodes smooth the
+  /// load split between shards at the cost of a larger ring (lookup is
+  /// a binary search either way). Clamped to at least 1.
+  size_t vnodes_per_shard = 64;
+};
+
+/// Immutable after construction; safe to share across threads.
+class ShardMap {
+ public:
+  /// `shard_addresses` is the ordered shard list ("host:port" strings).
+  /// Order matters to identity: the same addresses in a different order
+  /// are a different map version (indices shift), though hash placement
+  /// itself depends only on the address strings.
+  explicit ShardMap(std::vector<std::string> shard_addresses,
+                    ShardMapOptions options = {});
+
+  /// Index into shards() of the shard owning `db_name`. The map must
+  /// not be empty.
+  size_t OwnerIndexOf(std::string_view db_name) const;
+
+  /// Address of the shard owning `db_name`.
+  const std::string& OwnerOf(std::string_view db_name) const {
+    return shards_[OwnerIndexOf(db_name)];
+  }
+
+  const std::vector<std::string>& shards() const { return shards_; }
+  size_t size() const { return shards_.size(); }
+
+  /// Digest of (shard list incl. order, vnodes_per_shard). Two
+  /// processes with equal versions compute identical placement.
+  uint64_t version() const { return version_; }
+
+ private:
+  std::vector<std::string> shards_;
+  /// (ring point, shard index), sorted ascending by point — ties broken
+  /// by index so collisions resolve identically everywhere.
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+  uint64_t version_ = 0;
+};
+
+}  // namespace qbs
+
+#endif  // QBS_FED_SHARD_MAP_H_

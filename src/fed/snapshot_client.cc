@@ -1,0 +1,98 @@
+#include "fed/snapshot_client.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/file_io.h"
+
+namespace qbs {
+
+namespace {
+
+struct SnapshotMetrics {
+  Counter* bytes;
+  Counter* restarts;
+
+  static const SnapshotMetrics& Get() {
+    static const SnapshotMetrics metrics = [] {
+      MetricRegistry& r = MetricRegistry::Default();
+      SnapshotMetrics m;
+      m.bytes = r.GetCounter(
+          "qbs_fed_snapshot_bytes_total",
+          "Snapshot image bytes streamed from shard brokers (completed "
+          "and abandoned fetches both count)");
+      m.restarts = r.GetCounter(
+          "qbs_fed_snapshot_restarts_total",
+          "Snapshot fetches restarted from offset 0 because the broker "
+          "republished mid-stream");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
+Result<SnapshotFetchResult> FetchSnapshotToFile(WireClient& client,
+                                                const std::string& path,
+                                                SnapshotFetchOptions options) {
+  const SnapshotMetrics& metrics = SnapshotMetrics::Get();
+  QBS_TRACE_SPAN("fed.snapshot_fetch", path);
+
+  Status last_restart = Status::OK();
+  const size_t attempts = options.max_restarts < 1 ? 1 : options.max_restarts;
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    std::string image;
+    // Epoch 0 on the first chunk means "whatever you serve now"; the
+    // reply pins the stream.
+    uint64_t pinned_epoch = 0;
+    uint64_t total = 0;
+    bool restarted = false;
+    do {
+      WireRequest request;
+      request.method = WireMethod::kSnapshotFetch;
+      request.protocol_version = MinVersionForMethod(request.method);
+      request.snapshot_epoch = pinned_epoch;
+      request.snapshot_offset = image.size();
+      request.snapshot_chunk_bytes = options.chunk_bytes;
+      auto response = client.Call(std::move(request));
+      if (!response.ok()) {
+        if (response.status().code() == StatusCode::kFailedPrecondition &&
+            pinned_epoch != 0) {
+          // The broker republished under us; this image is dead.
+          metrics.restarts->Increment();
+          last_restart = response.status();
+          restarted = true;
+          break;
+        }
+        return response.status();
+      }
+      if (pinned_epoch == 0) {
+        pinned_epoch = response->snapshot_epoch;
+        total = response->snapshot_total_bytes;
+        image.reserve(static_cast<size_t>(total));
+      }
+      metrics.bytes->Increment(response->snapshot_data.size());
+      if (response->snapshot_data.empty() && image.size() < total) {
+        return Status::Internal(
+            "snapshot_fetch returned an empty chunk at offset " +
+            std::to_string(image.size()) + " of " + std::to_string(total));
+      }
+      image += response->snapshot_data;
+    } while (image.size() < total);
+    if (restarted) continue;
+
+    QBS_RETURN_IF_ERROR(WriteFileAtomic(path, image));
+    SnapshotFetchResult result;
+    result.epoch = pinned_epoch;
+    result.bytes = image.size();
+    return result;
+  }
+  return Status::Unavailable(
+      "snapshot fetch restarted " + std::to_string(attempts) +
+      " times without completing (broker republishing faster than the "
+      "stream); last: " + last_restart.message());
+}
+
+}  // namespace qbs

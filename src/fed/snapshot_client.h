@@ -1,0 +1,51 @@
+// Snapshot replication, client half: stream a shard broker's packed
+// model-store image (v5 snapshot_fetch) into a local file that
+// MappedModelStore / LoadStore can open zero-copy — how a replica
+// bootstraps without re-sampling every database.
+//
+// The stream is epoch-pinned: the first chunk fixes the epoch, every
+// later chunk asserts it, and a broker that republished mid-stream
+// answers FailedPrecondition — the fetch restarts from offset 0 rather
+// than splicing two epochs into one store file. The file is written
+// atomically (temp + fsync + rename), so a crashed fetch never leaves a
+// torn store behind.
+#ifndef QBS_FED_SNAPSHOT_CLIENT_H_
+#define QBS_FED_SNAPSHOT_CLIENT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "net/wire_client.h"
+#include "util/status.h"
+
+namespace qbs {
+
+struct SnapshotFetchOptions {
+  /// Bytes requested per chunk; the server may clamp lower. 0 asks the
+  /// server to pick (its own maximum).
+  uint64_t chunk_bytes = 4u << 20;
+  /// Whole-stream restarts tolerated (epoch changes mid-fetch) before
+  /// giving up. Transport-level retries are the WireClient's business.
+  size_t max_restarts = 4;
+};
+
+struct SnapshotFetchResult {
+  /// The epoch of the image fetched.
+  uint64_t epoch = 0;
+  /// Image size in bytes (what was written to the file).
+  uint64_t bytes = 0;
+};
+
+/// Fetches the broker behind `client`'s current snapshot image and
+/// atomically writes it to `path`. Fails FailedPrecondition when the
+/// broker has published nothing yet (retryable by the caller), and
+/// Unavailable when max_restarts fetches were each invalidated by a
+/// republish mid-stream.
+Result<SnapshotFetchResult> FetchSnapshotToFile(
+    WireClient& client, const std::string& path,
+    SnapshotFetchOptions options = {});
+
+}  // namespace qbs
+
+#endif  // QBS_FED_SNAPSHOT_CLIENT_H_

@@ -149,6 +149,8 @@ WireResponse DbServer::Handle(const WireRequest& request) {
     }
     case WireMethod::kSelect:
     case WireMethod::kBrokerStatus:
+    case WireMethod::kShardInfo:
+    case WireMethod::kSnapshotFetch:
       response.status = Status::Unimplemented(
           std::string(WireMethodName(request.method)) +
           ": this server fronts a TextDatabase, not a selection broker");

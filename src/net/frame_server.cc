@@ -87,9 +87,17 @@ struct ServerMetrics {
             WithLabel("qbs_net_server_requests_total", "method",
                       "broker_status"),
             "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "shard_info"),
+            "Requests served, by method"),
+        MetricRegistry::Default().GetCounter(
+            WithLabel("qbs_net_server_requests_total", "method",
+                      "snapshot_fetch"),
+            "Requests served, by method"),
     };
     static_assert(sizeof(per_method) / sizeof(per_method[0]) ==
-                  static_cast<uint32_t>(WireMethod::kBrokerStatus));
+                  static_cast<uint32_t>(WireMethod::kSnapshotFetch));
     return per_method[static_cast<uint32_t>(method) - 1];
   }
 };

@@ -130,7 +130,44 @@ bool GetFixed64(const std::vector<uint8_t>& data, size_t* pos,
 
 bool IsKnownMethod(uint32_t method) {
   return method >= static_cast<uint32_t>(WireMethod::kPing) &&
-         method <= static_cast<uint32_t>(WireMethod::kBrokerStatus);
+         method <= static_cast<uint32_t>(WireMethod::kSnapshotFetch);
+}
+
+// v5 collection-stats section: the three collection-wide counters, then
+// one {cf, union_ctf} pair per analyzed query term.
+void PutCollectionStats(std::vector<uint8_t>& out,
+                        const CollectionStats& stats) {
+  PutVarint64(out, stats.num_databases);
+  PutVarint64(out, stats.sum_cw);
+  PutVarint64(out, stats.union_total_terms);
+  PutVarint64(out, stats.terms.size());
+  for (const TermGlobalStats& term : stats.terms) {
+    PutVarint64(out, term.cf);
+    PutVarint64(out, term.union_ctf);
+  }
+}
+
+bool GetCollectionStats(const std::vector<uint8_t>& data, size_t* pos,
+                        CollectionStats* stats) {
+  uint64_t count = 0;
+  if (!GetVarint64(data, pos, &stats->num_databases) ||
+      !GetVarint64(data, pos, &stats->sum_cw) ||
+      !GetVarint64(data, pos, &stats->union_total_terms) ||
+      !GetVarint64(data, pos, &count)) {
+    return false;
+  }
+  // Each term entry is at least two 1-byte varints; a count the payload
+  // could not hold is corrupt, not a reason to reserve.
+  if (count > (data.size() - *pos) / 2 + 1) return false;
+  stats->terms.resize(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    TermGlobalStats& term = stats->terms[static_cast<size_t>(i)];
+    if (!GetVarint64(data, pos, &term.cf) ||
+        !GetVarint64(data, pos, &term.union_ctf)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 // Shared by the two batched responses: one document entry is its status
@@ -176,6 +213,10 @@ const char* WireMethodName(WireMethod method) {
       return "select";
     case WireMethod::kBrokerStatus:
       return "broker_status";
+    case WireMethod::kShardInfo:
+      return "shard_info";
+    case WireMethod::kSnapshotFetch:
+      return "snapshot_fetch";
   }
   return "unknown";
 }
@@ -193,6 +234,9 @@ uint32_t MinVersionForMethod(WireMethod method) {
     case WireMethod::kSelect:
     case WireMethod::kBrokerStatus:
       return 3;
+    case WireMethod::kShardInfo:
+    case WireMethod::kSnapshotFetch:
+      return 5;
   }
   return kWireProtocolVersion;
 }
@@ -224,8 +268,28 @@ std::vector<uint8_t> EncodeRequest(const WireRequest& request) {
       PutString(out, request.query);
       PutVarint64(out, request.max_results);
       PutString(out, request.ranker);
+      // v5 federation extension: a mandatory flags varint once the
+      // request declares >= 5, then the pinned epoch + aggregated stats
+      // for has_stats requests. Plain selects keep declaring v3 and
+      // never carry it.
+      if (request.protocol_version >= kFederationMinVersion) {
+        uint32_t flags = (request.stats_only ? 1u : 0u) |
+                         (request.has_stats ? 2u : 0u);
+        PutVarint32(out, flags);
+        if (request.has_stats) {
+          PutVarint64(out, request.pinned_epoch);
+          PutCollectionStats(out, request.stats);
+        }
+      }
       break;
     case WireMethod::kBrokerStatus:
+      break;
+    case WireMethod::kShardInfo:
+      break;
+    case WireMethod::kSnapshotFetch:
+      PutVarint64(out, request.snapshot_epoch);
+      PutVarint64(out, request.snapshot_offset);
+      PutVarint64(out, request.snapshot_chunk_bytes);
       break;
   }
   // v4 trace-context trailer, present only when the caller is tracing.
@@ -297,8 +361,35 @@ Result<WireRequest> DecodeRequest(const std::vector<uint8_t>& payload) {
           !GetString(payload, &pos, &request.ranker)) {
         return Truncated("select request body");
       }
+      if (request.protocol_version >= kFederationMinVersion) {
+        uint32_t flags = 0;
+        if (!GetVarint32(payload, &pos, &flags)) {
+          return Truncated("select v5 extension");
+        }
+        request.stats_only = (flags & 1) != 0;
+        request.has_stats = (flags & 2) != 0;
+        if (request.stats_only && request.has_stats) {
+          return Status::Corruption(
+              "wire: select with both stats_only and has_stats");
+        }
+        if (request.has_stats) {
+          if (!GetVarint64(payload, &pos, &request.pinned_epoch) ||
+              !GetCollectionStats(payload, &pos, &request.stats)) {
+            return Truncated("select stats section");
+          }
+        }
+      }
       break;
     case WireMethod::kBrokerStatus:
+      break;
+    case WireMethod::kShardInfo:
+      break;
+    case WireMethod::kSnapshotFetch:
+      if (!GetVarint64(payload, &pos, &request.snapshot_epoch) ||
+          !GetVarint64(payload, &pos, &request.snapshot_offset) ||
+          !GetVarint64(payload, &pos, &request.snapshot_chunk_bytes)) {
+        return Truncated("snapshot_fetch request body");
+      }
       break;
   }
   // Optional v4 trace-context trailer. A trailer that starts but does
@@ -374,6 +465,25 @@ std::vector<uint8_t> EncodeResponse(const WireResponse& response) {
         PutString(out, score.db_name);
         PutFixed64(out, DoubleToBits(score.score));
       }
+      // v5 federation extension, mirrored from the request's declared
+      // version (the response echoes it): partial/stats flags, the
+      // stats section for stats_only answers, then the down-shard and
+      // shard-epoch lists a federation server fills in.
+      if (response.protocol_version >= kFederationMinVersion) {
+        uint32_t flags = (response.partial ? 1u : 0u) |
+                         (response.has_stats ? 2u : 0u);
+        PutVarint32(out, flags);
+        if (response.has_stats) PutCollectionStats(out, response.stats);
+        PutVarint64(out, response.down_shards.size());
+        for (const std::string& shard : response.down_shards) {
+          PutString(out, shard);
+        }
+        PutVarint64(out, response.shard_epochs.size());
+        for (const ShardEpoch& entry : response.shard_epochs) {
+          PutString(out, entry.shard);
+          PutVarint64(out, entry.epoch);
+        }
+      }
       break;
     case WireMethod::kBrokerStatus:
       PutVarint64(out, response.broker.epoch);
@@ -383,6 +493,22 @@ std::vector<uint8_t> EncodeResponse(const WireResponse& response) {
       PutVarint64(out, response.broker.cache_hits);
       PutVarint64(out, response.broker.cache_misses);
       PutVarint64(out, response.broker.cache_evictions);
+      break;
+    case WireMethod::kShardInfo:
+      PutVarint64(out, response.shard_map_version);
+      PutVarint64(out, response.shards.size());
+      for (const ShardStatusInfo& shard : response.shards) {
+        PutString(out, shard.address);
+        PutVarint64(out, shard.epoch);
+        PutVarint32(out, shard.healthy ? 1 : 0);
+        PutVarint64(out, shard.databases);
+      }
+      break;
+    case WireMethod::kSnapshotFetch:
+      PutVarint64(out, response.snapshot_epoch);
+      PutVarint64(out, response.snapshot_total_bytes);
+      PutVarint64(out, response.snapshot_offset);
+      PutString(out, response.snapshot_data);
       break;
   }
   return out;
@@ -528,6 +654,45 @@ Result<WireResponse> DecodeResponse(const std::vector<uint8_t>& payload) {
         score.score = DoubleFromBits(score_bits);
         response.scores.push_back(std::move(score));
       }
+      if (response.protocol_version >= kFederationMinVersion) {
+        uint32_t flags = 0;
+        if (!GetVarint32(payload, &pos, &flags)) {
+          return Truncated("select v5 response extension");
+        }
+        response.partial = (flags & 1) != 0;
+        response.has_stats = (flags & 2) != 0;
+        if (response.has_stats &&
+            !GetCollectionStats(payload, &pos, &response.stats)) {
+          return Truncated("select response stats section");
+        }
+        uint64_t down = 0;
+        if (!GetVarint64(payload, &pos, &down) ||
+            down > payload.size() - pos + 1) {
+          return Truncated("select down-shard list");
+        }
+        response.down_shards.reserve(static_cast<size_t>(down));
+        for (uint64_t i = 0; i < down; ++i) {
+          std::string shard;
+          if (!GetString(payload, &pos, &shard)) {
+            return Truncated("select down-shard entry");
+          }
+          response.down_shards.push_back(std::move(shard));
+        }
+        uint64_t epochs = 0;
+        if (!GetVarint64(payload, &pos, &epochs) ||
+            epochs > (payload.size() - pos) / 2 + 1) {
+          return Truncated("select shard-epoch list");
+        }
+        response.shard_epochs.reserve(static_cast<size_t>(epochs));
+        for (uint64_t i = 0; i < epochs; ++i) {
+          ShardEpoch entry;
+          if (!GetString(payload, &pos, &entry.shard) ||
+              !GetVarint64(payload, &pos, &entry.epoch)) {
+            return Truncated("select shard-epoch entry");
+          }
+          response.shard_epochs.push_back(std::move(entry));
+        }
+      }
       break;
     }
     case WireMethod::kBrokerStatus:
@@ -539,6 +704,39 @@ Result<WireResponse> DecodeResponse(const std::vector<uint8_t>& payload) {
           !GetVarint64(payload, &pos, &response.broker.cache_misses) ||
           !GetVarint64(payload, &pos, &response.broker.cache_evictions)) {
         return Truncated("broker_status response body");
+      }
+      break;
+    case WireMethod::kShardInfo: {
+      uint64_t count = 0;
+      if (!GetVarint64(payload, &pos, &response.shard_map_version) ||
+          !GetVarint64(payload, &pos, &count)) {
+        return Truncated("shard_info response header");
+      }
+      // Each row is at least 4 bytes (address length + three varints).
+      if (count > (payload.size() - pos) / 4 + 1) {
+        return Status::Corruption("wire: shard count exceeds payload");
+      }
+      response.shards.reserve(static_cast<size_t>(count));
+      for (uint64_t i = 0; i < count; ++i) {
+        ShardStatusInfo shard;
+        uint32_t healthy = 0;
+        if (!GetString(payload, &pos, &shard.address) ||
+            !GetVarint64(payload, &pos, &shard.epoch) ||
+            !GetVarint32(payload, &pos, &healthy) ||
+            !GetVarint64(payload, &pos, &shard.databases)) {
+          return Truncated("shard_info row");
+        }
+        shard.healthy = healthy != 0;
+        response.shards.push_back(std::move(shard));
+      }
+      break;
+    }
+    case WireMethod::kSnapshotFetch:
+      if (!GetVarint64(payload, &pos, &response.snapshot_epoch) ||
+          !GetVarint64(payload, &pos, &response.snapshot_total_bytes) ||
+          !GetVarint64(payload, &pos, &response.snapshot_offset) ||
+          !GetString(payload, &pos, &response.snapshot_data)) {
+        return Truncated("snapshot_fetch response body");
       }
       break;
   }

@@ -1,7 +1,9 @@
 // The qbs wire protocol: length-prefixed binary frames carrying the
 // TextDatabase RPCs — Ping, ServerInfo, RunQuery, FetchDocument since
-// v1, the batched QueryAndFetch / FetchBatch since v2, and the
-// selection-broker Select / BrokerStatus since v3.
+// v1, the batched QueryAndFetch / FetchBatch since v2, the
+// selection-broker Select / BrokerStatus since v3, and the federation
+// surface (Select scatter-gather extensions, ShardInfo, SnapshotFetch)
+// since v5.
 //
 // A frame is a 4-byte little-endian payload length followed by the
 // payload. Payload fields are LEB128 varints (src/index/varint) and
@@ -29,14 +31,18 @@ namespace qbs {
 /// Protocol version spoken by this build. Version 2 adds the batched
 /// RPCs (query_and_fetch, fetch_batch); version 3 adds the
 /// selection-broker RPCs (select, broker_status); version 4 adds the
-/// optional trace-context trailer on requests (no new methods); every
-/// earlier message is unchanged. A request's version field states the
-/// minimum version needed to understand that message, so a new client
-/// keeps stamping version-1 methods with 1 and an old server keeps
-/// accepting them. A server replies to a version it does not speak with
-/// FailedPrecondition and its own version number, so the peer gets a
-/// diagnosable error instead of garbage (and a new client downgrades).
-inline constexpr uint32_t kWireProtocolVersion = 4;
+/// optional trace-context trailer on requests (no new methods);
+/// version 5 adds the federation surface — the select request/response
+/// extensions (stats_only / has_stats scatter-gather, partial-result
+/// flagging, shard epoch vectors) and the shard_info / snapshot_fetch
+/// RPCs; every earlier message is unchanged. A request's version field
+/// states the minimum version needed to understand that message, so a
+/// new client keeps stamping version-1 methods with 1 and an old server
+/// keeps accepting them. A server replies to a version it does not
+/// speak with FailedPrecondition and its own version number, so the
+/// peer gets a diagnosable error instead of garbage (and a new client
+/// downgrades).
+inline constexpr uint32_t kWireProtocolVersion = 5;
 
 /// First version whose decoders accept the optional trace-context
 /// trailer on request frames. Pre-v4 decoders reject any bytes after
@@ -44,6 +50,14 @@ inline constexpr uint32_t kWireProtocolVersion = 4;
 /// context once it has negotiated >= this version with the peer — and a
 /// request carrying one must declare at least this version.
 inline constexpr uint32_t kTraceContextMinVersion = 4;
+
+/// First version carrying the federation surface: the select
+/// request/response extensions (a mandatory flags varint after the v3
+/// select body, plus optional stats / epoch-vector sections) and the
+/// shard_info / snapshot_fetch methods. A select request stamped >= 5
+/// always encodes the flags varint; plain selects keep stamping v3 and
+/// stay byte-identical to every earlier build.
+inline constexpr uint32_t kFederationMinVersion = 5;
 
 /// Frames larger than this are rejected as Corruption before any
 /// allocation — a garbled length prefix must not become a giant malloc.
@@ -63,6 +77,12 @@ enum class WireMethod : uint32_t {
   kSelect = 7,
   /// v3: a broker's live serving state (broker servers only).
   kBrokerStatus = 8,
+  /// v5: a federation's shard map and per-shard snapshot epochs
+  /// (federation servers only).
+  kShardInfo = 9,
+  /// v5: stream a broker's packed model-store image, one chunk per
+  /// round trip, pinned to a snapshot epoch (broker servers only).
+  kSnapshotFetch = 10,
 };
 
 /// Stable lowercase method name ("ping", ...; "unknown" otherwise),
@@ -73,6 +93,25 @@ const char* WireMethodName(WireMethod method);
 /// request carrying it must declare, and the least version a peer must
 /// have negotiated before sending it.
 uint32_t MinVersionForMethod(WireMethod method);
+
+/// One shard's snapshot epoch, as pinned for a federated query (v5).
+struct ShardEpoch {
+  /// The shard broker's address ("host:port").
+  std::string shard;
+  uint64_t epoch = 0;
+};
+
+/// One shard's liveness row in a shard_info response (v5).
+struct ShardStatusInfo {
+  /// The shard broker's address ("host:port").
+  std::string address;
+  /// The shard's current snapshot epoch (0 when unknown or unreachable).
+  uint64_t epoch = 0;
+  /// Whether the federation most recently reached this shard.
+  bool healthy = false;
+  /// Databases the shard serves (0 when unknown).
+  uint64_t databases = 0;
+};
 
 /// BrokerStatus payload (v3): a selection broker's live serving state.
 struct BrokerStatusInfo {
@@ -110,6 +149,30 @@ struct WireRequest {
   std::vector<std::string> handles;
   /// kSelect only: ranker name ("cori", "bgloss", "vgloss", "kl").
   std::string ranker;
+  /// v5 kSelect, scatter-gather phase 1: return the snapshot epoch and
+  /// the query's collection-global statistics instead of a ranking.
+  /// Mutually exclusive with has_stats (both set decodes as Corruption).
+  bool stats_only = false;
+  /// v5 kSelect, scatter-gather phase 2: rank with the supplied
+  /// `stats` (the federation-wide aggregate) instead of locally
+  /// computed ones, pinned to `pinned_epoch`.
+  bool has_stats = false;
+  /// v5 kSelect with has_stats: the snapshot epoch the stats were
+  /// gathered at. The server answers FailedPrecondition when its
+  /// current epoch differs — the caller restarts the query rather than
+  /// mixing epochs.
+  uint64_t pinned_epoch = 0;
+  /// v5 kSelect with has_stats: collection-global statistics,
+  /// index-aligned with the analyzed query terms (both sides analyze
+  /// `query` with the same deterministic pipeline).
+  CollectionStats stats;
+  /// v5 kSnapshotFetch: the snapshot epoch to read (0 = whatever is
+  /// current; later chunks pin the epoch the first chunk reported).
+  uint64_t snapshot_epoch = 0;
+  /// v5 kSnapshotFetch: byte offset into the packed store image.
+  uint64_t snapshot_offset = 0;
+  /// v5 kSnapshotFetch: maximum bytes per chunk (0 = server default).
+  uint64_t snapshot_chunk_bytes = 0;
   /// v4: distributed-tracing context, encoded as an optional trailer
   /// after the method body. Absent on the wire (and all-zero here) when
   /// the caller is not tracing or the peer negotiated < v4. Decoded
@@ -145,6 +208,28 @@ struct WireResponse {
   std::vector<DatabaseScore> scores;
   /// kBrokerStatus only (present when status is OK).
   BrokerStatusInfo broker;
+  /// v5 kSelect: true when one or more shards were unreachable and the
+  /// ranking covers only the live subset (flagged, never an error).
+  bool partial = false;
+  /// v5 kSelect answering a stats_only request: the collection-global
+  /// statistics for the analyzed query, at `epoch`.
+  bool has_stats = false;
+  CollectionStats stats;
+  /// v5 kSelect from a federation server: the shards that were down for
+  /// this query (addresses), and the per-shard snapshot epochs the
+  /// ranking was computed from.
+  std::vector<std::string> down_shards;
+  std::vector<ShardEpoch> shard_epochs;
+  /// kShardInfo only (v5): the shard map fingerprint and one row per
+  /// shard.
+  uint64_t shard_map_version = 0;
+  std::vector<ShardStatusInfo> shards;
+  /// kSnapshotFetch only (v5): the epoch of the served image, its total
+  /// size, this chunk's offset, and the chunk bytes.
+  uint64_t snapshot_epoch = 0;
+  uint64_t snapshot_total_bytes = 0;
+  uint64_t snapshot_offset = 0;
+  std::string snapshot_data;
 };
 
 /// Serializes a request/response into a frame payload (no length prefix).

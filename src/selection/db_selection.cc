@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "util/logging.h"
 
@@ -26,18 +28,20 @@ size_t DatabaseCollection::DatabasesContaining(std::string_view term) const {
   return count;
 }
 
-double DatabaseCollection::AvgCollectionSize() const {
-  if (entries_.empty()) return 0.0;
-  double total = 0.0;
-  for (const Entry& e : entries_) {
-    total += static_cast<double>(e.model->total_term_count());
-  }
-  return total / entries_.size();
-}
-
 namespace {
 
-// Sorts scores descending, tie-broken by name, and returns them.
+// Counters saturate rather than wrap (same policy as LanguageModel):
+// min-clamped addition of non-negative values is order-independent, so
+// shard-wise aggregation equals the union collection's direct sum.
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  uint64_t sum = a + b;
+  return sum < a ? std::numeric_limits<uint64_t>::max() : sum;
+}
+
+// Sorts scores descending, tie-broken by name, and returns them. With
+// unique database names this comparator is a total order, so any
+// conforming sort — here, or a federator re-sorting concatenated shard
+// rankings — produces the identical sequence.
 std::vector<DatabaseScore> Finish(std::vector<DatabaseScore> scores) {
   std::sort(scores.begin(), scores.end(),
             [](const DatabaseScore& a, const DatabaseScore& b) {
@@ -49,35 +53,91 @@ std::vector<DatabaseScore> Finish(std::vector<DatabaseScore> scores) {
 
 }  // namespace
 
+double DatabaseCollection::AvgCollectionSize() const {
+  if (entries_.empty()) return 0.0;
+  // Integer accumulation, converted once: bit-identical to the
+  // federated path, which derives avg_cw from CollectionStats::sum_cw.
+  uint64_t total = 0;
+  for (const Entry& e : entries_) {
+    total = SatAdd(total, e.model->total_term_count());
+  }
+  return static_cast<double>(total) / static_cast<double>(entries_.size());
+}
+
+CollectionStats ComputeCollectionStats(
+    const DatabaseCollection& collection,
+    const std::vector<std::string>& query_terms) {
+  CollectionStats stats;
+  stats.num_databases = collection.size();
+  for (size_t i = 0; i < collection.size(); ++i) {
+    uint64_t cw = collection.model(i).total_term_count();
+    stats.sum_cw = SatAdd(stats.sum_cw, cw);
+    // Models maintain total_term_count == sum(ctf), so folding totals
+    // equals the term-wise union the KL background model would build.
+    stats.union_total_terms = SatAdd(stats.union_total_terms, cw);
+  }
+  stats.terms.resize(query_terms.size());
+  for (size_t t = 0; t < query_terms.size(); ++t) {
+    for (size_t i = 0; i < collection.size(); ++i) {
+      TermStats s;
+      if (collection.model(i).FindStats(query_terms[t], &s)) {
+        stats.terms[t].cf = SatAdd(stats.terms[t].cf, 1);
+        stats.terms[t].union_ctf = SatAdd(stats.terms[t].union_ctf, s.ctf);
+      }
+    }
+  }
+  return stats;
+}
+
+void MergeCollectionStats(CollectionStats& into, const CollectionStats& other) {
+  into.num_databases = SatAdd(into.num_databases, other.num_databases);
+  into.sum_cw = SatAdd(into.sum_cw, other.sum_cw);
+  into.union_total_terms =
+      SatAdd(into.union_total_terms, other.union_total_terms);
+  if (into.terms.empty()) into.terms.resize(other.terms.size());
+  QBS_CHECK(into.terms.size() == other.terms.size());
+  for (size_t t = 0; t < other.terms.size(); ++t) {
+    into.terms[t].cf = SatAdd(into.terms[t].cf, other.terms[t].cf);
+    into.terms[t].union_ctf =
+        SatAdd(into.terms[t].union_ctf, other.terms[t].union_ctf);
+  }
+}
+
 CoriRanker::CoriRanker(const DatabaseCollection* collection,
                        double default_belief)
     : collection_(collection), default_belief_(default_belief) {
   QBS_CHECK(collection_ != nullptr);
-  avg_cw_ = collection_->AvgCollectionSize();
 }
 
 std::vector<DatabaseScore> CoriRanker::Rank(
     const std::vector<std::string>& query_terms) const {
-  const size_t num_dbs = collection_->size();
-  std::vector<DatabaseScore> scores(num_dbs);
+  return RankWith(query_terms,
+                  ComputeCollectionStats(*collection_, query_terms));
+}
 
-  // cf (number of databases containing each term) is query-wide.
-  std::vector<size_t> cf(query_terms.size());
-  for (size_t t = 0; t < query_terms.size(); ++t) {
-    cf[t] = collection_->DatabasesContaining(query_terms[t]);
-  }
+std::vector<DatabaseScore> CoriRanker::RankWith(
+    const std::vector<std::string>& query_terms,
+    const CollectionStats& stats) const {
+  QBS_CHECK(stats.terms.size() == query_terms.size());
+  const uint64_t num_dbs = stats.num_databases;
+  const double avg_cw =
+      num_dbs > 0 ? static_cast<double>(stats.sum_cw) /
+                        static_cast<double>(num_dbs)
+                  : 0.0;
+  std::vector<DatabaseScore> scores(collection_->size());
 
-  for (size_t i = 0; i < num_dbs; ++i) {
+  for (size_t i = 0; i < collection_->size(); ++i) {
     const LanguageModelView& lm = collection_->model(i);
     double cw = static_cast<double>(lm.total_term_count());
     double belief_sum = 0.0;
     for (size_t t = 0; t < query_terms.size(); ++t) {
       TermStats s;
       double belief = default_belief_;
-      if (lm.FindStats(query_terms[t], &s) && cf[t] > 0) {
+      if (lm.FindStats(query_terms[t], &s) && stats.terms[t].cf > 0) {
         double df = static_cast<double>(s.df);
-        double tt = df / (df + 50.0 + 150.0 * (avg_cw_ > 0 ? cw / avg_cw_ : 1.0));
-        double ii = std::log((num_dbs + 0.5) / cf[t]) / std::log(num_dbs + 1.0);
+        double tt = df / (df + 50.0 + 150.0 * (avg_cw > 0 ? cw / avg_cw : 1.0));
+        double ii = std::log((num_dbs + 0.5) / stats.terms[t].cf) /
+                    std::log(num_dbs + 1.0);
         belief = default_belief_ + (1.0 - default_belief_) * tt * ii;
       }
       belief_sum += belief;
@@ -110,18 +170,38 @@ std::vector<DatabaseScore> BglossRanker::Rank(
   return Finish(std::move(scores));
 }
 
+std::vector<DatabaseScore> BglossRanker::RankWith(
+    const std::vector<std::string>& query_terms,
+    const CollectionStats& stats) const {
+  // Each database's document-count estimate depends only on its own
+  // model, so the supplied global stats carry nothing bGlOSS needs.
+  (void)stats;
+  return Rank(query_terms);
+}
+
 std::vector<DatabaseScore> VglossRanker::Rank(
     const std::vector<std::string>& query_terms) const {
-  const size_t num_dbs = collection_->size();
-  std::vector<DatabaseScore> scores(num_dbs);
+  return RankWith(query_terms,
+                  ComputeCollectionStats(*collection_, query_terms));
+}
+
+std::vector<DatabaseScore> VglossRanker::RankWith(
+    const std::vector<std::string>& query_terms,
+    const CollectionStats& stats) const {
+  QBS_CHECK(stats.terms.size() == query_terms.size());
+  const uint64_t num_dbs = stats.num_databases;
+  std::vector<DatabaseScore> scores(collection_->size());
 
   std::vector<double> idf(query_terms.size(), 0.0);
   for (size_t t = 0; t < query_terms.size(); ++t) {
-    size_t cf = collection_->DatabasesContaining(query_terms[t]);
-    if (cf > 0) idf[t] = std::log(1.0 + static_cast<double>(num_dbs) / cf);
+    uint64_t cf = stats.terms[t].cf;
+    if (cf > 0) {
+      idf[t] = std::log(1.0 + static_cast<double>(num_dbs) /
+                                  static_cast<double>(cf));
+    }
   }
 
-  for (size_t i = 0; i < num_dbs; ++i) {
+  for (size_t i = 0; i < collection_->size(); ++i) {
     const LanguageModelView& lm = collection_->model(i);
     double score = 0.0;
     for (size_t t = 0; t < query_terms.size(); ++t) {
@@ -140,19 +220,25 @@ KlRanker::KlRanker(const DatabaseCollection* collection, double lambda)
     : collection_(collection), lambda_(lambda) {
   QBS_CHECK(collection_ != nullptr);
   QBS_CHECK(lambda_ > 0.0 && lambda_ < 1.0);
-  // Integer accumulation over each model's terms: the union is identical
-  // whatever order each view iterates in, so heap-built and mapped
-  // collections produce the same union model (and the same rankings).
-  for (size_t i = 0; i < collection_->size(); ++i) {
-    union_model_.Merge(collection_->model(i));
-  }
 }
 
 std::vector<DatabaseScore> KlRanker::Rank(
     const std::vector<std::string>& query_terms) const {
+  // Integer accumulation per query term (ComputeCollectionStats): the
+  // union counts are identical whatever order each view iterates in, so
+  // heap-built and mapped collections produce the same background model
+  // (and the same rankings).
+  return RankWith(query_terms,
+                  ComputeCollectionStats(*collection_, query_terms));
+}
+
+std::vector<DatabaseScore> KlRanker::RankWith(
+    const std::vector<std::string>& query_terms,
+    const CollectionStats& stats) const {
+  QBS_CHECK(stats.terms.size() == query_terms.size());
   std::vector<DatabaseScore> scores(collection_->size());
-  double union_total =
-      std::max<double>(union_model_.total_term_count(), 1.0);
+  double union_total = std::max<double>(
+      static_cast<double>(stats.union_total_terms), 1.0);
   // Tiny floor so a term absent everywhere cannot produce log(0).
   const double kFloor = 1e-12;
 
@@ -160,11 +246,13 @@ std::vector<DatabaseScore> KlRanker::Rank(
     const LanguageModelView& lm = collection_->model(i);
     double total = std::max<double>(lm.total_term_count(), 1.0);
     double score = 0.0;
-    for (const std::string& term : query_terms) {
+    for (size_t t = 0; t < query_terms.size(); ++t) {
       TermStats s;
-      const TermStats* u = union_model_.Find(term);
-      double p_db = lm.FindStats(term, &s) ? s.ctf / total : 0.0;
-      double p_bg = u != nullptr ? u->ctf / union_total : 0.0;
+      double p_db = lm.FindStats(query_terms[t], &s) ? s.ctf / total : 0.0;
+      double p_bg =
+          stats.terms[t].union_ctf > 0
+              ? static_cast<double>(stats.terms[t].union_ctf) / union_total
+              : 0.0;
       score += std::log(lambda_ * p_db + (1.0 - lambda_) * p_bg + kFloor);
     }
     scores[i].db_name = collection_->name(i);

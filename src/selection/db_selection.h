@@ -7,6 +7,7 @@
 #ifndef QBS_SELECTION_DB_SELECTION_H_
 #define QBS_SELECTION_DB_SELECTION_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -67,6 +68,49 @@ struct DatabaseScore {
   double score = 0.0;
 };
 
+/// Collection-global statistics for one query term: how many databases
+/// contain it and its summed (union) collection term frequency. Counters
+/// are saturating sums, so aggregating per-shard stats in any order
+/// yields the same values the union collection computes directly.
+struct TermGlobalStats {
+  /// Databases whose model contains the term (CORI/vGlOSS cf).
+  uint64_t cf = 0;
+  /// Sum of ctf over every database (the KL background model's count).
+  uint64_t union_ctf = 0;
+};
+
+/// Query-wide collection statistics — everything a ranker needs about
+/// databases *other than* the ones it is scoring. A single process
+/// computes these from its own collection; a federation computes them
+/// by summing per-shard stats (MergeCollectionStats), and because every
+/// field is a saturating integer sum, the aggregate is independent of
+/// shard count and merge order: RankWith over a partition reproduces
+/// Rank over the union bit for bit.
+struct CollectionStats {
+  /// Databases in the collection (CORI/vGlOSS C).
+  uint64_t num_databases = 0;
+  /// Sum of total_term_count over all databases; CORI's avg_cw is
+  /// sum_cw / num_databases.
+  uint64_t sum_cw = 0;
+  /// Total term count of the union (background) model. Numerically
+  /// equal to sum_cw while models keep total == sum(ctf), but carried
+  /// separately because the two are semantically distinct quantities.
+  uint64_t union_total_terms = 0;
+  /// Index-aligned with the query's analyzed terms.
+  std::vector<TermGlobalStats> terms;
+};
+
+/// Computes the stats for `query_terms` over one collection.
+CollectionStats ComputeCollectionStats(
+    const DatabaseCollection& collection,
+    const std::vector<std::string>& query_terms);
+
+/// Field-wise saturating sum of `other` into `into`. `into.terms` is
+/// resized to match when empty; otherwise the term vectors must be the
+/// same length (same analyzed query). Order-independent: merging shard
+/// stats in any order yields the union collection's stats.
+void MergeCollectionStats(CollectionStats& into, const CollectionStats& other);
+
 /// A database-selection algorithm over a fixed collection.
 ///
 /// Rankers are immutable after construction: Rank() only reads the ranker
@@ -82,9 +126,22 @@ class DatabaseRanker {
   virtual std::string name() const = 0;
 
   /// Ranks every database for a bag-of-words query, best first. Ties are
-  /// broken by database name for determinism.
+  /// broken by database name for determinism. Equivalent to RankWith
+  /// using stats computed over this ranker's own collection.
   virtual std::vector<DatabaseScore> Rank(
       const std::vector<std::string>& query_terms) const = 0;
+
+  /// Ranks this ranker's databases using externally supplied
+  /// collection-global statistics instead of computing them locally.
+  /// This is the federation primitive: a shard ranking only its own
+  /// databases with the *union's* stats produces exactly the scores a
+  /// single ranker over the union collection would, so concatenating
+  /// per-shard RankWith results and re-sorting reproduces Rank over the
+  /// union bit for bit. `stats.terms` must be index-aligned with
+  /// `query_terms` (callers validate; violations are a checked failure).
+  virtual std::vector<DatabaseScore> RankWith(
+      const std::vector<std::string>& query_terms,
+      const CollectionStats& stats) const = 0;
 };
 
 /// CORI (Callan et al., 1995): INQUERY-style inference-net belief over
@@ -101,11 +158,13 @@ class CoriRanker : public DatabaseRanker {
   std::string name() const override { return "cori"; }
   std::vector<DatabaseScore> Rank(
       const std::vector<std::string>& query_terms) const override;
+  std::vector<DatabaseScore> RankWith(
+      const std::vector<std::string>& query_terms,
+      const CollectionStats& stats) const override;
 
  private:
   const DatabaseCollection* collection_;
   double default_belief_;
-  double avg_cw_;
 };
 
 /// Boolean GlOSS (Gravano et al.): estimates the number of documents in
@@ -119,6 +178,11 @@ class BglossRanker : public DatabaseRanker {
   std::string name() const override { return "bgloss"; }
   std::vector<DatabaseScore> Rank(
       const std::vector<std::string>& query_terms) const override;
+  /// bGlOSS needs no collection-global state — each database's estimate
+  /// depends only on its own model — so RankWith ignores `stats`.
+  std::vector<DatabaseScore> RankWith(
+      const std::vector<std::string>& query_terms,
+      const CollectionStats& stats) const override;
 
  private:
   const DatabaseCollection* collection_;
@@ -136,6 +200,9 @@ class VglossRanker : public DatabaseRanker {
   std::string name() const override { return "vgloss"; }
   std::vector<DatabaseScore> Rank(
       const std::vector<std::string>& query_terms) const override;
+  std::vector<DatabaseScore> RankWith(
+      const std::vector<std::string>& query_terms,
+      const CollectionStats& stats) const override;
 
  private:
   const DatabaseCollection* collection_;
@@ -151,11 +218,13 @@ class KlRanker : public DatabaseRanker {
   std::string name() const override { return "kl"; }
   std::vector<DatabaseScore> Rank(
       const std::vector<std::string>& query_terms) const override;
+  std::vector<DatabaseScore> RankWith(
+      const std::vector<std::string>& query_terms,
+      const CollectionStats& stats) const override;
 
  private:
   const DatabaseCollection* collection_;
   double lambda_;
-  LanguageModel union_model_;
 };
 
 /// Factory by name; returns nullptr for unknown names.

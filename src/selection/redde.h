@@ -59,6 +59,19 @@ class ReddeRanker : public DatabaseRanker {
   std::vector<DatabaseScore> Rank(
       const std::vector<std::string>& query_terms) const override;
 
+  /// ReDDE scores come from the central sample index and the size
+  /// estimates, not from collection-global term statistics — the
+  /// central index already is the union view, with no per-shard
+  /// decomposition to re-aggregate. RankWith therefore ignores `stats`
+  /// and ranks exactly as Rank does. (The broker's ranker registry and
+  /// the federation only route to the collection-statistics rankers,
+  /// so this path never affects a federated ranking.)
+  std::vector<DatabaseScore> RankWith(
+      const std::vector<std::string>& query_terms,
+      const CollectionStats& /*stats*/) const override {
+    return Rank(query_terms);
+  }
+
   /// Number of documents in the central sample index.
   size_t central_docs() const { return doc_db_.size(); }
 

@@ -1,0 +1,195 @@
+// Property test for the scatter-gather algebra, in-process (no
+// sockets): for random shard counts, random database assignments,
+// random models, and random queries, running the federation's own
+// two-phase protocol over per-shard SelectionBrokers —
+// CollectStats on each shard, MergeCollectionStats, SelectWith on each
+// shard, concatenate, re-sort (score descending, name ascending), trim
+// — must reproduce a single broker over the union collection bit for
+// bit, for all four rankers, including tie-break order.
+//
+// This is the mathematical core the wire-level suite (fed_test.cc)
+// rides on; keeping it in-process lets it run many trials per second.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "broker/model_registry.h"
+#include "broker/selection_broker.h"
+#include "selection/db_selection.h"
+#include "text/analyzer.h"
+#include "util/random.h"
+
+namespace qbs {
+namespace {
+
+std::vector<std::string> StemmedVocab() {
+  static const std::vector<std::string>* words = new std::vector<std::string>{
+      "recipe",  "cooking", "quantum",  "galaxy", "neural",  "network",
+      "protein", "genome",  "market",   "stock",  "symphony", "violin",
+      "planet",  "enzyme",  "electron", "poetry"};
+  Analyzer analyzer = Analyzer::InqueryLike();
+  std::vector<std::string> stems;
+  for (const std::string& word : *words) {
+    for (std::string& t : analyzer.Analyze(word)) stems.push_back(std::move(t));
+  }
+  return stems;
+}
+
+LanguageModel RandomModel(Rng& rng, const std::vector<std::string>& vocab) {
+  LanguageModel model;
+  uint64_t max_df = 1;
+  for (const std::string& term : vocab) {
+    // ~1 in 4 terms absent from this database, so cf varies by db.
+    if (rng() % 4 == 0) continue;
+    uint64_t df = 1 + rng() % 60;
+    uint64_t ctf = df + rng() % 300;
+    model.AddTerm(term, df, ctf);
+    max_df = std::max(max_df, df);
+  }
+  model.set_num_docs(max_df + rng() % 40 + 1);
+  return model;
+}
+
+std::string RandomQuery(Rng& rng) {
+  // Raw words; the broker analyzes them. One word in six is unknown to
+  // every model, exercising zero-stat terms.
+  static const std::vector<std::string>* words = new std::vector<std::string>{
+      "recipe",  "cooking", "quantum",  "galaxy", "neural",  "network",
+      "protein", "genome",  "market",   "stock",  "symphony", "violin",
+      "planet",  "enzyme",  "electron", "poetry"};
+  size_t len = 1 + rng() % 4;
+  std::string query;
+  for (size_t i = 0; i < len; ++i) {
+    if (!query.empty()) query += ' ';
+    if (rng() % 6 == 0) {
+      query += "zyzzyva";
+    } else {
+      query += (*words)[rng() % words->size()];
+    }
+  }
+  return query;
+}
+
+TEST(FedPropertyTest, TwoPhaseMergeEqualsUnionBrokerOnRandomShardings) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  Rng rng(20260809);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    const size_t num_shards = 1 + rng() % 5;
+    const size_t num_dbs = num_shards + rng() % 10;
+
+    // Build every database once, then deal it to a random shard; the
+    // union collection holds the identical LanguageModel objects.
+    std::vector<std::string> names;
+    std::vector<LanguageModel> models;
+    for (size_t i = 0; i < num_dbs; ++i) {
+      names.push_back("db-" + std::to_string(trial) + "-" +
+                      std::to_string(i));
+      models.push_back(RandomModel(rng, vocab));
+    }
+    std::vector<DatabaseCollection> shard_dbs(num_shards);
+    DatabaseCollection union_dbs;
+    for (size_t i = 0; i < num_dbs; ++i) {
+      shard_dbs[rng() % num_shards].Add(names[i], models[i]);
+      union_dbs.Add(names[i], models[i]);
+    }
+
+    std::vector<std::unique_ptr<ModelRegistry>> registries;
+    std::vector<std::unique_ptr<SelectionBroker>> shards;
+    for (size_t s = 0; s < num_shards; ++s) {
+      registries.push_back(std::make_unique<ModelRegistry>());
+      registries.back()->Publish(std::move(shard_dbs[s]));
+      shards.push_back(
+          std::make_unique<SelectionBroker>(registries.back().get()));
+    }
+    ModelRegistry union_registry;
+    union_registry.Publish(std::move(union_dbs));
+    SelectionBroker union_broker(&union_registry);
+
+    for (int q = 0; q < 3; ++q) {
+      const std::string query = RandomQuery(rng);
+      const size_t top_k = rng() % 2 == 0 ? 0 : 1 + rng() % num_dbs;
+
+      // Phase 1: gather per-shard stats, merge in shard order.
+      CollectionStats merged;
+      std::vector<uint64_t> epochs;
+      for (auto& shard : shards) {
+        auto stats = shard->CollectStats(query);
+        ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+        epochs.push_back(stats->epoch);
+        MergeCollectionStats(merged, stats->stats);
+      }
+
+      for (const std::string& ranker : KnownRankerNames()) {
+        SCOPED_TRACE("query='" + query + "' ranker=" + ranker + " top_k=" +
+                     std::to_string(top_k));
+        // Phase 2: each shard ranks its own databases with the
+        // federation-wide stats; merge = concat + total-order sort.
+        std::vector<DatabaseScore> gathered;
+        for (size_t s = 0; s < shards.size(); ++s) {
+          auto part = shards[s]->SelectWith(query, ranker, /*top_k=*/0,
+                                            epochs[s], merged);
+          ASSERT_TRUE(part.ok()) << part.status().ToString();
+          gathered.insert(gathered.end(), part->scores.begin(),
+                          part->scores.end());
+        }
+        std::sort(gathered.begin(), gathered.end(),
+                  [](const DatabaseScore& a, const DatabaseScore& b) {
+                    if (a.score != b.score) return a.score > b.score;
+                    return a.db_name < b.db_name;
+                  });
+        if (top_k != 0 && gathered.size() > top_k) gathered.resize(top_k);
+
+        auto want = union_broker.Select(query, ranker, top_k);
+        ASSERT_TRUE(want.ok()) << want.status().ToString();
+        ASSERT_EQ(gathered.size(), want->scores.size());
+        for (size_t i = 0; i < gathered.size(); ++i) {
+          EXPECT_EQ(gathered[i].db_name, want->scores[i].db_name)
+              << "rank " << i;
+          EXPECT_EQ(gathered[i].score, want->scores[i].score)
+              << "rank " << i << " (" << gathered[i].db_name << ")";
+        }
+      }
+    }
+  }
+}
+
+// Merging shard statistics in any order yields the same aggregate —
+// the property that makes the phase-1 merge shard-order-independent.
+TEST(FedPropertyTest, StatsMergeIsOrderIndependent) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<CollectionStats> parts;
+    const std::vector<std::string> terms(vocab.begin(), vocab.begin() + 4);
+    for (int p = 0; p < 5; ++p) {
+      DatabaseCollection dbs;
+      for (int d = 0; d < 3; ++d) {
+        dbs.Add("p" + std::to_string(p) + "d" + std::to_string(d),
+                RandomModel(rng, vocab));
+      }
+      parts.push_back(ComputeCollectionStats(dbs, terms));
+    }
+    CollectionStats forward;
+    for (const auto& p : parts) MergeCollectionStats(forward, p);
+    CollectionStats backward;
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+      MergeCollectionStats(backward, *it);
+    }
+    EXPECT_EQ(forward.num_databases, backward.num_databases);
+    EXPECT_EQ(forward.sum_cw, backward.sum_cw);
+    EXPECT_EQ(forward.union_total_terms, backward.union_total_terms);
+    ASSERT_EQ(forward.terms.size(), backward.terms.size());
+    for (size_t i = 0; i < forward.terms.size(); ++i) {
+      EXPECT_EQ(forward.terms[i].cf, backward.terms[i].cf);
+      EXPECT_EQ(forward.terms[i].union_ctf, backward.terms[i].union_ctf);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qbs

@@ -1,0 +1,255 @@
+// Snapshot replication over the wire: SnapshotProvider packing a
+// broker's published registry, the v5 snapshot_fetch chunk protocol,
+// and FetchSnapshotToFile restoring a byte-identical, openable model
+// store on the other side — including the epoch-pinned restart when the
+// broker republishes mid-stream.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker_server.h"
+#include "broker/model_registry.h"
+#include "broker/selection_broker.h"
+#include "broker/snapshot_provider.h"
+#include "fed/snapshot_client.h"
+#include "mstore/mapped_model_store.h"
+#include "storage/file_io.h"
+#include "net/wire.h"
+#include "net/wire_client.h"
+#include "selection/db_selection.h"
+#include "text/analyzer.h"
+
+namespace qbs {
+namespace {
+
+std::vector<std::string> StemmedVocab() {
+  static const std::vector<std::string>* words = new std::vector<std::string>{
+      "recipe", "cooking", "quantum", "galaxy", "neural", "network",
+      "protein", "genome"};
+  Analyzer analyzer = Analyzer::InqueryLike();
+  std::vector<std::string> stems;
+  for (const std::string& word : *words) {
+    for (std::string& t : analyzer.Analyze(word)) stems.push_back(std::move(t));
+  }
+  return stems;
+}
+
+DatabaseCollection MakeCollection(size_t num_dbs, uint64_t seed,
+                                  const std::vector<std::string>& vocab) {
+  DatabaseCollection dbs;
+  for (size_t i = 0; i < num_dbs; ++i) {
+    LanguageModel model;
+    uint64_t max_df = 1;
+    for (size_t t = 0; t < vocab.size(); ++t) {
+      uint64_t df = 1 + (seed * 31 + i * 11 + t * 7) % 40;
+      uint64_t ctf = df + (seed * 17 + i * 5 + t * 13) % 160;
+      model.AddTerm(vocab[t], df, ctf);
+      max_df = std::max(max_df, df);
+    }
+    model.set_num_docs(max_df + i + 1);
+    dbs.Add("snap-db-" + std::to_string(i), std::move(model));
+  }
+  return dbs;
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+WireClientOptions ClientOptionsFor(const FrameServer& server) {
+  WireClientOptions options;
+  options.port = server.port();
+  return options;
+}
+
+TEST(SnapshotProviderTest, EpochZeroIsFailedPreconditionNotAnEmptyImage) {
+  ModelRegistry registry;
+  SnapshotProvider provider(&registry);
+  auto image = provider.Get();
+  EXPECT_TRUE(image.status().IsFailedPrecondition())
+      << image.status().ToString();
+}
+
+TEST(SnapshotProviderTest, PacksTheRegistryAndCachesByEpoch) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  ModelRegistry registry;
+  registry.Publish(MakeCollection(3, /*seed=*/1, vocab));
+  SnapshotProvider provider(&registry);
+
+  auto image = provider.Get();
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_EQ(image->epoch, 1u);
+  ASSERT_NE(image->bytes, nullptr);
+
+  // Cached: the same epoch returns the same packed image (same object).
+  auto again = provider.Get();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->bytes.get(), image->bytes.get());
+
+  // The image is a valid store holding exactly the published models.
+  const std::string path = TempPath("provider_image.qbsm");
+  ASSERT_TRUE(WriteFileAtomic(path, *image->bytes).ok());
+  auto store = MappedModelStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->num_models(), 3u);
+
+  // A republish invalidates the cache: new epoch, new image.
+  registry.Publish(MakeCollection(4, /*seed=*/2, vocab));
+  auto fresh = provider.Get();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh->epoch, 2u);
+  EXPECT_NE(fresh->bytes.get(), image->bytes.get());
+}
+
+TEST(SnapshotFetchTest, FetchedFileOpensAndRanksIdentically) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  ModelRegistry registry;
+  registry.Publish(MakeCollection(5, /*seed=*/3, vocab));
+  SelectionBroker broker(&registry);
+  SnapshotProvider provider(&registry);
+  BrokerServerOptions options;
+  options.snapshot_source = [&provider] { return provider.Get(); };
+  BrokerServer server(&broker, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  WireClient client(ClientOptionsFor(server));
+  const std::string path = TempPath("fetched_snapshot.qbsm");
+  // A tiny chunk size forces a genuinely multi-chunk stream.
+  SnapshotFetchOptions fetch_options;
+  fetch_options.chunk_bytes = 128;
+  auto fetched = FetchSnapshotToFile(client, path, fetch_options);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(fetched->epoch, 1u);
+
+  // Byte-identity with a direct local pack of the same snapshot.
+  auto image = provider.Get();
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(fetched->bytes, image->bytes->size());
+
+  auto store = MappedModelStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->num_models(), 5u);
+
+  // A registry restored from the fetched file ranks bit-identically to
+  // the origin broker — the whole point of snapshot replication.
+  ModelRegistry restored_registry;
+  restored_registry.Publish(CollectionFromStore(*store));
+  SelectionBroker restored(&restored_registry);
+  for (const std::string& ranker : KnownRankerNames()) {
+    auto want = broker.Select("recipe quantum protein", ranker);
+    ASSERT_TRUE(want.ok()) << ranker;
+    auto got = restored.Select("recipe quantum protein", ranker);
+    ASSERT_TRUE(got.ok()) << ranker;
+    ASSERT_EQ(got->scores.size(), want->scores.size()) << ranker;
+    for (size_t i = 0; i < want->scores.size(); ++i) {
+      EXPECT_EQ(got->scores[i].db_name, want->scores[i].db_name) << ranker;
+      EXPECT_EQ(got->scores[i].score, want->scores[i].score) << ranker;
+    }
+  }
+}
+
+TEST(SnapshotFetchTest, RepublishMidStreamRestartsAtTheNewEpoch) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  ModelRegistry registry;
+  registry.Publish(MakeCollection(4, /*seed=*/5, vocab));
+  SelectionBroker broker(&registry);
+  SnapshotProvider provider(&registry);
+
+  // Republish after the second chunk request: the stream pinned epoch 1,
+  // the next chunk answers FailedPrecondition, and the client must
+  // restart from offset 0 and complete at epoch 2.
+  std::atomic<int> fetches{0};
+  BrokerServerOptions options;
+  options.snapshot_source = [&]() -> Result<SnapshotImage> {
+    if (++fetches == 3) {
+      registry.Publish(MakeCollection(6, /*seed=*/6, vocab));
+    }
+    return provider.Get();
+  };
+  BrokerServer server(&broker, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  WireClient client(ClientOptionsFor(server));
+  const std::string path = TempPath("restarted_snapshot.qbsm");
+  SnapshotFetchOptions fetch_options;
+  fetch_options.chunk_bytes = 64;
+  auto fetched = FetchSnapshotToFile(client, path, fetch_options);
+  ASSERT_TRUE(fetched.ok()) << fetched.status().ToString();
+  EXPECT_EQ(fetched->epoch, 2u);
+  EXPECT_GE(fetches.load(), 4);
+
+  auto store = MappedModelStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->num_models(), 6u);
+}
+
+TEST(SnapshotFetchTest, ServerWithoutASourceAnswersUnimplemented) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  ModelRegistry registry;
+  registry.Publish(MakeCollection(2, /*seed=*/1, vocab));
+  SelectionBroker broker(&registry);
+  BrokerServer server(&broker, {});  // no snapshot_source
+  ASSERT_TRUE(server.Start().ok());
+
+  WireClient client(ClientOptionsFor(server));
+  auto fetched =
+      FetchSnapshotToFile(client, TempPath("never_written.qbsm"));
+  EXPECT_TRUE(fetched.status().IsUnimplemented())
+      << fetched.status().ToString();
+}
+
+TEST(SnapshotFetchTest, UnpublishedBrokerIsFailedPrecondition) {
+  ModelRegistry registry;  // never Publish()ed: epoch 0
+  SelectionBroker broker(&registry);
+  SnapshotProvider provider(&registry);
+  BrokerServerOptions options;
+  options.snapshot_source = [&provider] { return provider.Get(); };
+  BrokerServer server(&broker, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  WireClient client(ClientOptionsFor(server));
+  auto fetched =
+      FetchSnapshotToFile(client, TempPath("epoch_zero.qbsm"));
+  EXPECT_TRUE(fetched.status().IsFailedPrecondition())
+      << fetched.status().ToString();
+}
+
+TEST(SnapshotFetchTest, ChunkRequestsAreClampedToTheServerMaximum) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  ModelRegistry registry;
+  registry.Publish(MakeCollection(4, /*seed=*/9, vocab));
+  SelectionBroker broker(&registry);
+  SnapshotProvider provider(&registry);
+  BrokerServerOptions options;
+  options.snapshot_source = [&provider] { return provider.Get(); };
+  options.max_snapshot_chunk_bytes = 100;
+  BrokerServer server(&broker, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  WireClient client(ClientOptionsFor(server));
+  WireRequest request;
+  request.protocol_version = MinVersionForMethod(WireMethod::kSnapshotFetch);
+  request.method = WireMethod::kSnapshotFetch;
+  request.snapshot_chunk_bytes = 1u << 20;  // asks big, gets clamped
+  auto response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  EXPECT_LE(response->snapshot_data.size(), 100u);
+  EXPECT_GT(response->snapshot_total_bytes, 100u)
+      << "image too small to prove clamping";
+
+  // And a greedy client that asks 0 gets the server default, still
+  // bounded by the maximum.
+  request.snapshot_chunk_bytes = 0;
+  response = client.Call(request);
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok());
+  EXPECT_LE(response->snapshot_data.size(), 100u);
+}
+
+}  // namespace
+}  // namespace qbs

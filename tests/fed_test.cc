@@ -1,0 +1,604 @@
+// Federation acceptance suite: the ShardMap placement function, and
+// the FederatedSelector / FederationServer scatter-gather path over
+// real shard BrokerServers on loopback sockets.
+//
+// The load-bearing test is byte-identity: a federated Select over a
+// sharded fleet must reproduce a single broker holding the union of the
+// shards' databases bit for bit — same names, same IEEE-754 score bits,
+// same order, for every ranker, at every published epoch. The rest of
+// the suite covers the failure surface: a down shard degrades to a
+// flagged partial result (never an error), a shard republishing between
+// the two phases forces a clean retry at the new epoch (never a mixed
+// one), and a v4 peer that cannot speak the federation protocol is
+// treated as down rather than answered wrongly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "broker/broker_server.h"
+#include "broker/model_registry.h"
+#include "broker/remote_selector.h"
+#include "broker/selection_broker.h"
+#include "fed/federated_selector.h"
+#include "fed/federation_server.h"
+#include "fed/shard_map.h"
+#include "net/wire.h"
+#include "net/wire_client.h"
+#include "selection/db_selection.h"
+#include "text/analyzer.h"
+
+namespace qbs {
+namespace {
+
+// Raw query words; the analyzer stems them, so models must be built
+// over the stemmed forms for broker-side query analysis to hit.
+const std::vector<std::string>& VocabWords() {
+  static const std::vector<std::string>* words = new std::vector<std::string>{
+      "recipe", "cooking",  "quantum", "galaxy", "neural",
+      "network", "protein", "genome",  "market", "symphony"};
+  return *words;
+}
+
+std::vector<std::string> StemmedVocab() {
+  Analyzer analyzer = Analyzer::InqueryLike();
+  std::vector<std::string> stems;
+  for (const std::string& word : VocabWords()) {
+    std::vector<std::string> terms = analyzer.Analyze(word);
+    EXPECT_EQ(terms.size(), 1u) << word;
+    for (std::string& t : terms) stems.push_back(std::move(t));
+  }
+  return stems;
+}
+
+// Deterministic seed from a database name, so a shard builds exactly
+// the model the union collection holds for that name — independent of
+// which shard the name landed on.
+uint64_t NameSeed(const std::string& name, uint64_t epoch_seed) {
+  uint64_t h = 0xCBF29CE484222325ULL ^ (epoch_seed * 0x9E3779B97F4A7C15ULL);
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+LanguageModel MakeModel(uint64_t seed, const std::vector<std::string>& vocab) {
+  LanguageModel model;
+  uint64_t max_df = 1;
+  for (size_t t = 0; t < vocab.size(); ++t) {
+    uint64_t df = 1 + (seed * 31 + t * 7) % 40;
+    uint64_t ctf = df + (seed * 17 + t * 13) % 160;
+    model.AddTerm(vocab[t], df, ctf);
+    max_df = std::max(max_df, df);
+  }
+  model.set_num_docs(max_df + seed % 16 + 1);
+  return model;
+}
+
+DatabaseCollection MakeCollection(const std::vector<std::string>& names,
+                                  uint64_t epoch_seed,
+                                  const std::vector<std::string>& vocab) {
+  DatabaseCollection dbs;
+  for (const std::string& name : names) {
+    dbs.Add(name, MakeModel(NameSeed(name, epoch_seed), vocab));
+  }
+  return dbs;
+}
+
+std::vector<std::string> DbNames(size_t n) {
+  std::vector<std::string> names;
+  for (size_t i = 0; i < n; ++i) {
+    names.push_back("db-" + std::string(i < 10 ? "0" : "") +
+                    std::to_string(i));
+  }
+  return names;
+}
+
+// One shard broker: registry + broker + server, heap-held so addresses
+// stay stable while the cluster vector grows.
+struct ShardNode {
+  ModelRegistry registry;
+  std::unique_ptr<SelectionBroker> broker;
+  std::unique_ptr<BrokerServer> server;
+};
+
+struct Cluster {
+  std::vector<std::unique_ptr<ShardNode>> nodes;
+  std::vector<std::string> addresses;
+  std::vector<std::vector<std::string>> names_per_shard;
+};
+
+Cluster MakeCluster(
+    size_t num_shards, const std::vector<std::string>& all_names,
+    uint64_t epoch_seed, const std::vector<std::string>& vocab,
+    const std::function<void(BrokerServerOptions&, size_t)>& tweak = {}) {
+  Cluster cluster;
+  cluster.names_per_shard.resize(num_shards);
+  for (size_t i = 0; i < all_names.size(); ++i) {
+    cluster.names_per_shard[i % num_shards].push_back(all_names[i]);
+  }
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto node = std::make_unique<ShardNode>();
+    node->registry.Publish(
+        MakeCollection(cluster.names_per_shard[i], epoch_seed, vocab));
+    node->broker = std::make_unique<SelectionBroker>(&node->registry);
+    BrokerServerOptions options;
+    if (tweak) tweak(options, i);
+    node->server =
+        std::make_unique<BrokerServer>(node->broker.get(), options);
+    EXPECT_TRUE(node->server->Start().ok());
+    cluster.addresses.push_back("127.0.0.1:" +
+                                std::to_string(node->server->port()));
+    cluster.nodes.push_back(std::move(node));
+  }
+  return cluster;
+}
+
+// A federator over the cluster with fast-failing clients, so
+// down-shard tests do not sit through the default retry backoff.
+FederatedSelectorOptions FedOptionsFor(const Cluster& cluster) {
+  FederatedSelectorOptions options;
+  options.shards = cluster.addresses;
+  options.client_template.max_attempts = 2;
+  options.client_template.backoff_initial_us = 1'000;
+  options.client_template.connect_timeout_us = 500'000;
+  return options;
+}
+
+void ExpectSameRanking(const SelectionResult& got, const SelectionResult& want,
+                       const std::string& context) {
+  ASSERT_EQ(got.scores.size(), want.scores.size()) << context;
+  for (size_t i = 0; i < want.scores.size(); ++i) {
+    EXPECT_EQ(got.scores[i].db_name, want.scores[i].db_name)
+        << context << " rank " << i;
+    // Scores travel as raw IEEE-754 bits; equality here is bit-identity.
+    EXPECT_EQ(got.scores[i].score, want.scores[i].score)
+        << context << " rank " << i << " (" << want.scores[i].db_name << ")";
+  }
+}
+
+// --- ShardMap ------------------------------------------------------------
+
+TEST(ShardMapTest, PlacementIsDeterministicAndInRange) {
+  std::vector<std::string> shards = {"a:1", "b:2", "c:3", "d:4"};
+  ShardMap map1(shards);
+  ShardMap map2(shards);
+  EXPECT_EQ(map1.version(), map2.version());
+  EXPECT_EQ(map1.size(), shards.size());
+  for (size_t i = 0; i < 100; ++i) {
+    std::string name = "db-" + std::to_string(i);
+    size_t owner = map1.OwnerIndexOf(name);
+    ASSERT_LT(owner, shards.size()) << name;
+    EXPECT_EQ(owner, map2.OwnerIndexOf(name)) << name;
+    EXPECT_EQ(map1.OwnerOf(name), shards[owner]) << name;
+  }
+}
+
+TEST(ShardMapTest, EveryShardOwnsASliceOfAHundredNames) {
+  ShardMap map({"a:1", "b:2", "c:3", "d:4"});
+  std::map<size_t, size_t> owned;
+  for (size_t i = 0; i < 100; ++i) {
+    owned[map.OwnerIndexOf("db-" + std::to_string(i))]++;
+  }
+  // 64 vnodes per shard smooth the split enough that no shard ends up
+  // empty over 100 names.
+  EXPECT_EQ(owned.size(), 4u);
+  for (const auto& [shard, count] : owned) {
+    EXPECT_GE(count, 1u) << "shard " << shard;
+  }
+}
+
+TEST(ShardMapTest, VersionDigestsListOrderAndVnodes) {
+  ShardMap base({"a:1", "b:2", "c:3"});
+  ShardMap reordered({"b:2", "a:1", "c:3"});
+  ShardMap grown({"a:1", "b:2", "c:3", "d:4"});
+  ShardMap smoothed({"a:1", "b:2", "c:3"}, ShardMapOptions{.vnodes_per_shard = 128});
+  EXPECT_NE(base.version(), reordered.version());
+  EXPECT_NE(base.version(), grown.version());
+  EXPECT_NE(base.version(), smoothed.version());
+}
+
+TEST(ShardMapTest, AddingAShardMovesOnlyAMinorityAndOnlyToTheNewShard) {
+  std::vector<std::string> four = {"a:1", "b:2", "c:3", "d:4"};
+  std::vector<std::string> five = four;
+  five.push_back("e:5");
+  ShardMap before(four);
+  ShardMap after(five);
+  size_t moved = 0;
+  const size_t kNames = 400;
+  for (size_t i = 0; i < kNames; ++i) {
+    std::string name = "db-" + std::to_string(i);
+    const std::string& old_owner = before.OwnerOf(name);
+    const std::string& new_owner = after.OwnerOf(name);
+    if (new_owner != old_owner) {
+      ++moved;
+      // Consistent hashing: a name that moves can only move to the
+      // shard whose vnodes were inserted.
+      EXPECT_EQ(new_owner, "e:5") << name << " moved to " << new_owner;
+    }
+  }
+  // Expected move fraction is ~1/5; anything under half proves we are
+  // not rehashing the world (`hash % N` would move ~4/5).
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, kNames / 2);
+}
+
+// --- The acceptance test -------------------------------------------------
+
+TEST(FederatedSelectTest, ByteIdenticalToUnionBrokerAtEveryEpoch) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  const std::vector<std::string> names = DbNames(13);
+  const std::vector<std::string> queries = {
+      "recipe cooking", "quantum galaxy neural", "protein",
+      "market symphony network genome"};
+
+  Cluster cluster = MakeCluster(4, names, /*epoch_seed=*/1, vocab);
+  FederatedSelector fed(FedOptionsFor(cluster));
+
+  ModelRegistry union_registry;
+  union_registry.Publish(MakeCollection(names, /*epoch_seed=*/1, vocab));
+  SelectionBroker union_broker(&union_registry);
+
+  for (uint64_t epoch = 1; epoch <= 2; ++epoch) {
+    if (epoch == 2) {
+      // Republish everything with different models: same comparison
+      // must hold at the new epoch.
+      for (size_t i = 0; i < cluster.nodes.size(); ++i) {
+        cluster.nodes[i]->registry.Publish(
+            MakeCollection(cluster.names_per_shard[i], epoch, vocab));
+      }
+      union_registry.Publish(MakeCollection(names, epoch, vocab));
+    }
+    for (const std::string& query : queries) {
+      for (const std::string& ranker : KnownRankerNames()) {
+        for (size_t top_k : {size_t{0}, size_t{3}}) {
+          SCOPED_TRACE("epoch=" + std::to_string(epoch) + " ranker=" +
+                       ranker + " top_k=" + std::to_string(top_k) +
+                       " query=" + query);
+          auto got = fed.Select(query, ranker, top_k);
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          auto want = union_broker.Select(query, ranker, top_k);
+          ASSERT_TRUE(want.ok()) << want.status().ToString();
+          ExpectSameRanking(*got, *want, ranker);
+          EXPECT_FALSE(got->partial);
+          EXPECT_TRUE(got->down_shards.empty());
+          EXPECT_EQ(got->epoch, epoch);
+          ASSERT_EQ(got->shard_epochs.size(), cluster.addresses.size());
+          for (const ShardEpoch& se : got->shard_epochs) {
+            EXPECT_EQ(se.epoch, epoch) << se.shard;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FederatedSelectTest, TieBreakOrderIsNameAscendingAcrossShards) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  // Interleave names across shards so the merged tie run is assembled
+  // from all three; identical models mean identical scores everywhere.
+  const std::vector<std::string> names = {"ant", "bee", "cat",
+                                          "dog", "eel", "fox"};
+  Cluster cluster;
+  cluster.names_per_shard = {{"ant", "dog"}, {"bee", "eel"}, {"cat", "fox"}};
+  for (size_t i = 0; i < 3; ++i) {
+    auto node = std::make_unique<ShardNode>();
+    DatabaseCollection dbs;
+    for (const std::string& name : cluster.names_per_shard[i]) {
+      dbs.Add(name, MakeModel(/*seed=*/7, vocab));  // same model: all tie
+    }
+    node->registry.Publish(std::move(dbs));
+    node->broker = std::make_unique<SelectionBroker>(&node->registry);
+    node->server = std::make_unique<BrokerServer>(node->broker.get(),
+                                                  BrokerServerOptions{});
+    ASSERT_TRUE(node->server->Start().ok());
+    cluster.addresses.push_back("127.0.0.1:" +
+                                std::to_string(node->server->port()));
+    cluster.nodes.push_back(std::move(node));
+  }
+  FederatedSelector fed(FedOptionsFor(cluster));
+
+  ModelRegistry union_registry;
+  {
+    DatabaseCollection dbs;
+    for (const std::string& name : names) {
+      dbs.Add(name, MakeModel(/*seed=*/7, vocab));
+    }
+    union_registry.Publish(std::move(dbs));
+  }
+  SelectionBroker union_broker(&union_registry);
+
+  for (const std::string& ranker : KnownRankerNames()) {
+    auto got = fed.Select("recipe quantum", ranker);
+    ASSERT_TRUE(got.ok()) << ranker << ": " << got.status().ToString();
+    auto want = union_broker.Select("recipe quantum", ranker);
+    ASSERT_TRUE(want.ok()) << ranker;
+    ExpectSameRanking(*got, *want, ranker);
+    ASSERT_EQ(got->scores.size(), names.size()) << ranker;
+    for (size_t i = 0; i < names.size(); ++i) {
+      EXPECT_EQ(got->scores[i].db_name, names[i])
+          << ranker << ": equal scores must merge name-ascending";
+    }
+  }
+}
+
+// --- Degradation ---------------------------------------------------------
+
+TEST(FederatedSelectTest, DownShardYieldsFlaggedPartialOverLiveSubset) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  const std::vector<std::string> names = DbNames(9);
+  Cluster cluster = MakeCluster(3, names, /*epoch_seed=*/1, vocab);
+  FederatedSelector fed(FedOptionsFor(cluster));
+
+  // Hard-down: the shard's server stops listening entirely.
+  cluster.nodes[1]->server->Stop();
+
+  // The live subset a single broker would serve.
+  std::vector<std::string> live_names;
+  for (size_t i : {size_t{0}, size_t{2}}) {
+    for (const std::string& n : cluster.names_per_shard[i]) {
+      live_names.push_back(n);
+    }
+  }
+  ModelRegistry live_registry;
+  live_registry.Publish(MakeCollection(live_names, /*epoch_seed=*/1, vocab));
+  SelectionBroker live_broker(&live_registry);
+
+  for (const std::string& ranker : KnownRankerNames()) {
+    auto got = fed.Select("recipe galaxy protein", ranker);
+    ASSERT_TRUE(got.ok()) << ranker << ": " << got.status().ToString();
+    EXPECT_TRUE(got->partial) << ranker;
+    ASSERT_EQ(got->down_shards.size(), 1u) << ranker;
+    EXPECT_EQ(got->down_shards[0], cluster.addresses[1]) << ranker;
+    EXPECT_EQ(got->shard_epochs.size(), 2u) << ranker;
+    auto want = live_broker.Select("recipe galaxy protein", ranker);
+    ASSERT_TRUE(want.ok()) << ranker;
+    ExpectSameRanking(*got, *want, ranker);
+  }
+
+  // The health board remembers the observation without a live probe.
+  std::vector<ShardStatusInfo> board = fed.LastKnownShardStatus();
+  ASSERT_EQ(board.size(), 3u);
+  EXPECT_TRUE(board[0].healthy);
+  EXPECT_FALSE(board[1].healthy);
+  EXPECT_TRUE(board[2].healthy);
+}
+
+TEST(FederatedSelectTest, AllShardsDownIsUnavailable) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  Cluster cluster = MakeCluster(2, DbNames(4), /*epoch_seed=*/1, vocab);
+  cluster.nodes[0]->server->Stop();
+  cluster.nodes[1]->server->Stop();
+  FederatedSelector fed(FedOptionsFor(cluster));
+  auto result = fed.Select("recipe", "cori");
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+}
+
+TEST(FederatedSelectTest, UnknownRankerIsInvalidArgumentNotRetried) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  Cluster cluster = MakeCluster(2, DbNames(4), /*epoch_seed=*/1, vocab);
+  FederatedSelector fed(FedOptionsFor(cluster));
+  auto result = fed.Select("recipe", "no-such-ranker");
+  EXPECT_TRUE(result.status().IsInvalidArgument())
+      << result.status().ToString();
+}
+
+TEST(FederatedSelectTest, RepublishBetweenPhasesRetriesAtTheNewEpoch) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  const std::vector<std::string> names = DbNames(6);
+
+  // Shard 0 republishes (same content, new epoch) inside its second
+  // admitted Select — exactly between phase 1 (stats at epoch 1) and
+  // phase 2 (rank pinned to epoch 1). The pinned call must fail
+  // FailedPrecondition and the whole query must restart cleanly at
+  // epoch 2; no ranking may mix the two epochs.
+  std::atomic<int> selects{0};
+  ModelRegistry* republish_target = nullptr;
+  std::vector<std::string> shard0_names;
+  Cluster cluster = MakeCluster(
+      2, names, /*epoch_seed=*/1, vocab,
+      [&](BrokerServerOptions& options, size_t shard) {
+        if (shard != 0) return;
+        options.select_hook = [&] {
+          if (++selects == 2) {
+            republish_target->Publish(
+                MakeCollection(shard0_names, /*epoch_seed=*/1, vocab));
+          }
+        };
+      });
+  republish_target = &cluster.nodes[0]->registry;
+  shard0_names = cluster.names_per_shard[0];
+
+  FederatedSelector fed(FedOptionsFor(cluster));
+  auto got = fed.Select("recipe quantum market", "cori");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_GE(selects.load(), 3) << "expected a retried attempt";
+
+  // The retried attempt pinned shard 0 at its new epoch.
+  ASSERT_EQ(got->shard_epochs.size(), 2u);
+  std::map<std::string, uint64_t> epochs;
+  for (const ShardEpoch& se : got->shard_epochs) epochs[se.shard] = se.epoch;
+  EXPECT_EQ(epochs[cluster.addresses[0]], 2u);
+  EXPECT_EQ(epochs[cluster.addresses[1]], 1u);
+  EXPECT_EQ(got->epoch, 2u);
+  EXPECT_FALSE(got->partial);
+
+  // Same content at both epochs, so the ranking still equals the union.
+  ModelRegistry union_registry;
+  union_registry.Publish(MakeCollection(names, /*epoch_seed=*/1, vocab));
+  SelectionBroker union_broker(&union_registry);
+  auto want = union_broker.Select("recipe quantum market", "cori");
+  ASSERT_TRUE(want.ok());
+  ExpectSameRanking(*got, *want, "cori after retry");
+}
+
+TEST(FederatedSelectTest, V4PeerIsTreatedAsDownNotMisranked) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  const std::vector<std::string> names = DbNames(6);
+  // Shard 1 only negotiates v4: it cannot answer the scatter-gather
+  // extensions, so the federator must exclude it (flagged partial)
+  // rather than fall back to locally-scored, globally-wrong results.
+  Cluster cluster = MakeCluster(
+      2, names, /*epoch_seed=*/1, vocab,
+      [](BrokerServerOptions& options, size_t shard) {
+        if (shard == 1) options.max_protocol_version = 4;
+      });
+  FederatedSelector fed(FedOptionsFor(cluster));
+
+  ModelRegistry live_registry;
+  live_registry.Publish(
+      MakeCollection(cluster.names_per_shard[0], /*epoch_seed=*/1, vocab));
+  SelectionBroker live_broker(&live_registry);
+
+  auto got = fed.Select("recipe network", "kl");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_TRUE(got->partial);
+  ASSERT_EQ(got->down_shards.size(), 1u);
+  EXPECT_EQ(got->down_shards[0], cluster.addresses[1]);
+  auto want = live_broker.Select("recipe network", "kl");
+  ASSERT_TRUE(want.ok());
+  ExpectSameRanking(*got, *want, "kl v4 peer");
+}
+
+// --- FederationServer ----------------------------------------------------
+
+TEST(FederationServerTest, LooksLikeOneBigBrokerToARemoteSelector) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  const std::vector<std::string> names = DbNames(9);
+  Cluster cluster = MakeCluster(3, names, /*epoch_seed=*/1, vocab);
+  FederatedSelector fed(FedOptionsFor(cluster));
+  FederationServer server(&fed, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  ModelRegistry union_registry;
+  union_registry.Publish(MakeCollection(names, /*epoch_seed=*/1, vocab));
+  SelectionBroker union_broker(&union_registry);
+
+  WireClientOptions client_options;
+  client_options.port = server.port();
+  RemoteSelector selector(client_options);
+  ASSERT_TRUE(selector.Connect().ok());
+  EXPECT_EQ(selector.name(), "qbs-fed");
+
+  for (const std::string& ranker : KnownRankerNames()) {
+    auto got = selector.Select("galaxy genome recipe", ranker);
+    ASSERT_TRUE(got.ok()) << ranker << ": " << got.status().ToString();
+    auto want = union_broker.Select("galaxy genome recipe", ranker);
+    ASSERT_TRUE(want.ok()) << ranker;
+    ExpectSameRanking(*got, *want, ranker);
+    EXPECT_FALSE(got->partial) << ranker;
+    EXPECT_EQ(got->shard_epochs.size(), 3u) << ranker;
+  }
+  // The satellite seam: the selector surfaces the epoch the server
+  // reported on the last Select.
+  EXPECT_EQ(selector.last_epoch(), 1u);
+
+  auto info = selector.BrokerStatus();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->epoch, 1u);
+  EXPECT_EQ(info->databases, names.size());
+  EXPECT_GE(info->selects_total, KnownRankerNames().size());
+}
+
+TEST(FederationServerTest, ShardInfoExposesTheTopology) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  Cluster cluster = MakeCluster(3, DbNames(6), /*epoch_seed=*/1, vocab);
+  FederatedSelector fed(FedOptionsFor(cluster));
+  FederationServer server(&fed, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  WireClientOptions client_options;
+  client_options.port = server.port();
+  WireClient client(client_options);
+  ASSERT_TRUE(client.Connect().ok());
+  EXPECT_EQ(client.negotiated_version(), kWireProtocolVersion);
+
+  WireRequest request;
+  request.protocol_version = MinVersionForMethod(WireMethod::kShardInfo);
+  request.method = WireMethod::kShardInfo;
+  auto response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+  EXPECT_EQ(response->shard_map_version, fed.shard_map().version());
+  ASSERT_EQ(response->shards.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(response->shards[i].address, cluster.addresses[i]);
+    EXPECT_TRUE(response->shards[i].healthy) << cluster.addresses[i];
+    EXPECT_EQ(response->shards[i].epoch, 1u) << cluster.addresses[i];
+    EXPECT_EQ(response->shards[i].databases, 2u) << cluster.addresses[i];
+  }
+}
+
+TEST(FederationServerTest, ScatterGatherExtensionsAreShardBrokerOnly) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  Cluster cluster = MakeCluster(2, DbNames(4), /*epoch_seed=*/1, vocab);
+  FederatedSelector fed(FedOptionsFor(cluster));
+  FederationServer server(&fed, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  WireClientOptions client_options;
+  client_options.port = server.port();
+  WireClient client(client_options);
+
+  // A federation front-end is not a shard: the phase-1/phase-2
+  // extensions and snapshot fetch must be refused, not half-answered.
+  // WireClient::Call surfaces non-transient server statuses as the
+  // call's own status, so Unimplemented arrives as the Result error.
+  WireRequest stats_only;
+  stats_only.protocol_version = kFederationMinVersion;
+  stats_only.method = WireMethod::kSelect;
+  stats_only.query = "recipe";
+  stats_only.ranker = "cori";
+  stats_only.stats_only = true;
+  auto response = client.Call(stats_only);
+  EXPECT_TRUE(response.status().IsUnimplemented())
+      << response.status().ToString();
+
+  WireRequest fetch;
+  fetch.protocol_version = MinVersionForMethod(WireMethod::kSnapshotFetch);
+  fetch.method = WireMethod::kSnapshotFetch;
+  response = client.Call(fetch);
+  EXPECT_TRUE(response.status().IsUnimplemented())
+      << response.status().ToString();
+}
+
+TEST(FederationServerTest, V3PinnedClientStillGetsPlainRankings) {
+  const std::vector<std::string> vocab = StemmedVocab();
+  const std::vector<std::string> names = DbNames(6);
+  Cluster cluster = MakeCluster(2, names, /*epoch_seed=*/1, vocab);
+  FederatedSelector fed(FedOptionsFor(cluster));
+  FederationServer server(&fed, {});
+  ASSERT_TRUE(server.Start().ok());
+
+  ModelRegistry union_registry;
+  union_registry.Publish(MakeCollection(names, /*epoch_seed=*/1, vocab));
+  SelectionBroker union_broker(&union_registry);
+
+  WireClientOptions client_options;
+  client_options.port = server.port();
+  client_options.max_protocol_version = 3;
+  RemoteSelector selector(client_options);
+  ASSERT_TRUE(selector.Connect().ok());
+  EXPECT_EQ(selector.negotiated_version(), 3u);
+
+  auto got = selector.Select("recipe galaxy", "vgloss");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  auto want = union_broker.Select("recipe galaxy", "vgloss");
+  ASSERT_TRUE(want.ok());
+  ExpectSameRanking(*got, *want, "vgloss v3 client");
+  // The v3 frame has no federation extension: partial/epoch vectors
+  // simply do not travel.
+  EXPECT_FALSE(got->partial);
+  EXPECT_TRUE(got->shard_epochs.empty());
+}
+
+}  // namespace
+}  // namespace qbs

@@ -289,6 +289,8 @@ TEST(WireMethodTest, NamesAreStable) {
   EXPECT_STREQ(WireMethodName(WireMethod::kFetchBatch), "fetch_batch");
   EXPECT_STREQ(WireMethodName(WireMethod::kSelect), "select");
   EXPECT_STREQ(WireMethodName(WireMethod::kBrokerStatus), "broker_status");
+  EXPECT_STREQ(WireMethodName(WireMethod::kShardInfo), "shard_info");
+  EXPECT_STREQ(WireMethodName(WireMethod::kSnapshotFetch), "snapshot_fetch");
 }
 
 TEST(WireMethodTest, MinVersionsMatchTheProtocolHistory) {
@@ -300,6 +302,8 @@ TEST(WireMethodTest, MinVersionsMatchTheProtocolHistory) {
   EXPECT_EQ(MinVersionForMethod(WireMethod::kFetchBatch), 2u);
   EXPECT_EQ(MinVersionForMethod(WireMethod::kSelect), 3u);
   EXPECT_EQ(MinVersionForMethod(WireMethod::kBrokerStatus), 3u);
+  EXPECT_EQ(MinVersionForMethod(WireMethod::kShardInfo), 5u);
+  EXPECT_EQ(MinVersionForMethod(WireMethod::kSnapshotFetch), 5u);
 }
 
 // --- v2 batch frames ------------------------------------------------------
@@ -811,6 +815,260 @@ TEST(WireCompatibilityTest, TraceContextNeverSentToPreV4Servers) {
     ASSERT_TRUE(hits.ok())
         << "server_max=" << server_max << ": " << hits.status().ToString();
     EXPECT_EQ(hits->size(), 2u);
+  }
+}
+
+// --- v5 federation frames -------------------------------------------------
+
+TEST(WireFederationTest, StatsOnlySelectRequestRoundTrips) {
+  WireRequest request;
+  request.protocol_version = kFederationMinVersion;
+  request.request_id = 61;
+  request.method = WireMethod::kSelect;
+  request.query = "medical imaging";
+  request.ranker = "cori";
+  request.stats_only = true;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->protocol_version, kFederationMinVersion);
+  EXPECT_TRUE(decoded->stats_only);
+  EXPECT_FALSE(decoded->has_stats);
+  EXPECT_EQ(decoded->query, "medical imaging");
+}
+
+TEST(WireFederationTest, HasStatsSelectRequestRoundTripsBitExact) {
+  WireRequest request;
+  request.protocol_version = kFederationMinVersion;
+  request.request_id = 62;
+  request.method = WireMethod::kSelect;
+  request.query = "medical imaging";
+  request.ranker = "kl";
+  request.max_results = 10;
+  request.has_stats = true;
+  request.pinned_epoch = 17;
+  request.stats.num_databases = 40;
+  request.stats.sum_cw = 123456789;
+  request.stats.union_total_terms = 987654321;
+  request.stats.terms = {{/*cf=*/12, /*union_ctf=*/3400},
+                         {/*cf=*/0, /*union_ctf=*/0}};
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->stats_only);
+  EXPECT_TRUE(decoded->has_stats);
+  EXPECT_EQ(decoded->pinned_epoch, 17u);
+  EXPECT_EQ(decoded->stats.num_databases, 40u);
+  EXPECT_EQ(decoded->stats.sum_cw, 123456789u);
+  EXPECT_EQ(decoded->stats.union_total_terms, 987654321u);
+  ASSERT_EQ(decoded->stats.terms.size(), 2u);
+  EXPECT_EQ(decoded->stats.terms[0].cf, 12u);
+  EXPECT_EQ(decoded->stats.terms[0].union_ctf, 3400u);
+  EXPECT_EQ(decoded->stats.terms[1].cf, 0u);
+  EXPECT_EQ(decoded->stats.terms[1].union_ctf, 0u);
+}
+
+TEST(WireFederationTest, BothScatterGatherFlagsRejectedAsCorruption) {
+  WireRequest request;
+  request.protocol_version = kFederationMinVersion;
+  request.method = WireMethod::kSelect;
+  request.query = "q";
+  request.ranker = "cori";
+  request.stats_only = true;
+  request.has_stats = true;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.status().IsCorruption());
+}
+
+TEST(WireFederationTest, PlainSelectRequestBytesUnchangedFromV3) {
+  // The federation extension must not disturb the frames every existing
+  // client emits: a plain select still encodes exactly the v3 bytes.
+  WireRequest request;
+  request.protocol_version = MinVersionForMethod(WireMethod::kSelect);
+  request.request_id = 63;
+  request.method = WireMethod::kSelect;
+  request.query = "medical imaging";
+  request.ranker = "bgloss";
+  request.max_results = 4;
+  std::vector<uint8_t> payload = EncodeRequest(request);
+  auto decoded = DecodeRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->protocol_version, 3u);
+  EXPECT_FALSE(decoded->stats_only);
+  EXPECT_FALSE(decoded->has_stats);
+  // And a hand-appended byte after a v3 body is still Corruption (the
+  // v5 flags varint only exists on frames declaring >= v5).
+  payload.push_back(0x00);
+  EXPECT_TRUE(DecodeRequest(payload).status().IsCorruption());
+}
+
+TEST(WireFederationTest, V5SelectRequestCarriesTraceTrailerAfterExtension) {
+  WireRequest request;
+  request.protocol_version = kFederationMinVersion;
+  request.method = WireMethod::kSelect;
+  request.query = "q";
+  request.ranker = "cori";
+  request.stats_only = true;
+  request.trace.trace_id_hi = 0xaa;
+  request.trace.trace_id_lo = 0xbb;
+  request.trace.sampled = true;
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->stats_only);
+  EXPECT_TRUE(decoded->trace.valid());
+  EXPECT_EQ(decoded->trace.trace_id_hi, 0xaau);
+}
+
+TEST(WireFederationTest, FederatedSelectResponseRoundTrips) {
+  WireResponse response;
+  response.protocol_version = kFederationMinVersion;
+  response.request_id = 64;
+  response.method = WireMethod::kSelect;
+  response.epoch = 9;
+  response.scores = {{"cooking", 0.75}, {"physics", -0.0}};
+  response.partial = true;
+  response.down_shards = {"10.0.0.3:7777"};
+  response.shard_epochs = {{"10.0.0.1:7777", 9}, {"10.0.0.2:7777", 8}};
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->partial);
+  ASSERT_EQ(decoded->down_shards.size(), 1u);
+  EXPECT_EQ(decoded->down_shards[0], "10.0.0.3:7777");
+  ASSERT_EQ(decoded->shard_epochs.size(), 2u);
+  EXPECT_EQ(decoded->shard_epochs[0].shard, "10.0.0.1:7777");
+  EXPECT_EQ(decoded->shard_epochs[0].epoch, 9u);
+  EXPECT_EQ(decoded->shard_epochs[1].shard, "10.0.0.2:7777");
+  EXPECT_EQ(decoded->shard_epochs[1].epoch, 8u);
+  ASSERT_EQ(decoded->scores.size(), 2u);
+  EXPECT_TRUE(std::signbit(decoded->scores[1].score));
+}
+
+TEST(WireFederationTest, StatsResponseRoundTrips) {
+  WireResponse response;
+  response.protocol_version = kFederationMinVersion;
+  response.method = WireMethod::kSelect;
+  response.epoch = 4;
+  response.has_stats = true;
+  response.stats.num_databases = 7;
+  response.stats.sum_cw = 5555;
+  response.stats.union_total_terms = 6666;
+  response.stats.terms = {{3, 250}};
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded->has_stats);
+  EXPECT_EQ(decoded->epoch, 4u);
+  EXPECT_EQ(decoded->stats.num_databases, 7u);
+  EXPECT_EQ(decoded->stats.sum_cw, 5555u);
+  EXPECT_EQ(decoded->stats.union_total_terms, 6666u);
+  ASSERT_EQ(decoded->stats.terms.size(), 1u);
+  EXPECT_EQ(decoded->stats.terms[0].cf, 3u);
+  EXPECT_EQ(decoded->stats.terms[0].union_ctf, 250u);
+}
+
+TEST(WireFederationTest, V3SelectResponseBytesCarryNoExtension) {
+  // A response stamped v3 encodes no federation fields, so a v3 client
+  // decodes it exactly as before — partial and friends stay default.
+  WireResponse response;
+  response.protocol_version = 3;
+  response.method = WireMethod::kSelect;
+  response.epoch = 2;
+  response.scores = {{"a", 1.0}};
+  response.partial = true;          // ignored at v3 encode
+  response.down_shards = {"lost"};  // ignored at v3 encode
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_FALSE(decoded->partial);
+  EXPECT_TRUE(decoded->down_shards.empty());
+  EXPECT_TRUE(decoded->shard_epochs.empty());
+}
+
+TEST(WireFederationTest, ShardInfoRoundTrips) {
+  WireRequest request;
+  request.protocol_version = MinVersionForMethod(WireMethod::kShardInfo);
+  request.request_id = 65;
+  request.method = WireMethod::kShardInfo;
+  auto decoded_request = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded_request.ok()) << decoded_request.status().ToString();
+  EXPECT_EQ(decoded_request->method, WireMethod::kShardInfo);
+
+  WireResponse response;
+  response.protocol_version = kFederationMinVersion;
+  response.method = WireMethod::kShardInfo;
+  response.shard_map_version = 0xfeedfacecafebeef;
+  response.shards = {{"10.0.0.1:7777", 3, true, 12},
+                     {"10.0.0.2:7777", 0, false, 0}};
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->shard_map_version, 0xfeedfacecafebeefu);
+  ASSERT_EQ(decoded->shards.size(), 2u);
+  EXPECT_EQ(decoded->shards[0].address, "10.0.0.1:7777");
+  EXPECT_EQ(decoded->shards[0].epoch, 3u);
+  EXPECT_TRUE(decoded->shards[0].healthy);
+  EXPECT_EQ(decoded->shards[0].databases, 12u);
+  EXPECT_EQ(decoded->shards[1].address, "10.0.0.2:7777");
+  EXPECT_FALSE(decoded->shards[1].healthy);
+}
+
+TEST(WireFederationTest, SnapshotFetchRoundTripsBinaryChunk) {
+  WireRequest request;
+  request.protocol_version = MinVersionForMethod(WireMethod::kSnapshotFetch);
+  request.request_id = 66;
+  request.method = WireMethod::kSnapshotFetch;
+  request.snapshot_epoch = 12;
+  request.snapshot_offset = 65536;
+  request.snapshot_chunk_bytes = 4096;
+  auto decoded_request = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded_request.ok()) << decoded_request.status().ToString();
+  EXPECT_EQ(decoded_request->snapshot_epoch, 12u);
+  EXPECT_EQ(decoded_request->snapshot_offset, 65536u);
+  EXPECT_EQ(decoded_request->snapshot_chunk_bytes, 4096u);
+
+  WireResponse response;
+  response.protocol_version = kFederationMinVersion;
+  response.method = WireMethod::kSnapshotFetch;
+  response.snapshot_epoch = 12;
+  response.snapshot_total_bytes = 1u << 20;
+  response.snapshot_offset = 65536;
+  response.snapshot_data = std::string("\x00\x01\xff\xfe binary", 11);
+  auto decoded = DecodeResponse(EncodeResponse(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->snapshot_epoch, 12u);
+  EXPECT_EQ(decoded->snapshot_total_bytes, 1u << 20);
+  EXPECT_EQ(decoded->snapshot_offset, 65536u);
+  EXPECT_EQ(decoded->snapshot_data, response.snapshot_data);
+}
+
+TEST(WireFederationTest, EveryV5RequestTruncationPrefixIsRejected) {
+  WireRequest request;
+  request.protocol_version = kFederationMinVersion;
+  request.method = WireMethod::kSelect;
+  request.query = "q";
+  request.ranker = "kl";
+  request.has_stats = true;
+  request.pinned_epoch = 3;
+  request.stats.num_databases = 2;
+  request.stats.terms = {{1, 10}, {2, 20}};
+  std::vector<uint8_t> payload = EncodeRequest(request);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<uint8_t> prefix(payload.begin(),
+                                payload.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeRequest(prefix).ok()) << "prefix " << cut;
+  }
+}
+
+TEST(WireFederationTest, EveryV5ResponseTruncationPrefixIsRejected) {
+  WireResponse response;
+  response.protocol_version = kFederationMinVersion;
+  response.method = WireMethod::kSelect;
+  response.epoch = 2;
+  response.scores = {{"a", 1.0}};
+  response.partial = true;
+  response.down_shards = {"10.0.0.9:1"};
+  response.shard_epochs = {{"10.0.0.8:1", 2}};
+  std::vector<uint8_t> payload = EncodeResponse(response);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<uint8_t> prefix(payload.begin(),
+                                payload.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeResponse(prefix).ok()) << "prefix " << cut;
   }
 }
 

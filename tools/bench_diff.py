@@ -7,6 +7,7 @@ default 0.10). Direction-aware:
 
   ns_per_op            lower is better  -> regression when it RISES
   rpcs_per_doc         lower is better  -> regression when it RISES
+  fanout_rpcs_per_select  lower is better -> regression when it RISES
   p99_select_us        lower is better  -> regression when it RISES
   p99_rpc_us           lower is better  -> regression when it RISES
   selects_per_sec      higher is better -> regression when it FALLS
@@ -37,6 +38,7 @@ import sys
 HIGHER_IS_BETTER = {
     "ns_per_op": False,
     "rpcs_per_doc": False,
+    "fanout_rpcs_per_select": False,
     "p99_select_us": False,
     "p99_rpc_us": False,
     "selects_per_sec": True,
@@ -54,6 +56,7 @@ METRIC_ORDER = [
     "selects_per_sec_10k_conns",
     "models_per_sec",
     "rpcs_per_doc",
+    "fanout_rpcs_per_select",
     "p99_select_us",
     "p99_rpc_us",
     "items_per_second",
@@ -194,7 +197,15 @@ def self_test():
                 ("Scale", "selects_per_sec_10k_conns")}
     assert got_imp == want_imp, f"improvements {got_imp} != {want_imp}"
 
-    print("bench_diff: self-test ok (5 scenarios)")
+    # Federation fan-out: RPC amplification rising is a regression (a
+    # retry or extra phase crept into the scatter-gather).
+    regressions, _, _ = compare(
+        {"Fed": {"name": "Fed", "fanout_rpcs_per_select": 8.0}},
+        {"Fed": {"name": "Fed", "fanout_rpcs_per_select": 12.0}}, 0.10)
+    got = {(e["name"], e["metric"]) for e in regressions}
+    assert got == {("Fed", "fanout_rpcs_per_select")}, got
+
+    print("bench_diff: self-test ok (6 scenarios)")
     return 0
 
 

@@ -32,6 +32,10 @@ Enforces the structural invariants clang-tidy cannot express:
            QBS_GUARDED_BY annotations — a lock declared without the
            annotation headers is invisible to clang's thread-safety
            analysis (see docs/ANALYSIS.md)
+  wire-version  docs/PROTOCOL.md's version-history table has a row for
+           every protocol version up to kWireProtocolVersion
+           (src/net/wire.h) — a version bump must not ship without
+           documenting what changed on the wire
   format   clang-format --dry-run is clean (skipped with a notice when
            clang-format is not installed; `--fix` rewrites in place)
 
@@ -313,6 +317,48 @@ def check_mutex_annotations(root):
     return violations
 
 
+WIRE_HEADER_PATH = "src/net/wire.h"
+PROTOCOL_DOC_PATH = "docs/PROTOCOL.md"
+WIRE_VERSION_RE = re.compile(r"kWireProtocolVersion\s*=\s*(\d+)")
+
+
+def check_wire_version_history(root):
+    """Every version up to kWireProtocolVersion has a version-history
+    row in PROTOCOL.md, so a protocol bump cannot ship undocumented."""
+    wire_path = os.path.join(root, WIRE_HEADER_PATH)
+    if not os.path.isfile(wire_path):
+        return []  # tree has no wire layer (e.g. lint self-test seeds)
+    with open(wire_path, encoding="utf-8", errors="replace") as f:
+        wire_text = f.read()
+    match = WIRE_VERSION_RE.search(wire_text)
+    if match is None:
+        return [(WIRE_HEADER_PATH, 1,
+                 "kWireProtocolVersion not found; the wire-version check "
+                 "cannot pin the version history")]
+    version = int(match.group(1))
+    lineno = wire_text.count("\n", 0, match.start()) + 1
+    doc_text = ""
+    doc_path = os.path.join(root, PROTOCOL_DOC_PATH)
+    if os.path.isfile(doc_path):
+        with open(doc_path, encoding="utf-8", errors="replace") as f:
+            doc_text = f.read()
+    # Only rows inside the "Version history" section count — the doc
+    # has other tables whose first column is also a small integer
+    # (status codes, method values).
+    section = re.search(r"#+\s*Version history(.*?)(?:\n#|\Z)", doc_text,
+                        re.DOTALL | re.IGNORECASE)
+    history = section.group(1) if section else ""
+    violations = []
+    for v in range(1, version + 1):
+        if not re.search(rf"^\|\s*{v}\s*\|", history, re.MULTILINE):
+            violations.append(
+                (WIRE_HEADER_PATH, lineno,
+                 f"kWireProtocolVersion is {version} but {PROTOCOL_DOC_PATH} "
+                 f"has no version-history row for v{v}; a protocol bump "
+                 f"must document what changed on the wire"))
+    return violations
+
+
 def clang_format_exe():
     return shutil.which("clang-format")
 
@@ -348,6 +394,7 @@ CHECKS = {
     "mman": check_mman_includes,
     "metricdoc": check_metric_docs,
     "mutex": check_mutex_annotations,
+    "wire-version": check_wire_version_history,
 }
 
 
@@ -423,7 +470,12 @@ def self_test():
                   ("tests/orphan_test.cc", "// never listed\n"),
                   # A src/ subdirectory src/CMakeLists.txt never wires in.
                   ("src/orphanmod/CMakeLists.txt",
-                   "add_library(qbs_orphanmod orphanmod.cc)\n")],
+                   "add_library(qbs_orphanmod orphanmod.cc)\n"),
+                  # The shape the fed subsystem shipped with: its own
+                  # CMakeLists.txt that src/CMakeLists.txt must
+                  # add_subdirectory() or qbs_fed silently never exists.
+                  ("src/fed/CMakeLists.txt",
+                   "add_library(qbs_fed shard_map.cc)\n")],
         "log": [("src/util/hot.h",
                  "#ifndef QBS_UTIL_HOT_H_\n#define QBS_UTIL_HOT_H_\n"
                  'inline void F() { QBS_LOG(INFO) << "x"; }\n#endif\n')],
@@ -440,6 +492,11 @@ def self_test():
                   ("src/util/locky.cc",
                    '#include "util/locky.h"\n'
                    "void F() { static Mutex mu; }\n")],
+        # A wire.h whose version has no history rows at all.
+        "wire-version": [("src/net/wire.h",
+                          "#ifndef QBS_NET_WIRE_H_\n#define QBS_NET_WIRE_H_\n"
+                          "inline constexpr uint32_t kWireProtocolVersion"
+                          " = 1;\n#endif\n")],
     }
     for check, cases in seeds.items():
         for path, content in cases:
@@ -451,6 +508,27 @@ def self_test():
                     f.write(content)
                 expect(run_lint(tmp, checks=[check]) == 1,
                        f"seeded {path} trips '{check}'")
+
+    # wire-version, both directions: a bump past the documented history
+    # trips; adding the missing row makes it pass again.
+    with tempfile.TemporaryDirectory() as tmp:
+        seed_tree(tmp)
+        net = os.path.join(tmp, "src", "net")
+        os.makedirs(net)
+        with open(os.path.join(net, "wire.h"), "w") as f:
+            f.write("#ifndef QBS_NET_WIRE_H_\n#define QBS_NET_WIRE_H_\n"
+                    "inline constexpr uint32_t kWireProtocolVersion = 2;\n"
+                    "#endif\n")
+        protocol = os.path.join(tmp, "docs", "PROTOCOL.md")
+        with open(protocol, "w") as f:
+            f.write("### Version history\n\n| version | contents |\n"
+                    "|---------|----------|\n| 1 | framing |\n")
+        expect(run_lint(tmp, checks=["wire-version"]) == 1,
+               "undocumented protocol bump trips 'wire-version'")
+        with open(protocol, "a") as f:
+            f.write("| 2 | batched RPCs |\n")
+        expect(run_lint(tmp, checks=["wire-version"]) == 0,
+               "documented version history passes 'wire-version'")
 
     if clang_format_exe() is not None:
         with tempfile.TemporaryDirectory() as tmp:

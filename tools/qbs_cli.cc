@@ -21,6 +21,11 @@
 //   qbs serve-broker (--synthetic PRESET | --trec FILE | --remote HOST:PORT)...
 //                 [--docs N] [--host ADDR] [--port N] [--threads N]
 //                 [--max-inflight N] [--admin_port N]
+//   qbs serve-fed --shards HOST:PORT,HOST:PORT,...
+//                 [--host ADDR] [--port N] [--threads N]
+//                 [--max-inflight N] [--admin_port N]
+//   qbs select    --query "..." --fed HOST:PORT [--ranker NAME] [--top N]
+//   qbs fetch-snapshot --remote HOST:PORT --out STORE [--chunk-bytes N]
 //
 // Observability (any command):
 //   --metrics_out FILE   Prometheus text dump of all metrics on exit
@@ -41,6 +46,10 @@
 #include "broker/broker_server.h"
 #include "broker/remote_selector.h"
 #include "broker/selection_broker.h"
+#include "broker/snapshot_provider.h"
+#include "fed/federated_selector.h"
+#include "fed/federation_server.h"
+#include "fed/snapshot_client.h"
 #include "corpus/corpus_stats.h"
 #include "corpus/synthetic.h"
 #include "corpus/trec_parser.h"
@@ -100,6 +109,17 @@ int Usage() {
                  with --store, a valid packed store is mmapped and served
                  instantly (no re-sampling), and fresh samples are packed
                  back to it
+  qbs serve-fed --shards HOST:PORT,HOST:PORT,...
+                [--host ADDR] [--port N] [--threads N]
+                [--max-inflight N] [--admin_port N]
+                 front a fleet of serve-broker shards with one
+                 scatter-gather Select endpoint (wire v5)
+  qbs select    --query "..." --fed HOST:PORT [--ranker NAME] [--top N]
+                 like --remote, and also print the federation fields
+                 (partial flag, down shards, per-shard epochs)
+  qbs fetch-snapshot --remote HOST:PORT --out STORE [--chunk-bytes N]
+                 stream a shard broker's packed model store to a local
+                 file (restorable with serve-broker --store)
 
 observability flags, valid with every command:
   --metrics_out FILE  write a Prometheus-style metrics dump on exit
@@ -471,10 +491,14 @@ Result<RemoteDatabaseOptions> ParseRemoteAddress(const std::string& spec) {
   return opts;
 }
 
-// `select --remote`: the query goes to a serve-broker process; analysis,
-// caching, and ranking all happen server-side against its snapshot.
+// `select --remote` / `select --fed`: the query goes to a serve-broker
+// or serve-fed process; analysis and ranking happen server-side.
+// `federation` additionally prints the v5 reply's partial/down-shard/
+// per-shard-epoch fields — against a plain broker they are simply
+// absent (not partial, no shards).
 int CmdSelectRemote(const std::multimap<std::string, std::string>& flags,
-                    const std::string& query, const std::string& spec) {
+                    const std::string& query, const std::string& spec,
+                    bool federation) {
   auto remote_opts = ParseRemoteAddress(spec);
   if (!remote_opts.ok()) {
     std::fprintf(stderr, "%s\n", remote_opts.status().ToString().c_str());
@@ -501,14 +525,30 @@ int CmdSelectRemote(const std::multimap<std::string, std::string>& flags,
                 selection->scores[i].db_name.c_str(),
                 selection->scores[i].score);
   }
+  if (federation) {
+    if (selection->partial) {
+      std::string down;
+      for (const std::string& shard : selection->down_shards) {
+        if (!down.empty()) down += ", ";
+        down += shard;
+      }
+      std::printf("PARTIAL result: shard(s) down: %s\n", down.c_str());
+    }
+    for (const ShardEpoch& se : selection->shard_epochs) {
+      std::printf("shard %-24s epoch %llu\n", se.shard.c_str(),
+                  static_cast<unsigned long long>(se.epoch));
+    }
+  }
   return 0;
 }
 
 int CmdSelect(const std::multimap<std::string, std::string>& flags) {
   std::string query = FlagOr(flags, "query", "");
   if (query.empty()) return Usage();
+  std::string fed = FlagOr(flags, "fed", "");
+  if (!fed.empty()) return CmdSelectRemote(flags, query, fed, true);
   std::string remote = FlagOr(flags, "remote", "");
-  if (!remote.empty()) return CmdSelectRemote(flags, query, remote);
+  if (!remote.empty()) return CmdSelectRemote(flags, query, remote, false);
   DatabaseCollection dbs;
   auto range = flags.equal_range("model");
   for (auto it = range.first; it != range.second; ++it) {
@@ -823,6 +863,9 @@ int CmdServeBroker(const std::multimap<std::string, std::string>& flags) {
   }
 
   SelectionBroker broker(&service.registry());
+  // Followers replicate this broker's snapshot over the wire (v5
+  // snapshot_fetch, `qbs fetch-snapshot`) instead of re-sampling.
+  SnapshotProvider snapshots(&service.registry());
   BrokerServerOptions server_opts;
   server_opts.host = FlagOr(flags, "host", "127.0.0.1");
   server_opts.port =
@@ -831,6 +874,7 @@ int CmdServeBroker(const std::multimap<std::string, std::string>& flags) {
   server_opts.admission.max_inflight =
       std::stoul(FlagOr(flags, "max-inflight", "64"));
   server_opts.admin_port = AdminPortFlag(flags);
+  server_opts.snapshot_source = [&snapshots] { return snapshots.Get(); };
   BrokerServer server(&broker, server_opts);
   Status status = server.Start();
   if (!status.ok()) {
@@ -849,6 +893,96 @@ int CmdServeBroker(const std::multimap<std::string, std::string>& flags) {
   while (std::getchar() != EOF) {
   }
   server.Stop();
+  return 0;
+}
+
+int CmdServeFed(const std::multimap<std::string, std::string>& flags) {
+  std::string shards_flag = FlagOr(flags, "shards", "");
+  if (shards_flag.empty()) {
+    std::fprintf(stderr,
+                 "serve-fed requires --shards HOST:PORT,HOST:PORT,...\n");
+    return 2;
+  }
+  FederatedSelectorOptions fed_opts;
+  size_t start = 0;
+  while (start <= shards_flag.size()) {
+    size_t comma = shards_flag.find(',', start);
+    if (comma == std::string::npos) comma = shards_flag.size();
+    std::string shard = shards_flag.substr(start, comma - start);
+    start = comma + 1;
+    if (shard.empty()) continue;
+    // Reuse the --remote validator: same HOST:PORT grammar.
+    auto parsed = ParseRemoteAddress(shard);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad shard '%s': %s\n", shard.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    fed_opts.shards.push_back(std::move(shard));
+  }
+  if (fed_opts.shards.empty()) {
+    std::fprintf(stderr, "serve-fed: --shards lists no shards\n");
+    return 2;
+  }
+  fed_opts.fanout_threads = std::stoul(FlagOr(flags, "threads", "8"));
+  FederatedSelector selector(fed_opts);
+
+  FederationServerOptions server_opts;
+  server_opts.host = FlagOr(flags, "host", "127.0.0.1");
+  server_opts.port =
+      static_cast<uint16_t>(std::stoul(FlagOr(flags, "port", "0")));
+  server_opts.num_workers = std::stoul(FlagOr(flags, "threads", "4"));
+  server_opts.admission.max_inflight =
+      std::stoul(FlagOr(flags, "max-inflight", "64"));
+  server_opts.admin_port = AdminPortFlag(flags);
+  FederationServer server(&selector, server_opts);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  // Scripts read this line to learn the ephemeral port.
+  std::printf("serving federation over %zu shard(s) on %s\n",
+              fed_opts.shards.size(), server.address().c_str());
+  if (server.admin_server() != nullptr) {
+    std::printf("admin on http://%s/\n",
+                server.admin_server()->address().c_str());
+  }
+  std::fflush(stdout);
+
+  while (std::getchar() != EOF) {
+  }
+  server.Stop();
+  return 0;
+}
+
+int CmdFetchSnapshot(const std::multimap<std::string, std::string>& flags) {
+  std::string spec = FlagOr(flags, "remote", "");
+  std::string out_path = FlagOr(flags, "out", "");
+  if (spec.empty() || out_path.empty()) {
+    std::fprintf(stderr,
+                 "fetch-snapshot requires --remote HOST:PORT and --out "
+                 "STORE\n");
+    return 2;
+  }
+  auto remote_opts = ParseRemoteAddress(spec);
+  if (!remote_opts.ok()) {
+    std::fprintf(stderr, "%s\n", remote_opts.status().ToString().c_str());
+    return 2;
+  }
+  WireClient client(static_cast<WireClientOptions>(*remote_opts));
+  SnapshotFetchOptions fetch_opts;
+  std::string chunk = FlagOr(flags, "chunk-bytes", "");
+  if (!chunk.empty()) fetch_opts.chunk_bytes = std::stoull(chunk);
+  auto fetched = FetchSnapshotToFile(client, out_path, fetch_opts);
+  if (!fetched.ok()) {
+    std::fprintf(stderr, "%s\n", fetched.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("fetched snapshot epoch %llu (%llu bytes) from %s into %s\n",
+              static_cast<unsigned long long>(fetched->epoch),
+              static_cast<unsigned long long>(fetched->bytes), spec.c_str(),
+              out_path.c_str());
   return 0;
 }
 
@@ -882,6 +1016,10 @@ int Main(int argc, char** argv) {
     rc = CmdServeDb(flags);
   } else if (cmd == "serve-broker") {
     rc = CmdServeBroker(flags);
+  } else if (cmd == "serve-fed") {
+    rc = CmdServeFed(flags);
+  } else if (cmd == "fetch-snapshot") {
+    rc = CmdFetchSnapshot(flags);
   } else {
     return Usage();
   }
